@@ -1,0 +1,162 @@
+// Ablation study of the framework's design choices (DESIGN.md §6):
+//
+//  (a) sparse candidate store vs dense matrix iteration — what the hashing /
+//      candidate machinery costs (or saves) when θ filtering is off and on;
+//  (b) greedy ½-approximate vs exact Hungarian realization of the injective
+//      mapping operators (M_dp / M_bj) — the paper's speed/fidelity
+//      trade-off [23];
+//  (c) certified all-pairs top-k early termination vs full ε-convergence —
+//      the Theorem 1 tail bound in action.
+#include <cmath>
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "common/table_printer.h"
+#include "common/timer.h"
+#include "core/dense_engine.h"
+#include "core/topk_allpairs.h"
+#include "eval/metrics.h"
+
+using namespace fsim;
+
+namespace {
+
+double MaxAbsDiffOnPairs(const FSimScores& sparse,
+                         const DenseFSimScores& dense) {
+  double max_diff = 0.0;
+  for (size_t i = 0; i < sparse.keys().size(); ++i) {
+    const NodeId u = PairFirst(sparse.keys()[i]);
+    const NodeId v = PairSecond(sparse.keys()[i]);
+    max_diff =
+        std::max(max_diff, std::abs(sparse.values()[i] - dense.Score(u, v)));
+  }
+  return max_diff;
+}
+
+void SparseVsDense() {
+  bench::PrintHeader(
+      "Ablation (a): sparse candidate store vs dense matrix iteration "
+      "(FSim_bj, paper defaults)");
+  TablePrinter table({"dataset", "theta", "pairs", "sparse", "dense",
+                      "max |diff|"});
+  for (const char* name : {"yeast", "nell"}) {
+    Graph g = MakeDatasetByName(name);
+    for (double theta : {0.0, 1.0}) {
+      FSimConfig config = bench::PaperDefaults(SimVariant::kBijective);
+      config.theta = theta;
+      config.pair_limit = bench::kBenchPairLimit;
+
+      Timer sparse_timer;
+      auto sparse = ComputeFSim(g, g, config);
+      const double sparse_s = sparse_timer.Seconds();
+      if (!sparse.ok()) continue;
+
+      Timer dense_timer;
+      auto dense = ComputeFSimDense(g, g, config);
+      const double dense_s = dense_timer.Seconds();
+      if (!dense.ok()) {
+        table.AddRow({name, theta == 0 ? "0" : "1",
+                      std::to_string(sparse->NumPairs()),
+                      bench::FormatSeconds(sparse_s), "skipped (limit)", "-"});
+        continue;
+      }
+      char diff[24];
+      std::snprintf(diff, sizeof(diff), "%.1e",
+                    MaxAbsDiffOnPairs(*sparse, *dense));
+      table.AddRow({name, theta == 0 ? "0" : "1",
+                    std::to_string(sparse->NumPairs()),
+                    bench::FormatSeconds(sparse_s),
+                    bench::FormatSeconds(dense_s), diff});
+    }
+  }
+  table.Print();
+  std::printf(
+      "expected: identical scores (diff ~ 0); dense wins at theta=0 on "
+      "small graphs (no hashing), sparse wins at theta=1 (skips "
+      "incompatible pairs entirely)\n");
+}
+
+void GreedyVsHungarian() {
+  bench::PrintHeader(
+      "Ablation (b): greedy 1/2-approximate vs exact Hungarian matching "
+      "(FSim_bj)");
+  TablePrinter table(
+      {"dataset", "greedy", "hungarian", "Pearson", "max |diff|"});
+  for (const char* name : {"yeast", "nell"}) {
+    Graph g = MakeDatasetByName(name);
+    FSimConfig config = bench::PaperDefaults(SimVariant::kBijective);
+    config.theta = 1.0;  // keep the Hungarian run tractable
+
+    config.matching = MatchingAlgo::kGreedy;
+    auto greedy = bench::RunFSim(g, g, config);
+    config.matching = MatchingAlgo::kHungarian;
+    auto hungarian = bench::RunFSim(g, g, config);
+    if (!greedy || !hungarian) continue;
+
+    double max_diff = 0.0;
+    for (size_t i = 0; i < greedy->scores.keys().size(); ++i) {
+      max_diff = std::max(max_diff,
+                          std::abs(greedy->scores.values()[i] -
+                                   hungarian->scores.values()[i]));
+    }
+    char pearson[16], diff[24];
+    std::snprintf(pearson, sizeof(pearson), "%.4f",
+                  CorrelateScores(greedy->scores, hungarian->scores));
+    std::snprintf(diff, sizeof(diff), "%.3f", max_diff);
+    table.AddRow({name, bench::FormatSeconds(greedy->seconds),
+                  bench::FormatSeconds(hungarian->seconds), pearson, diff});
+  }
+  table.Print();
+  std::printf(
+      "expected: greedy is faster with near-1 correlation (the paper "
+      "adopts greedy for exactly this trade-off); Hungarian realizes C3 "
+      "exactly, so its scores upper-bound greedy's\n");
+}
+
+void TopKEarlyTermination() {
+  bench::PrintHeader(
+      "Ablation (c): certified top-k early termination vs full convergence "
+      "(FSim_bj, k = 10)");
+  TablePrinter table({"dataset", "iters (topk)", "iter bound", "certified",
+                      "topk", "full"});
+  for (const char* name : {"yeast", "nell"}) {
+    Graph g = MakeDatasetByName(name);
+    FSimConfig config = bench::PaperDefaults(SimVariant::kBijective);
+    config.theta = 1.0;
+    config.epsilon = 1e-6;  // a demanding convergence target
+    config.pair_limit = bench::kBenchPairLimit;
+
+    TopKPairsOptions options;
+    options.k = 10;
+    options.exclude_diagonal = true;
+
+    Timer topk_timer;
+    auto topk = ComputeTopKPairs(g, g, config, options);
+    const double topk_s = topk_timer.Seconds();
+    if (!topk.ok()) continue;
+
+    Timer full_timer;
+    auto full = ComputeFSim(g, g, config);
+    const double full_s = full_timer.Seconds();
+    if (!full.ok()) continue;
+
+    table.AddRow({name, std::to_string(topk->iterations),
+                  std::to_string(topk->iteration_bound),
+                  topk->certified ? "yes" : "no",
+                  bench::FormatSeconds(topk_s),
+                  bench::FormatSeconds(full_s)});
+  }
+  table.Print();
+  std::printf(
+      "expected: certification lands well before the Corollary 1 iteration "
+      "bound, so the top-k query costs a fraction of full convergence\n");
+}
+
+}  // namespace
+
+int main() {
+  SparseVsDense();
+  GreedyVsHungarian();
+  TopKEarlyTermination();
+  return 0;
+}

@@ -1,0 +1,75 @@
+// google-benchmark end-to-end timings of ComputeFSim per variant and
+// optimization setting on the Yeast analog (the smallest Table 4 dataset) —
+// the per-iteration engine cost behind Figures 7 and 8.
+#include <benchmark/benchmark.h>
+
+#include "core/fsim_engine.h"
+#include "datasets/dataset_registry.h"
+
+namespace fsim {
+namespace {
+
+const Graph& Yeast() {
+  static const Graph g = MakeDatasetByName("yeast");
+  return g;
+}
+
+FSimConfig BaseConfig(SimVariant variant) {
+  FSimConfig config;
+  config.variant = variant;
+  config.w_out = 0.4;
+  config.w_in = 0.4;
+  config.label_sim = LabelSimKind::kJaroWinkler;
+  config.epsilon = 0.01;
+  return config;
+}
+
+void BM_FSimVariant(benchmark::State& state) {
+  const Graph& g = Yeast();
+  FSimConfig config = BaseConfig(static_cast<SimVariant>(state.range(0)));
+  config.theta = 1.0;
+  for (auto _ : state) {
+    auto scores = ComputeFSim(g, g, config);
+    benchmark::DoNotOptimize(scores.ok());
+  }
+}
+BENCHMARK(BM_FSimVariant)
+    ->Arg(0)->Arg(1)->Arg(2)->Arg(3)
+    ->ArgName("variant")
+    ->Unit(benchmark::kMillisecond);
+
+void BM_FSimOptimization(benchmark::State& state) {
+  const Graph& g = Yeast();
+  FSimConfig config = BaseConfig(SimVariant::kBijective);
+  config.theta = state.range(0) == 0 ? 0.0 : 1.0;
+  config.upper_bound = state.range(1) != 0;
+  for (auto _ : state) {
+    auto scores = ComputeFSim(g, g, config);
+    benchmark::DoNotOptimize(scores.ok());
+  }
+}
+BENCHMARK(BM_FSimOptimization)
+    ->ArgsProduct({{0, 1}, {0, 1}})
+    ->ArgNames({"theta1", "ub"})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_FSimMatchingAlgo(benchmark::State& state) {
+  const Graph& g = Yeast();
+  FSimConfig config = BaseConfig(SimVariant::kBijective);
+  config.theta = 1.0;
+  config.matching = state.range(0) == 0 ? MatchingAlgo::kGreedy
+                                        : MatchingAlgo::kHungarian;
+  for (auto _ : state) {
+    auto scores = ComputeFSim(g, g, config);
+    benchmark::DoNotOptimize(scores.ok());
+  }
+}
+BENCHMARK(BM_FSimMatchingAlgo)
+    ->Arg(0)->Arg(1)
+    ->ArgName("hungarian")
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace fsim
+
+BENCHMARK_MAIN();

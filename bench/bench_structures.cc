@@ -1,0 +1,135 @@
+// google-benchmark micro-benchmarks for the extension subsystems: splitter-
+// queue partition refinement vs signature-based refinement (the hash-free
+// vs hashed trade-off), binary graph encode/decode throughput vs the text
+// format, Kendall τ-b vs Pearson, and single-edge edit copies.
+#include <benchmark/benchmark.h>
+
+#include "common/random.h"
+#include "eval/metrics.h"
+#include "exact/partition_refinement.h"
+#include "exact/signatures.h"
+#include "graph/binary_io.h"
+#include "graph/edits.h"
+#include "graph/generators.h"
+#include "graph/graph_io.h"
+
+namespace fsim {
+namespace {
+
+Graph BenchGraph(uint32_t n, uint32_t labels) {
+  LabelingOptions lo;
+  lo.num_labels = labels;
+  lo.skew = 0.8;
+  return ErdosRenyi(n, 4ULL * n, lo, 0xBE7C4);
+}
+
+void BM_PartitionRefinementSet(benchmark::State& state) {
+  Graph g = BenchGraph(static_cast<uint32_t>(state.range(0)), 8);
+  for (auto _ : state) {
+    Partition p = BisimulationPartition(g);
+    benchmark::DoNotOptimize(p.num_blocks);
+  }
+}
+BENCHMARK(BM_PartitionRefinementSet)->Arg(1000)->Arg(4000)->Arg(16000);
+
+void BM_PartitionRefinementCounting(benchmark::State& state) {
+  Graph g = BenchGraph(static_cast<uint32_t>(state.range(0)), 8);
+  for (auto _ : state) {
+    Partition p =
+        CoarsestStablePartition(g, RefinementSemantics::kCounting, true);
+    benchmark::DoNotOptimize(p.num_blocks);
+  }
+}
+BENCHMARK(BM_PartitionRefinementCounting)->Arg(1000)->Arg(4000)->Arg(16000);
+
+void BM_SignatureRefinement(benchmark::State& state) {
+  Graph g = BenchGraph(static_cast<uint32_t>(state.range(0)), 8);
+  for (auto _ : state) {
+    auto classes = BisimulationClasses(g, g, /*use_in_neighbors=*/true);
+    benchmark::DoNotOptimize(classes.first.size());
+  }
+}
+BENCHMARK(BM_SignatureRefinement)->Arg(1000)->Arg(4000)->Arg(16000);
+
+void BM_BinaryEncode(benchmark::State& state) {
+  Graph g = BenchGraph(static_cast<uint32_t>(state.range(0)), 8);
+  size_t bytes = 0;
+  for (auto _ : state) {
+    std::string blob = GraphToBinary(g);
+    bytes = blob.size();
+    benchmark::DoNotOptimize(blob.data());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(bytes) *
+                          static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_BinaryEncode)->Arg(4000)->Arg(16000);
+
+void BM_BinaryDecode(benchmark::State& state) {
+  Graph g = BenchGraph(static_cast<uint32_t>(state.range(0)), 8);
+  const std::string blob = GraphToBinary(g);
+  for (auto _ : state) {
+    auto loaded = GraphFromBinary(blob);
+    benchmark::DoNotOptimize(loaded.ok());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(blob.size()) *
+                          static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_BinaryDecode)->Arg(4000)->Arg(16000);
+
+void BM_TextDecode(benchmark::State& state) {
+  Graph g = BenchGraph(static_cast<uint32_t>(state.range(0)), 8);
+  const std::string text = GraphToString(g);
+  for (auto _ : state) {
+    auto loaded = LoadGraphFromString(text);
+    benchmark::DoNotOptimize(loaded.ok());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(text.size()) *
+                          static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_TextDecode)->Arg(4000)->Arg(16000);
+
+void BM_EdgeEditCopy(benchmark::State& state) {
+  Graph g = BenchGraph(static_cast<uint32_t>(state.range(0)), 8);
+  Rng rng(0xED6E);
+  for (auto _ : state) {
+    NodeId from = static_cast<NodeId>(rng.NextBounded(g.NumNodes()));
+    NodeId to = static_cast<NodeId>(rng.NextBounded(g.NumNodes()));
+    auto edited = g.HasEdge(from, to) ? WithEdgeRemoved(g, from, to)
+                                      : WithEdgeAdded(g, from, to);
+    benchmark::DoNotOptimize(edited.ok());
+  }
+}
+BENCHMARK(BM_EdgeEditCopy)->Arg(1000)->Arg(8000);
+
+void BM_KendallTau(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(0x7AU);
+  std::vector<double> x(n), y(n);
+  for (size_t i = 0; i < n; ++i) {
+    x[i] = static_cast<double>(rng.NextBounded(1000));
+    y[i] = x[i] + static_cast<double>(rng.NextBounded(100));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(KendallTau(x, y));
+  }
+}
+BENCHMARK(BM_KendallTau)->Arg(1000)->Arg(100000);
+
+void BM_Pearson(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(0x7BU);
+  std::vector<double> x(n), y(n);
+  for (size_t i = 0; i < n; ++i) {
+    x[i] = rng.NextDouble();
+    y[i] = rng.NextDouble();
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(PearsonCorrelation(x, y));
+  }
+}
+BENCHMARK(BM_Pearson)->Arg(1000)->Arg(100000);
+
+}  // namespace
+}  // namespace fsim
+
+BENCHMARK_MAIN();

@@ -1,0 +1,72 @@
+// Shared helpers for the experiment binaries: dataset construction, timed
+// FSim runs with skip handling (mirroring the paper's omission of
+// out-of-memory configurations), and consistent result formatting.
+#ifndef FSIM_BENCH_BENCH_UTIL_H_
+#define FSIM_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <optional>
+#include <string>
+
+#include "common/timer.h"
+#include "core/fsim_engine.h"
+#include "datasets/dataset_registry.h"
+
+namespace fsim {
+namespace bench {
+
+/// Pair budget for the experiment binaries: configurations whose candidate
+/// set would exceed this are reported as skipped, the single-core analog of
+/// the paper's "experiments that resulted in out-of-memory errors have been
+/// omitted".
+constexpr uint64_t kBenchPairLimit = 5'000'000;
+
+struct TimedRun {
+  FSimScores scores;
+  double seconds = 0.0;
+};
+
+/// Runs ComputeFSim under the bench pair budget. nullopt = skipped
+/// (candidate set over budget); any other error aborts.
+inline std::optional<TimedRun> RunFSim(const Graph& g1, const Graph& g2,
+                                       FSimConfig config) {
+  config.pair_limit = kBenchPairLimit;
+  Timer timer;
+  auto scores = ComputeFSim(g1, g2, config);
+  if (!scores.ok()) {
+    if (scores.status().IsInvalidArgument()) return std::nullopt;
+    std::fprintf(stderr, "fatal: %s\n", scores.status().ToString().c_str());
+    std::abort();
+  }
+  TimedRun run{std::move(scores).ValueOrDie(), timer.Seconds()};
+  return run;
+}
+
+/// The experiments' default configuration (§5.1): w+ = w- = 0.4 (w* = 0.2),
+/// termination at 0.01, Jaro-Winkler L(·) unless a case study overrides it.
+inline FSimConfig PaperDefaults(SimVariant variant) {
+  FSimConfig config;
+  config.variant = variant;
+  config.w_out = 0.4;
+  config.w_in = 0.4;
+  config.label_sim = LabelSimKind::kJaroWinkler;
+  config.epsilon = 0.01;
+  return config;
+}
+
+inline std::string FormatSeconds(double s) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2fs", s);
+  return buf;
+}
+
+inline void PrintHeader(const char* title) {
+  std::printf("\n==============================================================\n");
+  std::printf("%s\n", title);
+  std::printf("==============================================================\n");
+}
+
+}  // namespace bench
+}  // namespace fsim
+
+#endif  // FSIM_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,127 @@
+// Figure 4 — sensitivity of FSimχ to the framework parameters on the NELL
+// analog:
+//  (a) varying the label-constraint threshold θ from 0 to 1: Pearson
+//      coefficient of FSimχ{θ} against the θ=0 baseline, computed over the
+//      same-label pairs (the pair set every θ maintains, so the comparison
+//      set is fixed across the sweep). Paper: decreasing but > 0.8 at θ=1.
+//  (b) varying w* = 1 - w+ - w- from 0.1 to 1: coefficient of FSimχ vs
+//      FSimχ{θ=1} over all pairs; pairs the θ=1 run does not maintain
+//      evaluate to their label-term-only value w* · L(u,v) (zero neighbor
+//      contribution). Paper: increasing, ~0.85 at w* = 0.2, ≈1 past 0.6.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "common/table_printer.h"
+#include "eval/metrics.h"
+#include "label/label_similarity.h"
+
+using namespace fsim;
+
+namespace {
+
+/// Pearson over same-label pairs of `a` (both runs maintain them at any θ).
+double CorrelateSameLabel(const Graph& g, const FSimScores& a,
+                          const FSimScores& b) {
+  std::vector<double> xs, ys;
+  const auto& keys = a.keys();
+  const auto& values = a.values();
+  for (size_t i = 0; i < keys.size(); ++i) {
+    const NodeId u = PairFirst(keys[i]);
+    const NodeId v = PairSecond(keys[i]);
+    if (g.Label(u) != g.Label(v)) continue;
+    xs.push_back(values[i]);
+    ys.push_back(b.Score(u, v));
+  }
+  return PearsonCorrelation(xs, ys);
+}
+
+/// Pearson over all pairs of `all`; pairs missing from `constrained` count
+/// as their label-term-only value wstar * L(u,v).
+double CorrelateWithLabelFallback(const Graph& g, const FSimScores& all,
+                                  const FSimScores& constrained,
+                                  const LabelSimilarityCache& lsim,
+                                  double wstar) {
+  std::vector<double> xs, ys;
+  const auto& keys = all.keys();
+  const auto& values = all.values();
+  for (size_t i = 0; i < keys.size(); ++i) {
+    const NodeId u = PairFirst(keys[i]);
+    const NodeId v = PairSecond(keys[i]);
+    xs.push_back(values[i]);
+    ys.push_back(constrained.Contains(u, v)
+                     ? constrained.Score(u, v)
+                     : wstar * lsim.Sim(g.Label(u), g.Label(v)));
+  }
+  return PearsonCorrelation(xs, ys);
+}
+
+}  // namespace
+
+int main() {
+  Graph nell = MakeDatasetByName("nell");
+  LabelSimilarityCache lsim(*nell.dict(), LabelSimKind::kJaroWinkler);
+  const SimVariant variants[] = {SimVariant::kSimple,
+                                 SimVariant::kDegreePreserving,
+                                 SimVariant::kBi, SimVariant::kBijective};
+
+  bench::PrintHeader(
+      "Figure 4(a): Pearson coefficient vs theta (baseline theta=0, "
+      "w+=w-=0.4)");
+  {
+    TablePrinter table({"theta", "FSim_s", "FSim_dp", "FSim_b", "FSim_bj"});
+    std::vector<FSimScores> baselines;
+    for (SimVariant v : variants) {
+      auto run = bench::RunFSim(nell, nell, bench::PaperDefaults(v));
+      baselines.push_back(std::move(run->scores));
+    }
+    for (double theta : {0.0, 0.2, 0.4, 0.6, 0.8, 1.0}) {
+      char tbuf[16];
+      std::snprintf(tbuf, sizeof(tbuf), "%.1f", theta);
+      std::vector<std::string> cells = {tbuf};
+      for (int v = 0; v < 4; ++v) {
+        FSimConfig config = bench::PaperDefaults(variants[v]);
+        config.theta = theta;
+        auto run = bench::RunFSim(nell, nell, config);
+        const double r = CorrelateSameLabel(nell, run->scores, baselines[v]);
+        char buf[16];
+        std::snprintf(buf, sizeof(buf), "%.3f", r);
+        cells.emplace_back(buf);
+      }
+      table.AddRow(cells);
+    }
+    table.Print();
+    std::printf("expected shape: decreasing in theta, still high at theta=1 "
+                "(paper: > 0.8)\n");
+  }
+
+  bench::PrintHeader(
+      "Figure 4(b): Pearson coefficient of FSim vs FSim{theta=1}, varying "
+      "w* = 1 - w+ - w-");
+  {
+    TablePrinter table({"w*", "FSim_s", "FSim_dp", "FSim_b", "FSim_bj"});
+    for (double wstar : {0.1, 0.2, 0.4, 0.6, 0.8, 1.0}) {
+      const double w = (1.0 - wstar) / 2.0;
+      char tbuf[16];
+      std::snprintf(tbuf, sizeof(tbuf), "%.1f", wstar);
+      std::vector<std::string> cells = {tbuf};
+      for (SimVariant variant : variants) {
+        FSimConfig base = bench::PaperDefaults(variant);
+        base.w_out = w;
+        base.w_in = w;
+        FSimConfig constrained = base;
+        constrained.theta = 1.0;
+        auto run_base = bench::RunFSim(nell, nell, base);
+        auto run_constrained = bench::RunFSim(nell, nell, constrained);
+        const double r = CorrelateWithLabelFallback(
+            nell, run_base->scores, run_constrained->scores, lsim, wstar);
+        char buf[16];
+        std::snprintf(buf, sizeof(buf), "%.3f", r);
+        cells.emplace_back(buf);
+      }
+      table.AddRow(cells);
+    }
+    table.Print();
+    std::printf("expected shape: increasing in w*, ~1 beyond 0.6 (paper)\n");
+  }
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Figure 5 — robustness of FSim_bj against data errors on the NELL analog:
+// the graph is perturbed with structural errors (edges added + removed) or
+// label errors (labels replaced by a missing-label sentinel) at 0..20%, and
+// the perturbed self-similarity scores are correlated against the clean
+// ones, for θ=0 and θ=1. Paper: decreasing, but > 0.7 at the 20% level.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "common/table_printer.h"
+#include "eval/metrics.h"
+#include "graph/noise.h"
+
+using namespace fsim;
+
+int main() {
+  Graph nell = MakeDatasetByName("nell");
+
+  auto run_bj = [&](const Graph& g, double theta) {
+    FSimConfig config = bench::PaperDefaults(SimVariant::kBijective);
+    config.theta = theta;
+    auto run = bench::RunFSim(g, g, config);
+    return std::move(run->scores);
+  };
+
+  for (int mode = 0; mode < 2; ++mode) {
+    const bool structural = mode == 0;
+    bench::PrintHeader(structural
+                           ? "Figure 5(a): varying structural errors "
+                             "(edges added+removed)"
+                           : "Figure 5(b): varying label errors (labels "
+                             "turned missing)");
+    TablePrinter table({"error level", "FSim_bj", "FSim_bj{theta=1}"});
+    FSimScores clean0 = run_bj(nell, 0.0);
+    FSimScores clean1 = run_bj(nell, 1.0);
+    for (double level : {0.00, 0.05, 0.10, 0.15, 0.20}) {
+      Graph noisy =
+          structural
+              ? PerturbStructure(nell, level / 2.0, level / 2.0,
+                                 0xE44 + static_cast<uint64_t>(level * 100))
+              : PerturbLabels(nell, level, LabelNoiseMode::kMissing,
+                              0xE55 + static_cast<uint64_t>(level * 100));
+      FSimScores noisy0 = run_bj(noisy, 0.0);
+      FSimScores noisy1 = run_bj(noisy, 1.0);
+      char lbuf[16], b0[16], b1[16];
+      std::snprintf(lbuf, sizeof(lbuf), "%.0f%%", level * 100);
+      std::snprintf(b0, sizeof(b0), "%.3f",
+                    CorrelateCommonScores(clean0, noisy0));
+      std::snprintf(b1, sizeof(b1), "%.3f",
+                    CorrelateCommonScores(clean1, noisy1));
+      table.AddRow({lbuf, b0, b1});
+    }
+    table.Print();
+  }
+  std::printf("\nexpected shape: coefficients decrease with the error level "
+              "but stay high (paper: > 0.7 at 20%%)\n");
+  return 0;
+}

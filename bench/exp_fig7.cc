@@ -1,0 +1,52 @@
+// Figure 7 — efficiency of the label-constrained mapping on the NELL
+// analog: (a) running time of all four variants while varying θ, and
+// (b) the number of maintained candidate pairs vs θ. Paper: time and pairs
+// drop steeply with θ; dp/bj are the slowest (injective matching), b is
+// slower than s (both mapping sides).
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "common/table_printer.h"
+
+using namespace fsim;
+
+int main() {
+  Graph nell = MakeDatasetByName("nell");
+  bench::PrintHeader(
+      "Figure 7(a): running time (s) of FSim variants vs theta (NELL "
+      "analog)\nFigure 7(b): #maintained candidate pairs vs theta");
+
+  TablePrinter table({"theta", "FSim_s", "FSim_dp", "FSim_b", "FSim_bj",
+                      "#pairs", "iters(s)"});
+  const SimVariant variants[] = {SimVariant::kSimple,
+                                 SimVariant::kDegreePreserving,
+                                 SimVariant::kBi, SimVariant::kBijective};
+  for (double theta : {0.0, 0.2, 0.4, 0.6, 0.8, 1.0}) {
+    char tbuf[16];
+    std::snprintf(tbuf, sizeof(tbuf), "%.1f", theta);
+    std::vector<std::string> cells = {tbuf};
+    size_t pairs = 0;
+    uint32_t iters = 0;
+    for (SimVariant variant : variants) {
+      FSimConfig config = bench::PaperDefaults(variant);
+      config.theta = theta;
+      auto run = bench::RunFSim(nell, nell, config);
+      cells.push_back(bench::FormatSeconds(run->seconds));
+      pairs = run->scores.stats().maintained_pairs;
+      iters = run->scores.stats().iterations;
+    }
+    char pbuf[32];
+    std::snprintf(pbuf, sizeof(pbuf), "%zu", pairs);
+    cells.emplace_back(pbuf);
+    char ibuf[16];
+    std::snprintf(ibuf, sizeof(ibuf), "%u", iters);
+    cells.emplace_back(ibuf);
+    table.AddRow(cells);
+  }
+  table.Print();
+  std::printf(
+      "\nexpected shape (paper): all variants get faster as theta grows; "
+      "the candidate set\nshrinks by orders of magnitude; dp/bj slowest, "
+      "then b, then s; differences vanish at theta >= 0.6\n");
+  return 0;
+}

@@ -1,0 +1,96 @@
+// Figure 9 — parallelization and scalability of FSim_bj{ub,theta=1}:
+//  (a) running time vs number of threads on the NELL and ACMCit analogs.
+//      NOTE: this container exposes a single hardware core, so wall-clock
+//      speedups are bounded near 1x; the paper (2x20 cores) reports 15-17x
+//      at 32 threads. We run the sweep to exercise the machinery and print
+//      the core-count caveat with the results.
+//  (b) running time while scaling graph density x1..x20 by adding random
+//      edges (the paper goes to x50 on a 512 GB machine; the sweep stops
+//      early if a run exceeds the per-run time guard).
+#include <cstdio>
+#include <thread>
+
+#include "bench/bench_util.h"
+#include "common/table_printer.h"
+#include "graph/noise.h"
+
+using namespace fsim;
+
+namespace {
+
+FSimConfig BenchConfig(int threads) {
+  FSimConfig config = fsim::bench::PaperDefaults(SimVariant::kBijective);
+  config.theta = 1.0;
+  config.upper_bound = true;
+  config.beta = 0.5;
+  config.num_threads = threads;
+  return config;
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader(
+      "Figure 9(a): FSim_bj{ub,theta=1} running time (s) vs #threads");
+  std::printf("hardware concurrency on this machine: %u\n\n",
+              std::thread::hardware_concurrency());
+  {
+    TablePrinter table({"#threads", "nell", "acmcit"});
+    for (int threads : {1, 2, 4, 8}) {
+      std::vector<std::string> cells = {std::to_string(threads)};
+      for (const char* name : {"nell", "acmcit"}) {
+        Graph g = MakeDatasetByName(name);
+        auto run = bench::RunFSim(g, g, BenchConfig(threads));
+        cells.push_back(run ? bench::FormatSeconds(run->seconds) : "skip");
+      }
+      table.AddRow(cells);
+    }
+    table.Print();
+    std::printf("expected shape (paper, 40 cores): strong gains to 8 "
+                "threads, 15-17x at 32;\non this 1-core container the curve "
+                "is flat — the sweep validates correctness, not speedup\n");
+  }
+
+  bench::PrintHeader(
+      "Figure 9(b): FSim_bj{ub,theta=1} running time (s) vs density "
+      "multiplier");
+  {
+    TablePrinter table({"density", "nell", "acmcit"});
+    constexpr double kTimeGuard = 90.0;
+    bool nell_alive = true;
+    bool acm_alive = true;
+    Graph nell = MakeDatasetByName("nell");
+    Graph acm = MakeDatasetByName("acmcit");
+    for (double mult : {1.0, 5.0, 10.0, 20.0}) {
+      char mbuf[16];
+      std::snprintf(mbuf, sizeof(mbuf), "x%.0f", mult);
+      std::vector<std::string> cells = {mbuf};
+      for (int which = 0; which < 2; ++which) {
+        bool& alive = which == 0 ? nell_alive : acm_alive;
+        if (!alive) {
+          cells.emplace_back("guard");
+          continue;
+        }
+        const Graph& base = which == 0 ? nell : acm;
+        Graph dense = mult == 1.0
+                          ? base
+                          : ScaleDensity(base, mult,
+                                         0x9B + static_cast<uint64_t>(mult));
+        auto run = bench::RunFSim(dense, dense, BenchConfig(1));
+        if (!run) {
+          cells.emplace_back("skip");
+          continue;
+        }
+        cells.push_back(bench::FormatSeconds(run->seconds));
+        if (run->seconds > kTimeGuard) alive = false;
+      }
+      table.AddRow(cells);
+    }
+    table.Print();
+    std::printf("expected shape (paper): time grows with density but "
+                "sub-quadratically — denser graphs\nstrengthen the upper-"
+                "bound pruning ('guard' = previous run exceeded the time "
+                "guard)\n");
+  }
+  return 0;
+}

@@ -1,0 +1,139 @@
+// Incremental maintenance vs full recomputation (DESIGN.md §6 extension):
+// after one edge edit, how much work does the localized repair of
+// core/incremental.h do, compared to re-running Algorithm 1 from scratch?
+//
+// For each dataset and θ setting, a converged IncrementalFSim absorbs a
+// deterministic stream of mixed insert/delete edits; we report the average
+// repair cost (seeded pairs, recomputations, milliseconds) against the
+// from-scratch solve time, and verify the repaired scores against a full
+// recompute at the end of the stream.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "common/random.h"
+#include "common/table_printer.h"
+#include "common/timer.h"
+#include "core/incremental.h"
+
+using namespace fsim;
+
+namespace {
+
+struct StreamReport {
+  double full_solve_s = 0.0;
+  double avg_edit_ms = 0.0;
+  double max_edit_ms = 0.0;
+  double avg_recomputed = 0.0;
+  double avg_seeded = 0.0;
+  double final_max_diff = 0.0;
+  size_t full_evals = 0;  // pair evaluations of one from-scratch solve
+  size_t edits = 0;
+};
+
+StreamReport RunStream(const Graph& g, double theta, int num_edits,
+                       uint64_t seed) {
+  FSimConfig config = bench::PaperDefaults(SimVariant::kBijective);
+  config.theta = theta;
+  config.epsilon = 1e-4;
+  config.pair_limit = bench::kBenchPairLimit;
+  IncrementalOptions options;
+  options.propagation_tolerance = 1e-6;
+
+  StreamReport report;
+  Timer solve_timer;
+  auto inc = IncrementalFSim::Create(g, g, config, options);
+  report.full_solve_s = solve_timer.Seconds();
+  if (!inc.ok()) {
+    std::fprintf(stderr, "fatal: %s\n", inc.status().ToString().c_str());
+    std::abort();
+  }
+
+  Rng rng(seed);
+  double total_ms = 0.0;
+  double total_recomputed = 0.0;
+  double total_seeded = 0.0;
+  for (int e = 0; e < num_edits; ++e) {
+    // Create copies the input, so "g vs g" becomes an ordinary two-graph
+    // run whose sides evolve independently; alternate the edited side.
+    const int graph_index = (e % 2) + 1;
+    const Graph& target = graph_index == 1 ? inc->g1() : inc->g2();
+    const NodeId n = static_cast<NodeId>(target.NumNodes());
+    NodeId from = static_cast<NodeId>(rng.NextBounded(n));
+    NodeId to = static_cast<NodeId>(rng.NextBounded(n));
+    if (from == to) continue;
+    Timer edit_timer;
+    Status status = target.HasEdge(from, to)
+                        ? inc->RemoveEdge(graph_index, from, to)
+                        : inc->InsertEdge(graph_index, from, to);
+    const double ms = edit_timer.Seconds() * 1e3;
+    if (!status.ok()) {
+      std::fprintf(stderr, "fatal: %s\n", status.ToString().c_str());
+      std::abort();
+    }
+    ++report.edits;
+    total_ms += ms;
+    report.max_edit_ms = std::max(report.max_edit_ms, ms);
+    total_recomputed += static_cast<double>(inc->last_edit_stats().recomputed);
+    total_seeded += static_cast<double>(inc->last_edit_stats().seeded_pairs);
+  }
+  if (report.edits > 0) {
+    report.avg_edit_ms = total_ms / static_cast<double>(report.edits);
+    report.avg_recomputed =
+        total_recomputed / static_cast<double>(report.edits);
+    report.avg_seeded = total_seeded / static_cast<double>(report.edits);
+  }
+
+  // End-of-stream verification against a from-scratch solve.
+  auto full = ComputeFSim(inc->g1(), inc->g2(), config);
+  if (full.ok()) {
+    for (size_t i = 0; i < full->keys().size(); ++i) {
+      const NodeId u = PairFirst(full->keys()[i]);
+      const NodeId v = PairSecond(full->keys()[i]);
+      report.final_max_diff =
+          std::max(report.final_max_diff,
+                   std::abs(full->values()[i] - inc->Score(u, v)));
+    }
+    report.full_evals = full->NumPairs() * full->stats().iterations;
+  }
+  return report;
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader(
+      "Incremental FSim maintenance vs full recomputation "
+      "(FSim_bj, 20 mixed insert/delete edits per stream)");
+  TablePrinter table({"dataset", "theta", "full solve", "avg edit",
+                      "avg evals", "evals saved", "time speedup",
+                      "end drift"});
+  for (const char* name : {"yeast", "nell", "gp"}) {
+    Graph g = MakeDatasetByName(name);
+    for (double theta : {1.0}) {
+      StreamReport r = RunStream(g, theta, 20, 0xED17);
+      char avg_ms[24], recomputed[24], evals[24], speedup[24], drift[24];
+      std::snprintf(avg_ms, sizeof(avg_ms), "%.1fms", r.avg_edit_ms);
+      std::snprintf(recomputed, sizeof(recomputed), "%.0f", r.avg_recomputed);
+      std::snprintf(evals, sizeof(evals), "%.0fx",
+                    static_cast<double>(r.full_evals) /
+                        std::max(r.avg_recomputed, 1.0));
+      std::snprintf(speedup, sizeof(speedup), "%.0fx",
+                    r.full_solve_s * 1e3 / std::max(r.avg_edit_ms, 1e-9));
+      std::snprintf(drift, sizeof(drift), "%.1e", r.final_max_diff);
+      table.AddRow({name, theta == 0.0 ? "0" : "1",
+                    bench::FormatSeconds(r.full_solve_s), avg_ms, recomputed,
+                    evals, speedup, drift});
+    }
+  }
+  table.Print();
+  std::printf(
+      "expected: repair re-evaluates a small fraction of the pair "
+      "evaluations a from-scratch solve performs (evals saved); realized "
+      "wall-clock gains are smaller because each changed pair also scans "
+      "its dependents. Drift reflects both solvers' epsilon residuals plus "
+      "greedy-matching tie divergence; the Hungarian-matching property "
+      "tests bound it at ~1e-6.\n");
+  return 0;
+}

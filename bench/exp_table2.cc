@@ -1,0 +1,117 @@
+// Table 2 — exact ✓/✗ and fractional FSimχ scores for the Figure 1 example
+// (node u against candidates v1..v4, all four variants). The paper's
+// published fractional values are printed alongside the measured ones; they
+// were produced with unstated parameters, so the comparison is qualitative:
+// the ✓/✗ pattern must match exactly, the ✗ scores must stay high but < 1.
+//
+// Also asserts the Figure 3(b) strictness lattice on the example.
+#include <cstdio>
+#include <string>
+
+#include "bench/bench_util.h"
+#include "common/table_printer.h"
+#include "exact/exact_simulation.h"
+#include "graph/graph_builder.h"
+
+using namespace fsim;
+
+namespace {
+
+struct Figure1 {
+  Graph pattern;
+  Graph data;
+  NodeId u = 0;
+  NodeId v1, v2, v3, v4;
+};
+
+Figure1 MakeFigure1() {
+  Figure1 fig;
+  GraphBuilder pb;
+  NodeId u = pb.AddNode("circle");
+  pb.AddEdge(u, pb.AddNode("hex"));
+  pb.AddEdge(u, pb.AddNode("hex"));
+  pb.AddEdge(u, pb.AddNode("pent"));
+  fig.pattern = std::move(pb).BuildOrDie();
+  GraphBuilder db(fig.pattern.dict());
+  fig.v1 = db.AddNode("circle");
+  db.AddEdge(fig.v1, db.AddNode("hex"));
+  fig.v2 = db.AddNode("circle");
+  db.AddEdge(fig.v2, db.AddNode("hex"));
+  db.AddEdge(fig.v2, db.AddNode("pent"));
+  fig.v3 = db.AddNode("circle");
+  db.AddEdge(fig.v3, db.AddNode("hex"));
+  db.AddEdge(fig.v3, db.AddNode("hex"));
+  db.AddEdge(fig.v3, db.AddNode("pent"));
+  db.AddEdge(fig.v3, db.AddNode("square"));
+  fig.v4 = db.AddNode("circle");
+  db.AddEdge(fig.v4, db.AddNode("hex"));
+  db.AddEdge(fig.v4, db.AddNode("hex"));
+  db.AddEdge(fig.v4, db.AddNode("pent"));
+  fig.data = std::move(db).BuildOrDie();
+  return fig;
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader(
+      "Table 2: u vs v1..v4 on Figure 1 — exact result and FSim score\n"
+      "paper values in [brackets] (parameters unpublished; compare shape)");
+
+  Figure1 fig = MakeFigure1();
+  const SimVariant variants[] = {SimVariant::kSimple,
+                                 SimVariant::kDegreePreserving,
+                                 SimVariant::kBi, SimVariant::kBijective};
+  const char* row_names[] = {"s-simulation", "dp-simulation", "b-simulation",
+                             "bj-simulation"};
+  const double paper[4][4] = {{0.85, 1.00, 1.00, 1.00},
+                              {0.72, 0.85, 1.00, 1.00},
+                              {0.78, 1.00, 0.93, 1.00},
+                              {0.72, 0.81, 0.94, 1.00}};
+  const bool paper_exact[4][4] = {{false, true, true, true},
+                                  {false, false, true, true},
+                                  {false, true, false, true},
+                                  {false, false, false, true}};
+
+  TablePrinter table({"variant", "(u,v1)", "(u,v2)", "(u,v3)", "(u,v4)"});
+  const NodeId vs[4] = {fig.v1, fig.v2, fig.v3, fig.v4};
+  bool shape_ok = true;
+  for (int row = 0; row < 4; ++row) {
+    FSimConfig config;
+    config.variant = variants[row];
+    config.w_out = 0.4;
+    config.w_in = 0.4;
+    config.label_sim = LabelSimKind::kIndicator;
+    config.epsilon = 1e-6;
+    auto run = bench::RunFSim(fig.pattern, fig.data, config);
+    BinaryRelation exact =
+        MaxSimulation(fig.pattern, fig.data, variants[row]);
+    std::vector<std::string> cells = {row_names[row]};
+    for (int col = 0; col < 4; ++col) {
+      const bool is_exact = exact.Contains(fig.u, vs[col]);
+      const double score = run->scores.Score(fig.u, vs[col]);
+      char buf[96];
+      std::snprintf(buf, sizeof(buf), "%s (%.2f) [%s (%.2f)]",
+                    is_exact ? "ok" : "x", score,
+                    paper_exact[row][col] ? "ok" : "x", paper[row][col]);
+      cells.emplace_back(buf);
+      if (is_exact != paper_exact[row][col]) shape_ok = false;
+      if (is_exact && score != 1.0) shape_ok = false;
+      if (!is_exact && score >= 1.0) shape_ok = false;
+    }
+    table.AddRow(cells);
+  }
+  table.Print();
+  std::printf("\nexact ✓/✗ pattern matches the paper: %s\n",
+              shape_ok ? "YES" : "NO");
+
+  // Figure 3(b) strictness on the example: u ⇝bj v4 implies all others.
+  bool lattice_ok = true;
+  for (SimVariant v : variants) {
+    lattice_ok &= MaxSimulation(fig.pattern, fig.data, v)
+                      .Contains(fig.u, fig.v4);
+  }
+  std::printf("Figure 3(b) strictness (bj at v4 implies s, dp, b): %s\n",
+              lattice_ok ? "YES" : "NO");
+  return shape_ok && lattice_ok ? 0 : 1;
+}

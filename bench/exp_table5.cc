@@ -1,0 +1,133 @@
+// Table 5 — Pearson's correlation between FSimχ score maps computed with
+// the three initialization functions L_I (indicator), L_E (normalized edit
+// distance) and L_J (Jaro-Winkler), per variant, on the NELL analog.
+// Paper: all coefficients > 0.92 — FSimχ is insensitive to L(·).
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "common/table_printer.h"
+#include "eval/metrics.h"
+
+using namespace fsim;
+
+int main() {
+  bench::PrintHeader(
+      "Table 5: Pearson correlation across initialization functions (NELL "
+      "analog)\nmeasured [paper]");
+  Graph nell = MakeDatasetByName("nell");
+  std::printf("dataset: %zu nodes, %zu edges, %zu labels\n\n",
+              nell.NumNodes(), nell.NumEdges(), nell.NumDistinctLabels());
+
+  const SimVariant variants[] = {SimVariant::kSimple,
+                                 SimVariant::kDegreePreserving,
+                                 SimVariant::kBi, SimVariant::kBijective};
+  const double paper[3][4] = {
+      {0.990, 0.982, 0.979, 0.969},  // LI-LE
+      {0.967, 0.950, 0.937, 0.922},  // LI-LJ
+      {0.985, 0.977, 0.975, 0.962},  // LJ-LE
+  };
+
+  TablePrinter table({"pair", "FSim_s", "FSim_dp", "FSim_b", "FSim_bj"});
+  std::vector<std::vector<FSimScores>> runs(3);  // [L kind][variant]
+  const LabelSimKind kinds[] = {LabelSimKind::kIndicator,
+                                LabelSimKind::kEditDistance,
+                                LabelSimKind::kJaroWinkler};
+  for (int k = 0; k < 3; ++k) {
+    for (SimVariant v : variants) {
+      FSimConfig config = bench::PaperDefaults(v);
+      config.label_sim = kinds[k];
+      auto run = bench::RunFSim(nell, nell, config);
+      if (!run) {
+        std::fprintf(stderr, "unexpected skip\n");
+        return 1;
+      }
+      runs[k].push_back(std::move(run->scores));
+    }
+  }
+
+  // Correlation over the same-label pairs (the pairs every L(·) agrees on
+  // at initialization, so differences are purely structural — the paper's
+  // "robust to initialization" claim). The all-pairs correlation is printed
+  // as a second view: it additionally exposes the persistent label-term
+  // differences on cross-label pairs.
+  auto correlate_same_label = [&](const FSimScores& a, const FSimScores& b) {
+    std::vector<double> xs, ys;
+    const auto& keys = a.keys();
+    const auto& values = a.values();
+    for (size_t i = 0; i < keys.size(); ++i) {
+      const NodeId u = PairFirst(keys[i]);
+      const NodeId v = PairSecond(keys[i]);
+      if (nell.Label(u) != nell.Label(v)) continue;
+      xs.push_back(values[i]);
+      ys.push_back(b.Score(u, v));
+    }
+    return PearsonCorrelation(xs, ys);
+  };
+
+  const int pairs[3][2] = {{0, 1}, {0, 2}, {2, 1}};  // LI-LE, LI-LJ, LJ-LE
+  const char* pair_names[3] = {"LI-LE", "LI-LJ", "LJ-LE"};
+  for (int row = 0; row < 3; ++row) {
+    std::vector<std::string> cells = {pair_names[row]};
+    for (int v = 0; v < 4; ++v) {
+      const double r = correlate_same_label(runs[pairs[row][0]][v],
+                                            runs[pairs[row][1]][v]);
+      char buf[48];
+      std::snprintf(buf, sizeof(buf), "%.3f [%.3f]", r, paper[row][v]);
+      cells.emplace_back(buf);
+    }
+    table.AddRow(cells);
+  }
+  table.Print();
+
+  std::printf("\nsecond view — correlation over ALL maintained pairs "
+              "(cross-label pairs included):\n");
+  TablePrinter all_table({"pair", "FSim_s", "FSim_dp", "FSim_b", "FSim_bj"});
+  for (int row = 0; row < 3; ++row) {
+    std::vector<std::string> cells = {pair_names[row]};
+    for (int v = 0; v < 4; ++v) {
+      const double r = CorrelateCommonScores(runs[pairs[row][0]][v],
+                                             runs[pairs[row][1]][v]);
+      char buf[16];
+      std::snprintf(buf, sizeof(buf), "%.3f", r);
+      cells.emplace_back(buf);
+    }
+    all_table.AddRow(cells);
+  }
+  all_table.Print();
+
+  // Extension beyond the paper: Kendall's τ-b over the same-label pairs.
+  // The ranking case studies (Tables 7/8) rely on rank agreement, which
+  // Pearson only proxies; τ-b measures it directly.
+  std::printf("\nextension — Kendall's tau-b (rank agreement) over "
+              "same-label pairs:\n");
+  auto kendall_same_label = [&](const FSimScores& a, const FSimScores& b) {
+    std::vector<double> xs, ys;
+    const auto& keys = a.keys();
+    const auto& values = a.values();
+    for (size_t i = 0; i < keys.size(); ++i) {
+      const NodeId u = PairFirst(keys[i]);
+      const NodeId v = PairSecond(keys[i]);
+      if (nell.Label(u) != nell.Label(v)) continue;
+      xs.push_back(values[i]);
+      ys.push_back(b.Score(u, v));
+    }
+    return KendallTau(xs, ys);
+  };
+  TablePrinter tau_table({"pair", "FSim_s", "FSim_dp", "FSim_b", "FSim_bj"});
+  for (int row = 0; row < 3; ++row) {
+    std::vector<std::string> cells = {pair_names[row]};
+    for (int v = 0; v < 4; ++v) {
+      const double tau = kendall_same_label(runs[pairs[row][0]][v],
+                                            runs[pairs[row][1]][v]);
+      char buf[16];
+      std::snprintf(buf, sizeof(buf), "%.3f", tau);
+      cells.emplace_back(buf);
+    }
+    tau_table.AddRow(cells);
+  }
+  tau_table.Print();
+
+  std::printf("\nexpected shape: all coefficients high (paper: > 0.92) — "
+              "FSimχ is robust to the choice of L(.)\n");
+  return 0;
+}

@@ -1,0 +1,261 @@
+// Table 6 — average F1 (%) for approximate pattern matching on the Amazon
+// analog across four query scenarios (Exact / Noisy-E / Noisy-L / Combined),
+// comparing the baselines NAGA, G-Finder, TSpan-1/3 and strong simulation
+// against FSim_s / FSim_dp with seed-expansion match generation.
+// Also prints the §5.4 per-query timing note and a Figure 10-style example
+// match.
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/table_printer.h"
+#include "common/timer.h"
+#include "exact/strong_simulation.h"
+#include "pattern/gfinder.h"
+#include "pattern/gray.h"
+#include "pattern/match_types.h"
+#include "pattern/naga.h"
+#include "pattern/query_generator.h"
+#include "pattern/seed_expansion.h"
+#include "pattern/tspan.h"
+
+using namespace fsim;
+
+namespace {
+
+constexpr int kNumQueries = 20;
+constexpr double kNoise = 0.33;
+
+enum Scenario { kExact, kNoisyE, kNoisyL, kCombined, kNumScenarios };
+
+struct AlgoResult {
+  double f1_sum[kNumScenarios] = {0, 0, 0, 0};
+  int no_result[kNumScenarios] = {0, 0, 0, 0};
+  double seconds = 0.0;
+};
+
+Mapping FSimMatch(const Graph& query, const Graph& data, SimVariant variant) {
+  FSimConfig config;
+  config.variant = variant;
+  config.w_out = 0.4;
+  config.w_in = 0.4;
+  config.label_sim = LabelSimKind::kIndicator;
+  config.epsilon = 0.01;
+  auto scores = ComputeFSim(query, data, config);
+  if (!scores.ok()) return {};
+  // NAGA-style match generation: expand from the best seeds, keep the most
+  // internally consistent match.
+  return SeedExpansionMatchBest(query, data, *scores, /*num_seeds=*/5);
+}
+
+double StrongSimF1(const Graph& query, const Graph& data,
+                   const std::vector<NodeId>& truth, bool* no_result) {
+  StrongSimOptions opts;
+  opts.max_ball_size = 800;
+  auto matches = StrongSimulation(query, data, opts);  // exact criterion
+  if (matches.empty()) {
+    // No exact match (the usual situation under noise): fall back to the
+    // best partially-covering balls, Ma et al.'s criterion relaxed to 60%.
+    opts.min_coverage = 0.6;
+    opts.max_results = 12;
+    opts.max_centers = 300;
+    matches = StrongSimulation(query, data, opts);
+  }
+  if (matches.empty()) {
+    *no_result = true;
+    return 0.0;
+  }
+  // A ball match is set-valued; extract the functional match it induces
+  // (Ma et al.'s "maximum perfect subgraph") by consistency-driven
+  // expansion over the ball's per-query-node candidate sets, and score the
+  // best of the tightest balls.
+  double best = 0.0;
+  size_t considered = 0;
+  for (const auto& match : matches) {
+    if (++considered > 12) break;
+    std::vector<std::vector<char>> allowed(query.NumNodes(),
+                                           std::vector<char>(data.NumNodes(), 0));
+    for (NodeId q = 0; q < query.NumNodes(); ++q) {
+      for (NodeId v : match.query_matches[q]) allowed[q][v] = 1;
+    }
+    Mapping mapping = SeedExpansionMatchBest(
+        query, data,
+        [&](NodeId q, NodeId v) {
+          return allowed[q][v] ? 1.0 : 0.0;
+        },
+        /*num_seeds=*/3);
+    best = std::max(best, EvaluateMapping(mapping, truth).f1);
+  }
+  return best;
+}
+
+double TSpanF1(const Graph& query, const Graph& data,
+               const std::vector<NodeId>& truth, uint32_t max_missing,
+               bool* no_result) {
+  TSpanOptions opts;
+  opts.max_missing_edges = max_missing;
+  opts.step_budget = 4000000;
+  auto matches = TSpanMatchAll(query, data, opts, /*max_matches=*/20);
+  if (matches.empty()) {
+    *no_result = true;
+    return 0.0;
+  }
+  double best = 0.0;
+  for (const auto& m : matches) {
+    best = std::max(best, EvaluateMapping(m, truth).f1);
+  }
+  return best;
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader(
+      "Table 6: average F1 (%) of pattern matching per query scenario "
+      "(Amazon analog)\nmeasured [paper]; '-' = no results returned");
+  Graph data = MakeDatasetByName("amazon");
+  std::printf("data: %zu nodes, %zu edges; %d queries of size 3-10, noise "
+              "up to %.0f%%\n\n",
+              data.NumNodes(), data.NumEdges(), kNumQueries, kNoise * 100);
+
+  enum Algo { kNaga, kGFinder, kGRay, kTSpan1, kTSpan3, kStrong, kFSimS,
+              kFSimDp, kNumAlgos };
+  const char* algo_names[] = {"NAGA",  "G-Finder", "G-Ray*", "TSpan-1",
+                              "TSpan-3", "StrongSim", "FSim_s", "FSim_dp"};
+  // Paper's Table 6 rows (Exact, Noisy-E, Noisy-L, Combined), -1 = "-".
+  // G-Ray (marked *) is an extra baseline beyond the paper's table — the
+  // proximity-family representative its §6 cites — so it has no paper row.
+  const double paper[kNumAlgos][kNumScenarios] = {
+      {30.2, 30.5, 20.6, 21.2},   // NAGA
+      {100, 49.2, 40.7, 40.9},    // G-Finder
+      {-1, -1, -1, -1},           // G-Ray (extension)
+      {100, 71.0, -1, -1},        // TSpan-1
+      {100, 95.8, -1, -1},        // TSpan-3
+      {100, 50.0, 33.3, 29.2},    // strong simulation
+      {100, 84.0, 75.1, 76.6},    // FSim_s
+      {100, 65.7, 73.2, 66.7},    // FSim_dp
+  };
+
+  AlgoResult results[kNumAlgos];
+  Rng rng(0x7AB1E6);
+  for (int qi = 0; qi < kNumQueries; ++qi) {
+    const uint32_t size = static_cast<uint32_t>(3 + rng.NextBounded(8));
+    PatternQuery base = ExtractQuery(data, size, &rng);
+    // "noise up to 33%": per-query levels drawn from {0, 16.5%, 33%} — some
+    // queries stay clean, which is what lets exact methods keep partial
+    // scores in the paper's noisy columns.
+    const double level_e = static_cast<double>(rng.NextBounded(3)) * kNoise / 2.0;
+    const double level_l = static_cast<double>(rng.NextBounded(3)) * kNoise / 2.0;
+    PatternQuery noisy_e =
+        level_e > 0 ? AddStructuralNoise(base, level_e, &rng) : base;
+    PatternQuery noisy_l =
+        level_l > 0 ? AddLabelNoise(base, level_l, &rng) : base;
+    PatternQuery combined =
+        level_l > 0 ? AddLabelNoise(noisy_e, level_l, &rng) : noisy_e;
+    const PatternQuery* queries[kNumScenarios] = {&base, &noisy_e, &noisy_l,
+                                                  &combined};
+    for (int sc = 0; sc < kNumScenarios; ++sc) {
+      const PatternQuery& q = *queries[sc];
+      for (int algo = 0; algo < kNumAlgos; ++algo) {
+        Timer timer;
+        double f1 = 0.0;
+        bool none = false;
+        switch (algo) {
+          case kNaga:
+            f1 = EvaluateMapping(NagaMatch(q.query, data), q.ground_truth).f1;
+            break;
+          case kGFinder:
+            f1 = EvaluateMapping(GFinderMatch(q.query, data),
+                                 q.ground_truth).f1;
+            break;
+          case kGRay:
+            f1 = EvaluateMapping(GRayMatch(q.query, data),
+                                 q.ground_truth).f1;
+            break;
+          case kTSpan1:
+          case kTSpan3:
+            f1 = TSpanF1(q.query, data, q.ground_truth,
+                         algo == kTSpan1 ? 1 : 3, &none);
+            break;
+          case kStrong:
+            f1 = StrongSimF1(q.query, data, q.ground_truth, &none);
+            break;
+          case kFSimS:
+            f1 = EvaluateMapping(FSimMatch(q.query, data, SimVariant::kSimple),
+                                 q.ground_truth).f1;
+            break;
+          case kFSimDp:
+            f1 = EvaluateMapping(
+                     FSimMatch(q.query, data, SimVariant::kDegreePreserving),
+                     q.ground_truth).f1;
+            break;
+        }
+        results[algo].seconds += timer.Seconds();
+        results[algo].f1_sum[sc] += f1;
+        results[algo].no_result[sc] += none ? 1 : 0;
+      }
+    }
+  }
+
+  TablePrinter table({"algorithm", "Exact", "Noisy-E", "Noisy-L", "Combined",
+                      "avg s/query"});
+  for (int algo = 0; algo < kNumAlgos; ++algo) {
+    std::vector<std::string> cells = {algo_names[algo]};
+    for (int sc = 0; sc < kNumScenarios; ++sc) {
+      char buf[48];
+      if (results[algo].no_result[sc] == kNumQueries) {
+        std::snprintf(buf, sizeof(buf), "- [%s]",
+                      paper[algo][sc] < 0 ? "-" : "x");
+      } else if (paper[algo][sc] < 0) {
+        std::snprintf(buf, sizeof(buf), "%.1f [-]",
+                      100.0 * results[algo].f1_sum[sc] / kNumQueries);
+      } else {
+        std::snprintf(buf, sizeof(buf), "%.1f [%.1f]",
+                      100.0 * results[algo].f1_sum[sc] / kNumQueries,
+                      paper[algo][sc]);
+      }
+      cells.emplace_back(buf);
+    }
+    char tbuf[24];
+    std::snprintf(tbuf, sizeof(tbuf), "%.3f",
+                  results[algo].seconds / (kNumQueries * kNumScenarios));
+    cells.emplace_back(tbuf);
+    table.AddRow(cells);
+  }
+  table.Print();
+  std::printf(
+      "\nexpected shape (paper): everyone is perfect on Exact except NAGA; "
+      "TSpan-3 wins Noisy-E;\nTSpan has no results under label noise; FSim_s "
+      "degrades most gracefully overall and beats\nFSim_dp; strong "
+      "simulation collapses under noise. §5.4 timing note: FSim ~0.25s per "
+      "query\nvs 1.2s exact simulation and >70s TSpan on the full-size "
+      "data.\n");
+
+  // ---- Figure 10-style qualitative example. ----
+  bench::PrintHeader("Figure 10 (qualitative): a noisy query's top-1 match");
+  Rng demo_rng(0xF16);
+  PatternQuery q1 = ExtractQuery(data, 6, &demo_rng);
+  PatternQuery q2 = AddStructuralNoise(q1, kNoise, &demo_rng);
+  Mapping exact_map = FSimMatch(q1.query, data, SimVariant::kSimple);
+  Mapping noisy_map = FSimMatch(q2.query, data, SimVariant::kSimple);
+  std::printf("query Q1 (exact):  F1 = %.2f\n",
+              EvaluateMapping(exact_map, q1.ground_truth).f1);
+  std::printf("query Q2 (noisy):  F1 = %.2f  (strong simulation returns %s "
+              "result)\n",
+              EvaluateMapping(noisy_map, q2.ground_truth).f1,
+              [&] {
+                StrongSimOptions opts;
+                opts.max_results = 1;
+                opts.max_ball_size = 800;
+                return StrongSimulation(q2.query, data, opts).empty()
+                           ? "no"
+                           : "a";
+              }());
+  for (NodeId q = 0; q < q2.query.NumNodes(); ++q) {
+    std::printf("  Q2 node %u (%.*s) -> data %u%s\n", q,
+                static_cast<int>(q2.query.LabelName(q).size()),
+                q2.query.LabelName(q).data(), noisy_map[q],
+                noisy_map[q] == q2.ground_truth[q] ? " [correct]" : "");
+  }
+  return 0;
+}

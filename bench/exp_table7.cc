@@ -1,0 +1,128 @@
+// Table 7 — top-5 venues most similar to "WWW" on the DBIS analog, for
+// PCRW, PathSim, JoinSim, nSimGram, FSim_b and FSim_bj. The DBIS artifact
+// probed here: WWW also appears under the duplicate ids WWW1..WWW3, and a
+// good measure surfaces the duplicates. Paper: FSim_bj is the only
+// algorithm placing all three duplicates in its top-5.
+#include <algorithm>
+#include <cstdio>
+#include <functional>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/table_printer.h"
+#include "common/timer.h"
+#include "datasets/dbis.h"
+#include "measures/metapath.h"
+#include "measures/qgram.h"
+
+using namespace fsim;
+
+namespace {
+
+/// Ranks venues (excluding the subject itself at rank 0 — the paper keeps
+/// the subject as rank 1, so we do too) by a score callback, descending.
+std::vector<uint32_t> RankVenues(const DbisGraph& dbis, uint32_t subject,
+                                 const std::function<double(uint32_t)>& score) {
+  std::vector<uint32_t> order;
+  for (uint32_t v = 0; v < dbis.venues.size(); ++v) order.push_back(v);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](uint32_t a, uint32_t b) {
+                     const double sa = a == subject ? 1e30 : score(a);
+                     const double sb = b == subject ? 1e30 : score(b);
+                     return sa > sb;
+                   });
+  return order;
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader(
+      "Table 7: top-5 venues most similar to WWW per algorithm (DBIS "
+      "analog)");
+  DbisGraph dbis = MakeDbis();
+  std::printf("network: %zu venues, %zu papers, %zu authors; WWW duplicates: "
+              "WWW1..WWW%zu\n\n",
+              dbis.venues.size(), dbis.papers.size(), dbis.authors.size(),
+              dbis.flagship_dups.size());
+
+  Timer meta_timer;
+  MetaPathScores meta = ComputeMetaPathScores(dbis);
+  const double meta_seconds = meta_timer.Seconds();
+
+  Timer qgram_timer;
+  auto profiles = QGramProfiles(dbis.graph, 3);
+  const double qgram_seconds = qgram_timer.Seconds();
+
+  auto run_fsim = [&](SimVariant variant) {
+    FSimConfig config;
+    config.variant = variant;
+    config.w_out = 0.4;
+    config.w_in = 0.4;
+    config.label_sim = LabelSimKind::kIndicator;  // case-study setting
+    config.theta = 1.0;
+    config.epsilon = 0.01;
+    return bench::RunFSim(dbis.graph, dbis.graph, config);
+  };
+  auto fsim_b = run_fsim(SimVariant::kBi);
+  auto fsim_bj = run_fsim(SimVariant::kBijective);
+
+  const uint32_t www = dbis.flagship;
+  const NodeId www_node = dbis.venues[www];
+  struct AlgoRanking {
+    const char* name;
+    std::vector<uint32_t> order;
+  };
+  std::vector<AlgoRanking> rankings;
+  rankings.push_back({"PCRW", RankVenues(dbis, www, [&](uint32_t v) {
+                        return meta.pcrw.At(www, v);
+                      })});
+  rankings.push_back({"PathSim", RankVenues(dbis, www, [&](uint32_t v) {
+                        return meta.pathsim.At(www, v);
+                      })});
+  rankings.push_back({"JoinSim", RankVenues(dbis, www, [&](uint32_t v) {
+                        return meta.joinsim.At(www, v);
+                      })});
+  rankings.push_back({"nSimGram", RankVenues(dbis, www, [&](uint32_t v) {
+                        return QGramSimilarity(profiles[www_node],
+                                               profiles[dbis.venues[v]]);
+                      })});
+  rankings.push_back({"FSim_b", RankVenues(dbis, www, [&](uint32_t v) {
+                        return fsim_b->scores.Score(www_node, dbis.venues[v]);
+                      })});
+  rankings.push_back({"FSim_bj", RankVenues(dbis, www, [&](uint32_t v) {
+                        return fsim_bj->scores.Score(www_node,
+                                                     dbis.venues[v]);
+                      })});
+
+  TablePrinter table({"rank", "PCRW", "PathSim", "JoinSim", "nSimGram",
+                      "FSim_b", "FSim_bj"});
+  for (int rank = 0; rank < 5; ++rank) {
+    std::vector<std::string> cells = {std::to_string(rank + 1)};
+    for (const auto& algo : rankings) {
+      cells.push_back(dbis.venue_names[algo.order[rank]]);
+    }
+    table.AddRow(cells);
+  }
+  table.Print();
+
+  std::printf("\nduplicates (WWW1..WWW3) in each top-5: ");
+  for (const auto& algo : rankings) {
+    int dups = 0;
+    for (int rank = 0; rank < 5; ++rank) {
+      for (uint32_t dup : dbis.flagship_dups) {
+        if (algo.order[rank] == dup) ++dups;
+      }
+    }
+    std::printf("%s=%d ", algo.name, dups);
+  }
+  std::printf(
+      "\nexpected shape (paper Table 7): FSim_bj surfaces all three "
+      "duplicates; the 1-hop\nmeta-path measures find at most some of "
+      "them.\n");
+  std::printf(
+      "\n§5.4 timing: meta-path baselines %.2fs, q-gram profiles %.2fs, "
+      "FSim_b %.2fs, FSim_bj %.2fs\n",
+      meta_seconds, qgram_seconds, fsim_b->seconds, fsim_bj->seconds);
+  return 0;
+}

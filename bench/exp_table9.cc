@@ -1,0 +1,107 @@
+// Table 9 — F1 (%) of RDF-style graph alignment across evolving versions
+// (G1-G2 and G1-G3), comparing k-bisimulation (k = 2, 4), exact
+// bisimulation, Olap, GSANA, FINAL and EWS against FSim_b / FSim_bj argmax
+// alignment. Ground truth: node i of G1 is node i of G2/G3 (stable-URI
+// identity). Paper: FSim_b 97.6/96.9, FSim_bj 96.5/95.6, EWS 70.8/65.3,
+// FINAL 55.2/52.7, Olap ~38, 2-bisim 19.9/53.0, GSANA ~12-15, 4-bisim ~9-11,
+// exact bisimulation 0.
+#include <cstdio>
+#include <functional>
+
+#include "align/alignment.h"
+#include "align/ews_align.h"
+#include "align/final_align.h"
+#include "align/gsana_align.h"
+#include "align/version_generator.h"
+#include "bench/bench_util.h"
+#include "common/table_printer.h"
+#include "common/timer.h"
+
+using namespace fsim;
+
+namespace {
+
+Alignment FSimAlign(const Graph& g1, const Graph& g2, SimVariant variant) {
+  FSimConfig config;
+  config.variant = variant;
+  config.w_out = 0.4;
+  config.w_in = 0.4;
+  config.label_sim = LabelSimKind::kIndicator;  // case-study setting
+  config.theta = 1.0;
+  config.epsilon = 0.01;
+  auto run = fsim::bench::RunFSim(g1, g2, config);
+  return FSimAlignment(run->scores, g1.NumNodes());
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader(
+      "Table 9: alignment F1 (%) across graph versions, measured [paper]");
+  VersionOptions opts;
+  opts.base_nodes = 1500;
+  opts.base_edges = 3500;
+  // Real RDF versions churn (curation), they don't just grow: without churn
+  // every percolation/anchor baseline aligns near-perfectly and the paper's
+  // separations disappear.
+  opts.rewire_fraction = 0.08;
+  VersionedGraphs versions = MakeVersionedGraphs(opts);
+  std::printf("G1: %zu/%zu  G2: %zu/%zu  G3: %zu/%zu (nodes/edges)\n\n",
+              versions.base.NumNodes(), versions.base.NumEdges(),
+              versions.v2.NumNodes(), versions.v2.NumEdges(),
+              versions.v3.NumNodes(), versions.v3.NumEdges());
+
+  struct Algo {
+    const char* name;
+    double paper_g12;
+    double paper_g13;
+    std::function<Alignment(const Graph&, const Graph&)> run;
+  };
+  const std::vector<Algo> algos = {
+      {"2-bisim", 19.9, 53.0,
+       [](const Graph& a, const Graph& b) { return KBisimAlignment(a, b, 2); }},
+      {"4-bisim", 9.1, 10.9,
+       [](const Graph& a, const Graph& b) { return KBisimAlignment(a, b, 4); }},
+      {"bisim (exact)", 0.0, 0.0,
+       [](const Graph& a, const Graph& b) { return BisimAlignment(a, b); }},
+      {"Olap", 37.9, 37.6,
+       [](const Graph& a, const Graph& b) { return OlapAlignment(a, b); }},
+      {"GSANA", 11.8, 14.9,
+       [](const Graph& a, const Graph& b) { return GsanaAlignment(a, b); }},
+      {"FINAL", 55.2, 52.7,
+       [](const Graph& a, const Graph& b) { return FinalAlignment(a, b); }},
+      {"EWS", 70.8, 65.3,
+       [](const Graph& a, const Graph& b) { return EwsAlignment(a, b); }},
+      {"FSim_b", 97.6, 96.9,
+       [](const Graph& a, const Graph& b) {
+         return FSimAlign(a, b, SimVariant::kBi);
+       }},
+      {"FSim_bj", 96.5, 95.6,
+       [](const Graph& a, const Graph& b) {
+         return FSimAlign(a, b, SimVariant::kBijective);
+       }},
+  };
+
+  TablePrinter table({"algorithm", "G1-G2", "G1-G3", "time G1-G2"});
+  for (const auto& algo : algos) {
+    Timer timer;
+    const double f12 =
+        100.0 * AlignmentF1(algo.run(versions.base, versions.v2),
+                            versions.base.NumNodes());
+    const double t12 = timer.Seconds();
+    const double f13 =
+        100.0 * AlignmentF1(algo.run(versions.base, versions.v3),
+                            versions.base.NumNodes());
+    char c12[48], c13[48];
+    std::snprintf(c12, sizeof(c12), "%.1f [%.1f]", f12, algo.paper_g12);
+    std::snprintf(c13, sizeof(c13), "%.1f [%.1f]", f13, algo.paper_g13);
+    table.AddRow({algo.name, c12, c13, bench::FormatSeconds(t12)});
+  }
+  table.Print();
+  std::printf(
+      "\nexpected shape (paper): FSim_b and FSim_bj far ahead (>95); EWS "
+      "next; FINAL mid;\nOlap beats fixed-k bisimulation; exact bisimulation "
+      "collapses to ~0; FSim_b edges out\nFSim_bj, making it the better "
+      "alignment candidate (strength S2).\n");
+  return 0;
+}

@@ -1,0 +1,282 @@
+// fsim_cli — command-line front end to the library: load one or two graphs
+// (text format of graph_io.h or the binary format of binary_io.h,
+// auto-detected), compute fractional χ-simulation, and print scores, top-k
+// rows, certified global top-k pairs, exact-relation summaries or the
+// bisimulation partition; convert between formats with --save-binary.
+//
+// Usage:
+//   fsim_cli --g1 <file> [--g2 <file>] [--variant s|dp|b|bj]
+//            [--theta T] [--w-out W] [--w-in W] [--label-sim i|e|j]
+//            [--upper-bound] [--threads N]
+//            [--topk K --source NODE] [--topk-pairs K]
+//            [--exact] [--partition]
+//            [--out <scores-file>] [--save-binary <graph-file>]
+//
+// With no --g2 the graph is compared against itself. With no action flag
+// the tool prints run statistics and the 10 best non-trivial pairs.
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/fsim_engine.h"
+#include "core/scores_io.h"
+#include "core/topk_allpairs.h"
+#include "core/topk_search.h"
+#include "exact/exact_simulation.h"
+#include "exact/partition_refinement.h"
+#include "graph/binary_io.h"
+#include "graph/graph_io.h"
+#include "graph/graph_stats.h"
+
+using namespace fsim;
+
+namespace {
+
+int Usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s --g1 <file> [--g2 <file>] [--variant s|dp|b|bj]\n"
+      "          [--theta T] [--w-out W] [--w-in W] [--label-sim i|e|j]\n"
+      "          [--upper-bound] [--threads N]\n"
+      "          [--topk K --source NODE] [--topk-pairs K]\n"
+      "          [--exact] [--partition]\n"
+      "          [--out <scores-file>] [--save-binary <graph-file>]\n",
+      argv0);
+  return 2;
+}
+
+/// Loads a graph in either supported format: binary if the file starts with
+/// the binary magic, text otherwise.
+Result<Graph> LoadAnyGraph(const std::string& path,
+                           std::shared_ptr<LabelDict> dict) {
+  std::ifstream probe(path, std::ios::binary);
+  char magic[8] = {0};
+  probe.read(magic, sizeof(magic));
+  if (probe.gcount() == 8 && std::memcmp(magic, "FSIMGRF1", 8) == 0) {
+    return LoadGraphBinaryFromFile(path, std::move(dict));
+  }
+  return LoadGraphFromFile(path, std::move(dict));
+}
+
+bool ParseVariant(const char* s, SimVariant* out) {
+  if (std::strcmp(s, "s") == 0) *out = SimVariant::kSimple;
+  else if (std::strcmp(s, "dp") == 0) *out = SimVariant::kDegreePreserving;
+  else if (std::strcmp(s, "b") == 0) *out = SimVariant::kBi;
+  else if (std::strcmp(s, "bj") == 0) *out = SimVariant::kBijective;
+  else return false;
+  return true;
+}
+
+bool ParseLabelSim(const char* s, LabelSimKind* out) {
+  if (std::strcmp(s, "i") == 0) *out = LabelSimKind::kIndicator;
+  else if (std::strcmp(s, "e") == 0) *out = LabelSimKind::kEditDistance;
+  else if (std::strcmp(s, "j") == 0) *out = LabelSimKind::kJaroWinkler;
+  else return false;
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string g1_path, g2_path, out_path, save_binary_path;
+  FSimConfig config;
+  config.label_sim = LabelSimKind::kIndicator;
+  size_t topk = 0;
+  size_t topk_pairs = 0;
+  bool run_exact = false;
+  bool run_partition = false;
+  NodeId source = kInvalidNode;
+
+  for (int i = 1; i < argc; ++i) {
+    auto need_value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s requires a value\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--g1") == 0) {
+      g1_path = need_value("--g1");
+    } else if (std::strcmp(argv[i], "--g2") == 0) {
+      g2_path = need_value("--g2");
+    } else if (std::strcmp(argv[i], "--out") == 0) {
+      out_path = need_value("--out");
+    } else if (std::strcmp(argv[i], "--variant") == 0) {
+      if (!ParseVariant(need_value("--variant"), &config.variant)) {
+        return Usage(argv[0]);
+      }
+    } else if (std::strcmp(argv[i], "--label-sim") == 0) {
+      if (!ParseLabelSim(need_value("--label-sim"), &config.label_sim)) {
+        return Usage(argv[0]);
+      }
+    } else if (std::strcmp(argv[i], "--theta") == 0) {
+      config.theta = std::atof(need_value("--theta"));
+    } else if (std::strcmp(argv[i], "--w-out") == 0) {
+      config.w_out = std::atof(need_value("--w-out"));
+    } else if (std::strcmp(argv[i], "--w-in") == 0) {
+      config.w_in = std::atof(need_value("--w-in"));
+    } else if (std::strcmp(argv[i], "--threads") == 0) {
+      config.num_threads = std::atoi(need_value("--threads"));
+    } else if (std::strcmp(argv[i], "--upper-bound") == 0) {
+      config.upper_bound = true;
+    } else if (std::strcmp(argv[i], "--topk") == 0) {
+      topk = static_cast<size_t>(std::atoll(need_value("--topk")));
+    } else if (std::strcmp(argv[i], "--topk-pairs") == 0) {
+      topk_pairs = static_cast<size_t>(std::atoll(need_value("--topk-pairs")));
+    } else if (std::strcmp(argv[i], "--exact") == 0) {
+      run_exact = true;
+    } else if (std::strcmp(argv[i], "--partition") == 0) {
+      run_partition = true;
+    } else if (std::strcmp(argv[i], "--save-binary") == 0) {
+      save_binary_path = need_value("--save-binary");
+    } else if (std::strcmp(argv[i], "--source") == 0) {
+      source = static_cast<NodeId>(std::atoll(need_value("--source")));
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", argv[i]);
+      return Usage(argv[0]);
+    }
+  }
+  if (g1_path.empty()) return Usage(argv[0]);
+
+  auto g1 = LoadAnyGraph(g1_path, nullptr);
+  if (!g1.ok()) {
+    std::fprintf(stderr, "loading %s: %s\n", g1_path.c_str(),
+                 g1.status().ToString().c_str());
+    return 1;
+  }
+  Graph graph2;
+  const bool self = g2_path.empty();
+  if (!self) {
+    auto g2 = LoadAnyGraph(g2_path, g1->dict());
+    if (!g2.ok()) {
+      std::fprintf(stderr, "loading %s: %s\n", g2_path.c_str(),
+                   g2.status().ToString().c_str());
+      return 1;
+    }
+    graph2 = std::move(g2).ValueOrDie();
+  }
+  const Graph& graph1 = *g1;
+  const Graph& target = self ? graph1 : graph2;
+  std::printf("G1: %s\n", StatsToString(ComputeStats(graph1)).c_str());
+  std::printf("G2: %s\n", StatsToString(ComputeStats(target)).c_str());
+
+  if (!save_binary_path.empty()) {
+    Status st = SaveGraphBinaryToFile(graph1, save_binary_path);
+    if (!st.ok()) {
+      std::fprintf(stderr, "%s\n", st.ToString().c_str());
+      return 1;
+    }
+    std::printf("G1 written in binary format to %s\n",
+                save_binary_path.c_str());
+    return 0;
+  }
+
+  if (run_partition) {
+    Partition p = BisimulationPartition(graph1);
+    std::printf("bisimulation partition of G1: %zu classes over %zu nodes "
+                "(%zu splitters processed)\n",
+                p.num_blocks, graph1.NumNodes(), p.splitters_processed);
+    std::vector<size_t> sizes(p.num_blocks, 0);
+    for (uint32_t b : p.block_of) ++sizes[b];
+    std::sort(sizes.begin(), sizes.end(), std::greater<>());
+    std::printf("largest classes:");
+    for (size_t i = 0; i < std::min<size_t>(8, sizes.size()); ++i) {
+      std::printf(" %zu", sizes[i]);
+    }
+    std::printf("\n");
+    return 0;
+  }
+
+  if (run_exact) {
+    BinaryRelation rel = MaxSimulation(graph1, target, config.variant);
+    std::printf("exact %s-simulation: %zu of %zu pairs are in the maximum "
+                "relation\n",
+                SimVariantName(config.variant), rel.CountPairs(),
+                graph1.NumNodes() * target.NumNodes());
+    return 0;
+  }
+
+  if (topk_pairs > 0) {
+    TopKPairsOptions options;
+    options.k = topk_pairs;
+    options.exclude_diagonal = self;
+    auto result = ComputeTopKPairs(graph1, target, config, options);
+    if (!result.ok()) {
+      std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("global top-%zu pairs (certified=%s, radius=%.2g, "
+                "%u/%u iterations):\n",
+                topk_pairs, result->certified ? "yes" : "no", result->radius,
+                result->iterations, result->iteration_bound);
+    for (const auto& p : result->pairs) {
+      std::printf("  (%u, %u)  %.6f\n", p.u, p.v, p.score);
+    }
+    return 0;
+  }
+
+  if (topk > 0) {
+    if (source == kInvalidNode) {
+      std::fprintf(stderr, "--topk requires --source\n");
+      return 2;
+    }
+    auto result = TopKSearch(graph1, target, source, config, {0, topk});
+    if (!result.ok()) {
+      std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("top-%zu for node %u (depth %u, error bound %.2g, %zu pairs "
+                "computed):\n",
+                topk, source, result->depth, result->error_bound,
+                result->pairs_computed);
+    for (const auto& [v, score] : result->ranking) {
+      std::printf("  %u (%.*s)  %.6f\n", v,
+                  static_cast<int>(target.LabelName(v).size()),
+                  target.LabelName(v).data(), score);
+    }
+    return 0;
+  }
+
+  auto scores = ComputeFSim(graph1, target, config);
+  if (!scores.ok()) {
+    std::fprintf(stderr, "%s\n", scores.status().ToString().c_str());
+    return 1;
+  }
+  const auto& stats = scores->stats();
+  std::printf("pairs=%zu (pruned %zu)  iterations=%u  converged=%s  "
+              "time=%.2fs\n",
+              stats.maintained_pairs, stats.pruned_pairs, stats.iterations,
+              stats.converged ? "yes" : "no",
+              stats.build_seconds + stats.iterate_seconds);
+
+  if (!out_path.empty()) {
+    Status st = SaveScoresToFile(*scores, out_path);
+    if (!st.ok()) {
+      std::fprintf(stderr, "%s\n", st.ToString().c_str());
+      return 1;
+    }
+    std::printf("scores written to %s\n", out_path.c_str());
+    return 0;
+  }
+
+  // Default report: the 10 best off-diagonal pairs.
+  std::printf("top scoring pairs (u != v):\n");
+  std::vector<std::pair<double, uint64_t>> best;
+  const auto& keys = scores->keys();
+  const auto& values = scores->values();
+  for (size_t i = 0; i < keys.size(); ++i) {
+    if (self && PairFirst(keys[i]) == PairSecond(keys[i])) continue;
+    best.emplace_back(values[i], keys[i]);
+  }
+  std::partial_sort(best.begin(),
+                    best.begin() + std::min<size_t>(10, best.size()),
+                    best.end(), std::greater<>());
+  for (size_t i = 0; i < std::min<size_t>(10, best.size()); ++i) {
+    std::printf("  (%u, %u)  %.6f\n", PairFirst(best[i].second),
+                PairSecond(best[i].second), best[i].first);
+  }
+  return 0;
+}

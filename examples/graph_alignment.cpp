@@ -1,0 +1,45 @@
+// RDF-style graph alignment across versions (the Table 9 scenario): align
+// two snapshots of an evolving graph with fractional b-simulation and
+// compare against exact bisimulation, which collapses under growth.
+//
+//   ./build/examples/graph_alignment
+#include <cstdio>
+
+#include "align/alignment.h"
+#include "align/version_generator.h"
+#include "core/fsim_engine.h"
+
+using namespace fsim;
+
+int main() {
+  VersionOptions opts;
+  opts.base_nodes = 1500;
+  opts.base_edges = 3500;
+  VersionedGraphs versions = MakeVersionedGraphs(opts);
+  std::printf("G1: %zu nodes / %zu edges\nG2: %zu nodes / %zu edges\n\n",
+              versions.base.NumNodes(), versions.base.NumEdges(),
+              versions.v2.NumNodes(), versions.v2.NumEdges());
+
+  // Exact bisimulation alignment: version growth refines nearly every
+  // class, so almost nothing aligns (the paper reports 0% F1).
+  double bisim_f1 = AlignmentF1(BisimAlignment(versions.base, versions.v2),
+                                versions.base.NumNodes());
+  std::printf("exact bisimulation alignment F1: %.3f\n", bisim_f1);
+
+  // Fractional b-simulation alignment: align each node to its argmax.
+  FSimConfig config;
+  config.variant = SimVariant::kBi;
+  config.theta = 1.0;
+  config.epsilon = 1e-3;
+  auto scores = ComputeFSim(versions.base, versions.v2, config);
+  if (!scores.ok()) {
+    std::fprintf(stderr, "error: %s\n", scores.status().ToString().c_str());
+    return 1;
+  }
+  Alignment alignment = FSimAlignment(*scores, versions.base.NumNodes());
+  std::printf("FSim_b alignment F1:             %.3f\n",
+              AlignmentF1(alignment, versions.base.NumNodes()));
+  std::printf("\n(ground truth: node i of G1 is node i of G2 — the stable-"
+              "URI identity of the paper's RDF versions)\n");
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Approximate subgraph pattern matching on a co-purchase-style graph (the
+// Table 6 scenario): extract a hidden query, distort it with noise, and
+// compare exact strong simulation against FSim-seeded match expansion.
+//
+//   ./build/examples/pattern_matching
+#include <cstdio>
+
+#include "core/fsim_engine.h"
+#include "datasets/dataset_registry.h"
+#include "exact/strong_simulation.h"
+#include "pattern/match_types.h"
+#include "pattern/query_generator.h"
+#include "pattern/seed_expansion.h"
+
+using namespace fsim;
+
+int main() {
+  Graph data = MakeDatasetByName("amazon");
+  std::printf("data graph: %zu nodes, %zu edges (amazon analog)\n",
+              data.NumNodes(), data.NumEdges());
+
+  Rng rng(2024);
+  PatternQuery clean = ExtractQuery(data, 8, &rng);
+  PatternQuery noisy = AddStructuralNoise(clean, 0.3, &rng);
+  std::printf("query: %zu nodes, %zu edges (+%zu noise edges)\n\n",
+              noisy.query.NumNodes(), noisy.query.NumEdges(),
+              noisy.query.NumEdges() - clean.query.NumEdges());
+
+  // Exact strong simulation on the noisy query: the inserted edges usually
+  // destroy every exact match.
+  StrongSimOptions ss_opts;
+  ss_opts.max_results = 1;
+  ss_opts.max_ball_size = 2000;
+  auto strong = StrongSimulation(noisy.query, data, ss_opts);
+  std::printf("strong simulation matches on the noisy query: %zu\n",
+              strong.size());
+
+  // FSim_s + seed expansion still finds the planted region.
+  FSimConfig config;
+  config.variant = SimVariant::kSimple;
+  config.epsilon = 1e-4;
+  auto scores = ComputeFSim(noisy.query, data, config);
+  if (!scores.ok()) {
+    std::fprintf(stderr, "error: %s\n", scores.status().ToString().c_str());
+    return 1;
+  }
+  Mapping mapping = SeedExpansionMatch(noisy.query, data, *scores);
+  MatchEval eval = EvaluateMapping(mapping, noisy.ground_truth);
+  std::printf("FSim_s seed-expansion match: P=%.2f R=%.2f F1=%.2f\n\n",
+              eval.precision, eval.recall, eval.f1);
+
+  std::printf("query node -> matched data node (truth)\n");
+  for (NodeId q = 0; q < noisy.query.NumNodes(); ++q) {
+    std::printf("  %u (%.*s) -> %u (truth %u)%s\n", q,
+                static_cast<int>(noisy.query.LabelName(q).size()),
+                noisy.query.LabelName(q).data(), mapping[q],
+                noisy.ground_truth[q],
+                mapping[q] == noisy.ground_truth[q] ? "  [correct]" : "");
+  }
+  return 0;
+}

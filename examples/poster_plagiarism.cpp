@@ -1,0 +1,72 @@
+// The paper's motivating example (Figure 2): detecting suspected poster
+// plagiarism by the *degree* of approximate simulation between design-
+// element graphs. Exact simulation answers "no" for every candidate; the
+// fractional score exposes that P1 is nearly identical to the query poster.
+//
+//   ./build/examples/poster_plagiarism
+#include <cstdio>
+#include <vector>
+
+#include "core/fsim_engine.h"
+#include "exact/exact_simulation.h"
+#include "graph/graph_builder.h"
+
+using namespace fsim;
+
+namespace {
+
+/// Adds a poster node whose out-neighbors are its design elements.
+NodeId AddPoster(GraphBuilder* b, const char* name,
+                 const std::vector<const char*>& elements) {
+  NodeId poster = b->AddNode(name);
+  for (const char* element : elements) {
+    b->AddEdge(poster, b->AddNode(element));
+  }
+  return poster;
+}
+
+}  // namespace
+
+int main() {
+  // Query poster P (Figure 2c): person image (embedded), comic font, etc.
+  GraphBuilder qb;
+  NodeId p = AddPoster(&qb, "poster", {"person-embed", "comic", "arial",
+                                       "brown", "purple", "black", "italic"});
+  Graph query = std::move(qb).BuildOrDie();
+
+  // Database of existing posters (Figure 2d). P1 differs from P only in the
+  // font and font style — the suspected plagiarism case.
+  GraphBuilder db(query.dict());
+  NodeId p1 = AddPoster(&db, "poster", {"person-embed", "times", "arial",
+                                        "brown", "purple", "black"});
+  NodeId p2 = AddPoster(&db, "poster",
+                        {"person-noembed", "bradley", "blue", "yellow"});
+  NodeId p3 = AddPoster(&db, "poster", {"person-noembed", "times", "white",
+                                        "black", "yellow"});
+  Graph posters = std::move(db).BuildOrDie();
+
+  // Exact simulation: all candidates are rejected outright.
+  BinaryRelation exact = MaxSimulation(query, posters, SimVariant::kSimple);
+  std::printf("exact s-simulation:   P1=%s P2=%s P3=%s\n",
+              exact.Contains(p, p1) ? "yes" : "no",
+              exact.Contains(p, p2) ? "yes" : "no",
+              exact.Contains(p, p3) ? "yes" : "no");
+
+  // Fractional simulation quantifies how close each candidate comes. With
+  // the Jaro-Winkler label function, near-identical element names (fonts,
+  // colors) still contribute.
+  FSimConfig config;
+  config.variant = SimVariant::kSimple;
+  config.label_sim = LabelSimKind::kJaroWinkler;
+  auto scores = ComputeFSim(query, posters, config);
+  if (!scores.ok()) {
+    std::fprintf(stderr, "error: %s\n", scores.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("fractional FSim_s:    P1=%.3f P2=%.3f P3=%.3f\n",
+              scores->Score(p, p1), scores->Score(p, p2),
+              scores->Score(p, p3));
+  std::printf("\nP1 scores far above the others -> flagged for plagiarism "
+              "review,\nexactly the case the yes/no semantics lost.\n");
+  return 0;
+}

@@ -1,0 +1,100 @@
+// Streaming similarity monitoring: keep fractional χ-simulation scores live
+// while a co-purchase graph evolves, without recomputing from scratch —
+// the incremental-maintenance extension (core/incremental.h) applied to the
+// paper's Amazon-style recommendation scenario (§5.4: an edge u -> v means
+// "people who buy u are likely to buy v next").
+//
+// The monitor maintains FSim_bj between the live catalog graph and a frozen
+// reference snapshot. After every burst of edits it reports how much repair
+// work the maintenance did and which products drifted furthest from their
+// reference roles.
+//
+//   ./build/examples/streaming_similarity
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "common/random.h"
+#include "core/incremental.h"
+#include "graph/generators.h"
+
+using namespace fsim;
+
+namespace {
+
+// A small product catalog: labels are product categories, edges are
+// frequently-bought-next links.
+Graph MakeCatalog(uint64_t seed) {
+  LabelingOptions labels;
+  labels.num_labels = 6;  // six categories
+  labels.skew = 0.6;
+  return ErdosRenyi(/*n=*/120, /*m=*/420, labels, seed);
+}
+
+}  // namespace
+
+int main() {
+  Graph catalog = MakeCatalog(0xCAFE);
+
+  FSimConfig config;
+  config.variant = SimVariant::kBijective;  // symmetric: a role-drift measure
+  config.theta = 1.0;                       // same-category mapping only
+  config.epsilon = 1e-5;
+
+  IncrementalOptions options;
+  options.propagation_tolerance = 1e-7;
+
+  // Live catalog (graph 1) vs frozen reference snapshot (graph 2).
+  auto monitor = IncrementalFSim::Create(catalog, catalog, config, options);
+  if (!monitor.ok()) {
+    std::fprintf(stderr, "setup failed: %s\n",
+                 monitor.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("monitoring %zu products, %zu co-purchase links, %zu candidate "
+              "pairs\n\n",
+              catalog.NumNodes(), catalog.NumEdges(), monitor->NumPairs());
+
+  Rng rng(0xBEEF);
+  for (int burst = 1; burst <= 5; ++burst) {
+    // A burst of catalog churn: links appear and disappear.
+    size_t applied = 0;
+    size_t recomputed = 0;
+    for (int e = 0; e < 8; ++e) {
+      NodeId a = static_cast<NodeId>(rng.NextBounded(catalog.NumNodes()));
+      NodeId b = static_cast<NodeId>(rng.NextBounded(catalog.NumNodes()));
+      if (a == b) continue;
+      Status status = monitor->g1().HasEdge(a, b)
+                          ? monitor->RemoveEdge(1, a, b)
+                          : monitor->InsertEdge(1, a, b);
+      if (!status.ok()) continue;
+      ++applied;
+      recomputed += monitor->last_edit_stats().recomputed;
+    }
+
+    // Which products drifted furthest from their reference role?
+    std::vector<std::pair<double, NodeId>> drift;
+    for (NodeId p = 0; p < monitor->g1().NumNodes(); ++p) {
+      drift.emplace_back(1.0 - monitor->Score(p, p), p);
+    }
+    std::sort(drift.begin(), drift.end(), std::greater<>());
+
+    std::printf("burst %d: %zu edits applied, %zu pair recomputations\n",
+                burst, applied, recomputed);
+    std::printf("  top drifted products (1 - FSim_bj(live, reference)):\n");
+    for (int i = 0; i < 3; ++i) {
+      std::printf("    product %3u (category %s): drift %.4f\n",
+                  drift[i].second,
+                  std::string(monitor->g1().LabelName(drift[i].second))
+                      .c_str(),
+                  drift[i].first);
+    }
+  }
+
+  std::printf("\nA from-scratch solve would revisit all %zu candidate pairs "
+              "every iteration after every burst; the monitor repaired only "
+              "the affected neighborhood cones.\n",
+              monitor->NumPairs());
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Node similarity on a heterogeneous bibliographic network (the Table 7
+// scenario): which venues are most similar to the flagship venue "WWW"?
+// Fractional bijective simulation surfaces the duplicate venue ids
+// (WWW1..WWW3) that 1-hop measures miss.
+//
+//   ./build/examples/venue_similarity
+#include <cstdio>
+
+#include "core/fsim_engine.h"
+#include "datasets/dbis.h"
+
+using namespace fsim;
+
+int main() {
+  DbisOptions opts;
+  opts.num_authors = 600;
+  opts.num_papers = 500;
+  DbisGraph dbis = MakeDbis(opts);
+  std::printf("DBIS analog: %zu venues, %zu papers, %zu authors\n\n",
+              dbis.venues.size(), dbis.papers.size(), dbis.authors.size());
+
+  FSimConfig config;
+  config.variant = SimVariant::kBijective;
+  config.theta = 1.0;  // same-label mapping (venue<->venue, author<->author)
+  config.epsilon = 1e-3;
+  auto scores = ComputeFSim(dbis.graph, dbis.graph, config);
+  if (!scores.ok()) {
+    std::fprintf(stderr, "error: %s\n", scores.status().ToString().c_str());
+    return 1;
+  }
+
+  const NodeId www = dbis.venues[dbis.flagship];
+  std::printf("top-5 venues most similar to WWW under FSim_bj:\n");
+  int rank = 1;
+  for (const auto& [node, score] : scores->TopK(www, 6)) {
+    const NodeId vidx = dbis.venue_index_of_node[node];
+    if (vidx == kInvalidNode) continue;  // papers/authors filtered by label
+    std::printf("  %d. %-6s score=%.3f (area %u, tier %u)\n", rank++,
+                dbis.venue_names[vidx].c_str(), score, dbis.venue_area[vidx],
+                dbis.venue_tier[vidx]);
+    if (rank > 5) break;
+  }
+  std::printf("\nWWW1..WWW3 are duplicate ids of WWW in the database — a "
+              "good measure ranks them at the top.\n");
+  return 0;
+}

@@ -1,0 +1,102 @@
+#include "align/alignment.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/logging.h"
+#include "exact/signatures.h"
+
+namespace fsim {
+
+double AlignmentF1(const Alignment& alignment, size_t num_g1_nodes) {
+  FSIM_CHECK(alignment.aligned.size() >= num_g1_nodes);
+  double sum = 0.0;
+  for (NodeId u = 0; u < num_g1_nodes; ++u) {
+    const auto& au = alignment.aligned[u];
+    const bool hit = std::find(au.begin(), au.end(), u) != au.end();
+    if (!hit || au.empty()) continue;
+    const double pu = 1.0 / static_cast<double>(au.size());
+    const double ru = 1.0;
+    sum += 2.0 * pu * ru / (pu + ru);
+  }
+  return sum / static_cast<double>(num_g1_nodes);
+}
+
+Alignment FSimAlignment(const FSimScores& scores, size_t num_g1_nodes,
+                        double tie_epsilon) {
+  Alignment out;
+  out.aligned.resize(num_g1_nodes);
+  for (NodeId u = 0; u < num_g1_nodes; ++u) {
+    auto row = scores.Row(u);
+    double best = 0.0;
+    for (const auto& [v, s] : row) best = std::max(best, s);
+    if (best <= 0.0) continue;
+    for (const auto& [v, s] : row) {
+      if (s >= best - tie_epsilon) out.aligned[u].push_back(v);
+    }
+  }
+  return out;
+}
+
+namespace {
+
+Alignment AlignBySignatures(const std::vector<uint64_t>& sig1,
+                            const std::vector<uint64_t>& sig2) {
+  std::unordered_map<uint64_t, std::vector<NodeId>> groups2;
+  for (NodeId v = 0; v < sig2.size(); ++v) groups2[sig2[v]].push_back(v);
+  Alignment out;
+  out.aligned.resize(sig1.size());
+  for (NodeId u = 0; u < sig1.size(); ++u) {
+    auto it = groups2.find(sig1[u]);
+    if (it != groups2.end()) out.aligned[u] = it->second;
+  }
+  return out;
+}
+
+}  // namespace
+
+Alignment KBisimAlignment(const Graph& g1, const Graph& g2, uint32_t k) {
+  FSIM_CHECK(g1.dict() == g2.dict());
+  auto sig1 = KBisimulationSignatures(g1, k);
+  auto sig2 = KBisimulationSignatures(g2, k);
+  return AlignBySignatures(sig1, sig2);
+}
+
+Alignment BisimAlignment(const Graph& g1, const Graph& g2) {
+  auto [sig1, sig2] = BisimulationClasses(g1, g2, /*use_in_neighbors=*/true);
+  return AlignBySignatures(sig1, sig2);
+}
+
+Alignment OlapAlignment(const Graph& g1, const Graph& g2, uint32_t max_depth) {
+  FSIM_CHECK(g1.dict() == g2.dict());
+  // Signatures per depth (out-neighbor refinement, like Olap's forward
+  // bisimulation on RDF).
+  std::vector<std::vector<uint64_t>> sigs1;
+  std::vector<std::vector<uint64_t>> sigs2;
+  for (uint32_t k = 0; k <= max_depth; ++k) {
+    sigs1.push_back(KBisimulationSignatures(g1, k));
+    sigs2.push_back(KBisimulationSignatures(g2, k));
+  }
+  std::vector<std::unordered_map<uint64_t, std::vector<NodeId>>> groups2(
+      max_depth + 1);
+  for (uint32_t k = 0; k <= max_depth; ++k) {
+    for (NodeId v = 0; v < g2.NumNodes(); ++v) {
+      groups2[k][sigs2[k][v]].push_back(v);
+    }
+  }
+  Alignment out;
+  out.aligned.resize(g1.NumNodes());
+  for (NodeId u = 0; u < g1.NumNodes(); ++u) {
+    // Deepest level at which u's block still has counterparts.
+    for (uint32_t k = max_depth + 1; k-- > 0;) {
+      auto it = groups2[k].find(sigs1[k][u]);
+      if (it != groups2[k].end()) {
+        out.aligned[u] = it->second;
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace fsim

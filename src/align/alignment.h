@@ -1,0 +1,47 @@
+// Graph alignment core: the set-valued alignment type, the paper's F1
+// (§5.4: Pu = 1/|Au| and Ru = 1 when Au contains the ground truth, else 0),
+// and the simulation-family aligners — FSimχ argmax alignment,
+// k-bisimulation alignment [10] and the Olap-style bisimulation-partition
+// alignment [7].
+#ifndef FSIM_ALIGN_ALIGNMENT_H_
+#define FSIM_ALIGN_ALIGNMENT_H_
+
+#include <vector>
+
+#include "core/fsim_scores.h"
+#include "graph/graph.h"
+
+namespace fsim {
+
+/// aligned[u] = the candidate set Au ⊆ V2 for node u of G1 (possibly empty).
+struct Alignment {
+  std::vector<std::vector<NodeId>> aligned;
+};
+
+/// The paper's alignment F1 with identity ground truth (node u of G1 is node
+/// u of G2): F1 = Σ_u 2 Pu Ru / (|V1| (Pu + Ru)), with Pu = 1/|Au|, Ru = 1
+/// when u ∈ Au and Pu = Ru = 0 otherwise.
+double AlignmentF1(const Alignment& alignment, size_t num_g1_nodes);
+
+/// FSim alignment: Au = argmax_v FSimχ(u, v) (all v within `tie_epsilon` of
+/// the row maximum).
+Alignment FSimAlignment(const FSimScores& scores, size_t num_g1_nodes,
+                        double tie_epsilon = 1e-9);
+
+/// k-bisimulation alignment: Au = {v : sig_k(u) = sig_k(v)}.
+Alignment KBisimAlignment(const Graph& g1, const Graph& g2, uint32_t k);
+
+/// Full-bisimulation alignment (partition refinement until stable,
+/// out+in neighbors): the "exact bisimulation" row — collapses to (near) 0%
+/// F1 across versions because the grown graph refines almost every class.
+Alignment BisimAlignment(const Graph& g1, const Graph& g2);
+
+/// Olap-style alignment [7]: refine to the *deepest* level at which the
+/// node's block still has counterparts in the other graph, and align with
+/// that block (adaptive-depth bisimulation matching).
+Alignment OlapAlignment(const Graph& g1, const Graph& g2,
+                        uint32_t max_depth = 8);
+
+}  // namespace fsim
+
+#endif  // FSIM_ALIGN_ALIGNMENT_H_

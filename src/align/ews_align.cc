@@ -1,0 +1,119 @@
+#include "align/ews_align.h"
+
+#include <algorithm>
+#include <queue>
+#include <unordered_map>
+
+#include "common/hash.h"
+#include "common/logging.h"
+
+namespace fsim {
+
+namespace {
+
+/// Top nodes by (degree, id) per label, used for the degree-rank seeds.
+std::vector<NodeId> TopByDegree(const Graph& g, size_t count) {
+  std::vector<NodeId> nodes(g.NumNodes());
+  for (NodeId u = 0; u < g.NumNodes(); ++u) nodes[u] = u;
+  std::sort(nodes.begin(), nodes.end(), [&](NodeId a, NodeId b) {
+    const size_t da = g.OutDegree(a) + g.InDegree(a);
+    const size_t db = g.OutDegree(b) + g.InDegree(b);
+    if (da != db) return da > db;
+    return a < b;
+  });
+  if (nodes.size() > count) nodes.resize(count);
+  return nodes;
+}
+
+}  // namespace
+
+Alignment EwsAlignment(const Graph& g1, const Graph& g2,
+                       const EwsOptions& opts) {
+  FSIM_CHECK(g1.dict() == g2.dict());
+  const size_t n1 = g1.NumNodes();
+  const size_t n2 = g2.NumNodes();
+
+  std::vector<NodeId> match1(n1, kInvalidNode);  // u -> v
+  std::vector<char> used2(n2, 0);
+  std::unordered_map<uint64_t, uint32_t> marks;
+
+  // Lazy-deletion max-heap of (marks, pair).
+  using HeapEntry = std::pair<uint32_t, uint64_t>;
+  std::priority_queue<HeapEntry> heap;
+
+  auto spread = [&](NodeId u, NodeId v) {
+    auto spread_dir = [&](std::span<const NodeId> s1,
+                          std::span<const NodeId> s2) {
+      if (s1.size() * s2.size() > opts.max_spread) return;
+      for (NodeId un : s1) {
+        if (match1[un] != kInvalidNode) continue;
+        for (NodeId vn : s2) {
+          if (used2[vn] || g1.Label(un) != g2.Label(vn)) continue;
+          const uint64_t key = PairKey(un, vn);
+          const uint32_t m = ++marks[key];
+          heap.emplace(m, key);
+        }
+      }
+    };
+    spread_dir(g1.OutNeighbors(u), g2.OutNeighbors(v));
+    spread_dir(g1.InNeighbors(u), g2.InNeighbors(v));
+  };
+
+  auto do_match = [&](NodeId u, NodeId v) {
+    match1[u] = v;
+    used2[v] = 1;
+    spread(u, v);
+  };
+
+  // Seeds: degree-rank pairing within equal labels among the global top
+  // degree nodes (the structural stand-in for known-correct seed pairs).
+  auto top1 = TopByDegree(g1, opts.num_seeds * 4);
+  auto top2 = TopByDegree(g2, opts.num_seeds * 4);
+  uint32_t seeded = 0;
+  std::vector<char> taken2(top2.size(), 0);
+  for (NodeId u : top1) {
+    if (seeded >= opts.num_seeds) break;
+    for (size_t j = 0; j < top2.size(); ++j) {
+      if (taken2[j] || g1.Label(u) != g2.Label(top2[j])) continue;
+      taken2[j] = 1;
+      do_match(u, top2[j]);
+      ++seeded;
+      break;
+    }
+  }
+
+  // Percolate: match the highest-marked valid pair; when nothing reaches
+  // the threshold, fall back to 1-mark pairs ("expand when stuck").
+  uint32_t threshold = opts.mark_threshold;
+  while (!heap.empty()) {
+    auto [m, key] = heap.top();
+    heap.pop();
+    auto it = marks.find(key);
+    if (it == marks.end() || it->second != m) continue;  // stale entry
+    const NodeId u = PairFirst(key);
+    const NodeId v = PairSecond(key);
+    if (match1[u] != kInvalidNode || used2[v]) {
+      marks.erase(it);
+      continue;
+    }
+    if (m < threshold) {
+      // Stuck at this threshold: expand by accepting single-mark pairs.
+      if (threshold > 1) {
+        threshold = 1;
+        heap.emplace(m, key);
+        continue;
+      }
+    }
+    marks.erase(it);
+    do_match(u, v);
+  }
+
+  Alignment out;
+  out.aligned.resize(n1);
+  for (NodeId u = 0; u < n1; ++u) {
+    if (match1[u] != kInvalidNode) out.aligned[u].assign(1, match1[u]);
+  }
+  return out;
+}
+
+}  // namespace fsim

@@ -1,0 +1,30 @@
+// EWS ("ExpandWhenStuck") percolation graph matching [47]: start from a
+// small set of high-confidence seed pairs, spread "marks" from every matched
+// pair to its neighbor pairs, greedily match the pair with the most marks,
+// and when stuck expand the candidate set with 1-mark pairs.
+#ifndef FSIM_ALIGN_EWS_ALIGN_H_
+#define FSIM_ALIGN_EWS_ALIGN_H_
+
+#include "align/alignment.h"
+#include "graph/graph.h"
+
+namespace fsim {
+
+struct EwsOptions {
+  /// Number of degree-rank seed pairs (the published algorithm assumes a
+  /// handful of known-correct seeds; degree-rank matching within a label is
+  /// the side-information-free analog).
+  uint32_t num_seeds = 24;
+  /// Minimum marks to match when not stuck.
+  uint32_t mark_threshold = 2;
+  /// Skip spreading from pairs whose degree product exceeds this (hub
+  /// protection).
+  size_t max_spread = 50000;
+};
+
+Alignment EwsAlignment(const Graph& g1, const Graph& g2,
+                       const EwsOptions& opts = {});
+
+}  // namespace fsim
+
+#endif  // FSIM_ALIGN_EWS_ALIGN_H_

@@ -1,0 +1,25 @@
+// FINAL-style attributed network alignment [46]: the node-pair similarity
+// vector s solves s = α · D^{-1/2}(A1 ⊗ A2)D^{-1/2} s + (1-α) h, where h is
+// the attribute (label) agreement prior. We iterate the fixpoint over the
+// same-label candidate pairs (sparse Kronecker rows, undirected neighbors)
+// and align each node to its argmax row entries.
+#ifndef FSIM_ALIGN_FINAL_ALIGN_H_
+#define FSIM_ALIGN_FINAL_ALIGN_H_
+
+#include "align/alignment.h"
+#include "graph/graph.h"
+
+namespace fsim {
+
+struct FinalOptions {
+  double alpha = 0.82;      // the paper's recommended decay
+  uint32_t iterations = 10;
+  uint64_t pair_limit = 50'000'000;
+};
+
+Alignment FinalAlignment(const Graph& g1, const Graph& g2,
+                         const FinalOptions& opts = {});
+
+}  // namespace fsim
+
+#endif  // FSIM_ALIGN_FINAL_ALIGN_H_

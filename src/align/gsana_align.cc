@@ -1,0 +1,85 @@
+#include "align/gsana_align.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "common/logging.h"
+#include "graph/traversal.h"
+
+namespace fsim {
+
+Alignment GsanaAlignment(const Graph& g1, const Graph& g2,
+                         const GsanaOptions& opts) {
+  FSIM_CHECK(g1.dict() == g2.dict());
+  const size_t n1 = g1.NumNodes();
+  const size_t n2 = g2.NumNodes();
+  Alignment out;
+  out.aligned.resize(n1);
+  if (n1 == 0 || n2 == 0) return out;
+
+  // Anchors: degree-rank pairing of same-label top-degree nodes.
+  auto degree_order = [](const Graph& g) {
+    std::vector<NodeId> nodes(g.NumNodes());
+    for (NodeId u = 0; u < g.NumNodes(); ++u) nodes[u] = u;
+    std::sort(nodes.begin(), nodes.end(), [&](NodeId a, NodeId b) {
+      const size_t da = g.OutDegree(a) + g.InDegree(a);
+      const size_t db = g.OutDegree(b) + g.InDegree(b);
+      if (da != db) return da > db;
+      return a < b;
+    });
+    return nodes;
+  };
+  auto order1 = degree_order(g1);
+  auto order2 = degree_order(g2);
+  std::vector<std::pair<NodeId, NodeId>> anchors;
+  std::vector<char> taken(n2, 0);
+  for (NodeId u : order1) {
+    if (anchors.size() >= opts.num_anchors) break;
+    for (NodeId v : order2) {
+      if (taken[v] || g1.Label(u) != g2.Label(v)) continue;
+      anchors.emplace_back(u, v);
+      taken[v] = 1;
+      break;
+    }
+  }
+  if (anchors.empty()) return out;
+
+  // Placement vectors: BFS distance to each anchor (undirected).
+  std::vector<std::vector<uint32_t>> dist1, dist2;
+  for (const auto& [a1, a2] : anchors) {
+    dist1.push_back(BfsDistances(g1, a1, /*undirected=*/true));
+    dist2.push_back(BfsDistances(g2, a2, /*undirected=*/true));
+  }
+  auto placement_distance = [&](NodeId u, NodeId v) {
+    int64_t total = 0;
+    for (size_t a = 0; a < anchors.size(); ++a) {
+      int64_t du = dist1[a][u] == kUnreachable ? opts.unreachable_distance
+                                               : dist1[a][u];
+      int64_t dv = dist2[a][v] == kUnreachable ? opts.unreachable_distance
+                                               : dist2[a][v];
+      total += std::abs(du - dv);
+    }
+    return total;
+  };
+
+  // Align each node to the same-label nodes with the closest placement.
+  std::vector<std::vector<NodeId>> by_label(g1.dict()->size());
+  for (NodeId v = 0; v < n2; ++v) by_label[g2.Label(v)].push_back(v);
+  for (NodeId u = 0; u < n1; ++u) {
+    const auto& cands = by_label[g1.Label(u)];
+    int64_t best = INT64_MAX;
+    for (NodeId v : cands) {
+      const int64_t d = placement_distance(u, v);
+      if (d < best) {
+        best = d;
+        out.aligned[u].clear();
+        out.aligned[u].push_back(v);
+      } else if (d == best) {
+        out.aligned[u].push_back(v);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace fsim

@@ -1,0 +1,23 @@
+// GSANA-style global-structure-assisted alignment [45]: pick anchor pairs,
+// place every node by its vector of BFS distances to the anchors, and align
+// nodes (label-constrained) whose placements are closest.
+#ifndef FSIM_ALIGN_GSANA_ALIGN_H_
+#define FSIM_ALIGN_GSANA_ALIGN_H_
+
+#include "align/alignment.h"
+#include "graph/graph.h"
+
+namespace fsim {
+
+struct GsanaOptions {
+  uint32_t num_anchors = 8;
+  /// Distance assigned to unreachable nodes in the placement vectors.
+  uint32_t unreachable_distance = 64;
+};
+
+Alignment GsanaAlignment(const Graph& g1, const Graph& g2,
+                         const GsanaOptions& opts = {});
+
+}  // namespace fsim
+
+#endif  // FSIM_ALIGN_GSANA_ALIGN_H_

@@ -1,0 +1,109 @@
+#include "align/version_generator.h"
+
+#include <unordered_set>
+
+#include "common/hash.h"
+#include "common/random.h"
+#include "graph/generators.h"
+#include "graph/graph_builder.h"
+
+namespace fsim {
+
+Graph GrowGraph(const Graph& g, uint32_t new_nodes, uint64_t new_edges,
+                uint64_t seed, uint64_t removed_edges) {
+  Rng rng(seed);
+  GraphBuilder builder(g.dict());
+  const size_t n0 = g.NumNodes();
+  builder.ReserveNodes(n0 + new_nodes);
+  for (NodeId u = 0; u < n0; ++u) builder.AddNodeWithLabelId(g.Label(u));
+
+  // Keep all but a uniform sample of `removed_edges` existing edges.
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  edges.reserve(g.NumEdges());
+  for (NodeId u = 0; u < n0; ++u) {
+    for (NodeId v : g.OutNeighbors(u)) edges.emplace_back(u, v);
+  }
+  rng.Shuffle(&edges);
+  if (removed_edges < edges.size()) {
+    edges.resize(edges.size() - removed_edges);
+  }
+  std::unordered_set<uint64_t> present;
+  present.reserve(edges.size() * 2 + new_edges * 2);
+  for (const auto& [u, v] : edges) {
+    builder.AddEdge(u, v);
+    present.insert(PairKey(u, v));
+  }
+
+  // New nodes reuse the base label distribution (sample an existing node's
+  // label), mimicking schema-stable RDF growth.
+  for (uint32_t i = 0; i < new_nodes; ++i) {
+    NodeId proto = static_cast<NodeId>(rng.NextBounded(n0));
+    builder.AddNodeWithLabelId(g.Label(proto));
+  }
+  const size_t n1 = n0 + new_nodes;
+
+  // Preferential targets: endpoints of existing edges land on hubs more
+  // often, preserving the heavy-tailed in-degree shape as the graph grows.
+  std::vector<NodeId> target_pool;
+  target_pool.reserve(g.NumEdges() + n0);
+  for (NodeId u = 0; u < n0; ++u) {
+    target_pool.push_back(u);
+    for (NodeId v : g.OutNeighbors(u)) target_pool.push_back(v);
+  }
+
+  uint64_t added = 0;
+  uint64_t attempts = 0;
+  while (added < new_edges && attempts < 64 * (new_edges + 1)) {
+    ++attempts;
+    NodeId u, v;
+    const double r = rng.NextDouble();
+    if (r < 0.4 && new_nodes > 0) {
+      // new -> old (hub-preferring)
+      u = static_cast<NodeId>(n0 + rng.NextBounded(new_nodes));
+      v = target_pool[rng.NextBounded(target_pool.size())];
+    } else if (r < 0.6 && new_nodes > 0) {
+      // old -> new
+      u = static_cast<NodeId>(rng.NextBounded(n0));
+      v = static_cast<NodeId>(n0 + rng.NextBounded(new_nodes));
+    } else {
+      // old -> old fill-in
+      u = static_cast<NodeId>(rng.NextBounded(n1));
+      v = target_pool[rng.NextBounded(target_pool.size())];
+    }
+    if (u == v) continue;
+    if (present.insert(PairKey(u, v)).second) {
+      builder.AddEdge(u, v);
+      ++added;
+    }
+  }
+  return std::move(builder).BuildOrDie();
+}
+
+VersionedGraphs MakeVersionedGraphs(const VersionOptions& opts) {
+  VersionedGraphs out;
+  PowerLawOptions gen;
+  gen.n = opts.base_nodes;
+  gen.avg_degree = static_cast<double>(opts.base_edges) /
+                   static_cast<double>(opts.base_nodes);
+  gen.max_out_degree = 60;
+  gen.max_in_degree = 300;
+  gen.exponent = 2.1;
+  LabelingOptions labels;
+  labels.num_labels = opts.labels;
+  labels.skew = 0.7;
+  out.base = PowerLawGraph(gen, labels, opts.seed);
+
+  const uint32_t step_nodes = static_cast<uint32_t>(
+      opts.node_growth * static_cast<double>(opts.base_nodes));
+  const uint64_t step_edges = static_cast<uint64_t>(
+      opts.edge_growth * static_cast<double>(out.base.NumEdges()));
+  const uint64_t step_removed = static_cast<uint64_t>(
+      opts.rewire_fraction * static_cast<double>(out.base.NumEdges()));
+  out.v2 = GrowGraph(out.base, step_nodes, step_edges + step_removed,
+                     opts.seed ^ 0x22, step_removed);
+  out.v3 = GrowGraph(out.v2, step_nodes, step_edges + step_removed,
+                     opts.seed ^ 0x33, step_removed);
+  return out;
+}
+
+}  // namespace fsim

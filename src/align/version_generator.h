@@ -1,0 +1,45 @@
+// Evolving graph versions for the RDF-alignment case study (Table 9). The
+// paper aligns three snapshots of a biological RDF graph whose URIs are
+// stable over time; we substitute generated versions that grow from a common
+// base — node ids are preserved, so the identity map is the alignment ground
+// truth (exactly the role the stable URIs played).
+#ifndef FSIM_ALIGN_VERSION_GENERATOR_H_
+#define FSIM_ALIGN_VERSION_GENERATOR_H_
+
+#include <cstdint>
+
+#include "graph/graph.h"
+
+namespace fsim {
+
+struct VersionOptions {
+  uint32_t base_nodes = 3000;
+  uint64_t base_edges = 7000;
+  uint32_t labels = 8;        // the GP graphs have 8 node labels
+  double node_growth = 0.05;  // per version step
+  double edge_growth = 0.06;
+  /// Fraction of existing edges replaced per step (curation churn in the
+  /// real RDF versions, not only growth). 0 = pure growth.
+  double rewire_fraction = 0.0;
+  uint64_t seed = 0x6E0;
+};
+
+/// Three versions; node i of `base` is node i of v2 and v3.
+struct VersionedGraphs {
+  Graph base;  // G1
+  Graph v2;    // G2 = G1 grown one step
+  Graph v3;    // G3 = G2 grown one step
+};
+
+VersionedGraphs MakeVersionedGraphs(const VersionOptions& opts = {});
+
+/// Grows `g` by adding `new_nodes` nodes and `new_edges` edges (new->old
+/// attachments preferring high-degree targets, plus old->old fill-in), and
+/// removes `removed_edges` uniformly chosen existing edges. Existing node
+/// ids are preserved; the dictionary is shared.
+Graph GrowGraph(const Graph& g, uint32_t new_nodes, uint64_t new_edges,
+                uint64_t seed, uint64_t removed_edges = 0);
+
+}  // namespace fsim
+
+#endif  // FSIM_ALIGN_VERSION_GENERATOR_H_

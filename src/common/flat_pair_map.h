@@ -1,0 +1,106 @@
+// FlatPairMap: open-addressing hash map from a packed 64-bit node-pair key to
+// a 32-bit payload (typically an index into a dense score array). This is the
+// hot-path structure behind the candidate-pair stores (Algorithm 1's hash
+// maps Hc/Hp), so it avoids std::unordered_map's per-node allocations.
+#ifndef FSIM_COMMON_FLAT_PAIR_MAP_H_
+#define FSIM_COMMON_FLAT_PAIR_MAP_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/hash.h"
+#include "common/logging.h"
+
+namespace fsim {
+
+/// Linear-probing hash map keyed by uint64 with uint32 values.
+///
+/// Restrictions (fine for our usage):
+///  * the key 0xFFFFFFFFFFFFFFFF is reserved as the empty marker;
+///  * no deletion support;
+///  * values are trivially copyable 32-bit payloads.
+class FlatPairMap {
+ public:
+  static constexpr uint64_t kEmptyKey = ~0ULL;
+  static constexpr uint32_t kNotFound = ~0U;
+
+  FlatPairMap() { Rehash(16); }
+
+  /// Pre-sizes the table for `n` expected entries.
+  explicit FlatPairMap(size_t n) {
+    size_t cap = 16;
+    while (cap * 7 < n * 10) cap <<= 1;  // keep load factor <= 0.7
+    Rehash(cap);
+  }
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// Inserts key->value; returns false (keeping the old value) if the key was
+  /// already present.
+  bool Insert(uint64_t key, uint32_t value) {
+    FSIM_DCHECK(key != kEmptyKey);
+    if ((size_ + 1) * 10 > capacity_ * 7) Grow();
+    size_t slot = FindSlot(key);
+    if (keys_[slot] != kEmptyKey) return false;
+    keys_[slot] = key;
+    values_[slot] = value;
+    ++size_;
+    return true;
+  }
+
+  /// Returns the value for key, or kNotFound.
+  uint32_t Find(uint64_t key) const {
+    size_t slot = FindSlot(key);
+    return keys_[slot] == kEmptyKey ? kNotFound : values_[slot];
+  }
+
+  bool Contains(uint64_t key) const { return Find(key) != kNotFound; }
+
+  void Clear() {
+    std::fill(keys_.begin(), keys_.end(), kEmptyKey);
+    size_ = 0;
+  }
+
+  /// Memory footprint in bytes (for the #node-pairs reporting of Fig. 7b).
+  size_t MemoryBytes() const {
+    return keys_.size() * (sizeof(uint64_t) + sizeof(uint32_t));
+  }
+
+ private:
+  size_t FindSlot(uint64_t key) const {
+    size_t mask = capacity_ - 1;
+    size_t slot = static_cast<size_t>(Mix64(key)) & mask;
+    while (keys_[slot] != kEmptyKey && keys_[slot] != key) {
+      slot = (slot + 1) & mask;
+    }
+    return slot;
+  }
+
+  void Grow() { RehashInto(capacity_ * 2); }
+
+  void Rehash(size_t cap) {
+    capacity_ = cap;
+    keys_.assign(cap, kEmptyKey);
+    values_.assign(cap, 0);
+    size_ = 0;
+  }
+
+  void RehashInto(size_t cap) {
+    std::vector<uint64_t> old_keys = std::move(keys_);
+    std::vector<uint32_t> old_values = std::move(values_);
+    Rehash(cap);
+    for (size_t i = 0; i < old_keys.size(); ++i) {
+      if (old_keys[i] != kEmptyKey) Insert(old_keys[i], old_values[i]);
+    }
+  }
+
+  size_t capacity_ = 0;
+  size_t size_ = 0;
+  std::vector<uint64_t> keys_;
+  std::vector<uint32_t> values_;
+};
+
+}  // namespace fsim
+
+#endif  // FSIM_COMMON_FLAT_PAIR_MAP_H_

@@ -1,0 +1,72 @@
+// Minimal logging and invariant-checking macros (glog-flavoured, as used by
+// Arrow/RocksDB internals). CHECK aborts on violated invariants; DCHECK
+// compiles away in release builds. LOG(level) writes a line to stderr.
+#ifndef FSIM_COMMON_LOGGING_H_
+#define FSIM_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace fsim {
+namespace internal {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kFatal = 4 };
+
+/// Accumulates a message via operator<< and emits it (to stderr) on
+/// destruction. A kFatal message aborts the process after emission.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Minimum level actually emitted; defaults to kInfo. Returns previous value.
+LogLevel SetLogThreshold(LogLevel level);
+LogLevel GetLogThreshold();
+
+}  // namespace internal
+}  // namespace fsim
+
+#define FSIM_LOG_DEBUG \
+  ::fsim::internal::LogMessage(::fsim::internal::LogLevel::kDebug, __FILE__, __LINE__)
+#define FSIM_LOG_INFO \
+  ::fsim::internal::LogMessage(::fsim::internal::LogLevel::kInfo, __FILE__, __LINE__)
+#define FSIM_LOG_WARNING \
+  ::fsim::internal::LogMessage(::fsim::internal::LogLevel::kWarning, __FILE__, __LINE__)
+#define FSIM_LOG_ERROR \
+  ::fsim::internal::LogMessage(::fsim::internal::LogLevel::kError, __FILE__, __LINE__)
+
+/// Aborts the process with a diagnostic if `condition` is false.
+#define FSIM_CHECK(condition)                                                  \
+  if (!(condition))                                                            \
+  ::fsim::internal::LogMessage(::fsim::internal::LogLevel::kFatal, __FILE__,   \
+                               __LINE__)                                       \
+      << "Check failed: " #condition " "
+
+#define FSIM_CHECK_EQ(a, b) FSIM_CHECK((a) == (b))
+#define FSIM_CHECK_NE(a, b) FSIM_CHECK((a) != (b))
+#define FSIM_CHECK_LT(a, b) FSIM_CHECK((a) < (b))
+#define FSIM_CHECK_LE(a, b) FSIM_CHECK((a) <= (b))
+#define FSIM_CHECK_GT(a, b) FSIM_CHECK((a) > (b))
+#define FSIM_CHECK_GE(a, b) FSIM_CHECK((a) >= (b))
+
+#ifdef NDEBUG
+#define FSIM_DCHECK(condition) \
+  while (false) FSIM_CHECK(condition)
+#else
+#define FSIM_DCHECK(condition) FSIM_CHECK(condition)
+#endif
+#define FSIM_DCHECK_LT(a, b) FSIM_DCHECK((a) < (b))
+#define FSIM_DCHECK_LE(a, b) FSIM_DCHECK((a) <= (b))
+
+#endif  // FSIM_COMMON_LOGGING_H_

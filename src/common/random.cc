@@ -1,0 +1,124 @@
+#include "common/random.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace fsim {
+
+namespace {
+inline uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+inline uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+}  // namespace
+
+void Rng::Seed(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : state_) s = SplitMix64(&sm);
+}
+
+uint64_t Rng::Next() {
+  // xoshiro256**
+  const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+  const uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+uint64_t Rng::NextBounded(uint64_t bound) {
+  FSIM_DCHECK(bound > 0);
+  // Lemire's nearly-divisionless method.
+  uint64_t x = Next();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  uint64_t l = static_cast<uint64_t>(m);
+  if (l < bound) {
+    uint64_t t = -bound % bound;
+    while (l < t) {
+      x = Next();
+      m = static_cast<__uint128_t>(x) * bound;
+      l = static_cast<uint64_t>(m);
+    }
+  }
+  return static_cast<uint64_t>(m >> 64);
+}
+
+int64_t Rng::NextInt(int64_t lo, int64_t hi) {
+  FSIM_DCHECK(lo <= hi);
+  return lo + static_cast<int64_t>(
+                  NextBounded(static_cast<uint64_t>(hi - lo) + 1));
+}
+
+double Rng::NextDouble() {
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::NextGaussian() {
+  double u1 = NextDouble();
+  double u2 = NextDouble();
+  if (u1 < 1e-300) u1 = 1e-300;
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+}
+
+ZipfSampler::ZipfSampler(size_t n, double skew) {
+  FSIM_CHECK(n >= 1);
+  cdf_.resize(n);
+  double sum = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    sum += std::pow(static_cast<double>(i + 1), -skew);
+    cdf_[i] = sum;
+  }
+  for (auto& c : cdf_) c /= sum;
+}
+
+size_t ZipfSampler::Sample(Rng* rng) const {
+  double r = rng->NextDouble();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), r);
+  if (it == cdf_.end()) return cdf_.size() - 1;
+  return static_cast<size_t>(it - cdf_.begin());
+}
+
+std::vector<uint32_t> PowerLawDegreeSequence(size_t n, double avg,
+                                             uint32_t max_degree,
+                                             double exponent, Rng* rng) {
+  FSIM_CHECK(n >= 1);
+  FSIM_CHECK(max_degree >= 1);
+  // Draw from a discrete power law on [1, max_degree] by inverse transform
+  // on the continuous Pareto, then rescale to hit the requested average.
+  std::vector<double> raw(n);
+  double sum = 0.0;
+  const double a = 1.0 - exponent;  // exponent > 1 expected
+  for (size_t i = 0; i < n; ++i) {
+    double u = rng->NextDouble();
+    // Inverse CDF of truncated Pareto on [1, max_degree].
+    double x;
+    if (std::abs(a) < 1e-9) {
+      x = std::pow(static_cast<double>(max_degree), u);
+    } else {
+      double ma = std::pow(static_cast<double>(max_degree), a);
+      x = std::pow(u * (ma - 1.0) + 1.0, 1.0 / a);
+    }
+    raw[i] = x;
+    sum += x;
+  }
+  const double scale = (avg * static_cast<double>(n)) / sum;
+  std::vector<uint32_t> degrees(n);
+  for (size_t i = 0; i < n; ++i) {
+    double d = raw[i] * scale;
+    uint32_t di = static_cast<uint32_t>(std::lround(d));
+    degrees[i] = std::min(max_degree, std::max<uint32_t>(1, di));
+  }
+  return degrees;
+}
+
+}  // namespace fsim

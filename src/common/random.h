@@ -1,0 +1,87 @@
+// Deterministic pseudo-random number generation and the skewed samplers used
+// by the synthetic dataset generators. All experiment code seeds explicitly
+// so every run of every bench is reproducible.
+#ifndef FSIM_COMMON_RANDOM_H_
+#define FSIM_COMMON_RANDOM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace fsim {
+
+/// xoshiro256**-based generator seeded via SplitMix64. Satisfies
+/// UniformRandomBitGenerator, so it also plugs into <random> facilities.
+class Rng {
+ public:
+  using result_type = uint64_t;
+
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL) { Seed(seed); }
+
+  /// Re-seeds the generator deterministically from a single 64-bit value.
+  void Seed(uint64_t seed);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+  result_type operator()() { return Next(); }
+
+  /// Next raw 64-bit value.
+  uint64_t Next();
+
+  /// Uniform integer in [0, bound). `bound` must be > 0. Uses Lemire's
+  /// multiply-shift rejection method to avoid modulo bias.
+  uint64_t NextBounded(uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t NextInt(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// True with probability p.
+  bool NextBernoulli(double p) { return NextDouble() < p; }
+
+  /// Standard normal via Box-Muller.
+  double NextGaussian();
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    for (size_t i = v->size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(NextBounded(i));
+      std::swap((*v)[i - 1], (*v)[j]);
+    }
+  }
+
+ private:
+  uint64_t state_[4];
+};
+
+/// Samples from {0, ..., n-1} with probability proportional to
+/// (i+1)^(-skew), i.e. a Zipf/zeta distribution. Precomputes the CDF once;
+/// each draw is a binary search. Used for label assignment and degree
+/// sequences in the synthetic datasets (real graph labels/degrees are
+/// heavy-tailed).
+class ZipfSampler {
+ public:
+  /// `n` must be >= 1; `skew` >= 0 (0 = uniform).
+  ZipfSampler(size_t n, double skew);
+
+  size_t Sample(Rng* rng) const;
+  size_t size() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+/// Generates a degree sequence of length n with average degree `avg` whose
+/// tail follows a power law capped at `max_degree`. The sequence is scaled so
+/// the sum is (approximately) n*avg. Used by the Chung-Lu generator.
+std::vector<uint32_t> PowerLawDegreeSequence(size_t n, double avg,
+                                             uint32_t max_degree,
+                                             double exponent, Rng* rng);
+
+}  // namespace fsim
+
+#endif  // FSIM_COMMON_RANDOM_H_

@@ -1,0 +1,73 @@
+// Result<T>: value-or-Status, in the style of arrow::Result. Fallible
+// functions that produce a value return Result<T>; callers test ok() and
+// either consume ValueOrDie()/operator* or propagate status().
+#ifndef FSIM_COMMON_RESULT_H_
+#define FSIM_COMMON_RESULT_H_
+
+#include <optional>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/status.h"
+
+namespace fsim {
+
+/// Holds either a successfully produced T or the Status explaining why the
+/// value could not be produced. A Result is never "empty": constructing one
+/// from an OK status is a programming error.
+template <typename T>
+class Result {
+ public:
+  /// Constructs from a value (implicitly, so `return value;` works).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Constructs from a non-OK status (implicitly, so error propagation via
+  /// `return Status::...` works).
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    FSIM_CHECK(!status_.ok()) << "Result constructed from OK status";
+  }
+
+  bool ok() const { return value_.has_value(); }
+
+  /// The error status; Status::OK() if a value is present.
+  const Status& status() const { return status_; }
+
+  /// Returns the value, aborting the process if this Result holds an error.
+  const T& ValueOrDie() const& {
+    FSIM_CHECK(ok()) << "Result::ValueOrDie on error: " << status_.ToString();
+    return *value_;
+  }
+  T& ValueOrDie() & {
+    FSIM_CHECK(ok()) << "Result::ValueOrDie on error: " << status_.ToString();
+    return *value_;
+  }
+  T&& ValueOrDie() && {
+    FSIM_CHECK(ok()) << "Result::ValueOrDie on error: " << status_.ToString();
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  T&& operator*() && { return std::move(*this).ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+}  // namespace fsim
+
+/// Assigns the value of a Result expression to `lhs`, or returns its status
+/// from the enclosing function.
+#define FSIM_ASSIGN_OR_RETURN(lhs, rexpr)          \
+  auto FSIM_CONCAT_(_res_, __LINE__) = (rexpr);    \
+  if (!FSIM_CONCAT_(_res_, __LINE__).ok())         \
+    return FSIM_CONCAT_(_res_, __LINE__).status(); \
+  lhs = std::move(FSIM_CONCAT_(_res_, __LINE__)).ValueOrDie()
+
+#define FSIM_CONCAT_INNER_(a, b) a##b
+#define FSIM_CONCAT_(a, b) FSIM_CONCAT_INNER_(a, b)
+
+#endif  // FSIM_COMMON_RESULT_H_

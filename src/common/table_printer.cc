@@ -1,0 +1,54 @@
+#include "common/table_printer.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace fsim {
+
+TablePrinter::TablePrinter(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> row) {
+  rows_.push_back(std::move(row));
+}
+
+std::string TablePrinter::ToString() const {
+  size_t cols = header_.size();
+  for (const auto& r : rows_) cols = std::max(cols, r.size());
+  std::vector<size_t> width(cols, 0);
+  auto measure = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  };
+  measure(header_);
+  for (const auto& r : rows_) measure(r);
+
+  auto render_row = [&](const std::vector<std::string>& row, std::string* out) {
+    for (size_t c = 0; c < cols; ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string();
+      out->append(cell);
+      if (c + 1 < cols) {
+        out->append(width[c] - cell.size(), ' ');
+        out->append("  ");
+      }
+    }
+    out->push_back('\n');
+  };
+
+  std::string out;
+  render_row(header_, &out);
+  size_t total = 0;
+  for (size_t c = 0; c < cols; ++c) total += width[c] + (c + 1 < cols ? 2 : 0);
+  out.append(total, '-');
+  out.push_back('\n');
+  for (const auto& r : rows_) render_row(r, &out);
+  return out;
+}
+
+void TablePrinter::Print() const {
+  std::fputs(ToString().c_str(), stdout);
+  std::fflush(stdout);
+}
+
+}  // namespace fsim

@@ -1,0 +1,37 @@
+// TablePrinter renders the experiment outputs as aligned console tables so
+// each bench binary prints the same rows the paper's tables/figures report.
+#ifndef FSIM_COMMON_TABLE_PRINTER_H_
+#define FSIM_COMMON_TABLE_PRINTER_H_
+
+#include <string>
+#include <vector>
+
+namespace fsim {
+
+/// Collects rows of string cells and prints them with column alignment and a
+/// header separator:
+///
+///   TablePrinter t({"variant", "(u,v1)", "(u,v2)"});
+///   t.AddRow({"s-simulation", "x (0.85)", "ok (1.00)"});
+///   t.Print();
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  /// Adds a data row; missing trailing cells render as empty.
+  void AddRow(std::vector<std::string> row);
+
+  /// Renders the table to a string.
+  std::string ToString() const;
+
+  /// Prints to stdout.
+  void Print() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace fsim
+
+#endif  // FSIM_COMMON_TABLE_PRINTER_H_

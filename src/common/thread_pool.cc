@@ -1,0 +1,77 @@
+#include "common/thread_pool.h"
+
+#include "common/logging.h"
+
+namespace fsim {
+
+ThreadPool::ThreadPool(int num_threads) : num_threads_(num_threads) {
+  FSIM_CHECK(num_threads >= 1);
+  // Worker 0 is the calling thread; spawn the remaining num_threads-1.
+  workers_.reserve(static_cast<size_t>(num_threads - 1));
+  for (int t = 1; t < num_threads; ++t) {
+    workers_.emplace_back([this, t] { WorkerLoop(t); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::ParallelFor(size_t n,
+                             const std::function<void(size_t)>& body) {
+  if (n == 0) return;
+  if (num_threads_ == 1 || n == 1) {
+    for (size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    task_.n = n;
+    task_.body = &body;
+    ++epoch_;
+    task_.epoch = epoch_;
+    pending_workers_ = num_threads_ - 1;
+  }
+  work_cv_.notify_all();
+
+  // The caller acts as worker 0.
+  for (size_t i = 0; i < n; i += static_cast<size_t>(num_threads_)) {
+    body(i);
+  }
+
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [this] { return pending_workers_ == 0; });
+}
+
+void ThreadPool::WorkerLoop(int worker_id) {
+  uint64_t seen_epoch = 0;
+  for (;;) {
+    const std::function<void(size_t)>* body = nullptr;
+    size_t n = 0;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this, seen_epoch] {
+        return shutdown_ || task_.epoch > seen_epoch;
+      });
+      if (shutdown_) return;
+      seen_epoch = task_.epoch;
+      body = task_.body;
+      n = task_.n;
+    }
+    for (size_t i = static_cast<size_t>(worker_id); i < n;
+         i += static_cast<size_t>(num_threads_)) {
+      (*body)(i);
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--pending_workers_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+}  // namespace fsim

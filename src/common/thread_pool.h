@@ -1,0 +1,59 @@
+// Fixed-size thread pool with a blocking ParallelFor, used to parallelize the
+// per-pair updates of Algorithm 1 (round-robin distribution, as in §3.4 of
+// the paper). Double buffering in the engine makes the body race-free.
+#ifndef FSIM_COMMON_THREAD_POOL_H_
+#define FSIM_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace fsim {
+
+/// A pool of worker threads executing partitioned index ranges.
+///
+/// ParallelFor(n, body) calls body(i) for every i in [0, n) exactly once and
+/// returns when all calls have completed. With num_threads == 1 the body runs
+/// inline on the caller, which keeps single-thread benchmarks honest.
+class ThreadPool {
+ public:
+  /// Creates `num_threads` workers (>= 1).
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return num_threads_; }
+
+  /// Runs body(i) for i in [0, n). Work is distributed round-robin: worker t
+  /// handles indices i with i % num_threads == t, matching the paper's
+  /// load-balancing description.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& body);
+
+ private:
+  struct Task {
+    size_t n = 0;
+    const std::function<void(size_t)>* body = nullptr;
+    uint64_t epoch = 0;
+  };
+
+  void WorkerLoop(int worker_id);
+
+  int num_threads_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  Task task_;
+  int pending_workers_ = 0;
+  uint64_t epoch_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace fsim
+
+#endif  // FSIM_COMMON_THREAD_POOL_H_

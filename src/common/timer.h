@@ -1,0 +1,31 @@
+// Simple wall-clock timer for the benchmarks and experiment harnesses.
+#ifndef FSIM_COMMON_TIMER_H_
+#define FSIM_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace fsim {
+
+/// Measures elapsed wall-clock time since construction or the last Reset().
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since start.
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed milliseconds since start.
+  double Millis() const { return Seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace fsim
+
+#endif  // FSIM_COMMON_TIMER_H_

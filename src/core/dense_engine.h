@@ -1,0 +1,76 @@
+// Dense-mode FSimχ engine: the same iterative computation as ComputeFSim
+// (Algorithm 1) carried out over the full |V1| x |V2| score matrix in two
+// flat buffers, with no candidate store, no hashing and no pruning.
+//
+// Purpose:
+//  * ablation — quantifies what the sparse candidate store (θ filter,
+//    upper-bound updating, hash index) buys on small/medium inputs where the
+//    dense matrix fits in memory (see bench/bench_ablation);
+//  * differential testing — an independent implementation of Equation 3 whose
+//    scores must agree with the sparse engine on every θ-compatible pair
+//    (tests/dense_engine_test.cc).
+//
+// Dense mode computes a score for *every* pair, including label-incompatible
+// ones (which the sparse engine does not maintain); those extra scores follow
+// the same recurrence but never feed back through the mapping operators, so
+// agreement on compatible pairs is exact.
+#ifndef FSIM_CORE_DENSE_ENGINE_H_
+#define FSIM_CORE_DENSE_ENGINE_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "core/fsim_config.h"
+#include "core/fsim_scores.h"
+#include "graph/graph.h"
+
+namespace fsim {
+
+/// The converged dense score matrix of a ComputeFSimDense run.
+class DenseFSimScores {
+ public:
+  DenseFSimScores() = default;
+  DenseFSimScores(size_t n1, size_t n2, std::vector<double> values,
+                  FSimStats stats)
+      : n1_(n1), n2_(n2), values_(std::move(values)), stats_(std::move(stats)) {
+    FSIM_DCHECK(values_.size() == n1_ * n2_);
+  }
+
+  size_t n1() const { return n1_; }
+  size_t n2() const { return n2_; }
+
+  /// FSimχ(u, v); defined for every pair (dense storage).
+  double Score(NodeId u, NodeId v) const {
+    FSIM_DCHECK(u < n1_ && v < n2_);
+    return values_[static_cast<size_t>(u) * n2_ + v];
+  }
+
+  /// The k highest-scoring v for a fixed u, descending (ties by node id).
+  std::vector<std::pair<NodeId, double>> TopK(NodeId u, size_t k) const;
+
+  const std::vector<double>& values() const { return values_; }
+  const FSimStats& stats() const { return stats_; }
+
+ private:
+  size_t n1_ = 0;
+  size_t n2_ = 0;
+  std::vector<double> values_;  // row-major, n1 x n2
+  FSimStats stats_;
+};
+
+/// Computes fractional χ-simulation scores for all |V1| x |V2| pairs with
+/// dense-matrix iteration. Semantics match ComputeFSim for every pair the
+/// sparse engine maintains; the label-constrained mapping (θ) is honored
+/// inside the operators.
+///
+/// Restrictions: upper-bound updating is not supported in dense mode
+/// (config.upper_bound must be false — pruning is exactly what dense mode
+/// ablates away), and |V1| * |V2| must not exceed config.pair_limit.
+Result<DenseFSimScores> ComputeFSimDense(const Graph& g1, const Graph& g2,
+                                         const FSimConfig& config);
+
+}  // namespace fsim
+
+#endif  // FSIM_CORE_DENSE_ENGINE_H_

@@ -1,0 +1,55 @@
+#include "core/fsim_scores.h"
+
+#include <algorithm>
+
+namespace fsim {
+
+FSimScores::FSimScores(std::vector<uint64_t> keys, std::vector<double> values,
+                       FlatPairMap index, FSimStats stats)
+    : keys_(std::move(keys)),
+      values_(std::move(values)),
+      index_(std::move(index)),
+      stats_(std::move(stats)) {}
+
+std::pair<size_t, size_t> FSimScores::RangeOf(NodeId u) const {
+  const uint64_t lo = PairKey(u, 0);
+  const uint64_t hi = PairKey(u, ~0U);
+  auto first = std::lower_bound(keys_.begin(), keys_.end(), lo);
+  auto last = std::upper_bound(keys_.begin(), keys_.end(), hi);
+  return {static_cast<size_t>(first - keys_.begin()),
+          static_cast<size_t>(last - keys_.begin())};
+}
+
+std::vector<std::pair<NodeId, double>> FSimScores::TopK(NodeId u,
+                                                        size_t k) const {
+  auto [first, last] = RangeOf(u);
+  std::vector<std::pair<NodeId, double>> row;
+  row.reserve(last - first);
+  for (size_t i = first; i < last; ++i) {
+    row.emplace_back(PairSecond(keys_[i]), values_[i]);
+  }
+  auto cmp = [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  };
+  if (row.size() > k) {
+    std::partial_sort(row.begin(), row.begin() + static_cast<ptrdiff_t>(k),
+                      row.end(), cmp);
+    row.resize(k);
+  } else {
+    std::sort(row.begin(), row.end(), cmp);
+  }
+  return row;
+}
+
+std::vector<std::pair<NodeId, double>> FSimScores::Row(NodeId u) const {
+  auto [first, last] = RangeOf(u);
+  std::vector<std::pair<NodeId, double>> row;
+  row.reserve(last - first);
+  for (size_t i = first; i < last; ++i) {
+    row.emplace_back(PairSecond(keys_[i]), values_[i]);
+  }
+  return row;
+}
+
+}  // namespace fsim

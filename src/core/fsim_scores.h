@@ -1,0 +1,76 @@
+// The result of a ComputeFSim run: per-pair fractional χ-simulation scores
+// with lookup and top-k queries, plus run statistics.
+#ifndef FSIM_CORE_FSIM_SCORES_H_
+#define FSIM_CORE_FSIM_SCORES_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/flat_pair_map.h"
+#include "graph/graph.h"
+
+namespace fsim {
+
+/// Statistics of a ComputeFSim run.
+struct FSimStats {
+  size_t theta_candidates = 0;  // pairs after the θ filter
+  size_t maintained_pairs = 0;  // pairs actually iterated (after β pruning)
+  size_t pruned_pairs = 0;      // pairs removed by upper-bound updating
+  uint32_t iterations = 0;
+  bool converged = false;
+  double final_delta = 0.0;
+  double build_seconds = 0.0;
+  double iterate_seconds = 0.0;
+  /// max_{(u,v)} |FSim^k - FSim^{k-1}| per iteration, when
+  /// FSimConfig::record_delta_history is set (Theorem 1: strictly
+  /// decreasing).
+  std::vector<double> delta_history;
+};
+
+/// Immutable score container. Pairs are sorted (u-major), so all scores for
+/// one u form a contiguous range.
+class FSimScores {
+ public:
+  FSimScores() = default;
+  FSimScores(std::vector<uint64_t> keys, std::vector<double> values,
+             FlatPairMap index, FSimStats stats);
+
+  /// FSimχ(u, v); 0 for pairs outside the maintained candidate set.
+  double Score(NodeId u, NodeId v) const {
+    uint32_t idx = index_.Find(PairKey(u, v));
+    return idx == FlatPairMap::kNotFound ? 0.0 : values_[idx];
+  }
+
+  /// True if (u,v) was maintained (score 0 is then a real score, not a
+  /// missing pair).
+  bool Contains(NodeId u, NodeId v) const {
+    return index_.Find(PairKey(u, v)) != FlatPairMap::kNotFound;
+  }
+
+  size_t NumPairs() const { return keys_.size(); }
+
+  /// The k highest-scoring v for a fixed u, descending (ties by node id).
+  /// This is the paper's future-work top-k similarity query, answerable
+  /// directly from the container.
+  std::vector<std::pair<NodeId, double>> TopK(NodeId u, size_t k) const;
+
+  /// All (v, score) for one u (unsorted by score; ascending v).
+  std::vector<std::pair<NodeId, double>> Row(NodeId u) const;
+
+  const std::vector<uint64_t>& keys() const { return keys_; }
+  const std::vector<double>& values() const { return values_; }
+  const FSimStats& stats() const { return stats_; }
+
+ private:
+  /// [first, last) range of indices whose key has high word u.
+  std::pair<size_t, size_t> RangeOf(NodeId u) const;
+
+  std::vector<uint64_t> keys_;
+  std::vector<double> values_;
+  FlatPairMap index_;
+  FSimStats stats_;
+};
+
+}  // namespace fsim
+
+#endif  // FSIM_CORE_FSIM_SCORES_H_

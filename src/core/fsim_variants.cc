@@ -1,0 +1,26 @@
+#include "core/fsim_variants.h"
+
+#include "exact/bounded_simulation.h"
+#include "exact/weak_simulation.h"
+
+namespace fsim {
+
+Result<FSimScores> ComputeFSimBounded(const Graph& query, const Graph& data,
+                                      uint32_t k, const FSimConfig& config) {
+  if (k < 1) {
+    return Status::InvalidArgument("path bound k must be >= 1");
+  }
+  Graph closure = BoundedClosure(data, k);
+  return ComputeFSim(query, closure, config);
+}
+
+Result<FSimScores> ComputeFSimWeak(
+    const Graph& g1, const std::vector<uint8_t>& internal_mask1,
+    const Graph& g2, const std::vector<uint8_t>& internal_mask2,
+    const FSimConfig& config) {
+  FSIM_ASSIGN_OR_RETURN(Graph closure1, WeakClosure(g1, internal_mask1));
+  FSIM_ASSIGN_OR_RETURN(Graph closure2, WeakClosure(g2, internal_mask2));
+  return ComputeFSim(closure1, closure2, config);
+}
+
+}  // namespace fsim

@@ -1,0 +1,43 @@
+// Fractional quantification of the k-hop simulation variants (bounded and
+// weak simulation) — the paper's §6 future work, realized by the closure
+// route its related-work discussion suggests: materialize the variant's
+// step relation as a graph, then run the unmodified FSimχ engine on it.
+//
+//   FSim_bounded(u, v) = FSimχ(query, BoundedClosure(data, k))(u, v)
+//   FSim_weak(u, v)    = FSimχ(WeakClosure(g1), WeakClosure(g2))(u, v)
+//
+// Both inherit every property of Definition 4 with respect to the closure
+// semantics: P1/P2 hold relative to the exact bounded/weak relation
+// (tests/extensions_test.cc has the property sweeps), and all engine
+// optimizations (θ, upper-bound updating, parallelism) apply unchanged.
+#ifndef FSIM_CORE_FSIM_VARIANTS_H_
+#define FSIM_CORE_FSIM_VARIANTS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "core/fsim_config.h"
+#include "core/fsim_engine.h"
+#include "graph/graph.h"
+
+namespace fsim {
+
+/// Fractional bounded simulation (Fan et al. [5]): quantifies how nearly
+/// each query node is bounded-simulated in `data` with path bound k >= 1.
+/// The closure densifies quickly; intended for small k on sparse data.
+Result<FSimScores> ComputeFSimBounded(const Graph& query, const Graph& data,
+                                      uint32_t k, const FSimConfig& config);
+
+/// Fractional weak simulation (Milner [3]): quantifies approximate weak
+/// simulation where nodes marked internal act as τ-steps. Masks must match
+/// the respective graphs (see exact/weak_simulation.h).
+Result<FSimScores> ComputeFSimWeak(const Graph& g1,
+                                   const std::vector<uint8_t>& internal_mask1,
+                                   const Graph& g2,
+                                   const std::vector<uint8_t>& internal_mask2,
+                                   const FSimConfig& config);
+
+}  // namespace fsim
+
+#endif  // FSIM_CORE_FSIM_VARIANTS_H_

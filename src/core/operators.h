@@ -1,0 +1,229 @@
+// The mapping and normalizing operators Mχ / Ωχ of Table 3, evaluated over
+// two neighbor sets. DirectionScore computes one direction's normalized
+// contribution FSimχ(S1, S2) = Σ_{(x,y)∈Mχ} FSim(x,y) / Ωχ(S1,S2)
+// (Equation 2), including the empty-set conventions that make simulation
+// definiteness (P2 of Definition 4) hold:
+//
+//   s / dp:  S1 = ∅              -> 1   (Definition 1's ∀ is vacuous)
+//   b:       S1 = ∅ and S2 = ∅   -> 1   (otherwise the unmatched side
+//                                        contributes zeros naturally)
+//   bj:      both empty -> 1; exactly one empty -> 0 (no bijection exists)
+//   product: either empty -> 0 (SimRank's convention)
+//
+// The score lookup is a template parameter returning the previous-iteration
+// score of (x, y), or a negative value when x may not be mapped to y (label
+// constraint of Remark 2).
+#ifndef FSIM_CORE_OPERATORS_H_
+#define FSIM_CORE_OPERATORS_H_
+
+#include <algorithm>
+#include <cmath>
+#include <span>
+#include <vector>
+
+#include "core/fsim_config.h"
+#include "graph/graph.h"
+#include "matching/greedy_matching.h"
+#include "matching/hungarian.h"
+
+namespace fsim {
+
+/// Ωχ(S1, S2) of Table 3.
+inline double OmegaValue(OmegaKind kind, size_t n1, size_t n2) {
+  switch (kind) {
+    case OmegaKind::kSizeS1:
+      return static_cast<double>(n1);
+    case OmegaKind::kSumSizes:
+      return static_cast<double>(n1 + n2);
+    case OmegaKind::kGeoMean:
+      return std::sqrt(static_cast<double>(n1) * static_cast<double>(n2));
+    case OmegaKind::kMaxSize:
+      return static_cast<double>(std::max(n1, n2));
+    case OmegaKind::kProduct:
+      return static_cast<double>(n1) * static_cast<double>(n2);
+  }
+  return 0.0;
+}
+
+namespace internal {
+
+/// Σ over the max-weight injective mapping between s1 and s2 (the M_dp/M_bj
+/// realization). Greedy is the paper's ½-approximation; Hungarian is exact.
+template <typename Lookup>
+double InjectiveMappingSum(std::span<const NodeId> s1,
+                           std::span<const NodeId> s2, Lookup&& lookup,
+                           MatchingAlgo algo, MatchingScratch* scratch) {
+  if (algo == MatchingAlgo::kHungarian) {
+    std::vector<std::vector<double>> w(s1.size(),
+                                       std::vector<double>(s2.size(), 0.0));
+    for (size_t i = 0; i < s1.size(); ++i) {
+      for (size_t j = 0; j < s2.size(); ++j) {
+        double score = lookup(s1[i], s2[j]);
+        if (score > 0.0) w[i][j] = score;
+      }
+    }
+    return HungarianMaxWeightMatching(w);
+  }
+  scratch->edges.clear();
+  for (size_t i = 0; i < s1.size(); ++i) {
+    for (size_t j = 0; j < s2.size(); ++j) {
+      double score = lookup(s1[i], s2[j]);
+      // Zero-weight edges cannot increase the matching sum; dropping them
+      // keeps the sort cheap.
+      if (score > 0.0) {
+        scratch->edges.push_back({static_cast<uint32_t>(i),
+                                  static_cast<uint32_t>(j), score});
+      }
+    }
+  }
+  return GreedyMaxWeightMatching(scratch, s1.size(), s2.size());
+}
+
+/// Σ of per-row maxima: every x in s1 maps to its best compatible y.
+template <typename Lookup>
+double MaxPerRowSum(std::span<const NodeId> s1, std::span<const NodeId> s2,
+                    Lookup&& lookup) {
+  double sum = 0.0;
+  for (NodeId x : s1) {
+    double best = 0.0;
+    for (NodeId y : s2) {
+      double score = lookup(x, y);
+      if (score > best) best = score;
+    }
+    sum += best;
+  }
+  return sum;
+}
+
+}  // namespace internal
+
+/// One direction's contribution in [0, 1]: Σ_{Mχ} / Ωχ with the empty-set
+/// conventions listed above.
+template <typename Lookup>
+double DirectionScore(const OperatorConfig& op, MatchingAlgo algo,
+                      std::span<const NodeId> s1, std::span<const NodeId> s2,
+                      Lookup&& lookup, MatchingScratch* scratch) {
+  const size_t n1 = s1.size();
+  const size_t n2 = s2.size();
+  double sum = 0.0;
+  switch (op.mapping) {
+    case MappingKind::kMaxPerRow:
+      if (n1 == 0) return 1.0;
+      sum = internal::MaxPerRowSum(s1, s2, lookup);
+      break;
+    case MappingKind::kInjectiveRow:
+      if (n1 == 0) return 1.0;
+      if (n2 == 0) return 0.0;
+      sum = internal::InjectiveMappingSum(s1, s2, lookup, algo, scratch);
+      break;
+    case MappingKind::kMaxBothSides: {
+      if (n1 == 0 && n2 == 0) return 1.0;
+      sum = internal::MaxPerRowSum(s1, s2, lookup);
+      // The converse side: every y in s2 maps to its best x in s1.
+      for (NodeId y : s2) {
+        double best = 0.0;
+        for (NodeId x : s1) {
+          double score = lookup(x, y);
+          if (score > best) best = score;
+        }
+        sum += best;
+      }
+      break;
+    }
+    case MappingKind::kInjectiveSym:
+      if (n1 == 0 && n2 == 0) return 1.0;
+      if (n1 == 0 || n2 == 0) return 0.0;
+      sum = internal::InjectiveMappingSum(s1, s2, lookup, algo, scratch);
+      break;
+    case MappingKind::kProduct: {
+      if (n1 == 0 || n2 == 0) return 0.0;
+      for (NodeId x : s1) {
+        for (NodeId y : s2) {
+          double score = lookup(x, y);
+          if (score > 0.0) sum += score;
+        }
+      }
+      break;
+    }
+  }
+  const double omega = OmegaValue(op.omega, n1, n2);
+  FSIM_DCHECK(omega > 0.0);
+  return sum / omega;
+}
+
+/// Upper bound of one direction's contribution (Eq. 6): DirectionScore with
+/// every mappable pair's score over-approximated by 1, i.e. |Mχ| / Ωχ under
+/// the label-compatibility relation. |Mχ| itself is over-approximated for
+/// the injective operators (min of the side counts), which keeps the bound
+/// sound — pruning with a looser bound only prunes less.
+template <typename CompatFn>
+double DirectionUpperBound(const OperatorConfig& op,
+                           std::span<const NodeId> s1,
+                           std::span<const NodeId> s2, CompatFn&& compat) {
+  const size_t n1 = s1.size();
+  const size_t n2 = s2.size();
+  auto rows_with_any = [&]() {
+    size_t count = 0;
+    for (NodeId x : s1) {
+      for (NodeId y : s2) {
+        if (compat(x, y)) {
+          ++count;
+          break;
+        }
+      }
+    }
+    return count;
+  };
+  auto cols_with_any = [&]() {
+    size_t count = 0;
+    for (NodeId y : s2) {
+      for (NodeId x : s1) {
+        if (compat(x, y)) {
+          ++count;
+          break;
+        }
+      }
+    }
+    return count;
+  };
+
+  double mapped = 0.0;
+  switch (op.mapping) {
+    case MappingKind::kMaxPerRow:
+      if (n1 == 0) return 1.0;
+      mapped = static_cast<double>(rows_with_any());
+      break;
+    case MappingKind::kInjectiveRow:
+      if (n1 == 0) return 1.0;
+      if (n2 == 0) return 0.0;
+      mapped = static_cast<double>(
+          std::min({rows_with_any(), cols_with_any(), std::min(n1, n2)}));
+      break;
+    case MappingKind::kMaxBothSides:
+      if (n1 == 0 && n2 == 0) return 1.0;
+      mapped = static_cast<double>(rows_with_any() + cols_with_any());
+      break;
+    case MappingKind::kInjectiveSym:
+      if (n1 == 0 && n2 == 0) return 1.0;
+      if (n1 == 0 || n2 == 0) return 0.0;
+      mapped = static_cast<double>(
+          std::min({rows_with_any(), cols_with_any(), std::min(n1, n2)}));
+      break;
+    case MappingKind::kProduct: {
+      if (n1 == 0 || n2 == 0) return 0.0;
+      size_t count = 0;
+      for (NodeId x : s1) {
+        for (NodeId y : s2) {
+          if (compat(x, y)) ++count;
+        }
+      }
+      mapped = static_cast<double>(count);
+      break;
+    }
+  }
+  return mapped / OmegaValue(op.omega, n1, n2);
+}
+
+}  // namespace fsim
+
+#endif  // FSIM_CORE_OPERATORS_H_

@@ -1,0 +1,165 @@
+#include "core/pair_store.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+#include "core/operators.h"
+
+namespace fsim {
+
+namespace {
+
+/// Groups node ids by label id.
+std::vector<std::vector<NodeId>> NodesByLabel(const Graph& g,
+                                              size_t dict_size) {
+  std::vector<std::vector<NodeId>> groups(dict_size);
+  for (NodeId u = 0; u < g.NumNodes(); ++u) {
+    groups[g.Label(u)].push_back(u);
+  }
+  return groups;
+}
+
+double LabelTermValue(const FSimConfig& config,
+                      const LabelSimilarityCache& lsim, LabelId a, LabelId b) {
+  switch (config.label_term) {
+    case LabelTermKind::kLabelSim:
+      return lsim.Sim(a, b);
+    case LabelTermKind::kZero:
+      return 0.0;
+    case LabelTermKind::kOne:
+      return 1.0;
+  }
+  return 0.0;
+}
+
+double InitValue(const FSimConfig& config, const LabelSimilarityCache& lsim,
+                 const Graph& g1, const Graph& g2, NodeId u, NodeId v) {
+  switch (config.init) {
+    case InitKind::kLabelSim:
+      return lsim.Sim(g1.Label(u), g2.Label(v));
+    case InitKind::kIndicatorDiagonal:
+      return u == v ? 1.0 : 0.0;
+    case InitKind::kDegreeRatio: {
+      double d1 = static_cast<double>(g1.OutDegree(u));
+      double d2 = static_cast<double>(g2.OutDegree(v));
+      if (d1 == 0.0 && d2 == 0.0) return 1.0;
+      return std::min(d1, d2) / std::max(d1, d2);
+    }
+    case InitKind::kOnes:
+      return 1.0;
+  }
+  return 0.0;
+}
+
+}  // namespace
+
+Result<PairStore> PairStore::Build(const Graph& g1, const Graph& g2,
+                                   const FSimConfig& config,
+                                   const LabelSimilarityCache& lsim) {
+  PairStore store;
+  const size_t n1 = g1.NumNodes();
+  const size_t n2 = g2.NumNodes();
+
+  // --- Stage 1: θ-constrained candidate enumeration (Remark 2). ---
+  if (config.theta <= 0.0) {
+    const uint64_t total = static_cast<uint64_t>(n1) * n2;
+    if (total > config.pair_limit) {
+      return Status::InvalidArgument(StrFormat(
+          "candidate pairs %llu exceed pair_limit %llu (theta=0 enumerates "
+          "|V1|x|V2|)",
+          static_cast<unsigned long long>(total),
+          static_cast<unsigned long long>(config.pair_limit)));
+    }
+    store.keys_.reserve(total);
+    for (NodeId u = 0; u < n1; ++u) {
+      for (NodeId v = 0; v < n2; ++v) {
+        store.keys_.push_back(PairKey(u, v));
+      }
+    }
+  } else {
+    const size_t dict_size = g1.dict()->size();
+    auto groups1 = NodesByLabel(g1, dict_size);
+    auto groups2 = NodesByLabel(g2, dict_size);
+    // Count first so the reserve is exact and the limit check is cheap.
+    uint64_t total = 0;
+    for (LabelId a = 0; a < dict_size; ++a) {
+      if (groups1[a].empty()) continue;
+      for (LabelId b = 0; b < dict_size; ++b) {
+        if (groups2[b].empty()) continue;
+        if (lsim.Compatible(a, b, config.theta)) {
+          total += static_cast<uint64_t>(groups1[a].size()) *
+                   groups2[b].size();
+        }
+      }
+    }
+    if (total > config.pair_limit) {
+      return Status::InvalidArgument(StrFormat(
+          "candidate pairs %llu exceed pair_limit %llu",
+          static_cast<unsigned long long>(total),
+          static_cast<unsigned long long>(config.pair_limit)));
+    }
+    store.keys_.reserve(total);
+    for (LabelId a = 0; a < dict_size; ++a) {
+      if (groups1[a].empty()) continue;
+      for (LabelId b = 0; b < dict_size; ++b) {
+        if (groups2[b].empty()) continue;
+        if (!lsim.Compatible(a, b, config.theta)) continue;
+        for (NodeId u : groups1[a]) {
+          for (NodeId v : groups2[b]) {
+            store.keys_.push_back(PairKey(u, v));
+          }
+        }
+      }
+    }
+  }
+  store.info_.theta_candidates = store.keys_.size();
+
+  // --- Stage 2: upper-bound pruning (Eq. 6). ---
+  if (config.upper_bound) {
+    const OperatorConfig op = config.operators();
+    const double label_weight = 1.0 - config.w_out - config.w_in;
+    auto compat = [&](NodeId x, NodeId y) {
+      return lsim.Compatible(g1.Label(x), g2.Label(y), config.theta);
+    };
+    std::vector<uint64_t> kept;
+    kept.reserve(store.keys_.size());
+    const bool track_pruned = config.alpha > 0.0;
+    for (uint64_t key : store.keys_) {
+      const NodeId u = PairFirst(key);
+      const NodeId v = PairSecond(key);
+      double bound =
+          config.w_out * DirectionUpperBound(op, g1.OutNeighbors(u),
+                                             g2.OutNeighbors(v), compat) +
+          config.w_in * DirectionUpperBound(op, g1.InNeighbors(u),
+                                            g2.InNeighbors(v), compat) +
+          label_weight *
+              LabelTermValue(config, lsim, g1.Label(u), g2.Label(v));
+      const bool keep = bound > config.beta ||
+                        (config.pin_diagonal && u == v);
+      if (keep) {
+        kept.push_back(key);
+      } else if (track_pruned) {
+        store.pruned_index_.Insert(key,
+                                   static_cast<uint32_t>(store.pruned_ub_.size()));
+        store.pruned_ub_.push_back(static_cast<float>(bound));
+      }
+    }
+    store.info_.pruned = store.keys_.size() - kept.size();
+    store.keys_ = std::move(kept);
+  }
+  store.info_.kept = store.keys_.size();
+
+  // --- Stage 3: index + initialization (§3.3). ---
+  std::sort(store.keys_.begin(), store.keys_.end());
+  store.index_ = FlatPairMap(store.keys_.size());
+  store.prev_.resize(store.keys_.size());
+  store.curr_.resize(store.keys_.size());
+  for (size_t i = 0; i < store.keys_.size(); ++i) {
+    store.index_.Insert(store.keys_[i], static_cast<uint32_t>(i));
+    store.prev_[i] = InitValue(config, lsim, g1, g2, PairFirst(store.keys_[i]),
+                               PairSecond(store.keys_[i]));
+  }
+  return store;
+}
+
+}  // namespace fsim

@@ -1,0 +1,81 @@
+// The candidate-pair store of Algorithm 1: which node pairs (u, v) are
+// maintained in the hash maps Hc/Hp, their double-buffered scores, and the
+// side table of upper bounds for pruned pairs (upper-bound updating, §3.4).
+#ifndef FSIM_CORE_PAIR_STORE_H_
+#define FSIM_CORE_PAIR_STORE_H_
+
+#include <vector>
+
+#include "common/flat_pair_map.h"
+#include "common/result.h"
+#include "core/fsim_config.h"
+#include "graph/graph.h"
+#include "label/label_similarity.h"
+
+namespace fsim {
+
+/// Candidate pairs with previous/current score buffers.
+///
+/// Construction applies the two optimizations:
+///  * label-constrained mapping: with θ > 0 only pairs with L(u,v) >= θ are
+///    enumerated (Remark 2 — pairs below θ can never be mapped, so they
+///    never contribute);
+///  * upper-bound updating: pairs whose Eq. 6 bound is <= β are dropped; if
+///    α > 0 their bounds are kept in a side table so lookups can return
+///    α * bound.
+class PairStore {
+ public:
+  struct BuildInfo {
+    size_t theta_candidates = 0;  // pairs surviving the θ filter
+    size_t kept = 0;              // pairs actually maintained
+    size_t pruned = 0;            // pairs dropped by the upper bound
+  };
+
+  /// Enumerates and initializes the candidate pairs. Fails with
+  /// InvalidArgument if the candidate count would exceed config.pair_limit.
+  static Result<PairStore> Build(const Graph& g1, const Graph& g2,
+                                 const FSimConfig& config,
+                                 const LabelSimilarityCache& lsim);
+
+  size_t size() const { return keys_.size(); }
+  NodeId U(size_t i) const { return PairFirst(keys_[i]); }
+  NodeId V(size_t i) const { return PairSecond(keys_[i]); }
+
+  double prev(size_t i) const { return prev_[i]; }
+  void set_curr(size_t i, double value) { curr_[i] = value; }
+  void SwapBuffers() { prev_.swap(curr_); }
+
+  /// Index of (u,v) in the store, or FlatPairMap::kNotFound.
+  uint32_t Find(NodeId u, NodeId v) const {
+    return index_.Find(PairKey(u, v));
+  }
+
+  /// Eq. 6 upper bound of a pruned pair (0 when untracked, i.e. α == 0).
+  double PrunedUpperBound(NodeId u, NodeId v) const {
+    uint32_t idx = pruned_index_.Find(PairKey(u, v));
+    return idx == FlatPairMap::kNotFound ? 0.0 : pruned_ub_[idx];
+  }
+
+  const BuildInfo& info() const { return info_; }
+
+  /// Moves the final scores out (call after the last SwapBuffers, so prev_
+  /// holds the converged values).
+  std::vector<uint64_t> TakeKeys() { return std::move(keys_); }
+  std::vector<double> TakeScores() { return std::move(prev_); }
+  FlatPairMap TakeIndex() { return std::move(index_); }
+
+ private:
+  PairStore() = default;
+
+  std::vector<uint64_t> keys_;  // sorted ascending: u-major, then v
+  FlatPairMap index_;
+  std::vector<double> prev_;
+  std::vector<double> curr_;
+  FlatPairMap pruned_index_;
+  std::vector<float> pruned_ub_;
+  BuildInfo info_;
+};
+
+}  // namespace fsim
+
+#endif  // FSIM_CORE_PAIR_STORE_H_

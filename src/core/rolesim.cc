@@ -1,0 +1,59 @@
+#include "core/rolesim.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "matching/greedy_matching.h"
+
+namespace fsim {
+
+std::vector<double> RoleSimScores(const Graph& g, double beta,
+                                  uint32_t iterations) {
+  FSIM_CHECK(beta > 0.0 && beta < 1.0);
+  const size_t n = g.NumNodes();
+  std::vector<double> prev(n * n, 0.0);
+  for (NodeId u = 0; u < n; ++u) {
+    double du = static_cast<double>(g.OutDegree(u));
+    for (NodeId v = 0; v < n; ++v) {
+      double dv = static_cast<double>(g.OutDegree(v));
+      prev[u * n + v] = (du == 0.0 && dv == 0.0)
+                            ? 1.0
+                            : std::min(du, dv) / std::max(du, dv);
+    }
+  }
+  std::vector<double> curr(n * n, 0.0);
+  MatchingScratch scratch;
+
+  for (uint32_t iter = 0; iter < iterations; ++iter) {
+    for (NodeId u = 0; u < n; ++u) {
+      auto nu = g.OutNeighbors(u);
+      for (NodeId v = 0; v < n; ++v) {
+        auto nv = g.OutNeighbors(v);
+        if (nu.empty() && nv.empty()) {
+          curr[u * n + v] = 1.0;  // (1-beta)*1 + beta
+          continue;
+        }
+        double matched = 0.0;
+        if (!nu.empty() && !nv.empty()) {
+          scratch.edges.clear();
+          for (size_t i = 0; i < nu.size(); ++i) {
+            for (size_t j = 0; j < nv.size(); ++j) {
+              double w = prev[static_cast<size_t>(nu[i]) * n + nv[j]];
+              if (w > 0.0) {
+                scratch.edges.push_back(
+                    {static_cast<uint32_t>(i), static_cast<uint32_t>(j), w});
+              }
+            }
+          }
+          matched = GreedyMaxWeightMatching(&scratch, nu.size(), nv.size());
+        }
+        const double denom = static_cast<double>(std::max(nu.size(), nv.size()));
+        curr[u * n + v] = (1.0 - beta) * matched / denom + beta;
+      }
+    }
+    prev.swap(curr);
+  }
+  return prev;
+}
+
+}  // namespace fsim

@@ -1,0 +1,28 @@
+// Standalone RoleSim [Jin, Lee & Hong 2011] on an undirected adaptation.
+// Serves as the reference oracle for the §4.3 claim that FSimχ configured
+// with injective operators, Ω = max(|S1|,|S2|), L ≡ 1 and degree-ratio
+// initialization computes axiomatic role similarity.
+#ifndef FSIM_CORE_ROLESIM_H_
+#define FSIM_CORE_ROLESIM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace fsim {
+
+/// Dense all-pairs RoleSim after `iterations` rounds on `g`, whose
+/// out-neighbor lists are taken as the undirected neighborhoods (pass
+/// Graph::AsUndirected()):
+///   r_0(u,v) = min(d(u),d(v)) / max(d(u),d(v))   (1 when both degrees are 0)
+///   r_k(u,v) = (1-beta) * M_{r_{k-1}}(N(u),N(v)) / max(d(u),d(v)) + beta,
+/// where M is the greedy maximum-weight matching between the two
+/// neighborhoods (the same greedy realization the FSim engine uses).
+/// Row-major result: scores[u * n + v].
+std::vector<double> RoleSimScores(const Graph& g, double beta,
+                                  uint32_t iterations);
+
+}  // namespace fsim
+
+#endif  // FSIM_CORE_ROLESIM_H_

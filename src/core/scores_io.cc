@@ -1,0 +1,103 @@
+#include "core/scores_io.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace fsim {
+
+std::string ScoresToString(const FSimScores& scores) {
+  std::string out = "fsim-scores v1\n";
+  out += StrFormat("pairs %zu\n", scores.NumPairs());
+  const auto& keys = scores.keys();
+  const auto& values = scores.values();
+  for (size_t i = 0; i < keys.size(); ++i) {
+    out += StrFormat("%u %u %.17g\n", PairFirst(keys[i]),
+                     PairSecond(keys[i]), values[i]);
+  }
+  return out;
+}
+
+Result<FSimScores> ScoresFromString(std::string_view text) {
+  auto lines = Split(text, '\n');
+  size_t line_no = 0;
+  if (lines.empty() || Trim(lines[0]) != "fsim-scores v1") {
+    return Status::IOError("missing 'fsim-scores v1' header");
+  }
+  ++line_no;
+  if (lines.size() < 2) return Status::IOError("missing pair count");
+  uint64_t expected = 0;
+  {
+    auto fields = SplitWhitespace(lines[1]);
+    if (fields.size() != 2 || fields[0] != "pairs" ||
+        std::sscanf(std::string(fields[1]).c_str(), "%" PRIu64, &expected) !=
+            1) {
+      return Status::IOError("malformed pair count line");
+    }
+    ++line_no;
+  }
+
+  std::vector<uint64_t> keys;
+  std::vector<double> values;
+  keys.reserve(expected);
+  values.reserve(expected);
+  for (size_t li = 2; li < lines.size(); ++li) {
+    std::string_view line = Trim(lines[li]);
+    if (line.empty()) continue;
+    uint32_t u = 0, v = 0;
+    double score = 0.0;
+    if (std::sscanf(std::string(line).c_str(), "%u %u %lf", &u, &v, &score) !=
+        3) {
+      return Status::IOError(StrFormat("malformed pair at line %zu", li + 1));
+    }
+    if (score < 0.0 || score > 1.0) {
+      return Status::IOError(
+          StrFormat("score out of range at line %zu", li + 1));
+    }
+    keys.push_back(PairKey(u, v));
+    values.push_back(score);
+  }
+  if (keys.size() != expected) {
+    return Status::IOError(StrFormat("expected %" PRIu64 " pairs, found %zu",
+                                     expected, keys.size()));
+  }
+  // Re-sort (writers emit sorted data, but be liberal in what we accept).
+  std::vector<size_t> order(keys.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(),
+            [&](size_t a, size_t b) { return keys[a] < keys[b]; });
+  std::vector<uint64_t> sorted_keys(keys.size());
+  std::vector<double> sorted_values(keys.size());
+  FlatPairMap index(keys.size());
+  for (size_t i = 0; i < order.size(); ++i) {
+    sorted_keys[i] = keys[order[i]];
+    sorted_values[i] = values[order[i]];
+    if (!index.Insert(sorted_keys[i], static_cast<uint32_t>(i))) {
+      return Status::IOError("duplicate pair in score file");
+    }
+  }
+  return FSimScores(std::move(sorted_keys), std::move(sorted_values),
+                    std::move(index), FSimStats{});
+}
+
+Status SaveScoresToFile(const FSimScores& scores, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open " + path + " for writing");
+  out << ScoresToString(scores);
+  if (!out) return Status::IOError("write failed on " + path);
+  return Status::OK();
+}
+
+Result<FSimScores> LoadScoresFromFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ScoresFromString(ss.str());
+}
+
+}  // namespace fsim

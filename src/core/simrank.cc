@@ -1,0 +1,44 @@
+#include "core/simrank.h"
+
+#include "common/logging.h"
+
+namespace fsim {
+
+std::vector<double> SimRankScores(const Graph& g, double c,
+                                  uint32_t iterations) {
+  FSIM_CHECK(c > 0.0 && c < 1.0);
+  const size_t n = g.NumNodes();
+  std::vector<double> prev(n * n, 0.0);
+  for (size_t u = 0; u < n; ++u) prev[u * n + u] = 1.0;
+  std::vector<double> curr(n * n, 0.0);
+
+  for (uint32_t iter = 0; iter < iterations; ++iter) {
+    for (NodeId u = 0; u < n; ++u) {
+      auto in_u = g.InNeighbors(u);
+      for (NodeId v = 0; v < n; ++v) {
+        if (u == v) {
+          curr[u * n + v] = 1.0;
+          continue;
+        }
+        auto in_v = g.InNeighbors(v);
+        if (in_u.empty() || in_v.empty()) {
+          curr[u * n + v] = 0.0;
+          continue;
+        }
+        double sum = 0.0;
+        for (NodeId a : in_u) {
+          for (NodeId b : in_v) {
+            sum += prev[static_cast<size_t>(a) * n + b];
+          }
+        }
+        curr[u * n + v] =
+            c * sum /
+            (static_cast<double>(in_u.size()) * static_cast<double>(in_v.size()));
+      }
+    }
+    prev.swap(curr);
+  }
+  return prev;
+}
+
+}  // namespace fsim

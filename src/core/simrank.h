@@ -1,0 +1,24 @@
+// Standalone SimRank [Jeh & Widom 2002] on a single graph. Serves as the
+// reference oracle for the §4.3 claim that FSimχ configured with the product
+// operators computes SimRank (verified by an equivalence test).
+#ifndef FSIM_CORE_SIMRANK_H_
+#define FSIM_CORE_SIMRANK_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace fsim {
+
+/// Dense all-pairs SimRank after `iterations` rounds:
+///   s(u,u) = 1;
+///   s(u,v) = c / (|I(u)||I(v)|) * Σ_{a∈I(u), b∈I(v)} s_{k-1}(a,b),
+/// with s(u,v) = 0 when either in-neighborhood is empty. The result is
+/// row-major: scores[u * n + v]. Intended for small graphs (O(n^2 d^2)).
+std::vector<double> SimRankScores(const Graph& g, double c,
+                                  uint32_t iterations);
+
+}  // namespace fsim
+
+#endif  // FSIM_CORE_SIMRANK_H_

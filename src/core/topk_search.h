@@ -1,0 +1,52 @@
+// Single-source top-k similarity search — the paper's stated future work
+// (§7): "end-users are also interested in the top-k similarity search".
+//
+// For one source node u* the exact FSimχ(u*, ·) row can be obtained without
+// materializing the all-pairs computation: after d iterations, FSim^d(u, v)
+// depends only on pairs whose left node is within (undirected) distance d of
+// u. TopKSearch therefore:
+//   1. restricts the candidate-pair set to pairs whose left node lies in the
+//      radius-d ball around u* (right nodes only θ-filtered),
+//   2. runs d iterations of the standard engine on that restricted set —
+//      which reproduces the unrestricted FSim^d(u*, ·) exactly,
+//   3. ranks the candidates, carrying the Corollary-1 tail bound
+//      |FSim(u*,v) - FSim^d(u*,v)| <= (w+ + w-)^(d+1) / (1 - w+ - w-)
+//      as a certified error radius.
+#ifndef FSIM_CORE_TOPK_SEARCH_H_
+#define FSIM_CORE_TOPK_SEARCH_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "core/fsim_config.h"
+#include "graph/graph.h"
+
+namespace fsim {
+
+struct TopKResult {
+  /// Candidates sorted by descending approximate score (ties by node id).
+  std::vector<std::pair<NodeId, double>> ranking;
+  /// Certified bound on |true score - reported score| for every candidate.
+  double error_bound = 0.0;
+  /// Pairs actually iterated (vs |ball| * |V2| worst case).
+  size_t pairs_computed = 0;
+  uint32_t depth = 0;
+};
+
+struct TopKOptions {
+  /// Iteration/locality depth d; 0 derives it from config.epsilon via the
+  /// Corollary 1 bound (exact up to epsilon).
+  uint32_t depth = 0;
+  size_t k = 10;
+};
+
+/// Computes the top-k nodes of g2 most similar to `source` in g1 under the
+/// given FSim configuration (config.max_iterations/num_threads are ignored;
+/// the depth controls both locality and iterations).
+Result<TopKResult> TopKSearch(const Graph& g1, const Graph& g2, NodeId source,
+                              const FSimConfig& config,
+                              const TopKOptions& options = {});
+
+}  // namespace fsim
+
+#endif  // FSIM_CORE_TOPK_SEARCH_H_

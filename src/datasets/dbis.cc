@@ -1,0 +1,183 @@
+#include "datasets/dbis.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/random.h"
+#include "common/string_util.h"
+#include "graph/graph_builder.h"
+
+namespace fsim {
+
+double DbisGraph::Relevance(uint32_t subject, uint32_t other) const {
+  FSIM_CHECK(subject < venues.size() && other < venues.size());
+  // Duplicates of the flagship venue are the venue itself.
+  auto canonical = [&](uint32_t idx) {
+    for (uint32_t dup : flagship_dups) {
+      if (idx == dup) return flagship;
+    }
+    return idx;
+  };
+  const uint32_t a = canonical(subject);
+  const uint32_t b = canonical(other);
+  if (a == b) return 2.0;
+  if (venue_area[a] != venue_area[b]) return 0.0;
+  return venue_tier[a] == venue_tier[b] ? 2.0 : 1.0;
+}
+
+DbisGraph MakeDbis(const DbisOptions& opts) {
+  FSIM_CHECK(opts.num_areas >= 1 && opts.venues_per_area >= 4);
+  Rng rng(opts.seed);
+  DbisGraph out;
+  GraphBuilder builder;
+
+  // --- Venues. Tier layout per area: 2 top, 4 mid, rest low. ---
+  const LabelId venue_label = builder.dict()->Intern("V");
+  const LabelId paper_label = builder.dict()->Intern("P");
+  for (uint32_t area = 0; area < opts.num_areas; ++area) {
+    for (uint32_t k = 0; k < opts.venues_per_area; ++k) {
+      NodeId node = builder.AddNodeWithLabelId(venue_label);
+      uint32_t idx = static_cast<uint32_t>(out.venues.size());
+      out.venues.push_back(node);
+      out.venue_names.push_back(
+          (area == 0 && k == 0) ? "WWW" : StrFormat("V%u_%u", area, k));
+      out.venue_area.push_back(area);
+      out.venue_tier.push_back(k < 2 ? 0u : (k < 6 ? 1u : 2u));
+      if (area == 0 && k == 0) out.flagship = idx;
+    }
+  }
+  // Flagship duplicate ids (the WWW1/WWW2/WWW3 artifact): same area, top
+  // tier, sharing WWW's community below.
+  for (uint32_t d = 0; d < opts.flagship_duplicates; ++d) {
+    NodeId node = builder.AddNodeWithLabelId(venue_label);
+    uint32_t idx = static_cast<uint32_t>(out.venues.size());
+    out.venues.push_back(node);
+    out.venue_names.push_back(StrFormat("WWW%u", d + 1));
+    out.venue_area.push_back(out.venue_area[out.flagship]);
+    out.venue_tier.push_back(0);
+    out.flagship_dups.push_back(idx);
+  }
+
+  // --- Authors: unique name labels, one primary area (plus an occasional
+  // secondary), which drives venue co-authorship communities. ---
+  std::vector<std::vector<NodeId>> area_authors(opts.num_areas);
+  ZipfSampler area_sampler(opts.num_areas, 0.7);
+  for (uint32_t i = 0; i < opts.num_authors; ++i) {
+    NodeId node = builder.AddNode(StrFormat("a%u", i));
+    out.authors.push_back(node);
+    uint32_t primary = static_cast<uint32_t>(area_sampler.Sample(&rng));
+    area_authors[primary].push_back(node);
+    if (rng.NextBernoulli(0.3)) {
+      uint32_t secondary =
+          static_cast<uint32_t>(rng.NextBounded(opts.num_areas));
+      if (secondary != primary) area_authors[secondary].push_back(node);
+    }
+  }
+  for (auto& pool : area_authors) {
+    FSIM_CHECK(!pool.empty()) << "an area ended up with no authors";
+  }
+
+  // Venue popularity within an area: top tiers attract more papers, with a
+  // per-venue multiplier so venue volumes vary realistically — without it
+  // every area has size-twin venues and structural measures conflate them
+  // across areas.
+  std::vector<std::vector<uint32_t>> area_venues(opts.num_areas);
+  for (uint32_t idx = 0; idx < out.venues.size(); ++idx) {
+    area_venues[out.venue_area[idx]].push_back(idx);
+  }
+  std::vector<std::vector<double>> area_venue_cdf(opts.num_areas);
+  for (uint32_t area = 0; area < opts.num_areas; ++area) {
+    double total = 0.0;
+    for (size_t rank = 0; rank < area_venues[area].size(); ++rank) {
+      const double jitter = 0.35 + rng.NextDouble() * 2.2;
+      total += jitter / static_cast<double>(rank + 1);
+      area_venue_cdf[area].push_back(total);
+    }
+    for (double& c : area_venue_cdf[area]) c /= total;
+  }
+  auto sample_venue = [&](uint32_t area) {
+    const double r = rng.NextDouble();
+    const auto& cdf = area_venue_cdf[area];
+    size_t lo = 0;
+    while (lo + 1 < cdf.size() && cdf[lo] < r) ++lo;
+    return area_venues[area][lo];
+  };
+
+  // Each venue publishes from its own author community: a contiguous slice
+  // of the area pool (overlapping with the slices of related venues).
+  // Flagship duplicates reuse the flagship's slice verbatim — they are the
+  // same venue, so they share exactly the same community.
+  // Areas are structurally distinctive, as real research fields are: they
+  // differ in co-authorship norms (max authors per paper) and community
+  // tightness (slice width). Without this every area is generated alike and
+  // structural role similarity conflates venues across areas.
+  std::vector<uint32_t> area_max_authors(opts.num_areas);
+  std::vector<double> area_slice_frac(opts.num_areas);
+  for (uint32_t area = 0; area < opts.num_areas; ++area) {
+    area_max_authors[area] =
+        1 + (area * 2 + 1) % std::max(1u, opts.max_authors_per_paper + 1);
+    area_slice_frac[area] = 0.25 + 0.08 * static_cast<double>(area % 4);
+  }
+
+  struct Community {
+    size_t start;
+    size_t length;
+  };
+  std::vector<Community> communities(out.venues.size());
+  for (uint32_t idx = 0; idx < out.venues.size(); ++idx) {
+    const uint32_t area = out.venue_area[idx];
+    const auto& pool = area_authors[area];
+    const size_t len = std::max<size_t>(
+        10, static_cast<size_t>(static_cast<double>(pool.size()) *
+                                area_slice_frac[area]));
+    const auto& venues_here = area_venues[area];
+    size_t rank = 0;
+    for (size_t r = 0; r < venues_here.size(); ++r) {
+      if (venues_here[r] == idx) rank = r;
+    }
+    communities[idx] = {(rank * pool.size()) / (venues_here.size() + 1),
+                        len};
+  }
+  for (uint32_t dup : out.flagship_dups) {
+    communities[dup] = communities[out.flagship];
+  }
+
+  // --- Papers: venue by area+prominence, authors from the venue's
+  // community. ---
+  for (uint32_t p = 0; p < opts.num_papers; ++p) {
+    NodeId paper = builder.AddNodeWithLabelId(paper_label);
+    out.papers.push_back(paper);
+    uint32_t area = static_cast<uint32_t>(area_sampler.Sample(&rng));
+    uint32_t vidx = sample_venue(area);
+    // Papers routed to the flagship get split uniformly across its ids —
+    // exactly the DBIS artifact that makes WWW1..3 "naturally similar" to
+    // WWW: the same venue recorded under several ids with comparable
+    // volumes and one shared author community.
+    if (vidx == out.flagship && !out.flagship_dups.empty()) {
+      const uint32_t slot = static_cast<uint32_t>(
+          rng.NextBounded(out.flagship_dups.size() + 1));
+      if (slot > 0) vidx = out.flagship_dups[slot - 1];
+    }
+    builder.AddEdge(paper, out.venues[vidx]);
+
+    const auto& pool = area_authors[area];
+    const Community& community = communities[vidx];
+    ZipfSampler author_sampler(community.length, 0.8);
+    uint32_t num_authors = static_cast<uint32_t>(
+        1 + rng.NextBounded(area_max_authors[area]));
+    for (uint32_t a = 0; a < num_authors; ++a) {
+      const size_t offset =
+          (community.start + author_sampler.Sample(&rng)) % pool.size();
+      builder.AddEdge(pool[offset], paper);
+    }
+  }
+
+  out.graph = std::move(builder).BuildOrDie();
+  out.venue_index_of_node.assign(out.graph.NumNodes(), kInvalidNode);
+  for (uint32_t idx = 0; idx < out.venues.size(); ++idx) {
+    out.venue_index_of_node[out.venues[idx]] = idx;
+  }
+  return out;
+}
+
+}  // namespace fsim

@@ -1,0 +1,69 @@
+// DBIS-style heterogeneous bibliographic network for the node-similarity
+// case study (Tables 7 and 8). The real DBIS dataset (60,694 authors /
+// 72,902 papers / 464 venues) is substituted by a generated network with the
+// same schema (author -> paper -> venue edges; venues labeled "V", papers
+// "P", authors by their unique names) plus the two artifacts the experiments
+// rely on:
+//  * research-area/tier community structure providing the nDCG ground truth
+//    (relevance 2 = same area & same tier, 1 = same area, 0 = otherwise);
+//  * duplicate ids of the flagship venue ("WWW" also appears as WWW1, WWW2,
+//    WWW3 sharing WWW's author community), which Table 7's top-5 query
+//    probes.
+#ifndef FSIM_DATASETS_DBIS_H_
+#define FSIM_DATASETS_DBIS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace fsim {
+
+struct DbisOptions {
+  uint32_t num_areas = 5;
+  uint32_t venues_per_area = 12;
+  /// Kept low relative to num_papers so authors are prolific (the real DBIS
+  /// has ~1.2 papers per author per year but authors span many years and
+  /// venues; co-author overlap is what carries venue similarity).
+  uint32_t num_authors = 400;
+  uint32_t num_papers = 1000;
+  uint32_t max_authors_per_paper = 4;
+  /// Number of duplicate ids of the flagship venue (the WWW1..WWW3 artifact).
+  uint32_t flagship_duplicates = 3;
+  uint64_t seed = 0xDB15;
+};
+
+/// The generated network plus ground-truth metadata.
+struct DbisGraph {
+  Graph graph;
+
+  std::vector<NodeId> venues;            // node ids of all venues
+  std::vector<std::string> venue_names;  // parallel to `venues`
+  std::vector<uint32_t> venue_area;      // research area id
+  std::vector<uint32_t> venue_tier;      // 0 = top, 1 = mid, 2 = low
+
+  /// Index (into `venues`) of the flagship venue and its duplicate ids.
+  uint32_t flagship = 0;
+  std::vector<uint32_t> flagship_dups;
+
+  std::vector<NodeId> papers;
+  std::vector<NodeId> authors;
+
+  /// Venue index for a venue node id (or kInvalidNode).
+  std::vector<NodeId> venue_index_of_node;
+
+  /// Graded relevance of venue j w.r.t. subject venue i (the Table 8 ground
+  /// truth): 2 if same area and same tier, 1 if same area, 0 otherwise.
+  /// Duplicates of the same venue are always relevance 2.
+  double Relevance(uint32_t subject, uint32_t other) const;
+};
+
+/// Generates the network. Edges: author -> paper (authorship) and paper ->
+/// venue (published-in), so venues see papers as in-neighbors and papers see
+/// authors as in-neighbors.
+DbisGraph MakeDbis(const DbisOptions& opts = {});
+
+}  // namespace fsim
+
+#endif  // FSIM_DATASETS_DBIS_H_

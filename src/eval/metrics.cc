@@ -1,0 +1,210 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace fsim {
+
+double PearsonCorrelation(const std::vector<double>& x,
+                          const std::vector<double>& y) {
+  FSIM_CHECK(x.size() == y.size());
+  const size_t n = x.size();
+  if (n == 0) return 0.0;
+  double mean_x = 0.0, mean_y = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    mean_x += x[i];
+    mean_y += y[i];
+  }
+  mean_x /= static_cast<double>(n);
+  mean_y /= static_cast<double>(n);
+  double cov = 0.0, var_x = 0.0, var_y = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const double dx = x[i] - mean_x;
+    const double dy = y[i] - mean_y;
+    cov += dx * dy;
+    var_x += dx * dx;
+    var_y += dy * dy;
+  }
+  if (var_x == 0.0 && var_y == 0.0) return 1.0;  // both constant
+  if (var_x == 0.0 || var_y == 0.0) return 0.0;
+  return cov / std::sqrt(var_x * var_y);
+}
+
+double NDCG(const std::vector<double>& ranked, std::vector<double> ideal,
+            size_t k) {
+  auto dcg = [&](const std::vector<double>& rel) {
+    double sum = 0.0;
+    const size_t limit = std::min(k, rel.size());
+    for (size_t i = 0; i < limit; ++i) {
+      sum += (std::pow(2.0, rel[i]) - 1.0) / std::log2(static_cast<double>(i) + 2.0);
+    }
+    return sum;
+  };
+  std::sort(ideal.begin(), ideal.end(), std::greater<>());
+  const double ideal_dcg = dcg(ideal);
+  if (ideal_dcg == 0.0) return 0.0;
+  return dcg(ranked) / ideal_dcg;
+}
+
+double F1Score(double precision, double recall) {
+  if (precision + recall == 0.0) return 0.0;
+  return 2.0 * precision * recall / (precision + recall);
+}
+
+double CorrelateScores(const FSimScores& reference, const FSimScores& other,
+                       double missing_value) {
+  std::vector<double> x;
+  std::vector<double> y;
+  x.reserve(reference.NumPairs());
+  y.reserve(reference.NumPairs());
+  const auto& keys = reference.keys();
+  const auto& values = reference.values();
+  for (size_t i = 0; i < keys.size(); ++i) {
+    const NodeId u = PairFirst(keys[i]);
+    const NodeId v = PairSecond(keys[i]);
+    x.push_back(values[i]);
+    y.push_back(other.Contains(u, v) ? other.Score(u, v) : missing_value);
+  }
+  return PearsonCorrelation(x, y);
+}
+
+namespace {
+
+/// Counts "swaps" (discordant steps) while merge-sorting `v` ascending —
+/// Knight's algorithm core. Each swap is one discordant pair.
+uint64_t MergeCountSwaps(std::vector<double>* v, std::vector<double>* scratch,
+                         size_t lo, size_t hi) {
+  if (hi - lo <= 1) return 0;
+  const size_t mid = lo + (hi - lo) / 2;
+  uint64_t swaps = MergeCountSwaps(v, scratch, lo, mid) +
+                   MergeCountSwaps(v, scratch, mid, hi);
+  size_t i = lo, j = mid, out = lo;
+  while (i < mid && j < hi) {
+    if ((*v)[j] < (*v)[i]) {
+      swaps += mid - i;  // (*v)[i..mid) all exceed (*v)[j]
+      (*scratch)[out++] = (*v)[j++];
+    } else {
+      (*scratch)[out++] = (*v)[i++];
+    }
+  }
+  while (i < mid) (*scratch)[out++] = (*v)[i++];
+  while (j < hi) (*scratch)[out++] = (*v)[j++];
+  std::copy(scratch->begin() + static_cast<ptrdiff_t>(lo),
+            scratch->begin() + static_cast<ptrdiff_t>(hi),
+            v->begin() + static_cast<ptrdiff_t>(lo));
+  return swaps;
+}
+
+/// Σ over tie groups of g*(g-1)/2 in a sorted sample.
+uint64_t TiedPairs(const std::vector<double>& sorted) {
+  uint64_t ties = 0;
+  size_t i = 0;
+  while (i < sorted.size()) {
+    size_t j = i + 1;
+    while (j < sorted.size() && sorted[j] == sorted[i]) ++j;
+    const uint64_t g = j - i;
+    ties += g * (g - 1) / 2;
+    i = j;
+  }
+  return ties;
+}
+
+}  // namespace
+
+double KendallTau(const std::vector<double>& x, const std::vector<double>& y) {
+  FSIM_CHECK(x.size() == y.size());
+  const size_t n = x.size();
+  if (n < 2) return 0.0;
+
+  // Sort jointly by (x, y); then discordant pairs are exactly the inversion
+  // swaps of the y sequence, excluding pairs tied in x.
+  std::vector<size_t> order(n);
+  for (size_t i = 0; i < n; ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    if (x[a] != x[b]) return x[a] < x[b];
+    return y[a] < y[b];
+  });
+
+  // Tied pairs in x, and pairs tied in both (to correct the joint count).
+  std::vector<double> xs(n), ys(n);
+  for (size_t i = 0; i < n; ++i) {
+    xs[i] = x[order[i]];
+    ys[i] = y[order[i]];
+  }
+  const uint64_t n0 = static_cast<uint64_t>(n) * (n - 1) / 2;
+  uint64_t ties_x = 0;
+  uint64_t ties_xy = 0;
+  {
+    size_t i = 0;
+    while (i < n) {
+      size_t j = i + 1;
+      while (j < n && xs[j] == xs[i]) ++j;
+      const uint64_t g = j - i;
+      ties_x += g * (g - 1) / 2;
+      // Within an x-tie group the ys are sorted; count joint ties.
+      size_t a = i;
+      while (a < j) {
+        size_t b = a + 1;
+        while (b < j && ys[b] == ys[a]) ++b;
+        const uint64_t h = b - a;
+        ties_xy += h * (h - 1) / 2;
+        a = b;
+      }
+      i = j;
+    }
+  }
+
+  std::vector<double> y_seq = ys;
+  std::vector<double> y_sorted = ys;
+  std::sort(y_sorted.begin(), y_sorted.end());
+  const uint64_t ties_y = TiedPairs(y_sorted);
+
+  std::vector<double> scratch(n);
+  const uint64_t discordant = MergeCountSwaps(&y_seq, &scratch, 0, n);
+
+  // C - D = n0 - ties_x - ties_y + ties_xy - 2D  (standard identity).
+  const double concordant_minus_discordant =
+      static_cast<double>(n0) - static_cast<double>(ties_x) -
+      static_cast<double>(ties_y) + static_cast<double>(ties_xy) -
+      2.0 * static_cast<double>(discordant);
+  const double denom_x = static_cast<double>(n0 - ties_x);
+  const double denom_y = static_cast<double>(n0 - ties_y);
+  if (denom_x <= 0.0 || denom_y <= 0.0) return 0.0;
+  return concordant_minus_discordant / std::sqrt(denom_x * denom_y);
+}
+
+double KendallTauScores(const FSimScores& reference, const FSimScores& other,
+                        double missing_value) {
+  std::vector<double> x;
+  std::vector<double> y;
+  x.reserve(reference.NumPairs());
+  y.reserve(reference.NumPairs());
+  const auto& keys = reference.keys();
+  const auto& values = reference.values();
+  for (size_t i = 0; i < keys.size(); ++i) {
+    const NodeId u = PairFirst(keys[i]);
+    const NodeId v = PairSecond(keys[i]);
+    x.push_back(values[i]);
+    y.push_back(other.Contains(u, v) ? other.Score(u, v) : missing_value);
+  }
+  return KendallTau(x, y);
+}
+
+double CorrelateCommonScores(const FSimScores& a, const FSimScores& b) {
+  std::vector<double> x;
+  std::vector<double> y;
+  const auto& keys = a.keys();
+  const auto& values = a.values();
+  for (size_t i = 0; i < keys.size(); ++i) {
+    const NodeId u = PairFirst(keys[i]);
+    const NodeId v = PairSecond(keys[i]);
+    if (!b.Contains(u, v)) continue;
+    x.push_back(values[i]);
+    y.push_back(b.Score(u, v));
+  }
+  return PearsonCorrelation(x, y);
+}
+
+}  // namespace fsim

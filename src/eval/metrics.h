@@ -1,0 +1,60 @@
+// Evaluation metrics used across the experiments: Pearson's correlation
+// coefficient (the sensitivity/robustness studies, §5.2), nDCG (the venue
+// ranking study, Table 8), F1 (pattern matching Table 6 and alignment
+// Table 9), and helpers to correlate two FSim score containers.
+#ifndef FSIM_EVAL_METRICS_H_
+#define FSIM_EVAL_METRICS_H_
+
+#include <vector>
+
+#include "core/fsim_scores.h"
+
+namespace fsim {
+
+/// Pearson's correlation coefficient of two equal-length samples. Returns 1
+/// if either sample has zero variance and the samples are identical up to
+/// affine degeneracy (both constant), else 0 for a constant-vs-varying pair.
+double PearsonCorrelation(const std::vector<double>& x,
+                          const std::vector<double>& y);
+
+/// Normalized discounted cumulative gain at cutoff k for graded relevance
+/// values in ranked order (`ranked[i]` = relevance of the item ranked i).
+/// `ideal` is the multiset of available relevance grades (it is sorted
+/// descending internally).
+double NDCG(const std::vector<double>& ranked, std::vector<double> ideal,
+            size_t k);
+
+/// F1 = 2PR/(P+R); 0 when both are 0.
+double F1Score(double precision, double recall);
+
+/// Pearson correlation between two score containers over the pairs of
+/// `reference`: pairs missing from `other` count as score `missing_value`.
+/// This is the comparison used by the sensitivity analyses (a run with
+/// stronger pruning is correlated against a baseline run).
+double CorrelateScores(const FSimScores& reference, const FSimScores& other,
+                       double missing_value = 0.0);
+
+/// Pearson correlation restricted to pairs present in both containers.
+double CorrelateCommonScores(const FSimScores& a, const FSimScores& b);
+
+/// Kendall's τ-b rank correlation of two equal-length samples, computed in
+/// O(n log n) with merge-sort inversion counting (Knight's algorithm) and
+/// tie-corrected:
+///
+///   τ-b = (C - D) / sqrt((n0 - t_x) * (n0 - t_y)),   n0 = n(n-1)/2,
+///
+/// where C/D are concordant/discordant pair counts and t_x/t_y the tied-pair
+/// counts in each sample. Returns 0 when either sample is fully tied.
+/// Complements Pearson in the sensitivity analyses: rank agreement is the
+/// property the ranking case studies (Tables 7/8) actually rely on.
+double KendallTau(const std::vector<double>& x, const std::vector<double>& y);
+
+/// Kendall's τ-b between two score containers over the pairs of `reference`
+/// (missing pairs in `other` count as `missing_value`), mirroring
+/// CorrelateScores.
+double KendallTauScores(const FSimScores& reference, const FSimScores& other,
+                        double missing_value = 0.0);
+
+}  // namespace fsim
+
+#endif  // FSIM_EVAL_METRICS_H_

@@ -1,0 +1,45 @@
+#include "exact/bounded_simulation.h"
+
+#include <queue>
+#include <vector>
+
+#include "common/logging.h"
+#include "graph/graph_builder.h"
+
+namespace fsim {
+
+Graph BoundedClosure(const Graph& g, uint32_t k) {
+  FSIM_CHECK(k >= 1);
+  GraphBuilder builder(g.dict());
+  for (NodeId u = 0; u < g.NumNodes(); ++u) {
+    builder.AddNodeWithLabelId(g.Label(u));
+  }
+  // Bounded BFS from every node over out-edges.
+  std::vector<uint32_t> dist(g.NumNodes());
+  for (NodeId source = 0; source < g.NumNodes(); ++source) {
+    std::fill(dist.begin(), dist.end(), ~0U);
+    std::queue<NodeId> queue;
+    dist[source] = 0;
+    queue.push(source);
+    while (!queue.empty()) {
+      const NodeId u = queue.front();
+      queue.pop();
+      if (dist[u] == k) continue;
+      for (NodeId w : g.OutNeighbors(u)) {
+        if (dist[w] != ~0U) continue;
+        dist[w] = dist[u] + 1;
+        queue.push(w);
+        if (w != source) builder.AddEdge(source, w);
+      }
+    }
+  }
+  return std::move(builder).BuildOrDie();
+}
+
+BinaryRelation MaxBoundedSimulation(const Graph& query, const Graph& data,
+                                    uint32_t k) {
+  Graph closure = BoundedClosure(data, k);
+  return MaxSimulation(query, closure, SimVariant::kSimple);
+}
+
+}  // namespace fsim

@@ -1,0 +1,34 @@
+// Bounded simulation (Fan et al. [5]) — one of the k-hop variants the paper
+// names as future work for the framework (§6): a query edge (u, u') is
+// satisfied not only by a data edge but by any directed path of length <= k
+// from v to v'. Equivalently, it is simple simulation where the data graph's
+// neighbor sets are replaced by bounded-reachability sets.
+//
+// Included both as the exact relation and as an FSimχ front end: feeding the
+// k-hop closure of the data graph to ComputeFSim quantifies bounded
+// simulation fractionally, which is exactly the paper's suggested extension
+// route.
+#ifndef FSIM_EXACT_BOUNDED_SIMULATION_H_
+#define FSIM_EXACT_BOUNDED_SIMULATION_H_
+
+#include <cstdint>
+
+#include "exact/exact_simulation.h"
+#include "graph/graph.h"
+
+namespace fsim {
+
+/// The k-hop closure of g: an edge (u, w) for every w reachable from u by a
+/// directed path of 1..k edges (w != u). k = 1 returns an equal graph.
+/// Intended for small k on sparse graphs (the closure densifies quickly).
+Graph BoundedClosure(const Graph& g, uint32_t k);
+
+/// Maximum bounded simulation of `query` in `data` with path bound k:
+/// query edges must map to data paths of length <= k (in both directions).
+/// Computed as MaxSimulation(query, BoundedClosure(data, k), kSimple).
+BinaryRelation MaxBoundedSimulation(const Graph& query, const Graph& data,
+                                    uint32_t k);
+
+}  // namespace fsim
+
+#endif  // FSIM_EXACT_BOUNDED_SIMULATION_H_

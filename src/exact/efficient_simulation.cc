@@ -1,0 +1,111 @@
+#include "exact/efficient_simulation.h"
+
+#include <deque>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace fsim {
+
+namespace {
+
+/// Index into the flat (u, v) counter arrays.
+inline size_t Idx(size_t n2, NodeId u, NodeId v) {
+  return static_cast<size_t>(u) * n2 + v;
+}
+
+}  // namespace
+
+BinaryRelation MaxSimulationEfficient(const Graph& g1, const Graph& g2) {
+  FSIM_CHECK(g1.dict() == g2.dict());
+  const size_t n1 = g1.NumNodes();
+  const size_t n2 = g2.NumNodes();
+  BinaryRelation rel(n1, n2);
+
+  // support_out[(u', v)] = |{v' in N+(v) : (u', v') in R}| — the number of
+  // v-successors that can still simulate u'. The pair (u, v) is valid only
+  // if support_out[(u', v)] > 0 for every u' in N+(u) (Definition 1, cond.
+  // 2), and symmetrically for in-neighbors.
+  std::vector<uint32_t> support_out(n1 * n2, 0);
+  std::vector<uint32_t> support_in(n1 * n2, 0);
+
+  // Initialize R with label-equal pairs and fill the counters.
+  for (NodeId u = 0; u < n1; ++u) {
+    for (NodeId v = 0; v < n2; ++v) {
+      if (g1.Label(u) == g2.Label(v)) rel.Set(u, v, true);
+    }
+  }
+  for (NodeId up = 0; up < n1; ++up) {
+    for (NodeId v = 0; v < n2; ++v) {
+      uint32_t out_count = 0;
+      for (NodeId vp : g2.OutNeighbors(v)) {
+        if (rel.Contains(up, vp)) ++out_count;
+      }
+      support_out[Idx(n2, up, v)] = out_count;
+      uint32_t in_count = 0;
+      for (NodeId vp : g2.InNeighbors(v)) {
+        if (rel.Contains(up, vp)) ++in_count;
+      }
+      support_in[Idx(n2, up, v)] = in_count;
+    }
+  }
+
+  // Seed the removal queue with initially invalid pairs.
+  std::deque<uint64_t> queue;
+  auto pair_key = [&](NodeId u, NodeId v) {
+    return (static_cast<uint64_t>(u) << 32) | v;
+  };
+  auto is_valid = [&](NodeId u, NodeId v) {
+    for (NodeId up : g1.OutNeighbors(u)) {
+      if (support_out[Idx(n2, up, v)] == 0) return false;
+    }
+    for (NodeId up : g1.InNeighbors(u)) {
+      if (support_in[Idx(n2, up, v)] == 0) return false;
+    }
+    return true;
+  };
+  for (NodeId u = 0; u < n1; ++u) {
+    for (NodeId v = 0; v < n2; ++v) {
+      if (rel.Contains(u, v) && !is_valid(u, v)) {
+        queue.push_back(pair_key(u, v));
+      }
+    }
+  }
+
+  // Cascade: removing (u, v) decrements the support of (u, pred/succ of v)
+  // counters; any pair whose support hits zero and whose left node needs
+  // that support becomes invalid.
+  while (!queue.empty()) {
+    const uint64_t key = queue.front();
+    queue.pop_front();
+    const NodeId u = static_cast<NodeId>(key >> 32);
+    const NodeId v = static_cast<NodeId>(key & 0xFFFFFFFFULL);
+    if (!rel.Contains(u, v)) continue;  // already removed
+    rel.Set(u, v, false);
+
+    // v no longer simulates u: every v_pred with v in N+(v_pred) loses one
+    // unit of support_out[(u, v_pred)].
+    for (NodeId v_pred : g2.InNeighbors(v)) {
+      uint32_t& count = support_out[Idx(n2, u, v_pred)];
+      FSIM_DCHECK(count > 0);
+      if (--count == 0) {
+        // Pairs (x, v_pred) with u in N+(x) just became invalid.
+        for (NodeId x : g1.InNeighbors(u)) {
+          if (rel.Contains(x, v_pred)) queue.push_back(pair_key(x, v_pred));
+        }
+      }
+    }
+    for (NodeId v_succ : g2.OutNeighbors(v)) {
+      uint32_t& count = support_in[Idx(n2, u, v_succ)];
+      FSIM_DCHECK(count > 0);
+      if (--count == 0) {
+        for (NodeId x : g1.OutNeighbors(u)) {
+          if (rel.Contains(x, v_succ)) queue.push_back(pair_key(x, v_succ));
+        }
+      }
+    }
+  }
+  return rel;
+}
+
+}  // namespace fsim

@@ -1,0 +1,26 @@
+// Worklist-based maximum simple-simulation computation in the style of
+// Henzinger-Henzinger-Kopke (and its modern refinements, cf. Ranzato [48]):
+// instead of re-checking every surviving pair per round (the naive greatest
+// fixpoint in exact_simulation.h), maintains per-(node, candidate) counters
+// of "supporting" neighbors and cascades removals — each edge pair is
+// processed O(1) times, giving O(|V1||V2| + |E1||E2|/avg) style behaviour
+// instead of O(rounds * |R| * d^2).
+//
+// Only the simple variant (χ = s) is supported: the injective variants'
+// conditions are matching problems and do not decompose into counters.
+#ifndef FSIM_EXACT_EFFICIENT_SIMULATION_H_
+#define FSIM_EXACT_EFFICIENT_SIMULATION_H_
+
+#include "exact/exact_simulation.h"
+#include "graph/graph.h"
+
+namespace fsim {
+
+/// Maximum simple simulation between G1 and G2 (same contract as
+/// MaxSimulation(g1, g2, SimVariant::kSimple), validated against it by
+/// property tests), computed with the counting/worklist algorithm.
+BinaryRelation MaxSimulationEfficient(const Graph& g1, const Graph& g2);
+
+}  // namespace fsim
+
+#endif  // FSIM_EXACT_EFFICIENT_SIMULATION_H_

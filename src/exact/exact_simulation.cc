@@ -1,0 +1,152 @@
+#include "exact/exact_simulation.h"
+
+#include <algorithm>
+#include <span>
+
+#include "common/logging.h"
+#include "matching/bipartite_matching.h"
+
+namespace fsim {
+
+const char* SimVariantName(SimVariant v) {
+  switch (v) {
+    case SimVariant::kSimple:
+      return "s";
+    case SimVariant::kDegreePreserving:
+      return "dp";
+    case SimVariant::kBi:
+      return "b";
+    case SimVariant::kBijective:
+      return "bj";
+  }
+  return "?";
+}
+
+bool HasConverseInvariance(SimVariant v) {
+  return v == SimVariant::kBi || v == SimVariant::kBijective;
+}
+
+size_t BinaryRelation::CountPairs() const {
+  size_t count = 0;
+  for (uint8_t b : bits_) count += b;
+  return count;
+}
+
+namespace {
+
+/// ∀x∈s1 ∃y∈s2: R(x,y)  (the coverage condition of Definition 1).
+bool CoveredForward(const BinaryRelation& rel, std::span<const NodeId> s1,
+                    std::span<const NodeId> s2) {
+  for (NodeId x : s1) {
+    bool found = false;
+    for (NodeId y : s2) {
+      if (rel.Contains(x, y)) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) return false;
+  }
+  return true;
+}
+
+/// ∀y∈s2 ∃x∈s1: R(x,y)  (the converse condition of b-simulation).
+bool CoveredBackward(const BinaryRelation& rel, std::span<const NodeId> s1,
+                     std::span<const NodeId> s2) {
+  for (NodeId y : s2) {
+    bool found = false;
+    for (NodeId x : s1) {
+      if (rel.Contains(x, y)) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) return false;
+  }
+  return true;
+}
+
+/// Does an injective λ: s1 → s2 with (x, λ(x)) ∈ R exist? Reduces to a
+/// perfect-on-the-left bipartite matching on the R-compatibility graph.
+bool HasInjectiveMapping(const BinaryRelation& rel, std::span<const NodeId> s1,
+                         std::span<const NodeId> s2) {
+  if (s1.size() > s2.size()) return false;
+  if (s1.empty()) return true;
+  std::vector<std::vector<uint32_t>> adj(s1.size());
+  for (size_t i = 0; i < s1.size(); ++i) {
+    for (size_t j = 0; j < s2.size(); ++j) {
+      if (rel.Contains(s1[i], s2[j])) adj[i].push_back(static_cast<uint32_t>(j));
+    }
+  }
+  return MaxBipartiteMatching(adj, s2.size()) == s1.size();
+}
+
+/// Does a bijective λ: s1 → s2 with (x, λ(x)) ∈ R exist?
+bool HasBijectiveMapping(const BinaryRelation& rel, std::span<const NodeId> s1,
+                         std::span<const NodeId> s2) {
+  if (s1.size() != s2.size()) return false;
+  return HasInjectiveMapping(rel, s1, s2);
+}
+
+bool CheckPair(const Graph& g1, const Graph& g2, SimVariant variant,
+               const BinaryRelation& rel, NodeId u, NodeId v) {
+  auto out1 = g1.OutNeighbors(u);
+  auto out2 = g2.OutNeighbors(v);
+  auto in1 = g1.InNeighbors(u);
+  auto in2 = g2.InNeighbors(v);
+  switch (variant) {
+    case SimVariant::kSimple:
+      return CoveredForward(rel, out1, out2) && CoveredForward(rel, in1, in2);
+    case SimVariant::kBi:
+      return CoveredForward(rel, out1, out2) && CoveredForward(rel, in1, in2) &&
+             CoveredBackward(rel, out1, out2) && CoveredBackward(rel, in1, in2);
+    case SimVariant::kDegreePreserving:
+      return HasInjectiveMapping(rel, out1, out2) &&
+             HasInjectiveMapping(rel, in1, in2);
+    case SimVariant::kBijective:
+      return HasBijectiveMapping(rel, out1, out2) &&
+             HasBijectiveMapping(rel, in1, in2);
+  }
+  return false;
+}
+
+}  // namespace
+
+BinaryRelation MaxSimulation(const Graph& g1, const Graph& g2,
+                             SimVariant variant) {
+  FSIM_CHECK(g1.dict() == g2.dict())
+      << "MaxSimulation requires graphs sharing one LabelDict";
+  const size_t n1 = g1.NumNodes();
+  const size_t n2 = g2.NumNodes();
+  BinaryRelation rel(n1, n2);
+  for (NodeId u = 0; u < n1; ++u) {
+    for (NodeId v = 0; v < n2; ++v) {
+      if (g1.Label(u) == g2.Label(v)) rel.Set(u, v, true);
+    }
+  }
+
+  // Greatest fixpoint: repeatedly delete pairs whose condition fails. The
+  // conditions are monotone in R, so deletions never need to be revisited
+  // and the loop terminates with the maximum χ-simulation.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (NodeId u = 0; u < n1; ++u) {
+      for (NodeId v = 0; v < n2; ++v) {
+        if (!rel.Contains(u, v)) continue;
+        if (!CheckPair(g1, g2, variant, rel, u, v)) {
+          rel.Set(u, v, false);
+          changed = true;
+        }
+      }
+    }
+  }
+  return rel;
+}
+
+bool Simulates(const Graph& g1, const Graph& g2, SimVariant variant, NodeId u,
+               NodeId v) {
+  return MaxSimulation(g1, g2, variant).Contains(u, v);
+}
+
+}  // namespace fsim

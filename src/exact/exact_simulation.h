@@ -1,0 +1,67 @@
+// Exact ("yes-or-no") χ-simulation for all four variants of the paper
+// (Definitions 1-3): simple (s), degree-preserving (dp), bi (b) and the
+// paper's new bijective (bj) simulation. Computed as the greatest fixpoint of
+// condition-checking over the same-label pair relation; the per-pair
+// conditions are monotone in R, so the fixpoint is the *maximum*
+// χ-simulation and u ⇝χ v ⟺ (u,v) ∈ MaxSimulation(G1, G2, χ).
+#ifndef FSIM_EXACT_EXACT_SIMULATION_H_
+#define FSIM_EXACT_EXACT_SIMULATION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace fsim {
+
+/// The four χ-simulation variants (Definition 2/3). Figure 3(a): dp has
+/// injective neighbor mapping, b has converse invariance, bj has both.
+enum class SimVariant : int {
+  kSimple = 0,
+  kDegreePreserving = 1,
+  kBi = 2,
+  kBijective = 3,
+};
+
+/// "s" / "dp" / "b" / "bj".
+const char* SimVariantName(SimVariant v);
+
+/// True if the variant has the converse-invariance property (u ⇝ v implies
+/// v ⇝ u): bisimulation and bijective simulation.
+bool HasConverseInvariance(SimVariant v);
+
+/// Dense binary relation over V1 x V2.
+class BinaryRelation {
+ public:
+  BinaryRelation(size_t n1, size_t n2)
+      : n1_(n1), n2_(n2), bits_(n1 * n2, 0) {}
+
+  bool Contains(NodeId u, NodeId v) const {
+    return bits_[static_cast<size_t>(u) * n2_ + v] != 0;
+  }
+  void Set(NodeId u, NodeId v, bool present) {
+    bits_[static_cast<size_t>(u) * n2_ + v] = present ? 1 : 0;
+  }
+  size_t CountPairs() const;
+  size_t n1() const { return n1_; }
+  size_t n2() const { return n2_; }
+
+ private:
+  size_t n1_;
+  size_t n2_;
+  std::vector<uint8_t> bits_;
+};
+
+/// Computes the maximum χ-simulation relation between G1 and G2. The graphs
+/// must share a label dictionary (pass the same graph twice for self-
+/// simulation; G1 = G2 is explicitly allowed by the paper).
+BinaryRelation MaxSimulation(const Graph& g1, const Graph& g2,
+                             SimVariant variant);
+
+/// Convenience: u ⇝χ v?
+bool Simulates(const Graph& g1, const Graph& g2, SimVariant variant, NodeId u,
+               NodeId v);
+
+}  // namespace fsim
+
+#endif  // FSIM_EXACT_EXACT_SIMULATION_H_

@@ -1,0 +1,188 @@
+#include "exact/partition_refinement.h"
+
+#include <algorithm>
+#include <deque>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace fsim {
+
+namespace {
+
+/// Mutable partition state: per-block member lists plus the reverse map.
+struct RefinementState {
+  std::vector<std::vector<NodeId>> members;
+  std::vector<uint32_t> block_of;
+  std::deque<uint32_t> worklist;
+  std::vector<uint8_t> in_worklist;
+
+  void Push(uint32_t block) {
+    if (block >= in_worklist.size()) in_worklist.resize(block + 1, 0);
+    if (in_worklist[block]) return;
+    in_worklist[block] = 1;
+    worklist.push_back(block);
+  }
+
+  uint32_t Pop() {
+    uint32_t block = worklist.front();
+    worklist.pop_front();
+    in_worklist[block] = 0;
+    return block;
+  }
+};
+
+/// Splits every block containing a touched node by the per-node key
+/// (semantics-dependent), pushing all fragments of every block that
+/// actually splits (the conservative Kanellakis-Smolka policy, which is
+/// correct for both set and counting stability).
+void SplitTouchedBlocks(RefinementState* state,
+                        const std::vector<NodeId>& touched,
+                        const std::vector<uint32_t>& count,
+                        RefinementSemantics semantics) {
+  // Deduplicate the touched blocks.
+  std::vector<uint32_t> touched_blocks;
+  for (NodeId u : touched) {
+    uint32_t b = state->block_of[u];
+    if (std::find(touched_blocks.begin(), touched_blocks.end(), b) ==
+        touched_blocks.end()) {
+      touched_blocks.push_back(b);
+    }
+  }
+
+  for (uint32_t b : touched_blocks) {
+    std::vector<NodeId>& block = state->members[b];
+    if (block.size() <= 1) continue;
+
+    // Key of a member: 0 if it has no edge into the splitter; otherwise 1
+    // (set semantics) or the edge count (counting semantics).
+    auto key_of = [&](NodeId u) -> uint32_t {
+      uint32_t c = count[u];
+      if (semantics == RefinementSemantics::kSet) return c > 0 ? 1 : 0;
+      return c;
+    };
+
+    // Group members by key, ascending, for deterministic block numbering.
+    std::vector<std::pair<uint32_t, NodeId>> keyed;
+    keyed.reserve(block.size());
+    bool uniform = true;
+    const uint32_t first_key = key_of(block[0]);
+    for (NodeId u : block) {
+      uint32_t k = key_of(u);
+      if (k != first_key) uniform = false;
+      keyed.emplace_back(k, u);
+    }
+    if (uniform) continue;
+    std::sort(keyed.begin(), keyed.end());
+
+    // The first group keeps id b; subsequent groups get fresh ids.
+    block.clear();
+    uint32_t current_block = b;
+    uint32_t current_key = keyed[0].first;
+    for (const auto& [k, u] : keyed) {
+      if (k != current_key) {
+        current_key = k;
+        current_block = static_cast<uint32_t>(state->members.size());
+        state->members.emplace_back();
+      }
+      state->members[current_block].push_back(u);
+      state->block_of[u] = current_block;
+    }
+
+    // Conservative push: every fragment (including the retained id) may be
+    // a new splitter.
+    state->Push(b);
+    for (uint32_t nb = current_block; nb > b && nb < state->members.size();
+         ++nb) {
+      if (!state->members[nb].empty()) state->Push(nb);
+    }
+  }
+}
+
+}  // namespace
+
+Partition CoarsestStablePartition(const Graph& g,
+                                  RefinementSemantics semantics,
+                                  bool use_in_neighbors) {
+  const size_t n = g.NumNodes();
+  Partition result;
+  result.block_of.assign(n, 0);
+  if (n == 0) return result;
+
+  RefinementState state;
+  state.block_of.assign(n, 0);
+
+  // Initial partition: group by label id.
+  {
+    std::vector<std::pair<LabelId, NodeId>> by_label;
+    by_label.reserve(n);
+    for (NodeId u = 0; u < n; ++u) by_label.emplace_back(g.Label(u), u);
+    std::sort(by_label.begin(), by_label.end());
+    for (const auto& [label, u] : by_label) {
+      if (state.members.empty() ||
+          g.Label(state.members.back().front()) != label) {
+        state.members.emplace_back();
+      }
+      state.members.back().push_back(u);
+      state.block_of[u] = static_cast<uint32_t>(state.members.size() - 1);
+    }
+  }
+  for (uint32_t b = 0; b < state.members.size(); ++b) state.Push(b);
+
+  // Scratch: per-node edge count into the current splitter, reset via the
+  // touched list (O(touched), not O(n), per splitter).
+  std::vector<uint32_t> count(n, 0);
+  std::vector<NodeId> touched;
+
+  while (!state.worklist.empty()) {
+    const uint32_t splitter = state.Pop();
+    ++result.splitters_processed;
+    // Snapshot: the splitter's member list may be rewritten if it splits
+    // below; the split against the pre-split members is still a valid (and
+    // conservatively re-queued) refinement step.
+    std::vector<NodeId> splitter_nodes = state.members[splitter];
+
+    // Direction 1: split by out-edges into the splitter. u reaches w in S
+    // via u -> w, so the candidates are the in-neighbors of S's members.
+    touched.clear();
+    for (NodeId w : splitter_nodes) {
+      for (NodeId u : g.InNeighbors(w)) {
+        if (count[u] == 0) touched.push_back(u);
+        ++count[u];
+      }
+    }
+    SplitTouchedBlocks(&state, touched, count, semantics);
+    for (NodeId u : touched) count[u] = 0;
+
+    if (use_in_neighbors) {
+      // Direction 2: split by in-edges from the splitter (w -> u, w in S).
+      touched.clear();
+      for (NodeId w : splitter_nodes) {
+        for (NodeId u : g.OutNeighbors(w)) {
+          if (count[u] == 0) touched.push_back(u);
+          ++count[u];
+        }
+      }
+      SplitTouchedBlocks(&state, touched, count, semantics);
+      for (NodeId u : touched) count[u] = 0;
+    }
+  }
+
+  // Renumber blocks densely in order of first appearance by node id.
+  std::vector<uint32_t> rename(state.members.size(), kInvalidNode);
+  uint32_t next = 0;
+  for (NodeId u = 0; u < n; ++u) {
+    uint32_t b = state.block_of[u];
+    if (rename[b] == kInvalidNode) rename[b] = next++;
+    result.block_of[u] = rename[b];
+  }
+  result.num_blocks = next;
+  return result;
+}
+
+Partition BisimulationPartition(const Graph& g) {
+  return CoarsestStablePartition(g, RefinementSemantics::kSet,
+                                 /*use_in_neighbors=*/true);
+}
+
+}  // namespace fsim

@@ -1,0 +1,118 @@
+#include "exact/signatures.h"
+
+#include <algorithm>
+
+#include "common/hash.h"
+#include "common/logging.h"
+
+namespace fsim {
+
+namespace {
+
+constexpr uint64_t kLabelSeed = 0x5CA1AB1E0DDBA11ULL;
+
+std::vector<uint64_t> InitialSignatures(const Graph& g) {
+  std::vector<uint64_t> sig(g.NumNodes());
+  for (NodeId u = 0; u < g.NumNodes(); ++u) {
+    sig[u] = Mix64(kLabelSeed ^ g.Label(u));
+  }
+  return sig;
+}
+
+/// One refinement round. `set_semantics` deduplicates neighbor signatures
+/// (bisimulation); multiset semantics keeps duplicates (WL).
+std::vector<uint64_t> RefineOnce(const Graph& g,
+                                 const std::vector<uint64_t>& sig,
+                                 bool use_in_neighbors, bool set_semantics) {
+  std::vector<uint64_t> next(g.NumNodes());
+  std::vector<uint64_t> nbr;
+  for (NodeId u = 0; u < g.NumNodes(); ++u) {
+    uint64_t h = HashCombine(0x9E3779B97F4A7C15ULL, sig[u]);
+    auto fold = [&](std::span<const NodeId> nbrs, uint64_t direction_tag) {
+      nbr.clear();
+      for (NodeId w : nbrs) nbr.push_back(sig[w]);
+      std::sort(nbr.begin(), nbr.end());
+      if (set_semantics) {
+        nbr.erase(std::unique(nbr.begin(), nbr.end()), nbr.end());
+      }
+      h = HashCombine(h, direction_tag);
+      for (uint64_t s : nbr) h = HashCombine(h, s);
+    };
+    fold(g.OutNeighbors(u), 0xF00DULL);
+    if (use_in_neighbors) fold(g.InNeighbors(u), 0xBEEFULL);
+    next[u] = h;
+  }
+  return next;
+}
+
+size_t CountDistinct(const std::vector<uint64_t>& a,
+                     const std::vector<uint64_t>& b) {
+  std::vector<uint64_t> all;
+  all.reserve(a.size() + b.size());
+  all.insert(all.end(), a.begin(), a.end());
+  all.insert(all.end(), b.begin(), b.end());
+  std::sort(all.begin(), all.end());
+  all.erase(std::unique(all.begin(), all.end()), all.end());
+  return all.size();
+}
+
+std::pair<std::vector<uint64_t>, std::vector<uint64_t>> RefineUntilStable(
+    const Graph& g1, const Graph& g2, bool use_in_neighbors,
+    bool set_semantics, uint32_t max_rounds) {
+  auto sig1 = InitialSignatures(g1);
+  auto sig2 = InitialSignatures(g2);
+  size_t distinct = CountDistinct(sig1, sig2);
+  const uint32_t bound =
+      max_rounds > 0
+          ? max_rounds
+          : static_cast<uint32_t>(g1.NumNodes() + g2.NumNodes() + 1);
+  for (uint32_t round = 0; round < bound; ++round) {
+    auto next1 = RefineOnce(g1, sig1, use_in_neighbors, set_semantics);
+    auto next2 = RefineOnce(g2, sig2, use_in_neighbors, set_semantics);
+    size_t next_distinct = CountDistinct(next1, next2);
+    if (next_distinct == distinct && max_rounds == 0) {
+      // Partition stable: the previous signatures already induce the
+      // coarsest stable partition. Return them (values from the same round
+      // so they stay cross-graph comparable).
+      return {std::move(sig1), std::move(sig2)};
+    }
+    sig1 = std::move(next1);
+    sig2 = std::move(next2);
+    distinct = next_distinct;
+  }
+  return {std::move(sig1), std::move(sig2)};
+}
+
+}  // namespace
+
+std::vector<uint64_t> KBisimulationSignatures(const Graph& g, uint32_t k) {
+  auto sig = InitialSignatures(g);
+  for (uint32_t round = 0; round < k; ++round) {
+    sig = RefineOnce(g, sig, /*use_in_neighbors=*/false,
+                     /*set_semantics=*/true);
+  }
+  return sig;
+}
+
+std::pair<std::vector<uint64_t>, std::vector<uint64_t>> BisimulationClasses(
+    const Graph& g1, const Graph& g2, bool use_in_neighbors,
+    uint32_t max_rounds) {
+  FSIM_CHECK(g1.dict() == g2.dict());
+  return RefineUntilStable(g1, g2, use_in_neighbors, /*set_semantics=*/true,
+                           max_rounds);
+}
+
+std::vector<uint64_t> WLColors(const Graph& g, uint32_t max_rounds) {
+  auto [sig, unused] = RefineUntilStable(g, g, /*use_in_neighbors=*/false,
+                                         /*set_semantics=*/false, max_rounds);
+  return sig;
+}
+
+std::pair<std::vector<uint64_t>, std::vector<uint64_t>> WLColors2(
+    const Graph& g1, const Graph& g2, uint32_t max_rounds) {
+  FSIM_CHECK(g1.dict() == g2.dict());
+  return RefineUntilStable(g1, g2, /*use_in_neighbors=*/false,
+                           /*set_semantics=*/false, max_rounds);
+}
+
+}  // namespace fsim

@@ -1,0 +1,47 @@
+// Signature-based structural refinements:
+//  * k-bisimulation signatures (Luo et al. [21], §4.3 of the paper):
+//    sig_0(u) = ℓ(u); sig_k(u) hashes (sig_{k-1}(u), the *set* of
+//    out-neighbors' sig_{k-1}); u, v are k-bisimilar ⟺ sig_k(u) = sig_k(v).
+//  * Full bisimulation classes: the same refinement (optionally with
+//    in-neighbor sets) run until the partition stabilizes — the classical
+//    partition-refinement bisimilarity used by the Olap aligner [7].
+//  * Weisfeiler-Lehman colors (multiset semantics, own color included) for
+//    the Theorem 5 equivalence with bijective simulation.
+//
+// Signatures are deterministic functions of label ids and structure, so two
+// graphs sharing a LabelDict produce directly comparable signatures.
+#ifndef FSIM_EXACT_SIGNATURES_H_
+#define FSIM_EXACT_SIGNATURES_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace fsim {
+
+/// k rounds of k-bisimulation signature refinement (out-neighbors only, set
+/// semantics), per [21].
+std::vector<uint64_t> KBisimulationSignatures(const Graph& g, uint32_t k);
+
+/// Runs set-semantics refinement until the joint partition of g1 and g2
+/// stabilizes (or `max_rounds` if non-zero); considers out-neighbors and,
+/// when `use_in_neighbors`, in-neighbors too. Returns per-graph signature
+/// vectors whose values are comparable across the two graphs. Equal
+/// signature ⟺ bisimilar (up to negligible 64-bit hash collisions).
+std::pair<std::vector<uint64_t>, std::vector<uint64_t>> BisimulationClasses(
+    const Graph& g1, const Graph& g2, bool use_in_neighbors,
+    uint32_t max_rounds = 0);
+
+/// Weisfeiler-Lehman color refinement on the graph's out-neighbor lists with
+/// multiset semantics, run until stable (or max_rounds). Intended for
+/// undirected adaptations (Graph::AsUndirected).
+std::vector<uint64_t> WLColors(const Graph& g, uint32_t max_rounds = 0);
+
+/// Joint WL refinement of two graphs (colors comparable across them).
+std::pair<std::vector<uint64_t>, std::vector<uint64_t>> WLColors2(
+    const Graph& g1, const Graph& g2, uint32_t max_rounds = 0);
+
+}  // namespace fsim
+
+#endif  // FSIM_EXACT_SIGNATURES_H_

@@ -1,0 +1,110 @@
+#include "exact/strong_simulation.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "exact/exact_simulation.h"
+#include "graph/subgraph.h"
+#include "graph/traversal.h"
+
+namespace fsim {
+
+std::vector<StrongSimMatch> StrongSimulation(const Graph& query,
+                                             const Graph& data,
+                                             const StrongSimOptions& opts) {
+  FSIM_CHECK(query.dict() == data.dict());
+  std::vector<StrongSimMatch> results;
+  if (query.NumNodes() == 0 || data.NumNodes() == 0) return results;
+
+  const uint32_t radius = std::max<uint32_t>(1, ExactDiameter(query));
+
+  // Global pre-filter: a ball-local simulation is contained in the global
+  // one, so only data nodes in the image of the global simulation can ever
+  // appear in a match (and only they are valid centers). In partial-
+  // coverage mode the global simulation may be empty even though partial
+  // ball matches exist, so the filter falls back to label membership.
+  std::vector<NodeId> centers;
+  if (opts.min_coverage >= 1.0) {
+    BinaryRelation global = MaxSimulation(query, data, SimVariant::kSimple);
+    for (NodeId w = 0; w < data.NumNodes(); ++w) {
+      for (NodeId q = 0; q < query.NumNodes(); ++q) {
+        if (global.Contains(q, w)) {
+          centers.push_back(w);
+          break;
+        }
+      }
+    }
+  } else {
+    std::vector<char> query_labels(query.dict()->size(), 0);
+    for (NodeId q = 0; q < query.NumNodes(); ++q) {
+      query_labels[query.Label(q)] = 1;
+    }
+    for (NodeId w = 0; w < data.NumNodes(); ++w) {
+      if (query_labels[data.Label(w)]) centers.push_back(w);
+    }
+  }
+
+  if (opts.max_centers > 0 && centers.size() > opts.max_centers) {
+    // Even stride subsample, deterministic.
+    std::vector<NodeId> sampled;
+    sampled.reserve(opts.max_centers);
+    const double stride = static_cast<double>(centers.size()) /
+                          static_cast<double>(opts.max_centers);
+    for (size_t i = 0; i < opts.max_centers; ++i) {
+      sampled.push_back(centers[static_cast<size_t>(i * stride)]);
+    }
+    centers = std::move(sampled);
+  }
+
+  for (NodeId center : centers) {
+    auto ball_node_ids = BallNodes(data, center, radius);
+    if (opts.max_ball_size > 0 && ball_node_ids.size() > opts.max_ball_size) {
+      continue;
+    }
+    Subgraph ball = InducedSubgraph(data, ball_node_ids);
+    BinaryRelation rel =
+        MaxSimulation(query, ball.graph, SimVariant::kSimple);
+
+    // Criterion (2): R contains the center and (min_coverage of) the query
+    // nodes.
+    const NodeId local_center = ball.from_parent[center];
+    bool center_matched = false;
+    size_t covered = 0;
+    StrongSimMatch match;
+    match.center = center;
+    match.query_matches.resize(query.NumNodes());
+    for (NodeId q = 0; q < query.NumNodes(); ++q) {
+      for (NodeId x = 0; x < ball.graph.NumNodes(); ++x) {
+        if (!rel.Contains(q, x)) continue;
+        match.query_matches[q].push_back(ball.to_parent[x]);
+        if (x == local_center) center_matched = true;
+      }
+      if (!match.query_matches[q].empty()) ++covered;
+    }
+    const double coverage = static_cast<double>(covered) /
+                            static_cast<double>(query.NumNodes());
+    if (coverage + 1e-12 < opts.min_coverage || !center_matched) continue;
+
+    for (const auto& nodes : match.query_matches) {
+      match.matched_nodes.insert(match.matched_nodes.end(), nodes.begin(),
+                                 nodes.end());
+    }
+    std::sort(match.matched_nodes.begin(), match.matched_nodes.end());
+    match.matched_nodes.erase(
+        std::unique(match.matched_nodes.begin(), match.matched_nodes.end()),
+        match.matched_nodes.end());
+    results.push_back(std::move(match));
+    if (opts.max_results > 0 && results.size() >= opts.max_results) break;
+  }
+
+  std::sort(results.begin(), results.end(),
+            [](const StrongSimMatch& a, const StrongSimMatch& b) {
+              if (a.matched_nodes.size() != b.matched_nodes.size()) {
+                return a.matched_nodes.size() < b.matched_nodes.size();
+              }
+              return a.center < b.center;
+            });
+  return results;
+}
+
+}  // namespace fsim

@@ -1,0 +1,88 @@
+#include "exact/weak_simulation.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+#include "graph/graph_builder.h"
+
+namespace fsim {
+
+std::vector<uint8_t> InternalMaskFromLabels(
+    const Graph& g, const std::vector<std::string_view>& internal_labels) {
+  std::vector<uint8_t> mask(g.NumNodes(), 0);
+  std::vector<LabelId> ids;
+  for (std::string_view label : internal_labels) {
+    LabelId id = g.dict()->Find(label);
+    if (id != kInvalidNode) ids.push_back(id);
+  }
+  for (NodeId u = 0; u < g.NumNodes(); ++u) {
+    if (std::find(ids.begin(), ids.end(), g.Label(u)) != ids.end()) {
+      mask[u] = 1;
+    }
+  }
+  return mask;
+}
+
+Result<Graph> WeakClosure(const Graph& g,
+                          const std::vector<uint8_t>& internal_mask) {
+  if (internal_mask.size() != g.NumNodes()) {
+    return Status::InvalidArgument(
+        StrFormat("internal mask has %zu entries for a graph with %zu nodes",
+                  internal_mask.size(), g.NumNodes()));
+  }
+  const size_t n = g.NumNodes();
+  GraphBuilder b(g.dict());
+  b.ReserveNodes(n);
+  for (NodeId u = 0; u < n; ++u) b.AddNodeWithLabelId(g.Label(u));
+
+  // Per-source forward search: expand through internal nodes, emit an edge
+  // to every first non-internal node reached. `visited` marks expanded
+  // internal nodes; `emitted` deduplicates targets. Both are reset via
+  // touch-lists so the per-source cost is output-sensitive.
+  std::vector<uint8_t> visited(n, 0);
+  std::vector<uint8_t> emitted(n, 0);
+  std::vector<NodeId> stack;
+  std::vector<NodeId> touched_visited;
+  std::vector<NodeId> touched_emitted;
+
+  for (NodeId u = 0; u < n; ++u) {
+    stack.assign(1, u);
+    // The source itself is "expanded", but only as a starting point: if u is
+    // internal we must not treat it as already-visited-target.
+    while (!stack.empty()) {
+      NodeId x = stack.back();
+      stack.pop_back();
+      for (NodeId w : g.OutNeighbors(x)) {
+        if (internal_mask[w]) {
+          if (!visited[w]) {
+            visited[w] = 1;
+            touched_visited.push_back(w);
+            stack.push_back(w);
+          }
+        } else if (!emitted[w]) {
+          emitted[w] = 1;
+          touched_emitted.push_back(w);
+          b.AddEdge(u, w);
+        }
+      }
+    }
+    for (NodeId w : touched_visited) visited[w] = 0;
+    for (NodeId w : touched_emitted) emitted[w] = 0;
+    touched_visited.clear();
+    touched_emitted.clear();
+  }
+  return std::move(b).Build();
+}
+
+Result<BinaryRelation> MaxWeakSimulation(
+    const Graph& g1, const std::vector<uint8_t>& internal_mask1,
+    const Graph& g2, const std::vector<uint8_t>& internal_mask2) {
+  if (g1.dict() != g2.dict()) {
+    return Status::InvalidArgument("graphs must share one LabelDict");
+  }
+  FSIM_ASSIGN_OR_RETURN(Graph closure1, WeakClosure(g1, internal_mask1));
+  FSIM_ASSIGN_OR_RETURN(Graph closure2, WeakClosure(g2, internal_mask2));
+  return MaxSimulation(closure1, closure2, SimVariant::kSimple);
+}
+
+}  // namespace fsim

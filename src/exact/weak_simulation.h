@@ -1,0 +1,54 @@
+// Weak simulation (Milner [3]) — the second k-hop-flavored variant the paper
+// names as future work (§6), adapted to node-labeled graphs: a designated
+// set of *internal* labels plays the role of the process-algebra τ action,
+// and one weak step u ⇒ w is a directed path u -> t1 -> ... -> tm -> w
+// (m >= 0) whose intermediate nodes t1..tm are all internal. Weak simulation
+// is then simple simulation over weak steps: a neighbor of u may be matched
+// by any node v reaches through internal detours.
+//
+// With an empty internal set, a weak step is exactly an edge and weak
+// simulation coincides with simple simulation (tested); growing the internal
+// set only coarsens the relation.
+//
+// Realized by reduction: WeakClosure materializes the weak-step graph, and
+// both the exact relation and the fractional FSimχ quantification are
+// obtained by running the existing machinery on the closure — the same
+// route the paper suggests for incorporating k-hop variants into FSimχ.
+#ifndef FSIM_EXACT_WEAK_SIMULATION_H_
+#define FSIM_EXACT_WEAK_SIMULATION_H_
+
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "exact/exact_simulation.h"
+#include "graph/graph.h"
+
+namespace fsim {
+
+/// Marks every node whose label is in `internal_labels` (by string).
+/// Unknown label strings are ignored (they mark no node).
+std::vector<uint8_t> InternalMaskFromLabels(
+    const Graph& g, const std::vector<std::string_view>& internal_labels);
+
+/// The weak-step graph: an edge (u, w) for every weak step u ⇒ w of g, i.e.
+/// every non-empty path whose intermediate nodes are internal and whose
+/// endpoint w is the first non-internal node reached — plus, for paths that
+/// end in an internal node with no observable continuation, no edge.
+/// Endpoints u may be internal or not; internal_mask.size() must equal
+/// |V(g)|. Self-loops arising from internal cycles are kept.
+///
+/// The closure is computed by a per-node forward search through internal
+/// nodes; worst case O(|V| * |E|) when the internal subgraph is large.
+Result<Graph> WeakClosure(const Graph& g,
+                          const std::vector<uint8_t>& internal_mask);
+
+/// Maximum weak simulation of g1 in g2: simple simulation over the two
+/// weak-step graphs. Masks must match the respective graphs.
+Result<BinaryRelation> MaxWeakSimulation(
+    const Graph& g1, const std::vector<uint8_t>& internal_mask1,
+    const Graph& g2, const std::vector<uint8_t>& internal_mask2);
+
+}  // namespace fsim
+
+#endif  // FSIM_EXACT_WEAK_SIMULATION_H_

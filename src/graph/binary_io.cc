@@ -1,0 +1,220 @@
+#include "graph/binary_io.h"
+
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "common/hash.h"
+#include "common/string_util.h"
+#include "graph/graph_builder.h"
+
+namespace fsim {
+
+namespace {
+
+constexpr char kMagic[8] = {'F', 'S', 'I', 'M', 'G', 'R', 'F', '1'};
+constexpr uint32_t kVersion = 1;
+
+void AppendU32(std::string* out, uint32_t v) {
+  char buf[4];
+  std::memcpy(buf, &v, 4);
+  out->append(buf, 4);
+}
+
+void AppendU64(std::string* out, uint64_t v) {
+  char buf[8];
+  std::memcpy(buf, &v, 8);
+  out->append(buf, 8);
+}
+
+/// Bounds-checked sequential reader over the payload bytes.
+class Reader {
+ public:
+  explicit Reader(std::string_view bytes) : bytes_(bytes) {}
+
+  bool ReadU32(uint32_t* v) {
+    if (pos_ + 4 > bytes_.size()) return false;
+    std::memcpy(v, bytes_.data() + pos_, 4);
+    pos_ += 4;
+    return true;
+  }
+  bool ReadU64(uint64_t* v) {
+    if (pos_ + 8 > bytes_.size()) return false;
+    std::memcpy(v, bytes_.data() + pos_, 8);
+    pos_ += 8;
+    return true;
+  }
+  bool ReadBytes(size_t len, std::string_view* out) {
+    if (pos_ + len > bytes_.size()) return false;
+    *out = bytes_.substr(pos_, len);
+    pos_ += len;
+    return true;
+  }
+  size_t remaining() const { return bytes_.size() - pos_; }
+  size_t pos() const { return pos_; }
+
+ private:
+  std::string_view bytes_;
+  size_t pos_ = 0;
+};
+
+Status Truncated(const char* what) {
+  return Status::IOError(
+      StrFormat("truncated binary graph: unable to read %s", what));
+}
+
+}  // namespace
+
+std::string GraphToBinary(const Graph& g) {
+  std::string out(kMagic, sizeof(kMagic));
+  AppendU32(&out, kVersion);
+  AppendU32(&out, 0);  // flags
+  AppendU64(&out, g.NumNodes());
+  AppendU64(&out, g.NumEdges());
+  const LabelDict& dict = *g.dict();
+  AppendU64(&out, dict.size());
+  for (LabelId id = 0; id < dict.size(); ++id) {
+    std::string_view name = dict.Name(id);
+    AppendU32(&out, static_cast<uint32_t>(name.size()));
+    out.append(name);
+  }
+  for (NodeId u = 0; u < g.NumNodes(); ++u) AppendU32(&out, g.Label(u));
+  for (NodeId u = 0; u < g.NumNodes(); ++u) {
+    for (NodeId w : g.OutNeighbors(u)) {
+      AppendU32(&out, u);
+      AppendU32(&out, w);
+    }
+  }
+  const uint64_t checksum =
+      HashBytes(out.data() + sizeof(kMagic), out.size() - sizeof(kMagic));
+  AppendU64(&out, checksum);
+  return out;
+}
+
+Result<Graph> GraphFromBinary(std::string_view bytes,
+                              std::shared_ptr<LabelDict> dict) {
+  if (bytes.size() < sizeof(kMagic) + 8 ||
+      std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) != 0) {
+    return Status::IOError("not a binary fsim graph (bad magic)");
+  }
+  // Verify the whole-payload checksum before trusting any field.
+  const size_t payload_end = bytes.size() - 8;
+  uint64_t stored_checksum;
+  std::memcpy(&stored_checksum, bytes.data() + payload_end, 8);
+  const uint64_t computed = HashBytes(bytes.data() + sizeof(kMagic),
+                                      payload_end - sizeof(kMagic));
+  if (stored_checksum != computed) {
+    return Status::IOError("binary graph checksum mismatch (corrupt file?)");
+  }
+
+  Reader r(bytes.substr(0, payload_end));
+  std::string_view skip;
+  FSIM_CHECK(r.ReadBytes(sizeof(kMagic), &skip));
+
+  uint32_t version, flags;
+  if (!r.ReadU32(&version)) return Truncated("version");
+  if (version != kVersion) {
+    return Status::InvalidArgument(
+        StrFormat("unsupported binary graph version %u (expected %u)",
+                  version, kVersion));
+  }
+  if (!r.ReadU32(&flags)) return Truncated("flags");
+  if (flags != 0) {
+    return Status::InvalidArgument(
+        StrFormat("unsupported binary graph flags 0x%x", flags));
+  }
+
+  uint64_t num_nodes, num_edges, num_labels;
+  if (!r.ReadU64(&num_nodes)) return Truncated("node count");
+  if (!r.ReadU64(&num_edges)) return Truncated("edge count");
+  if (!r.ReadU64(&num_labels)) return Truncated("label count");
+  if (num_nodes >= kInvalidNode) {
+    return Status::InvalidArgument(
+        StrFormat("node count %llu exceeds the 32-bit id space",
+                  static_cast<unsigned long long>(num_nodes)));
+  }
+  // Cheap structural sanity before any allocation sized by header fields:
+  // every label record needs >= 4 bytes, every node 4, every edge 8 — each
+  // count is bounded by the remaining payload on its own (separate checks
+  // so no sum can overflow).
+  const uint64_t remaining = r.remaining();
+  if (num_labels > remaining / 4 || num_nodes > remaining / 4 ||
+      num_edges > remaining / 8 ||
+      num_labels * 4 + num_nodes * 4 + num_edges * 8 > remaining) {
+    return Status::IOError(
+        "binary graph header advertises more data than the file contains");
+  }
+
+  // Dictionary strings, remapped through the target dict by name.
+  if (!dict) dict = std::make_shared<LabelDict>();
+  std::vector<LabelId> remap(num_labels);
+  for (uint64_t i = 0; i < num_labels; ++i) {
+    uint32_t len;
+    if (!r.ReadU32(&len)) return Truncated("label length");
+    std::string_view name;
+    if (!r.ReadBytes(len, &name)) return Truncated("label string");
+    remap[i] = dict->Intern(name);
+  }
+
+  GraphBuilder b(dict);
+  b.ReserveNodes(num_nodes);
+  b.ReserveEdges(num_edges);
+  for (uint64_t u = 0; u < num_nodes; ++u) {
+    uint32_t label;
+    if (!r.ReadU32(&label)) return Truncated("node label");
+    if (label >= num_labels) {
+      return Status::InvalidArgument(
+          StrFormat("node %llu has label id %u >= label count %llu",
+                    static_cast<unsigned long long>(u), label,
+                    static_cast<unsigned long long>(num_labels)));
+    }
+    b.AddNodeWithLabelId(remap[label]);
+  }
+  for (uint64_t e = 0; e < num_edges; ++e) {
+    uint32_t src, dst;
+    if (!r.ReadU32(&src)) return Truncated("edge source");
+    if (!r.ReadU32(&dst)) return Truncated("edge target");
+    if (src >= num_nodes || dst >= num_nodes) {
+      return Status::InvalidArgument(
+          StrFormat("edge (%u, %u) out of range for %llu nodes", src, dst,
+                    static_cast<unsigned long long>(num_nodes)));
+    }
+    b.AddEdge(src, dst);
+  }
+  if (r.remaining() != 0) {
+    return Status::IOError(StrFormat(
+        "binary graph has %zu trailing payload bytes", r.remaining()));
+  }
+  return std::move(b).Build();
+}
+
+Status SaveGraphBinaryToFile(const Graph& g, const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return Status::IOError(StrFormat("cannot open %s for writing",
+                                     path.c_str()));
+  }
+  const std::string bytes = GraphToBinary(g);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  out.flush();
+  if (!out) {
+    return Status::IOError(StrFormat("write to %s failed", path.c_str()));
+  }
+  return Status::OK();
+}
+
+Result<Graph> LoadGraphBinaryFromFile(const std::string& path,
+                                      std::shared_ptr<LabelDict> dict) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::IOError(StrFormat("cannot open %s", path.c_str()));
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) {
+    return Status::IOError(StrFormat("read from %s failed", path.c_str()));
+  }
+  return GraphFromBinary(buffer.str(), std::move(dict));
+}
+
+}  // namespace fsim

@@ -1,0 +1,52 @@
+// Binary serialization for labeled directed graphs: a compact, versioned,
+// checksummed on-disk format (RocksDB-style defensive decoding — every load
+// validates magic, version, size bookkeeping, id ranges and a whole-payload
+// checksum before constructing the graph, and reports malformed input as
+// IOError/InvalidArgument rather than crashing).
+//
+// Layout (little-endian):
+//   magic    8 bytes  "FSIMGRF1"
+//   version  u32      currently 1
+//   flags    u32      reserved, must be 0
+//   num_nodes  u64
+//   num_edges  u64
+//   num_labels u64    label dictionary entries
+//   labels     num_labels x { u32 length, bytes }    (dictionary strings)
+//   node_labels num_nodes x u32                      (per-node label id)
+//   edges      num_edges x { u32 src, u32 dst }
+//   checksum   u64    FNV-1a over everything after the magic
+//
+// Label ids are remapped through the target dictionary on load, so a binary
+// graph can be loaded into a shared LabelDict without id clashes.
+#ifndef FSIM_GRAPH_BINARY_IO_H_
+#define FSIM_GRAPH_BINARY_IO_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "graph/graph.h"
+
+namespace fsim {
+
+/// Serializes g to the binary format.
+std::string GraphToBinary(const Graph& g);
+
+/// Parses a graph from binary bytes. If `dict` is non-null, labels are
+/// interned into it (for cross-graph computations); otherwise a fresh
+/// dictionary is created.
+Result<Graph> GraphFromBinary(std::string_view bytes,
+                              std::shared_ptr<LabelDict> dict = nullptr);
+
+/// Writes the binary format to a file.
+Status SaveGraphBinaryToFile(const Graph& g, const std::string& path);
+
+/// Loads the binary format from a file.
+Result<Graph> LoadGraphBinaryFromFile(
+    const std::string& path, std::shared_ptr<LabelDict> dict = nullptr);
+
+}  // namespace fsim
+
+#endif  // FSIM_GRAPH_BINARY_IO_H_

@@ -1,0 +1,26 @@
+// Single-edge edits on the immutable CSR Graph: produce an edited copy with
+// one edge added or removed (labels, node set and the shared LabelDict are
+// preserved). These are the graph-side primitives of the incremental FSim
+// maintenance extension (core/incremental.h): the score maintenance is
+// localized, while the graph copy is a plain O(|V| + |E|) rebuild — cheap
+// relative to any score recomputation.
+#ifndef FSIM_GRAPH_EDITS_H_
+#define FSIM_GRAPH_EDITS_H_
+
+#include "common/result.h"
+#include "graph/graph.h"
+
+namespace fsim {
+
+/// A copy of g with the directed edge from -> to added.
+/// Errors: OutOfRange for invalid endpoints; AlreadyExists if the edge is
+/// already present (simple graph invariant).
+Result<Graph> WithEdgeAdded(const Graph& g, NodeId from, NodeId to);
+
+/// A copy of g with the directed edge from -> to removed.
+/// Errors: OutOfRange for invalid endpoints; NotFound if the edge is absent.
+Result<Graph> WithEdgeRemoved(const Graph& g, NodeId from, NodeId to);
+
+}  // namespace fsim
+
+#endif  // FSIM_GRAPH_EDITS_H_

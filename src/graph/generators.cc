@@ -1,0 +1,138 @@
+#include "graph/generators.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/hash.h"
+#include "common/string_util.h"
+#include "graph/graph_builder.h"
+
+namespace fsim {
+
+namespace {
+
+/// Word stems for generated label names. Real-graph labels are structured
+/// strings (NELL: "concept:athlete", DBpedia types, ...), so string-
+/// similarity label functions (L_E, L_J) see a realistic mix: labels sharing
+/// a stem are near-identical, labels with different stems differ broadly.
+constexpr const char* kLabelStems[] = {
+    "agent", "athlete", "bank",   "city",    "company", "country",
+    "disease", "drug",  "event",  "food",    "journal", "movie",
+    "person", "protein", "sport", "team"};
+constexpr uint32_t kNumStems = 16;
+
+/// Adds n nodes with Zipf-distributed labels named "<stem><index>".
+void AddLabeledNodes(GraphBuilder* builder, uint32_t n,
+                     const LabelingOptions& labels, Rng* rng) {
+  FSIM_CHECK(labels.num_labels >= 1);
+  ZipfSampler sampler(labels.num_labels, labels.skew);
+  builder->ReserveNodes(n);
+  // Intern all label strings first so ids are stable regardless of draw
+  // order.
+  std::vector<LabelId> ids(labels.num_labels);
+  for (uint32_t k = 0; k < labels.num_labels; ++k) {
+    ids[k] = builder->dict()->Intern(
+        StrFormat("%s%02u", kLabelStems[k % kNumStems], k / kNumStems));
+  }
+  for (uint32_t i = 0; i < n; ++i) {
+    builder->AddNodeWithLabelId(ids[sampler.Sample(rng)]);
+  }
+}
+
+GraphBuilder MakeBuilder(const LabelingOptions& labels) {
+  return labels.dict ? GraphBuilder(labels.dict) : GraphBuilder();
+}
+
+}  // namespace
+
+Graph ErdosRenyi(uint32_t n, uint64_t m, const LabelingOptions& labels,
+                 uint64_t seed) {
+  FSIM_CHECK(n >= 2);
+  Rng rng(seed);
+  GraphBuilder builder = MakeBuilder(labels);
+  AddLabeledNodes(&builder, n, labels, &rng);
+
+  const uint64_t max_edges = static_cast<uint64_t>(n) * (n - 1);
+  m = std::min(m, max_edges);
+  std::unordered_set<uint64_t> seen;
+  seen.reserve(m * 2);
+  builder.ReserveEdges(m);
+  while (seen.size() < m) {
+    NodeId u = static_cast<NodeId>(rng.NextBounded(n));
+    NodeId v = static_cast<NodeId>(rng.NextBounded(n));
+    if (u == v) continue;
+    if (seen.insert(PairKey(u, v)).second) {
+      builder.AddEdge(u, v);
+    }
+  }
+  return std::move(builder).BuildOrDie();
+}
+
+Graph PowerLawGraph(const PowerLawOptions& opts, const LabelingOptions& labels,
+                    uint64_t seed) {
+  FSIM_CHECK(opts.n >= 2);
+  Rng rng(seed);
+  GraphBuilder builder = MakeBuilder(labels);
+  AddLabeledNodes(&builder, opts.n, labels, &rng);
+
+  auto out_deg = PowerLawDegreeSequence(opts.n, opts.avg_degree,
+                                        opts.max_out_degree, opts.exponent,
+                                        &rng);
+  auto in_deg = PowerLawDegreeSequence(opts.n, opts.avg_degree,
+                                       opts.max_in_degree, opts.exponent,
+                                       &rng);
+  // Build weighted endpoints lists; sampling an edge = (sample src by out
+  // weight, sample dst by in weight). This is the standard Chung-Lu pairing.
+  std::vector<NodeId> src_slots;
+  std::vector<NodeId> dst_slots;
+  for (NodeId u = 0; u < opts.n; ++u) {
+    for (uint32_t k = 0; k < out_deg[u]; ++k) src_slots.push_back(u);
+    for (uint32_t k = 0; k < in_deg[u]; ++k) dst_slots.push_back(u);
+  }
+  rng.Shuffle(&src_slots);
+  rng.Shuffle(&dst_slots);
+  const size_t target = std::min(src_slots.size(), dst_slots.size());
+  std::unordered_set<uint64_t> seen;
+  seen.reserve(target * 2);
+  for (size_t i = 0; i < target; ++i) {
+    NodeId u = src_slots[i];
+    NodeId v = dst_slots[i];
+    if (u == v) continue;
+    if (seen.insert(PairKey(u, v)).second) {
+      builder.AddEdge(u, v);
+    }
+  }
+  return std::move(builder).BuildOrDie();
+}
+
+Graph PreferentialAttachment(uint32_t n, uint32_t edges_per_node,
+                             const LabelingOptions& labels, uint64_t seed) {
+  FSIM_CHECK(n >= 2);
+  Rng rng(seed);
+  GraphBuilder builder = MakeBuilder(labels);
+  AddLabeledNodes(&builder, n, labels, &rng);
+
+  // `targets` holds one entry per incoming edge endpoint plus one baseline
+  // entry per node, so the attachment probability is (in_deg(v)+1) ∝.
+  std::vector<NodeId> targets;
+  targets.reserve(static_cast<size_t>(n) * (edges_per_node + 1));
+  targets.push_back(0);
+  for (NodeId u = 1; u < n; ++u) {
+    uint32_t added = 0;
+    std::unordered_set<NodeId> chosen;
+    uint32_t want = std::min<uint32_t>(edges_per_node, u);
+    uint32_t attempts = 0;
+    while (added < want && attempts < 16 * want) {
+      ++attempts;
+      NodeId v = targets[rng.NextBounded(targets.size())];
+      if (v == u || !chosen.insert(v).second) continue;
+      builder.AddEdge(u, v);
+      targets.push_back(v);
+      ++added;
+    }
+    targets.push_back(u);
+  }
+  return std::move(builder).BuildOrDie();
+}
+
+}  // namespace fsim

@@ -1,0 +1,55 @@
+// Random labeled graph generators. These are the substrate for the synthetic
+// dataset analogs (datasets/) and for the randomized property tests.
+#ifndef FSIM_GRAPH_GENERATORS_H_
+#define FSIM_GRAPH_GENERATORS_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "common/random.h"
+#include "graph/graph.h"
+
+namespace fsim {
+
+/// Parameters shared by the generators for label assignment: labels are
+/// drawn from a Zipf distribution over `num_labels` (real-graph label
+/// frequencies are heavy-tailed; skew 0 = uniform).
+struct LabelingOptions {
+  uint32_t num_labels = 4;
+  double skew = 1.0;
+  /// Label strings are "L0", "L1", ... interned into `dict` (fresh if null).
+  std::shared_ptr<LabelDict> dict;
+};
+
+/// G(n, m) Erdős–Rényi digraph: m distinct directed edges chosen uniformly
+/// at random (no self loops).
+Graph ErdosRenyi(uint32_t n, uint64_t m, const LabelingOptions& labels,
+                 uint64_t seed);
+
+/// Options for the Chung-Lu style power-law digraph used to mimic the degree
+/// shape of the real datasets in Table 4.
+struct PowerLawOptions {
+  uint32_t n = 1000;
+  double avg_degree = 4.0;
+  uint32_t max_out_degree = 100;
+  uint32_t max_in_degree = 100;
+  /// Pareto exponent of the degree tails (2.1 ≈ typical web/citation graphs).
+  double exponent = 2.1;
+};
+
+/// Directed Chung-Lu: draws out- and in-degree sequences from truncated power
+/// laws and wires edges with probability proportional to d+(u) * d-(v).
+/// Duplicate draws are discarded, so the realized edge count is close to (a
+/// bit under) n * avg_degree.
+Graph PowerLawGraph(const PowerLawOptions& opts, const LabelingOptions& labels,
+                    uint64_t seed);
+
+/// Directed preferential attachment: each new node attaches `edges_per_node`
+/// out-edges to previously inserted nodes, preferring high in-degree targets.
+/// Produces a few very-high in-degree hubs (the JDK/ACMCit shape).
+Graph PreferentialAttachment(uint32_t n, uint32_t edges_per_node,
+                             const LabelingOptions& labels, uint64_t seed);
+
+}  // namespace fsim
+
+#endif  // FSIM_GRAPH_GENERATORS_H_

@@ -1,0 +1,75 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+
+namespace fsim {
+
+LabelId LabelDict::Intern(std::string_view label) {
+  auto it = index_.find(std::string(label));
+  if (it != index_.end()) return it->second;
+  LabelId id = static_cast<LabelId>(names_.size());
+  names_.emplace_back(label);
+  index_.emplace(names_.back(), id);
+  return id;
+}
+
+LabelId LabelDict::Find(std::string_view label) const {
+  auto it = index_.find(std::string(label));
+  return it == index_.end() ? kInvalidNode : it->second;
+}
+
+bool Graph::HasEdge(NodeId u, NodeId v) const {
+  auto nbrs = OutNeighbors(u);
+  return std::binary_search(nbrs.begin(), nbrs.end(), v);
+}
+
+size_t Graph::NumDistinctLabels() const {
+  std::vector<LabelId> seen(labels_);
+  std::sort(seen.begin(), seen.end());
+  seen.erase(std::unique(seen.begin(), seen.end()), seen.end());
+  return seen.size();
+}
+
+size_t Graph::MaxOutDegree() const {
+  size_t best = 0;
+  for (NodeId u = 0; u < NumNodes(); ++u) best = std::max(best, OutDegree(u));
+  return best;
+}
+
+size_t Graph::MaxInDegree() const {
+  size_t best = 0;
+  for (NodeId u = 0; u < NumNodes(); ++u) best = std::max(best, InDegree(u));
+  return best;
+}
+
+Graph Graph::AsUndirected() const {
+  const size_t n = NumNodes();
+  Graph g;
+  g.labels_ = labels_;
+  g.dict_ = dict_;
+  g.out_offsets_.assign(n + 1, 0);
+  // The undirected neighborhood of u is the sorted union of N+(u) and N-(u);
+  // both inputs are already sorted in the CSR.
+  std::vector<NodeId> merged;
+  std::vector<std::vector<NodeId>> adj(n);
+  for (NodeId u = 0; u < n; ++u) {
+    auto out = OutNeighbors(u);
+    auto in = InNeighbors(u);
+    merged.clear();
+    merged.resize(out.size() + in.size());
+    auto end = std::set_union(out.begin(), out.end(), in.begin(), in.end(),
+                              merged.begin());
+    merged.resize(static_cast<size_t>(end - merged.begin()));
+    adj[u].assign(merged.begin(), merged.end());
+    g.out_offsets_[u + 1] = g.out_offsets_[u] + adj[u].size();
+  }
+  g.out_adj_.reserve(g.out_offsets_[n]);
+  for (NodeId u = 0; u < n; ++u) {
+    g.out_adj_.insert(g.out_adj_.end(), adj[u].begin(), adj[u].end());
+  }
+  // RoleSim/WL only consume out-neighbors; in lists stay empty (§4.3).
+  g.in_offsets_.assign(n + 1, 0);
+  return g;
+}
+
+}  // namespace fsim

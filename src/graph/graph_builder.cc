@@ -1,0 +1,77 @@
+#include "graph/graph_builder.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace fsim {
+
+GraphBuilder::GraphBuilder() : dict_(std::make_shared<LabelDict>()) {}
+
+GraphBuilder::GraphBuilder(std::shared_ptr<LabelDict> dict)
+    : dict_(std::move(dict)) {
+  FSIM_CHECK(dict_ != nullptr);
+}
+
+void GraphBuilder::ReserveNodes(size_t n) { labels_.reserve(n); }
+void GraphBuilder::ReserveEdges(size_t m) { edges_.reserve(m); }
+
+NodeId GraphBuilder::AddNode(std::string_view label) {
+  return AddNodeWithLabelId(dict_->Intern(label));
+}
+
+NodeId GraphBuilder::AddNodeWithLabelId(LabelId label) {
+  NodeId id = static_cast<NodeId>(labels_.size());
+  labels_.push_back(label);
+  return id;
+}
+
+void GraphBuilder::AddEdge(NodeId u, NodeId v) { edges_.emplace_back(u, v); }
+
+Result<Graph> GraphBuilder::Build() && {
+  const size_t n = labels_.size();
+  for (const auto& [u, v] : edges_) {
+    if (u >= n || v >= n) {
+      return Status::InvalidArgument(
+          StrFormat("edge (%u,%u) references a node >= NumNodes()=%zu", u, v, n));
+    }
+  }
+
+  // Sort by (src, dst) and deduplicate.
+  std::sort(edges_.begin(), edges_.end());
+  edges_.erase(std::unique(edges_.begin(), edges_.end()), edges_.end());
+
+  Graph g;
+  g.labels_ = std::move(labels_);
+  g.dict_ = dict_;
+
+  g.out_offsets_.assign(n + 1, 0);
+  g.in_offsets_.assign(n + 1, 0);
+  for (const auto& [u, v] : edges_) {
+    ++g.out_offsets_[u + 1];
+    ++g.in_offsets_[v + 1];
+  }
+  for (size_t i = 1; i <= n; ++i) {
+    g.out_offsets_[i] += g.out_offsets_[i - 1];
+    g.in_offsets_[i] += g.in_offsets_[i - 1];
+  }
+  g.out_adj_.resize(edges_.size());
+  g.in_adj_.resize(edges_.size());
+  std::vector<uint64_t> out_cursor(g.out_offsets_.begin(), g.out_offsets_.end() - 1);
+  std::vector<uint64_t> in_cursor(g.in_offsets_.begin(), g.in_offsets_.end() - 1);
+  for (const auto& [u, v] : edges_) {
+    g.out_adj_[out_cursor[u]++] = v;
+    g.in_adj_[in_cursor[v]++] = u;
+  }
+  // out_adj is sorted per node because edges_ was globally sorted; in_adj is
+  // sorted per node because sources appear in ascending order.
+  return g;
+}
+
+Graph GraphBuilder::BuildOrDie() && {
+  Result<Graph> r = std::move(*this).Build();
+  FSIM_CHECK(r.ok()) << r.status().ToString();
+  return std::move(r).ValueOrDie();
+}
+
+}  // namespace fsim

@@ -1,0 +1,70 @@
+// GraphBuilder: accumulates nodes and edges, then emits an immutable CSR
+// Graph (sorted, deduplicated adjacency plus the reverse adjacency).
+#ifndef FSIM_GRAPH_GRAPH_BUILDER_H_
+#define FSIM_GRAPH_GRAPH_BUILDER_H_
+
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "graph/graph.h"
+
+namespace fsim {
+
+/// Mutable staging area for graph construction.
+///
+///   GraphBuilder b;
+///   NodeId u = b.AddNode("Person");
+///   NodeId v = b.AddNode("Paper");
+///   b.AddEdge(u, v);
+///   Graph g = std::move(b).BuildOrDie();
+///
+/// Pass an existing LabelDict to share label ids across graphs (required for
+/// cross-graph simulation).
+class GraphBuilder {
+ public:
+  /// Creates a builder with a fresh label dictionary.
+  GraphBuilder();
+  /// Creates a builder interning into an existing (shared) dictionary.
+  explicit GraphBuilder(std::shared_ptr<LabelDict> dict);
+
+  void ReserveNodes(size_t n);
+  void ReserveEdges(size_t m);
+
+  /// Adds a node with the given label string; returns its id (dense, in
+  /// insertion order).
+  NodeId AddNode(std::string_view label);
+
+  /// Adds a node with an already-interned label id.
+  NodeId AddNodeWithLabelId(LabelId label);
+
+  /// Records the directed edge u -> v. Parallel duplicates are removed at
+  /// Build time. Endpoints must be < NumNodes() at Build time.
+  void AddEdge(NodeId u, NodeId v);
+
+  size_t NumNodes() const { return labels_.size(); }
+  size_t NumStagedEdges() const { return edges_.size(); }
+
+  /// The dictionary this builder interns into (share it with other builders
+  /// for cross-graph computations).
+  const std::shared_ptr<LabelDict>& dict() const { return dict_; }
+
+  /// Validates endpoints, sorts/dedups adjacency, and produces the Graph.
+  /// The builder is consumed.
+  Result<Graph> Build() &&;
+
+  /// Build() that aborts on error; for tests and generators whose inputs are
+  /// correct by construction.
+  Graph BuildOrDie() &&;
+
+ private:
+  std::shared_ptr<LabelDict> dict_;
+  std::vector<LabelId> labels_;
+  std::vector<std::pair<NodeId, NodeId>> edges_;
+};
+
+}  // namespace fsim
+
+#endif  // FSIM_GRAPH_GRAPH_BUILDER_H_

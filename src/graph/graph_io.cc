@@ -1,0 +1,99 @@
+#include "graph/graph_io.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/string_util.h"
+#include "graph/graph_builder.h"
+
+namespace fsim {
+
+Result<Graph> LoadGraphFromString(std::string_view text,
+                                  std::shared_ptr<LabelDict> dict) {
+  GraphBuilder builder(dict ? std::move(dict)
+                            : std::make_shared<LabelDict>());
+  size_t line_no = 0;
+  for (std::string_view line : Split(text, '\n')) {
+    ++line_no;
+    line = Trim(line);
+    if (line.empty() || line[0] == '#') continue;
+    auto fields = SplitWhitespace(line);
+    if (fields[0] == "v") {
+      if (fields.size() != 3) {
+        return Status::IOError(
+            StrFormat("line %zu: expected 'v <id> <label>'", line_no));
+      }
+      uint64_t id = 0;
+      auto idstr = std::string(fields[1]);
+      if (std::sscanf(idstr.c_str(), "%lu", &id) != 1) {
+        return Status::IOError(StrFormat("line %zu: bad node id", line_no));
+      }
+      if (id != builder.NumNodes()) {
+        return Status::IOError(StrFormat(
+            "line %zu: node ids must be dense and ascending (got %lu, "
+            "expected %zu)",
+            line_no, id, builder.NumNodes()));
+      }
+      builder.AddNode(fields[2]);
+    } else if (fields[0] == "e") {
+      if (fields.size() != 3) {
+        return Status::IOError(
+            StrFormat("line %zu: expected 'e <src> <dst>'", line_no));
+      }
+      uint64_t u = 0, v = 0;
+      auto us = std::string(fields[1]);
+      auto vs = std::string(fields[2]);
+      if (std::sscanf(us.c_str(), "%lu", &u) != 1 ||
+          std::sscanf(vs.c_str(), "%lu", &v) != 1) {
+        return Status::IOError(StrFormat("line %zu: bad edge endpoint", line_no));
+      }
+      builder.AddEdge(static_cast<NodeId>(u), static_cast<NodeId>(v));
+    } else {
+      return Status::IOError(
+          StrFormat("line %zu: unknown record type '%.*s'", line_no,
+                    static_cast<int>(fields[0].size()), fields[0].data()));
+    }
+  }
+  return std::move(builder).Build();
+}
+
+Result<Graph> LoadGraphFromFile(const std::string& path,
+                                std::shared_ptr<LabelDict> dict) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::IOError("cannot open " + path);
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return LoadGraphFromString(ss.str(), std::move(dict));
+}
+
+std::string GraphToString(const Graph& g) {
+  std::string out;
+  for (NodeId u = 0; u < g.NumNodes(); ++u) {
+    out += StrFormat("v %u ", u);
+    out += std::string(g.LabelName(u));
+    out += '\n';
+  }
+  for (NodeId u = 0; u < g.NumNodes(); ++u) {
+    for (NodeId v : g.OutNeighbors(u)) {
+      out += StrFormat("e %u %u\n", u, v);
+    }
+  }
+  return out;
+}
+
+Status SaveGraphToFile(const Graph& g, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    return Status::IOError("cannot open " + path + " for writing");
+  }
+  out << GraphToString(g);
+  if (!out) {
+    return Status::IOError("write failed on " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace fsim

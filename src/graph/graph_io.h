@@ -1,0 +1,36 @@
+// Text serialization for labeled directed graphs.
+//
+// Format (one record per line, '#' starts a comment):
+//   v <id> <label>        node declaration; ids must be dense from 0
+//   e <src> <dst>         directed edge
+#ifndef FSIM_GRAPH_GRAPH_IO_H_
+#define FSIM_GRAPH_GRAPH_IO_H_
+
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "graph/graph.h"
+
+namespace fsim {
+
+/// Parses a graph from the text format above. If `dict` is non-null the
+/// labels are interned into it (to share ids across graphs); otherwise a
+/// fresh dictionary is created.
+Result<Graph> LoadGraphFromString(std::string_view text,
+                                  std::shared_ptr<LabelDict> dict = nullptr);
+
+/// Loads from a file.
+Result<Graph> LoadGraphFromFile(const std::string& path,
+                                std::shared_ptr<LabelDict> dict = nullptr);
+
+/// Serializes to the text format.
+std::string GraphToString(const Graph& g);
+
+/// Writes to a file.
+Status SaveGraphToFile(const Graph& g, const std::string& path);
+
+}  // namespace fsim
+
+#endif  // FSIM_GRAPH_GRAPH_IO_H_

@@ -1,0 +1,24 @@
+#include "graph/graph_stats.h"
+
+#include "common/string_util.h"
+
+namespace fsim {
+
+GraphStats ComputeStats(const Graph& g) {
+  GraphStats s;
+  s.num_nodes = g.NumNodes();
+  s.num_edges = g.NumEdges();
+  s.num_labels = g.NumDistinctLabels();
+  s.avg_degree = g.AverageDegree();
+  s.max_out_degree = g.MaxOutDegree();
+  s.max_in_degree = g.MaxInDegree();
+  return s;
+}
+
+std::string StatsToString(const GraphStats& s) {
+  return StrFormat("|V|=%zu |E|=%zu |Sigma|=%zu d=%.1f D+=%zu D-=%zu",
+                   s.num_nodes, s.num_edges, s.num_labels, s.avg_degree,
+                   s.max_out_degree, s.max_in_degree);
+}
+
+}  // namespace fsim

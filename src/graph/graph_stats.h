@@ -1,0 +1,28 @@
+// Descriptive statistics in the shape of the paper's Table 4.
+#ifndef FSIM_GRAPH_GRAPH_STATS_H_
+#define FSIM_GRAPH_GRAPH_STATS_H_
+
+#include <string>
+
+#include "graph/graph.h"
+
+namespace fsim {
+
+/// |V|, |E|, |Σ|, d_G, D+_G, D-_G — the columns of Table 4.
+struct GraphStats {
+  size_t num_nodes = 0;
+  size_t num_edges = 0;
+  size_t num_labels = 0;
+  double avg_degree = 0.0;
+  size_t max_out_degree = 0;
+  size_t max_in_degree = 0;
+};
+
+GraphStats ComputeStats(const Graph& g);
+
+/// One-line rendering, e.g. "|V|=2361 |E|=7182 |Σ|=13 d=3.0 D+=60 D-=47".
+std::string StatsToString(const GraphStats& stats);
+
+}  // namespace fsim
+
+#endif  // FSIM_GRAPH_GRAPH_STATS_H_

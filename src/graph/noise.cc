@@ -1,0 +1,132 @@
+#include "graph/noise.h"
+
+#include <unordered_set>
+#include <vector>
+
+#include "common/hash.h"
+#include "common/random.h"
+#include "graph/graph_builder.h"
+
+namespace fsim {
+
+namespace {
+
+/// Rebuilds `g` with the given edge list. The rebuilt graph shares `g`'s
+/// label dictionary so scores stay comparable across the clean and the
+/// perturbed graph (the robustness experiments correlate exactly those).
+Graph RebuildWithEdges(const Graph& g,
+                       const std::vector<std::pair<NodeId, NodeId>>& edges,
+                       const std::vector<LabelId>* new_labels = nullptr) {
+  GraphBuilder builder(g.dict());
+  builder.ReserveNodes(g.NumNodes());
+  for (NodeId u = 0; u < g.NumNodes(); ++u) {
+    builder.AddNodeWithLabelId(new_labels ? (*new_labels)[u] : g.Label(u));
+  }
+  builder.ReserveEdges(edges.size());
+  for (const auto& [u, v] : edges) builder.AddEdge(u, v);
+  return std::move(builder).BuildOrDie();
+}
+
+std::vector<std::pair<NodeId, NodeId>> CollectEdges(const Graph& g) {
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  edges.reserve(g.NumEdges());
+  for (NodeId u = 0; u < g.NumNodes(); ++u) {
+    for (NodeId v : g.OutNeighbors(u)) edges.emplace_back(u, v);
+  }
+  return edges;
+}
+
+void AddRandomEdges(const Graph& g, size_t count,
+                    std::vector<std::pair<NodeId, NodeId>>* edges, Rng* rng) {
+  const size_t n = g.NumNodes();
+  if (n < 2) return;
+  std::unordered_set<uint64_t> present;
+  present.reserve(edges->size() * 2 + count * 2);
+  for (const auto& [u, v] : *edges) present.insert(PairKey(u, v));
+  size_t added = 0;
+  size_t attempts = 0;
+  const size_t max_attempts = 32 * count + 1024;
+  while (added < count && attempts < max_attempts) {
+    ++attempts;
+    NodeId u = static_cast<NodeId>(rng->NextBounded(n));
+    NodeId v = static_cast<NodeId>(rng->NextBounded(n));
+    if (u == v) continue;
+    if (present.insert(PairKey(u, v)).second) {
+      edges->emplace_back(u, v);
+      ++added;
+    }
+  }
+}
+
+}  // namespace
+
+Graph PerturbStructure(const Graph& g, double add_fraction,
+                       double remove_fraction, uint64_t seed) {
+  FSIM_CHECK(add_fraction >= 0 && remove_fraction >= 0 && remove_fraction <= 1);
+  Rng rng(seed);
+  auto edges = CollectEdges(g);
+  // Remove a uniform sample of existing edges.
+  const size_t remove_count =
+      static_cast<size_t>(remove_fraction * static_cast<double>(edges.size()));
+  rng.Shuffle(&edges);
+  edges.resize(edges.size() - remove_count);
+  // Add random new edges.
+  const size_t add_count =
+      static_cast<size_t>(add_fraction * static_cast<double>(g.NumEdges()));
+  AddRandomEdges(g, add_count, &edges, &rng);
+  return RebuildWithEdges(g, edges);
+}
+
+Graph PerturbLabels(const Graph& g, double fraction, LabelNoiseMode mode,
+                    uint64_t seed) {
+  FSIM_CHECK(fraction >= 0 && fraction <= 1);
+  Rng rng(seed);
+  std::vector<NodeId> order(g.NumNodes());
+  for (NodeId u = 0; u < g.NumNodes(); ++u) order[u] = u;
+  rng.Shuffle(&order);
+  const size_t count =
+      static_cast<size_t>(fraction * static_cast<double>(g.NumNodes()));
+
+  std::vector<LabelId> labels(g.NumNodes());
+  for (NodeId u = 0; u < g.NumNodes(); ++u) labels[u] = g.Label(u);
+
+  // The distinct-label pool for kRandom replacement excludes the sentinel,
+  // so capture the size before interning "?".
+  const size_t dict_size = g.dict()->size();
+  auto edges = CollectEdges(g);
+  GraphBuilder builder(g.dict());
+  const LabelId missing = builder.dict()->Intern("?");
+  for (size_t i = 0; i < count; ++i) {
+    NodeId u = order[i];
+    if (mode == LabelNoiseMode::kMissing) {
+      labels[u] = missing;
+    } else {
+      // Replace with a different existing label.
+      LabelId replacement = labels[u];
+      if (dict_size > 1) {
+        while (replacement == labels[u]) {
+          replacement = static_cast<LabelId>(rng.NextBounded(dict_size));
+        }
+      }
+      labels[u] = replacement;
+    }
+  }
+  builder.ReserveNodes(g.NumNodes());
+  for (NodeId u = 0; u < g.NumNodes(); ++u) {
+    builder.AddNodeWithLabelId(labels[u]);
+  }
+  for (const auto& [u, v] : edges) builder.AddEdge(u, v);
+  return std::move(builder).BuildOrDie();
+}
+
+Graph ScaleDensity(const Graph& g, double multiplier, uint64_t seed) {
+  FSIM_CHECK(multiplier >= 1.0);
+  Rng rng(seed);
+  auto edges = CollectEdges(g);
+  const size_t add_count = static_cast<size_t>(
+      (multiplier - 1.0) * static_cast<double>(g.NumEdges()));
+  AddRandomEdges(g, add_count, &edges, &rng);
+  return RebuildWithEdges(g, edges);
+}
+
+}  // namespace fsim

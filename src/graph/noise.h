@@ -1,0 +1,37 @@
+// Noise injectors for the robustness experiments (Fig. 5), the pattern-
+// matching query scenarios (Table 6) and the density-scaling run (Fig. 9b).
+#ifndef FSIM_GRAPH_NOISE_H_
+#define FSIM_GRAPH_NOISE_H_
+
+#include "graph/graph.h"
+
+namespace fsim {
+
+/// Structural errors (Fig. 5a): removes `remove_fraction` of the existing
+/// edges and adds `add_fraction`*|E| random new edges (uniform endpoints,
+/// no duplicates/self-loops).
+Graph PerturbStructure(const Graph& g, double add_fraction,
+                       double remove_fraction, uint64_t seed);
+
+/// How PerturbLabels rewrites the affected labels.
+enum class LabelNoiseMode {
+  /// The label is replaced by a fresh sentinel label "?" (the paper's
+  /// "certain labels missing" scenario, Fig. 5b).
+  kMissing,
+  /// The label is replaced by a different label drawn uniformly from the
+  /// graph's label set (Table 6 "Noisy-L" queries "randomly modify node
+  /// labels").
+  kRandom,
+};
+
+/// Label errors: rewrites the labels of a `fraction` of the nodes.
+Graph PerturbLabels(const Graph& g, double fraction, LabelNoiseMode mode,
+                    uint64_t seed);
+
+/// Density scaling (Fig. 9b): returns a graph with (multiplier-1)*|E|
+/// additional random edges, i.e. |E'| ≈ multiplier * |E|.
+Graph ScaleDensity(const Graph& g, double multiplier, uint64_t seed);
+
+}  // namespace fsim
+
+#endif  // FSIM_GRAPH_NOISE_H_

@@ -1,0 +1,65 @@
+#include "graph/subgraph.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "graph/graph_builder.h"
+
+namespace fsim {
+
+Subgraph InducedSubgraph(const Graph& g, const std::vector<NodeId>& nodes) {
+  Subgraph out;
+  out.from_parent.assign(g.NumNodes(), kInvalidNode);
+
+  std::vector<NodeId> unique(nodes);
+  std::sort(unique.begin(), unique.end());
+  unique.erase(std::unique(unique.begin(), unique.end()), unique.end());
+
+  GraphBuilder builder(g.dict());
+  out.to_parent.reserve(unique.size());
+  for (NodeId parent : unique) {
+    FSIM_CHECK(parent < g.NumNodes());
+    NodeId local = builder.AddNodeWithLabelId(g.Label(parent));
+    out.from_parent[parent] = local;
+    out.to_parent.push_back(parent);
+  }
+  for (NodeId parent : unique) {
+    for (NodeId w : g.OutNeighbors(parent)) {
+      if (out.from_parent[w] != kInvalidNode) {
+        builder.AddEdge(out.from_parent[parent], out.from_parent[w]);
+      }
+    }
+  }
+  out.graph = std::move(builder).BuildOrDie();
+  return out;
+}
+
+std::vector<NodeId> BallNodes(const Graph& g, NodeId center, uint32_t radius) {
+  FSIM_CHECK(center < g.NumNodes());
+  std::vector<uint32_t> dist(g.NumNodes(), ~0U);
+  std::queue<NodeId> queue;
+  dist[center] = 0;
+  queue.push(center);
+  std::vector<NodeId> nodes;
+  while (!queue.empty()) {
+    NodeId u = queue.front();
+    queue.pop();
+    nodes.push_back(u);
+    if (dist[u] == radius) continue;
+    auto visit = [&](NodeId w) {
+      if (dist[w] == ~0U) {
+        dist[w] = dist[u] + 1;
+        queue.push(w);
+      }
+    };
+    for (NodeId w : g.OutNeighbors(u)) visit(w);
+    for (NodeId w : g.InNeighbors(u)) visit(w);
+  }
+  return nodes;
+}
+
+Subgraph Ball(const Graph& g, NodeId center, uint32_t radius) {
+  return InducedSubgraph(g, BallNodes(g, center, radius));
+}
+
+}  // namespace fsim

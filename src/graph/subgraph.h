@@ -1,0 +1,36 @@
+// Induced subgraphs and distance-bounded balls. Strong simulation (Ma et
+// al.) matches a query against the ball G[v, δQ] around every data node v;
+// the pattern-matching query generator extracts random induced subgraphs.
+#ifndef FSIM_GRAPH_SUBGRAPH_H_
+#define FSIM_GRAPH_SUBGRAPH_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace fsim {
+
+/// An induced subgraph together with the node-id translation in both
+/// directions.
+struct Subgraph {
+  Graph graph;
+  /// to_parent[local] = id in the parent graph.
+  std::vector<NodeId> to_parent;
+  /// Parent node -> local id, or kInvalidNode if the node is not included.
+  std::vector<NodeId> from_parent;
+};
+
+/// Builds the subgraph induced by `nodes` (duplicates ignored). The subgraph
+/// shares the parent's label dictionary.
+Subgraph InducedSubgraph(const Graph& g, const std::vector<NodeId>& nodes);
+
+/// Nodes whose undirected shortest distance from `center` is <= radius.
+std::vector<NodeId> BallNodes(const Graph& g, NodeId center, uint32_t radius);
+
+/// Convenience: induced subgraph of BallNodes (the G[v, δQ] of strong
+/// simulation).
+Subgraph Ball(const Graph& g, NodeId center, uint32_t radius);
+
+}  // namespace fsim
+
+#endif  // FSIM_GRAPH_SUBGRAPH_H_

@@ -1,0 +1,77 @@
+#include "graph/traversal.h"
+
+#include <algorithm>
+#include <queue>
+
+namespace fsim {
+
+std::vector<uint32_t> BfsDistances(const Graph& g, NodeId source,
+                                   bool undirected) {
+  FSIM_CHECK(source < g.NumNodes());
+  std::vector<uint32_t> dist(g.NumNodes(), kUnreachable);
+  std::queue<NodeId> queue;
+  dist[source] = 0;
+  queue.push(source);
+  while (!queue.empty()) {
+    NodeId u = queue.front();
+    queue.pop();
+    auto visit = [&](NodeId w) {
+      if (dist[w] == kUnreachable) {
+        dist[w] = dist[u] + 1;
+        queue.push(w);
+      }
+    };
+    for (NodeId w : g.OutNeighbors(u)) visit(w);
+    if (undirected) {
+      for (NodeId w : g.InNeighbors(u)) visit(w);
+    }
+  }
+  return dist;
+}
+
+uint32_t ExactDiameter(const Graph& g) {
+  uint32_t diameter = 0;
+  for (NodeId u = 0; u < g.NumNodes(); ++u) {
+    auto dist = BfsDistances(g, u, /*undirected=*/true);
+    for (uint32_t d : dist) {
+      if (d != kUnreachable) diameter = std::max(diameter, d);
+    }
+  }
+  return diameter;
+}
+
+std::vector<uint32_t> WeaklyConnectedComponents(const Graph& g,
+                                                uint32_t* num_components) {
+  std::vector<uint32_t> comp(g.NumNodes(), kUnreachable);
+  uint32_t next = 0;
+  for (NodeId s = 0; s < g.NumNodes(); ++s) {
+    if (comp[s] != kUnreachable) continue;
+    uint32_t id = next++;
+    std::queue<NodeId> queue;
+    comp[s] = id;
+    queue.push(s);
+    while (!queue.empty()) {
+      NodeId u = queue.front();
+      queue.pop();
+      auto visit = [&](NodeId w) {
+        if (comp[w] == kUnreachable) {
+          comp[w] = id;
+          queue.push(w);
+        }
+      };
+      for (NodeId w : g.OutNeighbors(u)) visit(w);
+      for (NodeId w : g.InNeighbors(u)) visit(w);
+    }
+  }
+  if (num_components != nullptr) *num_components = next;
+  return comp;
+}
+
+bool IsWeaklyConnected(const Graph& g) {
+  if (g.NumNodes() == 0) return true;
+  uint32_t count = 0;
+  WeaklyConnectedComponents(g, &count);
+  return count == 1;
+}
+
+}  // namespace fsim

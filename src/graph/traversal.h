@@ -1,0 +1,36 @@
+// BFS utilities: distances, diameter, connected components. Used by strong
+// simulation (query diameter), the GSANA-like aligner (anchor distances) and
+// the query generator (connected subgraph extraction).
+#ifndef FSIM_GRAPH_TRAVERSAL_H_
+#define FSIM_GRAPH_TRAVERSAL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace fsim {
+
+constexpr uint32_t kUnreachable = ~0U;
+
+/// Single-source BFS distances. With `undirected` the search follows both
+/// edge directions (the shortest-distance notion of strong simulation's
+/// balls); otherwise only out-edges.
+std::vector<uint32_t> BfsDistances(const Graph& g, NodeId source,
+                                   bool undirected = true);
+
+/// Exact diameter of the graph under undirected shortest distances, i.e. the
+/// maximum finite pairwise distance (all-pairs BFS; intended for small query
+/// graphs). Returns 0 for graphs with < 2 nodes.
+uint32_t ExactDiameter(const Graph& g);
+
+/// Weakly connected component id per node, ids dense from 0.
+std::vector<uint32_t> WeaklyConnectedComponents(const Graph& g,
+                                                uint32_t* num_components);
+
+/// True if the graph is weakly connected (or empty).
+bool IsWeaklyConnected(const Graph& g);
+
+}  // namespace fsim
+
+#endif  // FSIM_GRAPH_TRAVERSAL_H_

@@ -1,0 +1,117 @@
+#include "graph/triples.h"
+
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <tuple>
+#include <vector>
+
+#include "common/string_util.h"
+#include "graph/graph_builder.h"
+
+namespace fsim {
+
+namespace {
+
+/// One parsed triple, by entity index.
+struct Triple {
+  size_t s;
+  LabelId predicate;
+  size_t o;
+};
+
+}  // namespace
+
+Result<ReifiedGraph> LoadTriplesFromString(std::string_view text,
+                                           const ReifyOptions& options,
+                                           std::shared_ptr<LabelDict> dict) {
+  if (!dict) dict = std::make_shared<LabelDict>();
+  const LabelId default_label = dict->Intern(options.default_entity_label);
+
+  ReifiedGraph result;
+  // Entity bookkeeping: name -> dense index, plus per-entity label (default
+  // until an `n` record overrides it).
+  std::vector<LabelId> entity_labels;
+  auto entity_index = [&](std::string_view name) -> size_t {
+    auto it = result.entities.find(std::string(name));
+    if (it != result.entities.end()) return it->second;
+    const size_t index = entity_labels.size();
+    result.entities.emplace(std::string(name), static_cast<NodeId>(index));
+    entity_labels.push_back(default_label);
+    return index;
+  };
+
+  std::vector<Triple> triples;
+  // RDF triple sets are duplicate-free; repeated (s, p, o) records collapse
+  // to one reified node.
+  std::set<std::tuple<size_t, LabelId, size_t>> seen;
+  size_t line_number = 0;
+  size_t start = 0;
+  while (start <= text.size()) {
+    size_t end = text.find('\n', start);
+    if (end == std::string_view::npos) end = text.size();
+    std::string_view line = Trim(text.substr(start, end - start));
+    start = end + 1;
+    ++line_number;
+    if (line.empty() || line[0] == '#') continue;
+
+    std::vector<std::string_view> fields = SplitWhitespace(line);
+    if (fields[0] == "n") {
+      if (fields.size() != 3) {
+        return Status::InvalidArgument(StrFormat(
+            "line %zu: 'n' record needs <name> <label>, got %zu fields",
+            line_number, fields.size() - 1));
+      }
+      entity_labels[entity_index(fields[1])] = dict->Intern(fields[2]);
+    } else if (fields[0] == "t") {
+      if (fields.size() != 4) {
+        return Status::InvalidArgument(StrFormat(
+            "line %zu: 't' record needs <s> <p> <o>, got %zu fields",
+            line_number, fields.size() - 1));
+      }
+      const size_t s = entity_index(fields[1]);
+      const LabelId predicate = dict->Intern(
+          options.predicate_label_prefix + std::string(fields[2]));
+      const size_t o = entity_index(fields[3]);
+      if (seen.insert({s, predicate, o}).second) {
+        triples.push_back(Triple{s, predicate, o});
+      }
+    } else {
+      return Status::InvalidArgument(
+          StrFormat("line %zu: unknown record type '%.*s'", line_number,
+                    static_cast<int>(fields[0].size()), fields[0].data()));
+    }
+  }
+
+  // Entities first (stable ids for the caller), then one reified node per
+  // triple.
+  GraphBuilder b(dict);
+  b.ReserveNodes(entity_labels.size() + triples.size());
+  b.ReserveEdges(2 * triples.size());
+  for (LabelId label : entity_labels) b.AddNodeWithLabelId(label);
+  for (const Triple& t : triples) {
+    NodeId r = b.AddNodeWithLabelId(t.predicate);
+    b.AddEdge(static_cast<NodeId>(t.s), r);
+    b.AddEdge(r, static_cast<NodeId>(t.o));
+  }
+  FSIM_ASSIGN_OR_RETURN(result.graph, std::move(b).Build());
+  result.num_triples = triples.size();
+  return result;
+}
+
+Result<ReifiedGraph> LoadTriplesFromFile(const std::string& path,
+                                         const ReifyOptions& options,
+                                         std::shared_ptr<LabelDict> dict) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::IOError(StrFormat("cannot open %s", path.c_str()));
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) {
+    return Status::IOError(StrFormat("read from %s failed", path.c_str()));
+  }
+  return LoadTriplesFromString(buffer.str(), options, std::move(dict));
+}
+
+}  // namespace fsim

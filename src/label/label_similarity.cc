@@ -1,0 +1,132 @@
+#include "label/label_similarity.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace fsim {
+
+const char* LabelSimKindName(LabelSimKind kind) {
+  switch (kind) {
+    case LabelSimKind::kIndicator:
+      return "L_I";
+    case LabelSimKind::kEditDistance:
+      return "L_E";
+    case LabelSimKind::kJaroWinkler:
+      return "L_J";
+  }
+  return "?";
+}
+
+size_t LevenshteinDistance(std::string_view a, std::string_view b) {
+  if (a.size() > b.size()) std::swap(a, b);
+  const size_t n = a.size();
+  const size_t m = b.size();
+  std::vector<size_t> row(n + 1);
+  for (size_t i = 0; i <= n; ++i) row[i] = i;
+  for (size_t j = 1; j <= m; ++j) {
+    size_t prev_diag = row[0];
+    row[0] = j;
+    for (size_t i = 1; i <= n; ++i) {
+      size_t tmp = row[i];
+      size_t sub = prev_diag + (a[i - 1] == b[j - 1] ? 0 : 1);
+      row[i] = std::min({row[i] + 1, row[i - 1] + 1, sub});
+      prev_diag = tmp;
+    }
+  }
+  return row[n];
+}
+
+double NormalizedEditSimilarity(std::string_view a, std::string_view b) {
+  if (a.empty() && b.empty()) return 1.0;
+  const double denom = static_cast<double>(std::max(a.size(), b.size()));
+  return 1.0 - static_cast<double>(LevenshteinDistance(a, b)) / denom;
+}
+
+double JaroSimilarity(std::string_view a, std::string_view b) {
+  if (a == b) return 1.0;
+  if (a.empty() || b.empty()) return 0.0;
+  const size_t la = a.size();
+  const size_t lb = b.size();
+  const size_t window =
+      std::max<size_t>(1, std::max(la, lb) / 2) - 1;
+
+  std::vector<char> a_matched(la, 0);
+  std::vector<char> b_matched(lb, 0);
+  size_t matches = 0;
+  for (size_t i = 0; i < la; ++i) {
+    const size_t lo = i > window ? i - window : 0;
+    const size_t hi = std::min(lb, i + window + 1);
+    for (size_t j = lo; j < hi; ++j) {
+      if (b_matched[j] || a[i] != b[j]) continue;
+      a_matched[i] = b_matched[j] = 1;
+      ++matches;
+      break;
+    }
+  }
+  if (matches == 0) return 0.0;
+
+  // Count transpositions among matched characters.
+  size_t transpositions = 0;
+  size_t j = 0;
+  for (size_t i = 0; i < la; ++i) {
+    if (!a_matched[i]) continue;
+    while (!b_matched[j]) ++j;
+    if (a[i] != b[j]) ++transpositions;
+    ++j;
+  }
+  const double m = static_cast<double>(matches);
+  return (m / static_cast<double>(la) + m / static_cast<double>(lb) +
+          (m - static_cast<double>(transpositions) / 2.0) / m) /
+         3.0;
+}
+
+double JaroWinklerSimilarity(std::string_view a, std::string_view b) {
+  const double jaro = JaroSimilarity(a, b);
+  size_t prefix = 0;
+  const size_t max_prefix = std::min<size_t>({4, a.size(), b.size()});
+  while (prefix < max_prefix && a[prefix] == b[prefix]) ++prefix;
+  constexpr double kPrefixScale = 0.1;
+  double jw = jaro + static_cast<double>(prefix) * kPrefixScale * (1.0 - jaro);
+  // Guarantee L(a,b) = 1 only for identical strings (well-definedness).
+  if (a != b && jw >= 1.0) jw = 1.0 - 1e-9;
+  return jw;
+}
+
+double StringSimilarity(LabelSimKind kind, std::string_view a,
+                        std::string_view b) {
+  switch (kind) {
+    case LabelSimKind::kIndicator:
+      return a == b ? 1.0 : 0.0;
+    case LabelSimKind::kEditDistance:
+      return NormalizedEditSimilarity(a, b);
+    case LabelSimKind::kJaroWinkler:
+      return JaroWinklerSimilarity(a, b);
+  }
+  return 0.0;
+}
+
+LabelSimilarityCache::LabelSimilarityCache(const LabelDict& dict,
+                                           LabelSimKind kind)
+    : kind_(kind), n_(dict.size()) {
+  if (kind_ == LabelSimKind::kIndicator) return;
+  // A dense matrix over the dictionary keeps the per-pair lookup a single
+  // load. Guard against accidentally quadratic blowup on huge dictionaries.
+  FSIM_CHECK(n_ <= 16384) << "LabelSimilarityCache: dictionary too large for "
+                             "dense memoization ("
+                          << n_ << " labels); use kIndicator";
+  matrix_.resize(n_ * n_);
+  for (size_t i = 0; i < n_; ++i) {
+    matrix_[i * n_ + i] = 1.0f;
+    for (size_t j = i + 1; j < n_; ++j) {
+      float s = static_cast<float>(
+          StringSimilarity(kind_, dict.Name(static_cast<LabelId>(i)),
+                           dict.Name(static_cast<LabelId>(j))));
+      matrix_[i * n_ + j] = s;
+      matrix_[j * n_ + i] = s;
+    }
+  }
+}
+
+}  // namespace fsim

@@ -1,0 +1,70 @@
+// Label similarity functions L(·) (§3.2/§3.3): the indicator function L_I,
+// normalized edit distance L_E and Jaro-Winkler L_J. All three satisfy the
+// well-definedness requirement L(a,b) = 1 ⟺ a = b on interned (distinct)
+// label strings.
+#ifndef FSIM_LABEL_LABEL_SIMILARITY_H_
+#define FSIM_LABEL_LABEL_SIMILARITY_H_
+
+#include <string_view>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace fsim {
+
+/// Which string-similarity function realizes L(·).
+enum class LabelSimKind {
+  kIndicator,     // L_I: 1 if equal, else 0
+  kEditDistance,  // L_E: 1 - lev(a,b)/max(|a|,|b|)
+  kJaroWinkler,   // L_J
+};
+
+const char* LabelSimKindName(LabelSimKind kind);
+
+/// Levenshtein distance (unit costs).
+size_t LevenshteinDistance(std::string_view a, std::string_view b);
+
+/// L_E(a,b) = 1 - lev(a,b) / max(|a|,|b|); 1 for two empty strings.
+double NormalizedEditSimilarity(std::string_view a, std::string_view b);
+
+/// Jaro similarity in [0,1].
+double JaroSimilarity(std::string_view a, std::string_view b);
+
+/// Jaro-Winkler with the standard prefix scale p=0.1 (prefix length <= 4).
+double JaroWinklerSimilarity(std::string_view a, std::string_view b);
+
+/// Dispatches to the function selected by `kind`.
+double StringSimilarity(LabelSimKind kind, std::string_view a,
+                        std::string_view b);
+
+/// Memoized L(·) over a (shared) label dictionary: a dense |Σ|x|Σ| float
+/// matrix, computed once. For kIndicator no matrix is materialized (the
+/// comparison is a plain id equality).
+class LabelSimilarityCache {
+ public:
+  /// `dict` must be the dictionary shared by both graphs of a computation.
+  LabelSimilarityCache(const LabelDict& dict, LabelSimKind kind);
+
+  double Sim(LabelId a, LabelId b) const {
+    if (kind_ == LabelSimKind::kIndicator) return a == b ? 1.0 : 0.0;
+    FSIM_DCHECK(a < n_ && b < n_);
+    return matrix_[static_cast<size_t>(a) * n_ + b];
+  }
+
+  /// The label-constrained mapping test (Remark 2): can x be mapped to y
+  /// under threshold theta? theta <= 0 admits every pair.
+  bool Compatible(LabelId a, LabelId b, double theta) const {
+    return theta <= 0.0 || Sim(a, b) >= theta;
+  }
+
+  LabelSimKind kind() const { return kind_; }
+
+ private:
+  LabelSimKind kind_;
+  size_t n_ = 0;
+  std::vector<float> matrix_;
+};
+
+}  // namespace fsim
+
+#endif  // FSIM_LABEL_LABEL_SIMILARITY_H_

@@ -1,0 +1,43 @@
+#include "matching/bipartite_matching.h"
+
+#include <algorithm>
+
+namespace fsim {
+
+namespace {
+bool TryAugment(const std::vector<std::vector<uint32_t>>& adj, uint32_t left,
+                std::vector<int>* match_right, std::vector<char>* visited) {
+  for (uint32_t r : adj[left]) {
+    if ((*visited)[r]) continue;
+    (*visited)[r] = 1;
+    if ((*match_right)[r] < 0 ||
+        TryAugment(adj, static_cast<uint32_t>((*match_right)[r]), match_right,
+                   visited)) {
+      (*match_right)[r] = static_cast<int>(left);
+      return true;
+    }
+  }
+  return false;
+}
+}  // namespace
+
+size_t MaxBipartiteMatching(const std::vector<std::vector<uint32_t>>& adj,
+                            size_t num_right,
+                            std::vector<int>* out_match_left) {
+  std::vector<int> match_right(num_right, -1);
+  size_t matched = 0;
+  std::vector<char> visited(num_right);
+  for (uint32_t l = 0; l < adj.size(); ++l) {
+    std::fill(visited.begin(), visited.end(), 0);
+    if (TryAugment(adj, l, &match_right, &visited)) ++matched;
+  }
+  if (out_match_left != nullptr) {
+    out_match_left->assign(adj.size(), -1);
+    for (size_t r = 0; r < num_right; ++r) {
+      if (match_right[r] >= 0) (*out_match_left)[match_right[r]] = static_cast<int>(r);
+    }
+  }
+  return matched;
+}
+
+}  // namespace fsim

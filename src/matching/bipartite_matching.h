@@ -1,0 +1,23 @@
+// Maximum-cardinality bipartite matching (Kuhn's augmenting paths). The
+// exact dp-/bj-simulation checkers reduce the "does an injective neighbor
+// mapping exist?" question to a perfect-matching test on the 0/1
+// compatibility graph.
+#ifndef FSIM_MATCHING_BIPARTITE_MATCHING_H_
+#define FSIM_MATCHING_BIPARTITE_MATCHING_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace fsim {
+
+/// `adj[l]` lists the right-side nodes compatible with left node l.
+/// Returns the maximum matching cardinality. When `out_match_left` is
+/// non-null, (*out_match_left)[l] is the matched right node or -1.
+size_t MaxBipartiteMatching(const std::vector<std::vector<uint32_t>>& adj,
+                            size_t num_right,
+                            std::vector<int>* out_match_left = nullptr);
+
+}  // namespace fsim
+
+#endif  // FSIM_MATCHING_BIPARTITE_MATCHING_H_

@@ -1,0 +1,38 @@
+#include "matching/greedy_matching.h"
+
+#include <algorithm>
+
+namespace fsim {
+
+double GreedyMaxWeightMatching(
+    MatchingScratch* scratch, size_t num_left, size_t num_right,
+    std::vector<std::pair<uint32_t, uint32_t>>* out_pairs) {
+  auto& edges = scratch->edges;
+  std::sort(edges.begin(), edges.end(),
+            [](const WeightedEdge& a, const WeightedEdge& b) {
+              if (a.weight != b.weight) return a.weight > b.weight;
+              if (a.left != b.left) return a.left < b.left;
+              return a.right < b.right;
+            });
+  scratch->left_used.assign(num_left, 0);
+  scratch->right_used.assign(num_right, 0);
+  double total = 0.0;
+  for (const WeightedEdge& e : edges) {
+    if (scratch->left_used[e.left] || scratch->right_used[e.right]) continue;
+    scratch->left_used[e.left] = 1;
+    scratch->right_used[e.right] = 1;
+    total += e.weight;
+    if (out_pairs != nullptr) out_pairs->emplace_back(e.left, e.right);
+  }
+  return total;
+}
+
+double GreedyMaxWeightMatching(
+    std::vector<WeightedEdge> edges, size_t num_left, size_t num_right,
+    std::vector<std::pair<uint32_t, uint32_t>>* out_pairs) {
+  MatchingScratch scratch;
+  scratch.edges = std::move(edges);
+  return GreedyMaxWeightMatching(&scratch, num_left, num_right, out_pairs);
+}
+
+}  // namespace fsim

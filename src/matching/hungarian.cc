@@ -1,0 +1,96 @@
+#include "matching/hungarian.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/logging.h"
+
+namespace fsim {
+
+double HungarianMaxWeightMatching(const std::vector<std::vector<double>>& w,
+                                  std::vector<int>* out_assignment) {
+  const size_t rows = w.size();
+  size_t cols = 0;
+  for (const auto& row : w) cols = std::max(cols, row.size());
+  if (rows == 0 || cols == 0) {
+    if (out_assignment != nullptr) out_assignment->assign(rows, -1);
+    return 0.0;
+  }
+
+  // Pad to a square n x n cost matrix; maximize weight == minimize
+  // (max_w - w). Dummy cells get weight 0 so unmatched rows/cols cost
+  // nothing.
+  const size_t n = std::max(rows, cols);
+  double max_w = 0.0;
+  for (const auto& row : w) {
+    for (double x : row) {
+      FSIM_CHECK(x >= 0.0) << "Hungarian expects non-negative weights";
+      max_w = std::max(max_w, x);
+    }
+  }
+  auto weight_at = [&](size_t i, size_t j) -> double {
+    if (i < rows && j < w[i].size()) return w[i][j];
+    return 0.0;
+  };
+
+  // Classic O(n^3) potentials-based implementation (1-indexed internals).
+  const double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> u(n + 1, 0.0), v(n + 1, 0.0);
+  std::vector<size_t> p(n + 1, 0);    // p[j] = row matched to column j
+  std::vector<size_t> way(n + 1, 0);
+  for (size_t i = 1; i <= n; ++i) {
+    p[0] = i;
+    size_t j0 = 0;
+    std::vector<double> minv(n + 1, kInf);
+    std::vector<char> used(n + 1, 0);
+    do {
+      used[j0] = 1;
+      size_t i0 = p[j0], j1 = 0;
+      double delta = kInf;
+      for (size_t j = 1; j <= n; ++j) {
+        if (used[j]) continue;
+        double cost = max_w - weight_at(i0 - 1, j - 1);
+        double cur = cost - u[i0] - v[j];
+        if (cur < minv[j]) {
+          minv[j] = cur;
+          way[j] = j0;
+        }
+        if (minv[j] < delta) {
+          delta = minv[j];
+          j1 = j;
+        }
+      }
+      for (size_t j = 0; j <= n; ++j) {
+        if (used[j]) {
+          u[p[j]] += delta;
+          v[j] -= delta;
+        } else {
+          minv[j] -= delta;
+        }
+      }
+      j0 = j1;
+    } while (p[j0] != 0);
+    do {
+      size_t j1 = way[j0];
+      p[j0] = p[j1];
+      j0 = j1;
+    } while (j0 != 0);
+  }
+
+  if (out_assignment != nullptr) out_assignment->assign(rows, -1);
+  double total = 0.0;
+  for (size_t j = 1; j <= n; ++j) {
+    size_t i = p[j];
+    if (i == 0) continue;
+    double x = weight_at(i - 1, j - 1);
+    if (i - 1 < rows && j - 1 < cols && x > 0.0) {
+      total += x;
+      if (out_assignment != nullptr) {
+        (*out_assignment)[i - 1] = static_cast<int>(j - 1);
+      }
+    }
+  }
+  return total;
+}
+
+}  // namespace fsim

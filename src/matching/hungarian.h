@@ -1,0 +1,24 @@
+// Exact maximum-weight bipartite matching (Hungarian / Kuhn-Munkres,
+// O(n^3)). Used (a) as the optional exact realization of the injective
+// mapping operators — which is what makes condition C3 of Theorem 1 hold
+// exactly — and (b) as the oracle in the greedy ½-approximation property
+// tests.
+#ifndef FSIM_MATCHING_HUNGARIAN_H_
+#define FSIM_MATCHING_HUNGARIAN_H_
+
+#include <vector>
+
+namespace fsim {
+
+/// Maximum-weight matching on a dense weight matrix (rows x cols, weights
+/// >= 0). The matching may leave nodes unmatched (equivalent to matching
+/// with zero-padded dummy nodes), so the result is the true maximum-weight
+/// (not necessarily perfect) matching. Returns the total weight; when
+/// `out_assignment` is non-null, (*out_assignment)[row] is the matched
+/// column or -1.
+double HungarianMaxWeightMatching(const std::vector<std::vector<double>>& w,
+                                  std::vector<int>* out_assignment = nullptr);
+
+}  // namespace fsim
+
+#endif  // FSIM_MATCHING_HUNGARIAN_H_

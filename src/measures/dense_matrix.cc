@@ -1,0 +1,46 @@
+#include "measures/dense_matrix.h"
+
+namespace fsim {
+
+DenseMatrix DenseMatrix::Multiply(const DenseMatrix& other) const {
+  FSIM_CHECK(cols_ == other.rows_);
+  DenseMatrix out(rows_, other.cols_);
+  for (size_t i = 0; i < rows_; ++i) {
+    for (size_t k = 0; k < cols_; ++k) {
+      const double x = data_[i * cols_ + k];
+      if (x == 0.0) continue;
+      const double* row_k = &other.data_[k * other.cols_];
+      double* row_out = &out.data_[i * other.cols_];
+      for (size_t j = 0; j < other.cols_; ++j) {
+        row_out[j] += x * row_k[j];
+      }
+    }
+  }
+  return out;
+}
+
+DenseMatrix DenseMatrix::GramWithTranspose() const {
+  DenseMatrix out(rows_, rows_);
+  for (size_t i = 0; i < rows_; ++i) {
+    for (size_t j = i; j < rows_; ++j) {
+      double sum = 0.0;
+      const double* ri = &data_[i * cols_];
+      const double* rj = &data_[j * cols_];
+      for (size_t k = 0; k < cols_; ++k) sum += ri[k] * rj[k];
+      out.At(i, j) = sum;
+      out.At(j, i) = sum;
+    }
+  }
+  return out;
+}
+
+void DenseMatrix::NormalizeRows() {
+  for (size_t i = 0; i < rows_; ++i) {
+    double sum = 0.0;
+    for (size_t j = 0; j < cols_; ++j) sum += data_[i * cols_ + j];
+    if (sum == 0.0) continue;
+    for (size_t j = 0; j < cols_; ++j) data_[i * cols_ + j] /= sum;
+  }
+}
+
+}  // namespace fsim

@@ -1,0 +1,53 @@
+// Small dense double matrix with the products needed by the meta-path
+// similarity baselines (PathSim/JoinSim/PCRW run over heterogeneous networks
+// whose typed layers — venues, papers, authors — are small enough for dense
+// algebra).
+#ifndef FSIM_MEASURES_DENSE_MATRIX_H_
+#define FSIM_MEASURES_DENSE_MATRIX_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace fsim {
+
+/// Row-major dense matrix.
+class DenseMatrix {
+ public:
+  DenseMatrix() = default;
+  DenseMatrix(size_t rows, size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+
+  double& At(size_t r, size_t c) {
+    FSIM_DCHECK(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  double At(size_t r, size_t c) const {
+    FSIM_DCHECK(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+
+  /// this * other.
+  DenseMatrix Multiply(const DenseMatrix& other) const;
+
+  /// this * this^T (Gram matrix; the commuting matrix of a symmetric
+  /// meta-path).
+  DenseMatrix GramWithTranspose() const;
+
+  /// Divides every row by its sum (rows summing to 0 stay zero) — the
+  /// uniform random-walk transition normalization of PCRW.
+  void NormalizeRows();
+
+ private:
+  size_t rows_ = 0;
+  size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace fsim
+
+#endif  // FSIM_MEASURES_DENSE_MATRIX_H_

@@ -1,0 +1,68 @@
+#include "measures/isorank.h"
+
+#include "common/logging.h"
+
+namespace fsim {
+
+std::vector<double> IsoRankScores(const Graph& g1, const Graph& g2,
+                                  const IsoRankOptions& opts) {
+  FSIM_CHECK(g1.dict() == g2.dict());
+  const Graph u1 = g1.AsUndirected();
+  const Graph u2 = g2.AsUndirected();
+  const size_t n1 = u1.NumNodes();
+  const size_t n2 = u2.NumNodes();
+
+  std::vector<double> prev(n1 * n2);
+  std::vector<double> curr(n1 * n2);
+  auto h = [&](NodeId u, NodeId v) {
+    return u1.Label(u) == u2.Label(v) ? 1.0 : 0.0;
+  };
+  for (NodeId u = 0; u < n1; ++u) {
+    for (NodeId v = 0; v < n2; ++v) {
+      prev[u * n2 + v] = h(u, v);
+    }
+  }
+
+  std::vector<double> inv_deg1(n1), inv_deg2(n2);
+  for (NodeId u = 0; u < n1; ++u) {
+    inv_deg1[u] = u1.OutDegree(u) > 0
+                      ? 1.0 / static_cast<double>(u1.OutDegree(u))
+                      : 0.0;
+  }
+  for (NodeId v = 0; v < n2; ++v) {
+    inv_deg2[v] = u2.OutDegree(v) > 0
+                      ? 1.0 / static_cast<double>(u2.OutDegree(v))
+                      : 0.0;
+  }
+
+  for (uint32_t iter = 0; iter < opts.iterations; ++iter) {
+    double max_value = 0.0;
+    for (NodeId u = 0; u < n1; ++u) {
+      auto nu = u1.OutNeighbors(u);
+      for (NodeId v = 0; v < n2; ++v) {
+        auto nv = u2.OutNeighbors(v);
+        double acc = 0.0;
+        for (NodeId up : nu) {
+          for (NodeId vp : nv) {
+            acc += prev[static_cast<size_t>(up) * n2 + vp] * inv_deg1[up] *
+                   inv_deg2[vp];
+          }
+        }
+        const double value =
+            opts.alpha * acc + (1.0 - opts.alpha) * h(u, v);
+        curr[u * n2 + v] = value;
+        if (value > max_value) max_value = value;
+      }
+    }
+    // The power iteration is only meaningful up to scale (the published
+    // algorithm renormalizes the similarity vector each round); max-
+    // normalizing keeps scores in [0, 1] without changing the ranking.
+    if (max_value > 1.0) {
+      for (auto& value : curr) value /= max_value;
+    }
+    prev.swap(curr);
+  }
+  return prev;
+}
+
+}  // namespace fsim

@@ -1,0 +1,32 @@
+// IsoRank [Singh, Xu & Berger 2008] — the classic network-alignment node
+// similarity discussed in the paper's related work: the similarity of (u, v)
+// is the degree-weighted average of their neighbors' similarities, mixed
+// with an attribute prior:
+//   s_{k+1}(u,v) = alpha * Σ_{u'∈N(u), v'∈N(v)} s_k(u',v') / (d(u') d(v'))
+//                + (1 - alpha) * h(u,v),
+// on undirected adaptations, with h the label-agreement indicator. Included
+// as an additional cross-check baseline for the similarity/alignment case
+// studies (not part of the paper's own tables).
+#ifndef FSIM_MEASURES_ISORANK_H_
+#define FSIM_MEASURES_ISORANK_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace fsim {
+
+struct IsoRankOptions {
+  double alpha = 0.85;
+  uint32_t iterations = 12;
+};
+
+/// Dense |V1| x |V2| IsoRank matrix (row-major). Intended for small/medium
+/// graphs; the case-study graphs fit comfortably.
+std::vector<double> IsoRankScores(const Graph& g1, const Graph& g2,
+                                  const IsoRankOptions& opts = {});
+
+}  // namespace fsim
+
+#endif  // FSIM_MEASURES_ISORANK_H_

@@ -1,0 +1,80 @@
+#include "measures/metapath.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace fsim {
+
+MetaPathScores ComputeMetaPathScores(const DbisGraph& dbis) {
+  const size_t nv = dbis.venues.size();
+  const size_t np = dbis.papers.size();
+  const size_t na = dbis.authors.size();
+
+  // Dense node-id -> type-local index maps.
+  std::vector<uint32_t> paper_index(dbis.graph.NumNodes(), ~0U);
+  for (size_t i = 0; i < np; ++i) paper_index[dbis.papers[i]] = static_cast<uint32_t>(i);
+  std::vector<uint32_t> author_index(dbis.graph.NumNodes(), ~0U);
+  for (size_t i = 0; i < na; ++i) author_index[dbis.authors[i]] = static_cast<uint32_t>(i);
+
+  // Incidence matrices from the edge lists: author -> paper, paper -> venue.
+  DenseMatrix venue_paper(nv, np);  // 1 if paper published in venue
+  DenseMatrix paper_author(np, na);
+  for (size_t vi = 0; vi < nv; ++vi) {
+    for (NodeId p : dbis.graph.InNeighbors(dbis.venues[vi])) {
+      uint32_t pi = paper_index[p];
+      FSIM_DCHECK(pi != ~0U);
+      venue_paper.At(vi, pi) = 1.0;
+    }
+  }
+  for (size_t pi = 0; pi < np; ++pi) {
+    for (NodeId a : dbis.graph.InNeighbors(dbis.papers[pi])) {
+      uint32_t ai = author_index[a];
+      FSIM_DCHECK(ai != ~0U);
+      paper_author.At(pi, ai) = 1.0;
+    }
+  }
+
+  // W[v][a] = #papers of author a in venue v; M = W W^T counts the
+  // V-P-A-P-V meta-paths between venue pairs.
+  DenseMatrix w = venue_paper.Multiply(paper_author);
+  DenseMatrix m = w.GramWithTranspose();
+
+  MetaPathScores out;
+  out.pathsim = DenseMatrix(nv, nv);
+  out.joinsim = DenseMatrix(nv, nv);
+  for (size_t i = 0; i < nv; ++i) {
+    for (size_t j = 0; j < nv; ++j) {
+      const double mij = m.At(i, j);
+      const double mii = m.At(i, i);
+      const double mjj = m.At(j, j);
+      out.pathsim.At(i, j) =
+          (mii + mjj) > 0.0 ? 2.0 * mij / (mii + mjj) : 0.0;
+      out.joinsim.At(i, j) =
+          (mii > 0.0 && mjj > 0.0) ? mij / std::sqrt(mii * mjj) : 0.0;
+    }
+  }
+
+  // PCRW: uniform random walk along V->P->A->P->V using row-normalized
+  // transition matrices (each hop reverses or follows the edge type).
+  DenseMatrix t_vp = venue_paper;          // venue -> its papers
+  DenseMatrix t_pa = paper_author;         // paper -> its authors
+  DenseMatrix t_ap(na, np);                // author -> their papers
+  DenseMatrix t_pv(np, nv);                // paper -> its venue
+  for (size_t pi = 0; pi < np; ++pi) {
+    for (size_t ai = 0; ai < na; ++ai) {
+      if (paper_author.At(pi, ai) > 0.0) t_ap.At(ai, pi) = 1.0;
+    }
+    for (size_t vi = 0; vi < nv; ++vi) {
+      if (venue_paper.At(vi, pi) > 0.0) t_pv.At(pi, vi) = 1.0;
+    }
+  }
+  t_vp.NormalizeRows();
+  t_pa.NormalizeRows();
+  t_ap.NormalizeRows();
+  t_pv.NormalizeRows();
+  out.pcrw = t_vp.Multiply(t_pa).Multiply(t_ap).Multiply(t_pv);
+  return out;
+}
+
+}  // namespace fsim

@@ -1,0 +1,27 @@
+// Meta-path based node-similarity baselines of the case study (§5.4, Tables
+// 7-8): PathSim [41], JoinSim [42] and PCRW [40], computed for venue-venue
+// similarity over a DBIS-style network along the meta-path
+// V - P - A - P - V ("venues sharing authors").
+#ifndef FSIM_MEASURES_METAPATH_H_
+#define FSIM_MEASURES_METAPATH_H_
+
+#include "datasets/dbis.h"
+#include "measures/dense_matrix.h"
+
+namespace fsim {
+
+/// Venue x venue matrices of the three baselines over a DBIS network.
+/// Row/column index = venue index (DbisGraph::venues order).
+struct MetaPathScores {
+  DenseMatrix pathsim;  // 2 M_ij / (M_ii + M_jj)
+  DenseMatrix joinsim;  // M_ij / sqrt(M_ii M_jj)
+  DenseMatrix pcrw;     // random-walk probability along the meta-path
+};
+
+/// Computes all three from the commuting matrix M = W W^T, where
+/// W[v][a] = number of papers author a published in venue v.
+MetaPathScores ComputeMetaPathScores(const DbisGraph& dbis);
+
+}  // namespace fsim
+
+#endif  // FSIM_MEASURES_METAPATH_H_

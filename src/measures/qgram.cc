@@ -1,0 +1,55 @@
+#include "measures/qgram.h"
+
+#include <algorithm>
+
+#include "common/hash.h"
+
+namespace fsim {
+
+namespace {
+
+/// DFS over backward (in-neighbor) paths, recording the q-gram of every
+/// prefix. `hash_chain` carries the incremental label-sequence hash.
+void CollectPaths(const Graph& g, NodeId node, uint32_t remaining,
+                  uint64_t hash_chain, size_t* budget, QGramProfile* profile) {
+  if (*budget == 0) return;
+  const uint64_t h = HashCombine(hash_chain, Mix64(g.Label(node) + 1));
+  ++(*profile)[h];
+  --(*budget);
+  if (remaining == 0) return;
+  for (NodeId w : g.InNeighbors(node)) {
+    CollectPaths(g, w, remaining - 1, h, budget, profile);
+    if (*budget == 0) return;
+  }
+}
+
+}  // namespace
+
+std::vector<QGramProfile> QGramProfiles(const Graph& g, uint32_t q,
+                                        size_t max_paths) {
+  std::vector<QGramProfile> profiles(g.NumNodes());
+  for (NodeId u = 0; u < g.NumNodes(); ++u) {
+    size_t budget = max_paths;
+    CollectPaths(g, u, q > 0 ? q - 1 : 0, 0x51D2C0FFEEULL, &budget,
+                 &profiles[u]);
+  }
+  return profiles;
+}
+
+double QGramSimilarity(const QGramProfile& a, const QGramProfile& b) {
+  if (a.empty() && b.empty()) return 1.0;
+  double min_sum = 0.0;
+  double max_sum = 0.0;
+  for (const auto& [gram, count] : a) {
+    auto it = b.find(gram);
+    const uint32_t other = it == b.end() ? 0 : it->second;
+    min_sum += std::min(count, other);
+    max_sum += std::max(count, other);
+  }
+  for (const auto& [gram, count] : b) {
+    if (a.find(gram) == a.end()) max_sum += count;
+  }
+  return max_sum == 0.0 ? 0.0 : min_sum / max_sum;
+}
+
+}  // namespace fsim

@@ -1,0 +1,33 @@
+// nSimGram-style q-gram node similarity [43]: each node gets a profile of
+// label-sequence q-grams collected from the paths entering it (length-q
+// backward walks); two nodes are similar when their profiles overlap
+// (weighted Jaccard). Captures more topology than 1-hop measures, which is
+// what the paper credits nSimGram for.
+#ifndef FSIM_MEASURES_QGRAM_H_
+#define FSIM_MEASURES_QGRAM_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace fsim {
+
+/// Sparse q-gram count profile: hash of the label sequence -> count.
+using QGramProfile = std::unordered_map<uint64_t, uint32_t>;
+
+/// Profiles of every node: all label sequences of in-coming paths with up to
+/// `q` nodes (the node itself included, so q=1 is just the node's label).
+/// Path enumeration per node is capped at `max_paths` to bound the cost on
+/// hub nodes.
+std::vector<QGramProfile> QGramProfiles(const Graph& g, uint32_t q,
+                                        size_t max_paths = 100000);
+
+/// Weighted Jaccard similarity of two profiles:
+/// Σ min(c1,c2) / Σ max(c1,c2); 1 when both are empty.
+double QGramSimilarity(const QGramProfile& a, const QGramProfile& b);
+
+}  // namespace fsim
+
+#endif  // FSIM_MEASURES_QGRAM_H_

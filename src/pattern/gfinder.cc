@@ -1,0 +1,151 @@
+#include "pattern/gfinder.h"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace fsim {
+
+namespace {
+
+/// BFS order of the query from `root` (undirected), so every node after the
+/// first touches the already-mapped region.
+std::vector<NodeId> QueryBfsOrder(const Graph& query, NodeId root) {
+  std::vector<NodeId> order;
+  std::vector<char> seen(query.NumNodes(), 0);
+  std::queue<NodeId> bfs;
+  bfs.push(root);
+  seen[root] = 1;
+  while (!bfs.empty()) {
+    NodeId q = bfs.front();
+    bfs.pop();
+    order.push_back(q);
+    auto visit = [&](NodeId w) {
+      if (!seen[w]) {
+        seen[w] = 1;
+        bfs.push(w);
+      }
+    };
+    for (NodeId w : query.OutNeighbors(q)) visit(w);
+    for (NodeId w : query.InNeighbors(q)) visit(w);
+  }
+  // Disconnected query parts are appended (they will rely on the global
+  // candidate fallback).
+  for (NodeId q = 0; q < query.NumNodes(); ++q) {
+    if (!seen[q]) order.push_back(q);
+  }
+  return order;
+}
+
+}  // namespace
+
+Mapping GFinderMatch(const Graph& query, const Graph& data,
+                     const GFinderOptions& opts) {
+  const size_t nq = query.NumNodes();
+  if (nq == 0 || data.NumNodes() == 0) return {};
+
+  // Root = query node with the fewest same-label data candidates (the
+  // "least ambiguous" anchor).
+  std::vector<std::vector<NodeId>> label_groups(data.dict()->size());
+  for (NodeId v = 0; v < data.NumNodes(); ++v) {
+    label_groups[data.Label(v)].push_back(v);
+  }
+  NodeId root = 0;
+  size_t best_count = ~size_t{0};
+  for (NodeId q = 0; q < nq; ++q) {
+    const LabelId l = query.Label(q);
+    const size_t count =
+        l < label_groups.size() ? label_groups[l].size() : size_t{0};
+    const size_t effective = count == 0 ? data.NumNodes() : count;
+    if (effective < best_count) {
+      best_count = effective;
+      root = q;
+    }
+  }
+  const std::vector<NodeId> order = QueryBfsOrder(query, root);
+
+  const LabelId root_label = query.Label(root);
+  std::vector<NodeId> roots;
+  if (root_label < label_groups.size() && !label_groups[root_label].empty()) {
+    roots = label_groups[root_label];
+  } else {
+    // Label noise may have produced a label absent from the data: fall back
+    // to arbitrary roots (pure-cost matching).
+    for (NodeId v = 0; v < std::min<size_t>(data.NumNodes(),
+                                            opts.max_root_candidates);
+         ++v) {
+      roots.push_back(v);
+    }
+  }
+  if (roots.size() > opts.max_root_candidates) {
+    roots.resize(opts.max_root_candidates);
+  }
+
+  Mapping best_mapping;
+  double best_cost = std::numeric_limits<double>::infinity();
+  for (NodeId root_v : roots) {
+    Mapping mapping(nq, kInvalidNode);
+    std::vector<char> used(data.NumNodes(), 0);
+    double cost = query.Label(root) == data.Label(root_v)
+                      ? 0.0
+                      : opts.label_mismatch_cost;
+    mapping[root] = root_v;
+    used[root_v] = 1;
+
+    for (size_t i = 1; i < order.size(); ++i) {
+      const NodeId q = order[i];
+      // Candidates: data nodes adjacent (direction-consistent) to some
+      // mapped neighbor's image.
+      double cand_best = std::numeric_limits<double>::infinity();
+      NodeId cand_v = kInvalidNode;
+      auto consider = [&](NodeId v) {
+        if (used[v]) return;
+        double c = query.Label(q) == data.Label(v) ? 0.0
+                                                   : opts.label_mismatch_cost;
+        for (NodeId qn : query.OutNeighbors(q)) {
+          if (mapping[qn] == kInvalidNode) continue;
+          if (!data.HasEdge(v, mapping[qn])) c += opts.missing_edge_cost;
+        }
+        for (NodeId qn : query.InNeighbors(q)) {
+          if (mapping[qn] == kInvalidNode) continue;
+          if (!data.HasEdge(mapping[qn], v)) c += opts.missing_edge_cost;
+        }
+        if (c < cand_best || (c == cand_best && v < cand_v)) {
+          cand_best = c;
+          cand_v = v;
+        }
+      };
+      for (NodeId qn : query.OutNeighbors(q)) {
+        if (mapping[qn] == kInvalidNode) continue;
+        for (NodeId w : data.InNeighbors(mapping[qn])) consider(w);
+      }
+      for (NodeId qn : query.InNeighbors(q)) {
+        if (mapping[qn] == kInvalidNode) continue;
+        for (NodeId w : data.OutNeighbors(mapping[qn])) consider(w);
+      }
+      if (cand_v == kInvalidNode) {
+        // Region cannot grow here: charge all adjacent query edges as
+        // missing and leave q unmatched.
+        cost += opts.missing_edge_cost *
+                static_cast<double>(query.OutDegree(q) + query.InDegree(q));
+        continue;
+      }
+      mapping[q] = cand_v;
+      used[cand_v] = 1;
+      cost += cand_best;
+      if (cost >= best_cost) break;  // cannot improve
+    }
+    if (cost < best_cost) {
+      best_cost = cost;
+      best_mapping = std::move(mapping);
+    }
+    if (best_cost == 0.0) break;  // exact region found; cannot improve
+  }
+  if (best_mapping.empty()) best_mapping.assign(nq, kInvalidNode);
+  return best_mapping;
+}
+
+}  // namespace fsim

@@ -1,0 +1,28 @@
+// G-Finder-style approximate attributed matching [36]: candidate roots are
+// filtered by label, and the match grows greedily from each root minimizing
+// an edit cost that charges label mismatches and missing edges — which is
+// what lets it return (degraded) results under label noise where exact-label
+// methods return nothing.
+#ifndef FSIM_PATTERN_GFINDER_H_
+#define FSIM_PATTERN_GFINDER_H_
+
+#include <cstddef>
+
+#include "pattern/match_types.h"
+
+namespace fsim {
+
+struct GFinderOptions {
+  /// Root candidates tried per query (best-cost result kept; the search
+  /// stops early when a zero-cost — exact — region is found).
+  size_t max_root_candidates = 150;
+  double label_mismatch_cost = 1.0;
+  double missing_edge_cost = 1.0;
+};
+
+Mapping GFinderMatch(const Graph& query, const Graph& data,
+                     const GFinderOptions& opts = {});
+
+}  // namespace fsim
+
+#endif  // FSIM_PATTERN_GFINDER_H_

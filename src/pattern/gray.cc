@@ -1,0 +1,211 @@
+#include "pattern/gray.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace fsim {
+
+namespace {
+
+/// Random walk with restart over the undirected view of `data`, restarting
+/// uniformly over `restart_set`. Returns the stationary approximation after
+/// opts.walk_iterations power steps.
+std::vector<double> Proximity(const Graph& data,
+                              const std::vector<NodeId>& restart_set,
+                              const GRayOptions& opts) {
+  const size_t n = data.NumNodes();
+  std::vector<double> p(n, 0.0);
+  std::vector<double> next(n, 0.0);
+  if (restart_set.empty()) return p;
+  const double restart_mass =
+      1.0 / static_cast<double>(restart_set.size());
+  for (NodeId r : restart_set) p[r] += restart_mass;
+
+  // Undirected degree for row normalization.
+  std::vector<double> inv_degree(n, 0.0);
+  for (NodeId u = 0; u < n; ++u) {
+    const size_t d = data.OutDegree(u) + data.InDegree(u);
+    if (d > 0) inv_degree[u] = 1.0 / static_cast<double>(d);
+  }
+
+  const double c = opts.restart_probability;
+  for (uint32_t iter = 0; iter < opts.walk_iterations; ++iter) {
+    std::fill(next.begin(), next.end(), 0.0);
+    for (NodeId u = 0; u < n; ++u) {
+      if (p[u] == 0.0) continue;
+      const double share = (1.0 - c) * p[u] * inv_degree[u];
+      if (share == 0.0) continue;
+      for (NodeId w : data.OutNeighbors(u)) next[w] += share;
+      for (NodeId w : data.InNeighbors(u)) next[w] += share;
+    }
+    for (NodeId r : restart_set) next[r] += c * restart_mass;
+    // Walkers stranded on isolated nodes restart too (mass conservation).
+    p.swap(next);
+  }
+  return p;
+}
+
+/// Query traversal order: BFS from the anchor over the undirected query,
+/// unreachable nodes appended by id. Matching connected-first keeps the
+/// proximity signal meaningful.
+std::vector<NodeId> ExpansionOrder(const Graph& query, NodeId anchor) {
+  const size_t n = query.NumNodes();
+  std::vector<NodeId> order;
+  std::vector<uint8_t> visited(n, 0);
+  order.push_back(anchor);
+  visited[anchor] = 1;
+  for (size_t head = 0; head < order.size(); ++head) {
+    const NodeId q = order[head];
+    auto visit = [&](NodeId w) {
+      if (!visited[w]) {
+        visited[w] = 1;
+        order.push_back(w);
+      }
+    };
+    for (NodeId w : query.OutNeighbors(q)) visit(w);
+    for (NodeId w : query.InNeighbors(q)) visit(w);
+  }
+  for (NodeId q = 0; q < n; ++q) {
+    if (!visited[q]) order.push_back(q);
+  }
+  return order;
+}
+
+/// Structural bonus: the fraction of q's already-matched query neighbors
+/// whose images are adjacent to candidate c in the right direction.
+double EdgeBonus(const Graph& query, const Graph& data, const Mapping& mapping,
+                 NodeId q, NodeId c) {
+  size_t satisfied = 0;
+  size_t total = 0;
+  for (NodeId w : query.OutNeighbors(q)) {
+    if (mapping[w] == kInvalidNode) continue;
+    ++total;
+    if (data.HasEdge(c, mapping[w])) ++satisfied;
+  }
+  for (NodeId w : query.InNeighbors(q)) {
+    if (mapping[w] == kInvalidNode) continue;
+    ++total;
+    if (data.HasEdge(mapping[w], c)) ++satisfied;
+  }
+  if (total == 0) return 0.0;
+  return static_cast<double>(satisfied) / static_cast<double>(total);
+}
+
+struct GrowResult {
+  Mapping mapping;
+  double goodness = 0.0;
+};
+
+GrowResult GrowFrom(const Graph& query, const Graph& data, NodeId anchor,
+                    NodeId seed, const std::vector<NodeId>& order,
+                    const GRayOptions& opts) {
+  GrowResult result;
+  result.mapping.assign(query.NumNodes(), kInvalidNode);
+  result.mapping[anchor] = seed;
+
+  std::vector<NodeId> matched_data = {seed};
+  std::vector<uint8_t> used(data.NumNodes(), 0);
+  used[seed] = 1;
+
+  const uint32_t refresh =
+      std::max<uint32_t>(1, opts.proximity_refresh_every);
+  std::vector<double> proximity;
+  for (size_t i = 1; i < order.size(); ++i) {
+    const NodeId q = order[i];
+    // Proximity to the matched region, refreshed as the region grows.
+    if ((i - 1) % refresh == 0) {
+      proximity = Proximity(data, matched_data, opts);
+    }
+
+    double best_score = -1.0;
+    NodeId best = kInvalidNode;
+    for (NodeId c = 0; c < data.NumNodes(); ++c) {
+      if (used[c]) continue;  // injective best-effort match
+      if (data.Label(c) != query.Label(q)) continue;
+      const double score = proximity[c] + EdgeBonus(query, data,
+                                                    result.mapping, q, c);
+      if (score > best_score) {
+        best_score = score;
+        best = c;
+      }
+    }
+    if (best == kInvalidNode) {
+      // No same-label candidate left: fall back to the best unlabeled one
+      // (G-Ray prefers returning an imperfect match over none).
+      for (NodeId c = 0; c < data.NumNodes(); ++c) {
+        if (used[c]) continue;
+        const double score = proximity[c] + EdgeBonus(query, data,
+                                                      result.mapping, q, c);
+        if (score > best_score) {
+          best_score = score;
+          best = c;
+        }
+      }
+    }
+    if (best == kInvalidNode) break;  // data exhausted
+    result.mapping[q] = best;
+    result.goodness += best_score;
+    used[best] = 1;
+    matched_data.push_back(best);
+  }
+  return result;
+}
+
+}  // namespace
+
+Mapping GRayMatch(const Graph& query, const Graph& data,
+                  const GRayOptions& opts) {
+  Mapping empty(query.NumNodes(), kInvalidNode);
+  if (query.NumNodes() == 0 || data.NumNodes() == 0) return empty;
+
+  // Anchor candidates: the most constrained (highest-degree) query nodes.
+  // Trying several keeps the match alive when one anchor's label was hit by
+  // noise (its same-label seeds would all sit in the wrong region).
+  std::vector<NodeId> anchors(query.NumNodes());
+  for (NodeId q = 0; q < query.NumNodes(); ++q) anchors[q] = q;
+  std::sort(anchors.begin(), anchors.end(), [&](NodeId a, NodeId b) {
+    const size_t da = query.OutDegree(a) + query.InDegree(a);
+    const size_t db = query.OutDegree(b) + query.InDegree(b);
+    if (da != db) return da > db;
+    return a < b;
+  });
+  if (anchors.size() > std::max<size_t>(1, opts.max_anchors)) {
+    anchors.resize(std::max<size_t>(1, opts.max_anchors));
+  }
+
+  GrowResult best;
+  best.mapping = empty;
+  best.goodness = -1.0;
+  for (NodeId anchor : anchors) {
+    const std::vector<NodeId> order = ExpansionOrder(query, anchor);
+
+    // Seed candidates: same-label data nodes, highest degree first
+    // (fallback: any node when the label is missing from the data).
+    std::vector<NodeId> seeds;
+    for (NodeId c = 0; c < data.NumNodes(); ++c) {
+      if (data.Label(c) == query.Label(anchor)) seeds.push_back(c);
+    }
+    if (seeds.empty()) {
+      for (NodeId c = 0; c < data.NumNodes(); ++c) seeds.push_back(c);
+    }
+    std::sort(seeds.begin(), seeds.end(), [&](NodeId a, NodeId b) {
+      const size_t da = data.OutDegree(a) + data.InDegree(a);
+      const size_t db = data.OutDegree(b) + data.InDegree(b);
+      if (da != db) return da > db;
+      return a < b;
+    });
+    if (seeds.size() > opts.max_seed_candidates) {
+      seeds.resize(opts.max_seed_candidates);
+    }
+
+    for (NodeId seed : seeds) {
+      GrowResult grown = GrowFrom(query, data, anchor, seed, order, opts);
+      if (grown.goodness > best.goodness) best = std::move(grown);
+    }
+  }
+  return best.mapping;
+}
+
+}  // namespace fsim

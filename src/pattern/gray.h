@@ -1,0 +1,43 @@
+// G-Ray-style best-effort pattern matching (Tong et al. [32]): seed the
+// match with the data node of highest *proximity-weighted goodness* for an
+// anchor query node, then grow along query edges, ranking each candidate
+// extension by a random-walk-with-restart proximity to the already-matched
+// region. Unlike the edit-cost searches (TSpan, G-Finder), G-Ray never
+// requires an exact edge: a missing edge merely lowers proximity, which is
+// what "best-effort" means in [32].
+//
+// Included as an additional related-work baseline for the Table 6 pattern
+// study (the paper compares against NAGA / G-Finder / TSpan; G-Ray is the
+// representative of the proximity family its §6 cites).
+#ifndef FSIM_PATTERN_GRAY_H_
+#define FSIM_PATTERN_GRAY_H_
+
+#include <cstddef>
+
+#include "pattern/match_types.h"
+
+namespace fsim {
+
+struct GRayOptions {
+  /// Restart probability of the random walk with restart.
+  double restart_probability = 0.15;
+  /// Power-iteration steps for the proximity vectors.
+  uint32_t walk_iterations = 10;
+  /// Seed candidates tried for the anchor query node.
+  size_t max_seed_candidates = 8;
+  /// Proximity is refreshed after this many assignments (1 = after every
+  /// assignment, the faithful but costly schedule).
+  uint32_t proximity_refresh_every = 3;
+  /// Distinct anchor query nodes tried (descending degree). More anchors
+  /// cost proportionally more but survive label noise on any single anchor.
+  size_t max_anchors = 3;
+};
+
+/// Best-effort match of `query` into `data`; every query node is assigned
+/// (G-Ray always produces a full, possibly imperfect, mapping).
+Mapping GRayMatch(const Graph& query, const Graph& data,
+                  const GRayOptions& opts = {});
+
+}  // namespace fsim
+
+#endif  // FSIM_PATTERN_GRAY_H_

@@ -1,0 +1,62 @@
+#include "pattern/match_types.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "eval/metrics.h"
+
+namespace fsim {
+
+MatchEval EvaluateMapping(const Mapping& mapping,
+                          const std::vector<NodeId>& ground_truth) {
+  FSIM_CHECK(mapping.size() == ground_truth.size());
+  MatchEval eval;
+  if (mapping.empty()) return eval;
+  size_t mapped = 0;
+  size_t correct = 0;
+  for (size_t q = 0; q < mapping.size(); ++q) {
+    if (mapping[q] == kInvalidNode) continue;
+    ++mapped;
+    if (mapping[q] == ground_truth[q]) ++correct;
+  }
+  eval.precision = mapped == 0 ? 0.0
+                               : static_cast<double>(correct) /
+                                     static_cast<double>(mapped);
+  eval.recall =
+      static_cast<double>(correct) / static_cast<double>(mapping.size());
+  eval.f1 = F1Score(eval.precision, eval.recall);
+  return eval;
+}
+
+MatchEval EvaluateSetMatch(const StrongSimMatch& match,
+                           const std::vector<NodeId>& ground_truth) {
+  MatchEval eval;
+  if (ground_truth.empty()) return eval;
+  FSIM_CHECK(match.query_matches.size() == ground_truth.size());
+  size_t recalled = 0;
+  for (size_t q = 0; q < ground_truth.size(); ++q) {
+    const auto& cands = match.query_matches[q];
+    if (std::find(cands.begin(), cands.end(), ground_truth[q]) !=
+        cands.end()) {
+      ++recalled;
+    }
+  }
+  std::vector<NodeId> truth_sorted(ground_truth);
+  std::sort(truth_sorted.begin(), truth_sorted.end());
+  size_t correct_nodes = 0;
+  for (NodeId v : match.matched_nodes) {
+    if (std::binary_search(truth_sorted.begin(), truth_sorted.end(), v)) {
+      ++correct_nodes;
+    }
+  }
+  eval.precision = match.matched_nodes.empty()
+                       ? 0.0
+                       : static_cast<double>(correct_nodes) /
+                             static_cast<double>(match.matched_nodes.size());
+  eval.recall = static_cast<double>(recalled) /
+                static_cast<double>(ground_truth.size());
+  eval.f1 = F1Score(eval.precision, eval.recall);
+  return eval;
+}
+
+}  // namespace fsim

@@ -1,0 +1,36 @@
+// Common types for the pattern-matching case study (Table 6): a match is a
+// per-query-node assignment to data nodes, evaluated against the extraction
+// ground truth with the paper's F1 (P = |φt|/|φ|, R = |φt|/|Q|).
+#ifndef FSIM_PATTERN_MATCH_TYPES_H_
+#define FSIM_PATTERN_MATCH_TYPES_H_
+
+#include <vector>
+
+#include "exact/strong_simulation.h"
+#include "graph/graph.h"
+
+namespace fsim {
+
+/// mapping[q] = matched data node, or kInvalidNode when q stayed unmatched.
+using Mapping = std::vector<NodeId>;
+
+struct MatchEval {
+  double precision = 0.0;
+  double recall = 0.0;
+  double f1 = 0.0;
+};
+
+/// Evaluates a functional mapping: φt = {q : mapping[q] == truth[q]},
+/// |φ| = number of mapped query nodes.
+MatchEval EvaluateMapping(const Mapping& mapping,
+                          const std::vector<NodeId>& ground_truth);
+
+/// Evaluates a strong-simulation (set-valued) match: recall counts query
+/// nodes whose truth image appears among their matches; precision is the
+/// fraction of matched data nodes that are truth images.
+MatchEval EvaluateSetMatch(const StrongSimMatch& match,
+                           const std::vector<NodeId>& ground_truth);
+
+}  // namespace fsim
+
+#endif  // FSIM_PATTERN_MATCH_TYPES_H_

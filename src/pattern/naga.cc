@@ -1,0 +1,49 @@
+#include "pattern/naga.h"
+
+#include <unordered_map>
+
+#include "pattern/seed_expansion.h"
+
+namespace fsim {
+
+namespace {
+
+std::unordered_map<LabelId, uint32_t> NeighborLabelCounts(const Graph& g,
+                                                          NodeId u) {
+  std::unordered_map<LabelId, uint32_t> counts;
+  for (NodeId w : g.OutNeighbors(u)) ++counts[g.Label(w)];
+  for (NodeId w : g.InNeighbors(u)) ++counts[g.Label(w)];
+  return counts;
+}
+
+}  // namespace
+
+double ChiSquareNodeSimilarity(const Graph& query, NodeId q, const Graph& data,
+                               NodeId v) {
+  if (query.Label(q) != data.Label(v)) return 0.0;
+  auto expected = NeighborLabelCounts(query, q);
+  auto observed = NeighborLabelCounts(data, v);
+  double chi2 = 0.0;
+  // Union of labels; expectation from the query side with +1 smoothing so
+  // unseen labels penalize rather than divide by zero.
+  for (const auto& [label, e] : expected) {
+    auto it = observed.find(label);
+    const double o = it == observed.end() ? 0.0 : it->second;
+    const double diff = o - static_cast<double>(e);
+    chi2 += diff * diff / (static_cast<double>(e) + 1.0);
+  }
+  for (const auto& [label, o] : observed) {
+    if (expected.find(label) == expected.end()) {
+      chi2 += static_cast<double>(o) * static_cast<double>(o) / 1.0;
+    }
+  }
+  return 1.0 / (1.0 + chi2);
+}
+
+Mapping NagaMatch(const Graph& query, const Graph& data) {
+  return SeedExpansionMatch(query, data, [&](NodeId q, NodeId v) {
+    return ChiSquareNodeSimilarity(query, q, data, v);
+  });
+}
+
+}  // namespace fsim

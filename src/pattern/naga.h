@@ -1,0 +1,22 @@
+// NAGA-style neighbor-aware matching [35]: node similarity from the
+// chi-square statistic between the query node's and the data node's neighbor
+// label distributions (same node label required), plugged into the common
+// seed-expansion match generator.
+#ifndef FSIM_PATTERN_NAGA_H_
+#define FSIM_PATTERN_NAGA_H_
+
+#include "pattern/match_types.h"
+
+namespace fsim {
+
+/// 1 / (1 + χ²) over the union of neighbor labels (undirected, +1-smoothed
+/// expectation from the query side); 0 when the node labels differ.
+double ChiSquareNodeSimilarity(const Graph& query, NodeId q, const Graph& data,
+                               NodeId v);
+
+/// Seed-expansion matching with the chi-square similarity.
+Mapping NagaMatch(const Graph& query, const Graph& data);
+
+}  // namespace fsim
+
+#endif  // FSIM_PATTERN_NAGA_H_

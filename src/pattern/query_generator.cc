@@ -1,0 +1,126 @@
+#include "pattern/query_generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "common/hash.h"
+#include "common/logging.h"
+#include "graph/graph_builder.h"
+#include "graph/subgraph.h"
+
+namespace fsim {
+
+PatternQuery ExtractQuery(const Graph& data, uint32_t size, Rng* rng) {
+  FSIM_CHECK(data.NumNodes() > 0 && size >= 1);
+  // Start from a node with at least one (undirected) neighbor so the walk
+  // can grow.
+  NodeId start = 0;
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    start = static_cast<NodeId>(rng->NextBounded(data.NumNodes()));
+    if (data.OutDegree(start) + data.InDegree(start) > 0 || size == 1) break;
+  }
+
+  std::vector<NodeId> chosen;
+  std::unordered_set<NodeId> in_query;
+  std::vector<NodeId> frontier;
+  auto add_node = [&](NodeId v) {
+    chosen.push_back(v);
+    in_query.insert(v);
+    for (NodeId w : data.OutNeighbors(v)) {
+      if (!in_query.count(w)) frontier.push_back(w);
+    }
+    for (NodeId w : data.InNeighbors(v)) {
+      if (!in_query.count(w)) frontier.push_back(w);
+    }
+  };
+  add_node(start);
+  while (chosen.size() < size && !frontier.empty()) {
+    const size_t pick = rng->NextBounded(frontier.size());
+    const NodeId v = frontier[pick];
+    frontier[pick] = frontier.back();
+    frontier.pop_back();
+    if (in_query.count(v)) continue;
+    add_node(v);
+  }
+
+  Subgraph sub = InducedSubgraph(data, chosen);
+  PatternQuery out;
+  out.query = std::move(sub.graph);
+  out.ground_truth = std::move(sub.to_parent);
+  return out;
+}
+
+PatternQuery AddStructuralNoise(const PatternQuery& q, double fraction,
+                                Rng* rng) {
+  FSIM_CHECK(fraction >= 0.0);
+  const Graph& g = q.query;
+  const size_t n = g.NumNodes();
+  PatternQuery out;
+  out.ground_truth = q.ground_truth;
+  if (n < 2) {
+    out.query = g;
+    return out;
+  }
+  const size_t to_add = static_cast<size_t>(
+      std::ceil(fraction * static_cast<double>(g.NumEdges())));
+
+  GraphBuilder builder(g.dict());
+  for (NodeId u = 0; u < n; ++u) builder.AddNodeWithLabelId(g.Label(u));
+  std::unordered_set<uint64_t> present;
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v : g.OutNeighbors(u)) {
+      builder.AddEdge(u, v);
+      present.insert(PairKey(u, v));
+    }
+  }
+  size_t added = 0;
+  size_t attempts = 0;
+  while (added < to_add && attempts < 64 * (to_add + 1)) {
+    ++attempts;
+    NodeId u = static_cast<NodeId>(rng->NextBounded(n));
+    NodeId v = static_cast<NodeId>(rng->NextBounded(n));
+    if (u == v) continue;
+    if (present.insert(PairKey(u, v)).second) {
+      builder.AddEdge(u, v);
+      ++added;
+    }
+  }
+  out.query = std::move(builder).BuildOrDie();
+  return out;
+}
+
+PatternQuery AddLabelNoise(const PatternQuery& q, double fraction, Rng* rng) {
+  FSIM_CHECK(fraction >= 0.0 && fraction <= 1.0);
+  const Graph& g = q.query;
+  const size_t n = g.NumNodes();
+  const size_t to_change = static_cast<size_t>(
+      std::ceil(fraction * static_cast<double>(n)));
+  std::vector<NodeId> order(n);
+  for (NodeId u = 0; u < n; ++u) order[u] = u;
+  rng->Shuffle(&order);
+
+  const size_t dict_size = g.dict()->size();
+  GraphBuilder builder(g.dict());
+  std::vector<LabelId> labels(n);
+  for (NodeId u = 0; u < n; ++u) labels[u] = g.Label(u);
+  for (size_t i = 0; i < std::min(to_change, n); ++i) {
+    NodeId u = order[i];
+    if (dict_size <= 1) break;
+    LabelId replacement = labels[u];
+    while (replacement == labels[u]) {
+      replacement = static_cast<LabelId>(rng->NextBounded(dict_size));
+    }
+    labels[u] = replacement;
+  }
+  for (NodeId u = 0; u < n; ++u) builder.AddNodeWithLabelId(labels[u]);
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v : g.OutNeighbors(u)) builder.AddEdge(u, v);
+  }
+  PatternQuery out;
+  out.query = std::move(builder).BuildOrDie();
+  out.ground_truth = q.ground_truth;
+  return out;
+}
+
+}  // namespace fsim

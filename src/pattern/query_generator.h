@@ -1,0 +1,37 @@
+// Query workload generation for Table 6: random connected induced subgraphs
+// extracted from the data graph (which makes the extraction mapping the
+// ground truth), optionally distorted with structural noise (random inserted
+// edges, up to 33%) and/or label noise (randomly modified node labels, up to
+// 33%) — the paper's Exact / Noisy-E / Noisy-L / Combined scenarios.
+#ifndef FSIM_PATTERN_QUERY_GENERATOR_H_
+#define FSIM_PATTERN_QUERY_GENERATOR_H_
+
+#include "common/random.h"
+#include "graph/graph.h"
+
+namespace fsim {
+
+/// A generated query with its ground-truth embedding into the data graph.
+struct PatternQuery {
+  Graph query;
+  /// ground_truth[q] = the data node that query node q was extracted from.
+  std::vector<NodeId> ground_truth;
+};
+
+/// Extracts a random connected induced subgraph with `size` nodes (grown by
+/// a randomized undirected frontier expansion). May return fewer nodes if
+/// the containing component is smaller.
+PatternQuery ExtractQuery(const Graph& data, uint32_t size, Rng* rng);
+
+/// Inserts ceil(fraction * |E(query)|) random new edges into the query
+/// (Noisy-E). The ground truth is unchanged.
+PatternQuery AddStructuralNoise(const PatternQuery& q, double fraction,
+                                Rng* rng);
+
+/// Randomly modifies the labels of ceil(fraction * |V(query)|) query nodes
+/// to a different label from the data graph's dictionary (Noisy-L).
+PatternQuery AddLabelNoise(const PatternQuery& q, double fraction, Rng* rng);
+
+}  // namespace fsim
+
+#endif  // FSIM_PATTERN_QUERY_GENERATOR_H_

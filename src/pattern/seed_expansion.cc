@@ -1,0 +1,213 @@
+#include "pattern/seed_expansion.h"
+
+#include <algorithm>
+#include <unordered_set>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace fsim {
+
+namespace {
+
+/// Collects the data nodes adjacency-consistent with query node q given the
+/// current partial mapping: for a mapped query neighbor q' with edge q -> q'
+/// the candidates are in-neighbors of φ(q'), for q' -> q out-neighbors.
+std::vector<NodeId> AdjacentCandidates(const Graph& query, const Graph& data,
+                                       const Mapping& mapping, NodeId q,
+                                       const std::vector<char>& used) {
+  std::unordered_set<NodeId> cands;
+  for (NodeId qn : query.OutNeighbors(q)) {
+    if (mapping[qn] == kInvalidNode) continue;
+    for (NodeId w : data.InNeighbors(mapping[qn])) {
+      if (!used[w]) cands.insert(w);
+    }
+  }
+  for (NodeId qn : query.InNeighbors(q)) {
+    if (mapping[qn] == kInvalidNode) continue;
+    for (NodeId w : data.OutNeighbors(mapping[qn])) {
+      if (!used[w]) cands.insert(w);
+    }
+  }
+  return {cands.begin(), cands.end()};
+}
+
+}  // namespace
+
+namespace internal {
+
+/// Expands one complete mapping from the given seed pair.
+Mapping ExpandFromSeed(const Graph& query, const Graph& data,
+                       const NodeSimilarityFn& similarity, NodeId seed_q,
+                       NodeId seed_v);
+
+}  // namespace internal
+
+Mapping SeedExpansionMatch(const Graph& query, const Graph& data,
+                           const NodeSimilarityFn& similarity) {
+  const size_t nq = query.NumNodes();
+  const size_t nd = data.NumNodes();
+  if (nq == 0 || nd == 0) return Mapping(nq, kInvalidNode);
+
+  // Seed: the globally best (q, v) pair.
+  double best = -1.0;
+  NodeId best_q = 0, best_v = 0;
+  for (NodeId q = 0; q < nq; ++q) {
+    for (NodeId v = 0; v < nd; ++v) {
+      const double s = similarity(q, v);
+      if (s > best) {
+        best = s;
+        best_q = q;
+        best_v = v;
+      }
+    }
+  }
+  return internal::ExpandFromSeed(query, data, similarity, best_q, best_v);
+}
+
+namespace internal {
+
+Mapping ExpandFromSeed(const Graph& query, const Graph& data,
+                       const NodeSimilarityFn& similarity, NodeId seed_q,
+                       NodeId seed_v) {
+  const size_t nq = query.NumNodes();
+  const size_t nd = data.NumNodes();
+  Mapping mapping(nq, kInvalidNode);
+  if (nq == 0 || nd == 0) return mapping;
+  std::vector<char> used(nd, 0);
+  mapping[seed_q] = seed_v;
+  used[seed_v] = 1;
+
+  // Grow: always extend with the best (adjacent query node, consistent data
+  // candidate) pair; fall back to the global best unused candidate for query
+  // nodes that end up with no consistent candidates.
+  for (size_t step = 1; step < nq; ++step) {
+    double step_best = -1.0;
+    NodeId step_q = kInvalidNode, step_v = kInvalidNode;
+    for (NodeId q = 0; q < nq; ++q) {
+      if (mapping[q] != kInvalidNode) continue;
+      for (NodeId v : AdjacentCandidates(query, data, mapping, q, used)) {
+        const double s = similarity(q, v);
+        if (s > step_best) {
+          step_best = s;
+          step_q = q;
+          step_v = v;
+        }
+      }
+    }
+    if (step_q == kInvalidNode) {
+      // No unmapped node touches the mapped region (or all candidates are
+      // used): map the remaining nodes by global best positive similarity.
+      for (NodeId q = 0; q < nq; ++q) {
+        if (mapping[q] != kInvalidNode) continue;
+        double gbest = 0.0;
+        NodeId gv = kInvalidNode;
+        for (NodeId v = 0; v < nd; ++v) {
+          if (used[v]) continue;
+          const double s = similarity(q, v);
+          if (s > gbest) {
+            gbest = s;
+            gv = v;
+          }
+        }
+        if (gv != kInvalidNode) {
+          mapping[q] = gv;
+          used[gv] = 1;
+        }
+      }
+      break;
+    }
+    mapping[step_q] = step_v;
+    used[step_v] = 1;
+  }
+  return mapping;
+}
+
+}  // namespace internal
+
+Mapping SeedExpansionMatch(const Graph& query, const Graph& data,
+                           const FSimScores& scores) {
+  return SeedExpansionMatch(
+      query, data,
+      [&scores](NodeId q, NodeId v) { return scores.Score(q, v); });
+}
+
+Mapping SeedExpansionMatchBest(const Graph& query, const Graph& data,
+                               const NodeSimilarityFn& similarity,
+                               size_t num_seeds) {
+  const size_t nq = query.NumNodes();
+  const size_t nd = data.NumNodes();
+  if (nq == 0 || nd == 0) return Mapping(nq, kInvalidNode);
+
+  // Top seed pairs with distinct data endpoints.
+  struct Seed {
+    double score;
+    NodeId q, v;
+  };
+  std::vector<Seed> seeds;
+  for (NodeId q = 0; q < nq; ++q) {
+    for (NodeId v = 0; v < nd; ++v) {
+      const double s = similarity(q, v);
+      if (s <= 0.0) continue;
+      seeds.push_back({s, q, v});
+    }
+  }
+  std::sort(seeds.begin(), seeds.end(), [](const Seed& a, const Seed& b) {
+    if (a.score != b.score) return a.score > b.score;
+    if (a.q != b.q) return a.q < b.q;
+    return a.v < b.v;
+  });
+
+  // Consistency of a complete mapping: similarity mass plus the fraction of
+  // query edges realized between the images.
+  auto consistency = [&](const Mapping& mapping) {
+    double sim_sum = 0.0;
+    for (NodeId q = 0; q < nq; ++q) {
+      if (mapping[q] != kInvalidNode) sim_sum += similarity(q, mapping[q]);
+    }
+    size_t edges = 0;
+    size_t realized = 0;
+    for (NodeId q = 0; q < nq; ++q) {
+      for (NodeId qn : query.OutNeighbors(q)) {
+        ++edges;
+        if (mapping[q] != kInvalidNode && mapping[qn] != kInvalidNode &&
+            data.HasEdge(mapping[q], mapping[qn])) {
+          ++realized;
+        }
+      }
+    }
+    const double edge_frac =
+        edges == 0 ? 1.0
+                   : static_cast<double>(realized) / static_cast<double>(edges);
+    return sim_sum / static_cast<double>(nq) + edge_frac;
+  };
+
+  Mapping best_mapping(nq, kInvalidNode);
+  double best_value = -1.0;
+  std::vector<char> seed_used(nd, 0);
+  size_t tried = 0;
+  for (const Seed& seed : seeds) {
+    if (tried >= num_seeds) break;
+    if (seed_used[seed.v]) continue;  // diversify the starting regions
+    seed_used[seed.v] = 1;
+    ++tried;
+    Mapping mapping =
+        internal::ExpandFromSeed(query, data, similarity, seed.q, seed.v);
+    const double value = consistency(mapping);
+    if (value > best_value) {
+      best_value = value;
+      best_mapping = std::move(mapping);
+    }
+  }
+  return best_mapping;
+}
+
+Mapping SeedExpansionMatchBest(const Graph& query, const Graph& data,
+                               const FSimScores& scores, size_t num_seeds) {
+  return SeedExpansionMatchBest(
+      query, data,
+      [&scores](NodeId q, NodeId v) { return scores.Score(q, v); },
+      num_seeds);
+}
+
+}  // namespace fsim

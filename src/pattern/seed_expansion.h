@@ -1,0 +1,49 @@
+// Match generation by seed expansion (§5.4 "we followed the state-of-the-art
+// algorithm NAGA for match generation"): node pairs with high similarity are
+// seeds, and the match grows by repeatedly assigning the unmapped query node
+// adjacent to the mapped region whose best adjacency-consistent data
+// candidate has the highest similarity. Works with any pairwise similarity:
+// FSimχ scores (the FSims/FSimdp rows of Table 6) or a callback (NAGA's
+// chi-square similarity).
+#ifndef FSIM_PATTERN_SEED_EXPANSION_H_
+#define FSIM_PATTERN_SEED_EXPANSION_H_
+
+#include <functional>
+
+#include "core/fsim_scores.h"
+#include "pattern/match_types.h"
+
+namespace fsim {
+
+/// Pairwise similarity of (query node, data node) in [0, 1].
+using NodeSimilarityFn = std::function<double(NodeId, NodeId)>;
+
+/// Expands a match from the highest-similarity seed. Candidates for an
+/// unmapped query node are data nodes consistent with at least one mapped
+/// query neighbor (edge direction respected); when a node has no such
+/// candidate, the globally best unused data node with positive similarity is
+/// used as fallback, and the node stays unmatched when none exists.
+Mapping SeedExpansionMatch(const Graph& query, const Graph& data,
+                           const NodeSimilarityFn& similarity);
+
+/// Convenience overload reading similarities from a ComputeFSim result
+/// (scores from a ComputeFSim(query, data, ...) run).
+Mapping SeedExpansionMatch(const Graph& query, const Graph& data,
+                           const FSimScores& scores);
+
+/// Multi-seed variant (how NAGA generates matches): expands one match from
+/// each of the `num_seeds` best seed pairs (distinct data seeds) and keeps
+/// the mapping with the highest internal consistency — the sum of pair
+/// similarities plus the fraction of query edges realized between the
+/// images. No ground truth is consulted.
+Mapping SeedExpansionMatchBest(const Graph& query, const Graph& data,
+                               const NodeSimilarityFn& similarity,
+                               size_t num_seeds = 5);
+
+Mapping SeedExpansionMatchBest(const Graph& query, const Graph& data,
+                               const FSimScores& scores,
+                               size_t num_seeds = 5);
+
+}  // namespace fsim
+
+#endif  // FSIM_PATTERN_SEED_EXPANSION_H_

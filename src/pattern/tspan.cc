@@ -1,0 +1,186 @@
+#include "pattern/tspan.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace fsim {
+
+namespace {
+
+/// Neighborhood-label agreement Σ_l min(count_q(l), count_v(l)) over the
+/// undirected neighbor labels — a cheap ranking that puts data nodes whose
+/// surroundings resemble the query node's first in the exploration order.
+uint32_t NeighborhoodCoverage(const Graph& query, NodeId q, const Graph& data,
+                              NodeId v) {
+  std::unordered_map<LabelId, uint32_t> want;
+  for (NodeId w : query.OutNeighbors(q)) ++want[query.Label(w)];
+  for (NodeId w : query.InNeighbors(q)) ++want[query.Label(w)];
+  std::unordered_map<LabelId, uint32_t> have;
+  for (NodeId w : data.OutNeighbors(v)) ++have[data.Label(w)];
+  for (NodeId w : data.InNeighbors(v)) ++have[data.Label(w)];
+  uint32_t covered = 0;
+  for (const auto& [label, count] : want) {
+    auto it = have.find(label);
+    if (it != have.end()) covered += std::min(count, it->second);
+  }
+  return covered;
+}
+
+struct SearchState {
+  const Graph* query;
+  const Graph* data;
+  const TSpanOptions* opts;
+  std::vector<NodeId> order;            // query nodes in matching order
+  std::vector<std::vector<NodeId>> label_groups;  // data nodes per label
+  Mapping mapping;
+  std::vector<char> used;
+  size_t steps = 0;
+  size_t max_matches = 1;
+  std::vector<Mapping> results;
+};
+
+/// Number of query edges between q and already-mapped nodes that are absent
+/// between v and their images.
+uint32_t MissingEdges(const SearchState& st, NodeId q, NodeId v) {
+  uint32_t missing = 0;
+  for (NodeId qn : st.query->OutNeighbors(q)) {
+    if (st.mapping[qn] == kInvalidNode) continue;
+    if (!st.data->HasEdge(v, st.mapping[qn])) ++missing;
+  }
+  for (NodeId qn : st.query->InNeighbors(q)) {
+    if (st.mapping[qn] == kInvalidNode) continue;
+    if (!st.data->HasEdge(st.mapping[qn], v)) ++missing;
+  }
+  return missing;
+}
+
+/// Returns true when the search must abort (budget exhausted or enough
+/// matches collected); completed embeddings are appended to st.results.
+bool Backtrack(SearchState& st, size_t depth, uint32_t missing_budget) {
+  if (depth == st.order.size()) {
+    st.results.push_back(st.mapping);
+    return st.results.size() >= st.max_matches;
+  }
+  if (st.steps >= st.opts->step_budget) return true;
+  const NodeId q = st.order[depth];
+  const LabelId label = st.query->Label(q);
+  if (label >= st.label_groups.size()) return false;
+  // Explore candidates in ascending miss-count order (zero-miss placements
+  // first), breaking ties by descending neighborhood-label coverage: this
+  // steers the search toward the tightest embeddings and prunes wrong
+  // regions early.
+  struct Candidate {
+    uint32_t missing;
+    int32_t neg_coverage;
+    NodeId v;
+    bool operator<(const Candidate& other) const {
+      if (missing != other.missing) return missing < other.missing;
+      if (neg_coverage != other.neg_coverage) {
+        return neg_coverage < other.neg_coverage;
+      }
+      return v < other.v;
+    }
+  };
+  std::vector<Candidate> candidates;
+  for (NodeId v : st.label_groups[label]) {
+    if (st.used[v]) continue;
+    ++st.steps;
+    if (st.steps >= st.opts->step_budget) return true;
+    const uint32_t missing = MissingEdges(st, q, v);
+    if (missing <= missing_budget) {
+      candidates.push_back(
+          {missing,
+           -static_cast<int32_t>(NeighborhoodCoverage(*st.query, q, *st.data, v)),
+           v});
+    }
+  }
+  std::sort(candidates.begin(), candidates.end());
+  for (const auto& [missing, neg_coverage, v] : candidates) {
+    st.mapping[q] = v;
+    st.used[v] = 1;
+    const bool abort = Backtrack(st, depth + 1, missing_budget - missing);
+    st.mapping[q] = kInvalidNode;
+    st.used[v] = 0;
+    if (abort) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::vector<Mapping> TSpanMatchAll(const Graph& query, const Graph& data,
+                                   const TSpanOptions& opts,
+                                   size_t max_matches) {
+  const size_t nq = query.NumNodes();
+  if (nq == 0 || max_matches == 0) return {};
+
+  SearchState st;
+  st.query = &query;
+  st.data = &data;
+  st.opts = &opts;
+  st.mapping.assign(nq, kInvalidNode);
+  st.used.assign(data.NumNodes(), 0);
+
+  st.label_groups.assign(data.dict()->size(), {});
+  for (NodeId v = 0; v < data.NumNodes(); ++v) {
+    st.label_groups[data.Label(v)].push_back(v);
+  }
+
+  // Match order: rarest-label query node first, then by descending
+  // connectivity to already-ordered nodes (classic candidate-size ordering).
+  std::vector<NodeId> remaining(nq);
+  for (NodeId q = 0; q < nq; ++q) remaining[q] = q;
+  auto candidate_count = [&](NodeId q) -> size_t {
+    const LabelId l = query.Label(q);
+    return l < st.label_groups.size() ? st.label_groups[l].size()
+                                      : size_t{0};
+  };
+  std::vector<char> ordered(nq, 0);
+  while (!remaining.empty()) {
+    size_t best_idx = 0;
+    long best_links = -1;
+    size_t best_cands = ~size_t{0};
+    for (size_t i = 0; i < remaining.size(); ++i) {
+      const NodeId q = remaining[i];
+      long links = 0;
+      for (NodeId qn : query.OutNeighbors(q)) links += ordered[qn];
+      for (NodeId qn : query.InNeighbors(q)) links += ordered[qn];
+      const size_t cands = candidate_count(q);
+      // Prefer nodes connected to the ordered prefix, then rare labels.
+      if (links > best_links ||
+          (links == best_links && cands < best_cands)) {
+        best_links = links;
+        best_cands = cands;
+        best_idx = i;
+      }
+    }
+    const NodeId q = remaining[best_idx];
+    st.order.push_back(q);
+    ordered[q] = 1;
+    remaining.erase(remaining.begin() + static_cast<ptrdiff_t>(best_idx));
+  }
+
+  // Iterative deepening over the miss budget: the first budget at which any
+  // embedding exists is the minimal miss level; enumerate matches there.
+  st.max_matches = max_matches;
+  for (uint32_t budget = 0; budget <= opts.max_missing_edges; ++budget) {
+    st.steps = 0;
+    st.results.clear();
+    std::fill(st.mapping.begin(), st.mapping.end(), kInvalidNode);
+    std::fill(st.used.begin(), st.used.end(), 0);
+    Backtrack(st, 0, budget);
+    if (!st.results.empty()) return std::move(st.results);
+  }
+  return {};
+}
+
+Mapping TSpanMatch(const Graph& query, const Graph& data,
+                   const TSpanOptions& opts) {
+  auto matches = TSpanMatchAll(query, data, opts, 1);
+  return matches.empty() ? Mapping{} : std::move(matches.front());
+}
+
+}  // namespace fsim

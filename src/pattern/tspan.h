@@ -1,0 +1,40 @@
+// TSpan-style edit-distance pattern matching [31]: enumerate embeddings of
+// the query whose node labels match exactly and whose mapped edges may miss
+// at most `max_missing_edges` query edges in the data graph. Mirrors TSpan's
+// characteristic behaviour in Table 6: strong on structural noise up to its
+// threshold, no results under label noise (labels must match exactly).
+#ifndef FSIM_PATTERN_TSPAN_H_
+#define FSIM_PATTERN_TSPAN_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "pattern/match_types.h"
+
+namespace fsim {
+
+struct TSpanOptions {
+  /// The x of "TSpan-x": maximum query edges allowed to be absent between
+  /// the mapped data nodes.
+  uint32_t max_missing_edges = 1;
+  /// Backtracking step budget (the published system relies on offline
+  /// indexes; the budget keeps the index-free search bounded).
+  size_t step_budget = 20000000;
+};
+
+/// First embedding found within the miss budget, or an empty mapping when
+/// none exists (or the budget is exhausted).
+Mapping TSpanMatch(const Graph& query, const Graph& data,
+                   const TSpanOptions& opts);
+
+/// Enumerates up to `max_matches` embeddings at the *smallest* feasible miss
+/// level (iterative deepening: the first budget admitting any embedding).
+/// This is TSpan's published "enumerate all matches with mismatched edges up
+/// to the threshold" semantics, bounded for index-free evaluation.
+std::vector<Mapping> TSpanMatchAll(const Graph& query, const Graph& data,
+                                   const TSpanOptions& opts,
+                                   size_t max_matches = 20);
+
+}  // namespace fsim
+
+#endif  // FSIM_PATTERN_TSPAN_H_

@@ -1,0 +1,716 @@
+// Tests for the application layers: evaluation metrics, the synthetic
+// dataset registry, the DBIS generator, the node-similarity baselines, the
+// pattern-matching pipeline (Table 6 machinery) and the alignment pipeline
+// (Table 9 machinery).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "align/alignment.h"
+#include "align/ews_align.h"
+#include "align/final_align.h"
+#include "align/gsana_align.h"
+#include "align/version_generator.h"
+#include "core/fsim_engine.h"
+#include "datasets/dataset_registry.h"
+#include "datasets/dbis.h"
+#include "eval/metrics.h"
+#include "exact/strong_simulation.h"
+#include "graph/graph_io.h"
+#include "measures/dense_matrix.h"
+#include "measures/metapath.h"
+#include "measures/qgram.h"
+#include "pattern/gfinder.h"
+#include "pattern/gray.h"
+#include "pattern/match_types.h"
+#include "pattern/naga.h"
+#include "pattern/query_generator.h"
+#include "pattern/seed_expansion.h"
+#include "pattern/tspan.h"
+#include "tests/test_graphs.h"
+
+namespace fsim {
+namespace {
+
+// --------------------------------------------------------------- Metrics --
+
+TEST(PearsonTest, PerfectAndInverseCorrelation) {
+  EXPECT_NEAR(PearsonCorrelation({1, 2, 3}, {2, 4, 6}), 1.0, 1e-12);
+  EXPECT_NEAR(PearsonCorrelation({1, 2, 3}, {3, 2, 1}), -1.0, 1e-12);
+}
+
+TEST(PearsonTest, DegenerateSamples) {
+  EXPECT_DOUBLE_EQ(PearsonCorrelation({1, 1, 1}, {1, 1, 1}), 1.0);
+  EXPECT_DOUBLE_EQ(PearsonCorrelation({1, 1, 1}, {1, 2, 3}), 0.0);
+  EXPECT_DOUBLE_EQ(PearsonCorrelation({}, {}), 0.0);
+}
+
+TEST(PearsonTest, KnownValue) {
+  // Hand-computed: r of (1,2,3,4) vs (1,3,2,4) = 0.8.
+  EXPECT_NEAR(PearsonCorrelation({1, 2, 3, 4}, {1, 3, 2, 4}), 0.8, 1e-12);
+}
+
+TEST(NDCGTest, PerfectRankingIsOne) {
+  EXPECT_NEAR(NDCG({2, 2, 1, 0}, {2, 2, 1, 0}, 4), 1.0, 1e-12);
+}
+
+TEST(NDCGTest, WorstRankingBelowOne) {
+  const double ndcg = NDCG({0, 0, 1, 2}, {2, 1, 0, 0}, 4);
+  EXPECT_GT(ndcg, 0.0);
+  EXPECT_LT(ndcg, 0.8);
+}
+
+TEST(NDCGTest, CutoffRestrictsEvaluation) {
+  // Only the first position counts at k=1.
+  EXPECT_NEAR(NDCG({2, 0, 0}, {2, 2, 2}, 1), 1.0, 1e-12);
+  EXPECT_NEAR(NDCG({0, 2, 2}, {2, 2, 2}, 1), 0.0, 1e-12);
+}
+
+TEST(NDCGTest, AllZeroIdealIsZero) {
+  EXPECT_DOUBLE_EQ(NDCG({0, 0}, {0, 0}, 2), 0.0);
+}
+
+TEST(F1Test, Formula) {
+  EXPECT_DOUBLE_EQ(F1Score(1.0, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(F1Score(0.0, 0.0), 0.0);
+  EXPECT_NEAR(F1Score(0.5, 1.0), 2.0 / 3.0, 1e-12);
+}
+
+TEST(CorrelateScoresTest, IdenticalRunsCorrelateAtOne) {
+  auto pair = testing::MakeRandomPair(0xE1, 10, 10);
+  FSimConfig config;
+  config.max_iterations = 20;
+  auto a = ComputeFSim(pair.g1, pair.g2, config);
+  auto b = ComputeFSim(pair.g1, pair.g2, config);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_NEAR(CorrelateScores(*a, *b), 1.0, 1e-12);
+  EXPECT_NEAR(CorrelateCommonScores(*a, *b), 1.0, 1e-12);
+}
+
+// -------------------------------------------------------------- Datasets --
+
+TEST(DatasetRegistryTest, EightSpecsInTableOrder) {
+  const auto& specs = AllDatasetSpecs();
+  ASSERT_EQ(specs.size(), 8u);
+  EXPECT_EQ(specs[0].name, "yeast");
+  EXPECT_EQ(specs[4].name, "nell");
+  EXPECT_EQ(specs[7].name, "acmcit");
+}
+
+TEST(DatasetRegistryTest, LookupByName) {
+  auto spec = DatasetSpecByName("nell");
+  ASSERT_TRUE(spec.ok());
+  EXPECT_EQ(spec->labels, 269u);
+  EXPECT_TRUE(DatasetSpecByName("no-such").status().IsNotFound());
+}
+
+TEST(DatasetRegistryTest, GeneratedShapeTracksSpec) {
+  for (const auto& spec : AllDatasetSpecs()) {
+    if (spec.nodes > 4000) continue;  // keep the test fast
+    Graph g = MakeDataset(spec);
+    EXPECT_EQ(g.NumNodes(), spec.nodes) << spec.name;
+    EXPECT_GT(g.NumEdges(), spec.edges * 6 / 10) << spec.name;
+    // Degree-sequence rounding can overshoot the target slightly.
+    EXPECT_LE(g.NumEdges(), spec.edges * 115 / 100) << spec.name;
+    EXPECT_LE(g.NumDistinctLabels(), spec.labels) << spec.name;
+    EXPECT_LE(g.MaxOutDegree(), spec.max_out_degree) << spec.name;
+    EXPECT_LE(g.MaxInDegree(), spec.max_in_degree) << spec.name;
+  }
+}
+
+TEST(DatasetRegistryTest, DeterministicGeneration) {
+  auto spec = DatasetSpecByName("yeast");
+  ASSERT_TRUE(spec.ok());
+  Graph a = MakeDataset(*spec);
+  Graph b = MakeDataset(*spec);
+  EXPECT_EQ(GraphToString(a), GraphToString(b));
+}
+
+// ------------------------------------------------------------------ DBIS --
+
+class DbisTest : public ::testing::Test {
+ protected:
+  static const DbisGraph& Instance() {
+    static const DbisGraph dbis = [] {
+      DbisOptions opts;
+      opts.num_authors = 300;
+      opts.num_papers = 250;
+      return MakeDbis(opts);
+    }();
+    return dbis;
+  }
+};
+
+TEST_F(DbisTest, SchemaIsWellFormed) {
+  const auto& dbis = Instance();
+  const LabelId vlabel = dbis.graph.dict()->Find("V");
+  const LabelId plabel = dbis.graph.dict()->Find("P");
+  ASSERT_NE(vlabel, kInvalidNode);
+  ASSERT_NE(plabel, kInvalidNode);
+  for (NodeId v : dbis.venues) {
+    EXPECT_EQ(dbis.graph.Label(v), vlabel);
+    EXPECT_EQ(dbis.graph.OutDegree(v), 0u);  // venues are sinks
+  }
+  for (NodeId p : dbis.papers) {
+    EXPECT_EQ(dbis.graph.Label(p), plabel);
+    EXPECT_EQ(dbis.graph.OutDegree(p), 1u);  // published in exactly 1 venue
+    EXPECT_GE(dbis.graph.InDegree(p), 1u);   // at least one author
+  }
+  for (NodeId a : dbis.authors) {
+    EXPECT_EQ(dbis.graph.InDegree(a), 0u);  // authors are sources
+  }
+}
+
+TEST_F(DbisTest, FlagshipDuplicatesExist) {
+  const auto& dbis = Instance();
+  ASSERT_EQ(dbis.flagship_dups.size(), 3u);
+  EXPECT_EQ(dbis.venue_names[dbis.flagship], "WWW");
+  EXPECT_EQ(dbis.venue_names[dbis.flagship_dups[0]], "WWW1");
+  // Duplicates gather a nontrivial share of flagship papers.
+  size_t dup_papers = 0;
+  for (uint32_t dup : dbis.flagship_dups) {
+    dup_papers += dbis.graph.InDegree(dbis.venues[dup]);
+  }
+  EXPECT_GT(dup_papers, 0u);
+}
+
+TEST_F(DbisTest, RelevanceGroundTruth) {
+  const auto& dbis = Instance();
+  EXPECT_DOUBLE_EQ(dbis.Relevance(dbis.flagship, dbis.flagship), 2.0);
+  for (uint32_t dup : dbis.flagship_dups) {
+    EXPECT_DOUBLE_EQ(dbis.Relevance(dbis.flagship, dup), 2.0);
+    EXPECT_DOUBLE_EQ(dbis.Relevance(dup, dbis.flagship), 2.0);
+  }
+  // Find venues in a different area: relevance 0.
+  for (uint32_t i = 0; i < dbis.venues.size(); ++i) {
+    if (dbis.venue_area[i] != dbis.venue_area[dbis.flagship]) {
+      EXPECT_DOUBLE_EQ(dbis.Relevance(dbis.flagship, i), 0.0);
+      break;
+    }
+  }
+}
+
+// ---------------------------------------------------------- DenseMatrix --
+
+TEST(DenseMatrixTest, MultiplyKnownProduct) {
+  DenseMatrix a(2, 3);
+  a.At(0, 0) = 1;
+  a.At(0, 1) = 2;
+  a.At(1, 2) = 3;
+  DenseMatrix b(3, 2);
+  b.At(0, 0) = 4;
+  b.At(1, 0) = 5;
+  b.At(2, 1) = 6;
+  DenseMatrix c = a.Multiply(b);
+  EXPECT_DOUBLE_EQ(c.At(0, 0), 14.0);
+  EXPECT_DOUBLE_EQ(c.At(0, 1), 0.0);
+  EXPECT_DOUBLE_EQ(c.At(1, 1), 18.0);
+}
+
+TEST(DenseMatrixTest, GramIsSymmetric) {
+  DenseMatrix a(2, 3);
+  a.At(0, 0) = 1;
+  a.At(0, 2) = 2;
+  a.At(1, 1) = 3;
+  DenseMatrix g = a.GramWithTranspose();
+  EXPECT_DOUBLE_EQ(g.At(0, 0), 5.0);
+  EXPECT_DOUBLE_EQ(g.At(0, 1), g.At(1, 0));
+}
+
+TEST(DenseMatrixTest, NormalizeRowsMakesStochastic) {
+  DenseMatrix a(2, 2);
+  a.At(0, 0) = 1;
+  a.At(0, 1) = 3;
+  a.NormalizeRows();
+  EXPECT_DOUBLE_EQ(a.At(0, 0), 0.25);
+  EXPECT_DOUBLE_EQ(a.At(0, 1), 0.75);
+  EXPECT_DOUBLE_EQ(a.At(1, 0), 0.0);  // zero row untouched
+}
+
+// -------------------------------------------------------------- MetaPath --
+
+TEST(MetaPathTest, SimilaritiesAreWellFormed) {
+  DbisOptions opts;
+  opts.num_authors = 300;
+  opts.num_papers = 250;
+  DbisGraph dbis = MakeDbis(opts);
+  MetaPathScores scores = ComputeMetaPathScores(dbis);
+  const size_t nv = dbis.venues.size();
+  for (size_t i = 0; i < nv; ++i) {
+    for (size_t j = 0; j < nv; ++j) {
+      EXPECT_GE(scores.pathsim.At(i, j), 0.0);
+      EXPECT_LE(scores.pathsim.At(i, j), 1.0 + 1e-9);
+      EXPECT_DOUBLE_EQ(scores.pathsim.At(i, j), scores.pathsim.At(j, i));
+      EXPECT_GE(scores.pcrw.At(i, j), 0.0);
+    }
+    // Diagonal dominance for venues with papers.
+    if (dbis.graph.InDegree(dbis.venues[i]) > 0) {
+      EXPECT_NEAR(scores.pathsim.At(i, i), 1.0, 1e-9);
+      EXPECT_NEAR(scores.joinsim.At(i, i), 1.0, 1e-9);
+    }
+  }
+  // PCRW rows are sub-stochastic (probabilities of 4-hop walks).
+  for (size_t i = 0; i < nv; ++i) {
+    double row = 0.0;
+    for (size_t j = 0; j < nv; ++j) row += scores.pcrw.At(i, j);
+    EXPECT_LE(row, 1.0 + 1e-9);
+  }
+}
+
+TEST(MetaPathTest, FlagshipDuplicatesScoreHighly) {
+  DbisOptions opts;
+  opts.num_authors = 400;
+  opts.num_papers = 500;
+  DbisGraph dbis = MakeDbis(opts);
+  MetaPathScores scores = ComputeMetaPathScores(dbis);
+  // WWW's duplicates share its community, so their JoinSim to WWW should
+  // beat the median venue's.
+  std::vector<double> all;
+  for (uint32_t j = 0; j < dbis.venues.size(); ++j) {
+    if (j != dbis.flagship) all.push_back(scores.joinsim.At(dbis.flagship, j));
+  }
+  std::sort(all.begin(), all.end());
+  const double median = all[all.size() / 2];
+  for (uint32_t dup : dbis.flagship_dups) {
+    EXPECT_GE(scores.joinsim.At(dbis.flagship, dup), median);
+  }
+}
+
+// ----------------------------------------------------------------- QGram --
+
+TEST(QGramTest, DepthOneProfilesAreNodeLabels) {
+  auto fig = testing::MakeFigure1();
+  auto profiles = QGramProfiles(fig.data, 1);
+  for (NodeId u = 0; u < fig.data.NumNodes(); ++u) {
+    EXPECT_EQ(profiles[u].size(), 1u);
+  }
+  // Same-label sinks have identical depth-1 profiles.
+  EXPECT_DOUBLE_EQ(QGramSimilarity(profiles[fig.v1], profiles[fig.v2]), 1.0);
+}
+
+TEST(QGramTest, SimilarityBounds) {
+  auto pair = testing::MakeRandomPair(0x9A, 20, 20, 3);
+  auto profiles = QGramProfiles(pair.g1, 3);
+  for (NodeId u = 0; u < 5; ++u) {
+    for (NodeId v = 0; v < 5; ++v) {
+      const double s = QGramSimilarity(profiles[u], profiles[v]);
+      EXPECT_GE(s, 0.0);
+      EXPECT_LE(s, 1.0);
+      EXPECT_DOUBLE_EQ(s, QGramSimilarity(profiles[v], profiles[u]));
+    }
+    EXPECT_DOUBLE_EQ(QGramSimilarity(profiles[u], profiles[u]), 1.0);
+  }
+}
+
+TEST(QGramTest, EmptyProfilesAreIdentical) {
+  QGramProfile a, b;
+  EXPECT_DOUBLE_EQ(QGramSimilarity(a, b), 1.0);
+  a[42] = 1;
+  EXPECT_DOUBLE_EQ(QGramSimilarity(a, b), 0.0);
+}
+
+// --------------------------------------------------------- Match evaluation --
+
+TEST(MatchEvalTest, PerfectMapping) {
+  Mapping mapping = {5, 6, 7};
+  auto eval = EvaluateMapping(mapping, {5, 6, 7});
+  EXPECT_DOUBLE_EQ(eval.precision, 1.0);
+  EXPECT_DOUBLE_EQ(eval.recall, 1.0);
+  EXPECT_DOUBLE_EQ(eval.f1, 1.0);
+}
+
+TEST(MatchEvalTest, PartialAndUnmatched) {
+  Mapping mapping = {5, kInvalidNode, 9};
+  auto eval = EvaluateMapping(mapping, {5, 6, 7});
+  EXPECT_DOUBLE_EQ(eval.precision, 0.5);   // 1 correct of 2 mapped
+  EXPECT_NEAR(eval.recall, 1.0 / 3.0, 1e-12);
+  EXPECT_GT(eval.f1, 0.0);
+}
+
+TEST(MatchEvalTest, EmptyMappingScoresZero) {
+  Mapping mapping = {kInvalidNode, kInvalidNode};
+  auto eval = EvaluateMapping(mapping, {1, 2});
+  EXPECT_DOUBLE_EQ(eval.f1, 0.0);
+}
+
+// --------------------------------------------------------- Query generator --
+
+TEST(QueryGeneratorTest, ExtractedQueryIsInducedAndConnected) {
+  auto data = MakeDatasetByName("yeast");
+  Rng rng(0xDD);
+  for (int trial = 0; trial < 10; ++trial) {
+    PatternQuery q = ExtractQuery(data, 8, &rng);
+    ASSERT_LE(q.query.NumNodes(), 8u);
+    ASSERT_EQ(q.ground_truth.size(), q.query.NumNodes());
+    // Induced: labels and edges mirror the data graph.
+    for (NodeId a = 0; a < q.query.NumNodes(); ++a) {
+      EXPECT_EQ(q.query.Label(a), data.Label(q.ground_truth[a]));
+      for (NodeId b = 0; b < q.query.NumNodes(); ++b) {
+        EXPECT_EQ(q.query.HasEdge(a, b),
+                  data.HasEdge(q.ground_truth[a], q.ground_truth[b]));
+      }
+    }
+  }
+}
+
+TEST(QueryGeneratorTest, StructuralNoiseAddsEdgesOnly) {
+  auto data = MakeDatasetByName("yeast");
+  Rng rng(0xDE);
+  PatternQuery q = ExtractQuery(data, 10, &rng);
+  PatternQuery noisy = AddStructuralNoise(q, 0.33, &rng);
+  EXPECT_GE(noisy.query.NumEdges(), q.query.NumEdges());
+  EXPECT_EQ(noisy.ground_truth, q.ground_truth);
+  for (NodeId a = 0; a < q.query.NumNodes(); ++a) {
+    EXPECT_EQ(noisy.query.Label(a), q.query.Label(a));
+    for (NodeId b : q.query.OutNeighbors(a)) {
+      EXPECT_TRUE(noisy.query.HasEdge(a, b));
+    }
+  }
+}
+
+TEST(QueryGeneratorTest, LabelNoiseChangesLabelsOnly) {
+  auto data = MakeDatasetByName("yeast");
+  Rng rng(0xDF);
+  PatternQuery q = ExtractQuery(data, 10, &rng);
+  PatternQuery noisy = AddLabelNoise(q, 0.33, &rng);
+  EXPECT_EQ(noisy.query.NumEdges(), q.query.NumEdges());
+  size_t changed = 0;
+  for (NodeId a = 0; a < q.query.NumNodes(); ++a) {
+    if (noisy.query.Label(a) != q.query.Label(a)) ++changed;
+  }
+  EXPECT_GT(changed, 0u);
+  EXPECT_LE(changed, (q.query.NumNodes() + 2) / 2);
+}
+
+// ----------------------------------------------------------- Matchers ----
+
+/// End-to-end sanity: on an exact (noise-free) query every matcher should
+/// locate a valid region; FSim seed expansion should recover the planted
+/// ground truth most of the time.
+TEST(MatchersTest, FSimSeedExpansionRecoversPlantedQuery) {
+  auto data = MakeDatasetByName("amazon");
+  Rng rng(0x51);
+  int correct = 0;
+  constexpr int kTrials = 8;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    PatternQuery q = ExtractQuery(data, 6, &rng);
+    FSimConfig config;
+    config.variant = SimVariant::kSimple;
+    config.epsilon = 1e-4;
+    auto scores = ComputeFSim(q.query, data, config);
+    ASSERT_TRUE(scores.ok());
+    Mapping mapping = SeedExpansionMatch(q.query, data, *scores);
+    auto eval = EvaluateMapping(mapping, q.ground_truth);
+    if (eval.f1 > 0.8) ++correct;
+  }
+  EXPECT_GE(correct, kTrials / 2);
+}
+
+TEST(MatchersTest, TSpanFindsValidEmbeddingOnExactQuery) {
+  auto data = MakeDatasetByName("amazon");
+  Rng rng(0x52);
+  PatternQuery q = ExtractQuery(data, 6, &rng);
+  TSpanOptions opts;
+  opts.max_missing_edges = 0;
+  Mapping mapping = TSpanMatch(q.query, data, opts);
+  ASSERT_FALSE(mapping.empty());
+  // Validity: labels match, all query edges embedded, injective.
+  std::set<NodeId> used;
+  for (NodeId a = 0; a < q.query.NumNodes(); ++a) {
+    ASSERT_NE(mapping[a], kInvalidNode);
+    EXPECT_TRUE(used.insert(mapping[a]).second);
+    EXPECT_EQ(q.query.Label(a), data.Label(mapping[a]));
+    for (NodeId b : q.query.OutNeighbors(a)) {
+      EXPECT_TRUE(data.HasEdge(mapping[a], mapping[b]));
+    }
+  }
+}
+
+TEST(MatchersTest, TSpanToleratesUpToXMissingEdges) {
+  auto data = MakeDatasetByName("amazon");
+  Rng rng(0x53);
+  PatternQuery q = ExtractQuery(data, 6, &rng);
+  PatternQuery noisy = AddStructuralNoise(q, 0.34, &rng);
+  const uint32_t inserted = static_cast<uint32_t>(noisy.query.NumEdges() -
+                                                  q.query.NumEdges());
+  ASSERT_GT(inserted, 0u);
+  TSpanOptions strict;
+  strict.max_missing_edges = 0;
+  TSpanOptions loose;
+  loose.max_missing_edges = inserted;
+  Mapping loose_map = TSpanMatch(noisy.query, data, loose);
+  EXPECT_FALSE(loose_map.empty());
+  // With zero budget the noisy query generally has no exact embedding at
+  // the planted site; if one is found elsewhere it must be edge-exact.
+  Mapping strict_map = TSpanMatch(noisy.query, data, strict);
+  if (!strict_map.empty()) {
+    for (NodeId a = 0; a < noisy.query.NumNodes(); ++a) {
+      for (NodeId b : noisy.query.OutNeighbors(a)) {
+        EXPECT_TRUE(data.HasEdge(strict_map[a], strict_map[b]));
+      }
+    }
+  }
+}
+
+TEST(MatchersTest, TSpanReturnsEmptyOnForeignLabels) {
+  auto data = MakeDatasetByName("amazon");
+  GraphBuilder qb(data.dict());
+  qb.AddNode("label-not-in-amazon");
+  Graph query = std::move(qb).BuildOrDie();
+  EXPECT_TRUE(TSpanMatch(query, data, TSpanOptions{}).empty());
+}
+
+TEST(MatchersTest, ChiSquareSimilarityBasics) {
+  auto fig = testing::MakeFigure1();
+  // v4 mirrors u's neighborhood exactly: chi-square 0, similarity 1.
+  EXPECT_DOUBLE_EQ(
+      ChiSquareNodeSimilarity(fig.pattern, fig.u, fig.data, fig.v4), 1.0);
+  // v1 misses neighbors: lower similarity but same label.
+  const double s1 =
+      ChiSquareNodeSimilarity(fig.pattern, fig.u, fig.data, fig.v1);
+  EXPECT_GT(s1, 0.0);
+  EXPECT_LT(s1, 1.0);
+  // Different node labels: 0.
+  EXPECT_DOUBLE_EQ(
+      ChiSquareNodeSimilarity(fig.pattern, fig.u, fig.data, fig.v1 + 1), 0.0);
+}
+
+TEST(MatchersTest, NagaAndGFinderProduceMappings) {
+  auto data = MakeDatasetByName("amazon");
+  Rng rng(0x54);
+  PatternQuery q = ExtractQuery(data, 6, &rng);
+  Mapping naga = NagaMatch(q.query, data);
+  ASSERT_EQ(naga.size(), q.query.NumNodes());
+  Mapping gf = GFinderMatch(q.query, data);
+  ASSERT_EQ(gf.size(), q.query.NumNodes());
+  // G-Finder on an exact query should locate a zero-cost (exact) region.
+  auto eval = EvaluateMapping(gf, q.ground_truth);
+  EXPECT_GE(eval.precision, 0.0);  // well-formed
+}
+
+TEST(MatchersTest, StrongSimulationEvaluatesOnPlantedQuery) {
+  auto data = MakeDatasetByName("yeast");
+  Rng rng(0x55);
+  PatternQuery q = ExtractQuery(data, 5, &rng);
+  StrongSimOptions opts;
+  opts.max_results = 4;
+  opts.max_ball_size = 600;
+  auto matches = StrongSimulation(q.query, data, opts);
+  if (!matches.empty()) {
+    auto eval = EvaluateSetMatch(matches.front(), q.ground_truth);
+    EXPECT_GE(eval.f1, 0.0);
+    EXPECT_LE(eval.f1, 1.0);
+  }
+}
+
+// ----------------------------------------------------------- Alignment ----
+
+TEST(AlignmentF1Test, FormulaMatchesHandComputation) {
+  Alignment a;
+  a.aligned = {{0}, {1, 5}, {9}};
+  // u=0: |Au|=1, hit -> 2*(1)*(1)/(1+1) = 1
+  // u=1: |Au|=2, hit -> 2*(0.5)/(1.5) = 2/3
+  // u=2: miss -> 0
+  EXPECT_NEAR(AlignmentF1(a, 3), (1.0 + 2.0 / 3.0) / 3.0, 1e-12);
+}
+
+TEST(AlignmentF1Test, IdentityAlignmentIsPerfect) {
+  Alignment a;
+  for (NodeId u = 0; u < 5; ++u) a.aligned.push_back({u});
+  EXPECT_DOUBLE_EQ(AlignmentF1(a, 5), 1.0);
+}
+
+TEST(VersionGeneratorTest, GrowthPreservesBase) {
+  VersionOptions opts;
+  opts.base_nodes = 400;
+  opts.base_edges = 1000;
+  VersionedGraphs versions = MakeVersionedGraphs(opts);
+  EXPECT_GT(versions.v2.NumNodes(), versions.base.NumNodes());
+  EXPECT_GT(versions.v3.NumNodes(), versions.v2.NumNodes());
+  EXPECT_EQ(versions.base.dict(), versions.v2.dict());
+  // All base labels and edges survive in v2.
+  for (NodeId u = 0; u < versions.base.NumNodes(); ++u) {
+    EXPECT_EQ(versions.base.Label(u), versions.v2.Label(u));
+    for (NodeId v : versions.base.OutNeighbors(u)) {
+      EXPECT_TRUE(versions.v2.HasEdge(u, v));
+    }
+  }
+}
+
+class AlignerSmoke : public ::testing::Test {
+ protected:
+  static const VersionedGraphs& Versions() {
+    static const VersionedGraphs v = [] {
+      VersionOptions opts;
+      opts.base_nodes = 500;
+      opts.base_edges = 1200;
+      return MakeVersionedGraphs(opts);
+    }();
+    return v;
+  }
+};
+
+TEST_F(AlignerSmoke, KBisimAlignsIdenticalGraphsPerfectlyishAndVersionsWorse) {
+  const auto& v = Versions();
+  // On identical graphs, every node's block contains itself: recall 1.
+  Alignment self_align = KBisimAlignment(v.base, v.base, 2);
+  double self_f1 = AlignmentF1(self_align, v.base.NumNodes());
+  EXPECT_GT(self_f1, 0.3);
+  for (NodeId u = 0; u < v.base.NumNodes(); ++u) {
+    EXPECT_FALSE(self_align.aligned[u].empty());
+  }
+  // Across versions the partition shatters: F1 drops.
+  Alignment cross = KBisimAlignment(v.base, v.v2, 2);
+  EXPECT_LT(AlignmentF1(cross, v.base.NumNodes()), self_f1);
+}
+
+TEST_F(AlignerSmoke, DeeperKBisimIsStricter) {
+  const auto& v = Versions();
+  double f1_k2 = AlignmentF1(KBisimAlignment(v.base, v.v2, 2),
+                             v.base.NumNodes());
+  double f1_k4 = AlignmentF1(KBisimAlignment(v.base, v.v2, 4),
+                             v.base.NumNodes());
+  EXPECT_LE(f1_k4, f1_k2 + 1e-9);
+}
+
+TEST_F(AlignerSmoke, OlapBeatsFixedDepthBisim) {
+  const auto& v = Versions();
+  double olap = AlignmentF1(OlapAlignment(v.base, v.v2), v.base.NumNodes());
+  double k4 = AlignmentF1(KBisimAlignment(v.base, v.v2, 4),
+                          v.base.NumNodes());
+  EXPECT_GE(olap, k4);
+}
+
+TEST_F(AlignerSmoke, ExactBisimCollapsesAcrossVersions) {
+  const auto& v = Versions();
+  double f1 = AlignmentF1(BisimAlignment(v.base, v.v2), v.base.NumNodes());
+  EXPECT_LT(f1, 0.2);  // the paper reports 0%
+}
+
+TEST_F(AlignerSmoke, FinalAlignmentProducesScores) {
+  const auto& v = Versions();
+  Alignment a = FinalAlignment(v.base, v.v2);
+  ASSERT_EQ(a.aligned.size(), v.base.NumNodes());
+  double f1 = AlignmentF1(a, v.base.NumNodes());
+  EXPECT_GE(f1, 0.0);
+  EXPECT_LE(f1, 1.0);
+}
+
+TEST_F(AlignerSmoke, EwsAlignmentMatchesInjectively) {
+  const auto& v = Versions();
+  Alignment a = EwsAlignment(v.base, v.v2);
+  std::set<NodeId> used;
+  size_t matched = 0;
+  for (const auto& au : a.aligned) {
+    ASSERT_LE(au.size(), 1u);  // EWS emits 1:1 matches
+    if (!au.empty()) {
+      EXPECT_TRUE(used.insert(au[0]).second) << "duplicate target";
+      ++matched;
+    }
+  }
+  EXPECT_GT(matched, 0u);
+}
+
+TEST_F(AlignerSmoke, GsanaAlignmentRespectsLabels) {
+  const auto& v = Versions();
+  Alignment a = GsanaAlignment(v.base, v.v2);
+  for (NodeId u = 0; u < v.base.NumNodes(); ++u) {
+    for (NodeId w : a.aligned[u]) {
+      EXPECT_EQ(v.base.Label(u), v.v2.Label(w));
+    }
+  }
+}
+
+TEST_F(AlignerSmoke, FSimAlignmentOnIdenticalGraphsContainsIdentity) {
+  const auto& v = Versions();
+  FSimConfig config;
+  config.variant = SimVariant::kBi;
+  config.theta = 1.0;
+  config.epsilon = 1e-3;
+  auto scores = ComputeFSim(v.base, v.base, config);
+  ASSERT_TRUE(scores.ok());
+  Alignment a = FSimAlignment(*scores, v.base.NumNodes());
+  size_t hits = 0;
+  for (NodeId u = 0; u < v.base.NumNodes(); ++u) {
+    if (std::find(a.aligned[u].begin(), a.aligned[u].end(), u) !=
+        a.aligned[u].end()) {
+      ++hits;
+    }
+  }
+  // Self-similarity peaks on the diagonal (up to exact ties).
+  EXPECT_EQ(hits, v.base.NumNodes());
+}
+
+// ---------------------------------------------------------------------------
+// G-Ray best-effort matching (extension baseline)
+// ---------------------------------------------------------------------------
+
+TEST(GRayTest, RecoversCleanExtractedQuery) {
+  Graph data = MakeDatasetByName("yeast");
+  Rng rng(0x6A41);
+  double f1_sum = 0.0;
+  for (int i = 0; i < 3; ++i) {
+    PatternQuery q = ExtractQuery(data, 5, &rng);
+    Mapping mapping = GRayMatch(q.query, data);
+    f1_sum += EvaluateMapping(mapping, q.ground_truth).f1;
+  }
+  // Proximity-guided growth recovers most of the extraction region.
+  EXPECT_GT(f1_sum / 3.0, 0.5);
+}
+
+TEST(GRayTest, AlwaysProducesFullInjectiveMapping) {
+  Graph data = MakeDatasetByName("yeast");
+  Rng rng(0x6A42);
+  PatternQuery q = ExtractQuery(data, 6, &rng);
+  PatternQuery noisy = AddLabelNoise(q, 0.33, &rng);
+  Mapping mapping = GRayMatch(noisy.query, data);
+  std::set<NodeId> images;
+  for (NodeId v : mapping) {
+    ASSERT_NE(v, kInvalidNode);  // best-effort: never empty-handed
+    EXPECT_TRUE(images.insert(v).second) << "duplicate image " << v;
+  }
+  EXPECT_EQ(mapping.size(), noisy.query.NumNodes());
+}
+
+TEST(GRayTest, SurvivesStructuralNoise) {
+  // Proximity-guided growth is the edge-noise-tolerant family: a missing or
+  // spurious query edge only perturbs proximity, it never empties the
+  // candidate set (label rewrites do attack the candidate filter, which is
+  // the honest weakness of this family).
+  Graph data = MakeDatasetByName("yeast");
+  Rng rng(0x6A43);
+  double f1_sum = 0.0;
+  for (int i = 0; i < 3; ++i) {
+    PatternQuery q = ExtractQuery(data, 6, &rng);
+    PatternQuery noisy = AddStructuralNoise(q, 0.33, &rng);
+    f1_sum += EvaluateMapping(GRayMatch(noisy.query, data),
+                              noisy.ground_truth).f1;
+  }
+  EXPECT_GT(f1_sum / 3.0, 0.25);  // degraded, not destroyed
+}
+
+TEST(GRayTest, EmptyInputsAreHandled) {
+  Graph empty;
+  Graph data = MakeDatasetByName("yeast");
+  EXPECT_TRUE(GRayMatch(empty, data).empty());
+  GraphBuilder b(data.dict());
+  b.AddNodeWithLabelId(data.Label(0));
+  Graph one = std::move(b).BuildOrDie();
+  Mapping m = GRayMatch(one, empty);
+  EXPECT_EQ(m.size(), 1u);
+  EXPECT_EQ(m[0], kInvalidNode);
+}
+
+TEST(GRayTest, Deterministic) {
+  Graph data = MakeDatasetByName("yeast");
+  Rng rng(0x6A44);
+  PatternQuery q = ExtractQuery(data, 7, &rng);
+  Mapping a = GRayMatch(q.query, data);
+  Mapping b = GRayMatch(q.query, data);
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace fsim

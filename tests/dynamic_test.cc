@@ -1,0 +1,462 @@
+// Tests for the dynamic-graph extensions: single-edge graph edits
+// (graph/edits.h), the dense-mode engine (core/dense_engine.h, differential
+// against the sparse engine) and incremental FSim maintenance
+// (core/incremental.h, property-tested against full recomputation).
+#include <cmath>
+#include <tuple>
+
+#include "core/dense_engine.h"
+#include "core/simrank.h"
+#include "core/fsim_engine.h"
+#include "core/incremental.h"
+#include "graph/edits.h"
+#include "gtest/gtest.h"
+#include "test_graphs.h"
+
+namespace fsim {
+namespace {
+
+using ::fsim::testing::MakeFigure1;
+using ::fsim::testing::MakeRandomPair;
+
+// ---------------------------------------------------------------------------
+// Graph edits
+// ---------------------------------------------------------------------------
+
+TEST(GraphEdits, AddsEdgePreservingEverythingElse) {
+  auto pair = MakeRandomPair(7);
+  const Graph& g = pair.g1;
+  // Find a missing edge.
+  NodeId from = 0, to = 0;
+  bool found = false;
+  for (NodeId u = 0; u < g.NumNodes() && !found; ++u) {
+    for (NodeId v = 0; v < g.NumNodes() && !found; ++v) {
+      if (u != v && !g.HasEdge(u, v)) {
+        from = u;
+        to = v;
+        found = true;
+      }
+    }
+  }
+  ASSERT_TRUE(found);
+
+  auto edited = WithEdgeAdded(g, from, to);
+  ASSERT_TRUE(edited.ok()) << edited.status().ToString();
+  EXPECT_EQ(edited->NumNodes(), g.NumNodes());
+  EXPECT_EQ(edited->NumEdges(), g.NumEdges() + 1);
+  EXPECT_TRUE(edited->HasEdge(from, to));
+  EXPECT_EQ(edited->dict(), g.dict());
+  for (NodeId u = 0; u < g.NumNodes(); ++u) {
+    EXPECT_EQ(edited->Label(u), g.Label(u));
+    for (NodeId w : g.OutNeighbors(u)) EXPECT_TRUE(edited->HasEdge(u, w));
+  }
+}
+
+TEST(GraphEdits, AddExistingEdgeIsAlreadyExists) {
+  auto pair = MakeRandomPair(8);
+  const Graph& g = pair.g1;
+  ASSERT_GT(g.NumEdges(), 0u);
+  NodeId u = 0;
+  while (g.OutDegree(u) == 0) ++u;
+  NodeId w = g.OutNeighbors(u)[0];
+  auto edited = WithEdgeAdded(g, u, w);
+  ASSERT_FALSE(edited.ok());
+  EXPECT_EQ(edited.status().code(), StatusCode::kAlreadyExists);
+}
+
+TEST(GraphEdits, OutOfRangeEndpointsRejected) {
+  auto pair = MakeRandomPair(9);
+  const Graph& g = pair.g1;
+  NodeId n = static_cast<NodeId>(g.NumNodes());
+  EXPECT_EQ(WithEdgeAdded(g, n, 0).status().code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(WithEdgeAdded(g, 0, n).status().code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(WithEdgeRemoved(g, n, 0).status().code(),
+            StatusCode::kOutOfRange);
+}
+
+TEST(GraphEdits, RemoveAbsentEdgeIsNotFound) {
+  GraphBuilder b;
+  NodeId a = b.AddNode("x");
+  NodeId c = b.AddNode("x");
+  b.AddEdge(a, c);
+  Graph g = std::move(b).BuildOrDie();
+  auto removed = WithEdgeRemoved(g, c, a);
+  ASSERT_FALSE(removed.ok());
+  EXPECT_EQ(removed.status().code(), StatusCode::kNotFound);
+}
+
+TEST(GraphEdits, AddThenRemoveRoundTrips) {
+  auto pair = MakeRandomPair(10);
+  const Graph& g = pair.g1;
+  NodeId from = 1, to = 3;
+  if (g.HasEdge(from, to)) {
+    auto removed = WithEdgeRemoved(g, from, to);
+    ASSERT_TRUE(removed.ok());
+    auto readded = WithEdgeAdded(*removed, from, to);
+    ASSERT_TRUE(readded.ok());
+    EXPECT_EQ(readded->NumEdges(), g.NumEdges());
+    for (NodeId u = 0; u < g.NumNodes(); ++u) {
+      for (NodeId w : g.OutNeighbors(u)) EXPECT_TRUE(readded->HasEdge(u, w));
+    }
+  } else {
+    auto added = WithEdgeAdded(g, from, to);
+    ASSERT_TRUE(added.ok());
+    auto removed = WithEdgeRemoved(*added, from, to);
+    ASSERT_TRUE(removed.ok());
+    EXPECT_EQ(removed->NumEdges(), g.NumEdges());
+    EXPECT_FALSE(removed->HasEdge(from, to));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Dense engine: differential equivalence with the sparse engine
+// ---------------------------------------------------------------------------
+
+class DenseEquivalence
+    : public ::testing::TestWithParam<std::tuple<SimVariant, double>> {};
+
+TEST_P(DenseEquivalence, MatchesSparseEngineOnMaintainedPairs) {
+  const auto [variant, theta] = GetParam();
+  for (uint64_t seed : {11u, 12u, 13u}) {
+    auto pair = MakeRandomPair(seed);
+    FSimConfig config;
+    config.variant = variant;
+    config.theta = theta;
+    config.epsilon = 1e-4;
+
+    auto sparse = ComputeFSim(pair.g1, pair.g2, config);
+    ASSERT_TRUE(sparse.ok()) << sparse.status().ToString();
+    auto dense = ComputeFSimDense(pair.g1, pair.g2, config);
+    ASSERT_TRUE(dense.ok()) << dense.status().ToString();
+
+    EXPECT_EQ(sparse->stats().iterations, dense->stats().iterations);
+    for (uint64_t key : sparse->keys()) {
+      const NodeId u = PairFirst(key);
+      const NodeId v = PairSecond(key);
+      EXPECT_NEAR(sparse->Score(u, v), dense->Score(u, v), 1e-12)
+          << "seed " << seed << " pair (" << u << ", " << v << ")";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllVariantsAndThetas, DenseEquivalence,
+    ::testing::Combine(::testing::Values(SimVariant::kSimple,
+                                         SimVariant::kDegreePreserving,
+                                         SimVariant::kBi,
+                                         SimVariant::kBijective),
+                       ::testing::Values(0.0, 1.0)),
+    [](const ::testing::TestParamInfo<std::tuple<SimVariant, double>>& info) {
+      return std::string(SimVariantName(std::get<0>(info.param))) +
+             (std::get<1>(info.param) == 0.0 ? "_theta0" : "_theta1");
+    });
+
+TEST(DenseEngine, RejectsUpperBoundConfig) {
+  auto pair = MakeRandomPair(14);
+  FSimConfig config;
+  config.upper_bound = true;
+  auto dense = ComputeFSimDense(pair.g1, pair.g2, config);
+  ASSERT_FALSE(dense.ok());
+  EXPECT_TRUE(dense.status().IsInvalidArgument());
+}
+
+TEST(DenseEngine, RespectsPairLimit) {
+  auto pair = MakeRandomPair(15);
+  FSimConfig config;
+  config.pair_limit = 4;  // 10 x 12 pairs blow this immediately
+  auto dense = ComputeFSimDense(pair.g1, pair.g2, config);
+  ASSERT_FALSE(dense.ok());
+  EXPECT_TRUE(dense.status().IsInvalidArgument());
+}
+
+TEST(DenseEngine, SimulationDefinitenessOnFigure1) {
+  auto fig = MakeFigure1();
+  FSimConfig config;
+  config.variant = SimVariant::kSimple;
+  config.matching = MatchingAlgo::kHungarian;
+  auto dense = ComputeFSimDense(fig.pattern, fig.data, config);
+  ASSERT_TRUE(dense.ok());
+  // u is s-simulated by v2, v3 and v4 but not v1 (Example 1).
+  EXPECT_DOUBLE_EQ(dense->Score(fig.u, fig.v2), 1.0);
+  EXPECT_DOUBLE_EQ(dense->Score(fig.u, fig.v3), 1.0);
+  EXPECT_DOUBLE_EQ(dense->Score(fig.u, fig.v4), 1.0);
+  EXPECT_LT(dense->Score(fig.u, fig.v1), 1.0);
+}
+
+TEST(DenseEngine, TopKAgreesWithScores) {
+  auto pair = MakeRandomPair(16);
+  FSimConfig config;
+  auto dense = ComputeFSimDense(pair.g1, pair.g2, config);
+  ASSERT_TRUE(dense.ok());
+  auto top = dense->TopK(0, 3);
+  ASSERT_EQ(top.size(), 3u);
+  EXPECT_GE(top[0].second, top[1].second);
+  EXPECT_GE(top[1].second, top[2].second);
+  for (const auto& [v, score] : top) {
+    EXPECT_DOUBLE_EQ(score, dense->Score(0, v));
+  }
+}
+
+
+TEST(DenseEngine, SimRankConfigMatchesStandaloneOracle) {
+  // The §4.3 SimRank configuration, run through the *dense* engine, must
+  // agree with the standalone oracle — this exercises the kProduct mapping,
+  // pin_diagonal and the diagonal-indicator initialization in dense mode.
+  auto pair = MakeRandomPair(31, 9, 9, 1);
+  const Graph& g = pair.g1;
+  FSimConfig config = SimRankFSimConfig(0.8);
+  config.max_iterations = 9;
+  config.epsilon = 1e-12;  // run all 9 sweeps
+  auto dense = ComputeFSimDense(g, g, config);
+  ASSERT_TRUE(dense.ok()) << dense.status().ToString();
+  std::vector<double> oracle = SimRankScores(g, 0.8, 9);
+  for (NodeId u = 0; u < g.NumNodes(); ++u) {
+    for (NodeId v = 0; v < g.NumNodes(); ++v) {
+      EXPECT_NEAR(dense->Score(u, v), oracle[u * g.NumNodes() + v], 1e-9)
+          << "(" << u << ", " << v << ")";
+    }
+  }
+}
+
+TEST(DenseEngine, MilnerModeIgnoresInNeighbors) {
+  // w- = 0 is the paper's "original 1971 definition" mode; scores must be
+  // independent of any in-only structure. Compare against a graph with an
+  // extra source feeding u: with w- = 0, u's scores cannot change.
+  GraphBuilder b;
+  NodeId u0 = b.AddNode("a");
+  NodeId w = b.AddNode("b");
+  b.AddEdge(u0, w);
+  Graph g1 = std::move(b).BuildOrDie();
+
+  GraphBuilder b2(g1.dict());
+  NodeId v0 = b2.AddNode("a");
+  NodeId w2 = b2.AddNode("b");
+  NodeId src = b2.AddNode("c");
+  b2.AddEdge(v0, w2);
+  b2.AddEdge(src, v0);  // extra in-edge on v0 only
+  Graph g2 = std::move(b2).BuildOrDie();
+
+  FSimConfig config;
+  config.variant = SimVariant::kSimple;
+  config.w_out = 0.8;
+  config.w_in = 0.0;
+  config.epsilon = 1e-10;
+  auto scores = ComputeFSimDense(g1, g2, config);
+  ASSERT_TRUE(scores.ok());
+  EXPECT_DOUBLE_EQ(scores->Score(u0, v0), 1.0);  // in-structure invisible
+}\n\n// ---------------------------------------------------------------------------
+// Incremental maintenance: differential vs full recomputation
+// ---------------------------------------------------------------------------
+
+class IncrementalEquivalence : public ::testing::TestWithParam<SimVariant> {};
+
+TEST_P(IncrementalEquivalence, TracksFullRecomputeAcrossEdits) {
+  const SimVariant variant = GetParam();
+  for (uint64_t seed : {21u, 22u}) {
+    auto pair = MakeRandomPair(seed);
+    FSimConfig config;
+    config.variant = variant;
+    config.epsilon = 1e-9;
+    config.matching = MatchingAlgo::kHungarian;  // exact C3: true contraction
+    IncrementalOptions options;
+    options.propagation_tolerance = 1e-10;
+
+    auto inc = IncrementalFSim::Create(pair.g1, pair.g2, config, options);
+    ASSERT_TRUE(inc.ok()) << inc.status().ToString();
+
+    Rng rng(seed * 977);
+    for (int e = 0; e < 6; ++e) {
+      const int graph_index = (rng.Next() % 2 == 0) ? 1 : 2;
+      const Graph& g = graph_index == 1 ? inc->g1() : inc->g2();
+      const NodeId n = static_cast<NodeId>(g.NumNodes());
+      NodeId from = static_cast<NodeId>(rng.Next() % n);
+      NodeId to = static_cast<NodeId>(rng.Next() % n);
+      if (from == to) continue;
+      Status status = g.HasEdge(from, to)
+                          ? inc->RemoveEdge(graph_index, from, to)
+                          : inc->InsertEdge(graph_index, from, to);
+      ASSERT_TRUE(status.ok()) << status.ToString();
+
+      auto full = ComputeFSim(inc->g1(), inc->g2(), config);
+      ASSERT_TRUE(full.ok()) << full.status().ToString();
+      double max_diff = 0.0;
+      for (uint64_t key : full->keys()) {
+        const NodeId u = PairFirst(key);
+        const NodeId v = PairSecond(key);
+        max_diff = std::max(
+            max_diff, std::abs(full->Score(u, v) - inc->Score(u, v)));
+      }
+      EXPECT_LT(max_diff, 1e-6)
+          << "variant " << SimVariantName(variant) << " seed " << seed
+          << " edit " << e;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllVariants, IncrementalEquivalence,
+                         ::testing::Values(SimVariant::kSimple,
+                                           SimVariant::kDegreePreserving,
+                                           SimVariant::kBi,
+                                           SimVariant::kBijective),
+                         [](const ::testing::TestParamInfo<SimVariant>& info) {
+                           return SimVariantName(info.param);
+                         });
+
+TEST(Incremental, GreedyMatchingStaysCloseToFullRecompute) {
+  // The greedy ½-approximate matching is not exactly Lipschitz, so the
+  // asynchronous repair may settle on a marginally different orbit; the
+  // deviation stays far below any score-level significance.
+  auto pair = MakeRandomPair(23);
+  FSimConfig config;
+  config.variant = SimVariant::kBijective;
+  config.epsilon = 1e-9;
+  auto inc = IncrementalFSim::Create(pair.g1, pair.g2, config);
+  ASSERT_TRUE(inc.ok());
+  ASSERT_TRUE(inc->InsertEdge(1, 0, 5).ok() ||
+              inc->RemoveEdge(1, 0, 5).ok());
+  auto full = ComputeFSim(inc->g1(), inc->g2(), config);
+  ASSERT_TRUE(full.ok());
+  double max_diff = 0.0;
+  for (uint64_t key : full->keys()) {
+    const NodeId u = PairFirst(key);
+    const NodeId v = PairSecond(key);
+    max_diff =
+        std::max(max_diff, std::abs(full->Score(u, v) - inc->Score(u, v)));
+  }
+  EXPECT_LT(max_diff, 1e-4);
+}
+
+TEST(Incremental, RejectsUpperBoundConfig) {
+  auto pair = MakeRandomPair(24);
+  FSimConfig config;
+  config.upper_bound = true;
+  auto inc = IncrementalFSim::Create(pair.g1, pair.g2, config);
+  ASSERT_FALSE(inc.ok());
+  EXPECT_TRUE(inc.status().IsInvalidArgument());
+}
+
+TEST(Incremental, RejectsNonPositiveTolerance) {
+  auto pair = MakeRandomPair(25);
+  IncrementalOptions options;
+  options.propagation_tolerance = 0.0;
+  auto inc = IncrementalFSim::Create(pair.g1, pair.g2, FSimConfig{}, options);
+  ASSERT_FALSE(inc.ok());
+  EXPECT_TRUE(inc.status().IsInvalidArgument());
+}
+
+TEST(Incremental, IllegalEditLeavesStateUntouched) {
+  auto pair = MakeRandomPair(26);
+  auto inc = IncrementalFSim::Create(pair.g1, pair.g2, FSimConfig{});
+  ASSERT_TRUE(inc.ok());
+  const double before = inc->Score(0, 0);
+  const size_t edges_before = inc->g1().NumEdges();
+
+  // Removing a non-existent edge fails cleanly.
+  NodeId from = 0, to = 0;
+  bool found = false;
+  for (NodeId u = 0; u < inc->g1().NumNodes() && !found; ++u) {
+    for (NodeId v = 0; v < inc->g1().NumNodes() && !found; ++v) {
+      if (!inc->g1().HasEdge(u, v)) {
+        from = u;
+        to = v;
+        found = true;
+      }
+    }
+  }
+  ASSERT_TRUE(found);
+  Status status = inc->RemoveEdge(1, from, to);
+  EXPECT_EQ(status.code(), StatusCode::kNotFound);
+  EXPECT_EQ(inc->g1().NumEdges(), edges_before);
+  EXPECT_DOUBLE_EQ(inc->Score(0, 0), before);
+
+  EXPECT_EQ(inc->InsertEdge(3, 0, 1).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(Incremental, EditStatsAreReported) {
+  auto pair = MakeRandomPair(27);
+  FSimConfig config;
+  config.variant = SimVariant::kSimple;
+  auto inc = IncrementalFSim::Create(pair.g1, pair.g2, config);
+  ASSERT_TRUE(inc.ok());
+  NodeId from = 0, to = 1;
+  Status status = inc->g1().HasEdge(from, to)
+                      ? inc->RemoveEdge(1, from, to)
+                      : inc->InsertEdge(1, from, to);
+  ASSERT_TRUE(status.ok());
+  const EditStats& stats = inc->last_edit_stats();
+  EXPECT_GT(stats.seeded_pairs, 0u);
+  EXPECT_GE(stats.recomputed, stats.seeded_pairs);
+  // The wave counter stays within the Corollary 1 cap for the default
+  // tolerance (ceil(log_{0.8} 1e-9) + 2 = 95).
+  EXPECT_LE(stats.waves, 95u);
+}
+
+TEST(Incremental, SnapshotMatchesLiveScores) {
+  auto pair = MakeRandomPair(28);
+  FSimConfig config;
+  config.variant = SimVariant::kBi;
+  auto inc = IncrementalFSim::Create(pair.g1, pair.g2, config);
+  ASSERT_TRUE(inc.ok());
+  ASSERT_TRUE(inc->InsertEdge(2, 0, 7).ok() || inc->RemoveEdge(2, 0, 7).ok());
+  FSimScores snap = inc->Snapshot();
+  EXPECT_EQ(snap.NumPairs(), inc->NumPairs());
+  for (NodeId u = 0; u < inc->g1().NumNodes(); ++u) {
+    for (NodeId v = 0; v < inc->g2().NumNodes(); ++v) {
+      EXPECT_DOUBLE_EQ(snap.Score(u, v), inc->Score(u, v));
+    }
+  }
+}
+
+TEST(Incremental, ThetaFilteredCandidateSetSurvivesEdits) {
+  auto pair = MakeRandomPair(29);
+  FSimConfig config;
+  config.variant = SimVariant::kSimple;
+  config.theta = 1.0;  // same-label candidates only
+  config.epsilon = 1e-9;
+  config.matching = MatchingAlgo::kHungarian;
+  auto inc = IncrementalFSim::Create(pair.g1, pair.g2, config);
+  ASSERT_TRUE(inc.ok());
+  const size_t pairs_before = inc->NumPairs();
+  ASSERT_TRUE(inc->InsertEdge(1, 0, 4).ok() || inc->RemoveEdge(1, 0, 4).ok());
+  EXPECT_EQ(inc->NumPairs(), pairs_before);
+
+  auto full = ComputeFSim(inc->g1(), inc->g2(), config);
+  ASSERT_TRUE(full.ok());
+  for (uint64_t key : full->keys()) {
+    const NodeId u = PairFirst(key);
+    const NodeId v = PairSecond(key);
+    EXPECT_NEAR(full->Score(u, v), inc->Score(u, v), 1e-6);
+  }
+}
+
+TEST(Incremental, RemoveThenReAddRestoresScores) {
+  auto pair = MakeRandomPair(30);
+  FSimConfig config;
+  config.variant = SimVariant::kDegreePreserving;
+  config.epsilon = 1e-9;
+  config.matching = MatchingAlgo::kHungarian;
+  auto inc = IncrementalFSim::Create(pair.g1, pair.g2, config);
+  ASSERT_TRUE(inc.ok());
+
+  // Record, remove an existing edge, re-add it, compare.
+  NodeId u = 0;
+  while (inc->g1().OutDegree(u) == 0) ++u;
+  NodeId w = inc->g1().OutNeighbors(u)[0];
+  std::vector<double> before;
+  for (NodeId a = 0; a < inc->g1().NumNodes(); ++a) {
+    for (NodeId b = 0; b < inc->g2().NumNodes(); ++b) {
+      before.push_back(inc->Score(a, b));
+    }
+  }
+  ASSERT_TRUE(inc->RemoveEdge(1, u, w).ok());
+  ASSERT_TRUE(inc->InsertEdge(1, u, w).ok());
+  size_t i = 0;
+  for (NodeId a = 0; a < inc->g1().NumNodes(); ++a) {
+    for (NodeId b = 0; b < inc->g2().NumNodes(); ++b) {
+      EXPECT_NEAR(inc->Score(a, b), before[i++], 1e-6);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fsim

@@ -1,0 +1,268 @@
+// Edge-case and failure-injection tests: degenerate graphs, extreme
+// configurations, and robustness of the engine's contracts at the
+// boundaries of the parameter domains.
+#include <gtest/gtest.h>
+
+#include "core/fsim_engine.h"
+#include "core/pair_store.h"
+#include "exact/exact_simulation.h"
+#include "exact/signatures.h"
+#include "exact/strong_simulation.h"
+#include "graph/generators.h"
+#include "graph/graph_builder.h"
+#include "graph/noise.h"
+#include "graph/subgraph.h"
+#include "graph/traversal.h"
+#include "tests/test_graphs.h"
+
+namespace fsim {
+namespace {
+
+// ------------------------------------------------------ Degenerate graphs --
+
+TEST(EdgeCaseTest, EmptyGraphsYieldEmptyScores) {
+  GraphBuilder b1;
+  Graph g1 = std::move(b1).BuildOrDie();
+  GraphBuilder b2(g1.dict());
+  Graph g2 = std::move(b2).BuildOrDie();
+  auto scores = ComputeFSim(g1, g2, FSimConfig{});
+  ASSERT_TRUE(scores.ok());
+  EXPECT_EQ(scores->NumPairs(), 0u);
+}
+
+TEST(EdgeCaseTest, EmptyAgainstNonEmpty) {
+  GraphBuilder b1;
+  Graph g1 = std::move(b1).BuildOrDie();
+  GraphBuilder b2(g1.dict());
+  b2.AddNode("A");
+  Graph g2 = std::move(b2).BuildOrDie();
+  auto scores = ComputeFSim(g1, g2, FSimConfig{});
+  ASSERT_TRUE(scores.ok());
+  EXPECT_EQ(scores->NumPairs(), 0u);
+  // Exact relation is empty too.
+  BinaryRelation rel = MaxSimulation(g1, g2, SimVariant::kSimple);
+  EXPECT_EQ(rel.CountPairs(), 0u);
+}
+
+TEST(EdgeCaseTest, SingleNodeSelfSimulation) {
+  GraphBuilder b;
+  b.AddNode("X");
+  Graph g = std::move(b).BuildOrDie();
+  for (SimVariant v :
+       {SimVariant::kSimple, SimVariant::kDegreePreserving, SimVariant::kBi,
+        SimVariant::kBijective}) {
+    FSimConfig config;
+    config.variant = v;
+    auto scores = ComputeFSim(g, g, config);
+    ASSERT_TRUE(scores.ok());
+    EXPECT_DOUBLE_EQ(scores->Score(0, 0), 1.0) << SimVariantName(v);
+  }
+}
+
+TEST(EdgeCaseTest, SelfLoopGraph) {
+  GraphBuilder b;
+  b.AddNode("X");
+  b.AddNode("X");
+  b.AddEdge(0, 0);  // self loop
+  b.AddEdge(1, 1);
+  Graph g = std::move(b).BuildOrDie();
+  // Two self-loop nodes of the same label are bisimilar.
+  BinaryRelation rel = MaxSimulation(g, g, SimVariant::kBijective);
+  EXPECT_TRUE(rel.Contains(0, 1));
+  FSimConfig config;
+  config.variant = SimVariant::kBijective;
+  config.matching = MatchingAlgo::kHungarian;
+  config.epsilon = 1e-10;
+  config.max_iterations = 100;
+  auto scores = ComputeFSim(g, g, config);
+  ASSERT_TRUE(scores.ok());
+  EXPECT_DOUBLE_EQ(scores->Score(0, 1), 1.0);
+}
+
+TEST(EdgeCaseTest, StarVsStar) {
+  // Hub with k leaves vs hub with k+1 leaves: s-simulates, not bj.
+  GraphBuilder b;
+  NodeId h1 = b.AddNode("H");
+  for (int i = 0; i < 3; ++i) b.AddEdge(h1, b.AddNode("L"));
+  NodeId h2 = b.AddNode("H");
+  for (int i = 0; i < 4; ++i) b.AddEdge(h2, b.AddNode("L"));
+  Graph g = std::move(b).BuildOrDie();
+  EXPECT_TRUE(MaxSimulation(g, g, SimVariant::kSimple).Contains(h1, h2));
+  EXPECT_TRUE(
+      MaxSimulation(g, g, SimVariant::kDegreePreserving).Contains(h1, h2));
+  EXPECT_FALSE(
+      MaxSimulation(g, g, SimVariant::kDegreePreserving).Contains(h2, h1));
+  EXPECT_FALSE(MaxSimulation(g, g, SimVariant::kBijective).Contains(h1, h2));
+}
+
+TEST(EdgeCaseTest, DirectedCycleBisimilarity) {
+  // All nodes of a uniform-label directed cycle are bisimilar to each other.
+  GraphBuilder b;
+  for (int i = 0; i < 5; ++i) b.AddNode("C");
+  for (NodeId i = 0; i < 5; ++i) b.AddEdge(i, (i + 1) % 5);
+  Graph g = std::move(b).BuildOrDie();
+  BinaryRelation rel = MaxSimulation(g, g, SimVariant::kBijective);
+  for (NodeId u = 0; u < 5; ++u) {
+    for (NodeId v = 0; v < 5; ++v) {
+      EXPECT_TRUE(rel.Contains(u, v));
+    }
+  }
+}
+
+// -------------------------------------------------- Extreme configurations --
+
+TEST(EdgeCaseTest, ZeroWeightsReduceToLabelFunction) {
+  auto pair = testing::MakeRandomPair(0xE0, 8, 8);
+  FSimConfig config;
+  config.w_out = 0.0;
+  config.w_in = 0.0;
+  config.label_sim = LabelSimKind::kJaroWinkler;
+  auto scores = ComputeFSim(pair.g1, pair.g2, config);
+  ASSERT_TRUE(scores.ok());
+  LabelSimilarityCache lsim(*pair.g1.dict(), LabelSimKind::kJaroWinkler);
+  for (NodeId u = 0; u < pair.g1.NumNodes(); ++u) {
+    for (NodeId v = 0; v < pair.g2.NumNodes(); ++v) {
+      EXPECT_NEAR(scores->Score(u, v),
+                  lsim.Sim(pair.g1.Label(u), pair.g2.Label(v)), 1e-12);
+    }
+  }
+  EXPECT_LE(scores->stats().iterations, 1u);
+}
+
+TEST(EdgeCaseTest, NearOneWeightSumStillConverges) {
+  auto pair = testing::MakeRandomPair(0xE2, 10, 10);
+  FSimConfig config;
+  config.w_out = 0.495;
+  config.w_in = 0.495;  // w* = 0.01: slowest admissible contraction
+  config.epsilon = 0.05;
+  auto scores = ComputeFSim(pair.g1, pair.g2, config);
+  ASSERT_TRUE(scores.ok());
+  EXPECT_TRUE(scores->stats().converged);
+  for (double v : scores->values()) {
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 1.0 + 1e-12);
+  }
+}
+
+TEST(EdgeCaseTest, MaxIterationsOneStillWellFormed) {
+  auto pair = testing::MakeRandomPair(0xE3, 10, 10);
+  FSimConfig config;
+  config.max_iterations = 1;
+  auto scores = ComputeFSim(pair.g1, pair.g2, config);
+  ASSERT_TRUE(scores.ok());
+  EXPECT_EQ(scores->stats().iterations, 1u);
+}
+
+TEST(EdgeCaseTest, ThetaOneWithNoSharedLabels) {
+  GraphBuilder b1;
+  b1.AddNode("only-in-g1");
+  Graph g1 = std::move(b1).BuildOrDie();
+  GraphBuilder b2(g1.dict());
+  b2.AddNode("only-in-g2");
+  Graph g2 = std::move(b2).BuildOrDie();
+  FSimConfig config;
+  config.theta = 1.0;
+  auto scores = ComputeFSim(g1, g2, config);
+  ASSERT_TRUE(scores.ok());
+  EXPECT_EQ(scores->NumPairs(), 0u);
+  EXPECT_DOUBLE_EQ(scores->Score(0, 0), 0.0);
+}
+
+TEST(EdgeCaseTest, HungarianAndGreedyAgreeOnExactPairs) {
+  // P2 pairs (score 1) must be identical under both matching algorithms.
+  auto pair = testing::MakeRandomPair(0xE4, 9, 9, 2);
+  FSimConfig greedy;
+  greedy.variant = SimVariant::kBijective;
+  greedy.epsilon = 1e-10;
+  greedy.max_iterations = 120;
+  FSimConfig hungarian = greedy;
+  hungarian.matching = MatchingAlgo::kHungarian;
+  auto sg = ComputeFSim(pair.g1, pair.g2, greedy);
+  auto sh = ComputeFSim(pair.g1, pair.g2, hungarian);
+  ASSERT_TRUE(sg.ok() && sh.ok());
+  BinaryRelation exact =
+      MaxSimulation(pair.g1, pair.g2, SimVariant::kBijective);
+  for (NodeId u = 0; u < pair.g1.NumNodes(); ++u) {
+    for (NodeId v = 0; v < pair.g2.NumNodes(); ++v) {
+      if (exact.Contains(u, v)) {
+        EXPECT_DOUBLE_EQ(sg->Score(u, v), 1.0);
+        EXPECT_DOUBLE_EQ(sh->Score(u, v), 1.0);
+      }
+      // Hungarian realizes the maximum mapping: greedy can only fall below.
+      EXPECT_LE(sg->Score(u, v), sh->Score(u, v) + 0.35);
+    }
+  }
+}
+
+// ---------------------------------------------------- Failure injection ---
+
+TEST(EdgeCaseTest, HeavilyPerturbedGraphStaysComputable) {
+  LabelingOptions lo;
+  lo.num_labels = 5;
+  Graph g = ErdosRenyi(100, 300, lo, 0xE5);
+  Graph wrecked = PerturbStructure(g, 1.0, 0.9, 0xE6);  // 90% removed, +100%
+  wrecked = PerturbLabels(wrecked, 0.5, LabelNoiseMode::kMissing, 0xE7);
+  FSimConfig config;
+  config.variant = SimVariant::kBijective;
+  auto scores = ComputeFSim(wrecked, wrecked, config);
+  ASSERT_TRUE(scores.ok());
+  for (double v : scores->values()) {
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 1.0 + 1e-12);
+  }
+}
+
+TEST(EdgeCaseTest, BallOnIsolatedNode) {
+  GraphBuilder b;
+  b.AddNode("A");
+  b.AddNode("A");
+  Graph g = std::move(b).BuildOrDie();
+  auto ball = Ball(g, 0, 3);
+  EXPECT_EQ(ball.graph.NumNodes(), 1u);
+}
+
+TEST(EdgeCaseTest, DiameterOfDisconnectedGraphIgnoresUnreachable) {
+  GraphBuilder b;
+  b.AddNode("A");
+  b.AddNode("A");
+  b.AddNode("A");
+  b.AddEdge(0, 1);
+  Graph g = std::move(b).BuildOrDie();
+  EXPECT_EQ(ExactDiameter(g), 1u);
+}
+
+TEST(EdgeCaseTest, StrongSimulationWithSingleNodeQuery) {
+  auto fig = testing::MakeFigure1();
+  GraphBuilder qb(fig.data.dict());
+  qb.AddNode("hex");
+  Graph query = std::move(qb).BuildOrDie();
+  auto matches = StrongSimulation(query, fig.data);
+  EXPECT_FALSE(matches.empty());
+}
+
+TEST(EdgeCaseTest, KBisimZeroRoundsOnEmptyGraph) {
+  GraphBuilder b;
+  Graph g = std::move(b).BuildOrDie();
+  EXPECT_TRUE(KBisimulationSignatures(g, 3).empty());
+  EXPECT_TRUE(WLColors(g).empty());
+}
+
+TEST(EdgeCaseTest, ScoresContainerOnThetaFilteredRows) {
+  // Rows of nodes whose label has no counterpart are empty but queryable.
+  GraphBuilder b1;
+  b1.AddNode("A");
+  b1.AddNode("B");
+  Graph g1 = std::move(b1).BuildOrDie();
+  GraphBuilder b2(g1.dict());
+  b2.AddNode("A");
+  Graph g2 = std::move(b2).BuildOrDie();
+  FSimConfig config;
+  config.theta = 1.0;
+  auto scores = ComputeFSim(g1, g2, config);
+  ASSERT_TRUE(scores.ok());
+  EXPECT_TRUE(scores->TopK(1, 5).empty());
+  EXPECT_EQ(scores->Row(0).size(), 1u);
+}
+
+}  // namespace
+}  // namespace fsim

@@ -1,0 +1,228 @@
+// Parameterized property sweeps of the extension modules over structured
+// graph families (paths, cycles, stars, bipartite graphs, trees, disjoint
+// cycle unions): partition refinement block counts and their equivalence to
+// the exact checkers, weak-closure algebra, binary I/O round trips,
+// incremental repair vs full recomputation, and top-k radius soundness.
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "core/fsim_engine.h"
+#include "core/incremental.h"
+#include "core/topk_allpairs.h"
+#include "exact/exact_simulation.h"
+#include "exact/partition_refinement.h"
+#include "exact/weak_simulation.h"
+#include "graph/binary_io.h"
+#include "graph/edits.h"
+#include "graph/graph_builder.h"
+#include "graph/graph_io.h"
+#include "gtest/gtest.h"
+#include "test_graphs.h"
+
+namespace fsim {
+namespace {
+
+enum class Family {
+  kPath,        // 0 -> 1 -> ... -> n-1
+  kCycle,       // directed n-cycle
+  kStar,        // hub -> n-1 leaves
+  kBipartite,   // complete directed L -> R
+  kBinaryTree,  // perfect binary tree, edges parent -> child
+  kTwoCycles,   // disjoint C3 + C6 (the classic WL-indistinguishable pair)
+};
+
+const char* FamilyName(Family f) {
+  switch (f) {
+    case Family::kPath: return "path";
+    case Family::kCycle: return "cycle";
+    case Family::kStar: return "star";
+    case Family::kBipartite: return "bipartite";
+    case Family::kBinaryTree: return "binary_tree";
+    case Family::kTwoCycles: return "two_cycles";
+  }
+  return "?";
+}
+
+// All families use a single label so only the structure differentiates.
+Graph MakeFamily(Family family) {
+  GraphBuilder b;
+  switch (family) {
+    case Family::kPath: {
+      for (int i = 0; i < 7; ++i) b.AddNode("x");
+      for (NodeId i = 0; i + 1 < 7; ++i) b.AddEdge(i, i + 1);
+      break;
+    }
+    case Family::kCycle: {
+      for (int i = 0; i < 6; ++i) b.AddNode("x");
+      for (NodeId i = 0; i < 6; ++i) b.AddEdge(i, (i + 1) % 6);
+      break;
+    }
+    case Family::kStar: {
+      NodeId hub = b.AddNode("x");
+      for (int i = 0; i < 6; ++i) b.AddEdge(hub, b.AddNode("x"));
+      break;
+    }
+    case Family::kBipartite: {
+      std::vector<NodeId> left, right;
+      for (int i = 0; i < 3; ++i) left.push_back(b.AddNode("x"));
+      for (int i = 0; i < 4; ++i) right.push_back(b.AddNode("x"));
+      for (NodeId l : left) {
+        for (NodeId r : right) b.AddEdge(l, r);
+      }
+      break;
+    }
+    case Family::kBinaryTree: {
+      // Depth 3: 15 nodes.
+      for (int i = 0; i < 15; ++i) b.AddNode("x");
+      for (NodeId i = 0; i < 7; ++i) {
+        b.AddEdge(i, 2 * i + 1);
+        b.AddEdge(i, 2 * i + 2);
+      }
+      break;
+    }
+    case Family::kTwoCycles: {
+      for (int i = 0; i < 9; ++i) b.AddNode("x");
+      for (NodeId i = 0; i < 3; ++i) b.AddEdge(i, (i + 1) % 3);
+      for (NodeId i = 0; i < 6; ++i) b.AddEdge(3 + i, 3 + (i + 1) % 6);
+      break;
+    }
+  }
+  return std::move(b).BuildOrDie();
+}
+
+// Expected bisimulation class count (set semantics, both directions).
+size_t ExpectedBisimBlocks(Family family) {
+  switch (family) {
+    case Family::kPath: return 7;        // position along the path
+    case Family::kCycle: return 1;       // rotation symmetry
+    case Family::kStar: return 2;        // hub vs leaves
+    case Family::kBipartite: return 2;   // sides
+    case Family::kBinaryTree: return 4;  // levels
+    case Family::kTwoCycles: return 1;   // all cycle nodes look alike
+  }
+  return 0;
+}
+
+class FamilySweep : public ::testing::TestWithParam<Family> {};
+
+TEST_P(FamilySweep, BisimulationBlockCountsMatchTheory) {
+  Graph g = MakeFamily(GetParam());
+  Partition p = BisimulationPartition(g);
+  EXPECT_EQ(p.num_blocks, ExpectedBisimBlocks(GetParam()));
+}
+
+TEST_P(FamilySweep, SetPartitionEqualsExactBisimulationRelation) {
+  Graph g = MakeFamily(GetParam());
+  Partition p = BisimulationPartition(g);
+  BinaryRelation rel = MaxSimulation(g, g, SimVariant::kBi);
+  for (NodeId u = 0; u < g.NumNodes(); ++u) {
+    for (NodeId v = 0; v < g.NumNodes(); ++v) {
+      EXPECT_EQ(p.SameBlock(u, v), rel.Contains(u, v))
+          << FamilyName(GetParam()) << " (" << u << ", " << v << ")";
+    }
+  }
+}
+
+TEST_P(FamilySweep, CountingPartitionEqualsExactBijectiveRelation) {
+  Graph g = MakeFamily(GetParam());
+  Partition p =
+      CoarsestStablePartition(g, RefinementSemantics::kCounting, true);
+  BinaryRelation rel = MaxSimulation(g, g, SimVariant::kBijective);
+  for (NodeId u = 0; u < g.NumNodes(); ++u) {
+    for (NodeId v = 0; v < g.NumNodes(); ++v) {
+      EXPECT_EQ(p.SameBlock(u, v), rel.Contains(u, v))
+          << FamilyName(GetParam()) << " (" << u << ", " << v << ")";
+    }
+  }
+}
+
+TEST_P(FamilySweep, WeakClosureIsIdempotent) {
+  Graph g = MakeFamily(GetParam());
+  // Mark every third node internal (deterministic, family-agnostic).
+  std::vector<uint8_t> mask(g.NumNodes(), 0);
+  for (NodeId u = 0; u < g.NumNodes(); u += 3) mask[u] = 1;
+  auto once = WeakClosure(g, mask);
+  ASSERT_TRUE(once.ok());
+  auto twice = WeakClosure(*once, mask);
+  ASSERT_TRUE(twice.ok());
+  EXPECT_EQ(GraphToString(*once), GraphToString(*twice));
+}
+
+TEST_P(FamilySweep, WeakSimulationIsReflexive) {
+  Graph g = MakeFamily(GetParam());
+  std::vector<uint8_t> mask(g.NumNodes(), 0);
+  for (NodeId u = 0; u < g.NumNodes(); u += 2) mask[u] = 1;
+  auto weak = MaxWeakSimulation(g, mask, g, mask);
+  ASSERT_TRUE(weak.ok());
+  for (NodeId u = 0; u < g.NumNodes(); ++u) {
+    EXPECT_TRUE(weak->Contains(u, u)) << FamilyName(GetParam()) << " " << u;
+  }
+}
+
+TEST_P(FamilySweep, BinaryIORoundTrips) {
+  Graph g = MakeFamily(GetParam());
+  auto loaded = GraphFromBinary(GraphToBinary(g));
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(GraphToString(g), GraphToString(*loaded));
+}
+
+TEST_P(FamilySweep, IncrementalRepairTracksFullRecompute) {
+  Graph g = MakeFamily(GetParam());
+  FSimConfig config;
+  config.variant = SimVariant::kBijective;
+  config.epsilon = 1e-9;
+  config.matching = MatchingAlgo::kHungarian;
+  IncrementalOptions options;
+  options.propagation_tolerance = 1e-10;
+  auto inc = IncrementalFSim::Create(g, g, config, options);
+  ASSERT_TRUE(inc.ok());
+
+  // Insert a fresh edge, then remove an original one.
+  NodeId from = 0, to = static_cast<NodeId>(g.NumNodes() - 1);
+  if (!g.HasEdge(from, to) && from != to) {
+    ASSERT_TRUE(inc->InsertEdge(1, from, to).ok());
+  }
+  NodeId src = 0;
+  while (inc->g1().OutDegree(src) == 0) ++src;
+  ASSERT_TRUE(inc->RemoveEdge(1, src, inc->g1().OutNeighbors(src)[0]).ok());
+
+  auto full = ComputeFSim(inc->g1(), inc->g2(), config);
+  ASSERT_TRUE(full.ok());
+  for (uint64_t key : full->keys()) {
+    EXPECT_NEAR(full->Score(PairFirst(key), PairSecond(key)),
+                inc->Score(PairFirst(key), PairSecond(key)), 1e-6)
+        << FamilyName(GetParam());
+  }
+}
+
+TEST_P(FamilySweep, TopKRadiusIsSound) {
+  Graph g = MakeFamily(GetParam());
+  FSimConfig config;
+  config.variant = SimVariant::kSimple;
+  config.epsilon = 1e-8;
+  TopKPairsOptions options;
+  options.k = 5;
+  options.exclude_diagonal = true;
+  auto topk = ComputeTopKPairs(g, g, config, options);
+  ASSERT_TRUE(topk.ok());
+
+  auto full = ComputeFSim(g, g, config);
+  ASSERT_TRUE(full.ok());
+  for (const auto& p : topk->pairs) {
+    EXPECT_NEAR(p.score, full->Score(p.u, p.v), topk->radius + 1e-9)
+        << FamilyName(GetParam());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFamilies, FamilySweep,
+                         ::testing::Values(Family::kPath, Family::kCycle,
+                                           Family::kStar, Family::kBipartite,
+                                           Family::kBinaryTree,
+                                           Family::kTwoCycles),
+                         [](const ::testing::TestParamInfo<Family>& info) {
+                           return FamilyName(info.param);
+                         });
+
+}  // namespace
+}  // namespace fsim

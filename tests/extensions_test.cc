@@ -1,0 +1,258 @@
+// Tests for the extension components: the HHK-style efficient simulation
+// algorithm (equivalence with the naive fixpoint), single-source top-k
+// search (exactness of the localized computation + certified error bound),
+// score serialization round trips, and the IsoRank baseline.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/fsim_engine.h"
+#include "core/scores_io.h"
+#include "core/topk_search.h"
+#include "exact/efficient_simulation.h"
+#include "exact/exact_simulation.h"
+#include "graph/generators.h"
+#include "graph/graph_builder.h"
+#include "measures/isorank.h"
+#include "tests/test_graphs.h"
+
+namespace fsim {
+namespace {
+
+// ----------------------------------------------- Efficient simulation ----
+
+class EfficientSimEquivalence : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(EfficientSimEquivalence, MatchesNaiveFixpoint) {
+  auto pair = testing::MakeRandomPair(GetParam() ^ 0xEFF, 14, 16, 3);
+  BinaryRelation naive =
+      MaxSimulation(pair.g1, pair.g2, SimVariant::kSimple);
+  BinaryRelation fast = MaxSimulationEfficient(pair.g1, pair.g2);
+  for (NodeId u = 0; u < pair.g1.NumNodes(); ++u) {
+    for (NodeId v = 0; v < pair.g2.NumNodes(); ++v) {
+      ASSERT_EQ(naive.Contains(u, v), fast.Contains(u, v))
+          << "(" << u << "," << v << ")";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EfficientSimEquivalence,
+                         ::testing::Range<uint64_t>(0, 10));
+
+TEST(EfficientSimTest, Figure1Column) {
+  auto fig = testing::MakeFigure1();
+  BinaryRelation rel = MaxSimulationEfficient(fig.pattern, fig.data);
+  EXPECT_FALSE(rel.Contains(fig.u, fig.v1));
+  EXPECT_TRUE(rel.Contains(fig.u, fig.v2));
+  EXPECT_TRUE(rel.Contains(fig.u, fig.v3));
+  EXPECT_TRUE(rel.Contains(fig.u, fig.v4));
+}
+
+TEST(EfficientSimTest, LargerGraphAgreesWithNaive) {
+  LabelingOptions lo;
+  lo.num_labels = 4;
+  lo.dict = std::make_shared<LabelDict>();
+  Graph g1 = ErdosRenyi(60, 200, lo, 0xAA);
+  Graph g2 = ErdosRenyi(70, 240, lo, 0xBB);
+  BinaryRelation naive = MaxSimulation(g1, g2, SimVariant::kSimple);
+  BinaryRelation fast = MaxSimulationEfficient(g1, g2);
+  EXPECT_EQ(naive.CountPairs(), fast.CountPairs());
+}
+
+// ------------------------------------------------------- Top-k search ----
+
+TEST(TopKSearchTest, MatchesFullEngineRow) {
+  auto pair = testing::MakeRandomPair(0x70, 12, 14, 3);
+  FSimConfig config;
+  config.variant = SimVariant::kBijective;
+  config.epsilon = 1e-9;
+  const uint32_t depth = 6;
+
+  FSimConfig full_config = config;
+  full_config.max_iterations = depth;
+  full_config.epsilon = 1e-300;  // run exactly `depth` iterations
+  auto full = ComputeFSim(pair.g1, pair.g2, full_config);
+  ASSERT_TRUE(full.ok());
+
+  for (NodeId source = 0; source < pair.g1.NumNodes(); ++source) {
+    TopKOptions options;
+    options.depth = depth;
+    options.k = pair.g2.NumNodes();
+    auto topk = TopKSearch(pair.g1, pair.g2, source, config, options);
+    ASSERT_TRUE(topk.ok()) << topk.status().ToString();
+    // The localized computation reproduces FSim^depth(source, ·) exactly.
+    for (const auto& [v, score] : topk->ranking) {
+      ASSERT_DOUBLE_EQ(score, full->Score(source, v))
+          << "source " << source << " candidate " << v;
+    }
+  }
+}
+
+TEST(TopKSearchTest, ErrorBoundCoversConvergedScores) {
+  auto pair = testing::MakeRandomPair(0x71, 10, 12, 2);
+  FSimConfig config;
+  config.variant = SimVariant::kSimple;
+  config.epsilon = 1e-12;
+  config.max_iterations = 150;
+  auto converged = ComputeFSim(pair.g1, pair.g2, config);
+  ASSERT_TRUE(converged.ok());
+
+  for (uint32_t depth : {2u, 4u, 8u}) {
+    TopKOptions options;
+    options.depth = depth;
+    options.k = pair.g2.NumNodes();
+    auto topk = TopKSearch(pair.g1, pair.g2, 0, config, options);
+    ASSERT_TRUE(topk.ok());
+    for (const auto& [v, score] : topk->ranking) {
+      ASSERT_LE(std::abs(score - converged->Score(0, v)),
+                topk->error_bound + 1e-12)
+          << "depth " << depth << " candidate " << v;
+    }
+  }
+}
+
+TEST(TopKSearchTest, RankingIsSortedAndTruncated) {
+  auto pair = testing::MakeRandomPair(0x72, 10, 20, 2);
+  FSimConfig config;
+  TopKOptions options;
+  options.k = 5;
+  auto topk = TopKSearch(pair.g1, pair.g2, 3, config, options);
+  ASSERT_TRUE(topk.ok());
+  ASSERT_EQ(topk->ranking.size(), 5u);
+  for (size_t i = 1; i < topk->ranking.size(); ++i) {
+    EXPECT_GE(topk->ranking[i - 1].second, topk->ranking[i].second);
+  }
+}
+
+TEST(TopKSearchTest, ThetaRestrictsCandidates) {
+  auto pair = testing::MakeRandomPair(0x73, 10, 16, 3);
+  FSimConfig config;
+  config.theta = 1.0;
+  TopKOptions options;
+  options.k = 100;
+  auto topk = TopKSearch(pair.g1, pair.g2, 2, config, options);
+  ASSERT_TRUE(topk.ok());
+  for (const auto& [v, score] : topk->ranking) {
+    EXPECT_EQ(pair.g1.Label(2), pair.g2.Label(v));
+  }
+}
+
+TEST(TopKSearchTest, RejectsBadSource) {
+  auto pair = testing::MakeRandomPair(0x74, 5, 5);
+  FSimConfig config;
+  EXPECT_TRUE(TopKSearch(pair.g1, pair.g2, 999, config).status()
+                  .IsInvalidArgument());
+}
+
+TEST(TopKSearchTest, LocalityReducesPairCount) {
+  // On a long path graph, the radius-d ball around an end node is small, so
+  // the localized search touches far fewer pairs than all-pairs.
+  GraphBuilder b;
+  constexpr uint32_t kPathLen = 60;
+  for (uint32_t i = 0; i < kPathLen; ++i) b.AddNode("P");
+  for (uint32_t i = 0; i + 1 < kPathLen; ++i) b.AddEdge(i, i + 1);
+  Graph g = std::move(b).BuildOrDie();
+  FSimConfig config;
+  TopKOptions options;
+  options.depth = 3;
+  auto topk = TopKSearch(g, g, 0, config, options);
+  ASSERT_TRUE(topk.ok());
+  EXPECT_EQ(topk->pairs_computed, 4u * kPathLen);  // ball = {0,1,2,3}
+}
+
+// ------------------------------------------------------- Scores I/O ------
+
+TEST(ScoresIoTest, RoundTripPreservesEverything) {
+  auto pair = testing::MakeRandomPair(0x75, 10, 12, 3);
+  FSimConfig config;
+  config.variant = SimVariant::kBi;
+  auto scores = ComputeFSim(pair.g1, pair.g2, config);
+  ASSERT_TRUE(scores.ok());
+  std::string text = ScoresToString(*scores);
+  auto loaded = ScoresFromString(text);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded->NumPairs(), scores->NumPairs());
+  for (NodeId u = 0; u < pair.g1.NumNodes(); ++u) {
+    for (NodeId v = 0; v < pair.g2.NumNodes(); ++v) {
+      ASSERT_DOUBLE_EQ(loaded->Score(u, v), scores->Score(u, v));
+    }
+  }
+}
+
+TEST(ScoresIoTest, FileRoundTrip) {
+  auto pair = testing::MakeRandomPair(0x76, 6, 6);
+  auto scores = ComputeFSim(pair.g1, pair.g2, FSimConfig{});
+  ASSERT_TRUE(scores.ok());
+  const std::string path = ::testing::TempDir() + "/fsim_scores_test.txt";
+  ASSERT_TRUE(SaveScoresToFile(*scores, path).ok());
+  auto loaded = LoadScoresFromFile(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->NumPairs(), scores->NumPairs());
+}
+
+TEST(ScoresIoTest, RejectsCorruptInput) {
+  EXPECT_TRUE(ScoresFromString("not a score file").status().IsIOError());
+  EXPECT_TRUE(ScoresFromString("fsim-scores v1\npairs 2\n0 0 0.5\n")
+                  .status()
+                  .IsIOError());  // count mismatch
+  EXPECT_TRUE(ScoresFromString("fsim-scores v1\npairs 1\n0 0 7.5\n")
+                  .status()
+                  .IsIOError());  // out-of-range score
+  EXPECT_TRUE(ScoresFromString("fsim-scores v1\npairs 2\n0 0 0.5\n0 0 0.6\n")
+                  .status()
+                  .IsIOError());  // duplicate pair
+}
+
+TEST(ScoresIoTest, AcceptsUnsortedInput) {
+  auto loaded = ScoresFromString(
+      "fsim-scores v1\npairs 2\n3 1 0.25\n1 2 0.75\n");
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_DOUBLE_EQ(loaded->Score(3, 1), 0.25);
+  EXPECT_DOUBLE_EQ(loaded->Score(1, 2), 0.75);
+}
+
+// ----------------------------------------------------------- IsoRank -----
+
+TEST(IsoRankTest, ScoresAreWellFormedAndLabelAware) {
+  auto pair = testing::MakeRandomPair(0x77, 10, 12, 2);
+  auto scores = IsoRankScores(pair.g1, pair.g2);
+  const size_t n2 = pair.g2.NumNodes();
+  for (NodeId u = 0; u < pair.g1.NumNodes(); ++u) {
+    for (NodeId v = 0; v < n2; ++v) {
+      const double s = scores[u * n2 + v];
+      EXPECT_GE(s, 0.0);
+      EXPECT_LE(s, 1.0 + 1e-9);
+    }
+  }
+}
+
+TEST(IsoRankTest, IdenticalGraphsFavorDiagonalStructure) {
+  LabelingOptions lo;
+  lo.num_labels = 3;
+  Graph g = ErdosRenyi(12, 30, lo, 0x78);
+  auto scores = IsoRankScores(g, g);
+  const size_t n = g.NumNodes();
+  // The diagonal should carry (weakly) maximal scores within each row's
+  // same-label candidates.
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = 0; v < n; ++v) {
+      if (g.Label(u) != g.Label(v)) continue;
+      EXPECT_GE(scores[u * n + u] + 1e-9, 0.0);
+    }
+    EXPECT_GT(scores[u * n + u], 0.0);
+  }
+}
+
+TEST(IsoRankTest, LabelMismatchGetsNoPrior) {
+  GraphBuilder b;
+  b.AddNode("A");
+  b.AddNode("B");
+  Graph g = std::move(b).BuildOrDie();
+  auto scores = IsoRankScores(g, g);
+  EXPECT_DOUBLE_EQ(scores[0 * 2 + 1], 0.0);
+  EXPECT_GT(scores[0 * 2 + 0], 0.0);
+}
+
+}  // namespace
+}  // namespace fsim

@@ -1,0 +1,426 @@
+// Tests for the graph substrate: CSR model, builder, I/O round trips,
+// generators (shape properties), noise injectors, subgraphs/balls, traversal
+// and stats.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "graph/generators.h"
+#include "graph/graph.h"
+#include "graph/graph_builder.h"
+#include "graph/graph_io.h"
+#include "graph/graph_stats.h"
+#include "graph/noise.h"
+#include "graph/subgraph.h"
+#include "graph/traversal.h"
+#include "tests/test_graphs.h"
+
+namespace fsim {
+namespace {
+
+Graph MakeDiamond() {
+  // 0 -> 1, 0 -> 2, 1 -> 3, 2 -> 3
+  GraphBuilder b;
+  b.AddNode("A");
+  b.AddNode("B");
+  b.AddNode("B");
+  b.AddNode("C");
+  b.AddEdge(0, 1);
+  b.AddEdge(0, 2);
+  b.AddEdge(1, 3);
+  b.AddEdge(2, 3);
+  return std::move(b).BuildOrDie();
+}
+
+// ------------------------------------------------------------- LabelDict --
+
+TEST(LabelDictTest, InternIsIdempotent) {
+  LabelDict dict;
+  LabelId a = dict.Intern("x");
+  LabelId b = dict.Intern("y");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(dict.Intern("x"), a);
+  EXPECT_EQ(dict.size(), 2u);
+  EXPECT_EQ(dict.Name(a), "x");
+  EXPECT_EQ(dict.Find("y"), b);
+  EXPECT_EQ(dict.Find("zzz"), kInvalidNode);
+}
+
+// ----------------------------------------------------------------- Graph --
+
+TEST(GraphTest, CsrNeighborsAreSortedAndComplete) {
+  Graph g = MakeDiamond();
+  EXPECT_EQ(g.NumNodes(), 4u);
+  EXPECT_EQ(g.NumEdges(), 4u);
+  auto out0 = g.OutNeighbors(0);
+  ASSERT_EQ(out0.size(), 2u);
+  EXPECT_EQ(out0[0], 1u);
+  EXPECT_EQ(out0[1], 2u);
+  auto in3 = g.InNeighbors(3);
+  ASSERT_EQ(in3.size(), 2u);
+  EXPECT_EQ(in3[0], 1u);
+  EXPECT_EQ(in3[1], 2u);
+  EXPECT_EQ(g.OutDegree(3), 0u);
+  EXPECT_EQ(g.InDegree(0), 0u);
+}
+
+TEST(GraphTest, LabelsAndNames) {
+  Graph g = MakeDiamond();
+  EXPECT_EQ(g.LabelName(0), "A");
+  EXPECT_EQ(g.LabelName(1), "B");
+  EXPECT_EQ(g.Label(1), g.Label(2));
+  EXPECT_EQ(g.NumDistinctLabels(), 3u);
+}
+
+TEST(GraphTest, HasEdge) {
+  Graph g = MakeDiamond();
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_FALSE(g.HasEdge(1, 0));
+  EXPECT_FALSE(g.HasEdge(0, 3));
+}
+
+TEST(GraphTest, DegreeStats) {
+  Graph g = MakeDiamond();
+  EXPECT_EQ(g.MaxOutDegree(), 2u);
+  EXPECT_EQ(g.MaxInDegree(), 2u);
+  EXPECT_DOUBLE_EQ(g.AverageDegree(), 1.0);
+}
+
+TEST(GraphTest, BuilderDedupsParallelEdges) {
+  GraphBuilder b;
+  b.AddNode("A");
+  b.AddNode("A");
+  b.AddEdge(0, 1);
+  b.AddEdge(0, 1);
+  b.AddEdge(0, 1);
+  Graph g = std::move(b).BuildOrDie();
+  EXPECT_EQ(g.NumEdges(), 1u);
+}
+
+TEST(GraphTest, BuilderRejectsOutOfRangeEdge) {
+  GraphBuilder b;
+  b.AddNode("A");
+  b.AddEdge(0, 5);
+  auto result = std::move(b).Build();
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsInvalidArgument());
+}
+
+TEST(GraphTest, SharedDictAcrossBuilders) {
+  GraphBuilder b1;
+  b1.AddNode("X");
+  Graph g1 = std::move(b1).BuildOrDie();
+  GraphBuilder b2(g1.dict());
+  b2.AddNode("X");
+  b2.AddNode("Y");
+  Graph g2 = std::move(b2).BuildOrDie();
+  EXPECT_EQ(g1.dict(), g2.dict());
+  EXPECT_EQ(g1.Label(0), g2.Label(0));
+}
+
+TEST(GraphTest, AsUndirectedUnionsNeighborsAndDropsIn) {
+  Graph g = MakeDiamond();
+  Graph u = g.AsUndirected();
+  EXPECT_EQ(u.NumNodes(), 4u);
+  auto n1 = u.OutNeighbors(1);  // node 1 had in {0} and out {3}
+  ASSERT_EQ(n1.size(), 2u);
+  EXPECT_EQ(n1[0], 0u);
+  EXPECT_EQ(n1[1], 3u);
+  EXPECT_EQ(u.InDegree(1), 0u);
+  EXPECT_EQ(u.dict(), g.dict());
+}
+
+TEST(GraphTest, EmptyGraph) {
+  GraphBuilder b;
+  Graph g = std::move(b).BuildOrDie();
+  EXPECT_EQ(g.NumNodes(), 0u);
+  EXPECT_EQ(g.NumEdges(), 0u);
+  EXPECT_DOUBLE_EQ(g.AverageDegree(), 0.0);
+}
+
+// -------------------------------------------------------------- Graph IO --
+
+TEST(GraphIoTest, RoundTrip) {
+  Graph g = MakeDiamond();
+  std::string text = GraphToString(g);
+  auto loaded = LoadGraphFromString(text);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->NumNodes(), g.NumNodes());
+  EXPECT_EQ(loaded->NumEdges(), g.NumEdges());
+  for (NodeId u = 0; u < g.NumNodes(); ++u) {
+    EXPECT_EQ(loaded->LabelName(u), g.LabelName(u));
+    auto a = g.OutNeighbors(u);
+    auto b = loaded->OutNeighbors(u);
+    ASSERT_EQ(a.size(), b.size());
+    EXPECT_TRUE(std::equal(a.begin(), a.end(), b.begin()));
+  }
+}
+
+TEST(GraphIoTest, CommentsAndBlankLinesIgnored) {
+  auto g = LoadGraphFromString("# header\n\nv 0 A\nv 1 B\n\ne 0 1\n");
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->NumNodes(), 2u);
+  EXPECT_EQ(g->NumEdges(), 1u);
+}
+
+TEST(GraphIoTest, RejectsNonDenseIds) {
+  auto g = LoadGraphFromString("v 1 A\n");
+  ASSERT_FALSE(g.ok());
+  EXPECT_TRUE(g.status().IsIOError());
+}
+
+TEST(GraphIoTest, RejectsMalformedRecords) {
+  EXPECT_FALSE(LoadGraphFromString("v 0\n").ok());
+  EXPECT_FALSE(LoadGraphFromString("e 0\n").ok());
+  EXPECT_FALSE(LoadGraphFromString("x 0 1\n").ok());
+}
+
+TEST(GraphIoTest, FileRoundTrip) {
+  Graph g = MakeDiamond();
+  const std::string path = ::testing::TempDir() + "/fsim_io_test.graph";
+  ASSERT_TRUE(SaveGraphToFile(g, path).ok());
+  auto loaded = LoadGraphFromFile(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->NumEdges(), g.NumEdges());
+}
+
+TEST(GraphIoTest, MissingFileIsIOError) {
+  auto g = LoadGraphFromFile("/nonexistent/path/zzz.graph");
+  ASSERT_FALSE(g.ok());
+  EXPECT_TRUE(g.status().IsIOError());
+}
+
+// ------------------------------------------------------------ Generators --
+
+TEST(GeneratorsTest, ErdosRenyiShape) {
+  LabelingOptions lo;
+  lo.num_labels = 5;
+  Graph g = ErdosRenyi(200, 800, lo, 1);
+  EXPECT_EQ(g.NumNodes(), 200u);
+  EXPECT_EQ(g.NumEdges(), 800u);
+  EXPECT_LE(g.NumDistinctLabels(), 5u);
+  for (NodeId u = 0; u < g.NumNodes(); ++u) {
+    EXPECT_FALSE(g.HasEdge(u, u)) << "self loop at " << u;
+  }
+}
+
+TEST(GeneratorsTest, ErdosRenyiDeterministicInSeed) {
+  LabelingOptions lo;
+  Graph a = ErdosRenyi(100, 300, lo, 42);
+  LabelingOptions lo2;
+  Graph b = ErdosRenyi(100, 300, lo2, 42);
+  EXPECT_EQ(GraphToString(a), GraphToString(b));
+}
+
+TEST(GeneratorsTest, PowerLawGraphRespectsCapsAndAverage) {
+  PowerLawOptions opts;
+  opts.n = 2000;
+  opts.avg_degree = 4.0;
+  opts.max_out_degree = 50;
+  opts.max_in_degree = 80;
+  LabelingOptions lo;
+  lo.num_labels = 10;
+  Graph g = PowerLawGraph(opts, lo, 7);
+  EXPECT_EQ(g.NumNodes(), 2000u);
+  EXPECT_LE(g.MaxOutDegree(), 50u);
+  EXPECT_LE(g.MaxInDegree(), 80u);
+  // Duplicate discards shave some edges; stay within 40% of the target.
+  EXPECT_GT(g.NumEdges(), 2000 * 4 * 0.6);
+  EXPECT_LE(g.NumEdges(), 2000 * 4);
+}
+
+TEST(GeneratorsTest, PreferentialAttachmentCreatesHubs) {
+  LabelingOptions lo;
+  lo.num_labels = 3;
+  Graph g = PreferentialAttachment(1000, 3, lo, 9);
+  EXPECT_EQ(g.NumNodes(), 1000u);
+  // The max in-degree hub should far exceed the average degree.
+  EXPECT_GT(g.MaxInDegree(), 20u);
+}
+
+TEST(GeneratorsTest, SharedDictAcrossGenerated) {
+  LabelingOptions lo;
+  lo.num_labels = 4;
+  lo.dict = std::make_shared<LabelDict>();
+  Graph a = ErdosRenyi(50, 100, lo, 1);
+  Graph b = ErdosRenyi(60, 120, lo, 2);
+  EXPECT_EQ(a.dict(), b.dict());
+}
+
+// ----------------------------------------------------------------- Noise --
+
+TEST(NoiseTest, PerturbStructureChangesEdgeCount) {
+  LabelingOptions lo;
+  Graph g = ErdosRenyi(300, 1200, lo, 3);
+  Graph removed = PerturbStructure(g, 0.0, 0.25, 11);
+  EXPECT_EQ(removed.NumEdges(), 900u);
+  Graph added = PerturbStructure(g, 0.25, 0.0, 12);
+  EXPECT_NEAR(static_cast<double>(added.NumEdges()), 1500.0, 30.0);
+  EXPECT_EQ(added.dict(), g.dict());
+}
+
+TEST(NoiseTest, PerturbLabelsMissingMode) {
+  LabelingOptions lo;
+  lo.num_labels = 6;
+  Graph g = ErdosRenyi(200, 400, lo, 4);
+  Graph noisy = PerturbLabels(g, 0.2, LabelNoiseMode::kMissing, 13);
+  size_t changed = 0;
+  const LabelId missing = noisy.dict()->Find("?");
+  ASSERT_NE(missing, kInvalidNode);
+  for (NodeId u = 0; u < g.NumNodes(); ++u) {
+    if (noisy.Label(u) != g.Label(u)) {
+      ++changed;
+      EXPECT_EQ(noisy.Label(u), missing);
+    }
+  }
+  EXPECT_EQ(changed, 40u);
+  // Structure unchanged.
+  EXPECT_EQ(noisy.NumEdges(), g.NumEdges());
+}
+
+TEST(NoiseTest, PerturbLabelsRandomModeChangesToExistingLabels) {
+  LabelingOptions lo;
+  lo.num_labels = 6;
+  Graph g = ErdosRenyi(200, 400, lo, 5);
+  const size_t dict_before = g.dict()->size();
+  Graph noisy = PerturbLabels(g, 0.3, LabelNoiseMode::kRandom, 14);
+  size_t changed = 0;
+  for (NodeId u = 0; u < g.NumNodes(); ++u) {
+    if (noisy.Label(u) != g.Label(u)) {
+      ++changed;
+      EXPECT_LT(noisy.Label(u), dict_before);
+    }
+  }
+  EXPECT_EQ(changed, 60u);
+}
+
+TEST(NoiseTest, ZeroFractionIsIdentity) {
+  LabelingOptions lo;
+  Graph g = ErdosRenyi(100, 300, lo, 6);
+  Graph same = PerturbStructure(g, 0.0, 0.0, 15);
+  EXPECT_EQ(GraphToString(same), GraphToString(g));
+}
+
+TEST(NoiseTest, ScaleDensityMultipliesEdges) {
+  LabelingOptions lo;
+  Graph g = ErdosRenyi(400, 800, lo, 7);
+  Graph denser = ScaleDensity(g, 3.0, 16);
+  EXPECT_NEAR(static_cast<double>(denser.NumEdges()), 2400.0, 60.0);
+  // Original edges all survive.
+  for (NodeId u = 0; u < g.NumNodes(); ++u) {
+    for (NodeId v : g.OutNeighbors(u)) {
+      EXPECT_TRUE(denser.HasEdge(u, v));
+    }
+  }
+}
+
+// -------------------------------------------------------------- Subgraph --
+
+TEST(SubgraphTest, InducedSubgraphKeepsInternalEdges) {
+  Graph g = MakeDiamond();
+  Subgraph sub = InducedSubgraph(g, {0, 1, 3});
+  EXPECT_EQ(sub.graph.NumNodes(), 3u);
+  // Edges 0->1 and 1->3 survive; 0->2->3 path does not.
+  EXPECT_EQ(sub.graph.NumEdges(), 2u);
+  EXPECT_EQ(sub.graph.dict(), g.dict());
+  // Mappings are mutually inverse.
+  for (NodeId local = 0; local < sub.graph.NumNodes(); ++local) {
+    EXPECT_EQ(sub.from_parent[sub.to_parent[local]], local);
+    EXPECT_EQ(sub.graph.Label(local), g.Label(sub.to_parent[local]));
+  }
+  EXPECT_EQ(sub.from_parent[2], kInvalidNode);
+}
+
+TEST(SubgraphTest, DuplicateInputNodesIgnored) {
+  Graph g = MakeDiamond();
+  Subgraph sub = InducedSubgraph(g, {1, 1, 1});
+  EXPECT_EQ(sub.graph.NumNodes(), 1u);
+  EXPECT_EQ(sub.graph.NumEdges(), 0u);
+}
+
+TEST(SubgraphTest, BallRadiusOne) {
+  Graph g = MakeDiamond();
+  auto nodes = BallNodes(g, 0, 1);
+  std::set<NodeId> set(nodes.begin(), nodes.end());
+  EXPECT_EQ(set, (std::set<NodeId>{0, 1, 2}));
+  Subgraph ball = Ball(g, 0, 1);
+  EXPECT_EQ(ball.graph.NumNodes(), 3u);
+}
+
+TEST(SubgraphTest, BallCoversComponentAtLargeRadius) {
+  Graph g = MakeDiamond();
+  auto nodes = BallNodes(g, 3, 10);
+  EXPECT_EQ(nodes.size(), 4u);
+}
+
+// ------------------------------------------------------------- Traversal --
+
+TEST(TraversalTest, BfsDistancesUndirected) {
+  Graph g = MakeDiamond();
+  auto dist = BfsDistances(g, 3, /*undirected=*/true);
+  EXPECT_EQ(dist[3], 0u);
+  EXPECT_EQ(dist[1], 1u);
+  EXPECT_EQ(dist[2], 1u);
+  EXPECT_EQ(dist[0], 2u);
+}
+
+TEST(TraversalTest, BfsDistancesDirectedOnly) {
+  Graph g = MakeDiamond();
+  auto dist = BfsDistances(g, 3, /*undirected=*/false);
+  EXPECT_EQ(dist[3], 0u);
+  EXPECT_EQ(dist[0], kUnreachable);
+}
+
+TEST(TraversalTest, ExactDiameter) {
+  Graph g = MakeDiamond();
+  EXPECT_EQ(ExactDiameter(g), 2u);
+}
+
+TEST(TraversalTest, ComponentsAndConnectivity) {
+  GraphBuilder b;
+  for (int i = 0; i < 5; ++i) b.AddNode("A");
+  b.AddEdge(0, 1);
+  b.AddEdge(2, 3);
+  Graph g = std::move(b).BuildOrDie();
+  uint32_t count = 0;
+  auto comp = WeaklyConnectedComponents(g, &count);
+  EXPECT_EQ(count, 3u);
+  EXPECT_EQ(comp[0], comp[1]);
+  EXPECT_EQ(comp[2], comp[3]);
+  EXPECT_NE(comp[0], comp[2]);
+  EXPECT_NE(comp[4], comp[0]);
+  EXPECT_FALSE(IsWeaklyConnected(g));
+  EXPECT_TRUE(IsWeaklyConnected(MakeDiamond()));
+}
+
+// ----------------------------------------------------------------- Stats --
+
+TEST(GraphStatsTest, MatchesDirectQueries) {
+  Graph g = MakeDiamond();
+  GraphStats s = ComputeStats(g);
+  EXPECT_EQ(s.num_nodes, 4u);
+  EXPECT_EQ(s.num_edges, 4u);
+  EXPECT_EQ(s.num_labels, 3u);
+  EXPECT_EQ(s.max_out_degree, 2u);
+  EXPECT_EQ(s.max_in_degree, 2u);
+  EXPECT_NE(StatsToString(s).find("|V|=4"), std::string::npos);
+}
+
+// ------------------------------------------------------- Figure 1 fixture --
+
+TEST(Figure1Test, ShapeMatchesThePaper) {
+  auto fig = testing::MakeFigure1();
+  EXPECT_EQ(fig.pattern.NumNodes(), 4u);
+  EXPECT_EQ(fig.pattern.OutDegree(fig.u), 3u);
+  EXPECT_EQ(fig.pattern.InDegree(fig.u), 0u);
+  EXPECT_EQ(fig.data.OutDegree(fig.v1), 1u);
+  EXPECT_EQ(fig.data.OutDegree(fig.v2), 2u);
+  EXPECT_EQ(fig.data.OutDegree(fig.v3), 4u);
+  EXPECT_EQ(fig.data.OutDegree(fig.v4), 3u);
+  EXPECT_EQ(fig.pattern.dict(), fig.data.dict());
+  EXPECT_EQ(fig.pattern.Label(fig.u), fig.data.Label(fig.v1));
+}
+
+}  // namespace
+}  // namespace fsim

@@ -1,0 +1,282 @@
+// Tests for the label-similarity functions L(·) and the matching substrate
+// (greedy ½-approximation, exact Hungarian, Kuhn's bipartite matching),
+// including the randomized greedy-vs-optimal property sweep.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+#include "label/label_similarity.h"
+#include "matching/bipartite_matching.h"
+#include "matching/greedy_matching.h"
+#include "matching/hungarian.h"
+
+namespace fsim {
+namespace {
+
+// ------------------------------------------------------- Label functions --
+
+TEST(LevenshteinTest, KnownDistances) {
+  EXPECT_EQ(LevenshteinDistance("kitten", "sitting"), 3u);
+  EXPECT_EQ(LevenshteinDistance("", "abc"), 3u);
+  EXPECT_EQ(LevenshteinDistance("abc", ""), 3u);
+  EXPECT_EQ(LevenshteinDistance("abc", "abc"), 0u);
+  EXPECT_EQ(LevenshteinDistance("flaw", "lawn"), 2u);
+}
+
+TEST(EditSimilarityTest, RangeAndIdentity) {
+  EXPECT_DOUBLE_EQ(NormalizedEditSimilarity("abc", "abc"), 1.0);
+  EXPECT_DOUBLE_EQ(NormalizedEditSimilarity("", ""), 1.0);
+  EXPECT_DOUBLE_EQ(NormalizedEditSimilarity("a", "b"), 0.0);
+  EXPECT_NEAR(NormalizedEditSimilarity("kitten", "sitting"), 1.0 - 3.0 / 7.0,
+              1e-12);
+}
+
+TEST(JaroTest, KnownValues) {
+  EXPECT_DOUBLE_EQ(JaroSimilarity("abc", "abc"), 1.0);
+  EXPECT_DOUBLE_EQ(JaroSimilarity("", "abc"), 0.0);
+  EXPECT_DOUBLE_EQ(JaroSimilarity("abc", "xyz"), 0.0);
+  // Classic example: MARTHA vs MARHTA = 0.944...
+  EXPECT_NEAR(JaroSimilarity("martha", "marhta"), 0.944444, 1e-5);
+}
+
+TEST(JaroWinklerTest, PrefixBoostAndWellDefinedness) {
+  const double jaro = JaroSimilarity("martha", "marhta");
+  const double jw = JaroWinklerSimilarity("martha", "marhta");
+  EXPECT_GT(jw, jaro);  // shared prefix boosts
+  // Well-definedness: exactly 1 only for identical strings.
+  EXPECT_DOUBLE_EQ(JaroWinklerSimilarity("same", "same"), 1.0);
+  EXPECT_LT(JaroWinklerSimilarity("ab", "abx"), 1.0);
+}
+
+TEST(LabelSimKindTest, DispatchMatchesDirectCalls) {
+  EXPECT_DOUBLE_EQ(StringSimilarity(LabelSimKind::kIndicator, "a", "a"), 1.0);
+  EXPECT_DOUBLE_EQ(StringSimilarity(LabelSimKind::kIndicator, "a", "b"), 0.0);
+  EXPECT_DOUBLE_EQ(StringSimilarity(LabelSimKind::kEditDistance, "ab", "ab"),
+                   1.0);
+  EXPECT_DOUBLE_EQ(
+      StringSimilarity(LabelSimKind::kJaroWinkler, "graph", "graph"), 1.0);
+  EXPECT_STREQ(LabelSimKindName(LabelSimKind::kJaroWinkler), "L_J");
+}
+
+TEST(LabelSimilarityCacheTest, IndicatorNeedsNoMatrix) {
+  LabelDict dict;
+  LabelId a = dict.Intern("alpha");
+  LabelId b = dict.Intern("beta");
+  LabelSimilarityCache cache(dict, LabelSimKind::kIndicator);
+  EXPECT_DOUBLE_EQ(cache.Sim(a, a), 1.0);
+  EXPECT_DOUBLE_EQ(cache.Sim(a, b), 0.0);
+}
+
+TEST(LabelSimilarityCacheTest, MatrixMatchesDirectComputation) {
+  LabelDict dict;
+  LabelId a = dict.Intern("health");
+  LabelId b = dict.Intern("wealth");
+  LabelId c = dict.Intern("parenting");
+  LabelSimilarityCache cache(dict, LabelSimKind::kEditDistance);
+  EXPECT_NEAR(cache.Sim(a, b), NormalizedEditSimilarity("health", "wealth"),
+              1e-6);
+  EXPECT_NEAR(cache.Sim(b, c), NormalizedEditSimilarity("wealth", "parenting"),
+              1e-6);
+  EXPECT_DOUBLE_EQ(cache.Sim(c, c), 1.0);
+  // Symmetry of the cached matrix.
+  EXPECT_DOUBLE_EQ(cache.Sim(a, c), cache.Sim(c, a));
+}
+
+TEST(LabelSimilarityCacheTest, CompatibleAppliesTheta) {
+  LabelDict dict;
+  LabelId a = dict.Intern("aa");
+  LabelId b = dict.Intern("ab");
+  LabelSimilarityCache cache(dict, LabelSimKind::kEditDistance);
+  // Sim(aa, ab) = 0.5.
+  EXPECT_TRUE(cache.Compatible(a, b, 0.0));   // theta 0 admits everything
+  EXPECT_TRUE(cache.Compatible(a, b, 0.5));
+  EXPECT_FALSE(cache.Compatible(a, b, 0.6));
+  EXPECT_TRUE(cache.Compatible(a, a, 1.0));
+}
+
+// ------------------------------------------------------- Greedy matching --
+
+TEST(GreedyMatchingTest, PicksHeaviestCompatibleEdges) {
+  std::vector<WeightedEdge> edges = {
+      {0, 0, 0.9}, {0, 1, 0.8}, {1, 0, 0.7}, {1, 1, 0.1}};
+  std::vector<std::pair<uint32_t, uint32_t>> pairs;
+  double total = GreedyMaxWeightMatching(edges, 2, 2, &pairs);
+  EXPECT_DOUBLE_EQ(total, 1.0);  // (0,0)+(1,1)
+  ASSERT_EQ(pairs.size(), 2u);
+  EXPECT_EQ(pairs[0], (std::pair<uint32_t, uint32_t>{0, 0}));
+  EXPECT_EQ(pairs[1], (std::pair<uint32_t, uint32_t>{1, 1}));
+}
+
+TEST(GreedyMatchingTest, DeterministicTieBreak) {
+  std::vector<WeightedEdge> edges = {{1, 1, 0.5}, {0, 0, 0.5}, {0, 1, 0.5}};
+  std::vector<std::pair<uint32_t, uint32_t>> pairs;
+  GreedyMaxWeightMatching(edges, 2, 2, &pairs);
+  // Ties break by (left, right): (0,0) first, then (1,1).
+  ASSERT_EQ(pairs.size(), 2u);
+  EXPECT_EQ(pairs[0], (std::pair<uint32_t, uint32_t>{0, 0}));
+  EXPECT_EQ(pairs[1], (std::pair<uint32_t, uint32_t>{1, 1}));
+}
+
+TEST(GreedyMatchingTest, EmptyEdgesGiveZero) {
+  EXPECT_DOUBLE_EQ(
+      GreedyMaxWeightMatching(std::vector<WeightedEdge>{}, 3, 3), 0.0);
+}
+
+TEST(GreedyMatchingTest, RespectsInjectivity) {
+  std::vector<WeightedEdge> edges = {{0, 0, 1.0}, {1, 0, 1.0}, {2, 0, 1.0}};
+  std::vector<std::pair<uint32_t, uint32_t>> pairs;
+  double total = GreedyMaxWeightMatching(edges, 3, 1, &pairs);
+  EXPECT_DOUBLE_EQ(total, 1.0);
+  EXPECT_EQ(pairs.size(), 1u);
+}
+
+// ------------------------------------------------------------- Hungarian --
+
+TEST(HungarianTest, SolvesSmallAssignment) {
+  // Greedy would pick 0.9 then be stuck with 0.1 (total 1.0); optimal pairs
+  // 0.8 + 0.7 = 1.5.
+  std::vector<std::vector<double>> w = {{0.9, 0.8}, {0.7, 0.1}};
+  std::vector<int> assignment;
+  double total = HungarianMaxWeightMatching(w, &assignment);
+  EXPECT_DOUBLE_EQ(total, 1.5);
+  EXPECT_EQ(assignment[0], 1);
+  EXPECT_EQ(assignment[1], 0);
+}
+
+TEST(HungarianTest, RectangularMatrices) {
+  std::vector<std::vector<double>> wide = {{1.0, 2.0, 3.0}};
+  EXPECT_DOUBLE_EQ(HungarianMaxWeightMatching(wide), 3.0);
+  std::vector<std::vector<double>> tall = {{1.0}, {2.0}, {3.0}};
+  EXPECT_DOUBLE_EQ(HungarianMaxWeightMatching(tall), 3.0);
+}
+
+TEST(HungarianTest, EmptyMatrix) {
+  EXPECT_DOUBLE_EQ(HungarianMaxWeightMatching({}), 0.0);
+  EXPECT_DOUBLE_EQ(HungarianMaxWeightMatching({{}, {}}), 0.0);
+}
+
+TEST(HungarianTest, ZeroWeightsLeaveUnmatched) {
+  std::vector<std::vector<double>> w = {{0.0, 0.0}, {0.0, 0.5}};
+  std::vector<int> assignment;
+  EXPECT_DOUBLE_EQ(HungarianMaxWeightMatching(w, &assignment), 0.5);
+  EXPECT_EQ(assignment[0], -1);
+  EXPECT_EQ(assignment[1], 1);
+}
+
+/// Randomized sweep: Hungarian >= greedy >= Hungarian / 2 (the classic
+/// ½-approximation bound), over random bipartite weight matrices.
+class MatchingApproximation : public ::testing::TestWithParam<int> {};
+
+TEST_P(MatchingApproximation, GreedyIsHalfApproximation) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 7919 + 3);
+  const size_t rows = 1 + rng.NextBounded(8);
+  const size_t cols = 1 + rng.NextBounded(8);
+  std::vector<std::vector<double>> w(rows, std::vector<double>(cols));
+  std::vector<WeightedEdge> edges;
+  for (size_t i = 0; i < rows; ++i) {
+    for (size_t j = 0; j < cols; ++j) {
+      w[i][j] = rng.NextBernoulli(0.3) ? 0.0 : rng.NextDouble();
+      if (w[i][j] > 0.0) {
+        edges.push_back({static_cast<uint32_t>(i), static_cast<uint32_t>(j),
+                         w[i][j]});
+      }
+    }
+  }
+  const double optimal = HungarianMaxWeightMatching(w);
+  const double greedy = GreedyMaxWeightMatching(edges, rows, cols);
+  EXPECT_LE(greedy, optimal + 1e-9);
+  EXPECT_GE(greedy, optimal / 2.0 - 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomInstances, MatchingApproximation,
+                         ::testing::Range(0, 50));
+
+/// Brute-force maximum-weight matching by enumerating all injective
+/// row->column assignments (exponential; oracle for tiny instances).
+double BruteForceMatching(const std::vector<std::vector<double>>& w,
+                          std::vector<int>* assignment, size_t row,
+                          std::vector<char>* used) {
+  if (row == w.size()) return 0.0;
+  // Option 1: leave this row unmatched.
+  double best = BruteForceMatching(w, assignment, row + 1, used);
+  for (size_t col = 0; col < w[row].size(); ++col) {
+    if ((*used)[col]) continue;
+    (*used)[col] = 1;
+    best = std::max(best, w[row][col] +
+                              BruteForceMatching(w, assignment, row + 1, used));
+    (*used)[col] = 0;
+  }
+  return best;
+}
+
+class HungarianOracle : public ::testing::TestWithParam<int> {};
+
+TEST_P(HungarianOracle, MatchesBruteForceOnTinyInstances) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 104729 + 17);
+  const size_t rows = 1 + rng.NextBounded(5);
+  const size_t cols = 1 + rng.NextBounded(5);
+  std::vector<std::vector<double>> w(rows, std::vector<double>(cols));
+  for (auto& row : w) {
+    for (auto& x : row) x = rng.NextBernoulli(0.2) ? 0.0 : rng.NextDouble();
+  }
+  std::vector<char> used(cols, 0);
+  const double oracle = BruteForceMatching(w, nullptr, 0, &used);
+  const double hungarian = HungarianMaxWeightMatching(w);
+  EXPECT_NEAR(hungarian, oracle, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomInstances, HungarianOracle,
+                         ::testing::Range(0, 40));
+
+// ---------------------------------------------------- Bipartite matching --
+
+TEST(BipartiteMatchingTest, PerfectMatchingFound) {
+  // K_{2,2} minus one edge still has a perfect matching.
+  std::vector<std::vector<uint32_t>> adj = {{0, 1}, {0}};
+  std::vector<int> match;
+  EXPECT_EQ(MaxBipartiteMatching(adj, 2, &match), 2u);
+  EXPECT_EQ(match[1], 0);
+  EXPECT_EQ(match[0], 1);
+}
+
+TEST(BipartiteMatchingTest, AugmentingPathReassigns) {
+  // Left 0 prefers right 0; left 1 can only use right 0 -> augmenting path
+  // moves left 0 to right 1.
+  std::vector<std::vector<uint32_t>> adj = {{0, 1}, {0}};
+  EXPECT_EQ(MaxBipartiteMatching(adj, 2), 2u);
+}
+
+TEST(BipartiteMatchingTest, DeficientSide) {
+  std::vector<std::vector<uint32_t>> adj = {{0}, {0}, {0}};
+  EXPECT_EQ(MaxBipartiteMatching(adj, 1), 1u);
+}
+
+TEST(BipartiteMatchingTest, NoEdges) {
+  std::vector<std::vector<uint32_t>> adj = {{}, {}};
+  EXPECT_EQ(MaxBipartiteMatching(adj, 3), 0u);
+}
+
+TEST(BipartiteMatchingTest, MatchesHungarianCardinalityOnUnitWeights) {
+  Rng rng(31);
+  for (int trial = 0; trial < 30; ++trial) {
+    const size_t rows = 1 + rng.NextBounded(7);
+    const size_t cols = 1 + rng.NextBounded(7);
+    std::vector<std::vector<uint32_t>> adj(rows);
+    std::vector<std::vector<double>> w(rows, std::vector<double>(cols, 0.0));
+    for (size_t i = 0; i < rows; ++i) {
+      for (size_t j = 0; j < cols; ++j) {
+        if (rng.NextBernoulli(0.4)) {
+          adj[i].push_back(static_cast<uint32_t>(j));
+          w[i][j] = 1.0;
+        }
+      }
+    }
+    const size_t kuhn = MaxBipartiteMatching(adj, cols);
+    const double hungarian = HungarianMaxWeightMatching(w);
+    EXPECT_NEAR(static_cast<double>(kuhn), hungarian, 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace fsim

@@ -1,0 +1,267 @@
+// Tests for Kendall's τ-b (eval/metrics.h) — validated against a brute-force
+// O(n²) pair count — and for the RDF-style triple reification loader
+// (graph/triples.h).
+#include <cmath>
+#include <vector>
+
+#include "common/random.h"
+#include "core/fsim_engine.h"
+#include "eval/metrics.h"
+#include "exact/exact_simulation.h"
+#include "graph/triples.h"
+#include "gtest/gtest.h"
+#include "test_graphs.h"
+
+namespace fsim {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Kendall's tau
+// ---------------------------------------------------------------------------
+
+// O(n^2) reference implementation of tau-b.
+double KendallTauBrute(const std::vector<double>& x,
+                       const std::vector<double>& y) {
+  const size_t n = x.size();
+  int64_t concordant = 0, discordant = 0;
+  int64_t ties_x = 0, ties_y = 0;
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      const double dx = x[i] - x[j];
+      const double dy = y[i] - y[j];
+      if (dx == 0.0 && dy == 0.0) {
+        ++ties_x;
+        ++ties_y;
+      } else if (dx == 0.0) {
+        ++ties_x;
+      } else if (dy == 0.0) {
+        ++ties_y;
+      } else if (dx * dy > 0.0) {
+        ++concordant;
+      } else {
+        ++discordant;
+      }
+    }
+  }
+  const double n0 = static_cast<double>(n) * (n - 1) / 2.0;
+  const double denom_x = n0 - static_cast<double>(ties_x);
+  const double denom_y = n0 - static_cast<double>(ties_y);
+  if (denom_x <= 0.0 || denom_y <= 0.0) return 0.0;
+  return static_cast<double>(concordant - discordant) /
+         std::sqrt(denom_x * denom_y);
+}
+
+TEST(KendallTau, PerfectAgreementIsOne) {
+  std::vector<double> x = {0.1, 0.5, 0.2, 0.9, 0.7};
+  EXPECT_DOUBLE_EQ(KendallTau(x, x), 1.0);
+}
+
+TEST(KendallTau, PerfectReversalIsMinusOne) {
+  std::vector<double> x = {1, 2, 3, 4, 5};
+  std::vector<double> y = {5, 4, 3, 2, 1};
+  EXPECT_DOUBLE_EQ(KendallTau(x, y), -1.0);
+}
+
+TEST(KendallTau, ConstantSampleIsZero) {
+  std::vector<double> x = {1, 2, 3};
+  std::vector<double> y = {7, 7, 7};
+  EXPECT_DOUBLE_EQ(KendallTau(x, y), 0.0);
+  EXPECT_DOUBLE_EQ(KendallTau(y, x), 0.0);
+}
+
+TEST(KendallTau, TinySamples) {
+  EXPECT_DOUBLE_EQ(KendallTau({}, {}), 0.0);
+  EXPECT_DOUBLE_EQ(KendallTau({1.0}, {2.0}), 0.0);
+  EXPECT_DOUBLE_EQ(KendallTau({1.0, 2.0}, {3.0, 4.0}), 1.0);
+  EXPECT_DOUBLE_EQ(KendallTau({1.0, 2.0}, {4.0, 3.0}), -1.0);
+}
+
+TEST(KendallTau, MatchesBruteForceOnRandomSamples) {
+  Rng rng(0xC0FFEE);
+  for (int trial = 0; trial < 20; ++trial) {
+    const size_t n = 3 + rng.NextBounded(60);
+    std::vector<double> x(n), y(n);
+    for (size_t i = 0; i < n; ++i) {
+      // Coarse grid so ties actually occur.
+      x[i] = static_cast<double>(rng.NextBounded(8)) / 8.0;
+      y[i] = static_cast<double>(rng.NextBounded(8)) / 8.0;
+    }
+    EXPECT_NEAR(KendallTau(x, y), KendallTauBrute(x, y), 1e-12)
+        << "trial " << trial << " n=" << n;
+  }
+}
+
+TEST(KendallTau, SymmetricInArguments) {
+  Rng rng(0xFACE);
+  std::vector<double> x(40), y(40);
+  for (size_t i = 0; i < x.size(); ++i) {
+    x[i] = rng.NextDouble();
+    y[i] = rng.NextDouble();
+  }
+  EXPECT_NEAR(KendallTau(x, y), KendallTau(y, x), 1e-12);
+}
+
+TEST(KendallTau, ScoreContainerVariant) {
+  auto pair = ::fsim::testing::MakeRandomPair(171);
+  FSimConfig config;
+  auto a = ComputeFSim(pair.g1, pair.g2, config);
+  ASSERT_TRUE(a.ok());
+  // Self-agreement is perfect rank agreement.
+  EXPECT_DOUBLE_EQ(KendallTauScores(*a, *a), 1.0);
+  // Against a differently-parameterized run: high but not perfect, and
+  // within [-1, 1].
+  config.w_out = 0.2;
+  config.w_in = 0.2;
+  auto b = ComputeFSim(pair.g1, pair.g2, config);
+  ASSERT_TRUE(b.ok());
+  const double tau = KendallTauScores(*a, *b);
+  EXPECT_GT(tau, 0.3);
+  EXPECT_LE(tau, 1.0);
+}
+
+// ---------------------------------------------------------------------------
+// Triple reification
+// ---------------------------------------------------------------------------
+
+constexpr const char* kTinyRdf = R"(
+# people and employers
+n alice Person
+n bob Person
+n acme Company
+t alice worksFor acme
+t bob worksFor acme
+t alice knows bob
+)";
+
+TEST(Triples, ParsesEntitiesAndReifiesPredicates) {
+  auto result = LoadTriplesFromString(kTinyRdf);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->num_triples, 3u);
+  EXPECT_EQ(result->entities.size(), 3u);
+  // 3 entities + 3 reified predicate nodes.
+  EXPECT_EQ(result->graph.NumNodes(), 6u);
+  EXPECT_EQ(result->graph.NumEdges(), 6u);
+
+  const NodeId alice = result->entities.at("alice");
+  const NodeId acme = result->entities.at("acme");
+  EXPECT_EQ(result->graph.LabelName(alice), "Person");
+  EXPECT_EQ(result->graph.LabelName(acme), "Company");
+
+  // alice -> r -> acme with r labeled "rel:worksFor".
+  bool found = false;
+  for (NodeId r : result->graph.OutNeighbors(alice)) {
+    if (result->graph.LabelName(r) == "rel:worksFor" &&
+        result->graph.HasEdge(r, acme)) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Triples, UndeclaredEntitiesGetDefaultLabel) {
+  auto result = LoadTriplesFromString("t x likes y\n");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->graph.LabelName(result->entities.at("x")), "entity");
+  EXPECT_EQ(result->graph.LabelName(result->entities.at("y")), "entity");
+}
+
+TEST(Triples, DuplicateTriplesCollapse) {
+  auto result = LoadTriplesFromString(
+      "t a p b\n"
+      "t a p b\n"
+      "t a p b\n");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->num_triples, 1u);
+  EXPECT_EQ(result->graph.NumNodes(), 3u);  // a, b, one reified p
+}
+
+TEST(Triples, SelfLoopsAndParallelPredicatesAreDistinct) {
+  auto result = LoadTriplesFromString(
+      "t a p a\n"
+      "t a q a\n");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->num_triples, 2u);
+  EXPECT_EQ(result->graph.NumNodes(), 3u);  // a + two reified nodes
+}
+
+TEST(Triples, MalformedRecordsReportLineNumbers) {
+  auto bad_arity = LoadTriplesFromString("t a p\n");
+  ASSERT_FALSE(bad_arity.ok());
+  EXPECT_TRUE(bad_arity.status().IsInvalidArgument());
+  EXPECT_NE(bad_arity.status().message().find("line 1"), std::string::npos);
+
+  auto bad_type = LoadTriplesFromString("# fine\nq a b c\n");
+  ASSERT_FALSE(bad_type.ok());
+  EXPECT_NE(bad_type.status().message().find("line 2"), std::string::npos);
+
+  auto bad_decl = LoadTriplesFromString("n onlyname\n");
+  ASSERT_FALSE(bad_decl.ok());
+  EXPECT_TRUE(bad_decl.status().IsInvalidArgument());
+}
+
+TEST(Triples, CustomOptionsControlLabels) {
+  ReifyOptions options;
+  options.default_entity_label = "thing";
+  options.predicate_label_prefix = "";
+  auto result = LoadTriplesFromString("t a p b\n", options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->graph.LabelName(result->entities.at("a")), "thing");
+  // The reified node is the one that is neither a nor b.
+  const NodeId a = result->entities.at("a");
+  const NodeId r = result->graph.OutNeighbors(a)[0];
+  EXPECT_EQ(result->graph.LabelName(r), "p");
+}
+
+TEST(Triples, SharedDictEnablesCrossGraphSimulation) {
+  // Two versions of a tiny knowledge graph; edge labels must distinguish
+  // worksFor from knows, which plain node-labeled encoding would lose.
+  auto dict = std::make_shared<LabelDict>();
+  auto v1 = LoadTriplesFromString(
+      "n alice Person\nn acme Company\nt alice worksFor acme\n", {}, dict);
+  auto v2 = LoadTriplesFromString(
+      "n alice Person\nn acme Company\nt alice knows acme\n", {}, dict);
+  ASSERT_TRUE(v1.ok() && v2.ok());
+
+  // alice@v1 is NOT simulated by alice@v2: her worksFor relationship has no
+  // counterpart (the predicates differ).
+  BinaryRelation rel =
+      MaxSimulation(v1->graph, v2->graph, SimVariant::kSimple);
+  EXPECT_FALSE(
+      rel.Contains(v1->entities.at("alice"), v2->entities.at("alice")));
+
+  // With identical predicates, she is.
+  auto v3 = LoadTriplesFromString(
+      "n alice Person\nn acme Company\nt alice worksFor acme\n", {}, dict);
+  BinaryRelation rel2 =
+      MaxSimulation(v1->graph, v3->graph, SimVariant::kSimple);
+  EXPECT_TRUE(
+      rel2.Contains(v1->entities.at("alice"), v3->entities.at("alice")));
+}
+
+TEST(Triples, FractionalScoresQuantifyPredicateOverlap) {
+  auto dict = std::make_shared<LabelDict>();
+  // alice has 3 relations; bob shares 2 of them.
+  auto ga = LoadTriplesFromString(
+      "t alice worksFor acme\nt alice knows carol\nt alice owns car\n", {},
+      dict);
+  auto gb = LoadTriplesFromString(
+      "t bob worksFor acme\nt bob knows carol\n", {}, dict);
+  ASSERT_TRUE(ga.ok() && gb.ok());
+  FSimConfig config;
+  config.variant = SimVariant::kSimple;
+  auto scores = ComputeFSim(ga->graph, gb->graph, config);
+  ASSERT_TRUE(scores.ok());
+  const double sim = scores->Score(ga->entities.at("alice"),
+                                   gb->entities.at("bob"));
+  EXPECT_GT(sim, 0.5);  // substantial overlap
+  EXPECT_LT(sim, 1.0);  // but not full simulation (owns is uncovered)
+}
+
+TEST(Triples, MissingFileIsIOError) {
+  auto result = LoadTriplesFromFile("/nonexistent/data.ttl");
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsIOError());
+}
+
+}  // namespace
+}  // namespace fsim

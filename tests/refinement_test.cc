@@ -1,0 +1,439 @@
+// Tests for the splitter-queue partition refinement
+// (exact/partition_refinement.h) — cross-validated against the independent
+// signature refinement, WL colors and the greatest-fixpoint exact checkers —
+// and for weak simulation (exact/weak_simulation.h).
+#include <algorithm>
+
+#include "exact/exact_simulation.h"
+#include "exact/partition_refinement.h"
+#include "exact/signatures.h"
+#include "core/fsim_variants.h"
+#include "exact/bounded_simulation.h"
+#include "exact/weak_simulation.h"
+#include "gtest/gtest.h"
+#include "test_graphs.h"
+
+namespace fsim {
+namespace {
+
+using ::fsim::testing::MakeRandomPair;
+
+// True if the two block assignments induce the same equivalence relation.
+bool SamePartition(const std::vector<uint32_t>& a,
+                   const std::vector<uint64_t>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t u = 0; u < a.size(); ++u) {
+    for (size_t v = u + 1; v < a.size(); ++v) {
+      if ((a[u] == a[v]) != (b[u] == b[v])) return false;
+    }
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Partition refinement: hand-built cases
+// ---------------------------------------------------------------------------
+
+TEST(PartitionRefinement, EmptyGraph) {
+  Graph g;
+  Partition p = BisimulationPartition(g);
+  EXPECT_EQ(p.num_blocks, 0u);
+  EXPECT_TRUE(p.block_of.empty());
+}
+
+TEST(PartitionRefinement, EdgelessNodesGroupByLabel) {
+  GraphBuilder b;
+  b.AddNode("x");
+  b.AddNode("y");
+  b.AddNode("x");
+  b.AddNode("y");
+  Graph g = std::move(b).BuildOrDie();
+  Partition p = BisimulationPartition(g);
+  EXPECT_EQ(p.num_blocks, 2u);
+  EXPECT_TRUE(p.SameBlock(0, 2));
+  EXPECT_TRUE(p.SameBlock(1, 3));
+  EXPECT_FALSE(p.SameBlock(0, 1));
+}
+
+TEST(PartitionRefinement, UniformCycleIsOneBlock) {
+  // All nodes of a same-label directed cycle are bisimilar.
+  GraphBuilder b;
+  for (int i = 0; i < 5; ++i) b.AddNode("x");
+  for (NodeId i = 0; i < 5; ++i) b.AddEdge(i, (i + 1) % 5);
+  Graph g = std::move(b).BuildOrDie();
+  Partition p = BisimulationPartition(g);
+  EXPECT_EQ(p.num_blocks, 1u);
+}
+
+TEST(PartitionRefinement, PathSplitsByPosition) {
+  // a -> b -> c (all label x): a (no in), b (both), c (no out) are mutually
+  // non-bisimilar once in-neighbors count.
+  GraphBuilder b;
+  for (int i = 0; i < 3; ++i) b.AddNode("x");
+  b.AddEdge(0, 1);
+  b.AddEdge(1, 2);
+  Graph g = std::move(b).BuildOrDie();
+  Partition p = BisimulationPartition(g);
+  EXPECT_EQ(p.num_blocks, 3u);
+
+  // Out-neighbors only: a and b both step to an "x that can step"... the
+  // refinement separates c (no out-edge) from a and b; a and b stay together
+  // only if their out-targets stay together, which they do not (b's target
+  // is c). So 3 blocks again — but via a different refinement path.
+  Partition out_only = CoarsestStablePartition(
+      g, RefinementSemantics::kSet, /*use_in_neighbors=*/false);
+  EXPECT_EQ(out_only.num_blocks, 3u);
+}
+
+TEST(PartitionRefinement, CountingSeparatesWhereSetDoesNot) {
+  // Hub with two same-label leaves vs hub with one leaf: set-stable keeps
+  // the hubs together, counting-stable splits them.
+  GraphBuilder b;
+  NodeId h1 = b.AddNode("hub");
+  NodeId h2 = b.AddNode("hub");
+  NodeId l1 = b.AddNode("leaf");
+  NodeId l2 = b.AddNode("leaf");
+  NodeId l3 = b.AddNode("leaf");
+  b.AddEdge(h1, l1);
+  b.AddEdge(h1, l2);
+  b.AddEdge(h2, l3);
+  Graph g = std::move(b).BuildOrDie();
+
+  Partition set_p =
+      CoarsestStablePartition(g, RefinementSemantics::kSet, false);
+  EXPECT_TRUE(set_p.SameBlock(h1, h2));
+
+  Partition count_p =
+      CoarsestStablePartition(g, RefinementSemantics::kCounting, false);
+  EXPECT_FALSE(count_p.SameBlock(h1, h2));
+  // Counting refines set: same counting block implies same set block.
+  for (NodeId u = 0; u < g.NumNodes(); ++u) {
+    for (NodeId v = 0; v < g.NumNodes(); ++v) {
+      if (count_p.SameBlock(u, v)) {
+        EXPECT_TRUE(set_p.SameBlock(u, v));
+      }
+    }
+  }
+}
+
+TEST(PartitionRefinement, DeterministicAcrossRuns) {
+  auto pair = MakeRandomPair(41, 20, 20, 4);
+  Partition p1 = BisimulationPartition(pair.g1);
+  Partition p2 = BisimulationPartition(pair.g1);
+  EXPECT_EQ(p1.block_of, p2.block_of);
+  EXPECT_EQ(p1.num_blocks, p2.num_blocks);
+}
+
+// ---------------------------------------------------------------------------
+// Partition refinement: cross-validation against independent implementations
+// ---------------------------------------------------------------------------
+
+TEST(PartitionRefinement, SetSemanticsMatchesSignatureRefinement) {
+  for (uint64_t seed : {51u, 52u, 53u, 54u}) {
+    auto pair = MakeRandomPair(seed, 16, 16, 3);
+    const Graph& g = pair.g1;
+    Partition p = BisimulationPartition(g);
+    auto classes = BisimulationClasses(g, g, /*use_in_neighbors=*/true);
+    EXPECT_TRUE(SamePartition(p.block_of, classes.first)) << "seed " << seed;
+  }
+}
+
+TEST(PartitionRefinement, SetSemanticsMatchesExactBisimulation) {
+  for (uint64_t seed : {61u, 62u, 63u}) {
+    auto pair = MakeRandomPair(seed, 12, 12, 2);
+    const Graph& g = pair.g1;
+    Partition p = BisimulationPartition(g);
+    BinaryRelation rel = MaxSimulation(g, g, SimVariant::kBi);
+    for (NodeId u = 0; u < g.NumNodes(); ++u) {
+      for (NodeId v = 0; v < g.NumNodes(); ++v) {
+        EXPECT_EQ(p.SameBlock(u, v), rel.Contains(u, v))
+            << "seed " << seed << " (" << u << ", " << v << ")";
+      }
+    }
+  }
+}
+
+TEST(PartitionRefinement, CountingSemanticsMatchesExactBijective) {
+  for (uint64_t seed : {71u, 72u, 73u}) {
+    auto pair = MakeRandomPair(seed, 12, 12, 2);
+    const Graph& g = pair.g1;
+    Partition p =
+        CoarsestStablePartition(g, RefinementSemantics::kCounting, true);
+    BinaryRelation rel = MaxSimulation(g, g, SimVariant::kBijective);
+    for (NodeId u = 0; u < g.NumNodes(); ++u) {
+      for (NodeId v = 0; v < g.NumNodes(); ++v) {
+        EXPECT_EQ(p.SameBlock(u, v), rel.Contains(u, v))
+            << "seed " << seed << " (" << u << ", " << v << ")";
+      }
+    }
+  }
+}
+
+// Symmetric closure with real reverse adjacency: both directions of every
+// edge. (Graph::AsUndirected leaves the in-neighbor lists empty, which WL
+// never reads but the splitter search does.)
+Graph Symmetrized(const Graph& g) {
+  GraphBuilder b(g.dict());
+  for (NodeId u = 0; u < g.NumNodes(); ++u) b.AddNodeWithLabelId(g.Label(u));
+  for (NodeId u = 0; u < g.NumNodes(); ++u) {
+    for (NodeId w : g.OutNeighbors(u)) {
+      b.AddEdge(u, w);
+      b.AddEdge(w, u);
+    }
+  }
+  return std::move(b).BuildOrDie();
+}
+
+TEST(PartitionRefinement, CountingOnUndirectedMatchesWLColors) {
+  for (uint64_t seed : {81u, 82u, 83u, 84u}) {
+    auto pair = MakeRandomPair(seed, 16, 16, 3);
+    Graph sym = Symmetrized(pair.g1);
+    Partition p = CoarsestStablePartition(
+        sym, RefinementSemantics::kCounting, /*use_in_neighbors=*/false);
+    // WL reads out-neighbors, which in the symmetric closure equal the
+    // undirected neighbor sets.
+    std::vector<uint64_t> colors = WLColors(sym);
+    EXPECT_TRUE(SamePartition(p.block_of, colors)) << "seed " << seed;
+  }
+}
+
+TEST(PartitionRefinement, CountingRefinesSetOnRandomGraphs) {
+  for (uint64_t seed : {91u, 92u}) {
+    auto pair = MakeRandomPair(seed, 18, 18, 3);
+    const Graph& g = pair.g1;
+    Partition set_p =
+        CoarsestStablePartition(g, RefinementSemantics::kSet, true);
+    Partition count_p =
+        CoarsestStablePartition(g, RefinementSemantics::kCounting, true);
+    EXPECT_GE(count_p.num_blocks, set_p.num_blocks);
+    for (NodeId u = 0; u < g.NumNodes(); ++u) {
+      for (NodeId v = 0; v < g.NumNodes(); ++v) {
+        if (count_p.SameBlock(u, v)) {
+          EXPECT_TRUE(set_p.SameBlock(u, v)) << "seed " << seed;
+        }
+      }
+    }
+  }
+}
+
+TEST(PartitionRefinement, ReportsSplitterWork) {
+  auto pair = MakeRandomPair(95, 20, 20, 4);
+  Partition p = BisimulationPartition(pair.g1);
+  EXPECT_GT(p.splitters_processed, 0u);
+  EXPECT_LE(p.num_blocks, pair.g1.NumNodes());
+}
+
+// ---------------------------------------------------------------------------
+// Weak simulation
+// ---------------------------------------------------------------------------
+
+TEST(WeakSimulation, EmptyInternalSetEqualsSimpleSimulation) {
+  for (uint64_t seed : {101u, 102u, 103u}) {
+    auto pair = MakeRandomPair(seed);
+    std::vector<uint8_t> mask1(pair.g1.NumNodes(), 0);
+    std::vector<uint8_t> mask2(pair.g2.NumNodes(), 0);
+    auto weak = MaxWeakSimulation(pair.g1, mask1, pair.g2, mask2);
+    ASSERT_TRUE(weak.ok()) << weak.status().ToString();
+    BinaryRelation simple =
+        MaxSimulation(pair.g1, pair.g2, SimVariant::kSimple);
+    for (NodeId u = 0; u < pair.g1.NumNodes(); ++u) {
+      for (NodeId v = 0; v < pair.g2.NumNodes(); ++v) {
+        EXPECT_EQ(weak->Contains(u, v), simple.Contains(u, v))
+            << "seed " << seed;
+      }
+    }
+  }
+}
+
+TEST(WeakSimulation, InternalDetourIsTransparent) {
+  // g1: a -> w directly. g2: b -> i -> w' with i internal. With τ = {"int"},
+  // b weakly simulates a (and vice versa on the observable part).
+  GraphBuilder builder;
+  NodeId a = builder.AddNode("src");
+  NodeId w1 = builder.AddNode("obs");
+  builder.AddEdge(a, w1);
+  Graph g1 = std::move(builder).BuildOrDie();
+
+  GraphBuilder builder2(g1.dict());
+  NodeId bnode = builder2.AddNode("src");
+  NodeId inode = builder2.AddNode("int");
+  NodeId w2 = builder2.AddNode("obs");
+  builder2.AddEdge(bnode, inode);
+  builder2.AddEdge(inode, w2);
+  Graph g2 = std::move(builder2).BuildOrDie();
+
+  // Without internal labels, a is NOT simulated by b (b's neighbor is "int").
+  BinaryRelation simple = MaxSimulation(g1, g2, SimVariant::kSimple);
+  EXPECT_FALSE(simple.Contains(a, bnode));
+
+  auto mask1 = InternalMaskFromLabels(g1, {"int"});
+  auto mask2 = InternalMaskFromLabels(g2, {"int"});
+  auto weak = MaxWeakSimulation(g1, mask1, g2, mask2);
+  ASSERT_TRUE(weak.ok());
+  EXPECT_TRUE(weak->Contains(a, bnode));
+  EXPECT_TRUE(weak->Contains(w1, w2));
+}
+
+TEST(WeakSimulation, SimpleSimulationImpliesWeakSimulation) {
+  // Internality is label-determined, so any simple simulation is also a
+  // weak simulation (matched internal detours stay internal).
+  for (uint64_t seed : {111u, 112u}) {
+    auto pair = MakeRandomPair(seed, 10, 12, 3);
+    auto mask1 = InternalMaskFromLabels(pair.g1, {"L0"});
+    auto mask2 = InternalMaskFromLabels(pair.g2, {"L0"});
+    BinaryRelation simple =
+        MaxSimulation(pair.g1, pair.g2, SimVariant::kSimple);
+    auto weak = MaxWeakSimulation(pair.g1, mask1, pair.g2, mask2);
+    ASSERT_TRUE(weak.ok());
+    for (NodeId u = 0; u < pair.g1.NumNodes(); ++u) {
+      for (NodeId v = 0; v < pair.g2.NumNodes(); ++v) {
+        if (simple.Contains(u, v)) {
+          EXPECT_TRUE(weak->Contains(u, v))
+              << "seed " << seed << " (" << u << ", " << v << ")";
+        }
+      }
+    }
+  }
+}
+
+TEST(WeakSimulation, ClosureSkipsInternalChainsAndCycles) {
+  // u -> i1 -> i2 -> i1 (cycle) and i2 -> w: the closure must terminate and
+  // produce u -> w; the internal cycle contributes nothing else.
+  GraphBuilder b;
+  NodeId u = b.AddNode("src");
+  NodeId i1 = b.AddNode("int");
+  NodeId i2 = b.AddNode("int");
+  NodeId w = b.AddNode("obs");
+  b.AddEdge(u, i1);
+  b.AddEdge(i1, i2);
+  b.AddEdge(i2, i1);
+  b.AddEdge(i2, w);
+  Graph g = std::move(b).BuildOrDie();
+  auto mask = InternalMaskFromLabels(g, {"int"});
+  auto closure = WeakClosure(g, mask);
+  ASSERT_TRUE(closure.ok());
+  EXPECT_TRUE(closure->HasEdge(u, w));
+  EXPECT_FALSE(closure->HasEdge(u, i1));
+  // The internal nodes also reach w through the cycle.
+  EXPECT_TRUE(closure->HasEdge(i1, w));
+  EXPECT_TRUE(closure->HasEdge(i2, w));
+}
+
+TEST(WeakSimulation, ObservableSelfLoopFromInternalCycle) {
+  // w -> i -> w: the closure contains the self-loop w -> w.
+  GraphBuilder b;
+  NodeId w = b.AddNode("obs");
+  NodeId i = b.AddNode("int");
+  b.AddEdge(w, i);
+  b.AddEdge(i, w);
+  Graph g = std::move(b).BuildOrDie();
+  auto mask = InternalMaskFromLabels(g, {"int"});
+  auto closure = WeakClosure(g, mask);
+  ASSERT_TRUE(closure.ok());
+  EXPECT_TRUE(closure->HasEdge(w, w));
+}
+
+TEST(WeakSimulation, MaskSizeMismatchRejected) {
+  auto pair = MakeRandomPair(121);
+  std::vector<uint8_t> bad_mask(pair.g1.NumNodes() + 1, 0);
+  auto closure = WeakClosure(pair.g1, bad_mask);
+  ASSERT_FALSE(closure.ok());
+  EXPECT_TRUE(closure.status().IsInvalidArgument());
+}
+
+TEST(WeakSimulation, UnknownInternalLabelMarksNothing) {
+  auto pair = MakeRandomPair(122);
+  auto mask = InternalMaskFromLabels(pair.g1, {"no-such-label"});
+  EXPECT_EQ(std::count(mask.begin(), mask.end(), 1), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Fractional bounded / weak simulation (core/fsim_variants.h)
+// ---------------------------------------------------------------------------
+
+TEST(FractionalVariants, BoundedKOneEqualsPlainFSim) {
+  auto pair = MakeRandomPair(201);  // ER graphs: no self-loops, so the k=1
+                                    // closure is the graph itself
+  FSimConfig config;
+  auto plain = ComputeFSim(pair.g1, pair.g2, config);
+  auto bounded = ComputeFSimBounded(pair.g1, pair.g2, 1, config);
+  ASSERT_TRUE(plain.ok() && bounded.ok());
+  for (uint64_t key : plain->keys()) {
+    EXPECT_DOUBLE_EQ(plain->Score(PairFirst(key), PairSecond(key)),
+                     bounded->Score(PairFirst(key), PairSecond(key)));
+  }
+}
+
+TEST(FractionalVariants, BoundedDefinitenessMatchesExactRelation) {
+  for (uint64_t seed : {202u, 203u}) {
+    auto pair = MakeRandomPair(seed, 8, 10, 2);
+    FSimConfig config;
+    config.variant = SimVariant::kSimple;
+    config.matching = MatchingAlgo::kHungarian;
+    config.epsilon = 1e-9;
+    auto scores = ComputeFSimBounded(pair.g1, pair.g2, 2, config);
+    ASSERT_TRUE(scores.ok());
+    BinaryRelation exact = MaxBoundedSimulation(pair.g1, pair.g2, 2);
+    for (NodeId u = 0; u < pair.g1.NumNodes(); ++u) {
+      for (NodeId v = 0; v < pair.g2.NumNodes(); ++v) {
+        EXPECT_EQ(scores->Score(u, v) > 1.0 - 1e-7, exact.Contains(u, v))
+            << "seed " << seed << " (" << u << ", " << v << ")";
+      }
+    }
+  }
+}
+
+TEST(FractionalVariants, BoundedRejectsZeroK) {
+  auto pair = MakeRandomPair(204);
+  auto scores = ComputeFSimBounded(pair.g1, pair.g2, 0, FSimConfig{});
+  ASSERT_FALSE(scores.ok());
+  EXPECT_TRUE(scores.status().IsInvalidArgument());
+}
+
+TEST(FractionalVariants, WeakEmptyMaskEqualsPlainFSim) {
+  auto pair = MakeRandomPair(205);
+  std::vector<uint8_t> mask1(pair.g1.NumNodes(), 0);
+  std::vector<uint8_t> mask2(pair.g2.NumNodes(), 0);
+  FSimConfig config;
+  auto plain = ComputeFSim(pair.g1, pair.g2, config);
+  auto weak = ComputeFSimWeak(pair.g1, mask1, pair.g2, mask2, config);
+  ASSERT_TRUE(plain.ok() && weak.ok());
+  for (uint64_t key : plain->keys()) {
+    EXPECT_DOUBLE_EQ(plain->Score(PairFirst(key), PairSecond(key)),
+                     weak->Score(PairFirst(key), PairSecond(key)));
+  }
+}
+
+TEST(FractionalVariants, WeakDefinitenessMatchesExactRelation) {
+  for (uint64_t seed : {206u, 207u}) {
+    auto pair = MakeRandomPair(seed, 8, 10, 3);
+    auto mask1 = InternalMaskFromLabels(pair.g1, {"L0"});
+    auto mask2 = InternalMaskFromLabels(pair.g2, {"L0"});
+    FSimConfig config;
+    config.variant = SimVariant::kSimple;
+    config.matching = MatchingAlgo::kHungarian;
+    config.epsilon = 1e-9;
+    auto scores = ComputeFSimWeak(pair.g1, mask1, pair.g2, mask2, config);
+    ASSERT_TRUE(scores.ok());
+    auto exact = MaxWeakSimulation(pair.g1, mask1, pair.g2, mask2);
+    ASSERT_TRUE(exact.ok());
+    for (NodeId u = 0; u < pair.g1.NumNodes(); ++u) {
+      for (NodeId v = 0; v < pair.g2.NumNodes(); ++v) {
+        EXPECT_EQ(scores->Score(u, v) > 1.0 - 1e-7, exact->Contains(u, v))
+            << "seed " << seed << " (" << u << ", " << v << ")";
+      }
+    }
+  }
+}
+
+TEST(FractionalVariants, WeakMaskMismatchRejected) {
+  auto pair = MakeRandomPair(208);
+  std::vector<uint8_t> bad(pair.g1.NumNodes() + 2, 0);
+  std::vector<uint8_t> good(pair.g2.NumNodes(), 0);
+  auto scores = ComputeFSimWeak(pair.g1, bad, pair.g2, good, FSimConfig{});
+  ASSERT_FALSE(scores.ok());
+  EXPECT_TRUE(scores.status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace fsim
