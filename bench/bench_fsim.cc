@@ -1,8 +1,17 @@
 // google-benchmark end-to-end timings of ComputeFSim per variant and
 // optimization setting on the Yeast analog (the smallest Table 4 dataset) —
-// the per-iteration engine cost behind Figures 7 and 8.
+// the per-iteration engine cost behind Figures 7 and 8. The main()
+// additionally times the build/iterate phases per variant with the
+// pair-graph CSR neighbor index enabled vs the hash-lookup fallback and
+// writes BENCH_fsim.json for the perf trajectory.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "bench/bench_util.h"
 #include "core/fsim_engine.h"
 #include "datasets/dataset_registry.h"
 
@@ -69,7 +78,66 @@ BENCHMARK(BM_FSimMatchingAlgo)
     ->ArgName("hungarian")
     ->Unit(benchmark::kMillisecond);
 
+/// Phase-timing comparison: per χ variant, one run on the CSR neighbor
+/// index and one on the hash-lookup fallback, with the scores
+/// cross-checked. Written to BENCH_fsim.json.
+void RunPhaseTimings() {
+  const Graph& g = Yeast();
+  bench::PhaseTimingsJson json;
+  std::printf("\nvariant  path      build      iterate    speedup\n");
+  for (SimVariant variant :
+       {SimVariant::kSimple, SimVariant::kDegreePreserving, SimVariant::kBi,
+        SimVariant::kBijective}) {
+    FSimConfig config = BaseConfig(variant);
+    config.theta = 1.0;
+
+    config.neighbor_index_budget_bytes = 1ULL << 30;
+    auto indexed = ComputeFSim(g, g, config);
+    config.neighbor_index_budget_bytes = 0;
+    auto fallback = ComputeFSim(g, g, config);
+    if (!indexed.ok() || !fallback.ok()) {
+      std::fprintf(stderr, "fatal: phase-timing run failed\n");
+      std::abort();
+    }
+    double max_diff = 0.0;
+    for (size_t i = 0; i < indexed->values().size(); ++i) {
+      max_diff = std::max(max_diff, std::abs(indexed->values()[i] -
+                                             fallback->values()[i]));
+    }
+    if (!indexed->stats().used_neighbor_index || max_diff > 1e-12) {
+      std::fprintf(stderr,
+                   "fatal: indexed/fallback mismatch (indexed=%d diff=%g)\n",
+                   indexed->stats().used_neighbor_index, max_diff);
+      std::abort();
+    }
+
+    const char* name = SimVariantName(variant);
+    json.Add(std::string(name) + "/indexed", indexed->stats());
+    json.Add(std::string(name) + "/fallback", fallback->stats());
+    std::printf("%-8s indexed   %-10s %-10s %.2fx\n", name,
+                bench::FormatSeconds(indexed->stats().build_seconds).c_str(),
+                bench::FormatSeconds(indexed->stats().iterate_seconds).c_str(),
+                fallback->stats().iterate_seconds /
+                    indexed->stats().iterate_seconds);
+    std::printf("%-8s fallback  %-10s %-10s\n", name,
+                bench::FormatSeconds(fallback->stats().build_seconds).c_str(),
+                bench::FormatSeconds(fallback->stats().iterate_seconds).c_str());
+  }
+  if (!json.WriteFile("BENCH_fsim.json")) {
+    std::fprintf(stderr, "fatal: cannot write BENCH_fsim.json\n");
+    std::abort();
+  }
+  std::printf("\nwrote BENCH_fsim.json\n");
+}
+
 }  // namespace
 }  // namespace fsim
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  fsim::RunPhaseTimings();
+  return 0;
+}

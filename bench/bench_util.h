@@ -7,6 +7,8 @@
 #include <cstdio>
 #include <optional>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "common/timer.h"
 #include "core/fsim_engine.h"
@@ -65,6 +67,56 @@ inline void PrintHeader(const char* title) {
   std::printf("%s\n", title);
   std::printf("==============================================================\n");
 }
+
+/// Machine-readable per-variant phase timings (BENCH_fsim.json), so future
+/// PRs can track the perf trajectory of the engine without re-parsing
+/// human-oriented tables. One record per (variant, engine-path) run.
+class PhaseTimingsJson {
+ public:
+  struct Record {
+    std::string name;  // e.g. "bj/indexed"
+    double build_seconds = 0.0;
+    double iterate_seconds = 0.0;
+    uint32_t iterations = 0;
+    size_t maintained_pairs = 0;
+    bool used_neighbor_index = false;
+  };
+
+  void Add(const std::string& name, const FSimStats& stats) {
+    records_.push_back(Record{name, stats.build_seconds,
+                              stats.iterate_seconds, stats.iterations,
+                              stats.maintained_pairs,
+                              stats.used_neighbor_index});
+  }
+
+  const std::vector<Record>& records() const { return records_; }
+
+  /// Writes {"runs": {name: {...}, ...}} to `path`; returns false on I/O
+  /// failure.
+  bool WriteFile(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) return false;
+    std::fprintf(f, "{\n  \"runs\": {\n");
+    for (size_t i = 0; i < records_.size(); ++i) {
+      const Record& r = records_[i];
+      std::fprintf(f,
+                   "    \"%s\": {\"build_seconds\": %.6f, "
+                   "\"iterate_seconds\": %.6f, \"iterations\": %u, "
+                   "\"maintained_pairs\": %zu, "
+                   "\"used_neighbor_index\": %s}%s\n",
+                   r.name.c_str(), r.build_seconds, r.iterate_seconds,
+                   r.iterations, r.maintained_pairs,
+                   r.used_neighbor_index ? "true" : "false",
+                   i + 1 < records_.size() ? "," : "");
+    }
+    std::fprintf(f, "  }\n}\n");
+    std::fclose(f);
+    return true;
+  }
+
+ private:
+  std::vector<Record> records_;
+};
 
 }  // namespace bench
 }  // namespace fsim

@@ -1,5 +1,7 @@
 #include "common/thread_pool.h"
 
+#include <algorithm>
+
 #include "common/logging.h"
 
 namespace fsim {
@@ -24,15 +26,28 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::ParallelFor(size_t n,
                              const std::function<void(size_t)>& body) {
+  const size_t grain =
+      std::max<size_t>(1, n / (8 * static_cast<size_t>(num_threads_)));
+  ChunkedBody chunked = [&body](int /*worker*/, size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) body(i);
+  };
+  ParallelForChunked(n, grain, chunked);
+}
+
+void ThreadPool::ParallelForChunked(size_t n, size_t grain,
+                                    const ChunkedBody& body) {
   if (n == 0) return;
-  if (num_threads_ == 1 || n == 1) {
-    for (size_t i = 0; i < n; ++i) body(i);
+  if (grain == 0) grain = 1;
+  if (num_threads_ == 1 || n <= grain) {
+    body(0, 0, n);
     return;
   }
   {
     std::lock_guard<std::mutex> lock(mu_);
     task_.n = n;
+    task_.grain = grain;
     task_.body = &body;
+    next_.store(0, std::memory_order_relaxed);
     ++epoch_;
     task_.epoch = epoch_;
     pending_workers_ = num_threads_ - 1;
@@ -40,19 +55,27 @@ void ThreadPool::ParallelFor(size_t n,
   work_cv_.notify_all();
 
   // The caller acts as worker 0.
-  for (size_t i = 0; i < n; i += static_cast<size_t>(num_threads_)) {
-    body(i);
-  }
+  RunChunks(0, n, grain, body);
 
   std::unique_lock<std::mutex> lock(mu_);
   done_cv_.wait(lock, [this] { return pending_workers_ == 0; });
 }
 
+void ThreadPool::RunChunks(int worker_id, size_t n, size_t grain,
+                           const ChunkedBody& body) {
+  for (;;) {
+    const size_t begin = next_.fetch_add(grain, std::memory_order_relaxed);
+    if (begin >= n) return;
+    body(worker_id, begin, std::min(begin + grain, n));
+  }
+}
+
 void ThreadPool::WorkerLoop(int worker_id) {
   uint64_t seen_epoch = 0;
   for (;;) {
-    const std::function<void(size_t)>* body = nullptr;
+    const ChunkedBody* body = nullptr;
     size_t n = 0;
+    size_t grain = 1;
     {
       std::unique_lock<std::mutex> lock(mu_);
       work_cv_.wait(lock, [this, seen_epoch] {
@@ -62,11 +85,9 @@ void ThreadPool::WorkerLoop(int worker_id) {
       seen_epoch = task_.epoch;
       body = task_.body;
       n = task_.n;
+      grain = task_.grain;
     }
-    for (size_t i = static_cast<size_t>(worker_id); i < n;
-         i += static_cast<size_t>(num_threads_)) {
-      (*body)(i);
-    }
+    RunChunks(worker_id, n, grain, *body);
     {
       std::lock_guard<std::mutex> lock(mu_);
       if (--pending_workers_ == 0) done_cv_.notify_all();

@@ -1,9 +1,10 @@
-// Fixed-size thread pool with a blocking ParallelFor, used to parallelize the
-// per-pair updates of Algorithm 1 (round-robin distribution, as in §3.4 of
-// the paper). Double buffering in the engine makes the body race-free.
+// Fixed-size thread pool with blocking parallel-for primitives, used to
+// parallelize the per-pair updates of Algorithm 1. Double buffering in the
+// engine makes the bodies race-free.
 #ifndef FSIM_COMMON_THREAD_POOL_H_
 #define FSIM_COMMON_THREAD_POOL_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <functional>
 #include <mutex>
@@ -12,13 +13,23 @@
 
 namespace fsim {
 
-/// A pool of worker threads executing partitioned index ranges.
+/// A pool of worker threads executing dynamically scheduled index chunks.
 ///
-/// ParallelFor(n, body) calls body(i) for every i in [0, n) exactly once and
-/// returns when all calls have completed. With num_threads == 1 the body runs
-/// inline on the caller, which keeps single-thread benchmarks honest.
+/// ParallelForChunked(n, grain, body) partitions [0, n) into contiguous
+/// chunks of `grain` indices (the last chunk may be shorter) that workers
+/// pull from a shared counter, so uneven per-index cost self-balances while
+/// each worker still walks memory sequentially. The worker id passed to the
+/// body is stable for the duration of one call and unique per concurrent
+/// executor, which makes per-worker scratch buffers safe.
+///
+/// With num_threads == 1 the body runs inline on the caller (as worker 0),
+/// which keeps single-thread benchmarks honest.
 class ThreadPool {
  public:
+  /// body(worker, begin, end): evaluate indices [begin, end) as worker
+  /// `worker` in [0, num_threads).
+  using ChunkedBody = std::function<void(int, size_t, size_t)>;
+
   /// Creates `num_threads` workers (>= 1).
   explicit ThreadPool(int num_threads);
   ~ThreadPool();
@@ -28,19 +39,28 @@ class ThreadPool {
 
   int num_threads() const { return num_threads_; }
 
-  /// Runs body(i) for i in [0, n). Work is distributed round-robin: worker t
-  /// handles indices i with i % num_threads == t, matching the paper's
-  /// load-balancing description.
+  /// Runs body(i) for every i in [0, n) exactly once and returns when all
+  /// calls have completed. Convenience wrapper over ParallelForChunked with
+  /// an automatic grain (~8 chunks per worker).
   void ParallelFor(size_t n, const std::function<void(size_t)>& body);
+
+  /// Runs body(worker, begin, end) over contiguous chunks covering [0, n)
+  /// exactly once each; returns when all chunks have completed. grain is the
+  /// chunk length (clamped to >= 1). The caller participates as worker 0.
+  void ParallelForChunked(size_t n, size_t grain, const ChunkedBody& body);
 
  private:
   struct Task {
     size_t n = 0;
-    const std::function<void(size_t)>* body = nullptr;
+    size_t grain = 1;
+    const ChunkedBody* body = nullptr;
     uint64_t epoch = 0;
   };
 
   void WorkerLoop(int worker_id);
+  /// Pulls chunks off next_ until [0, n) is exhausted.
+  void RunChunks(int worker_id, size_t n, size_t grain,
+                 const ChunkedBody& body);
 
   int num_threads_;
   std::vector<std::thread> workers_;
@@ -49,6 +69,7 @@ class ThreadPool {
   std::condition_variable work_cv_;
   std::condition_variable done_cv_;
   Task task_;
+  std::atomic<size_t> next_{0};
   int pending_workers_ = 0;
   uint64_t epoch_ = 0;
   bool shutdown_ = false;

@@ -13,14 +13,6 @@ namespace fsim {
 
 namespace {
 
-uint32_t IterationBound(const FSimConfig& config) {
-  if (config.max_iterations > 0) return config.max_iterations;
-  const double w = config.w_out + config.w_in;
-  if (w <= 0.0) return 1;
-  double bound = std::ceil(std::log(config.epsilon) / std::log(w));
-  return static_cast<uint32_t>(std::max(1.0, bound));
-}
-
 struct alignas(64) WorkerDelta {
   double value = 0.0;
 };
@@ -100,7 +92,7 @@ Result<DenseFSimScores> ComputeFSimDense(const Graph& g1, const Graph& g2,
 
   const OperatorConfig op = config.operators();
   const double label_weight = 1.0 - config.w_out - config.w_in;
-  const uint32_t max_iters = IterationBound(config);
+  const uint32_t max_iters = FSimIterationBound(config);
   const uint32_t num_threads = static_cast<uint32_t>(config.num_threads);
 
   // Previous-iteration score; negative marks label-incompatible pairs that
@@ -130,34 +122,36 @@ Result<DenseFSimScores> ComputeFSimDense(const Graph& g1, const Graph& g2,
 
   for (uint32_t iter = 1; iter <= max_iters; ++iter) {
     for (auto& d : worker_delta) d.value = 0.0;
-    // One parallel item per u-row: rows are independent under double
-    // buffering, and row granularity amortizes the scheduling cost that
-    // per-pair items would pay on the dense matrix.
-    pool.ParallelFor(n1, [&](size_t u_index) {
-      const uint32_t worker = static_cast<uint32_t>(u_index % num_threads);
-      const NodeId u = static_cast<NodeId>(u_index);
-      double* out_row = curr.data() + u_index * n2;
-      double row_delta = 0.0;
-      for (NodeId v = 0; v < n2; ++v) {
-        double value;
-        if (config.pin_diagonal && u == v) {
-          value = 1.0;
-        } else {
-          const double out_score =
-              DirectionScore(op, config.matching, g1.OutNeighbors(u),
-                             g2.OutNeighbors(v), lookup, &scratch[worker]);
-          const double in_score =
-              DirectionScore(op, config.matching, g1.InNeighbors(u),
-                             g2.InNeighbors(v), lookup, &scratch[worker]);
-          value = config.w_out * out_score + config.w_in * in_score +
-                  label_weight * label_term(u, v);
+    // Chunks of u-rows: rows are independent under double buffering, and
+    // row granularity amortizes the scheduling cost that per-pair items
+    // would pay on the dense matrix.
+    pool.ParallelForChunked(n1, 1, [&](int worker, size_t begin, size_t end) {
+      MatchingScratch* worker_scratch = &scratch[worker];
+      double chunk_delta = 0.0;
+      for (size_t u_index = begin; u_index < end; ++u_index) {
+        const NodeId u = static_cast<NodeId>(u_index);
+        double* out_row = curr.data() + u_index * n2;
+        for (NodeId v = 0; v < n2; ++v) {
+          double value;
+          if (config.pin_diagonal && u == v) {
+            value = 1.0;
+          } else {
+            const double out_score =
+                DirectionScore(op, config.matching, g1.OutNeighbors(u),
+                               g2.OutNeighbors(v), lookup, worker_scratch);
+            const double in_score =
+                DirectionScore(op, config.matching, g1.InNeighbors(u),
+                               g2.InNeighbors(v), lookup, worker_scratch);
+            value = config.w_out * out_score + config.w_in * in_score +
+                    label_weight * label_term(u, v);
+          }
+          out_row[v] = value;
+          chunk_delta = std::max(chunk_delta,
+                                 std::abs(value - prev[u_index * n2 + v]));
         }
-        out_row[v] = value;
-        row_delta = std::max(row_delta,
-                             std::abs(value - prev[u_index * n2 + v]));
       }
-      if (row_delta > worker_delta[worker].value) {
-        worker_delta[worker].value = row_delta;
+      if (chunk_delta > worker_delta[worker].value) {
+        worker_delta[worker].value = chunk_delta;
       }
     });
     double max_delta = 0.0;

@@ -128,12 +128,25 @@ struct FSimConfig {
   /// this (memory safety valve).
   uint64_t pair_limit = 100'000'000;
 
+  /// Memory budget for the pair-graph CSR neighbor index (bytes). The index
+  /// materializes, per maintained pair, the label-compatible candidate pairs
+  /// of N±(u) x N±(v) as direct score-array references, eliminating every
+  /// per-lookup hash probe and label check from the iterate loop. When the
+  /// estimated footprint exceeds the budget the engine silently falls back
+  /// to hash lookups (identical scores, slower iterations). 0 disables the
+  /// index.
+  uint64_t neighbor_index_budget_bytes = 1ULL << 30;
+
   /// The effective operator pair.
   OperatorConfig operators() const {
     return operator_override ? *operator_override
                              : OperatorsForVariant(variant);
   }
 };
+
+/// The engines' shared iteration cap: config.max_iterations when set,
+/// otherwise the Corollary 1 convergence bound ⌈log_{w+ + w-}(ε)⌉ (>= 1).
+uint32_t FSimIterationBound(const FSimConfig& config);
 
 /// §4.3: FSimχ configured to compute SimRank with decay factor c on a single
 /// (label-free) graph: w+ = 0, w- = c, M = S1 x S2, Ω = |S1||S2|, L = 0,

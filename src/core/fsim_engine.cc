@@ -6,30 +6,10 @@
 #include "common/string_util.h"
 #include "common/thread_pool.h"
 #include "common/timer.h"
-#include "core/operators.h"
+#include "core/pair_evaluator.h"
 #include "core/pair_store.h"
 
 namespace fsim {
-
-namespace {
-
-/// Corollary 1: the computation converges within ceil(log_{w}(eps))
-/// iterations, w = w+ + w-.
-uint32_t IterationBound(const FSimConfig& config) {
-  if (config.max_iterations > 0) return config.max_iterations;
-  const double w = config.w_out + config.w_in;
-  if (w <= 0.0) return 1;  // scores are fixed by the label term alone
-  double bound = std::ceil(std::log(config.epsilon) / std::log(w));
-  return static_cast<uint32_t>(std::max(1.0, bound));
-}
-
-/// Cache-line-padded per-worker accumulator (avoids false sharing in the
-/// parallel delta reduction).
-struct alignas(64) WorkerDelta {
-  double value = 0.0;
-};
-
-}  // namespace
 
 Status ValidateFSimConfig(const Graph& g1, const Graph& g2,
                           const FSimConfig& config) {
@@ -70,78 +50,34 @@ Result<FSimScores> ComputeFSim(const Graph& g1, const Graph& g2,
                                const FSimConfig& config) {
   FSIM_RETURN_NOT_OK(ValidateFSimConfig(g1, g2, config));
 
+  ThreadPool pool(config.num_threads);
   Timer build_timer;
   LabelSimilarityCache lsim(*g1.dict(), config.label_sim);
   FSIM_ASSIGN_OR_RETURN(PairStore store,
-                        PairStore::Build(g1, g2, config, lsim));
+                        PairStore::Build(g1, g2, config, lsim,
+                                         /*build_neighbor_index=*/true,
+                                         &pool));
 
   FSimStats stats;
   stats.theta_candidates = store.info().theta_candidates;
   stats.maintained_pairs = store.info().kept;
   stats.pruned_pairs = store.info().pruned;
+  stats.used_neighbor_index = store.has_neighbor_index();
+  stats.neighbor_index_bytes =
+      store.has_neighbor_index() ? store.NeighborIndexBytes() : 0;
   stats.build_seconds = build_timer.Seconds();
 
-  const OperatorConfig op = config.operators();
-  const double label_weight = 1.0 - config.w_out - config.w_in;
-  const double alpha = config.upper_bound ? config.alpha : 0.0;
-  const uint32_t max_iters = IterationBound(config);
+  const uint32_t max_iters = FSimIterationBound(config);
   const uint32_t num_threads = static_cast<uint32_t>(config.num_threads);
-
-  // Previous-iteration score of (x, y); negative = not mappable under the
-  // label constraint. Pairs pruned by the upper bound contribute
-  // alpha * bound (0 with the default alpha = 0).
-  auto lookup = [&](NodeId x, NodeId y) -> double {
-    if (!lsim.Compatible(g1.Label(x), g2.Label(y), config.theta)) return -1.0;
-    uint32_t idx = store.Find(x, y);
-    if (idx != FlatPairMap::kNotFound) return store.prev(idx);
-    if (alpha > 0.0) return alpha * store.PrunedUpperBound(x, y);
-    return 0.0;
-  };
-
-  auto label_term = [&](NodeId u, NodeId v) -> double {
-    switch (config.label_term) {
-      case LabelTermKind::kLabelSim:
-        return lsim.Sim(g1.Label(u), g2.Label(v));
-      case LabelTermKind::kZero:
-        return 0.0;
-      case LabelTermKind::kOne:
-        return 1.0;
-    }
-    return 0.0;
-  };
+  const PairEvaluator evaluator(g1, g2, config, lsim, store);
 
   Timer iterate_timer;
-  ThreadPool pool(config.num_threads);
   std::vector<MatchingScratch> scratch(num_threads);
-  std::vector<WorkerDelta> worker_delta(num_threads);
+  std::vector<WorkerMaxDelta> worker_delta(num_threads);
 
   for (uint32_t iter = 1; iter <= max_iters; ++iter) {
-    for (auto& d : worker_delta) d.value = 0.0;
-    pool.ParallelFor(store.size(), [&](size_t i) {
-      const uint32_t worker = static_cast<uint32_t>(i % num_threads);
-      const NodeId u = store.U(i);
-      const NodeId v = store.V(i);
-      double value;
-      if (config.pin_diagonal && u == v) {
-        value = 1.0;
-      } else {
-        const double out_score =
-            DirectionScore(op, config.matching, g1.OutNeighbors(u),
-                           g2.OutNeighbors(v), lookup, &scratch[worker]);
-        const double in_score =
-            DirectionScore(op, config.matching, g1.InNeighbors(u),
-                           g2.InNeighbors(v), lookup, &scratch[worker]);
-        value = config.w_out * out_score + config.w_in * in_score +
-                label_weight * label_term(u, v);
-      }
-      store.set_curr(i, value);
-      const double delta = std::abs(value - store.prev(i));
-      if (delta > worker_delta[worker].value) {
-        worker_delta[worker].value = delta;
-      }
-    });
-    double max_delta = 0.0;
-    for (const auto& d : worker_delta) max_delta = std::max(max_delta, d.value);
+    const double max_delta =
+        RunIterateSweep(pool, store, evaluator, scratch, worker_delta);
     store.SwapBuffers();
     stats.iterations = iter;
     stats.final_delta = max_delta;

@@ -21,6 +21,11 @@ struct FSimStats {
   double final_delta = 0.0;
   double build_seconds = 0.0;
   double iterate_seconds = 0.0;
+  /// True when the iterate loop ran on the pair-graph CSR neighbor index
+  /// (false: hash-lookup fallback, e.g. budget exceeded or index disabled).
+  bool used_neighbor_index = false;
+  /// Heap footprint of the neighbor index (0 when not materialized).
+  size_t neighbor_index_bytes = 0;
   /// max_{(u,v)} |FSim^k - FSim^{k-1}| per iteration, when
   /// FSimConfig::record_delta_history is set (Theorem 1: strictly
   /// decreasing).

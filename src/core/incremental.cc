@@ -12,18 +12,6 @@
 
 namespace fsim {
 
-namespace {
-
-uint32_t IterationBound(const FSimConfig& config) {
-  if (config.max_iterations > 0) return config.max_iterations;
-  const double w = config.w_out + config.w_in;
-  if (w <= 0.0) return 1;
-  double bound = std::ceil(std::log(config.epsilon) / std::log(w));
-  return static_cast<uint32_t>(std::max(1.0, bound));
-}
-
-}  // namespace
-
 IncrementalFSim::IncrementalFSim(Graph g1, Graph g2, FSimConfig config,
                                  IncrementalOptions options)
     : g1_(std::move(g1)),
@@ -48,9 +36,13 @@ Result<IncrementalFSim> IncrementalFSim::Create(Graph g1, Graph g2,
   IncrementalFSim inc(std::move(g1), std::move(g2), std::move(config),
                       options);
 
+  // The differential worklist re-evaluates pairs against the live graphs,
+  // so the snapshot-time CSR neighbor index would go stale on the first
+  // edit — skip building it.
   FSIM_ASSIGN_OR_RETURN(
       PairStore store,
-      PairStore::Build(inc.g1_, inc.g2_, inc.config_, inc.lsim_));
+      PairStore::Build(inc.g1_, inc.g2_, inc.config_, inc.lsim_,
+                       /*build_neighbor_index=*/false));
   // Move the initialized candidate set into the mutable single-buffer table;
   // prev_ holds the FSim^0 initialization right after Build.
   inc.keys_ = store.TakeKeys();
@@ -129,7 +121,7 @@ void IncrementalFSim::SolveFull() {
   // double-buffered locally; after convergence values_ holds the fixpoint
   // approximation with residual < epsilon.
   std::vector<double> next(values_.size());
-  const uint32_t max_iters = IterationBound(config_);
+  const uint32_t max_iters = FSimIterationBound(config_);
   for (uint32_t iter = 1; iter <= max_iters; ++iter) {
     double max_delta = 0.0;
     for (size_t i = 0; i < keys_.size(); ++i) {

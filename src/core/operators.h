@@ -28,6 +28,22 @@
 
 namespace fsim {
 
+/// One label-compatible candidate pair (x, y) ∈ S1 x S2 in the pair-graph
+/// CSR neighbor index: `row`/`col` are the positions of x in S1 and y in S2,
+/// and `ref` locates the previous-iteration score — a PairStore index, or
+/// (when the kNeighborRefPrunedTag bit is set) an index into the pruned
+/// upper-bound side table whose lookup value is α * bound. Entries are
+/// sorted by (row, col), so per-row spans are contiguous.
+struct NeighborRef {
+  uint32_t row;
+  uint32_t col;
+  uint32_t ref;
+};
+
+/// Tag bit marking a NeighborRef::ref that points into the pruned-pair
+/// upper-bound table instead of the maintained score array.
+inline constexpr uint32_t kNeighborRefPrunedTag = 0x80000000u;
+
 /// Ωχ(S1, S2) of Table 3.
 inline double OmegaValue(OmegaKind kind, size_t n1, size_t n2) {
   switch (kind) {
@@ -54,15 +70,17 @@ double InjectiveMappingSum(std::span<const NodeId> s1,
                            std::span<const NodeId> s2, Lookup&& lookup,
                            MatchingAlgo algo, MatchingScratch* scratch) {
   if (algo == MatchingAlgo::kHungarian) {
-    std::vector<std::vector<double>> w(s1.size(),
-                                       std::vector<double>(s2.size(), 0.0));
+    // Reuse the scratch's flat weight matrix — the per-call
+    // vector<vector<double>> allocation dominated Hungarian runs.
+    scratch->weights.assign(s1.size() * s2.size(), 0.0);
     for (size_t i = 0; i < s1.size(); ++i) {
       for (size_t j = 0; j < s2.size(); ++j) {
         double score = lookup(s1[i], s2[j]);
-        if (score > 0.0) w[i][j] = score;
+        if (score > 0.0) scratch->weights[i * s2.size() + j] = score;
       }
     }
-    return HungarianMaxWeightMatching(w);
+    return HungarianMaxWeightMatching(scratch->weights.data(), s1.size(),
+                                      s2.size());
   }
   scratch->edges.clear();
   for (size_t i = 0; i < s1.size(); ++i) {
@@ -142,6 +160,111 @@ double DirectionScore(const OperatorConfig& op, MatchingAlgo algo,
           double score = lookup(x, y);
           if (score > 0.0) sum += score;
         }
+      }
+      break;
+    }
+  }
+  const double omega = OmegaValue(op.omega, n1, n2);
+  FSIM_DCHECK(omega > 0.0);
+  return sum / omega;
+}
+
+namespace internal {
+
+/// MaxPerRowSum over CSR entries: Σ of per-row maxima. Rows without entries
+/// contribute 0, exactly like rows whose lookups are all non-positive.
+template <typename ScoreFn>
+double MaxPerRowSumIndexed(std::span<const NeighborRef> refs,
+                           ScoreFn&& score_of) {
+  double sum = 0.0;
+  size_t k = 0;
+  const size_t m = refs.size();
+  while (k < m) {
+    const uint32_t row = refs[k].row;
+    double best = 0.0;
+    for (; k < m && refs[k].row == row; ++k) {
+      const double score = score_of(refs[k].ref);
+      if (score > best) best = score;
+    }
+    sum += best;
+  }
+  return sum;
+}
+
+/// InjectiveMappingSum over CSR entries.
+template <typename ScoreFn>
+double InjectiveMappingSumIndexed(size_t n1, size_t n2,
+                                  std::span<const NeighborRef> refs,
+                                  ScoreFn&& score_of, MatchingAlgo algo,
+                                  MatchingScratch* scratch) {
+  if (algo == MatchingAlgo::kHungarian) {
+    scratch->weights.assign(n1 * n2, 0.0);
+    for (const NeighborRef& e : refs) {
+      const double score = score_of(e.ref);
+      if (score > 0.0) scratch->weights[e.row * n2 + e.col] = score;
+    }
+    return HungarianMaxWeightMatching(scratch->weights.data(), n1, n2);
+  }
+  scratch->edges.clear();
+  for (const NeighborRef& e : refs) {
+    const double score = score_of(e.ref);
+    if (score > 0.0) scratch->edges.push_back({e.row, e.col, score});
+  }
+  return GreedyMaxWeightMatching(scratch, n1, n2);
+}
+
+}  // namespace internal
+
+/// DirectionScore over the pair-graph CSR neighbor index: identical results
+/// to the lookup-based overload (the entries enumerate exactly the
+/// label-compatible pairs, in the same (x, y) order the nested loops visit),
+/// but previous-iteration scores are read by direct array indexing through
+/// `score_of(ref)` — zero hash probes and zero label checks. n1/n2 are the
+/// full neighbor-set sizes |S1|/|S2| (the empty-set conventions and Ωχ
+/// depend on them, not on the compatible-entry count).
+template <typename ScoreFn>
+double DirectionScoreIndexed(const OperatorConfig& op, MatchingAlgo algo,
+                             size_t n1, size_t n2,
+                             std::span<const NeighborRef> refs,
+                             ScoreFn&& score_of, MatchingScratch* scratch) {
+  double sum = 0.0;
+  switch (op.mapping) {
+    case MappingKind::kMaxPerRow:
+      if (n1 == 0) return 1.0;
+      sum = internal::MaxPerRowSumIndexed(refs, score_of);
+      break;
+    case MappingKind::kInjectiveRow:
+      if (n1 == 0) return 1.0;
+      if (n2 == 0) return 0.0;
+      sum = internal::InjectiveMappingSumIndexed(n1, n2, refs, score_of, algo,
+                                                 scratch);
+      break;
+    case MappingKind::kMaxBothSides: {
+      if (n1 == 0 && n2 == 0) return 1.0;
+      sum = internal::MaxPerRowSumIndexed(refs, score_of);
+      // The converse side: every y in s2 maps to its best x in s1. Column
+      // maxima accumulate into scratch, then reduce in ascending-y order
+      // (the order the lookup-based loop adds them in).
+      auto& col_best = scratch->col_best;
+      col_best.assign(n2, 0.0);
+      for (const NeighborRef& e : refs) {
+        const double score = score_of(e.ref);
+        if (score > col_best[e.col]) col_best[e.col] = score;
+      }
+      for (double best : col_best) sum += best;
+      break;
+    }
+    case MappingKind::kInjectiveSym:
+      if (n1 == 0 && n2 == 0) return 1.0;
+      if (n1 == 0 || n2 == 0) return 0.0;
+      sum = internal::InjectiveMappingSumIndexed(n1, n2, refs, score_of, algo,
+                                                 scratch);
+      break;
+    case MappingKind::kProduct: {
+      if (n1 == 0 || n2 == 0) return 0.0;
+      for (const NeighborRef& e : refs) {
+        const double score = score_of(e.ref);
+        if (score > 0.0) sum += score;
       }
       break;
     }

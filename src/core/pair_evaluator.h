@@ -1,0 +1,155 @@
+// The per-pair Equation 3 evaluation shared by the Algorithm 1 engines
+// (ComputeFSim, ComputeTopKPairs): one iterate-loop body that reads
+// previous-iteration scores either through the pair-graph CSR neighbor
+// index (direct array indexing — the fast path) or through the
+// label-check + hash-probe fallback when the index was not materialized.
+// Both paths produce bit-identical sums: the index enumerates exactly the
+// candidate pairs the fallback's nested loops visit, in the same order.
+#ifndef FSIM_CORE_PAIR_EVALUATOR_H_
+#define FSIM_CORE_PAIR_EVALUATOR_H_
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "core/fsim_config.h"
+#include "core/operators.h"
+#include "core/pair_store.h"
+#include "graph/graph.h"
+#include "label/label_similarity.h"
+
+namespace fsim {
+
+/// Evaluates FSim^k(u, v) for maintained pairs against a PairStore's
+/// previous-iteration buffer. Stateless between calls except for the
+/// caller-owned MatchingScratch, so one instance serves all workers.
+class PairEvaluator {
+ public:
+  PairEvaluator(const Graph& g1, const Graph& g2, const FSimConfig& config,
+                const LabelSimilarityCache& lsim, const PairStore& store)
+      : g1_(g1),
+        g2_(g2),
+        config_(config),
+        lsim_(lsim),
+        store_(store),
+        op_(config.operators()),
+        label_weight_(1.0 - config.w_out - config.w_in),
+        alpha_(config.upper_bound ? config.alpha : 0.0) {}
+
+  /// The Equation 3 value of store pair i from the previous-iteration
+  /// scores. Safe to call concurrently with distinct scratches.
+  double Evaluate(size_t i, MatchingScratch* scratch) const {
+    const NodeId u = store_.U(i);
+    const NodeId v = store_.V(i);
+    if (config_.pin_diagonal && u == v) return 1.0;
+    double out_score = 0.0;
+    double in_score = 0.0;
+    if (store_.has_neighbor_index()) {
+      const double* prev = store_.prev_data();
+      const float* pruned = store_.pruned_bounds_data();
+      auto score_of = [prev, pruned, this](uint32_t ref) -> double {
+        if (ref & kNeighborRefPrunedTag) {
+          return alpha_ *
+                 static_cast<double>(pruned[ref & ~kNeighborRefPrunedTag]);
+        }
+        return prev[ref];
+      };
+      if (config_.w_out > 0.0) {
+        out_score = DirectionScoreIndexed(op_, config_.matching,
+                                          g1_.OutDegree(u), g2_.OutDegree(v),
+                                          store_.OutRefs(i), score_of, scratch);
+      }
+      if (config_.w_in > 0.0) {
+        in_score = DirectionScoreIndexed(op_, config_.matching,
+                                         g1_.InDegree(u), g2_.InDegree(v),
+                                         store_.InRefs(i), score_of, scratch);
+      }
+    } else {
+      // Previous-iteration score of (x, y); negative = not mappable under
+      // the label constraint. Pairs pruned by the upper bound contribute
+      // alpha * bound (0 with the default alpha = 0).
+      auto lookup = [this](NodeId x, NodeId y) -> double {
+        if (!lsim_.Compatible(g1_.Label(x), g2_.Label(y), config_.theta)) {
+          return -1.0;
+        }
+        uint32_t idx = store_.Find(x, y);
+        if (idx != FlatPairMap::kNotFound) return store_.prev(idx);
+        if (alpha_ > 0.0) return alpha_ * store_.PrunedUpperBound(x, y);
+        return 0.0;
+      };
+      if (config_.w_out > 0.0) {
+        out_score = DirectionScore(op_, config_.matching, g1_.OutNeighbors(u),
+                                   g2_.OutNeighbors(v), lookup, scratch);
+      }
+      if (config_.w_in > 0.0) {
+        in_score = DirectionScore(op_, config_.matching, g1_.InNeighbors(u),
+                                  g2_.InNeighbors(v), lookup, scratch);
+      }
+    }
+    return config_.w_out * out_score + config_.w_in * in_score +
+           label_weight_ * LabelTerm(u, v);
+  }
+
+ private:
+  double LabelTerm(NodeId u, NodeId v) const {
+    switch (config_.label_term) {
+      case LabelTermKind::kLabelSim:
+        return lsim_.Sim(g1_.Label(u), g2_.Label(v));
+      case LabelTermKind::kZero:
+        return 0.0;
+      case LabelTermKind::kOne:
+        return 1.0;
+    }
+    return 0.0;
+  }
+
+  const Graph& g1_;
+  const Graph& g2_;
+  const FSimConfig& config_;
+  const LabelSimilarityCache& lsim_;
+  const PairStore& store_;
+  const OperatorConfig op_;
+  const double label_weight_;
+  const double alpha_;
+};
+
+/// Cache-line-padded per-worker accumulator (avoids false sharing in the
+/// parallel delta reduction).
+struct alignas(64) WorkerMaxDelta {
+  double value = 0.0;
+};
+
+/// One synchronous Jacobi sweep of Algorithm 1: evaluates every maintained
+/// pair against the previous-iteration buffer, writes the current buffer,
+/// and returns max |FSim^k - FSim^{k-1}|. The caller owns the per-worker
+/// scratch/delta vectors (sized to the pool's thread count) and the
+/// SwapBuffers that follows. Chunks of 64 pairs balance skewed neighborhood
+/// sizes against chunk-handoff cost.
+inline double RunIterateSweep(ThreadPool& pool, PairStore& store,
+                              const PairEvaluator& evaluator,
+                              std::vector<MatchingScratch>& scratch,
+                              std::vector<WorkerMaxDelta>& worker_delta) {
+  constexpr size_t kIterateGrain = 64;
+  for (auto& d : worker_delta) d.value = 0.0;
+  pool.ParallelForChunked(
+      store.size(), kIterateGrain, [&](int worker, size_t begin, size_t end) {
+        MatchingScratch* worker_scratch = &scratch[worker];
+        double local_delta = 0.0;
+        for (size_t i = begin; i < end; ++i) {
+          const double value = evaluator.Evaluate(i, worker_scratch);
+          store.set_curr(i, value);
+          local_delta = std::max(local_delta, std::abs(value - store.prev(i)));
+        }
+        if (local_delta > worker_delta[worker].value) {
+          worker_delta[worker].value = local_delta;
+        }
+      });
+  double max_delta = 0.0;
+  for (const auto& d : worker_delta) max_delta = std::max(max_delta, d.value);
+  return max_delta;
+}
+
+}  // namespace fsim
+
+#endif  // FSIM_CORE_PAIR_EVALUATOR_H_

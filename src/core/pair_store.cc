@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/string_util.h"
+#include "common/thread_pool.h"
 #include "core/operators.h"
 
 namespace fsim {
@@ -55,7 +56,9 @@ double InitValue(const FSimConfig& config, const LabelSimilarityCache& lsim,
 
 Result<PairStore> PairStore::Build(const Graph& g1, const Graph& g2,
                                    const FSimConfig& config,
-                                   const LabelSimilarityCache& lsim) {
+                                   const LabelSimilarityCache& lsim,
+                                   bool build_neighbor_index,
+                                   ThreadPool* pool) {
   PairStore store;
   const size_t n1 = g1.NumNodes();
   const size_t n2 = g2.NumNodes();
@@ -159,7 +162,143 @@ Result<PairStore> PairStore::Build(const Graph& g1, const Graph& g2,
     store.prev_[i] = InitValue(config, lsim, g1, g2, PairFirst(store.keys_[i]),
                                PairSecond(store.keys_[i]));
   }
+
+  // --- Stage 4: pair-graph CSR neighbor index (budget-gated). ---
+  if (build_neighbor_index && config.neighbor_index_budget_bytes > 0) {
+    store.BuildNeighborIndex(g1, g2, config, lsim, pool);
+  }
   return store;
+}
+
+void PairStore::BuildNeighborIndex(const Graph& g1, const Graph& g2,
+                                   const FSimConfig& config,
+                                   const LabelSimilarityCache& lsim,
+                                   ThreadPool* pool) {
+  const size_t n = keys_.size();
+  // The pruned-ref tag bit halves the addressable range of a ref.
+  if (n >= kNeighborRefPrunedTag || pruned_ub_.size() >= kNeighborRefPrunedTag) {
+    return;
+  }
+
+  const bool use_out = config.w_out > 0.0;
+  const bool use_in = config.w_in > 0.0;
+  const double theta = config.theta;
+  const bool need_compat = theta > 0.0;
+  const double alpha = config.upper_bound ? config.alpha : 0.0;
+
+  // Budget check against the pre-filter upper bound Σ |N±(u)|·|N±(v)|
+  // (compatibility filtering only shrinks it, so fitting the bound
+  // guarantees fitting the index).
+  uint64_t max_entries = 0;
+  for (uint64_t key : keys_) {
+    const NodeId u = PairFirst(key);
+    const NodeId v = PairSecond(key);
+    if (config.pin_diagonal && u == v) continue;
+    if (use_out) {
+      max_entries += static_cast<uint64_t>(g1.OutDegree(u)) * g2.OutDegree(v);
+    }
+    if (use_in) {
+      max_entries += static_cast<uint64_t>(g1.InDegree(u)) * g2.InDegree(v);
+    }
+  }
+  const uint64_t offsets_bytes = (2 * n + 1) * sizeof(uint64_t);
+  if (max_entries * sizeof(NeighborRef) + offsets_bytes >
+      config.neighbor_index_budget_bytes) {
+    return;
+  }
+
+  // Score source of candidate pair (x, y): the maintained-pair index, or a
+  // tagged pruned-bound index whose lookup value is α * bound. Pairs that
+  // are label-incompatible, or whose fallback lookup would return 0 (pruned
+  // and untracked), are omitted — zero never contributes to any operator.
+  auto classify = [&](NodeId x, NodeId y, uint32_t* ref) -> bool {
+    if (need_compat && !lsim.Compatible(g1.Label(x), g2.Label(y), theta)) {
+      return false;
+    }
+    const uint32_t idx = index_.Find(PairKey(x, y));
+    if (idx != FlatPairMap::kNotFound) {
+      *ref = idx;
+      return true;
+    }
+    if (alpha > 0.0) {
+      const uint32_t p = pruned_index_.Find(PairKey(x, y));
+      if (p != FlatPairMap::kNotFound) {
+        *ref = kNeighborRefPrunedTag | p;
+        return true;
+      }
+    }
+    return false;
+  };
+
+  // Two passes over N±(u) x N±(v) per pair — roughly the lookup work of two
+  // fallback iterations, repaid after the first two indexed iterations.
+  nbr_offsets_.assign(2 * n + 1, 0);
+  ThreadPool serial_pool(1);
+  if (pool == nullptr) pool = &serial_pool;
+  constexpr size_t kBuildGrain = 256;
+
+  auto count_direction = [&](std::span<const NodeId> s1,
+                             std::span<const NodeId> s2) -> uint64_t {
+    uint64_t count = 0;
+    uint32_t ref;
+    for (NodeId x : s1) {
+      for (NodeId y : s2) {
+        if (classify(x, y, &ref)) ++count;
+      }
+    }
+    return count;
+  };
+  pool->ParallelForChunked(n, kBuildGrain,
+                          [&](int /*worker*/, size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      const NodeId u = PairFirst(keys_[i]);
+      const NodeId v = PairSecond(keys_[i]);
+      if (config.pin_diagonal && u == v) continue;
+      if (use_out) {
+        nbr_offsets_[2 * i + 1] =
+            count_direction(g1.OutNeighbors(u), g2.OutNeighbors(v));
+      }
+      if (use_in) {
+        nbr_offsets_[2 * i + 2] =
+            count_direction(g1.InNeighbors(u), g2.InNeighbors(v));
+      }
+    }
+  });
+  // In-place prefix sum: nbr_offsets_[k] currently holds the count of
+  // span k-1.
+  for (size_t k = 1; k < nbr_offsets_.size(); ++k) {
+    nbr_offsets_[k] += nbr_offsets_[k - 1];
+  }
+
+  nbr_refs_.resize(nbr_offsets_.back());
+  auto fill_direction = [&](std::span<const NodeId> s1,
+                            std::span<const NodeId> s2, NeighborRef* out) {
+    for (uint32_t r = 0; r < s1.size(); ++r) {
+      for (uint32_t c = 0; c < s2.size(); ++c) {
+        uint32_t ref;
+        if (classify(s1[r], s2[c], &ref)) *out++ = NeighborRef{r, c, ref};
+      }
+    }
+    return out;
+  };
+  pool->ParallelForChunked(n, kBuildGrain,
+                          [&](int /*worker*/, size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      const NodeId u = PairFirst(keys_[i]);
+      const NodeId v = PairSecond(keys_[i]);
+      if (config.pin_diagonal && u == v) continue;
+      NeighborRef* out = nbr_refs_.data() + nbr_offsets_[2 * i];
+      if (use_out) {
+        out = fill_direction(g1.OutNeighbors(u), g2.OutNeighbors(v), out);
+        FSIM_DCHECK(out == nbr_refs_.data() + nbr_offsets_[2 * i + 1]);
+      }
+      if (use_in) {
+        out = fill_direction(g1.InNeighbors(u), g2.InNeighbors(v), out);
+        FSIM_DCHECK(out == nbr_refs_.data() + nbr_offsets_[2 * i + 2]);
+      }
+    }
+  });
+  has_neighbor_index_ = true;
 }
 
 }  // namespace fsim

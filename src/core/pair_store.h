@@ -1,14 +1,19 @@
 // The candidate-pair store of Algorithm 1: which node pairs (u, v) are
-// maintained in the hash maps Hc/Hp, their double-buffered scores, and the
-// side table of upper bounds for pruned pairs (upper-bound updating, §3.4).
+// maintained in the hash maps Hc/Hp, their double-buffered scores, the
+// side table of upper bounds for pruned pairs (upper-bound updating, §3.4),
+// and the pair-graph CSR neighbor index that turns the iterate loop's score
+// lookups into direct array reads.
 #ifndef FSIM_CORE_PAIR_STORE_H_
 #define FSIM_CORE_PAIR_STORE_H_
 
+#include <span>
 #include <vector>
 
 #include "common/flat_pair_map.h"
 #include "common/result.h"
+#include "common/thread_pool.h"
 #include "core/fsim_config.h"
+#include "core/operators.h"
 #include "graph/graph.h"
 #include "label/label_similarity.h"
 
@@ -23,6 +28,13 @@ namespace fsim {
 ///  * upper-bound updating: pairs whose Eq. 6 bound is <= β are dropped; if
 ///    α > 0 their bounds are kept in a side table so lookups can return
 ///    α * bound.
+///
+/// When config.neighbor_index_budget_bytes allows, Build additionally
+/// materializes the pair-graph CSR neighbor index: for every maintained pair
+/// i = (u, v) and each direction with nonzero weight, the NeighborRef list of
+/// label-compatible candidate pairs (x, y) ∈ N±(u) x N±(v) sorted by
+/// (row, col). Iterating then reads previous-iteration scores by direct
+/// indexing (prev_data() / pruned ref tag) instead of hash probes.
 class PairStore {
  public:
   struct BuildInfo {
@@ -33,9 +45,15 @@ class PairStore {
 
   /// Enumerates and initializes the candidate pairs. Fails with
   /// InvalidArgument if the candidate count would exceed config.pair_limit.
+  /// `build_neighbor_index` lets callers that never run the Algorithm 1
+  /// iterate loop (e.g. incremental maintenance) skip the index build.
+  /// `pool` parallelizes the index build when provided (the engines pass
+  /// their iterate pool); nullptr builds serially.
   static Result<PairStore> Build(const Graph& g1, const Graph& g2,
                                  const FSimConfig& config,
-                                 const LabelSimilarityCache& lsim);
+                                 const LabelSimilarityCache& lsim,
+                                 bool build_neighbor_index = true,
+                                 ThreadPool* pool = nullptr);
 
   size_t size() const { return keys_.size(); }
   NodeId U(size_t i) const { return PairFirst(keys_[i]); }
@@ -56,6 +74,40 @@ class PairStore {
     return idx == FlatPairMap::kNotFound ? 0.0 : pruned_ub_[idx];
   }
 
+  /// True if the pair-graph CSR neighbor index was materialized (it fits
+  /// config.neighbor_index_budget_bytes and the build was requested).
+  bool has_neighbor_index() const { return has_neighbor_index_; }
+
+  /// Out-direction CSR entries of pair i: the label-compatible candidate
+  /// pairs of N+(u) x N+(v), sorted by (row, col). Empty when the index was
+  /// not materialized; diagonal pairs of a pin_diagonal run and zero-weight
+  /// directions also have empty spans (never evaluated).
+  std::span<const NeighborRef> OutRefs(size_t i) const {
+    if (!has_neighbor_index_) return {};
+    return {nbr_refs_.data() + nbr_offsets_[2 * i],
+            nbr_refs_.data() + nbr_offsets_[2 * i + 1]};
+  }
+
+  /// In-direction CSR entries of pair i (N-(u) x N-(v)).
+  std::span<const NeighborRef> InRefs(size_t i) const {
+    if (!has_neighbor_index_) return {};
+    return {nbr_refs_.data() + nbr_offsets_[2 * i + 1],
+            nbr_refs_.data() + nbr_offsets_[2 * i + 2]};
+  }
+
+  /// Previous-iteration scores, indexed by untagged NeighborRef::ref values.
+  /// The pointer is stable across SwapBuffers only if re-read afterwards.
+  const double* prev_data() const { return prev_.data(); }
+
+  /// Eq. 6 bounds of tracked pruned pairs, indexed by tagged refs.
+  const float* pruned_bounds_data() const { return pruned_ub_.data(); }
+
+  /// Heap footprint of the neighbor index (0 when not materialized).
+  size_t NeighborIndexBytes() const {
+    return nbr_refs_.capacity() * sizeof(NeighborRef) +
+           nbr_offsets_.capacity() * sizeof(uint64_t);
+  }
+
   const BuildInfo& info() const { return info_; }
 
   /// Moves the final scores out (call after the last SwapBuffers, so prev_
@@ -67,6 +119,11 @@ class PairStore {
  private:
   PairStore() = default;
 
+  /// Materializes the CSR neighbor index if it fits the budget.
+  void BuildNeighborIndex(const Graph& g1, const Graph& g2,
+                          const FSimConfig& config,
+                          const LabelSimilarityCache& lsim, ThreadPool* pool);
+
   std::vector<uint64_t> keys_;  // sorted ascending: u-major, then v
   FlatPairMap index_;
   std::vector<double> prev_;
@@ -74,6 +131,13 @@ class PairStore {
   FlatPairMap pruned_index_;
   std::vector<float> pruned_ub_;
   BuildInfo info_;
+
+  // Pair-graph CSR neighbor index. nbr_offsets_ has 2 * size() + 1 entries:
+  // pair i's out-direction entries live in [offsets[2i], offsets[2i+1]) and
+  // its in-direction entries in [offsets[2i+1], offsets[2i+2]).
+  bool has_neighbor_index_ = false;
+  std::vector<uint64_t> nbr_offsets_;
+  std::vector<NeighborRef> nbr_refs_;
 };
 
 }  // namespace fsim

@@ -5,25 +5,13 @@
 
 #include "common/thread_pool.h"
 #include "core/fsim_engine.h"
-#include "core/operators.h"
+#include "core/pair_evaluator.h"
 #include "core/pair_store.h"
 #include "label/label_similarity.h"
 
 namespace fsim {
 
 namespace {
-
-uint32_t IterationBound(const FSimConfig& config) {
-  if (config.max_iterations > 0) return config.max_iterations;
-  const double w = config.w_out + config.w_in;
-  if (w <= 0.0) return 1;
-  double bound = std::ceil(std::log(config.epsilon) / std::log(w));
-  return static_cast<uint32_t>(std::max(1.0, bound));
-}
-
-struct alignas(64) WorkerDelta {
-  double value = 0.0;
-};
 
 /// Collects the k+1 best eligible (score, index) entries — enough to test
 /// the boundary separation — in O(pairs * log k).
@@ -65,71 +53,28 @@ Result<TopKPairsResult> ComputeTopKPairs(const Graph& g1, const Graph& g2,
     return Status::InvalidArgument("k must be positive");
   }
 
+  ThreadPool pool(config.num_threads);
   LabelSimilarityCache lsim(*g1.dict(), config.label_sim);
   FSIM_ASSIGN_OR_RETURN(PairStore store,
-                        PairStore::Build(g1, g2, config, lsim));
+                        PairStore::Build(g1, g2, config, lsim,
+                                         /*build_neighbor_index=*/true,
+                                         &pool));
 
-  const OperatorConfig op = config.operators();
-  const double label_weight = 1.0 - config.w_out - config.w_in;
   const double w = config.w_out + config.w_in;
-  const double alpha = config.upper_bound ? config.alpha : 0.0;
-  const uint32_t max_iters = IterationBound(config);
+  const uint32_t max_iters = FSimIterationBound(config);
   const uint32_t num_threads = static_cast<uint32_t>(config.num_threads);
+  const PairEvaluator evaluator(g1, g2, config, lsim, store);
 
-  auto lookup = [&](NodeId x, NodeId y) -> double {
-    if (!lsim.Compatible(g1.Label(x), g2.Label(y), config.theta)) return -1.0;
-    uint32_t idx = store.Find(x, y);
-    if (idx != FlatPairMap::kNotFound) return store.prev(idx);
-    if (alpha > 0.0) return alpha * store.PrunedUpperBound(x, y);
-    return 0.0;
-  };
-  auto label_term = [&](NodeId u, NodeId v) -> double {
-    switch (config.label_term) {
-      case LabelTermKind::kLabelSim:
-        return lsim.Sim(g1.Label(u), g2.Label(v));
-      case LabelTermKind::kZero:
-        return 0.0;
-      case LabelTermKind::kOne:
-        return 1.0;
-    }
-    return 0.0;
-  };
-
-  ThreadPool pool(config.num_threads);
   std::vector<MatchingScratch> scratch(num_threads);
-  std::vector<WorkerDelta> worker_delta(num_threads);
+  std::vector<WorkerMaxDelta> worker_delta(num_threads);
   std::vector<std::pair<double, size_t>> best;
 
   TopKPairsResult result;
   result.iteration_bound = max_iters;
 
   for (uint32_t iter = 1; iter <= max_iters; ++iter) {
-    for (auto& d : worker_delta) d.value = 0.0;
-    pool.ParallelFor(store.size(), [&](size_t i) {
-      const uint32_t worker = static_cast<uint32_t>(i % num_threads);
-      const NodeId u = store.U(i);
-      const NodeId v = store.V(i);
-      double value;
-      if (config.pin_diagonal && u == v) {
-        value = 1.0;
-      } else {
-        const double out_score =
-            DirectionScore(op, config.matching, g1.OutNeighbors(u),
-                           g2.OutNeighbors(v), lookup, &scratch[worker]);
-        const double in_score =
-            DirectionScore(op, config.matching, g1.InNeighbors(u),
-                           g2.InNeighbors(v), lookup, &scratch[worker]);
-        value = config.w_out * out_score + config.w_in * in_score +
-                label_weight * label_term(u, v);
-      }
-      store.set_curr(i, value);
-      const double delta = std::abs(value - store.prev(i));
-      if (delta > worker_delta[worker].value) {
-        worker_delta[worker].value = delta;
-      }
-    });
-    double max_delta = 0.0;
-    for (const auto& d : worker_delta) max_delta = std::max(max_delta, d.value);
+    const double max_delta =
+        RunIterateSweep(pool, store, evaluator, scratch, worker_delta);
     store.SwapBuffers();
     result.iterations = iter;
 

@@ -25,6 +25,10 @@ struct MatchingScratch {
   std::vector<WeightedEdge> edges;
   std::vector<uint8_t> left_used;
   std::vector<uint8_t> right_used;
+  /// Flattened row-major weight matrix for the Hungarian realization.
+  std::vector<double> weights;
+  /// Per-column maxima for the bisimulation operator's converse side.
+  std::vector<double> col_best;
 };
 
 /// Greedily selects edges in descending weight order (ties broken by

@@ -7,11 +7,8 @@
 
 namespace fsim {
 
-double HungarianMaxWeightMatching(const std::vector<std::vector<double>>& w,
+double HungarianMaxWeightMatching(const double* w, size_t rows, size_t cols,
                                   std::vector<int>* out_assignment) {
-  const size_t rows = w.size();
-  size_t cols = 0;
-  for (const auto& row : w) cols = std::max(cols, row.size());
   if (rows == 0 || cols == 0) {
     if (out_assignment != nullptr) out_assignment->assign(rows, -1);
     return 0.0;
@@ -22,14 +19,12 @@ double HungarianMaxWeightMatching(const std::vector<std::vector<double>>& w,
   // nothing.
   const size_t n = std::max(rows, cols);
   double max_w = 0.0;
-  for (const auto& row : w) {
-    for (double x : row) {
-      FSIM_CHECK(x >= 0.0) << "Hungarian expects non-negative weights";
-      max_w = std::max(max_w, x);
-    }
+  for (size_t i = 0; i < rows * cols; ++i) {
+    FSIM_CHECK(w[i] >= 0.0) << "Hungarian expects non-negative weights";
+    max_w = std::max(max_w, w[i]);
   }
   auto weight_at = [&](size_t i, size_t j) -> double {
-    if (i < rows && j < w[i].size()) return w[i][j];
+    if (i < rows && j < cols) return w[i * cols + j];
     return 0.0;
   };
 
@@ -91,6 +86,18 @@ double HungarianMaxWeightMatching(const std::vector<std::vector<double>>& w,
     }
   }
   return total;
+}
+
+double HungarianMaxWeightMatching(const std::vector<std::vector<double>>& w,
+                                  std::vector<int>* out_assignment) {
+  const size_t rows = w.size();
+  size_t cols = 0;
+  for (const auto& row : w) cols = std::max(cols, row.size());
+  std::vector<double> flat(rows * cols, 0.0);
+  for (size_t i = 0; i < rows; ++i) {
+    std::copy(w[i].begin(), w[i].end(), flat.begin() + i * cols);
+  }
+  return HungarianMaxWeightMatching(flat.data(), rows, cols, out_assignment);
 }
 
 }  // namespace fsim

@@ -6,16 +6,22 @@
 #ifndef FSIM_MATCHING_HUNGARIAN_H_
 #define FSIM_MATCHING_HUNGARIAN_H_
 
+#include <cstddef>
 #include <vector>
 
 namespace fsim {
 
-/// Maximum-weight matching on a dense weight matrix (rows x cols, weights
-/// >= 0). The matching may leave nodes unmatched (equivalent to matching
-/// with zero-padded dummy nodes), so the result is the true maximum-weight
-/// (not necessarily perfect) matching. Returns the total weight; when
-/// `out_assignment` is non-null, (*out_assignment)[row] is the matched
-/// column or -1.
+/// Maximum-weight matching on a dense row-major rows x cols weight matrix
+/// (weights >= 0). The matching may leave nodes unmatched (equivalent to
+/// matching with zero-padded dummy nodes), so the result is the true
+/// maximum-weight (not necessarily perfect) matching. Returns the total
+/// weight; when `out_assignment` is non-null, (*out_assignment)[row] is the
+/// matched column or -1. `w` may be null only when rows * cols == 0.
+double HungarianMaxWeightMatching(const double* w, size_t rows, size_t cols,
+                                  std::vector<int>* out_assignment = nullptr);
+
+/// Convenience wrapper over the flat API for a (possibly ragged)
+/// vector-of-vectors matrix; short rows are padded with zero weights.
 double HungarianMaxWeightMatching(const std::vector<std::vector<double>>& w,
                                   std::vector<int>* out_assignment = nullptr);
 

@@ -303,9 +303,9 @@ TEST(ThreadPoolTest, EmptyRangeIsNoOp) {
   pool.ParallelFor(0, [](size_t) { FAIL() << "must not run"; });
 }
 
-TEST(ThreadPoolTest, RoundRobinAssignment) {
-  // Worker t must see exactly the indices i ≡ t (mod threads): verify by
-  // checking that each index is executed once even with unbalanced bodies.
+TEST(ThreadPoolTest, UnbalancedBodiesStillCoverAllIndices) {
+  // Dynamic chunk scheduling must still execute each index exactly once even
+  // when one stripe of indices is much more expensive than the rest.
   ThreadPool pool(4);
   std::vector<std::atomic<int>> hits(101);
   pool.ParallelFor(101, [&](size_t i) {
@@ -315,6 +315,71 @@ TEST(ThreadPoolTest, RoundRobinAssignment) {
       for (int k = 0; k < 1000; ++k) x += std::sqrt(static_cast<double>(k));
     }
     hits[i]++;
+  });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, ChunkedCoversAllIndicesExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(10007);
+  pool.ParallelForChunked(10007, 64, [&](int worker, size_t begin, size_t end) {
+    EXPECT_GE(worker, 0);
+    EXPECT_LT(worker, 4);
+    EXPECT_LE(end, 10007u);
+    for (size_t i = begin; i < end; ++i) hits[i]++;
+  });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, ChunkedChunksRespectGrain) {
+  ThreadPool pool(3);
+  std::atomic<int> oversized{0};
+  pool.ParallelForChunked(1000, 37, [&](int, size_t begin, size_t end) {
+    if (end - begin > 37) oversized++;
+  });
+  EXPECT_EQ(oversized.load(), 0);
+}
+
+TEST(ThreadPoolTest, ChunkedWorkerIdsAreSafeForScratch) {
+  // Concurrent chunks must never share a worker id: per-worker counters
+  // incremented non-atomically stay consistent iff the ids partition chunks.
+  ThreadPool pool(4);
+  struct alignas(64) Counter {
+    size_t value = 0;
+  };
+  std::vector<Counter> per_worker(4);
+  pool.ParallelForChunked(5000, 16, [&](int worker, size_t begin, size_t end) {
+    per_worker[worker].value += end - begin;
+  });
+  size_t total = 0;
+  for (const auto& c : per_worker) total += c.value;
+  EXPECT_EQ(total, 5000u);
+}
+
+TEST(ThreadPoolTest, ChunkedSmallRangeRunsInlineAsWorkerZero) {
+  ThreadPool pool(4);
+  std::vector<int> workers;
+  pool.ParallelForChunked(5, 8, [&](int worker, size_t begin, size_t end) {
+    workers.push_back(worker);
+    EXPECT_EQ(begin, 0u);
+    EXPECT_EQ(end, 5u);
+  });
+  ASSERT_EQ(workers.size(), 1u);
+  EXPECT_EQ(workers[0], 0);
+}
+
+TEST(ThreadPoolTest, ChunkedEmptyRangeIsNoOp) {
+  ThreadPool pool(2);
+  pool.ParallelForChunked(0, 8, [](int, size_t, size_t) {
+    FAIL() << "must not run";
+  });
+}
+
+TEST(ThreadPoolTest, ChunkedZeroGrainIsClampedToOne) {
+  ThreadPool pool(2);
+  std::vector<std::atomic<int>> hits(100);
+  pool.ParallelForChunked(100, 0, [&](int, size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) hits[i]++;
   });
   for (auto& h : hits) EXPECT_EQ(h.load(), 1);
 }

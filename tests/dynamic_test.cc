@@ -244,7 +244,9 @@ TEST(DenseEngine, MilnerModeIgnoresInNeighbors) {
   auto scores = ComputeFSimDense(g1, g2, config);
   ASSERT_TRUE(scores.ok());
   EXPECT_DOUBLE_EQ(scores->Score(u0, v0), 1.0);  // in-structure invisible
-}\n\n// ---------------------------------------------------------------------------
+}
+
+// ---------------------------------------------------------------------------
 // Incremental maintenance: differential vs full recomputation
 // ---------------------------------------------------------------------------
 

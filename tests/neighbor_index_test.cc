@@ -1,0 +1,217 @@
+// Path-equivalence tests for the pair-graph CSR neighbor index: for every
+// MappingKind x OmegaKind operator combination (and both matching
+// realizations, plus pin_diagonal and upper-bound pruning with α > 0), the
+// indexed fast path and the hash-lookup fallback must produce identical
+// scores — the index enumerates exactly the candidate pairs the fallback's
+// nested loops visit, in the same order.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <tuple>
+
+#include "common/random.h"
+#include "core/fsim_config.h"
+#include "core/fsim_engine.h"
+#include "core/simrank.h"
+#include "graph/graph_builder.h"
+
+namespace fsim {
+namespace {
+
+constexpr double kPathTolerance = 1e-12;
+
+/// A random labeled digraph where every node has out- and in-degree >= 1
+/// (a ring plus random chords), so no operator/omega combination divides by
+/// a zero normalizer. Labels are two-letter strings with nontrivial mutual
+/// edit similarity, giving θ a real compatibility structure.
+Graph MakeDenseRandomGraph(uint64_t seed, uint32_t n = 24) {
+  static const char* kLabels[] = {"aa", "ab", "bb", "bc"};
+  Rng rng(seed);
+  GraphBuilder builder;
+  for (uint32_t i = 0; i < n; ++i) {
+    builder.AddNode(kLabels[rng.Next() % 4]);
+  }
+  for (uint32_t i = 0; i < n; ++i) {
+    builder.AddEdge(i, (i + 1) % n);
+  }
+  for (uint32_t e = 0; e < 2 * n; ++e) {
+    NodeId from = static_cast<NodeId>(rng.Next() % n);
+    NodeId to = static_cast<NodeId>(rng.Next() % n);
+    if (from != to) builder.AddEdge(from, to);
+  }
+  return std::move(builder).BuildOrDie();
+}
+
+/// Runs `config` with the neighbor index enabled and disabled and asserts
+/// both paths produce the same pair set with scores equal within 1e-12.
+void ExpectPathEquivalence(const Graph& g, FSimConfig config,
+                           const std::string& context) {
+  config.neighbor_index_budget_bytes = 1ULL << 30;
+  auto indexed = ComputeFSimSelf(g, config);
+  ASSERT_TRUE(indexed.ok()) << context << ": " << indexed.status().ToString();
+  EXPECT_TRUE(indexed->stats().used_neighbor_index) << context;
+  EXPECT_GT(indexed->stats().neighbor_index_bytes, 0u) << context;
+
+  config.neighbor_index_budget_bytes = 0;
+  auto fallback = ComputeFSimSelf(g, config);
+  ASSERT_TRUE(fallback.ok()) << context << ": "
+                             << fallback.status().ToString();
+  EXPECT_FALSE(fallback->stats().used_neighbor_index) << context;
+
+  ASSERT_EQ(indexed->keys().size(), fallback->keys().size()) << context;
+  EXPECT_EQ(indexed->stats().iterations, fallback->stats().iterations)
+      << context;
+  for (size_t i = 0; i < indexed->keys().size(); ++i) {
+    ASSERT_EQ(indexed->keys()[i], fallback->keys()[i]) << context;
+    const double a = indexed->values()[i];
+    const double b = fallback->values()[i];
+    ASSERT_FALSE(std::isnan(a)) << context << " pair " << i;
+    ASSERT_NEAR(a, b, kPathTolerance)
+        << context << " pair " << i << " (u=" << PairFirst(indexed->keys()[i])
+        << ", v=" << PairSecond(indexed->keys()[i]) << ")";
+  }
+}
+
+const MappingKind kAllMappings[] = {
+    MappingKind::kMaxPerRow, MappingKind::kInjectiveRow,
+    MappingKind::kMaxBothSides, MappingKind::kInjectiveSym,
+    MappingKind::kProduct};
+const OmegaKind kAllOmegas[] = {OmegaKind::kSizeS1, OmegaKind::kSumSizes,
+                                OmegaKind::kGeoMean, OmegaKind::kMaxSize,
+                                OmegaKind::kProduct};
+
+const char* MappingName(MappingKind kind) {
+  switch (kind) {
+    case MappingKind::kMaxPerRow: return "MaxPerRow";
+    case MappingKind::kInjectiveRow: return "InjectiveRow";
+    case MappingKind::kMaxBothSides: return "MaxBothSides";
+    case MappingKind::kInjectiveSym: return "InjectiveSym";
+    case MappingKind::kProduct: return "Product";
+  }
+  return "Unknown";
+}
+
+const char* OmegaName(OmegaKind kind) {
+  switch (kind) {
+    case OmegaKind::kSizeS1: return "SizeS1";
+    case OmegaKind::kSumSizes: return "SumSizes";
+    case OmegaKind::kGeoMean: return "GeoMean";
+    case OmegaKind::kMaxSize: return "MaxSize";
+    case OmegaKind::kProduct: return "Product";
+  }
+  return "Unknown";
+}
+
+using PathParam = std::tuple<MappingKind, OmegaKind, MatchingAlgo>;
+
+class NeighborIndexPathEquivalence
+    : public ::testing::TestWithParam<PathParam> {};
+
+TEST_P(NeighborIndexPathEquivalence, IndexedMatchesFallback) {
+  const auto [mapping, omega, matching] = GetParam();
+  const Graph g = MakeDenseRandomGraph(/*seed=*/7 + static_cast<int>(omega));
+  FSimConfig config;
+  config.operator_override = OperatorConfig{mapping, omega};
+  config.matching = matching;
+  config.label_sim = LabelSimKind::kEditDistance;
+  config.theta = 0.4;
+  config.w_out = 0.35;
+  config.w_in = 0.35;
+  config.epsilon = 1e-4;
+  ExpectPathEquivalence(g, config, std::string(MappingName(mapping)) + "/" +
+                                       OmegaName(omega));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllOperatorCombinations, NeighborIndexPathEquivalence,
+    ::testing::Combine(::testing::ValuesIn(kAllMappings),
+                       ::testing::ValuesIn(kAllOmegas),
+                       ::testing::Values(MatchingAlgo::kGreedy,
+                                         MatchingAlgo::kHungarian)),
+    [](const ::testing::TestParamInfo<PathParam>& info) {
+      return std::string(MappingName(std::get<0>(info.param))) + "_" +
+             OmegaName(std::get<1>(info.param)) + "_" +
+             (std::get<2>(info.param) == MatchingAlgo::kHungarian
+                  ? "Hungarian"
+                  : "Greedy");
+    });
+
+TEST(NeighborIndexTest, UpperBoundAlphaEquivalence) {
+  // Pruned pairs contribute α * bound through the tagged refs; the indexed
+  // and fallback paths must agree on them for every variant.
+  const Graph g = MakeDenseRandomGraph(11);
+  for (SimVariant variant :
+       {SimVariant::kSimple, SimVariant::kDegreePreserving, SimVariant::kBi,
+        SimVariant::kBijective}) {
+    FSimConfig config;
+    config.variant = variant;
+    config.label_sim = LabelSimKind::kEditDistance;
+    config.theta = 0.4;
+    config.upper_bound = true;
+    config.alpha = 0.3;
+    config.beta = 0.6;
+    config.epsilon = 1e-4;
+    ExpectPathEquivalence(g, config,
+                          std::string("ub-alpha variant ") +
+                              std::to_string(static_cast<int>(variant)));
+  }
+}
+
+TEST(NeighborIndexTest, UpperBoundAlphaZeroEquivalence) {
+  // α = 0: pruned pairs are untracked and must be omitted from the index
+  // (their fallback lookups return 0).
+  const Graph g = MakeDenseRandomGraph(13);
+  FSimConfig config;
+  config.variant = SimVariant::kBijective;
+  config.label_sim = LabelSimKind::kEditDistance;
+  config.theta = 0.4;
+  config.upper_bound = true;
+  config.alpha = 0.0;
+  config.beta = 0.6;
+  config.epsilon = 1e-4;
+  ExpectPathEquivalence(g, config, "ub-alpha-zero");
+}
+
+TEST(NeighborIndexTest, PinDiagonalEquivalence) {
+  // SimRank semantics: diagonal pinned to 1, w+ = 0 (out-direction never
+  // built), product operators.
+  const Graph g = MakeDenseRandomGraph(17);
+  FSimConfig config = SimRankFSimConfig(0.8);
+  config.epsilon = 1e-4;
+  ExpectPathEquivalence(g, config, "pin-diagonal simrank");
+}
+
+TEST(NeighborIndexTest, ThetaZeroEquivalence) {
+  // θ = 0 admits every pair: the index covers the full N±(u) x N±(v)
+  // products.
+  const Graph g = MakeDenseRandomGraph(19, /*n=*/12);
+  FSimConfig config;
+  config.variant = SimVariant::kBijective;
+  config.theta = 0.0;
+  config.epsilon = 1e-4;
+  ExpectPathEquivalence(g, config, "theta-zero");
+}
+
+TEST(NeighborIndexTest, BudgetFallbackTriggers) {
+  const Graph g = MakeDenseRandomGraph(23);
+  FSimConfig config;
+  config.variant = SimVariant::kBijective;
+  config.label_sim = LabelSimKind::kEditDistance;
+  config.theta = 0.4;
+
+  config.neighbor_index_budget_bytes = 64;  // far below any real index
+  auto tiny = ComputeFSimSelf(g, config);
+  ASSERT_TRUE(tiny.ok());
+  EXPECT_FALSE(tiny->stats().used_neighbor_index);
+  EXPECT_EQ(tiny->stats().neighbor_index_bytes, 0u);
+
+  config.neighbor_index_budget_bytes = 1ULL << 30;
+  auto indexed = ComputeFSimSelf(g, config);
+  ASSERT_TRUE(indexed.ok());
+  EXPECT_TRUE(indexed->stats().used_neighbor_index);
+  EXPECT_LE(indexed->stats().neighbor_index_bytes, 1ULL << 30);
+}
+
+}  // namespace
+}  // namespace fsim
