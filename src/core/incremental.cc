@@ -8,17 +8,31 @@
 #include "core/fsim_engine.h"
 #include "core/operators.h"
 #include "core/pair_store.h"
-#include "graph/edits.h"
 
 namespace fsim {
 
-IncrementalFSim::IncrementalFSim(Graph g1, Graph g2, FSimConfig config,
-                                 IncrementalOptions options)
-    : g1_(std::move(g1)),
-      g2_(std::move(g2)),
+namespace {
+
+/// The sharpened per-entry influence bound c / Ωχ(S1, S2) of one direction
+/// of a dependent pair (see PushDependents in the header). Clamped at 1 so
+/// it is never looser than the coarse "Ωχ >= 1" bound; 0 when the direction
+/// has an empty side (its span has no entries, so the factor is never read).
+double InfluenceFactor(const OperatorConfig& op, size_t n1, size_t n2) {
+  if (n1 == 0 || n2 == 0) return 0.0;
+  const double c = op.mapping == MappingKind::kMaxBothSides ? 2.0 : 1.0;
+  return std::min(1.0, c / OmegaValue(op.omega, n1, n2));
+}
+
+}  // namespace
+
+IncrementalFSim::IncrementalFSim(const Graph& g1, const Graph& g2,
+                                 FSimConfig config, IncrementalOptions options)
+    : g1_(g1),
+      g2_(g2),
       config_(std::move(config)),
       options_(options),
-      lsim_(*g1_.dict(), config_.label_sim) {}
+      op_(config_.operators()),
+      lsim_(*g1.dict(), config_.label_sim) {}
 
 Result<IncrementalFSim> IncrementalFSim::Create(Graph g1, Graph g2,
                                                 FSimConfig config,
@@ -33,15 +47,13 @@ Result<IncrementalFSim> IncrementalFSim::Create(Graph g1, Graph g2,
     return Status::InvalidArgument("propagation_tolerance must be positive");
   }
 
-  IncrementalFSim inc(std::move(g1), std::move(g2), std::move(config),
-                      options);
+  IncrementalFSim inc(g1, g2, std::move(config), options);
 
-  // The differential worklist re-evaluates pairs against the live graphs,
-  // so the snapshot-time CSR neighbor index would go stale on the first
-  // edit — skip building it.
+  // Enumerate + initialize the candidate pairs; the engine maintains its own
+  // edit-capable neighbor index, so PairStore's snapshot-time one is skipped.
   FSIM_ASSIGN_OR_RETURN(
       PairStore store,
-      PairStore::Build(inc.g1_, inc.g2_, inc.config_, inc.lsim_,
+      PairStore::Build(g1, g2, inc.config_, inc.lsim_,
                        /*build_neighbor_index=*/false));
   // Move the initialized candidate set into the mutable single-buffer table;
   // prev_ holds the FSim^0 initialization right after Build.
@@ -74,16 +86,58 @@ Result<IncrementalFSim> IncrementalFSim::Create(Graph g1, Graph g2,
   }
 
   inc.in_queue_.assign(inc.keys_.size(), 0);
-  inc.pending_.assign(inc.keys_.size(), 0.0);
+  inc.dirty_dir_.assign(inc.keys_.size(), 0);
+  inc.pending_out_.assign(inc.keys_.size(), 0.0);
+  inc.pending_in_.assign(inc.keys_.size(), 0.0);
+  inc.out_cache_.assign(inc.keys_.size(), 0.0);
+  inc.in_cache_.assign(inc.keys_.size(), 0.0);
+  inc.influence_factor_out_.resize(inc.keys_.size());
+  inc.influence_factor_in_.resize(inc.keys_.size());
+  inc.const_term_.resize(inc.keys_.size());
+  const double label_weight = 1.0 - inc.config_.w_out - inc.config_.w_in;
+  for (size_t i = 0; i < inc.keys_.size(); ++i) {
+    const NodeId u = PairFirst(inc.keys_[i]);
+    const NodeId v = PairSecond(inc.keys_[i]);
+    inc.influence_factor_out_[i] =
+        InfluenceFactor(inc.op_, inc.g1_.OutDegree(u), inc.g2_.OutDegree(v));
+    inc.influence_factor_in_[i] =
+        InfluenceFactor(inc.op_, inc.g1_.InDegree(u), inc.g2_.InDegree(v));
+    double label_term = 0.0;
+    switch (inc.config_.label_term) {
+      case LabelTermKind::kLabelSim:
+        label_term = inc.lsim_.Sim(inc.g1_.Label(u), inc.g2_.Label(v));
+        break;
+      case LabelTermKind::kZero:
+        label_term = 0.0;
+        break;
+      case LabelTermKind::kOne:
+        label_term = 1.0;
+        break;
+    }
+    inc.const_term_[i] = label_weight * label_term;
+  }
+  inc.nbr_index_.Build(inc.IndexEnv(), inc.keys_, inc.config_);
   inc.SolveFull();
   return inc;
 }
 
-double IncrementalFSim::Evaluate(size_t i) {
+double IncrementalFSim::ComputeDirection(size_t i, int dir) {
   const NodeId u = PairFirst(keys_[i]);
   const NodeId v = PairSecond(keys_[i]);
-  if (config_.pin_diagonal && u == v) return 1.0;
-
+  if (nbr_index_.enabled()) {
+    const double* vals = values_.data();
+    auto score_of = [vals](uint32_t ref) -> double { return vals[ref]; };
+    if (dir == IncrementalNeighborIndex::kOut) {
+      return DirectionScoreIndexed(
+          op_, config_.matching, g1_.OutDegree(u), g2_.OutDegree(v),
+          nbr_index_.Refs(i, IncrementalNeighborIndex::kOut), score_of,
+          &scratch_);
+    }
+    return DirectionScoreIndexed(
+        op_, config_.matching, g1_.InDegree(u), g2_.InDegree(v),
+        nbr_index_.Refs(i, IncrementalNeighborIndex::kIn), score_of,
+        &scratch_);
+  }
   auto lookup = [&](NodeId x, NodeId y) -> double {
     if (!lsim_.Compatible(g1_.Label(x), g2_.Label(y), config_.theta)) {
       return -1.0;
@@ -91,78 +145,120 @@ double IncrementalFSim::Evaluate(size_t i) {
     uint32_t idx = index_.Find(PairKey(x, y));
     return idx == FlatPairMap::kNotFound ? 0.0 : values_[idx];
   };
-
-  const OperatorConfig op = config_.operators();
-  const double out_score =
-      DirectionScore(op, config_.matching, g1_.OutNeighbors(u),
-                     g2_.OutNeighbors(v), lookup, &scratch_);
-  const double in_score =
-      DirectionScore(op, config_.matching, g1_.InNeighbors(u),
-                     g2_.InNeighbors(v), lookup, &scratch_);
-
-  double label_term = 0.0;
-  switch (config_.label_term) {
-    case LabelTermKind::kLabelSim:
-      label_term = lsim_.Sim(g1_.Label(u), g2_.Label(v));
-      break;
-    case LabelTermKind::kZero:
-      label_term = 0.0;
-      break;
-    case LabelTermKind::kOne:
-      label_term = 1.0;
-      break;
+  if (dir == IncrementalNeighborIndex::kOut) {
+    return DirectionScore(op_, config_.matching, g1_.OutNeighbors(u),
+                          g2_.OutNeighbors(v), lookup, &scratch_);
   }
-  return config_.w_out * out_score + config_.w_in * in_score +
-         (1.0 - config_.w_out - config_.w_in) * label_term;
+  return DirectionScore(op_, config_.matching, g1_.InNeighbors(u),
+                        g2_.InNeighbors(v), lookup, &scratch_);
+}
+
+double IncrementalFSim::EvaluateDirty(size_t i, uint8_t dirty) {
+  const NodeId u = PairFirst(keys_[i]);
+  const NodeId v = PairSecond(keys_[i]);
+  if (config_.pin_diagonal && u == v) return 1.0;
+  if ((dirty & kDirtyOut) && config_.w_out > 0.0) {
+    out_cache_[i] = ComputeDirection(i, IncrementalNeighborIndex::kOut);
+  }
+  if ((dirty & kDirtyIn) && config_.w_in > 0.0) {
+    in_cache_[i] = ComputeDirection(i, IncrementalNeighborIndex::kIn);
+  }
+  return config_.w_out * out_cache_[i] + config_.w_in * in_cache_[i] +
+         const_term_[i];
 }
 
 void IncrementalFSim::SolveFull() {
   // Synchronous Jacobi sweeps as in ComputeFSim. The single score table is
-  // double-buffered locally; after convergence values_ holds the fixpoint
-  // approximation with residual < epsilon.
+  // double-buffered locally; after the loop one extra recording sweep
+  // re-establishes the cache invariant (values_ = combine(caches) with the
+  // caches computed against the pre-swap table) and its residual decides
+  // convergence — it only shrinks under the contraction, so the extra sweep
+  // never loosens the epsilon guarantee.
   std::vector<double> next(values_.size());
   const uint32_t max_iters = FSimIterationBound(config_);
   for (uint32_t iter = 1; iter <= max_iters; ++iter) {
     double max_delta = 0.0;
     for (size_t i = 0; i < keys_.size(); ++i) {
-      next[i] = Evaluate(i);
+      next[i] = EvaluateDirty(i, kDirtyOut | kDirtyIn);
       max_delta = std::max(max_delta, std::abs(next[i] - values_[i]));
     }
     values_.swap(next);
     if (max_delta < config_.epsilon) break;
   }
+  double max_delta = 0.0;
+  for (size_t i = 0; i < keys_.size(); ++i) {
+    next[i] = EvaluateDirty(i, kDirtyOut | kDirtyIn);
+    max_delta = std::max(max_delta, std::abs(next[i] - values_[i]));
+  }
+  values_.swap(next);
+  converged_ = max_delta < config_.epsilon;
 }
 
-void IncrementalFSim::PushInfluence(NodeId u, NodeId v, double influence) {
-  uint32_t idx = index_.Find(PairKey(u, v));
-  if (idx == FlatPairMap::kNotFound) return;
-  pending_[idx] += influence;
+void IncrementalFSim::MaybeEnqueue(uint32_t idx) {
   if (in_queue_[idx]) return;
-  if (pending_[idx] <= options_.propagation_tolerance) return;
+  if (pending_out_[idx] + pending_in_[idx] <=
+      options_.propagation_tolerance) {
+    return;
+  }
   in_queue_[idx] = 1;
   queue_.push_back(idx);
 }
 
+void IncrementalFSim::AddPendingOut(uint32_t idx, double influence) {
+  pending_out_[idx] += influence;
+  MaybeEnqueue(idx);
+}
+
+void IncrementalFSim::AddPendingIn(uint32_t idx, double influence) {
+  pending_in_[idx] += influence;
+  MaybeEnqueue(idx);
+}
+
 void IncrementalFSim::PushDependents(size_t i, double delta) {
+  if (nbr_index_.enabled()) {
+    // Pair i's own spans double as its dependent lists: the in-span refs
+    // are the maintained pairs (x, y) with x ∈ N-(u), y ∈ N-(v) — exactly
+    // the pairs whose out-direction reads (u, v) — and symmetrically for
+    // the out-span. The ref walk replaces |N±(u)|·|N±(v)| hash probes.
+    if (config_.w_out > 0.0) {
+      const double base = config_.w_out * delta;
+      for (const NeighborRef& e :
+           nbr_index_.Refs(i, IncrementalNeighborIndex::kIn)) {
+        AddPendingOut(e.ref, base * influence_factor_out_[e.ref]);
+      }
+    }
+    if (config_.w_in > 0.0) {
+      const double base = config_.w_in * delta;
+      for (const NeighborRef& e :
+           nbr_index_.Refs(i, IncrementalNeighborIndex::kOut)) {
+        AddPendingIn(e.ref, base * influence_factor_in_[e.ref]);
+      }
+    }
+    return;
+  }
   const NodeId u = PairFirst(keys_[i]);
   const NodeId v = PairSecond(keys_[i]);
   // (u, v) is read by the out-direction of pairs in N-(u) x N-(v), where it
-  // can move the result by at most w+ * delta (the mapping sum is
-  // 1-Lipschitz per entry and Ωχ >= 1) ...
+  // can move the result by at most w+ * c * delta / Ωχ of that dependent
+  // (the sharpened Lipschitz bound, see the header) ...
   if (config_.w_out > 0.0) {
-    const double influence = config_.w_out * delta;
+    const double base = config_.w_out * delta;
     for (NodeId up : g1_.InNeighbors(u)) {
       for (NodeId vp : g2_.InNeighbors(v)) {
-        PushInfluence(up, vp, influence);
+        const uint32_t idx = index_.Find(PairKey(up, vp));
+        if (idx == FlatPairMap::kNotFound) continue;
+        AddPendingOut(idx, base * influence_factor_out_[idx]);
       }
     }
   }
   // ... and by the in-direction of pairs in N+(u) x N+(v).
   if (config_.w_in > 0.0) {
-    const double influence = config_.w_in * delta;
+    const double base = config_.w_in * delta;
     for (NodeId up : g1_.OutNeighbors(u)) {
       for (NodeId vp : g2_.OutNeighbors(v)) {
-        PushInfluence(up, vp, influence);
+        const uint32_t idx = index_.Find(PairKey(up, vp));
+        if (idx == FlatPairMap::kNotFound) continue;
+        AddPendingIn(idx, base * influence_factor_in_[idx]);
       }
     }
   }
@@ -190,76 +286,128 @@ Status IncrementalFSim::Propagate() {
   uint64_t changed = 0;
   uint32_t wave = 0;
   size_t wave_end = queue_.size();
-  bool truncated = false;
+  bool wave_capped = false;
+  bool update_capped = false;
+  // Within a wave, absorb the largest accumulated influences first: their
+  // deltas then land in dependents' pending sums before those dependents
+  // are themselves evaluated, so one evaluation absorbs several inputs and
+  // the repeat-evaluation tail of later waves shrinks. A full sort pays
+  // more than it saves (measured ~10% of the edit in comparator cache
+  // misses), so a linear stable two-class partition around 1/16 of the wave
+  // maximum captures the head of the geometric influence distribution
+  // instead. Ordering only reshuffles the chaotic iteration; the fixpoint
+  // and the τ error budget are order-independent.
+  std::vector<uint32_t>& wave_scratch = wave_scratch_;
+  auto partition_wave = [&](size_t begin, size_t end) {
+    if (end - begin < 64) return;
+    double max_pending = 0.0;
+    for (size_t q = begin; q < end; ++q) {
+      const uint32_t i = queue_[q];
+      max_pending =
+          std::max(max_pending, pending_out_[i] + pending_in_[i]);
+    }
+    const double threshold = max_pending / 16.0;
+    wave_scratch.clear();
+    size_t big = begin;
+    for (size_t q = begin; q < end; ++q) {
+      const uint32_t i = queue_[q];
+      if (pending_out_[i] + pending_in_[i] >= threshold) {
+        queue_[big++] = i;
+      } else {
+        wave_scratch.push_back(i);
+      }
+    }
+    std::copy(wave_scratch.begin(), wave_scratch.end(), queue_.begin() + big);
+  };
+  partition_wave(queue_head_, wave_end);
   while (queue_head_ < queue_.size()) {
     if (queue_head_ == wave_end) {
       ++wave;
       wave_end = queue_.size();
       if (wave >= max_waves) {
-        truncated = true;
+        wave_capped = true;
         break;
       }
+      partition_wave(queue_head_, wave_end);
     }
     const uint32_t i = queue_[queue_head_++];
     in_queue_[i] = 0;
-    pending_[i] = 0.0;
-    const double fresh = Evaluate(i);
+    uint8_t dirty = dirty_dir_[i];
+    if (pending_out_[i] > 0.0) dirty |= kDirtyOut;
+    if (pending_in_[i] > 0.0) dirty |= kDirtyIn;
+    dirty_dir_[i] = 0;
+    pending_out_[i] = 0.0;
+    pending_in_[i] = 0.0;
+    const double fresh = EvaluateDirty(i, dirty);
     ++recomputed;
-    if (recomputed > options_.max_updates_per_edit) {
-      truncated = true;
-      break;
-    }
     const double delta = std::abs(fresh - values_[i]);
+    // Commit before any truncation check: the evaluation is already paid
+    // for, and the committed value is closer to the fixpoint.
     values_[i] = fresh;
     if (delta > tau) {
       ++changed;
       PushDependents(i, delta);
     }
+    if (recomputed >= options_.max_updates_per_edit &&
+        queue_head_ < queue_.size()) {
+      update_capped = true;
+      break;
+    }
   }
-  // Reset any worklist remainder so the engine stays usable (wave-capped
-  // leftovers carry sub-tolerance influence by the geometric-decay argument).
+  // Reset any worklist remainder so the engine stays usable. Wave-capped
+  // leftovers carry sub-tolerance influence by the geometric-decay argument;
+  // update-cap leftovers may not — either way the snapshot reports the
+  // truncation via converged=false.
   for (size_t q = queue_head_; q < queue_.size(); ++q) {
     in_queue_[queue_[q]] = 0;
-    pending_[queue_[q]] = 0.0;
+    dirty_dir_[queue_[q]] = 0;
+    pending_out_[queue_[q]] = 0.0;
+    pending_in_[queue_[q]] = 0.0;
   }
   queue_.clear();
   queue_head_ = 0;
   last_edit_.recomputed = recomputed;
   last_edit_.changed = changed;
   last_edit_.waves = wave;
+  last_edit_.truncated = wave_capped || update_capped;
+  if (last_edit_.truncated) converged_ = false;
   last_edit_.propagate_seconds = timer.Seconds();
-  if (recomputed > options_.max_updates_per_edit) {
+  if (update_capped) {
     return Status::Internal(StrFormat(
         "edit exceeded max_updates_per_edit (%llu); scores may not have "
         "re-converged",
         static_cast<unsigned long long>(options_.max_updates_per_edit)));
   }
-  (void)truncated;  // wave-cap truncation is within the documented tolerance
   return Status::OK();
 }
 
 void IncrementalFSim::SeedEndpointPairs(int graph_index, NodeId a, NodeId b) {
+  // The edit changed N+(a) and N-(b) of the edited graph, so the pairs on
+  // row/column a need their out-direction recomputed and those on row/column
+  // b their in-direction. The structural change is flagged via dirty_dir_
+  // (a pending magnitude cannot express "the input *set* changed").
   size_t seeded = 0;
+  auto seed = [&](uint32_t i, uint8_t dir_bit) {
+    dirty_dir_[i] |= dir_bit;
+    if (!in_queue_[i]) {
+      in_queue_[i] = 1;
+      queue_.push_back(i);
+      ++seeded;
+    }
+  };
   if (graph_index == 1) {
-    for (NodeId x : {a, b}) {
-      for (uint32_t i = row_offsets_[x]; i < row_offsets_[x + 1]; ++i) {
-        if (!in_queue_[i]) {
-          in_queue_[i] = 1;
-          queue_.push_back(i);
-          ++seeded;
-        }
-      }
+    for (uint32_t i = row_offsets_[a]; i < row_offsets_[a + 1]; ++i) {
+      seed(i, kDirtyOut);
+    }
+    for (uint32_t i = row_offsets_[b]; i < row_offsets_[b + 1]; ++i) {
+      seed(i, kDirtyIn);
     }
   } else {
-    for (NodeId x : {a, b}) {
-      for (uint32_t c = col_offsets_[x]; c < col_offsets_[x + 1]; ++c) {
-        const uint32_t i = col_pairs_[c];
-        if (!in_queue_[i]) {
-          in_queue_[i] = 1;
-          queue_.push_back(i);
-          ++seeded;
-        }
-      }
+    for (uint32_t c = col_offsets_[a]; c < col_offsets_[a + 1]; ++c) {
+      seed(col_pairs_[c], kDirtyOut);
+    }
+    for (uint32_t c = col_offsets_[b]; c < col_offsets_[b + 1]; ++c) {
+      seed(col_pairs_[c], kDirtyIn);
     }
   }
   last_edit_.seeded_pairs = seeded;
@@ -271,13 +419,66 @@ Status IncrementalFSim::ApplyEdit(int graph_index, NodeId from, NodeId to,
     return Status::InvalidArgument("graph_index must be 1 or 2");
   }
   last_edit_ = EditStats{};
-  Timer rebuild_timer;
-  Graph& target = graph_index == 1 ? g1_ : g2_;
-  FSIM_ASSIGN_OR_RETURN(Graph edited,
-                        insert ? WithEdgeAdded(target, from, to)
-                               : WithEdgeRemoved(target, from, to));
-  target = std::move(edited);
-  last_edit_.graph_rebuild_seconds = rebuild_timer.Seconds();
+  Timer edit_timer;
+  DynamicGraph& target = graph_index == 1 ? g1_ : g2_;
+  // A rejected edit (duplicate insert, absent removal, bad endpoint) leaves
+  // the adjacency, index and scores untouched.
+  FSIM_RETURN_NOT_OK(insert ? target.InsertEdge(from, to)
+                            : target.RemoveEdge(from, to));
+  last_edit_.graph_rebuild_seconds = edit_timer.Seconds();
+
+  // Patch exactly what the edit invalidated. A graph-1 edit (from, to)
+  // changes N+(from) and N-(to), so the out-spans (and out-direction Ωχ
+  // factors) of row `from` and the in-spans/factors of row `to`; a graph-2
+  // edit the same per column. (For a self-loop from == to both loops walk
+  // the same row/column, re-staging its two distinct directions.) The
+  // influence factors are refreshed even when the index is over budget —
+  // the hash fallback shares the sharpened propagation bound.
+  Timer patch_timer;
+  const bool indexed = nbr_index_.enabled();
+  const NeighborIndexEnv env = IndexEnv();
+  const uint64_t restaged_before = nbr_index_.restaged_spans();
+  const OperatorConfig& op = op_;
+  if (graph_index == 1) {
+    for (uint32_t i = row_offsets_[from]; i < row_offsets_[from + 1]; ++i) {
+      const NodeId v = PairSecond(keys_[i]);
+      if (indexed) {
+        nbr_index_.Restage(i, IncrementalNeighborIndex::kOut, from, v, env);
+      }
+      influence_factor_out_[i] =
+          InfluenceFactor(op, g1_.OutDegree(from), g2_.OutDegree(v));
+    }
+    for (uint32_t i = row_offsets_[to]; i < row_offsets_[to + 1]; ++i) {
+      const NodeId v = PairSecond(keys_[i]);
+      if (indexed) {
+        nbr_index_.Restage(i, IncrementalNeighborIndex::kIn, to, v, env);
+      }
+      influence_factor_in_[i] =
+          InfluenceFactor(op, g1_.InDegree(to), g2_.InDegree(v));
+    }
+  } else {
+    for (uint32_t c = col_offsets_[from]; c < col_offsets_[from + 1]; ++c) {
+      const uint32_t i = col_pairs_[c];
+      const NodeId u = PairFirst(keys_[i]);
+      if (indexed) {
+        nbr_index_.Restage(i, IncrementalNeighborIndex::kOut, u, from, env);
+      }
+      influence_factor_out_[i] =
+          InfluenceFactor(op, g1_.OutDegree(u), g2_.OutDegree(from));
+    }
+    for (uint32_t c = col_offsets_[to]; c < col_offsets_[to + 1]; ++c) {
+      const uint32_t i = col_pairs_[c];
+      const NodeId u = PairFirst(keys_[i]);
+      if (indexed) {
+        nbr_index_.Restage(i, IncrementalNeighborIndex::kIn, u, to, env);
+      }
+      influence_factor_in_[i] =
+          InfluenceFactor(op, g1_.InDegree(u), g2_.InDegree(to));
+    }
+  }
+  last_edit_.restaged_spans =
+      static_cast<size_t>(nbr_index_.restaged_spans() - restaged_before);
+  last_edit_.index_patch_seconds = patch_timer.Seconds();
 
   // The pairs whose own Equation 3 inputs changed shape: `from`'s
   // out-neighbor set and `to`'s in-neighbor set in the edited graph.
@@ -297,7 +498,10 @@ FSimScores IncrementalFSim::Snapshot() const {
   FSimStats stats;
   stats.maintained_pairs = keys_.size();
   stats.theta_candidates = keys_.size();
-  stats.converged = true;
+  stats.converged = converged_;
+  stats.used_neighbor_index = nbr_index_.enabled();
+  stats.neighbor_index_bytes =
+      nbr_index_.enabled() ? nbr_index_.MemoryBytes() : 0;
   return FSimScores(keys_, values_, index_, stats);
 }
 

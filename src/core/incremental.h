@@ -17,15 +17,31 @@
 // the out-direction of every pair in N-(u) x N-(v) and by the in-direction of
 // every pair in N+(u) x N+(v).
 //
+// Cost model — every per-edit phase is O(affected degree), independent of
+// |V| + |E|:
+//  * the graphs are held as DynamicGraph (graph/dynamic_graph.h), so the
+//    edge edit itself patches two sorted adjacency lists in O(deg);
+//  * the pair-graph CSR neighbor index (core/incremental_index.h) is
+//    maintained, not rebuilt: an edit to edge (a, b) in graph 1 invalidates
+//    only the out-spans of pairs (a, *) and the in-spans of pairs (b, *)
+//    (symmetrically (*, a) / (*, b) for graph 2), and exactly those spans
+//    are re-staged — O(|N(u)|·|N(v)|) classify work per affected pair, the
+//    same order as the one re-evaluation the edit forces anyway;
+//  * evaluation and dependent-propagation both run over the index
+//    (DirectionScoreIndexed + contiguous ref walks) instead of per-neighbor
+//    hash probes and label checks; when the index exceeds its memory budget
+//    the engine falls back to the hash path with identical results.
+//
 // Restrictions:
 //  * upper-bound updating must be off (pruning decisions are edge-dependent,
 //    so the maintained candidate set would change under edits);
 //  * edits are edge-level; the node set and labels are fixed (the θ-filtered
-//    candidate set depends only on labels, so it stays valid).
+//    candidate set depends only on labels, so it stays valid — which is also
+//    what keeps the maintained index's ref values stable under edits).
 //
-// Verified against full recomputation by the property tests in
-// tests/incremental_test.cc; the work savings are quantified by
-// bench/exp_incremental.
+// Verified against full recomputation and against the hash fallback by the
+// property tests in tests/dynamic_test.cc; the work savings are quantified
+// by bench/exp_incremental (BENCH_incremental.json).
 #ifndef FSIM_CORE_INCREMENTAL_H_
 #define FSIM_CORE_INCREMENTAL_H_
 
@@ -35,6 +51,8 @@
 #include "common/result.h"
 #include "core/fsim_config.h"
 #include "core/fsim_scores.h"
+#include "core/incremental_index.h"
+#include "graph/dynamic_graph.h"
 #include "graph/graph.h"
 #include "label/label_similarity.h"
 #include "matching/greedy_matching.h"
@@ -48,9 +66,11 @@ struct IncrementalOptions {
   /// fixpoint (w = w+ + w-).
   double propagation_tolerance = 1e-9;
 
-  /// Safety valve: an edit that recomputes more pair-updates than this
-  /// returns Internal (possible only in pathological non-contractive corner
-  /// cases of the greedy matching realization).
+  /// Safety valve: an edit that recomputes more pair-updates than this is
+  /// truncated and returns Internal (possible only in pathological
+  /// non-contractive corner cases of the greedy matching realization). The
+  /// updates performed before the cap are kept, and the snapshot reports
+  /// the state as not converged.
   uint64_t max_updates_per_edit = 200'000'000;
 };
 
@@ -61,7 +81,11 @@ struct EditStats {
   size_t changed = 0;           // recomputations that changed the score > τ
   uint32_t waves = 0;           // propagation waves executed (capped at the
                                 // Corollary 1 bound ceil(log_w τ) + 2)
-  double graph_rebuild_seconds = 0.0;
+  size_t restaged_spans = 0;    // neighbor-index spans re-staged by the edit
+  bool truncated = false;       // hit max_updates_per_edit or the wave cap;
+                                // the snapshot then reports converged=false
+  double graph_rebuild_seconds = 0.0;  // O(deg) adjacency patch
+  double index_patch_seconds = 0.0;    // O(deg) neighbor-index span re-stage
   double propagate_seconds = 0.0;
 };
 
@@ -80,11 +104,11 @@ class IncrementalFSim {
                                         IncrementalOptions options = {});
 
   /// Adds the directed edge from -> to in graph `graph_index` (1 or 2) and
-  /// re-converges the affected scores.
+  /// re-converges the affected scores. O(affected degree), not O(|V|+|E|).
   Status InsertEdge(int graph_index, NodeId from, NodeId to);
 
-  /// Removes the directed edge from -> to in graph `graph_index` (1 or 2) and
-  /// re-converges the affected scores.
+  /// Removes the directed edge from -> to in graph `graph_index` (1 or 2)
+  /// and re-converges the affected scores.
   Status RemoveEdge(int graph_index, NodeId from, NodeId to);
 
   /// FSimχ(u, v) under the current graphs; 0 for non-candidate pairs.
@@ -101,21 +125,59 @@ class IncrementalFSim {
   size_t NumPairs() const { return keys_.size(); }
 
   /// An immutable snapshot of the current scores (copies the score table).
+  /// stats().converged faithfully reports whether every propagation since
+  /// Create ran to quiescence (no truncation by max_updates_per_edit or the
+  /// wave cap).
   FSimScores Snapshot() const;
 
-  const Graph& g1() const { return g1_; }
-  const Graph& g2() const { return g2_; }
+  /// The evolving graphs (edit-capable adjacency; read API mirrors Graph).
+  const DynamicGraph& g1() const { return g1_; }
+  const DynamicGraph& g2() const { return g2_; }
+
+  /// Materialized immutable CSR copies of the current graphs, for handing
+  /// to the batch engines (e.g. verification against ComputeFSim).
+  Graph MaterializeG1() const { return g1_.ToGraph(); }
+  Graph MaterializeG2() const { return g2_.ToGraph(); }
+
   const FSimConfig& config() const { return config_; }
+
+  /// False once any propagation was truncated (see EditStats::truncated) or
+  /// the initial solve stopped above epsilon.
+  bool converged() const { return converged_; }
+
+  /// True while the maintained pair-graph CSR neighbor index is active
+  /// (false: over budget at Create; evaluation uses hash lookups).
+  bool uses_neighbor_index() const { return nbr_index_.enabled(); }
 
   /// Work report of the most recent InsertEdge/RemoveEdge.
   const EditStats& last_edit_stats() const { return last_edit_; }
 
  private:
-  IncrementalFSim(Graph g1, Graph g2, FSimConfig config,
+  IncrementalFSim(const Graph& g1, const Graph& g2, FSimConfig config,
                   IncrementalOptions options);
 
-  /// One Equation 3 evaluation of pair i against the current score table.
-  double Evaluate(size_t i);
+  NeighborIndexEnv IndexEnv() const {
+    return NeighborIndexEnv{g1_, g2_, index_, lsim_};
+  }
+
+  // Direction-dirtiness bits: influence arrives targeted at one direction
+  // (a dependent reached through its out-direction only needs that
+  // direction recomputed), so each pair caches its two direction scores and
+  // a dequeue recomputes only the dirty ones. Reusing a clean cached
+  // direction is sound: any of its inputs that moved either pushed
+  // influence here (marking it dirty) or was absorbed sub-τ at the source —
+  // which the τ·(1+w)/(1-w) budget already accounts for.
+  static constexpr uint8_t kDirtyOut = 1;
+  static constexpr uint8_t kDirtyIn = 2;
+
+  /// One direction's Equation 3 contribution of pair i against the current
+  /// score table (through the maintained index when enabled; bit-identical
+  /// either way). dir is IncrementalNeighborIndex::kOut or kIn.
+  double ComputeDirection(size_t i, int dir);
+
+  /// The Equation 3 value of pair i, recomputing only the directions in
+  /// `dirty` and reusing the cached scores for the rest.
+  double EvaluateDirty(size_t i, uint8_t dirty);
 
   /// Runs synchronous sweeps to convergence (the initial solve).
   void SolveFull();
@@ -127,43 +189,83 @@ class IncrementalFSim {
   /// (*, x) for graph 2.
   void SeedEndpointPairs(int graph_index, NodeId a, NodeId b);
 
-  /// Applies the graph-side edit and seeds the worklist.
+  /// Applies the graph-side edit, re-stages the invalidated index spans and
+  /// seeds the worklist.
   Status ApplyEdit(int graph_index, NodeId from, NodeId to, bool insert);
 
   /// Residual-driven propagation: a change of magnitude `delta` at pair i
-  /// adds at most w± * delta to each dependent's next evaluation, so that
-  /// bound is *accumulated* per dependent and the dependent is re-evaluated
-  /// only once its pending influence exceeds the tolerance.
+  /// moves a dependent's direction sum by at most c * delta (the mapping
+  /// operators are 1-Lipschitz per entry; c = 2 for the both-sides mapping,
+  /// whose entries feed a row and a column maximum), hence the dependent's
+  /// score by at most w± * c * delta / Ωχ of that dependent's direction.
+  /// That bound is *accumulated* per dependent (influence_factor_out_/in_
+  /// hold the precomputed c / Ωχ, maintained under edits alongside the index
+  /// spans) and the dependent is re-evaluated only once its pending
+  /// influence exceeds the tolerance — so the τ·(1+w)/(1-w) accuracy
+  /// guarantee is preserved while hub-adjacent pairs (large Ωχ) absorb far
+  /// more sub-threshold traffic. With the index enabled the dependents are
+  /// read off pair i's own spans (the in-span refs are exactly the pairs
+  /// reading i through their out-direction, and vice versa); the fallback
+  /// walks N±(u) x N±(v) with hash probes.
   void PushDependents(size_t i, double delta);
-  void PushInfluence(NodeId u, NodeId v, double influence);
+  void AddPendingOut(uint32_t idx, double influence);
+  void AddPendingIn(uint32_t idx, double influence);
+  void MaybeEnqueue(uint32_t idx);
 
-  Graph g1_;
-  Graph g2_;
+  DynamicGraph g1_;
+  DynamicGraph g2_;
   FSimConfig config_;
   IncrementalOptions options_;
+  OperatorConfig op_;  // config_.operators(), hoisted out of Evaluate
   LabelSimilarityCache lsim_;
 
   std::vector<uint64_t> keys_;  // sorted u-major
   std::vector<double> values_;
+  // Per-pair constant Equation 3 tail (1 - w+ - w-) * L(u, v): labels are
+  // fixed under edits, so it never changes.
+  std::vector<double> const_term_;
   FlatPairMap index_;
 
   // Per-u contiguous ranges into keys_ (u-major sort): row_offsets_[u] ..
-  // row_offsets_[u+1]. Used to seed edits in graph 1.
+  // row_offsets_[u+1]. Used to seed and re-stage edits in graph 1.
   std::vector<uint32_t> row_offsets_;
-  // CSR of store indices grouped by v. Used to seed edits in graph 2.
+  // CSR of store indices grouped by v. Used to seed and re-stage edits in
+  // graph 2.
   std::vector<uint32_t> col_offsets_;
   std::vector<uint32_t> col_pairs_;
 
-  // Worklist state (kept allocated across edits). pending_[i] accumulates
-  // the upper bound on how much pair i's next evaluation can move, given the
-  // input changes seen since it was last evaluated.
+  // Maintained pair-graph CSR neighbor index (delta-patched under edits).
+  IncrementalNeighborIndex nbr_index_;
+
+  // Per-pair sharpened influence factors c / Ωχ(S1, S2) for each direction
+  // (see PushDependents); re-derived for the affected rows/columns on every
+  // edit, since Ωχ depends on the endpoint degrees.
+  std::vector<double> influence_factor_out_;
+  std::vector<double> influence_factor_in_;
+
+  // Cached per-direction scores; the invariant values_[i] ==
+  // w+ * out_cache_[i] + w- * in_cache_[i] + const_term_[i] holds for every
+  // pair outside the worklist (pin_diagonal pairs excepted — they are
+  // constant 1 and never read their caches).
+  std::vector<double> out_cache_;
+  std::vector<double> in_cache_;
+
+  // Worklist state (kept allocated across edits). pending_out_/in_[i]
+  // accumulate the upper bound on how much pair i's next evaluation of that
+  // direction can move, given the input changes seen since it was last
+  // evaluated; dirty_dir_[i] marks directions whose *inputs changed shape*
+  // (edit seeding), which pending magnitudes cannot express.
   std::vector<uint32_t> queue_;
   std::vector<uint8_t> in_queue_;
-  std::vector<double> pending_;
+  std::vector<uint8_t> dirty_dir_;
+  std::vector<double> pending_out_;
+  std::vector<double> pending_in_;
+  std::vector<uint32_t> wave_scratch_;  // Propagate's wave partition buffer
   size_t queue_head_ = 0;
 
   MatchingScratch scratch_;
   EditStats last_edit_;
+  bool converged_ = false;
 };
 
 }  // namespace fsim

@@ -1,0 +1,150 @@
+#include "core/incremental_index.h"
+
+#include <algorithm>
+
+namespace fsim {
+
+void IncrementalNeighborIndex::ClassifyInto(
+    std::span<const NodeId> s1, std::span<const NodeId> s2,
+    const NeighborIndexEnv& env, std::vector<NeighborRef>* out) const {
+  for (uint32_t r = 0; r < s1.size(); ++r) {
+    for (uint32_t c = 0; c < s2.size(); ++c) {
+      const NodeId x = s1[r];
+      const NodeId y = s2[c];
+      if (need_compat_ &&
+          !env.lsim.Compatible(env.g1.Label(x), env.g2.Label(y), theta_)) {
+        continue;
+      }
+      const uint32_t idx = env.pair_index.Find(PairKey(x, y));
+      // Absent pairs would look up 0.0, which never contributes to any
+      // operator; omit them (the incremental engine maintains the full
+      // θ-candidate set, so there is no pruned side table to tag into).
+      if (idx == FlatPairMap::kNotFound) continue;
+      out->push_back(NeighborRef{r, c, idx});
+    }
+  }
+}
+
+bool IncrementalNeighborIndex::Build(const NeighborIndexEnv& env,
+                                     std::span<const uint64_t> keys,
+                                     const FSimConfig& config) {
+  enabled_ = false;
+  const size_t n = keys.size();
+  if (config.neighbor_index_budget_bytes == 0) return false;
+  // Stay inside the untagged ref range shared with the batch index.
+  if (n >= kNeighborRefPrunedTag) return false;
+
+  need_compat_ = config.theta > 0.0;
+  theta_ = config.theta;
+  pin_diagonal_ = config.pin_diagonal;
+  budget_bytes_ = config.neighbor_index_budget_bytes;
+
+  // Budget gate against the pre-filter bound Σ |N±(u)|·|N±(v)| over both
+  // directions (compatibility filtering only shrinks the real footprint).
+  uint64_t max_entries = 0;
+  for (uint64_t key : keys) {
+    const NodeId u = PairFirst(key);
+    const NodeId v = PairSecond(key);
+    if (pin_diagonal_ && u == v) continue;
+    max_entries +=
+        static_cast<uint64_t>(env.g1.OutDegree(u)) * env.g2.OutDegree(v);
+    max_entries +=
+        static_cast<uint64_t>(env.g1.InDegree(u)) * env.g2.InDegree(v);
+  }
+  const uint64_t meta_bytes = 2 * n * sizeof(SpanMeta);
+  if (max_entries * sizeof(NeighborRef) + meta_bytes >
+      config.neighbor_index_budget_bytes) {
+    return false;
+  }
+
+  spans_.assign(2 * n, SpanMeta{});
+  arena_.clear();
+  freed_ = 0;
+  restaged_spans_ = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const NodeId u = PairFirst(keys[i]);
+    const NodeId v = PairSecond(keys[i]);
+    if (pin_diagonal_ && u == v) {
+      // Pinned pairs are never evaluated and never change, so neither
+      // direction span is needed (their dependents receive no pushes).
+      continue;
+    }
+    for (int dir : {kOut, kIn}) {
+      stage_.clear();
+      if (dir == kOut) {
+        ClassifyInto(env.g1.OutNeighbors(u), env.g2.OutNeighbors(v), env,
+                     &stage_);
+      } else {
+        ClassifyInto(env.g1.InNeighbors(u), env.g2.InNeighbors(v), env,
+                     &stage_);
+      }
+      SpanMeta& m = spans_[2 * i + dir];
+      m.offset = arena_.size();
+      m.size = static_cast<uint32_t>(stage_.size());
+      m.capacity = m.size;
+      arena_.insert(arena_.end(), stage_.begin(), stage_.end());
+    }
+  }
+  enabled_ = true;
+  return true;
+}
+
+void IncrementalNeighborIndex::Restage(size_t pair, int dir, NodeId u,
+                                       NodeId v,
+                                       const NeighborIndexEnv& env) {
+  if (!enabled_) return;
+  if (pin_diagonal_ && u == v) return;
+  ++restaged_spans_;
+  stage_.clear();
+  if (dir == kOut) {
+    ClassifyInto(env.g1.OutNeighbors(u), env.g2.OutNeighbors(v), env,
+                 &stage_);
+  } else {
+    ClassifyInto(env.g1.InNeighbors(u), env.g2.InNeighbors(v), env, &stage_);
+  }
+  SpanMeta& m = spans_[2 * pair + dir];
+  if (stage_.size() <= m.capacity) {
+    std::copy(stage_.begin(), stage_.end(), arena_.begin() + m.offset);
+    m.size = static_cast<uint32_t>(stage_.size());
+    return;
+  }
+  // Outgrown: relocate to the arena tail with growth slack, so a pair whose
+  // neighborhood keeps growing amortizes its relocations.
+  freed_ += m.capacity;
+  m.offset = arena_.size();
+  m.size = static_cast<uint32_t>(stage_.size());
+  m.capacity = m.size + m.size / 2 + 4;
+  arena_.insert(arena_.end(), stage_.begin(), stage_.end());
+  arena_.resize(arena_.size() + (m.capacity - m.size));
+  if (freed_ > arena_.size() / 2 && freed_ > 4096) Compact();
+  // The budget is a ceiling, not just a build-time gate: if live growth
+  // (not reclaimable slack) exceeds it, drop the index entirely.
+  if (MemoryBytes() > budget_bytes_) {
+    Compact();
+    if (MemoryBytes() > budget_bytes_) Disable();
+  }
+}
+
+void IncrementalNeighborIndex::Disable() {
+  enabled_ = false;
+  std::vector<SpanMeta>().swap(spans_);
+  std::vector<NeighborRef>().swap(arena_);
+  std::vector<NeighborRef>().swap(stage_);
+  freed_ = 0;
+}
+
+void IncrementalNeighborIndex::Compact() {
+  std::vector<NeighborRef> packed;
+  packed.reserve(arena_.size() - freed_);
+  for (SpanMeta& m : spans_) {
+    const uint64_t offset = packed.size();
+    packed.insert(packed.end(), arena_.begin() + m.offset,
+                  arena_.begin() + m.offset + m.size);
+    m.offset = offset;
+    m.capacity = m.size;
+  }
+  arena_ = std::move(packed);
+  freed_ = 0;
+}
+
+}  // namespace fsim

@@ -1,0 +1,126 @@
+// A pair-graph CSR neighbor index that stays valid under single-edge graph
+// edits — the incremental engine's counterpart of PairStore's batch index
+// (core/pair_store.h).
+//
+// For every maintained pair i = (u, v) it stores two spans of NeighborRef
+// entries: the out-direction span enumerates the label-compatible candidate
+// pairs of N+(u) x N+(v), the in-direction span those of N-(u) x N-(v),
+// both sorted by (row, col) exactly as the batch index — so
+// DirectionScoreIndexed produces bit-identical sums to the hash-lookup
+// fallback path.
+//
+// Both directions are materialized regardless of the w+/w- weights, because
+// each span serves double duty:
+//   * evaluation — the direction's Equation 3 inputs;
+//   * dependent propagation — the refs of the IN-span of (u, v) are exactly
+//     the pairs that read (u, v) through their OUT-direction (x ∈ N-(u),
+//     y ∈ N-(v)), and vice versa. The worklist push therefore walks a
+//     contiguous ref span instead of hash-probing N±(u) x N±(v).
+//
+// Edit maintenance: inserting/removing edge (a, b) in graph 1 changes only
+// N+(a) and N-(b), so only the out-spans of pairs (a, *) and the in-spans
+// of pairs (b, *) are invalid; an edit in graph 2 invalidates the out-spans
+// of (*, a) and the in-spans of (*, b). Those spans are re-staged in place
+// (O(|N(u)|·|N(v)|) classify work — the same cost as the one evaluation of
+// the pair the edit forces anyway). Spans that outgrow their slot relocate
+// to the arena tail; freed slots are reclaimed by periodic compaction, so
+// arena memory stays within ~2x of the live entries.
+#ifndef FSIM_CORE_INCREMENTAL_INDEX_H_
+#define FSIM_CORE_INCREMENTAL_INDEX_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/flat_pair_map.h"
+#include "core/fsim_config.h"
+#include "core/operators.h"
+#include "graph/dynamic_graph.h"
+#include "label/label_similarity.h"
+
+namespace fsim {
+
+/// The lookup context a span (re)build classifies against. The candidate
+/// set, labels and θ are fixed under edits; only the graphs' adjacency
+/// changes, which is why re-staging the touched spans suffices.
+struct NeighborIndexEnv {
+  const DynamicGraph& g1;
+  const DynamicGraph& g2;
+  const FlatPairMap& pair_index;  // maintained pair -> score index
+  const LabelSimilarityCache& lsim;
+};
+
+class IncrementalNeighborIndex {
+ public:
+  static constexpr int kOut = 0;
+  static constexpr int kIn = 1;
+
+  /// Materializes both direction spans for every maintained pair.
+  /// Returns false — leaving the index disabled, so callers fall back to
+  /// hash lookups — when the estimated footprint exceeds
+  /// config.neighbor_index_budget_bytes or the ref range would overflow.
+  bool Build(const NeighborIndexEnv& env, std::span<const uint64_t> keys,
+             const FSimConfig& config);
+
+  bool enabled() const { return enabled_; }
+
+  /// The direction span of pair i; empty when the index is disabled and for
+  /// pinned diagonal pairs.
+  std::span<const NeighborRef> Refs(size_t pair, int dir) const {
+    if (!enabled_) return {};
+    const SpanMeta& m = spans_[2 * pair + dir];
+    return {arena_.data() + m.offset, arena_.data() + m.offset + m.size};
+  }
+
+  /// Rebuilds the direction span of pair (u, v) from the current graphs.
+  /// Call after the graph edit has been applied, for every invalidated
+  /// (pair, direction) — see the file comment for which spans an edit
+  /// invalidates. If growth pushes the footprint past the build-time budget
+  /// even after compaction (an insert-heavy stream on a graph that keeps
+  /// densifying), the index disables itself and the engine falls back to
+  /// hash lookups, keeping the configured memory ceiling honest.
+  void Restage(size_t pair, int dir, NodeId u, NodeId v,
+               const NeighborIndexEnv& env);
+
+  /// Heap footprint (arena + span metadata), for FSimStats reporting.
+  size_t MemoryBytes() const {
+    return arena_.capacity() * sizeof(NeighborRef) +
+           spans_.capacity() * sizeof(SpanMeta);
+  }
+
+  /// Spans re-staged since Build (work accounting for EditStats).
+  uint64_t restaged_spans() const { return restaged_spans_; }
+
+ private:
+  struct SpanMeta {
+    uint64_t offset = 0;
+    uint32_t size = 0;
+    uint32_t capacity = 0;
+  };
+
+  /// Appends the classified entries of one direction of (u, v) to stage_.
+  void ClassifyInto(std::span<const NodeId> s1, std::span<const NodeId> s2,
+                    const NeighborIndexEnv& env, std::vector<NeighborRef>* out) const;
+
+  /// Rewrites the arena with tight spans, dropping freed capacity.
+  void Compact();
+
+  /// Drops the index (spans + arena) and reports disabled; evaluation and
+  /// dependent pushes fall back to hash lookups from then on.
+  void Disable();
+
+  bool enabled_ = false;
+  bool need_compat_ = false;
+  double theta_ = 0.0;
+  bool pin_diagonal_ = false;
+  uint64_t budget_bytes_ = 0;
+  std::vector<SpanMeta> spans_;  // 2 per pair: [2i] = out, [2i+1] = in
+  std::vector<NeighborRef> arena_;
+  std::vector<NeighborRef> stage_;  // re-stage scratch
+  uint64_t freed_ = 0;              // arena entries no span owns
+  uint64_t restaged_spans_ = 0;
+};
+
+}  // namespace fsim
+
+#endif  // FSIM_CORE_INCREMENTAL_INDEX_H_

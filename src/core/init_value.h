@@ -1,0 +1,38 @@
+// FSim^0 initialization (§3.3 and the §4.3 SimRank/RoleSim configurations),
+// shared by every engine (sparse, dense, top-k search) so the InitKind
+// semantics cannot silently diverge between them.
+#ifndef FSIM_CORE_INIT_VALUE_H_
+#define FSIM_CORE_INIT_VALUE_H_
+
+#include <algorithm>
+
+#include "core/fsim_config.h"
+#include "graph/graph.h"
+#include "label/label_similarity.h"
+
+namespace fsim {
+
+/// The FSim^0 value of pair (u, v) under config.init.
+inline double InitValue(const FSimConfig& config,
+                        const LabelSimilarityCache& lsim, const Graph& g1,
+                        const Graph& g2, NodeId u, NodeId v) {
+  switch (config.init) {
+    case InitKind::kLabelSim:
+      return lsim.Sim(g1.Label(u), g2.Label(v));
+    case InitKind::kIndicatorDiagonal:
+      return u == v ? 1.0 : 0.0;
+    case InitKind::kDegreeRatio: {
+      const double d1 = static_cast<double>(g1.OutDegree(u));
+      const double d2 = static_cast<double>(g2.OutDegree(v));
+      if (d1 == 0.0 && d2 == 0.0) return 1.0;
+      return std::min(d1, d2) / std::max(d1, d2);
+    }
+    case InitKind::kOnes:
+      return 1.0;
+  }
+  return 0.0;
+}
+
+}  // namespace fsim
+
+#endif  // FSIM_CORE_INIT_VALUE_H_

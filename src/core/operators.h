@@ -63,24 +63,52 @@ inline double OmegaValue(OmegaKind kind, size_t n1, size_t n2) {
 
 namespace internal {
 
+/// Closed-form max-weight matching value for edge sets of size <= 2; the
+/// caller dispatches to the full algorithm above this size. Greedy and
+/// Hungarian coincide exactly here (a singleton keeps its edge; two edges
+/// keep both when endpoint-disjoint, else the heavier one), so this is a
+/// value-identical shortcut for either realization — and the dominant case
+/// on sparse labeled graphs, where most candidate neighborhoods induce at
+/// most a couple of positive-score pairs.
+inline bool TinyMatchingSum(const std::vector<WeightedEdge>& edges,
+                            double* sum) {
+  switch (edges.size()) {
+    case 0:
+      *sum = 0.0;
+      return true;
+    case 1:
+      *sum = edges[0].weight;
+      return true;
+    case 2: {
+      const WeightedEdge& a = edges[0];
+      const WeightedEdge& b = edges[1];
+      *sum = (a.left != b.left && a.right != b.right)
+                 ? a.weight + b.weight
+                 : std::max(a.weight, b.weight);
+      return true;
+    }
+    default:
+      return false;
+  }
+}
+
 /// Σ over the max-weight injective mapping between s1 and s2 (the M_dp/M_bj
 /// realization). Greedy is the paper's ½-approximation; Hungarian is exact.
 template <typename Lookup>
 double InjectiveMappingSum(std::span<const NodeId> s1,
                            std::span<const NodeId> s2, Lookup&& lookup,
                            MatchingAlgo algo, MatchingScratch* scratch) {
-  if (algo == MatchingAlgo::kHungarian) {
-    // Reuse the scratch's flat weight matrix — the per-call
-    // vector<vector<double>> allocation dominated Hungarian runs.
-    scratch->weights.assign(s1.size() * s2.size(), 0.0);
-    for (size_t i = 0; i < s1.size(); ++i) {
-      for (size_t j = 0; j < s2.size(); ++j) {
-        double score = lookup(s1[i], s2[j]);
-        if (score > 0.0) scratch->weights[i * s2.size() + j] = score;
+  if (s1.size() == 1 || s2.size() == 1) {
+    // An injective mapping out of (or into) a singleton keeps exactly the
+    // best edge; greedy and Hungarian both reduce to this maximum.
+    double best = 0.0;
+    for (NodeId x : s1) {
+      for (NodeId y : s2) {
+        const double score = lookup(x, y);
+        if (score > best) best = score;
       }
     }
-    return HungarianMaxWeightMatching(scratch->weights.data(), s1.size(),
-                                      s2.size());
+    return best;
   }
   scratch->edges.clear();
   for (size_t i = 0; i < s1.size(); ++i) {
@@ -93,6 +121,18 @@ double InjectiveMappingSum(std::span<const NodeId> s1,
                                   static_cast<uint32_t>(j), score});
       }
     }
+  }
+  double tiny = 0.0;
+  if (TinyMatchingSum(scratch->edges, &tiny)) return tiny;
+  if (algo == MatchingAlgo::kHungarian) {
+    // Reuse the scratch's flat weight matrix — the per-call
+    // vector<vector<double>> allocation dominated Hungarian runs.
+    scratch->weights.assign(s1.size() * s2.size(), 0.0);
+    for (const WeightedEdge& e : scratch->edges) {
+      scratch->weights[e.left * s2.size() + e.right] = e.weight;
+    }
+    return HungarianMaxWeightMatching(scratch->weights.data(), s1.size(),
+                                      s2.size());
   }
   return GreedyMaxWeightMatching(scratch, s1.size(), s2.size());
 }
@@ -197,18 +237,30 @@ double InjectiveMappingSumIndexed(size_t n1, size_t n2,
                                   std::span<const NeighborRef> refs,
                                   ScoreFn&& score_of, MatchingAlgo algo,
                                   MatchingScratch* scratch) {
-  if (algo == MatchingAlgo::kHungarian) {
-    scratch->weights.assign(n1 * n2, 0.0);
+  if (refs.empty()) return 0.0;
+  if (n1 == 1 || n2 == 1) {
+    // Singleton side: the matching keeps exactly the best edge (identical
+    // to what greedy and Hungarian would select).
+    double best = 0.0;
     for (const NeighborRef& e : refs) {
       const double score = score_of(e.ref);
-      if (score > 0.0) scratch->weights[e.row * n2 + e.col] = score;
+      if (score > best) best = score;
     }
-    return HungarianMaxWeightMatching(scratch->weights.data(), n1, n2);
+    return best;
   }
   scratch->edges.clear();
   for (const NeighborRef& e : refs) {
     const double score = score_of(e.ref);
     if (score > 0.0) scratch->edges.push_back({e.row, e.col, score});
+  }
+  double tiny = 0.0;
+  if (TinyMatchingSum(scratch->edges, &tiny)) return tiny;
+  if (algo == MatchingAlgo::kHungarian) {
+    scratch->weights.assign(n1 * n2, 0.0);
+    for (const WeightedEdge& e : scratch->edges) {
+      scratch->weights[e.left * n2 + e.right] = e.weight;
+    }
+    return HungarianMaxWeightMatching(scratch->weights.data(), n1, n2);
   }
   return GreedyMaxWeightMatching(scratch, n1, n2);
 }

@@ -4,6 +4,7 @@
 
 #include "common/string_util.h"
 #include "common/thread_pool.h"
+#include "core/init_value.h"
 #include "core/operators.h"
 
 namespace fsim {
@@ -28,25 +29,6 @@ double LabelTermValue(const FSimConfig& config,
     case LabelTermKind::kZero:
       return 0.0;
     case LabelTermKind::kOne:
-      return 1.0;
-  }
-  return 0.0;
-}
-
-double InitValue(const FSimConfig& config, const LabelSimilarityCache& lsim,
-                 const Graph& g1, const Graph& g2, NodeId u, NodeId v) {
-  switch (config.init) {
-    case InitKind::kLabelSim:
-      return lsim.Sim(g1.Label(u), g2.Label(v));
-    case InitKind::kIndicatorDiagonal:
-      return u == v ? 1.0 : 0.0;
-    case InitKind::kDegreeRatio: {
-      double d1 = static_cast<double>(g1.OutDegree(u));
-      double d2 = static_cast<double>(g2.OutDegree(v));
-      if (d1 == 0.0 && d2 == 0.0) return 1.0;
-      return std::min(d1, d2) / std::max(d1, d2);
-    }
-    case InitKind::kOnes:
       return 1.0;
   }
   return 0.0;

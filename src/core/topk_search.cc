@@ -5,35 +5,13 @@
 
 #include "common/flat_pair_map.h"
 #include "core/fsim_engine.h"
+#include "core/init_value.h"
 #include "core/operators.h"
 #include "graph/traversal.h"
 #include "label/label_similarity.h"
 #include "matching/greedy_matching.h"
 
 namespace fsim {
-
-namespace {
-
-double InitValue(const FSimConfig& config, const LabelSimilarityCache& lsim,
-                 const Graph& g1, const Graph& g2, NodeId u, NodeId v) {
-  switch (config.init) {
-    case InitKind::kLabelSim:
-      return lsim.Sim(g1.Label(u), g2.Label(v));
-    case InitKind::kIndicatorDiagonal:
-      return u == v ? 1.0 : 0.0;
-    case InitKind::kDegreeRatio: {
-      const double d1 = static_cast<double>(g1.OutDegree(u));
-      const double d2 = static_cast<double>(g2.OutDegree(v));
-      if (d1 == 0.0 && d2 == 0.0) return 1.0;
-      return std::min(d1, d2) / std::max(d1, d2);
-    }
-    case InitKind::kOnes:
-      return 1.0;
-  }
-  return 0.0;
-}
-
-}  // namespace
 
 Result<TopKResult> TopKSearch(const Graph& g1, const Graph& g2, NodeId source,
                               const FSimConfig& config,

@@ -1,0 +1,93 @@
+#include "graph/dynamic_graph.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+#include "graph/graph_builder.h"
+
+namespace fsim {
+
+namespace {
+
+Status ValidateEndpoints(size_t num_nodes, NodeId from, NodeId to) {
+  if (from >= num_nodes || to >= num_nodes) {
+    return Status::OutOfRange(
+        StrFormat("edge (%u, %u) out of range for graph with %zu nodes", from,
+                  to, num_nodes));
+  }
+  return Status::OK();
+}
+
+/// Inserts v into the sorted list if absent; returns false if present.
+bool SortedInsert(std::vector<NodeId>& list, NodeId v) {
+  auto it = std::lower_bound(list.begin(), list.end(), v);
+  if (it != list.end() && *it == v) return false;
+  list.insert(it, v);
+  return true;
+}
+
+/// Erases v from the sorted list; returns false if absent.
+bool SortedErase(std::vector<NodeId>& list, NodeId v) {
+  auto it = std::lower_bound(list.begin(), list.end(), v);
+  if (it == list.end() || *it != v) return false;
+  list.erase(it);
+  return true;
+}
+
+}  // namespace
+
+DynamicGraph::DynamicGraph(const Graph& g)
+    : out_(g.NumNodes()),
+      in_(g.NumNodes()),
+      labels_(g.NumNodes()),
+      dict_(g.dict()),
+      num_edges_(g.NumEdges()) {
+  for (NodeId u = 0; u < g.NumNodes(); ++u) {
+    labels_[u] = g.Label(u);
+    auto out = g.OutNeighbors(u);
+    out_[u].assign(out.begin(), out.end());
+    auto in = g.InNeighbors(u);
+    in_[u].assign(in.begin(), in.end());
+  }
+}
+
+Status DynamicGraph::InsertEdge(NodeId from, NodeId to) {
+  FSIM_RETURN_NOT_OK(ValidateEndpoints(NumNodes(), from, to));
+  if (!SortedInsert(out_[from], to)) {
+    return Status::AlreadyExists(
+        StrFormat("edge (%u, %u) already present", from, to));
+  }
+  SortedInsert(in_[to], from);
+  ++num_edges_;
+  return Status::OK();
+}
+
+Status DynamicGraph::RemoveEdge(NodeId from, NodeId to) {
+  FSIM_RETURN_NOT_OK(ValidateEndpoints(NumNodes(), from, to));
+  if (!SortedErase(out_[from], to)) {
+    return Status::NotFound(StrFormat("edge (%u, %u) not present", from, to));
+  }
+  SortedErase(in_[to], from);
+  --num_edges_;
+  return Status::OK();
+}
+
+bool DynamicGraph::HasEdge(NodeId u, NodeId v) const {
+  FSIM_DCHECK(u < NumNodes());
+  return std::binary_search(out_[u].begin(), out_[u].end(), v);
+}
+
+Graph DynamicGraph::ToGraph() const {
+  GraphBuilder b(dict_);
+  b.ReserveNodes(NumNodes());
+  b.ReserveEdges(num_edges_);
+  for (NodeId u = 0; u < NumNodes(); ++u) {
+    b.AddNodeWithLabelId(labels_[u]);
+  }
+  for (NodeId u = 0; u < NumNodes(); ++u) {
+    for (NodeId w : out_[u]) b.AddEdge(u, w);
+  }
+  return std::move(b).BuildOrDie();
+}
+
+}  // namespace fsim

@@ -1,58 +1,24 @@
 #include "graph/edits.h"
 
-#include "common/string_util.h"
-#include "graph/graph_builder.h"
+#include "graph/dynamic_graph.h"
 
 namespace fsim {
 
-namespace {
-
-Status ValidateEndpoints(const Graph& g, NodeId from, NodeId to) {
-  if (from >= g.NumNodes() || to >= g.NumNodes()) {
-    return Status::OutOfRange(
-        StrFormat("edge (%u, %u) out of range for graph with %zu nodes", from,
-                  to, g.NumNodes()));
-  }
-  return Status::OK();
-}
-
-/// Copies g's nodes and edges into a fresh builder, skipping `skip_from ->
-/// skip_to` (pass kInvalidNode to skip nothing).
-GraphBuilder CopyWithout(const Graph& g, NodeId skip_from, NodeId skip_to) {
-  GraphBuilder b(g.dict());
-  b.ReserveNodes(g.NumNodes());
-  b.ReserveEdges(g.NumEdges());
-  for (NodeId u = 0; u < g.NumNodes(); ++u) {
-    b.AddNodeWithLabelId(g.Label(u));
-  }
-  for (NodeId u = 0; u < g.NumNodes(); ++u) {
-    for (NodeId w : g.OutNeighbors(u)) {
-      if (u == skip_from && w == skip_to) continue;
-      b.AddEdge(u, w);
-    }
-  }
-  return b;
-}
-
-}  // namespace
+// Both wrappers stage the edit through DynamicGraph: the edit itself is
+// O(deg), but producing the immutable CSR copy is O(|V| + |E|) either way.
+// Callers that edit repeatedly should hold a DynamicGraph (or the
+// incremental engine, which does) instead of round-tripping through these.
 
 Result<Graph> WithEdgeAdded(const Graph& g, NodeId from, NodeId to) {
-  FSIM_RETURN_NOT_OK(ValidateEndpoints(g, from, to));
-  if (g.HasEdge(from, to)) {
-    return Status::AlreadyExists(
-        StrFormat("edge (%u, %u) already present", from, to));
-  }
-  GraphBuilder b = CopyWithout(g, kInvalidNode, kInvalidNode);
-  b.AddEdge(from, to);
-  return std::move(b).Build();
+  DynamicGraph d(g);
+  FSIM_RETURN_NOT_OK(d.InsertEdge(from, to));
+  return d.ToGraph();
 }
 
 Result<Graph> WithEdgeRemoved(const Graph& g, NodeId from, NodeId to) {
-  FSIM_RETURN_NOT_OK(ValidateEndpoints(g, from, to));
-  if (!g.HasEdge(from, to)) {
-    return Status::NotFound(StrFormat("edge (%u, %u) not present", from, to));
-  }
-  return std::move(CopyWithout(g, from, to)).Build();
+  DynamicGraph d(g);
+  FSIM_RETURN_NOT_OK(d.RemoveEdge(from, to));
+  return d.ToGraph();
 }
 
 }  // namespace fsim

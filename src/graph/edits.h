@@ -1,9 +1,10 @@
 // Single-edge edits on the immutable CSR Graph: produce an edited copy with
 // one edge added or removed (labels, node set and the shared LabelDict are
-// preserved). These are the graph-side primitives of the incremental FSim
-// maintenance extension (core/incremental.h): the score maintenance is
-// localized, while the graph copy is a plain O(|V| + |E|) rebuild — cheap
-// relative to any score recomputation.
+// preserved). These are convenience wrappers over graph/dynamic_graph.h for
+// callers that want to stay in the immutable-CSR world; materializing the
+// copy is O(|V| + |E|), so code that edits repeatedly (e.g. the incremental
+// FSim engine, core/incremental.h) should hold a DynamicGraph and patch it
+// in O(deg) per edit instead.
 #ifndef FSIM_GRAPH_EDITS_H_
 #define FSIM_GRAPH_EDITS_H_
 

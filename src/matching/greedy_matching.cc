@@ -4,16 +4,37 @@
 
 namespace fsim {
 
+namespace {
+
+/// The greedy selection order: descending weight, ties by (left, right) for
+/// determinism. A total order, so any comparison sort yields the same
+/// permutation.
+inline bool EdgeBefore(const WeightedEdge& a, const WeightedEdge& b) {
+  if (a.weight != b.weight) return a.weight > b.weight;
+  if (a.left != b.left) return a.left < b.left;
+  return a.right < b.right;
+}
+
+}  // namespace
+
 double GreedyMaxWeightMatching(
     MatchingScratch* scratch, size_t num_left, size_t num_right,
     std::vector<std::pair<uint32_t, uint32_t>>* out_pairs) {
   auto& edges = scratch->edges;
-  std::sort(edges.begin(), edges.end(),
-            [](const WeightedEdge& a, const WeightedEdge& b) {
-              if (a.weight != b.weight) return a.weight > b.weight;
-              if (a.left != b.left) return a.left < b.left;
-              return a.right < b.right;
-            });
+  if (edges.size() <= 24) {
+    // The FSim hot loop calls this with a handful of edges per neighborhood;
+    // insertion sort beats std::sort's dispatch overhead at these sizes.
+    for (size_t i = 1; i < edges.size(); ++i) {
+      WeightedEdge e = edges[i];
+      size_t j = i;
+      for (; j > 0 && EdgeBefore(e, edges[j - 1]); --j) {
+        edges[j] = edges[j - 1];
+      }
+      edges[j] = e;
+    }
+  } else {
+    std::sort(edges.begin(), edges.end(), EdgeBefore);
+  }
   scratch->left_used.assign(num_left, 0);
   scratch->right_used.assign(num_right, 0);
   double total = 0.0;

@@ -1,14 +1,22 @@
 // Tests for the dynamic-graph extensions: single-edge graph edits
-// (graph/edits.h), the dense-mode engine (core/dense_engine.h, differential
-// against the sparse engine) and incremental FSim maintenance
-// (core/incremental.h, property-tested against full recomputation).
+// (graph/edits.h), the edit-capable DynamicGraph (graph/dynamic_graph.h),
+// the dense-mode engine (core/dense_engine.h, differential against the
+// sparse engine), the maintained pair-graph neighbor index
+// (core/incremental_index.h, differential against a fresh build) and
+// incremental FSim maintenance (core/incremental.h, property-tested against
+// full recomputation and against its own hash-lookup fallback).
+#include <algorithm>
 #include <cmath>
+#include <span>
 #include <tuple>
 
 #include "core/dense_engine.h"
 #include "core/simrank.h"
 #include "core/fsim_engine.h"
 #include "core/incremental.h"
+#include "core/incremental_index.h"
+#include "core/pair_store.h"
+#include "graph/dynamic_graph.h"
 #include "graph/edits.h"
 #include "gtest/gtest.h"
 #include "test_graphs.h"
@@ -106,6 +114,96 @@ TEST(GraphEdits, AddThenRemoveRoundTrips) {
     EXPECT_EQ(removed->NumEdges(), g.NumEdges());
     EXPECT_FALSE(removed->HasEdge(from, to));
   }
+}
+
+// ---------------------------------------------------------------------------
+// DynamicGraph: O(deg) edits with a Graph-compatible read API
+// ---------------------------------------------------------------------------
+
+TEST(DynamicGraph, MirrorsSourceGraphAndRoundTrips) {
+  auto pair = MakeRandomPair(41);
+  const Graph& g = pair.g1;
+  DynamicGraph d(g);
+  EXPECT_EQ(d.NumNodes(), g.NumNodes());
+  EXPECT_EQ(d.NumEdges(), g.NumEdges());
+  EXPECT_EQ(d.dict(), g.dict());
+  for (NodeId u = 0; u < g.NumNodes(); ++u) {
+    EXPECT_EQ(d.Label(u), g.Label(u));
+    EXPECT_EQ(d.OutDegree(u), g.OutDegree(u));
+    EXPECT_EQ(d.InDegree(u), g.InDegree(u));
+    auto expect_equal = [&](std::span<const NodeId> a,
+                            std::span<const NodeId> b) {
+      ASSERT_EQ(a.size(), b.size());
+      for (size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+    };
+    expect_equal(d.OutNeighbors(u), g.OutNeighbors(u));
+    expect_equal(d.InNeighbors(u), g.InNeighbors(u));
+  }
+
+  Graph back = d.ToGraph();
+  EXPECT_EQ(back.NumNodes(), g.NumNodes());
+  EXPECT_EQ(back.NumEdges(), g.NumEdges());
+  for (NodeId u = 0; u < g.NumNodes(); ++u) {
+    for (NodeId w : g.OutNeighbors(u)) EXPECT_TRUE(back.HasEdge(u, w));
+  }
+}
+
+TEST(DynamicGraph, InsertAndRemoveKeepAdjacencySorted) {
+  auto pair = MakeRandomPair(42);
+  DynamicGraph d(pair.g1);
+  const size_t edges = d.NumEdges();
+
+  // Find a missing non-loop edge and insert it.
+  NodeId from = 0, to = 0;
+  bool found = false;
+  for (NodeId u = 0; u < d.NumNodes() && !found; ++u) {
+    for (NodeId v = 0; v < d.NumNodes() && !found; ++v) {
+      if (u != v && !d.HasEdge(u, v)) {
+        from = u;
+        to = v;
+        found = true;
+      }
+    }
+  }
+  ASSERT_TRUE(found);
+  ASSERT_TRUE(d.InsertEdge(from, to).ok());
+  EXPECT_EQ(d.NumEdges(), edges + 1);
+  EXPECT_TRUE(d.HasEdge(from, to));
+  EXPECT_TRUE(std::is_sorted(d.OutNeighbors(from).begin(),
+                             d.OutNeighbors(from).end()));
+  EXPECT_TRUE(
+      std::is_sorted(d.InNeighbors(to).begin(), d.InNeighbors(to).end()));
+
+  // Duplicate insert is rejected without changing anything.
+  EXPECT_EQ(d.InsertEdge(from, to).code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(d.NumEdges(), edges + 1);
+
+  ASSERT_TRUE(d.RemoveEdge(from, to).ok());
+  EXPECT_EQ(d.NumEdges(), edges);
+  EXPECT_FALSE(d.HasEdge(from, to));
+  EXPECT_EQ(d.RemoveEdge(from, to).code(), StatusCode::kNotFound);
+
+  const NodeId n = static_cast<NodeId>(d.NumNodes());
+  EXPECT_EQ(d.InsertEdge(n, 0).code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(d.RemoveEdge(0, n).code(), StatusCode::kOutOfRange);
+}
+
+TEST(DynamicGraph, SelfLoopAppearsInBothDirections) {
+  auto pair = MakeRandomPair(43);
+  DynamicGraph d(pair.g1);
+  NodeId a = 2;
+  if (d.HasEdge(a, a)) {
+    ASSERT_TRUE(d.RemoveEdge(a, a).ok());
+  }
+  const size_t out_deg = d.OutDegree(a);
+  const size_t in_deg = d.InDegree(a);
+  ASSERT_TRUE(d.InsertEdge(a, a).ok());
+  EXPECT_TRUE(d.HasEdge(a, a));
+  EXPECT_EQ(d.OutDegree(a), out_deg + 1);
+  EXPECT_EQ(d.InDegree(a), in_deg + 1);
+  ASSERT_TRUE(d.RemoveEdge(a, a).ok());
+  EXPECT_EQ(d.OutDegree(a), out_deg);
+  EXPECT_EQ(d.InDegree(a), in_deg);
 }
 
 // ---------------------------------------------------------------------------
@@ -265,30 +363,51 @@ TEST_P(IncrementalEquivalence, TracksFullRecomputeAcrossEdits) {
 
     auto inc = IncrementalFSim::Create(pair.g1, pair.g2, config, options);
     ASSERT_TRUE(inc.ok()) << inc.status().ToString();
+    ASSERT_TRUE(inc->uses_neighbor_index());
+    // A second engine forced onto the hash-lookup fallback absorbs the same
+    // edit stream; the maintained index must not change a single bit of the
+    // propagation trajectory.
+    FSimConfig fallback_config = config;
+    fallback_config.neighbor_index_budget_bytes = 0;
+    auto fallback =
+        IncrementalFSim::Create(pair.g1, pair.g2, fallback_config, options);
+    ASSERT_TRUE(fallback.ok()) << fallback.status().ToString();
+    ASSERT_FALSE(fallback->uses_neighbor_index());
 
     Rng rng(seed * 977);
     for (int e = 0; e < 6; ++e) {
       const int graph_index = (rng.Next() % 2 == 0) ? 1 : 2;
-      const Graph& g = graph_index == 1 ? inc->g1() : inc->g2();
+      const DynamicGraph& g = graph_index == 1 ? inc->g1() : inc->g2();
       const NodeId n = static_cast<NodeId>(g.NumNodes());
       NodeId from = static_cast<NodeId>(rng.Next() % n);
       NodeId to = static_cast<NodeId>(rng.Next() % n);
       if (from == to) continue;
-      Status status = g.HasEdge(from, to)
-                          ? inc->RemoveEdge(graph_index, from, to)
-                          : inc->InsertEdge(graph_index, from, to);
+      const bool remove = g.HasEdge(from, to);
+      Status status = remove ? inc->RemoveEdge(graph_index, from, to)
+                             : inc->InsertEdge(graph_index, from, to);
       ASSERT_TRUE(status.ok()) << status.ToString();
+      Status fb_status = remove ? fallback->RemoveEdge(graph_index, from, to)
+                                : fallback->InsertEdge(graph_index, from, to);
+      ASSERT_TRUE(fb_status.ok()) << fb_status.ToString();
 
-      auto full = ComputeFSim(inc->g1(), inc->g2(), config);
+      auto full = ComputeFSim(inc->MaterializeG1(), inc->MaterializeG2(),
+                              config);
       ASSERT_TRUE(full.ok()) << full.status().ToString();
       double max_diff = 0.0;
+      double max_index_diff = 0.0;
       for (uint64_t key : full->keys()) {
         const NodeId u = PairFirst(key);
         const NodeId v = PairSecond(key);
         max_diff = std::max(
             max_diff, std::abs(full->Score(u, v) - inc->Score(u, v)));
+        max_index_diff =
+            std::max(max_index_diff,
+                     std::abs(inc->Score(u, v) - fallback->Score(u, v)));
       }
       EXPECT_LT(max_diff, 1e-6)
+          << "variant " << SimVariantName(variant) << " seed " << seed
+          << " edit " << e;
+      EXPECT_LT(max_index_diff, 1e-12)
           << "variant " << SimVariantName(variant) << " seed " << seed
           << " edit " << e;
     }
@@ -316,7 +435,7 @@ TEST(Incremental, GreedyMatchingStaysCloseToFullRecompute) {
   ASSERT_TRUE(inc.ok());
   ASSERT_TRUE(inc->InsertEdge(1, 0, 5).ok() ||
               inc->RemoveEdge(1, 0, 5).ok());
-  auto full = ComputeFSim(inc->g1(), inc->g2(), config);
+  auto full = ComputeFSim(inc->MaterializeG1(), inc->MaterializeG2(), config);
   ASSERT_TRUE(full.ok());
   double max_diff = 0.0;
   for (uint64_t key : full->keys()) {
@@ -422,12 +541,214 @@ TEST(Incremental, ThetaFilteredCandidateSetSurvivesEdits) {
   ASSERT_TRUE(inc->InsertEdge(1, 0, 4).ok() || inc->RemoveEdge(1, 0, 4).ok());
   EXPECT_EQ(inc->NumPairs(), pairs_before);
 
-  auto full = ComputeFSim(inc->g1(), inc->g2(), config);
+  auto full = ComputeFSim(inc->MaterializeG1(), inc->MaterializeG2(), config);
   ASSERT_TRUE(full.ok());
   for (uint64_t key : full->keys()) {
     const NodeId u = PairFirst(key);
     const NodeId v = PairSecond(key);
     EXPECT_NEAR(full->Score(u, v), inc->Score(u, v), 1e-6);
+  }
+}
+
+// Exact structural equivalence of the maintained neighbor index: after a
+// stream of random edits (self-loops included), every re-staged span must be
+// entry-for-entry identical to a from-scratch build on the edited graphs —
+// which makes any evaluation through the two indexes bit-identical (far
+// inside the 1e-12 score budget the engine-level sweep asserts).
+class MaintainedIndexSweep
+    : public ::testing::TestWithParam<std::tuple<SimVariant, double>> {};
+
+TEST_P(MaintainedIndexSweep, MatchesFreshBuildAfterRandomEdits) {
+  const auto [variant, theta] = GetParam();
+  auto pair = MakeRandomPair(51);
+  FSimConfig config;
+  config.variant = variant;
+  config.theta = theta;
+  LabelSimilarityCache lsim(*pair.g1.dict(), config.label_sim);
+  auto store = PairStore::Build(pair.g1, pair.g2, config, lsim,
+                                /*build_neighbor_index=*/false);
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+  std::vector<uint64_t> keys = store->TakeKeys();
+  FlatPairMap index = store->TakeIndex();
+
+  DynamicGraph d1(pair.g1);
+  DynamicGraph d2(pair.g2);
+  const NeighborIndexEnv env{d1, d2, index, lsim};
+  IncrementalNeighborIndex maintained;
+  ASSERT_TRUE(maintained.Build(env, keys, config));
+
+  Rng rng(515);
+  for (int e = 0; e < 12; ++e) {
+    const int graph_index = (rng.Next() % 2 == 0) ? 1 : 2;
+    DynamicGraph& target = graph_index == 1 ? d1 : d2;
+    const NodeId n = static_cast<NodeId>(target.NumNodes());
+    const NodeId from = static_cast<NodeId>(rng.Next() % n);
+    const NodeId to = static_cast<NodeId>(rng.Next() % n);
+    Status status = target.HasEdge(from, to) ? target.RemoveEdge(from, to)
+                                             : target.InsertEdge(from, to);
+    ASSERT_TRUE(status.ok()) << status.ToString();
+
+    // The engine's invalidation rule, replicated over a plain pair scan:
+    // a graph-1 edit re-stages the out-spans of row `from` and the in-spans
+    // of row `to`; a graph-2 edit the same per column.
+    for (size_t i = 0; i < keys.size(); ++i) {
+      const NodeId u = PairFirst(keys[i]);
+      const NodeId v = PairSecond(keys[i]);
+      const NodeId key_node = graph_index == 1 ? u : v;
+      if (key_node == from) {
+        maintained.Restage(i, IncrementalNeighborIndex::kOut, u, v, env);
+      }
+      if (key_node == to) {
+        maintained.Restage(i, IncrementalNeighborIndex::kIn, u, v, env);
+      }
+    }
+
+    IncrementalNeighborIndex fresh;
+    ASSERT_TRUE(fresh.Build(env, keys, config));
+    for (size_t i = 0; i < keys.size(); ++i) {
+      for (int dir :
+           {IncrementalNeighborIndex::kOut, IncrementalNeighborIndex::kIn}) {
+        auto got = maintained.Refs(i, dir);
+        auto want = fresh.Refs(i, dir);
+        ASSERT_EQ(got.size(), want.size())
+            << "edit " << e << " pair " << i << " dir " << dir;
+        for (size_t k = 0; k < got.size(); ++k) {
+          EXPECT_EQ(got[k].row, want[k].row);
+          EXPECT_EQ(got[k].col, want[k].col);
+          EXPECT_EQ(got[k].ref, want[k].ref);
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllVariantsAndThetas, MaintainedIndexSweep,
+    ::testing::Combine(::testing::Values(SimVariant::kSimple,
+                                         SimVariant::kDegreePreserving,
+                                         SimVariant::kBi,
+                                         SimVariant::kBijective),
+                       ::testing::Values(0.0, 1.0)),
+    [](const ::testing::TestParamInfo<std::tuple<SimVariant, double>>& info) {
+      return std::string(SimVariantName(std::get<0>(info.param))) +
+             (std::get<1>(info.param) == 0.0 ? "_theta0" : "_theta1");
+    });
+
+TEST(Incremental, TruncatedEditReportsNonConvergence) {
+  auto pair = MakeRandomPair(33);
+  FSimConfig config;
+  config.variant = SimVariant::kSimple;
+
+  // A healthy engine reports convergence before and after clean edits.
+  auto inc = IncrementalFSim::Create(pair.g1, pair.g2, config);
+  ASSERT_TRUE(inc.ok());
+  EXPECT_TRUE(inc->converged());
+  EXPECT_TRUE(inc->Snapshot().stats().converged);
+
+  // An update-capped edit must surface Internal AND a non-converged
+  // snapshot (the old code claimed converged unconditionally).
+  IncrementalOptions options;
+  options.max_updates_per_edit = 1;
+  auto tiny = IncrementalFSim::Create(pair.g1, pair.g2, config, options);
+  ASSERT_TRUE(tiny.ok());
+  EXPECT_TRUE(tiny->converged());
+  NodeId from = 0, to = 1;
+  Status status = tiny->g1().HasEdge(from, to)
+                      ? tiny->RemoveEdge(1, from, to)
+                      : tiny->InsertEdge(1, from, to);
+  EXPECT_EQ(status.code(), StatusCode::kInternal);
+  EXPECT_TRUE(tiny->last_edit_stats().truncated);
+  // The one evaluation the cap admitted is committed, not discarded.
+  EXPECT_EQ(tiny->last_edit_stats().recomputed, 1u);
+  EXPECT_FALSE(tiny->converged());
+  EXPECT_FALSE(tiny->Snapshot().stats().converged);
+
+  // Non-convergence is sticky: a later clean edit cannot launder the
+  // truncated state.
+  Status second = tiny->g1().HasEdge(2, 3) ? tiny->RemoveEdge(1, 2, 3)
+                                           : tiny->InsertEdge(1, 2, 3);
+  (void)second;  // may truncate again; either way:
+  EXPECT_FALSE(tiny->Snapshot().stats().converged);
+}
+
+TEST(Incremental, IndexOverBudgetMidStreamFallsBackToHashLookups) {
+  auto pair = MakeRandomPair(35);
+  FSimConfig config;
+  config.variant = SimVariant::kSimple;
+  config.epsilon = 1e-9;
+  config.matching = MatchingAlgo::kHungarian;
+  IncrementalOptions options;
+  options.propagation_tolerance = 1e-10;
+
+  // Learn the initial footprint, then rebuild with a budget barely above it
+  // so that insert-driven span growth must blow the ceiling.
+  auto probe = IncrementalFSim::Create(pair.g1, pair.g2, config, options);
+  ASSERT_TRUE(probe.ok());
+  ASSERT_TRUE(probe->uses_neighbor_index());
+  config.neighbor_index_budget_bytes =
+      probe->Snapshot().stats().neighbor_index_bytes + 64;
+
+  auto inc = IncrementalFSim::Create(pair.g1, pair.g2, config, options);
+  ASSERT_TRUE(inc.ok());
+  ASSERT_TRUE(inc->uses_neighbor_index());
+  int inserted = 0;
+  for (NodeId u = 0; u < inc->g1().NumNodes() && inserted < 40; ++u) {
+    for (NodeId v = 0; v < inc->g1().NumNodes() && inserted < 40; ++v) {
+      if (u == v || inc->g1().HasEdge(u, v)) continue;
+      ASSERT_TRUE(inc->InsertEdge(1, u, v).ok());
+      ++inserted;
+    }
+  }
+  // Densifying one side must eventually trip the ceiling; after the index
+  // drops, the engine keeps answering through the hash fallback and the
+  // scores still track a full recompute.
+  EXPECT_FALSE(inc->uses_neighbor_index());
+  EXPECT_FALSE(inc->Snapshot().stats().used_neighbor_index);
+  auto full = ComputeFSim(inc->MaterializeG1(), inc->MaterializeG2(), config);
+  ASSERT_TRUE(full.ok());
+  for (uint64_t key : full->keys()) {
+    const NodeId u = PairFirst(key);
+    const NodeId v = PairSecond(key);
+    EXPECT_NEAR(full->Score(u, v), inc->Score(u, v), 1e-6);
+  }
+}
+
+TEST(Incremental, SelfLoopEditsTrackFullRecompute) {
+  auto pair = MakeRandomPair(34);
+  FSimConfig config;
+  config.variant = SimVariant::kBi;
+  config.epsilon = 1e-9;
+  config.matching = MatchingAlgo::kHungarian;
+  IncrementalOptions options;
+  options.propagation_tolerance = 1e-10;
+  auto inc = IncrementalFSim::Create(pair.g1, pair.g2, config, options);
+  ASSERT_TRUE(inc.ok());
+
+  for (int graph_index : {1, 2}) {
+    const DynamicGraph& g = graph_index == 1 ? inc->g1() : inc->g2();
+    NodeId a = 0;
+    while (a < g.NumNodes() && g.HasEdge(a, a)) ++a;
+    ASSERT_LT(a, g.NumNodes());
+
+    ASSERT_TRUE(inc->InsertEdge(graph_index, a, a).ok());
+    // Duplicate-endpoint re-insert is rejected and leaves state untouched.
+    EXPECT_EQ(inc->InsertEdge(graph_index, a, a).code(),
+              StatusCode::kAlreadyExists);
+
+    auto full =
+        ComputeFSim(inc->MaterializeG1(), inc->MaterializeG2(), config);
+    ASSERT_TRUE(full.ok());
+    for (uint64_t key : full->keys()) {
+      const NodeId u = PairFirst(key);
+      const NodeId v = PairSecond(key);
+      EXPECT_NEAR(full->Score(u, v), inc->Score(u, v), 1e-6)
+          << "graph " << graph_index << " self-loop (" << a << ", " << a
+          << ")";
+    }
+
+    ASSERT_TRUE(inc->RemoveEdge(graph_index, a, a).ok());
+    EXPECT_EQ(inc->RemoveEdge(graph_index, a, a).code(),
+              StatusCode::kNotFound);
   }
 }
 

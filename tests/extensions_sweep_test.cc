@@ -187,7 +187,7 @@ TEST_P(FamilySweep, IncrementalRepairTracksFullRecompute) {
   while (inc->g1().OutDegree(src) == 0) ++src;
   ASSERT_TRUE(inc->RemoveEdge(1, src, inc->g1().OutNeighbors(src)[0]).ok());
 
-  auto full = ComputeFSim(inc->g1(), inc->g2(), config);
+  auto full = ComputeFSim(inc->MaterializeG1(), inc->MaterializeG2(), config);
   ASSERT_TRUE(full.ok());
   for (uint64_t key : full->keys()) {
     EXPECT_NEAR(full->Score(PairFirst(key), PairSecond(key)),
