@@ -12,6 +12,7 @@
 #include <cstdlib>
 
 #include "bench/bench_util.h"
+#include "core/dense_engine.h"
 #include "core/fsim_engine.h"
 #include "datasets/dataset_registry.h"
 
@@ -123,6 +124,50 @@ void RunPhaseTimings() {
                 bench::FormatSeconds(fallback->stats().build_seconds).c_str(),
                 bench::FormatSeconds(fallback->stats().iterate_seconds).c_str());
   }
+  // Dense engine: label-class index (core/dense_index.h) vs the per-visit
+  // lookup fallback on the yeast-scale labeled config, cross-checked over
+  // the full |V|² matrix. Recorded under the "dense" section.
+  std::printf("\ndense    path      build      iterate    speedup\n");
+  for (SimVariant variant :
+       {SimVariant::kSimple, SimVariant::kDegreePreserving, SimVariant::kBi,
+        SimVariant::kBijective}) {
+    FSimConfig config = BaseConfig(variant);
+    config.theta = 1.0;
+
+    config.neighbor_index_budget_bytes = 1ULL << 30;
+    auto indexed = ComputeFSimDense(g, g, config);
+    config.neighbor_index_budget_bytes = 0;
+    auto fallback = ComputeFSimDense(g, g, config);
+    if (!indexed.ok() || !fallback.ok()) {
+      std::fprintf(stderr, "fatal: dense phase-timing run failed\n");
+      std::abort();
+    }
+    double max_diff = 0.0;
+    for (size_t i = 0; i < indexed->values().size(); ++i) {
+      max_diff = std::max(max_diff, std::abs(indexed->values()[i] -
+                                             fallback->values()[i]));
+    }
+    if (!indexed->stats().used_neighbor_index || max_diff > 1e-12) {
+      std::fprintf(
+          stderr,
+          "fatal: dense indexed/fallback mismatch (indexed=%d diff=%g)\n",
+          indexed->stats().used_neighbor_index, max_diff);
+      std::abort();
+    }
+
+    const char* name = SimVariantName(variant);
+    json.AddDense(std::string(name) + "/indexed", indexed->stats());
+    json.AddDense(std::string(name) + "/fallback", fallback->stats());
+    std::printf("%-8s indexed   %-10s %-10s %.2fx\n", name,
+                bench::FormatSeconds(indexed->stats().build_seconds).c_str(),
+                bench::FormatSeconds(indexed->stats().iterate_seconds).c_str(),
+                fallback->stats().iterate_seconds /
+                    indexed->stats().iterate_seconds);
+    std::printf("%-8s fallback  %-10s %-10s\n", name,
+                bench::FormatSeconds(fallback->stats().build_seconds).c_str(),
+                bench::FormatSeconds(fallback->stats().iterate_seconds).c_str());
+  }
+
   if (!json.WriteFile("BENCH_fsim.json")) {
     std::fprintf(stderr, "fatal: cannot write BENCH_fsim.json\n");
     std::abort();

@@ -83,22 +83,46 @@ class PhaseTimingsJson {
   };
 
   void Add(const std::string& name, const FSimStats& stats) {
-    records_.push_back(Record{name, stats.build_seconds,
-                              stats.iterate_seconds, stats.iterations,
-                              stats.maintained_pairs,
-                              stats.used_neighbor_index});
+    records_.push_back(MakeRecord(name, stats));
+  }
+
+  /// Adds a record to the separate "dense" section (the ComputeFSimDense
+  /// label-class-index timings).
+  void AddDense(const std::string& name, const FSimStats& stats) {
+    dense_records_.push_back(MakeRecord(name, stats));
   }
 
   const std::vector<Record>& records() const { return records_; }
 
-  /// Writes {"runs": {name: {...}, ...}} to `path`; returns false on I/O
-  /// failure.
+  /// Writes {"runs": {name: {...}, ...}, "dense": {...}} to `path`;
+  /// returns false on I/O failure. The "dense" key is omitted while empty
+  /// so older consumers keep parsing unchanged files.
   bool WriteFile(const std::string& path) const {
     std::FILE* f = std::fopen(path.c_str(), "w");
     if (f == nullptr) return false;
-    std::fprintf(f, "{\n  \"runs\": {\n");
-    for (size_t i = 0; i < records_.size(); ++i) {
-      const Record& r = records_[i];
+    std::fprintf(f, "{\n");
+    WriteSection(f, "runs", records_, /*trailing_comma=*/!dense_records_.empty());
+    if (!dense_records_.empty()) {
+      WriteSection(f, "dense", dense_records_, /*trailing_comma=*/false);
+    }
+    std::fprintf(f, "}\n");
+    std::fclose(f);
+    return true;
+  }
+
+ private:
+  static Record MakeRecord(const std::string& name, const FSimStats& stats) {
+    return Record{name, stats.build_seconds, stats.iterate_seconds,
+                  stats.iterations, stats.maintained_pairs,
+                  stats.used_neighbor_index};
+  }
+
+  static void WriteSection(std::FILE* f, const char* key,
+                           const std::vector<Record>& records,
+                           bool trailing_comma) {
+    std::fprintf(f, "  \"%s\": {\n", key);
+    for (size_t i = 0; i < records.size(); ++i) {
+      const Record& r = records[i];
       std::fprintf(f,
                    "    \"%s\": {\"build_seconds\": %.6f, "
                    "\"iterate_seconds\": %.6f, \"iterations\": %u, "
@@ -107,15 +131,13 @@ class PhaseTimingsJson {
                    r.name.c_str(), r.build_seconds, r.iterate_seconds,
                    r.iterations, r.maintained_pairs,
                    r.used_neighbor_index ? "true" : "false",
-                   i + 1 < records_.size() ? "," : "");
+                   i + 1 < records.size() ? "," : "");
     }
-    std::fprintf(f, "  }\n}\n");
-    std::fclose(f);
-    return true;
+    std::fprintf(f, "  }%s\n", trailing_comma ? "," : "");
   }
 
- private:
   std::vector<Record> records_;
+  std::vector<Record> dense_records_;
 };
 
 }  // namespace bench

@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Appends one compact JSONL record summarizing a bench run to BENCH_history.jsonl.
+
+CI calls this after bench_fsim / exp_incremental so the perf trajectory is
+visible per PR directly in the committed history file, without downloading
+the artifact zips. Each line holds the headline numbers only (phase seconds
+per engine path and per-edit milliseconds per stream); the full records stay
+in the uploaded BENCH_*.json artifacts.
+
+Usage:
+  append_bench_history.py --label <sha> [--fsim BENCH_fsim.json]
+      [--incremental BENCH_incremental.json] [--out BENCH_history.jsonl]
+"""
+
+import argparse
+import json
+import sys
+
+
+def fsim_summary(runs):
+    """{name: {build, iterate, iters}} keeping floats short."""
+    return {
+        name: {
+            "build_s": round(r["build_seconds"], 4),
+            "iterate_s": round(r["iterate_seconds"], 4),
+            "iters": r["iterations"],
+        }
+        for name, r in runs.items()
+    }
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--label", required=True,
+                        help="run label, e.g. the commit SHA")
+    parser.add_argument("--fsim", default="BENCH_fsim.json")
+    parser.add_argument("--incremental", default="BENCH_incremental.json")
+    parser.add_argument("--out", default="BENCH_history.jsonl")
+    args = parser.parse_args()
+
+    record = {"label": args.label}
+    try:
+        with open(args.fsim) as f:
+            fsim = json.load(f)
+        record["fsim"] = fsim_summary(fsim.get("runs", {}))
+        if fsim.get("dense"):
+            record["dense"] = fsim_summary(fsim["dense"])
+    except OSError as e:
+        print(f"warning: skipping fsim summary: {e}", file=sys.stderr)
+    try:
+        with open(args.incremental) as f:
+            streams = json.load(f).get("streams", {})
+        record["incremental"] = {
+            name: {
+                "median_edit_ms": round(s["median_edit_ms"], 3),
+                "avg_propagate_ms": round(s["avg_propagate_ms"], 3),
+            }
+            for name, s in streams.items()
+        }
+    except OSError as e:
+        print(f"warning: skipping incremental summary: {e}", file=sys.stderr)
+
+    line = json.dumps(record, separators=(",", ":"), sort_keys=True)
+    with open(args.out, "a") as f:
+        f.write(line + "\n")
+    print(line)
+
+
+if __name__ == "__main__":
+    main()

@@ -14,6 +14,14 @@
 // ones (which the sparse engine does not maintain); those extra scores follow
 // the same recurrence but never feed back through the mapping operators, so
 // agreement on compatible pairs is exact.
+//
+// The iterate loop runs on the label-class index of core/dense_index.h —
+// per-class compatibility bitsets, a hoisted label-term table and
+// class-grouped adjacency, evaluated through DirectionScoreGrouped with the
+// v-loop tiled into cache-sized blocks — whenever it fits
+// FSimConfig::neighbor_index_budget_bytes; otherwise it falls back to the
+// per-visit label-check + dense-lookup path with identical scores
+// (FSimStats::used_neighbor_index reports which path ran).
 #ifndef FSIM_CORE_DENSE_ENGINE_H_
 #define FSIM_CORE_DENSE_ENGINE_H_
 

@@ -1,0 +1,141 @@
+#include "core/dense_index.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "core/init_value.h"
+
+namespace fsim {
+
+LabelClassTable::LabelClassTable(const LabelDict& dict,
+                                 const LabelSimilarityCache& lsim,
+                                 const FSimConfig& config,
+                                 double label_weight)
+    : n_(dict.size()), words_((dict.size() + 63) / 64) {
+  compat_.assign(n_ * words_, 0);
+  // A label term that is identically zero needs no |Σ|² table.
+  const bool need_label_term =
+      label_weight != 0.0 && config.label_term != LabelTermKind::kZero;
+  if (need_label_term) label_term_.resize(n_ * n_);
+  compat_offsets_.resize(n_ + 1);
+  compat_offsets_[0] = 0;
+  for (LabelId a = 0; a < n_; ++a) {
+    uint64_t* row = compat_.data() + a * words_;
+    double* terms =
+        need_label_term ? label_term_.data() + static_cast<size_t>(a) * n_
+                        : nullptr;
+    for (LabelId b = 0; b < n_; ++b) {
+      if (lsim.Compatible(a, b, config.theta)) {
+        row[b >> 6] |= uint64_t{1} << (b & 63);
+        compat_list_.push_back(b);
+      }
+      if (need_label_term) {
+        terms[b] = label_weight * LabelTermValue(config, lsim, a, b);
+      }
+    }
+    compat_offsets_[a + 1] = static_cast<uint32_t>(compat_list_.size());
+  }
+}
+
+uint64_t LabelClassTable::EstimateBytes(size_t num_classes,
+                                        bool with_label_term) {
+  const uint64_t words = (num_classes + 63) / 64;
+  const uint64_t n2 = static_cast<uint64_t>(num_classes) * num_classes;
+  uint64_t bytes = num_classes * words * sizeof(uint64_t) +  // bitsets
+                   (num_classes + 1) * sizeof(uint32_t) +    // list offsets
+                   n2 * sizeof(LabelId);                     // full compat list
+  if (with_label_term) bytes += n2 * sizeof(double);
+  return bytes;
+}
+
+GroupedAdjacency GroupedAdjacency::Build(const Graph& g, bool out,
+                                         size_t num_classes) {
+  GroupedAdjacency adj;
+  adj.num_classes_ = num_classes;
+  const size_t n = g.NumNodes();
+  adj.node_offsets_.resize(n + 1);
+  adj.node_offsets_[0] = 0;
+  for (NodeId u = 0; u < n; ++u) {
+    adj.node_offsets_[u + 1] =
+        adj.node_offsets_[u] + (out ? g.OutDegree(u) : g.InDegree(u));
+  }
+  adj.nodes_.resize(adj.node_offsets_[n]);
+  adj.pos_.resize(adj.node_offsets_[n]);
+  adj.group_offsets_.resize(n + 1);
+  adj.group_offsets_[0] = 0;
+  adj.class_offsets_.resize(n * (num_classes + 1));
+
+  std::vector<uint32_t> order;
+  for (NodeId u = 0; u < n; ++u) {
+    const std::span<const NodeId> nbrs =
+        out ? g.OutNeighbors(u) : g.InNeighbors(u);
+    const uint32_t deg = static_cast<uint32_t>(nbrs.size());
+    order.resize(deg);
+    std::iota(order.begin(), order.end(), 0u);
+    // Neighbor lists are id-sorted; a stable sort by class alone keeps ids
+    // (and hence original positions) ascending within each class run.
+    std::stable_sort(order.begin(), order.end(),
+                     [&](uint32_t a, uint32_t b) {
+                       return g.Label(nbrs[a]) < g.Label(nbrs[b]);
+                     });
+    NodeId* nodes = adj.nodes_.data() + adj.node_offsets_[u];
+    uint32_t* pos = adj.pos_.data() + adj.node_offsets_[u];
+    for (uint32_t k = 0; k < deg; ++k) {
+      nodes[k] = nbrs[order[k]];
+      pos[k] = order[k];
+    }
+    // Class runs, plus the dense per-class cumulative offsets: classes
+    // absent from the list collapse to empty [off, off) spans.
+    uint32_t* class_off = adj.class_offsets_.data() + u * (num_classes + 1);
+    LabelId next_class = 0;
+    for (uint32_t k = 0; k < deg;) {
+      const LabelId label = g.Label(nodes[k]);
+      uint32_t end = k + 1;
+      while (end < deg && g.Label(nodes[end]) == label) ++end;
+      adj.groups_.push_back(ClassGroup{label, k, end});
+      while (next_class <= label) class_off[next_class++] = k;
+      k = end;
+    }
+    while (next_class <= num_classes) class_off[next_class++] = deg;
+    adj.group_offsets_[u + 1] = adj.groups_.size();
+  }
+  return adj;
+}
+
+std::optional<DenseIndex> DenseIndex::Build(const Graph& g1, const Graph& g2,
+                                            const FSimConfig& config,
+                                            const LabelSimilarityCache& lsim) {
+  if (config.neighbor_index_budget_bytes == 0) return std::nullopt;
+
+  // Upper bound: the class table is quadratic in |Σ|, the grouped
+  // adjacency linear in |E| (run count <= |E|) plus the dense per-node
+  // class index of |V| * (|Σ|+1) offsets.
+  const size_t num_classes = g1.dict()->size();
+  const double label_weight = 1.0 - config.w_out - config.w_in;
+  auto adjacency_bytes = [num_classes](const Graph& g) -> uint64_t {
+    return static_cast<uint64_t>(g.NumEdges()) *
+               (sizeof(NodeId) + sizeof(uint32_t) + sizeof(ClassGroup)) +
+           static_cast<uint64_t>(g.NumNodes()) * (num_classes + 1) *
+               sizeof(uint32_t) +
+           (g.NumNodes() + 1) * 2 * sizeof(uint64_t);
+  };
+  uint64_t estimate = LabelClassTable::EstimateBytes(
+      num_classes, label_weight != 0.0 &&
+                       config.label_term != LabelTermKind::kZero);
+  if (config.w_out > 0.0) estimate += adjacency_bytes(g1) + adjacency_bytes(g2);
+  if (config.w_in > 0.0) estimate += adjacency_bytes(g1) + adjacency_bytes(g2);
+  if (estimate > config.neighbor_index_budget_bytes) return std::nullopt;
+
+  DenseIndex index(LabelClassTable(*g1.dict(), lsim, config, label_weight));
+  if (config.w_out > 0.0) {
+    index.out1_ = GroupedAdjacency::Build(g1, /*out=*/true, num_classes);
+    index.out2_ = GroupedAdjacency::Build(g2, /*out=*/true, num_classes);
+  }
+  if (config.w_in > 0.0) {
+    index.in1_ = GroupedAdjacency::Build(g1, /*out=*/false, num_classes);
+    index.in2_ = GroupedAdjacency::Build(g2, /*out=*/false, num_classes);
+  }
+  return index;
+}
+
+}  // namespace fsim

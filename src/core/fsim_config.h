@@ -137,6 +137,14 @@ struct FSimConfig {
   /// index.
   uint64_t neighbor_index_budget_bytes = 1ULL << 30;
 
+  /// Allow the packed 8-byte neighbor-index entry layout (16-bit row/col)
+  /// when every relevant neighbor-list position (0..deg-1) fits in 16
+  /// bits — halves the index memory on degree-bounded graphs. Graphs
+  /// whose max degree exceeds 65536 in a weighted direction fall back to
+  /// the 12-byte layout automatically; tests and benchmarks set this
+  /// false to pin the wide layout.
+  bool use_packed_neighbor_refs = true;
+
   /// The effective operator pair.
   OperatorConfig operators() const {
     return operator_override ? *operator_override

@@ -65,6 +65,8 @@ Result<FSimScores> ComputeFSim(const Graph& g1, const Graph& g2,
   stats.used_neighbor_index = store.has_neighbor_index();
   stats.neighbor_index_bytes =
       store.has_neighbor_index() ? store.NeighborIndexBytes() : 0;
+  stats.packed_neighbor_refs =
+      store.has_neighbor_index() && store.packed_refs();
   stats.build_seconds = build_timer.Seconds();
 
   const uint32_t max_iters = FSimIterationBound(config);

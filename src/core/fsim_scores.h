@@ -26,6 +26,9 @@ struct FSimStats {
   bool used_neighbor_index = false;
   /// Heap footprint of the neighbor index (0 when not materialized).
   size_t neighbor_index_bytes = 0;
+  /// True when the index used the packed 8-byte entry layout (16-bit
+  /// row/col; degree-bounded graphs only).
+  bool packed_neighbor_refs = false;
   /// max_{(u,v)} |FSim^k - FSim^{k-1}| per iteration, when
   /// FSimConfig::record_delta_history is set (Theorem 1: strictly
   /// decreasing).

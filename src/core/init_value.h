@@ -1,6 +1,7 @@
-// FSim^0 initialization (§3.3 and the §4.3 SimRank/RoleSim configurations),
-// shared by every engine (sparse, dense, top-k search) so the InitKind
-// semantics cannot silently diverge between them.
+// FSim^0 initialization (§3.3 and the §4.3 SimRank/RoleSim configurations)
+// and the additive label term of Equation 1/3, shared by every engine
+// (sparse, dense, top-k search) so the InitKind/LabelTermKind semantics
+// cannot silently diverge between them.
 #ifndef FSIM_CORE_INIT_VALUE_H_
 #define FSIM_CORE_INIT_VALUE_H_
 
@@ -28,6 +29,23 @@ inline double InitValue(const FSimConfig& config,
       return std::min(d1, d2) / std::max(d1, d2);
     }
     case InitKind::kOnes:
+      return 1.0;
+  }
+  return 0.0;
+}
+
+/// The additive L-term of Equation 1/3 for a label-class pair under
+/// config.label_term. Iteration-invariant, so engines hoist it — per pair
+/// (sparse) or per label-class pair (dense, core/dense_index.h).
+inline double LabelTermValue(const FSimConfig& config,
+                             const LabelSimilarityCache& lsim, LabelId a,
+                             LabelId b) {
+  switch (config.label_term) {
+    case LabelTermKind::kLabelSim:
+      return lsim.Sim(a, b);
+    case LabelTermKind::kZero:
+      return 0.0;
+    case LabelTermKind::kOne:
       return 1.0;
   }
   return 0.0;

@@ -14,6 +14,7 @@
 
 #include "common/thread_pool.h"
 #include "core/fsim_config.h"
+#include "core/init_value.h"
 #include "core/operators.h"
 #include "core/pair_store.h"
 #include "graph/graph.h"
@@ -55,15 +56,24 @@ class PairEvaluator {
         }
         return prev[ref];
       };
-      if (config_.w_out > 0.0) {
-        out_score = DirectionScoreIndexed(op_, config_.matching,
-                                          g1_.OutDegree(u), g2_.OutDegree(v),
-                                          store_.OutRefs(i), score_of, scratch);
-      }
-      if (config_.w_in > 0.0) {
-        in_score = DirectionScoreIndexed(op_, config_.matching,
-                                         g1_.InDegree(u), g2_.InDegree(v),
-                                         store_.InRefs(i), score_of, scratch);
+      // One evaluation body for both index entry layouts (the packed
+      // 8-byte refs of degree-bounded graphs and the wide 12-byte refs).
+      auto evaluate_refs = [&](auto out_refs, auto in_refs) {
+        if (config_.w_out > 0.0) {
+          out_score = DirectionScoreIndexed(op_, config_.matching,
+                                            g1_.OutDegree(u), g2_.OutDegree(v),
+                                            out_refs, score_of, scratch);
+        }
+        if (config_.w_in > 0.0) {
+          in_score = DirectionScoreIndexed(op_, config_.matching,
+                                           g1_.InDegree(u), g2_.InDegree(v),
+                                           in_refs, score_of, scratch);
+        }
+      };
+      if (store_.packed_refs()) {
+        evaluate_refs(store_.OutRefsPacked(i), store_.InRefsPacked(i));
+      } else {
+        evaluate_refs(store_.OutRefs(i), store_.InRefs(i));
       }
     } else {
       // Previous-iteration score of (x, y); negative = not mappable under
@@ -93,15 +103,7 @@ class PairEvaluator {
 
  private:
   double LabelTerm(NodeId u, NodeId v) const {
-    switch (config_.label_term) {
-      case LabelTermKind::kLabelSim:
-        return lsim_.Sim(g1_.Label(u), g2_.Label(v));
-      case LabelTermKind::kZero:
-        return 0.0;
-      case LabelTermKind::kOne:
-        return 1.0;
-    }
-    return 0.0;
+    return LabelTermValue(config_, lsim_, g1_.Label(u), g2_.Label(v));
   }
 
   const Graph& g1_;

@@ -21,19 +21,6 @@ std::vector<std::vector<NodeId>> NodesByLabel(const Graph& g,
   return groups;
 }
 
-double LabelTermValue(const FSimConfig& config,
-                      const LabelSimilarityCache& lsim, LabelId a, LabelId b) {
-  switch (config.label_term) {
-    case LabelTermKind::kLabelSim:
-      return lsim.Sim(a, b);
-    case LabelTermKind::kZero:
-      return 0.0;
-    case LabelTermKind::kOne:
-      return 1.0;
-  }
-  return 0.0;
-}
-
 }  // namespace
 
 Result<PairStore> PairStore::Build(const Graph& g1, const Graph& g2,
@@ -164,13 +151,22 @@ void PairStore::BuildNeighborIndex(const Graph& g1, const Graph& g2,
 
   const bool use_out = config.w_out > 0.0;
   const bool use_in = config.w_in > 0.0;
-  const double theta = config.theta;
-  const bool need_compat = theta > 0.0;
-  const double alpha = config.upper_bound ? config.alpha : 0.0;
+
+  // Entry layout: the packed 8-byte NeighborRef when every row/col fits in
+  // 16 bits; positions inside a neighbor list run 0..deg-1, so a direction
+  // packs while its max degree is <= 65536. The 12-byte layout otherwise.
+  constexpr size_t kPackedDegreeLimit = 0x10000;
+  const bool packed = config.use_packed_neighbor_refs &&
+                      (!use_out || (g1.MaxOutDegree() <= kPackedDegreeLimit &&
+                                    g2.MaxOutDegree() <= kPackedDegreeLimit)) &&
+                      (!use_in || (g1.MaxInDegree() <= kPackedDegreeLimit &&
+                                   g2.MaxInDegree() <= kPackedDegreeLimit));
 
   // Budget check against the pre-filter upper bound Σ |N±(u)|·|N±(v)|
   // (compatibility filtering only shrinks it, so fitting the bound
-  // guarantees fitting the index).
+  // guarantees fitting the index). The one-pass build transiently stages
+  // the classified entries once more, so actual peak usage can reach twice
+  // the final footprint for the staging's lifetime.
   uint64_t max_entries = 0;
   for (uint64_t key : keys_) {
     const NodeId u = PairFirst(key);
@@ -183,11 +179,34 @@ void PairStore::BuildNeighborIndex(const Graph& g1, const Graph& g2,
       max_entries += static_cast<uint64_t>(g1.InDegree(u)) * g2.InDegree(v);
     }
   }
+  const uint64_t entry_bytes =
+      packed ? sizeof(PackedNeighborRef) : sizeof(NeighborRef);
   const uint64_t offsets_bytes = (2 * n + 1) * sizeof(uint64_t);
-  if (max_entries * sizeof(NeighborRef) + offsets_bytes >
+  if (max_entries * entry_bytes + offsets_bytes >
       config.neighbor_index_budget_bytes) {
     return;
   }
+
+  if (packed) {
+    FillNeighborRefs(g1, g2, config, lsim, pool, &nbr_refs_packed_);
+  } else {
+    FillNeighborRefs(g1, g2, config, lsim, pool, &nbr_refs_);
+  }
+  packed_refs_ = packed;
+  has_neighbor_index_ = true;
+}
+
+template <typename Ref>
+void PairStore::FillNeighborRefs(const Graph& g1, const Graph& g2,
+                                 const FSimConfig& config,
+                                 const LabelSimilarityCache& lsim,
+                                 ThreadPool* pool, std::vector<Ref>* refs) {
+  const size_t n = keys_.size();
+  const bool use_out = config.w_out > 0.0;
+  const bool use_in = config.w_in > 0.0;
+  const double theta = config.theta;
+  const bool need_compat = theta > 0.0;
+  const double alpha = config.upper_bound ? config.alpha : 0.0;
 
   // Score source of candidate pair (x, y): the maintained-pair index, or a
   // tagged pruned-bound index whose lookup value is α * bound. Pairs that
@@ -212,37 +231,53 @@ void PairStore::BuildNeighborIndex(const Graph& g1, const Graph& g2,
     return false;
   };
 
-  // Two passes over N±(u) x N±(v) per pair — roughly the lookup work of two
-  // fallback iterations, repaid after the first two indexed iterations.
+  // One classification pass over N±(u) x N±(v) per pair — roughly the
+  // lookup work of a single fallback iteration, repaid after the first
+  // indexed iteration. Chunks classify into per-chunk staging buffers
+  // while recording per-span counts; after the offsets prefix sum, each
+  // chunk's staged entries are contiguous in the final layout (chunks
+  // cover contiguous pair ranges), so placement is one bulk copy per
+  // chunk, not a second classification.
   nbr_offsets_.assign(2 * n + 1, 0);
   ThreadPool serial_pool(1);
   if (pool == nullptr) pool = &serial_pool;
   constexpr size_t kBuildGrain = 256;
+  const size_t num_chunks = (n + kBuildGrain - 1) / kBuildGrain;
+  std::vector<std::vector<Ref>> staged(num_chunks);
 
-  auto count_direction = [&](std::span<const NodeId> s1,
-                             std::span<const NodeId> s2) -> uint64_t {
-    uint64_t count = 0;
-    uint32_t ref;
-    for (NodeId x : s1) {
-      for (NodeId y : s2) {
-        if (classify(x, y, &ref)) ++count;
+  using PosT = decltype(Ref::row);
+  auto stage_direction = [&](std::span<const NodeId> s1,
+                             std::span<const NodeId> s2,
+                             std::vector<Ref>* buf) -> uint64_t {
+    const size_t before = buf->size();
+    for (uint32_t r = 0; r < s1.size(); ++r) {
+      for (uint32_t c = 0; c < s2.size(); ++c) {
+        uint32_t ref;
+        if (classify(s1[r], s2[c], &ref)) {
+          buf->push_back(
+              Ref{static_cast<PosT>(r), static_cast<PosT>(c), ref});
+        }
       }
     }
-    return count;
+    return buf->size() - before;
   };
   pool->ParallelForChunked(n, kBuildGrain,
                           [&](int /*worker*/, size_t begin, size_t end) {
+    // ParallelForChunked hands out grain-aligned begins (the inline
+    // single-chunk path starts at 0), so begin / kBuildGrain identifies
+    // the staging buffer.
+    std::vector<Ref>& buf = staged[begin / kBuildGrain];
     for (size_t i = begin; i < end; ++i) {
       const NodeId u = PairFirst(keys_[i]);
       const NodeId v = PairSecond(keys_[i]);
       if (config.pin_diagonal && u == v) continue;
       if (use_out) {
         nbr_offsets_[2 * i + 1] =
-            count_direction(g1.OutNeighbors(u), g2.OutNeighbors(v));
+            stage_direction(g1.OutNeighbors(u), g2.OutNeighbors(v), &buf);
       }
       if (use_in) {
         nbr_offsets_[2 * i + 2] =
-            count_direction(g1.InNeighbors(u), g2.InNeighbors(v));
+            stage_direction(g1.InNeighbors(u), g2.InNeighbors(v), &buf);
       }
     }
   });
@@ -252,35 +287,25 @@ void PairStore::BuildNeighborIndex(const Graph& g1, const Graph& g2,
     nbr_offsets_[k] += nbr_offsets_[k - 1];
   }
 
-  nbr_refs_.resize(nbr_offsets_.back());
-  auto fill_direction = [&](std::span<const NodeId> s1,
-                            std::span<const NodeId> s2, NeighborRef* out) {
-    for (uint32_t r = 0; r < s1.size(); ++r) {
-      for (uint32_t c = 0; c < s2.size(); ++c) {
-        uint32_t ref;
-        if (classify(s1[r], s2[c], &ref)) *out++ = NeighborRef{r, c, ref};
-      }
-    }
-    return out;
-  };
-  pool->ParallelForChunked(n, kBuildGrain,
+  refs->resize(nbr_offsets_.back());
+  pool->ParallelForChunked(num_chunks, 1,
                           [&](int /*worker*/, size_t begin, size_t end) {
-    for (size_t i = begin; i < end; ++i) {
-      const NodeId u = PairFirst(keys_[i]);
-      const NodeId v = PairSecond(keys_[i]);
-      if (config.pin_diagonal && u == v) continue;
-      NeighborRef* out = nbr_refs_.data() + nbr_offsets_[2 * i];
-      if (use_out) {
-        out = fill_direction(g1.OutNeighbors(u), g2.OutNeighbors(v), out);
-        FSIM_DCHECK(out == nbr_refs_.data() + nbr_offsets_[2 * i + 1]);
-      }
-      if (use_in) {
-        out = fill_direction(g1.InNeighbors(u), g2.InNeighbors(v), out);
-        FSIM_DCHECK(out == nbr_refs_.data() + nbr_offsets_[2 * i + 2]);
-      }
+    for (size_t chunk = begin; chunk < end; ++chunk) {
+      // The chunk's entries start at its first pair's first span.
+      const uint64_t dst = nbr_offsets_[2 * (chunk * kBuildGrain)];
+      std::copy(staged[chunk].begin(), staged[chunk].end(),
+                refs->data() + dst);
+      // A non-empty buffer ends at the next chunk's start — or at the
+      // array end when it absorbed the tail (last chunk, or the pool's
+      // inline single-chunk execution staging everything into buffer 0,
+      // which leaves the remaining buffers empty with nothing to check).
+      FSIM_DCHECK(staged[chunk].empty() ||
+                  dst + staged[chunk].size() == nbr_offsets_.back() ||
+                  dst + staged[chunk].size() ==
+                      nbr_offsets_[2 * std::min((chunk + 1) * kBuildGrain, n)]);
+      staged[chunk] = std::vector<Ref>();  // release while others copy
     }
   });
-  has_neighbor_index_ = true;
 }
 
 }  // namespace fsim

@@ -78,12 +78,20 @@ class PairStore {
   /// config.neighbor_index_budget_bytes and the build was requested).
   bool has_neighbor_index() const { return has_neighbor_index_; }
 
+  /// True when the index uses the packed 8-byte entry layout (16-bit
+  /// row/col) — selected automatically when every relevant neighbor-list
+  /// position fits (see FSimConfig::use_packed_neighbor_refs). Callers
+  /// read through OutRefsPacked/InRefsPacked then, OutRefs/InRefs
+  /// otherwise.
+  bool packed_refs() const { return packed_refs_; }
+
   /// Out-direction CSR entries of pair i: the label-compatible candidate
   /// pairs of N+(u) x N+(v), sorted by (row, col). Empty when the index was
   /// not materialized; diagonal pairs of a pin_diagonal run and zero-weight
   /// directions also have empty spans (never evaluated).
   std::span<const NeighborRef> OutRefs(size_t i) const {
     if (!has_neighbor_index_) return {};
+    FSIM_DCHECK(!packed_refs_);
     return {nbr_refs_.data() + nbr_offsets_[2 * i],
             nbr_refs_.data() + nbr_offsets_[2 * i + 1]};
   }
@@ -91,8 +99,23 @@ class PairStore {
   /// In-direction CSR entries of pair i (N-(u) x N-(v)).
   std::span<const NeighborRef> InRefs(size_t i) const {
     if (!has_neighbor_index_) return {};
+    FSIM_DCHECK(!packed_refs_);
     return {nbr_refs_.data() + nbr_offsets_[2 * i + 1],
             nbr_refs_.data() + nbr_offsets_[2 * i + 2]};
+  }
+
+  /// Packed-layout counterparts of OutRefs/InRefs.
+  std::span<const PackedNeighborRef> OutRefsPacked(size_t i) const {
+    if (!has_neighbor_index_) return {};
+    FSIM_DCHECK(packed_refs_);
+    return {nbr_refs_packed_.data() + nbr_offsets_[2 * i],
+            nbr_refs_packed_.data() + nbr_offsets_[2 * i + 1]};
+  }
+  std::span<const PackedNeighborRef> InRefsPacked(size_t i) const {
+    if (!has_neighbor_index_) return {};
+    FSIM_DCHECK(packed_refs_);
+    return {nbr_refs_packed_.data() + nbr_offsets_[2 * i + 1],
+            nbr_refs_packed_.data() + nbr_offsets_[2 * i + 2]};
   }
 
   /// Previous-iteration scores, indexed by untagged NeighborRef::ref values.
@@ -105,6 +128,7 @@ class PairStore {
   /// Heap footprint of the neighbor index (0 when not materialized).
   size_t NeighborIndexBytes() const {
     return nbr_refs_.capacity() * sizeof(NeighborRef) +
+           nbr_refs_packed_.capacity() * sizeof(PackedNeighborRef) +
            nbr_offsets_.capacity() * sizeof(uint64_t);
   }
 
@@ -119,10 +143,22 @@ class PairStore {
  private:
   PairStore() = default;
 
-  /// Materializes the CSR neighbor index if it fits the budget.
+  /// Materializes the CSR neighbor index if it fits the budget, choosing
+  /// the packed or wide entry layout.
   void BuildNeighborIndex(const Graph& g1, const Graph& g2,
                           const FSimConfig& config,
                           const LabelSimilarityCache& lsim, ThreadPool* pool);
+
+  /// One-pass classification of every pair's candidate entries into `refs`:
+  /// chunks classify into per-chunk staging buffers (recording per-span
+  /// counts), offsets are prefix-summed, then each chunk's staged entries —
+  /// contiguous in the final layout by construction — are copied into
+  /// place. Ref is NeighborRef or PackedNeighborRef.
+  template <typename Ref>
+  void FillNeighborRefs(const Graph& g1, const Graph& g2,
+                        const FSimConfig& config,
+                        const LabelSimilarityCache& lsim, ThreadPool* pool,
+                        std::vector<Ref>* refs);
 
   std::vector<uint64_t> keys_;  // sorted ascending: u-major, then v
   FlatPairMap index_;
@@ -134,10 +170,13 @@ class PairStore {
 
   // Pair-graph CSR neighbor index. nbr_offsets_ has 2 * size() + 1 entries:
   // pair i's out-direction entries live in [offsets[2i], offsets[2i+1]) and
-  // its in-direction entries in [offsets[2i+1], offsets[2i+2]).
+  // its in-direction entries in [offsets[2i+1], offsets[2i+2]). Exactly one
+  // of the two entry arrays is populated, per packed_refs_.
   bool has_neighbor_index_ = false;
+  bool packed_refs_ = false;
   std::vector<uint64_t> nbr_offsets_;
   std::vector<NeighborRef> nbr_refs_;
+  std::vector<PackedNeighborRef> nbr_refs_packed_;
 };
 
 }  // namespace fsim

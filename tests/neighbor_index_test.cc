@@ -193,6 +193,40 @@ TEST(NeighborIndexTest, ThetaZeroEquivalence) {
   ExpectPathEquivalence(g, config, "theta-zero");
 }
 
+TEST(NeighborIndexTest, PackedRefLayoutEquivalence) {
+  // Degree-bounded graphs auto-select the packed 8-byte entry layout
+  // (16-bit row/col); forcing the wide 12-byte layout must not change a
+  // single score or iteration, and the packed index must be smaller.
+  const Graph g = MakeDenseRandomGraph(29);
+  FSimConfig config;
+  config.variant = SimVariant::kBijective;
+  config.label_sim = LabelSimKind::kEditDistance;
+  config.theta = 0.4;
+  config.epsilon = 1e-4;
+
+  config.use_packed_neighbor_refs = true;
+  auto packed = ComputeFSimSelf(g, config);
+  ASSERT_TRUE(packed.ok());
+  ASSERT_TRUE(packed->stats().used_neighbor_index);
+  EXPECT_TRUE(packed->stats().packed_neighbor_refs);
+
+  config.use_packed_neighbor_refs = false;
+  auto wide = ComputeFSimSelf(g, config);
+  ASSERT_TRUE(wide.ok());
+  ASSERT_TRUE(wide->stats().used_neighbor_index);
+  EXPECT_FALSE(wide->stats().packed_neighbor_refs);
+
+  EXPECT_LT(packed->stats().neighbor_index_bytes,
+            wide->stats().neighbor_index_bytes);
+  EXPECT_EQ(packed->stats().iterations, wide->stats().iterations);
+  ASSERT_EQ(packed->keys().size(), wide->keys().size());
+  for (size_t i = 0; i < packed->keys().size(); ++i) {
+    ASSERT_EQ(packed->keys()[i], wide->keys()[i]);
+    // Same enumeration, same refs, different storage width: bit-identical.
+    ASSERT_EQ(packed->values()[i], wide->values()[i]) << "pair " << i;
+  }
+}
+
 TEST(NeighborIndexTest, BudgetFallbackTriggers) {
   const Graph g = MakeDenseRandomGraph(23);
   FSimConfig config;
