@@ -2,7 +2,10 @@
 // (text format of graph_io.h or the binary format of binary_io.h,
 // auto-detected), compute fractional χ-simulation, and print scores, top-k
 // rows, certified global top-k pairs, exact-relation summaries or the
-// bisimulation partition; convert between formats with --save-binary.
+// bisimulation partition; convert between formats with --save-binary; or
+// run as a long-lived query service (--serve) speaking the line protocol of
+// docs/serving.md on stdin/stdout, with background incremental refresh and
+// optional warm start from a saved scores file.
 //
 // Usage:
 //   fsim_cli --g1 <file> [--g2 <file>] [--variant s|dp|b|bj]
@@ -11,6 +14,8 @@
 //            [--topk K --source NODE] [--topk-pairs K]
 //            [--exact] [--partition]
 //            [--out <scores-file>] [--save-binary <graph-file>]
+//            [--serve] [--warm <scores-file>] [--refresh-edits N]
+//            [--refresh-seconds S] [--cache-k K] [--sync-refresh]
 //
 // With no --g2 the graph is compared against itself. With no action flag
 // the tool prints run statistics and the 10 best non-trivial pairs.
@@ -18,6 +23,7 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <iostream>
 #include <string>
 #include <vector>
 
@@ -30,6 +36,7 @@
 #include "graph/binary_io.h"
 #include "graph/graph_io.h"
 #include "graph/graph_stats.h"
+#include "serve/service.h"
 
 using namespace fsim;
 
@@ -43,7 +50,9 @@ int Usage(const char* argv0) {
       "          [--upper-bound] [--threads N]\n"
       "          [--topk K --source NODE] [--topk-pairs K]\n"
       "          [--exact] [--partition]\n"
-      "          [--out <scores-file>] [--save-binary <graph-file>]\n",
+      "          [--out <scores-file>] [--save-binary <graph-file>]\n"
+      "          [--serve] [--warm <scores-file>] [--refresh-edits N]\n"
+      "          [--refresh-seconds S] [--cache-k K] [--sync-refresh]\n",
       argv0);
   return 2;
 }
@@ -88,6 +97,8 @@ int main(int argc, char** argv) {
   size_t topk_pairs = 0;
   bool run_exact = false;
   bool run_partition = false;
+  bool run_serve = false;
+  ServeOptions serve_options;
   NodeId source = kInvalidNode;
 
   for (int i = 1; i < argc; ++i) {
@@ -132,6 +143,21 @@ int main(int argc, char** argv) {
       run_partition = true;
     } else if (std::strcmp(argv[i], "--save-binary") == 0) {
       save_binary_path = need_value("--save-binary");
+    } else if (std::strcmp(argv[i], "--serve") == 0) {
+      run_serve = true;
+    } else if (std::strcmp(argv[i], "--warm") == 0) {
+      serve_options.warm_scores_path = need_value("--warm");
+    } else if (std::strcmp(argv[i], "--refresh-edits") == 0) {
+      serve_options.policy.max_edits_behind =
+          static_cast<size_t>(std::atoll(need_value("--refresh-edits")));
+    } else if (std::strcmp(argv[i], "--refresh-seconds") == 0) {
+      serve_options.policy.max_seconds_behind =
+          std::atof(need_value("--refresh-seconds"));
+    } else if (std::strcmp(argv[i], "--cache-k") == 0) {
+      serve_options.policy.topk_cache_k =
+          static_cast<size_t>(std::atoll(need_value("--cache-k")));
+    } else if (std::strcmp(argv[i], "--sync-refresh") == 0) {
+      serve_options.background_refresh = false;
     } else if (std::strcmp(argv[i], "--source") == 0) {
       source = static_cast<NodeId>(std::atoll(need_value("--source")));
     } else {
@@ -160,6 +186,32 @@ int main(int argc, char** argv) {
   }
   const Graph& graph1 = *g1;
   const Graph& target = self ? graph1 : graph2;
+
+  if (run_serve) {
+    // stdout is the protocol channel; banner and diagnostics go to stderr.
+    std::fprintf(stderr, "G1: %s\n",
+                 StatsToString(ComputeStats(graph1)).c_str());
+    std::fprintf(stderr, "G2: %s\n",
+                 StatsToString(ComputeStats(target)).c_str());
+    auto service =
+        FSimService::Create(graph1, target, config, serve_options);
+    if (!service.ok()) {
+      std::fprintf(stderr, "%s\n", service.status().ToString().c_str());
+      return 1;
+    }
+    std::fprintf(stderr,
+                 "serving (warm=%s, background refresh=%s); protocol: "
+                 "PAIR/TOPK/THRESH/BATCH/EDIT/FLUSH/STATS/QUIT\n",
+                 serve_options.warm_scores_path.empty() ? "no" : "yes",
+                 serve_options.background_refresh ? "yes" : "no");
+    Status st = (*service)->ServeLoop(std::cin, std::cout);
+    if (!st.ok()) {
+      std::fprintf(stderr, "%s\n", st.ToString().c_str());
+      return 1;
+    }
+    return 0;
+  }
+
   std::printf("G1: %s\n", StatsToString(ComputeStats(graph1)).c_str());
   std::printf("G2: %s\n", StatsToString(ComputeStats(target)).c_str());
 

@@ -9,7 +9,8 @@ in the uploaded BENCH_*.json artifacts.
 
 Usage:
   append_bench_history.py --label <sha> [--fsim BENCH_fsim.json]
-      [--incremental BENCH_incremental.json] [--out BENCH_history.jsonl]
+      [--incremental BENCH_incremental.json] [--serve BENCH_serve.json]
+      [--out BENCH_history.jsonl]
 """
 
 import argparse
@@ -35,6 +36,7 @@ def main():
                         help="run label, e.g. the commit SHA")
     parser.add_argument("--fsim", default="BENCH_fsim.json")
     parser.add_argument("--incremental", default="BENCH_incremental.json")
+    parser.add_argument("--serve", default="BENCH_serve.json")
     parser.add_argument("--out", default="BENCH_history.jsonl")
     args = parser.parse_args()
 
@@ -59,6 +61,22 @@ def main():
         }
     except OSError as e:
         print(f"warning: skipping incremental summary: {e}", file=sys.stderr)
+    try:
+        with open(args.serve) as f:
+            serve = json.load(f).get("serve", {})
+        qps = serve.get("pair_qps", {})
+        topk = serve.get("topk", {})
+        refresh = serve.get("refresh", {})
+        record["serve"] = {
+            "pair_qps_1t": round(qps.get("threads_1", 0.0)),
+            "pair_qps_8t": round(qps.get("threads_8", 0.0)),
+            "topk_cached_us": round(topk.get("cached_us", 0.0), 3),
+            "topk_heap_us": round(topk.get("heap_select_us", 0.0), 3),
+            "median_publish_ms": round(refresh.get("median_publish_ms", 0.0), 3),
+            "median_flush_ms": round(refresh.get("median_flush_ms", 0.0), 3),
+        }
+    except OSError as e:
+        print(f"warning: skipping serve summary: {e}", file=sys.stderr)
 
     line = json.dumps(record, separators=(",", ":"), sort_keys=True)
     with open(args.out, "a") as f:

@@ -1,0 +1,116 @@
+#!/usr/bin/env python3
+"""Regression gate over the committed BENCH_history.jsonl.
+
+Compares the newest history line (the current run, appended by
+append_bench_history.py) against the rolling median of the preceding lines,
+metric by metric. A tracked metric that regresses by more than --threshold
+(default 20%) fails the gate with exit code 1; CI runs this right after the
+append step so a PR that slows a tracked path down is flagged on the spot.
+
+Tracked metrics are every numeric leaf of the summary record, addressed by
+dotted path (e.g. "fsim.s/indexed.iterate_s"). Direction is inferred from
+the name: *_qps counters are higher-is-better, iteration counts ("iters")
+are informational only (skipped), everything else (seconds, ms, us) is
+lower-is-better. Metrics need at least --min-history prior samples before
+they gate, so freshly added benchmarks ride along without failing; metrics
+that disappear from the current line are ignored (benchmarks can be
+retired).
+
+Usage:
+  check_bench_history.py [--history BENCH_history.jsonl] [--threshold 0.2]
+      [--window 10] [--min-history 3]
+"""
+
+import argparse
+import json
+import statistics
+import sys
+
+
+def numeric_leaves(record, prefix=""):
+    """Yields (dotted_path, value) for every numeric leaf of a JSON dict."""
+    for key, value in record.items():
+        path = f"{prefix}.{key}" if prefix else key
+        if isinstance(value, dict):
+            yield from numeric_leaves(value, path)
+        elif isinstance(value, (int, float)) and not isinstance(value, bool):
+            yield path, float(value)
+
+
+def is_informational(path):
+    leaf = path.rsplit(".", 1)[-1]
+    return leaf == "iters"
+
+
+def higher_is_better(path):
+    return "qps" in path.rsplit(".", 1)[-1]
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--history", default="BENCH_history.jsonl")
+    parser.add_argument("--threshold", type=float, default=0.2,
+                        help="relative regression that fails the gate")
+    parser.add_argument("--window", type=int, default=10,
+                        help="prior lines forming the rolling baseline")
+    parser.add_argument("--min-history", type=int, default=3,
+                        help="prior samples a metric needs before it gates")
+    args = parser.parse_args()
+
+    try:
+        with open(args.history) as f:
+            lines = [json.loads(line) for line in f if line.strip()]
+    except OSError as e:
+        print(f"bench gate: no history to check ({e}); passing")
+        return 0
+    if len(lines) < 2:
+        print("bench gate: fewer than 2 history lines; passing")
+        return 0
+
+    current = lines[-1]
+    baseline_lines = lines[-(args.window + 1):-1]
+    baseline = {}
+    for line in baseline_lines:
+        for path, value in numeric_leaves(
+                {k: v for k, v in line.items() if k != "label"}):
+            baseline.setdefault(path, []).append(value)
+
+    failures = []
+    checked = 0
+    for path, value in numeric_leaves(
+            {k: v for k, v in current.items() if k != "label"}):
+        if is_informational(path):
+            continue
+        samples = baseline.get(path, [])
+        if len(samples) < args.min_history:
+            continue
+        median = statistics.median(samples)
+        if median == 0:
+            continue
+        checked += 1
+        if higher_is_better(path):
+            ratio = value / median
+            regressed = ratio < 1.0 - args.threshold
+            verdict = f"{ratio:.2f}x of median {median:g}"
+        else:
+            ratio = value / median
+            regressed = ratio > 1.0 + args.threshold
+            verdict = f"{ratio:.2f}x of median {median:g}"
+        if regressed:
+            failures.append(f"  {path}: {value:g} is {verdict} "
+                            f"over the last {len(samples)} runs")
+
+    label = current.get("label", "?")
+    if failures:
+        print(f"bench gate: FAIL for '{label}' "
+              f"({len(failures)} of {checked} gated metrics regressed "
+              f"> {args.threshold:.0%}):")
+        print("\n".join(failures))
+        return 1
+    print(f"bench gate: OK for '{label}' ({checked} metrics within "
+          f"{args.threshold:.0%} of their rolling medians)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

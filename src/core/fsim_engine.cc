@@ -67,6 +67,8 @@ Result<FSimScores> ComputeFSim(const Graph& g1, const Graph& g2,
       store.has_neighbor_index() ? store.NeighborIndexBytes() : 0;
   stats.packed_neighbor_refs =
       store.has_neighbor_index() && store.packed_refs();
+  stats.neighbor_index_peak_staging_bytes = store.info().peak_staging_bytes;
+  stats.neighbor_index_bounded_build = store.info().bounded_staging_build;
   stats.build_seconds = build_timer.Seconds();
 
   const uint32_t max_iters = FSimIterationBound(config);

@@ -4,6 +4,18 @@
 
 namespace fsim {
 
+namespace {
+
+/// Descending score, ties broken by ascending node id — the ranking order of
+/// every top-k surface (FSimScores::TopK, the snapshot top-k cache).
+inline bool RanksBefore(const std::pair<NodeId, double>& a,
+                        const std::pair<NodeId, double>& b) {
+  if (a.second != b.second) return a.second > b.second;
+  return a.first < b.first;
+}
+
+}  // namespace
+
 FSimScores::FSimScores(std::vector<uint64_t> keys, std::vector<double> values,
                        FlatPairMap index, FSimStats stats)
     : keys_(std::move(keys)),
@@ -22,24 +34,43 @@ std::pair<size_t, size_t> FSimScores::RangeOf(NodeId u) const {
 
 std::vector<std::pair<NodeId, double>> FSimScores::TopK(NodeId u,
                                                         size_t k) const {
+  std::vector<std::pair<NodeId, double>> out;
+  TopKInto(u, k, &out);
+  return out;
+}
+
+size_t FSimScores::TopKInto(
+    NodeId u, size_t k, std::vector<std::pair<NodeId, double>>* out) const {
+  const size_t base = out->size();
+  if (k == 0) return 0;
   auto [first, last] = RangeOf(u);
-  std::vector<std::pair<NodeId, double>> row;
-  row.reserve(last - first);
-  for (size_t i = first; i < last; ++i) {
-    row.emplace_back(PairSecond(keys_[i]), values_[i]);
-  }
-  auto cmp = [](const auto& a, const auto& b) {
-    if (a.second != b.second) return a.second > b.second;
-    return a.first < b.first;
+
+  // Bounded min-heap over out's tail: the heap top (out[base]) is the
+  // currently weakest kept entry under the ranking order, so a candidate
+  // enters iff it ranks before the top. The heap comparator is the reverse
+  // of RanksBefore (make_heap builds a max-heap, we need the weakest on top).
+  auto heap_cmp = [](const std::pair<NodeId, double>& a,
+                     const std::pair<NodeId, double>& b) {
+    return RanksBefore(a, b);
   };
-  if (row.size() > k) {
-    std::partial_sort(row.begin(), row.begin() + static_cast<ptrdiff_t>(k),
-                      row.end(), cmp);
-    row.resize(k);
-  } else {
-    std::sort(row.begin(), row.end(), cmp);
+  for (size_t i = first; i < last; ++i) {
+    const double score = values_[i];
+    if (out->size() - base >= k) {
+      // Hot path: one score compare rejects almost every candidate once
+      // the heap is warm (no pair construction, no heap traffic).
+      if (score < (*out)[base].second) continue;
+      const std::pair<NodeId, double> entry{PairSecond(keys_[i]), score};
+      if (!RanksBefore(entry, (*out)[base])) continue;
+      std::pop_heap(out->begin() + base, out->end(), heap_cmp);
+      out->back() = entry;
+      std::push_heap(out->begin() + base, out->end(), heap_cmp);
+    } else {
+      out->emplace_back(PairSecond(keys_[i]), score);
+      std::push_heap(out->begin() + base, out->end(), heap_cmp);
+    }
   }
-  return row;
+  std::sort_heap(out->begin() + base, out->end(), heap_cmp);
+  return out->size() - base;
 }
 
 std::vector<std::pair<NodeId, double>> FSimScores::Row(NodeId u) const {

@@ -4,6 +4,7 @@
 #define FSIM_CORE_FSIM_SCORES_H_
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "common/flat_pair_map.h"
@@ -29,6 +30,13 @@ struct FSimStats {
   /// True when the index used the packed 8-byte entry layout (16-bit
   /// row/col; degree-bounded graphs only).
   bool packed_neighbor_refs = false;
+  /// Peak transient bytes held by the index build's per-chunk staging
+  /// buffers (0 when the bounded count-then-fill build ran, or no index).
+  size_t neighbor_index_peak_staging_bytes = 0;
+  /// True when the index was built with the bounded (no-staging,
+  /// classify-twice) passes because one-pass staging would have pushed peak
+  /// build memory past FSimConfig::neighbor_index_budget_bytes.
+  bool neighbor_index_bounded_build = false;
   /// max_{(u,v)} |FSim^k - FSim^{k-1}| per iteration, when
   /// FSimConfig::record_delta_history is set (Theorem 1: strictly
   /// decreasing).
@@ -59,8 +67,15 @@ class FSimScores {
 
   /// The k highest-scoring v for a fixed u, descending (ties by node id).
   /// This is the paper's future-work top-k similarity query, answerable
-  /// directly from the container.
+  /// directly from the container. Bounded-heap selection: O(row log k) time
+  /// and O(k) extra space, so serving-path calls never materialize a row.
   std::vector<std::pair<NodeId, double>> TopK(NodeId u, size_t k) const;
+
+  /// TopK appending into a caller-owned buffer (no per-call allocation once
+  /// out has capacity >= k); returns the number of entries appended. The
+  /// snapshot top-k cache builder (serve/snapshot.h) calls this per row.
+  size_t TopKInto(NodeId u, size_t k,
+                  std::vector<std::pair<NodeId, double>>* out) const;
 
   /// All (v, score) for one u (unsorted by score; ascending v).
   std::vector<std::pair<NodeId, double>> Row(NodeId u) const;
@@ -78,6 +93,16 @@ class FSimScores {
   FlatPairMap index_;
   FSimStats stats_;
 };
+
+/// A frozen, shareable score container. Snapshot-based consumers (the
+/// serving layer) hold one of these per version; copies are refcount bumps.
+using SharedFSimScores = std::shared_ptr<const FSimScores>;
+
+/// Freezes a score container into shared ownership without copying the
+/// score table (the moved-from object is left empty).
+inline SharedFSimScores FreezeScores(FSimScores&& scores) {
+  return std::make_shared<const FSimScores>(std::move(scores));
+}
 
 }  // namespace fsim
 

@@ -165,8 +165,10 @@ void PairStore::BuildNeighborIndex(const Graph& g1, const Graph& g2,
   // Budget check against the pre-filter upper bound Σ |N±(u)|·|N±(v)|
   // (compatibility filtering only shrinks it, so fitting the bound
   // guarantees fitting the index). The one-pass build transiently stages
-  // the classified entries once more, so actual peak usage can reach twice
-  // the final footprint for the staging's lifetime.
+  // the classified entries once more, so its peak usage can reach twice the
+  // final footprint; when that doubled bound would blow the budget but the
+  // index itself fits, the bounded count-then-fill build is used instead,
+  // capping peak build memory at the final footprint.
   uint64_t max_entries = 0;
   for (uint64_t key : keys_) {
     const NodeId u = PairFirst(key);
@@ -186,12 +188,15 @@ void PairStore::BuildNeighborIndex(const Graph& g1, const Graph& g2,
       config.neighbor_index_budget_bytes) {
     return;
   }
+  const bool bounded = 2 * max_entries * entry_bytes + offsets_bytes >
+                       config.neighbor_index_budget_bytes;
 
   if (packed) {
-    FillNeighborRefs(g1, g2, config, lsim, pool, &nbr_refs_packed_);
+    FillNeighborRefs(g1, g2, config, lsim, pool, bounded, &nbr_refs_packed_);
   } else {
-    FillNeighborRefs(g1, g2, config, lsim, pool, &nbr_refs_);
+    FillNeighborRefs(g1, g2, config, lsim, pool, bounded, &nbr_refs_);
   }
+  info_.bounded_staging_build = bounded;
   packed_refs_ = packed;
   has_neighbor_index_ = true;
 }
@@ -200,7 +205,8 @@ template <typename Ref>
 void PairStore::FillNeighborRefs(const Graph& g1, const Graph& g2,
                                  const FSimConfig& config,
                                  const LabelSimilarityCache& lsim,
-                                 ThreadPool* pool, std::vector<Ref>* refs) {
+                                 ThreadPool* pool, bool bounded_staging,
+                                 std::vector<Ref>* refs) {
   const size_t n = keys_.size();
   const bool use_out = config.w_out > 0.0;
   const bool use_in = config.w_in > 0.0;
@@ -231,6 +237,84 @@ void PairStore::FillNeighborRefs(const Graph& g1, const Graph& g2,
     return false;
   };
 
+  nbr_offsets_.assign(2 * n + 1, 0);
+  ThreadPool serial_pool(1);
+  if (pool == nullptr) pool = &serial_pool;
+  constexpr size_t kBuildGrain = 256;
+  const size_t num_chunks = (n + kBuildGrain - 1) / kBuildGrain;
+  using PosT = decltype(Ref::row);
+
+  if (bounded_staging) {
+    // Bounded count-then-fill: a counting classification records every
+    // span's size, then — after the prefix sum fixes the layout — a second
+    // classification writes entries straight into their final slots.
+    // Classifies twice, but peak build memory is the final index footprint
+    // (no staging), which is what the budget admitted.
+    auto count_direction = [&](std::span<const NodeId> s1,
+                               std::span<const NodeId> s2) -> uint64_t {
+      uint64_t count = 0;
+      uint32_t ref;
+      for (uint32_t r = 0; r < s1.size(); ++r) {
+        for (uint32_t c = 0; c < s2.size(); ++c) {
+          if (classify(s1[r], s2[c], &ref)) ++count;
+        }
+      }
+      return count;
+    };
+    pool->ParallelForChunked(n, kBuildGrain,
+                            [&](int /*worker*/, size_t begin, size_t end) {
+      for (size_t i = begin; i < end; ++i) {
+        const NodeId u = PairFirst(keys_[i]);
+        const NodeId v = PairSecond(keys_[i]);
+        if (config.pin_diagonal && u == v) continue;
+        if (use_out) {
+          nbr_offsets_[2 * i + 1] =
+              count_direction(g1.OutNeighbors(u), g2.OutNeighbors(v));
+        }
+        if (use_in) {
+          nbr_offsets_[2 * i + 2] =
+              count_direction(g1.InNeighbors(u), g2.InNeighbors(v));
+        }
+      }
+    });
+    for (size_t k = 1; k < nbr_offsets_.size(); ++k) {
+      nbr_offsets_[k] += nbr_offsets_[k - 1];
+    }
+    refs->resize(nbr_offsets_.back());
+    auto fill_direction = [&](std::span<const NodeId> s1,
+                              std::span<const NodeId> s2, uint64_t cursor) {
+      for (uint32_t r = 0; r < s1.size(); ++r) {
+        for (uint32_t c = 0; c < s2.size(); ++c) {
+          uint32_t ref;
+          if (classify(s1[r], s2[c], &ref)) {
+            (*refs)[cursor++] =
+                Ref{static_cast<PosT>(r), static_cast<PosT>(c), ref};
+          }
+        }
+      }
+      return cursor;
+    };
+    pool->ParallelForChunked(n, kBuildGrain,
+                            [&](int /*worker*/, size_t begin, size_t end) {
+      for (size_t i = begin; i < end; ++i) {
+        const NodeId u = PairFirst(keys_[i]);
+        const NodeId v = PairSecond(keys_[i]);
+        if (config.pin_diagonal && u == v) continue;
+        if (use_out) {
+          const uint64_t filled = fill_direction(
+              g1.OutNeighbors(u), g2.OutNeighbors(v), nbr_offsets_[2 * i]);
+          FSIM_DCHECK(filled == nbr_offsets_[2 * i + 1]);
+        }
+        if (use_in) {
+          const uint64_t filled = fill_direction(
+              g1.InNeighbors(u), g2.InNeighbors(v), nbr_offsets_[2 * i + 1]);
+          FSIM_DCHECK(filled == nbr_offsets_[2 * i + 2]);
+        }
+      }
+    });
+    return;
+  }
+
   // One classification pass over N±(u) x N±(v) per pair — roughly the
   // lookup work of a single fallback iteration, repaid after the first
   // indexed iteration. Chunks classify into per-chunk staging buffers
@@ -238,14 +322,8 @@ void PairStore::FillNeighborRefs(const Graph& g1, const Graph& g2,
   // chunk's staged entries are contiguous in the final layout (chunks
   // cover contiguous pair ranges), so placement is one bulk copy per
   // chunk, not a second classification.
-  nbr_offsets_.assign(2 * n + 1, 0);
-  ThreadPool serial_pool(1);
-  if (pool == nullptr) pool = &serial_pool;
-  constexpr size_t kBuildGrain = 256;
-  const size_t num_chunks = (n + kBuildGrain - 1) / kBuildGrain;
   std::vector<std::vector<Ref>> staged(num_chunks);
 
-  using PosT = decltype(Ref::row);
   auto stage_direction = [&](std::span<const NodeId> s1,
                              std::span<const NodeId> s2,
                              std::vector<Ref>* buf) -> uint64_t {
@@ -281,6 +359,11 @@ void PairStore::FillNeighborRefs(const Graph& g1, const Graph& g2,
       }
     }
   });
+  // Every staging buffer is alive here, so this is the build's transient
+  // peak on top of the final index allocation.
+  for (const std::vector<Ref>& buf : staged) {
+    info_.peak_staging_bytes += buf.capacity() * sizeof(Ref);
+  }
   // In-place prefix sum: nbr_offsets_[k] currently holds the count of
   // span k-1.
   for (size_t k = 1; k < nbr_offsets_.size(); ++k) {

@@ -41,6 +41,15 @@ class PairStore {
     size_t theta_candidates = 0;  // pairs surviving the θ filter
     size_t kept = 0;              // pairs actually maintained
     size_t pruned = 0;            // pairs dropped by the upper bound
+    /// Peak bytes held in the neighbor-index build's per-chunk staging
+    /// buffers (all alive simultaneously at the classify/copy barrier).
+    /// 0 under the bounded build, which stages nothing.
+    size_t peak_staging_bytes = 0;
+    /// True when the index was built with the bounded count-then-fill
+    /// passes because the one-pass staging would have pushed transient
+    /// memory past neighbor_index_budget_bytes (classifies twice, but peak
+    /// build memory stays at the final index footprint).
+    bool bounded_staging_build = false;
   };
 
   /// Enumerates and initializes the candidate pairs. Fails with
@@ -149,16 +158,20 @@ class PairStore {
                           const FSimConfig& config,
                           const LabelSimilarityCache& lsim, ThreadPool* pool);
 
-  /// One-pass classification of every pair's candidate entries into `refs`:
-  /// chunks classify into per-chunk staging buffers (recording per-span
-  /// counts), offsets are prefix-summed, then each chunk's staged entries —
-  /// contiguous in the final layout by construction — are copied into
-  /// place. Ref is NeighborRef or PackedNeighborRef.
+  /// Classification of every pair's candidate entries into `refs`. Default
+  /// (one-pass): chunks classify into per-chunk staging buffers (recording
+  /// per-span counts), offsets are prefix-summed, then each chunk's staged
+  /// entries — contiguous in the final layout by construction — are copied
+  /// into place; transient peak reaches final + staged bytes. Bounded
+  /// (`bounded_staging`): a counting pass fills the per-span counts, offsets
+  /// are prefix-summed, then a second classification writes entries straight
+  /// into their final slots — twice the classify work, no staging. Ref is
+  /// NeighborRef or PackedNeighborRef.
   template <typename Ref>
   void FillNeighborRefs(const Graph& g1, const Graph& g2,
                         const FSimConfig& config,
                         const LabelSimilarityCache& lsim, ThreadPool* pool,
-                        std::vector<Ref>* refs);
+                        bool bounded_staging, std::vector<Ref>* refs);
 
   std::vector<uint64_t> keys_;  // sorted ascending: u-major, then v
   FlatPairMap index_;

@@ -1,0 +1,46 @@
+#include "serve/query.h"
+
+namespace fsim {
+
+QueryResult QueryEngine::Answer(const FSimSnapshot& snapshot,
+                                const Query& query) {
+  QueryResult result;
+  result.kind = query.kind;
+  result.version = snapshot.meta().version;
+  switch (query.kind) {
+    case Query::Kind::kPair:
+      result.score = snapshot.PairScore(query.u, query.v);
+      break;
+    case Query::Kind::kTopK:
+      result.entries = snapshot.TopK(query.u, query.k);
+      break;
+    case Query::Kind::kThreshold:
+      result.entries = snapshot.ThresholdNeighbors(query.u, query.tau);
+      break;
+  }
+  return result;
+}
+
+Result<QueryResult> QueryEngine::Run(const Query& query) const {
+  SnapshotPtr snapshot = store_->Acquire();
+  if (snapshot == nullptr) {
+    return Status::NotFound("no snapshot published yet");
+  }
+  return Answer(*snapshot, query);
+}
+
+Result<std::vector<QueryResult>> QueryEngine::RunBatch(
+    std::span<const Query> queries) const {
+  SnapshotPtr snapshot = store_->Acquire();
+  if (snapshot == nullptr) {
+    return Status::NotFound("no snapshot published yet");
+  }
+  std::vector<QueryResult> results;
+  results.reserve(queries.size());
+  for (const Query& query : queries) {
+    results.push_back(Answer(*snapshot, query));
+  }
+  return results;
+}
+
+}  // namespace fsim

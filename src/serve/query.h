@@ -1,0 +1,67 @@
+// Concurrent query API over the published snapshots: every call acquires
+// the current snapshot once and answers entirely against it, so a single
+// query — and every query of one batch — observes one consistent score
+// version even while the refresh driver publishes new ones underneath.
+#ifndef FSIM_SERVE_QUERY_H_
+#define FSIM_SERVE_QUERY_H_
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "graph/graph.h"
+#include "serve/snapshot.h"
+
+namespace fsim {
+
+/// One serving request.
+struct Query {
+  enum class Kind {
+    kPair,       // FSimχ(u, v)
+    kTopK,       // k best v for u
+    kThreshold,  // all v with FSimχ(u, v) >= tau
+  };
+  Kind kind = Kind::kPair;
+  NodeId u = 0;
+  NodeId v = 0;     // kPair
+  size_t k = 0;     // kTopK
+  double tau = 0.0; // kThreshold
+};
+
+/// The answer, stamped with the snapshot version that produced it.
+struct QueryResult {
+  Query::Kind kind = Query::Kind::kPair;
+  uint64_t version = 0;
+  double score = 0.0;                              // kPair
+  std::vector<std::pair<NodeId, double>> entries;  // kTopK / kThreshold
+};
+
+/// Stateless facade over a SnapshotStore. Safe to share across any number
+/// of reader threads; never blocks (snapshot acquisition is an atomic
+/// load).
+class QueryEngine {
+ public:
+  explicit QueryEngine(const SnapshotStore* store) : store_(store) {}
+
+  /// Answers one query against the current snapshot. NotFound when no
+  /// snapshot has been published yet.
+  Result<QueryResult> Run(const Query& query) const;
+
+  /// Answers all queries against ONE acquired snapshot (cross-query
+  /// consistency within the batch). NotFound when no snapshot exists.
+  Result<std::vector<QueryResult>> RunBatch(
+      std::span<const Query> queries) const;
+
+  /// The per-query evaluation, usable directly by callers that manage
+  /// snapshot lifetime themselves.
+  static QueryResult Answer(const FSimSnapshot& snapshot, const Query& query);
+
+ private:
+  const SnapshotStore* store_;
+};
+
+}  // namespace fsim
+
+#endif  // FSIM_SERVE_QUERY_H_

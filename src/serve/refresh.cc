@@ -1,0 +1,244 @@
+#include "serve/refresh.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <utility>
+
+#include "common/timer.h"
+
+namespace fsim {
+
+void EditQueue::Push(const EditOp& op) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ops_.push_back(op);
+  }
+  cv_.notify_all();
+}
+
+size_t EditQueue::Drain(std::vector<EditOp>* out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const size_t n = ops_.size();
+  out->insert(out->end(), ops_.begin(), ops_.end());
+  ops_.clear();
+  return n;
+}
+
+size_t EditQueue::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ops_.size();
+}
+
+bool EditQueue::WaitNonEmpty(std::chrono::milliseconds timeout) const {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait_for(lock, timeout, [this] { return !ops_.empty(); });
+  return !ops_.empty();
+}
+
+RefreshDriver::RefreshDriver(Graph g1, Graph g2, FSimConfig config,
+                             IncrementalOptions inc_options,
+                             RefreshPolicy policy, SnapshotStore* store)
+    : g1_(std::move(g1)),
+      g2_(std::move(g2)),
+      config_(std::move(config)),
+      inc_options_(inc_options),
+      policy_(policy),
+      store_(store) {
+  FSIM_CHECK(store_ != nullptr);
+}
+
+RefreshDriver::~RefreshDriver() { Stop(); }
+
+Status RefreshDriver::Init() {
+  {
+    std::lock_guard<std::mutex> lock(init_mu_);
+    if (init_done_) return init_status_;
+  }
+  Status status;
+  {
+    std::lock_guard<std::mutex> lock(apply_mu_);
+    auto inc = IncrementalFSim::Create(g1_, g2_, config_, inc_options_);
+    if (inc.ok()) {
+      inc_ = std::make_unique<IncrementalFSim>(std::move(inc).ValueOrDie());
+      PublishLocked();
+    } else {
+      status = inc.status();
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(init_mu_);
+    init_done_ = true;
+    init_status_ = status;
+  }
+  init_cv_.notify_all();
+  return status;
+}
+
+bool RefreshDriver::ready() const {
+  std::lock_guard<std::mutex> lock(init_mu_);
+  return init_done_ && init_status_.ok();
+}
+
+Status RefreshDriver::init_status() const {
+  std::lock_guard<std::mutex> lock(init_mu_);
+  return init_status_;
+}
+
+void RefreshDriver::Submit(const EditOp& op) {
+  submitted_.fetch_add(1);
+  queue_.Push(op);
+}
+
+size_t RefreshDriver::ApplyBatchLocked(const std::vector<EditOp>& batch) {
+  // Coalesce the burst to one net op per (graph, from, to): later
+  // submissions win, order of first appearance is kept (distinct-edge edits
+  // commute at the graph level, so this preserves the batch's net effect).
+  batch_scratch_.clear();
+  std::unordered_map<uint64_t, size_t> last_op[2];
+  size_t invalid = 0;
+  for (const EditOp& op : batch) {
+    if (op.graph_index != 1 && op.graph_index != 2) {
+      ++invalid;
+      ++stats_.edits_failed;
+      continue;
+    }
+    auto [it, inserted] = last_op[op.graph_index == 2].try_emplace(
+        PairKey(op.from, op.to), batch_scratch_.size());
+    if (inserted) {
+      batch_scratch_.push_back(op);
+    } else {
+      batch_scratch_[it->second].insert = op.insert;
+    }
+  }
+  stats_.edits_coalesced += batch.size() - invalid - batch_scratch_.size();
+
+  size_t applied = 0;
+  Timer apply_timer;
+  for (const EditOp& op : batch_scratch_) {
+    const DynamicGraph& target = op.graph_index == 2 ? inc_->g2() : inc_->g1();
+    const bool present = op.from < target.NumNodes() &&
+                         op.to < target.NumNodes() &&
+                         target.HasEdge(op.from, op.to);
+    if (op.insert == present) {  // net no-op against the current graph
+      ++stats_.edits_coalesced;
+      continue;
+    }
+    const Status status =
+        op.insert ? inc_->InsertEdge(op.graph_index, op.from, op.to)
+                  : inc_->RemoveEdge(op.graph_index, op.from, op.to);
+    if (status.ok()) {
+      ++applied;
+    } else {
+      ++stats_.edits_failed;
+    }
+  }
+  stats_.total_apply_seconds += apply_timer.Seconds();
+  stats_.edits_applied += applied;
+  edits_since_publish_ += applied;
+  return applied;
+}
+
+void RefreshDriver::PublishLocked() {
+  Timer timer;
+  SnapshotMeta meta;
+  meta.version = store_->NextVersion();
+  meta.edits_applied = stats_.edits_applied;
+  meta.converged = inc_->converged();
+  FSimScores scores = inc_->Snapshot();
+  meta.build_seconds = timer.Seconds();  // + the cache build, in the ctor
+  auto snapshot = std::make_shared<const FSimSnapshot>(
+      FreezeScores(std::move(scores)), policy_.topk_cache_k, meta);
+  store_->Publish(std::move(snapshot));
+  stats_.last_publish_seconds = timer.Seconds();
+  ++stats_.publishes;
+  edits_since_publish_ = 0;
+  last_publish_time_ = std::chrono::steady_clock::now();
+}
+
+Result<size_t> RefreshDriver::DrainApply(bool force_publish) {
+  if (!ready()) {
+    return Status::Internal("refresh engine is not initialized");
+  }
+  std::lock_guard<std::mutex> lock(apply_mu_);
+  drain_scratch_.clear();
+  queue_.Drain(&drain_scratch_);
+  size_t applied = 0;
+  if (!drain_scratch_.empty()) {
+    applied = ApplyBatchLocked(drain_scratch_);
+  }
+  // Publishing is only ever due when something changed since the last
+  // publish (max_edits_behind == 0 behaves like 1, not like "republish
+  // every poll tick").
+  bool due = edits_since_publish_ > 0 &&
+             edits_since_publish_ >= policy_.max_edits_behind;
+  if (!due && edits_since_publish_ > 0) {
+    if (force_publish) {
+      due = true;
+    } else {
+      const double behind = std::chrono::duration<double>(
+                                std::chrono::steady_clock::now() -
+                                last_publish_time_)
+                                .count();
+      due = behind >= policy_.max_seconds_behind;
+    }
+  }
+  if (due) PublishLocked();
+  return applied;
+}
+
+Status RefreshDriver::Flush() {
+  {
+    std::unique_lock<std::mutex> lock(init_mu_);
+    init_cv_.wait(lock, [this] { return init_done_; });
+    if (!init_status_.ok()) return init_status_;
+  }
+  FSIM_ASSIGN_OR_RETURN(size_t applied, DrainApply(/*force_publish=*/true));
+  (void)applied;
+  return Status::OK();
+}
+
+void RefreshDriver::Start() {
+  if (thread_.joinable()) return;
+  stop_.store(false);
+  thread_ = std::thread([this] { RunLoop(); });
+}
+
+void RefreshDriver::RunLoop() {
+  if (!Init().ok()) return;
+  const auto poll = std::chrono::milliseconds(
+      std::max<int64_t>(1, static_cast<int64_t>(policy_.poll_seconds * 1e3)));
+  while (!stop_.load()) {
+    queue_.WaitNonEmpty(poll);
+    if (stop_.load()) break;
+    (void)DrainApply(/*force_publish=*/false);
+  }
+  // Final drain so Stop() leaves the published snapshot current.
+  (void)DrainApply(/*force_publish=*/true);
+}
+
+void RefreshDriver::Stop() {
+  stop_.store(true);
+  queue_.Wake();
+  if (thread_.joinable()) thread_.join();
+}
+
+RefreshDriver::Stats RefreshDriver::stats() const {
+  std::lock_guard<std::mutex> lock(apply_mu_);
+  Stats stats = stats_;
+  stats.edits_submitted = submitted_.load();
+  return stats;
+}
+
+Graph RefreshDriver::MaterializeG1() const {
+  std::lock_guard<std::mutex> lock(apply_mu_);
+  FSIM_CHECK(inc_ != nullptr);
+  return inc_->MaterializeG1();
+}
+
+Graph RefreshDriver::MaterializeG2() const {
+  std::lock_guard<std::mutex> lock(apply_mu_);
+  FSIM_CHECK(inc_ != nullptr);
+  return inc_->MaterializeG2();
+}
+
+}  // namespace fsim

@@ -1,0 +1,199 @@
+// Background incremental refresh for the serving layer: a thread-safe edit
+// queue feeding an owned IncrementalFSim (core/incremental.h), and a policy
+// deciding when the repaired scores are republished as a fresh snapshot.
+//
+// The driver is the single writer of the serving pipeline. Edits arrive
+// through Submit() from any thread (the serve loop, ingestion threads) and
+// are applied in drained batches: a burst touching the same edge coalesces
+// to its net effect before the O(deg) incremental repair runs, and a
+// publish — the snapshot copy plus top-k cache build — happens only when
+// the drift policy (edits applied since the last publish, or time behind)
+// fires, not per edit. Queries never see intermediate state: readers hold
+// the previously published snapshot until the atomic swap.
+#ifndef FSIM_SERVE_REFRESH_H_
+#define FSIM_SERVE_REFRESH_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/result.h"
+#include "core/fsim_config.h"
+#include "core/incremental.h"
+#include "graph/graph.h"
+#include "serve/snapshot.h"
+
+namespace fsim {
+
+/// One queued graph edit (the dynamic counterpart of graph/edits.h: the
+/// same edge-level add/remove ops, applied through IncrementalFSim instead
+/// of materializing an edited CSR copy).
+struct EditOp {
+  int graph_index = 1;  // 1 or 2, as in IncrementalFSim::InsertEdge
+  NodeId from = 0;
+  NodeId to = 0;
+  bool insert = true;  // false: remove
+};
+
+/// Unbounded MPSC edit queue: producers push, the refresh driver drains.
+class EditQueue {
+ public:
+  void Push(const EditOp& op);
+
+  /// Appends all pending ops to *out in submission order; returns the count.
+  size_t Drain(std::vector<EditOp>* out);
+
+  size_t size() const;
+
+  /// Blocks until the queue is non-empty, Wake() is called, or `timeout`
+  /// elapses; returns whether the queue is non-empty.
+  bool WaitNonEmpty(std::chrono::milliseconds timeout) const;
+
+  /// Wakes a WaitNonEmpty waiter without pushing (shutdown path).
+  void Wake() const { cv_.notify_all(); }
+
+ private:
+  mutable std::mutex mu_;
+  mutable std::condition_variable cv_;
+  std::vector<EditOp> ops_;
+};
+
+/// When the refresh driver republishes.
+struct RefreshPolicy {
+  /// Publish once this many edits have been applied since the last publish
+  /// (the drift bound; 1 republishes after every drained batch).
+  size_t max_edits_behind = 32;
+  /// Also publish when the current snapshot is at least this old and any
+  /// edit has been applied since it (the background loop's timer).
+  double max_seconds_behind = 2.0;
+  /// Top-k cache depth of published snapshots (FSimSnapshot cache_k).
+  size_t topk_cache_k = 16;
+  /// Background loop poll interval while idle.
+  double poll_seconds = 0.05;
+};
+
+/// Owns the incremental engine and publishes snapshots into a SnapshotStore.
+///
+/// Lifecycle: construction is cheap and only captures the inputs; Init()
+/// runs the expensive initial fixpoint solve and publishes the first
+/// computed snapshot. Start() runs Init (if still needed) plus the
+/// drain/apply/publish loop on a background thread, so a warm-started
+/// service answers queries from its loaded snapshot while the solve is
+/// still running. All apply/publish paths are serialized internally;
+/// Submit() is safe from any thread at any time (pre-Init edits queue up).
+class RefreshDriver {
+ public:
+  struct Stats {
+    uint64_t edits_submitted = 0;
+    uint64_t edits_applied = 0;
+    /// Submitted ops that coalesced away (net no-ops: inserting a present
+    /// edge, removing an absent one, or burst pairs cancelling out).
+    uint64_t edits_coalesced = 0;
+    /// Edits rejected by the incremental engine (e.g. endpoint out of
+    /// range); the engine state is unchanged by a failed edit.
+    uint64_t edits_failed = 0;
+    uint64_t publishes = 0;
+    double last_publish_seconds = 0.0;  // snapshot build cost
+    double total_apply_seconds = 0.0;   // incremental repair time
+  };
+
+  RefreshDriver(Graph g1, Graph g2, FSimConfig config,
+                IncrementalOptions inc_options, RefreshPolicy policy,
+                SnapshotStore* store);
+  ~RefreshDriver();
+
+  RefreshDriver(const RefreshDriver&) = delete;
+  RefreshDriver& operator=(const RefreshDriver&) = delete;
+
+  /// Runs the initial fixpoint solve and publishes the first computed
+  /// snapshot. Idempotent; returns the recorded status on repeat calls.
+  Status Init();
+
+  /// True once Init succeeded (edits can be applied).
+  bool ready() const;
+
+  /// OK before/after a successful Init; the solve error if Init failed.
+  Status init_status() const;
+
+  /// Enqueues an edit (thread-safe; never blocks on the engine).
+  void Submit(const EditOp& op);
+
+  size_t pending_edits() const { return queue_.size(); }
+
+  /// Drains and applies all queued edits, then publishes if the policy
+  /// fires or `force_publish` is set (force publishes only when the
+  /// current snapshot is actually behind). Returns the number of edits
+  /// applied. Requires ready().
+  Result<size_t> DrainApply(bool force_publish);
+
+  /// Blocks until Init has finished (when Start() runs it in the
+  /// background), then drains, applies and force-publishes. The
+  /// synchronous "make the snapshot current" call behind the protocol's
+  /// FLUSH.
+  Status Flush();
+
+  /// Starts the background thread: Init (if needed), then the
+  /// drain/apply/publish loop until Stop().
+  void Start();
+
+  /// Stops the background thread, draining and publishing pending edits
+  /// first. Safe to call repeatedly; the destructor calls it.
+  void Stop();
+
+  Stats stats() const;
+
+  const RefreshPolicy& policy() const { return policy_; }
+
+  /// Immutable CSR copies of the engine's current graphs (verification in
+  /// tests/benches). Requires ready().
+  Graph MaterializeG1() const;
+  Graph MaterializeG2() const;
+
+ private:
+  /// Applies one drained batch after coalescing; caller holds apply_mu_.
+  size_t ApplyBatchLocked(const std::vector<EditOp>& batch);
+  /// Builds and publishes a snapshot of the current scores; caller holds
+  /// apply_mu_.
+  void PublishLocked();
+  void RunLoop();
+
+  // Immutable after construction.
+  Graph g1_;
+  Graph g2_;
+  FSimConfig config_;
+  IncrementalOptions inc_options_;
+  RefreshPolicy policy_;
+  SnapshotStore* store_;
+
+  EditQueue queue_;
+
+  // Serializes Init / apply / publish (the single-writer side).
+  mutable std::mutex apply_mu_;
+  std::unique_ptr<IncrementalFSim> inc_;
+  Stats stats_;
+  size_t edits_since_publish_ = 0;
+  std::chrono::steady_clock::time_point last_publish_time_;
+
+  // Init rendezvous: Flush (and ready checks) may run while Start()'s
+  // thread is still solving.
+  mutable std::mutex init_mu_;
+  mutable std::condition_variable init_cv_;
+  bool init_done_ = false;
+  Status init_status_;
+
+  std::thread thread_;
+  std::atomic<bool> stop_{false};
+  std::atomic<uint64_t> submitted_{0};
+
+  std::vector<EditOp> drain_scratch_;
+  std::vector<EditOp> batch_scratch_;
+};
+
+}  // namespace fsim
+
+#endif  // FSIM_SERVE_REFRESH_H_

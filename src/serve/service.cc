@@ -1,0 +1,267 @@
+#include "serve/service.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <istream>
+#include <ostream>
+#include <vector>
+
+#include "common/string_util.h"
+#include "core/scores_io.h"
+
+namespace fsim {
+
+namespace {
+
+/// Largest accepted BATCH size (memory safety valve for the request
+/// parser; each sub-query still answers against one shared snapshot).
+constexpr size_t kMaxBatch = 100'000;
+
+bool ParseU32(std::string_view token, uint32_t* out) {
+  const std::string s(token);
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long value = std::strtoul(s.c_str(), &end, 10);
+  if (errno != 0 || end != s.c_str() + s.size() || s.empty() ||
+      value > 0xFFFFFFFFUL) {
+    return false;
+  }
+  *out = static_cast<uint32_t>(value);
+  return true;
+}
+
+bool ParseDouble(std::string_view token, double* out) {
+  const std::string s(token);
+  char* end = nullptr;
+  errno = 0;
+  const double value = std::strtod(s.c_str(), &end);
+  if (errno != 0 || end != s.c_str() + s.size() || s.empty()) return false;
+  *out = value;
+  return true;
+}
+
+/// Parses a PAIR/TOPK/THRESH request; writes an error message otherwise.
+bool ParseQuery(const std::vector<std::string_view>& tokens, Query* query,
+                std::string* error) {
+  if (tokens.empty()) {
+    *error = "empty request";
+    return false;
+  }
+  const std::string_view verb = tokens[0];
+  if (verb == "PAIR") {
+    if (tokens.size() != 3 || !ParseU32(tokens[1], &query->u) ||
+        !ParseU32(tokens[2], &query->v)) {
+      *error = "usage: PAIR <u> <v>";
+      return false;
+    }
+    query->kind = Query::Kind::kPair;
+    return true;
+  }
+  if (verb == "TOPK") {
+    uint32_t k = 0;
+    if (tokens.size() != 3 || !ParseU32(tokens[1], &query->u) ||
+        !ParseU32(tokens[2], &k)) {
+      *error = "usage: TOPK <u> <k>";
+      return false;
+    }
+    query->kind = Query::Kind::kTopK;
+    query->k = k;
+    return true;
+  }
+  if (verb == "THRESH") {
+    if (tokens.size() != 3 || !ParseU32(tokens[1], &query->u) ||
+        !ParseDouble(tokens[2], &query->tau)) {
+      *error = "usage: THRESH <u> <tau>";
+      return false;
+    }
+    query->kind = Query::Kind::kThreshold;
+    return true;
+  }
+  *error = StrFormat("unknown request '%.*s'", static_cast<int>(verb.size()),
+                     verb.data());
+  return false;
+}
+
+void PrintResult(const QueryResult& result, std::ostream& out) {
+  switch (result.kind) {
+    case Query::Kind::kPair:
+      out << StrFormat("SCORE %.6f v%llu\n", result.score,
+                       static_cast<unsigned long long>(result.version));
+      break;
+    case Query::Kind::kTopK:
+    case Query::Kind::kThreshold:
+      out << StrFormat("%s %zu v%llu\n",
+                       result.kind == Query::Kind::kTopK ? "TOPK" : "THRESH",
+                       result.entries.size(),
+                       static_cast<unsigned long long>(result.version));
+      for (const auto& [v, score] : result.entries) {
+        out << StrFormat("%u %.6f\n", v, score);
+      }
+      break;
+  }
+}
+
+}  // namespace
+
+FSimService::FSimService() : queries_(&store_) {}
+
+FSimService::~FSimService() = default;
+
+Result<std::unique_ptr<FSimService>> FSimService::Create(Graph g1, Graph g2,
+                                                         FSimConfig config,
+                                                         ServeOptions options) {
+  std::unique_ptr<FSimService> service(new FSimService());
+  if (!options.warm_scores_path.empty()) {
+    FSIM_ASSIGN_OR_RETURN(FSimScores scores,
+                          LoadScoresFromFile(options.warm_scores_path));
+    SnapshotMeta meta;
+    meta.version = service->store_.NextVersion();
+    meta.warm_start = true;
+    service->store_.Publish(std::make_shared<const FSimSnapshot>(
+        FreezeScores(std::move(scores)), options.policy.topk_cache_k, meta));
+  }
+  service->driver_ = std::make_unique<RefreshDriver>(
+      std::move(g1), std::move(g2), std::move(config), options.incremental,
+      options.policy, &service->store_);
+  if (options.background_refresh) {
+    service->driver_->Start();
+  } else {
+    FSIM_RETURN_NOT_OK(service->driver_->Init());
+  }
+  return service;
+}
+
+Status FSimService::ServeLoop(std::istream& in, std::ostream& out) {
+  std::string line;
+  while (std::getline(in, line)) {
+    const std::string_view trimmed = Trim(line);
+    if (trimmed.empty() || trimmed[0] == '#') continue;
+    const bool keep_going = HandleLine(trimmed, in, out);
+    out.flush();
+    if (!out) {
+      // The peer is gone (closed pipe/socket); stop reading requests.
+      return Status::IOError("response stream failed");
+    }
+    if (!keep_going) break;
+  }
+  return Status::OK();
+}
+
+bool FSimService::HandleLine(std::string_view line, std::istream& in,
+                             std::ostream& out) {
+  const std::vector<std::string_view> tokens = SplitWhitespace(line);
+  const std::string_view verb = tokens.empty() ? std::string_view() : tokens[0];
+
+  if (verb == "QUIT") {
+    out << "BYE\n";
+    return false;
+  }
+  if (verb == "PAIR" || verb == "TOPK" || verb == "THRESH") {
+    Query query;
+    std::string error;
+    if (!ParseQuery(tokens, &query, &error)) {
+      out << "ERR " << error << "\n";
+      return true;
+    }
+    auto result = queries_.Run(query);
+    if (!result.ok()) {
+      out << "ERR " << result.status().message() << "\n";
+      return true;
+    }
+    PrintResult(*result, out);
+    return true;
+  }
+  if (verb == "BATCH") {
+    uint32_t n = 0;
+    if (tokens.size() != 2 || !ParseU32(tokens[1], &n) || n > kMaxBatch) {
+      out << StrFormat("ERR usage: BATCH <n> (n <= %zu)\n", kMaxBatch);
+      return true;
+    }
+    HandleBatch(n, in, out);
+    return true;
+  }
+  if (verb == "EDIT") {
+    EditOp op;
+    uint32_t graph_index = 0;
+    const bool insert = tokens.size() == 5 && tokens[1] == "INSERT";
+    const bool remove = tokens.size() == 5 && tokens[1] == "REMOVE";
+    if (!(insert || remove) || !ParseU32(tokens[2], &graph_index) ||
+        (graph_index != 1 && graph_index != 2) ||
+        !ParseU32(tokens[3], &op.from) || !ParseU32(tokens[4], &op.to)) {
+      out << "ERR usage: EDIT INSERT|REMOVE <graph 1|2> <from> <to>\n";
+      return true;
+    }
+    op.graph_index = static_cast<int>(graph_index);
+    op.insert = insert;
+    driver_->Submit(op);
+    out << "OK queued\n";
+    return true;
+  }
+  if (verb == "FLUSH") {
+    Status status = driver_->Flush();
+    if (!status.ok()) {
+      out << "ERR " << status.message() << "\n";
+    } else {
+      out << StrFormat("OK version %llu\n",
+                       static_cast<unsigned long long>(store_.version()));
+    }
+    return true;
+  }
+  if (verb == "STATS") {
+    const SnapshotPtr snapshot = store_.Acquire();
+    const RefreshDriver::Stats stats = driver_->stats();
+    out << StrFormat(
+        "STATS version=%llu pairs=%zu pending=%zu applied=%llu "
+        "coalesced=%llu failed=%llu publishes=%llu ready=%s converged=%s "
+        "warm=%s\n",
+        static_cast<unsigned long long>(store_.version()),
+        snapshot ? snapshot->scores().NumPairs() : 0,
+        driver_->pending_edits(),
+        static_cast<unsigned long long>(stats.edits_applied),
+        static_cast<unsigned long long>(stats.edits_coalesced),
+        static_cast<unsigned long long>(stats.edits_failed),
+        static_cast<unsigned long long>(stats.publishes),
+        driver_->ready() ? "yes" : "no",
+        snapshot && snapshot->meta().converged ? "yes" : "no",
+        snapshot && snapshot->meta().warm_start ? "yes" : "no");
+    return true;
+  }
+  out << StrFormat("ERR unknown request '%.*s'\n",
+                   static_cast<int>(verb.size()), verb.data());
+  return true;
+}
+
+void FSimService::HandleBatch(size_t n, std::istream& in, std::ostream& out) {
+  // Consume all n lines before answering, so a malformed entry cannot
+  // desynchronize the stream.
+  std::vector<Query> queries(n);
+  std::vector<std::string> errors(n);
+  std::string line;
+  for (size_t i = 0; i < n; ++i) {
+    if (!std::getline(in, line)) {
+      errors[i] = "unexpected end of stream inside BATCH";
+      for (size_t j = i + 1; j < n; ++j) errors[j] = errors[i];
+      break;
+    }
+    const auto tokens = SplitWhitespace(Trim(line));
+    ParseQuery(tokens, &queries[i], &errors[i]);
+  }
+
+  const SnapshotPtr snapshot = store_.Acquire();
+  if (snapshot == nullptr) {
+    out << "ERR no snapshot published yet\n";
+    return;
+  }
+  out << StrFormat("BATCH %zu v%llu\n", n,
+                   static_cast<unsigned long long>(
+                       snapshot->meta().version));
+  for (size_t i = 0; i < n; ++i) {
+    if (!errors[i].empty()) {
+      out << "ERR " << errors[i] << "\n";
+      continue;
+    }
+    PrintResult(QueryEngine::Answer(*snapshot, queries[i]), out);
+  }
+}
+
+}  // namespace fsim

@@ -1,0 +1,74 @@
+// FSimService — the long-lived serving endpoint tying the pieces of
+// src/serve/ together: a SnapshotStore readers acquire from, a QueryEngine
+// answering against acquired snapshots, and a RefreshDriver applying a
+// background edit stream and republishing. The request surface is a
+// line-oriented protocol over plain iostreams (ServeLoop), so the service
+// is transport-agnostic — stdin/stdout in `fsim_cli serve`, stringstreams
+// in tests, a socket wrapper in a deployment — and fully testable without
+// networking. docs/serving.md specifies the protocol.
+#ifndef FSIM_SERVE_SERVICE_H_
+#define FSIM_SERVE_SERVICE_H_
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "core/fsim_config.h"
+#include "graph/graph.h"
+#include "serve/query.h"
+#include "serve/refresh.h"
+#include "serve/snapshot.h"
+
+namespace fsim {
+
+struct ServeOptions {
+  RefreshPolicy policy;
+  IncrementalOptions incremental;
+  /// Optional scores file (core/scores_io.h). When set, the loaded scores
+  /// are published as the first snapshot BEFORE the refresh engine's
+  /// fixpoint solve runs, so a warm-started service answers queries
+  /// immediately while the solve proceeds in the background.
+  std::string warm_scores_path;
+  /// True: Init + refresh run on a background thread (production shape).
+  /// False: Create solves synchronously and edits apply only on FLUSH —
+  /// deterministic, for tests and transcripts.
+  bool background_refresh = true;
+};
+
+/// One serving instance over a graph pair. Construction wires the store,
+/// query engine and refresh driver; ServeLoop (callable from any number of
+/// threads, each with its own streams) speaks the request protocol.
+class FSimService {
+ public:
+  static Result<std::unique_ptr<FSimService>> Create(Graph g1, Graph g2,
+                                                     FSimConfig config,
+                                                     ServeOptions options);
+  ~FSimService();
+
+  /// Reads requests from `in` line by line and writes responses to `out`
+  /// until EOF or QUIT. Responses are flushed per request. Errors are
+  /// reported in-band (`ERR <message>` lines); the return is the stream
+  /// outcome, OK on orderly EOF/QUIT.
+  Status ServeLoop(std::istream& in, std::ostream& out);
+
+  SnapshotStore& store() { return store_; }
+  const QueryEngine& query_engine() const { return queries_; }
+  RefreshDriver& driver() { return *driver_; }
+
+ private:
+  FSimService();
+
+  /// Handles one request line; returns false on QUIT.
+  bool HandleLine(std::string_view line, std::istream& in, std::ostream& out);
+  void HandleBatch(size_t n, std::istream& in, std::ostream& out);
+
+  SnapshotStore store_;
+  QueryEngine queries_;
+  std::unique_ptr<RefreshDriver> driver_;  // holds a pointer to store_
+};
+
+}  // namespace fsim
+
+#endif  // FSIM_SERVE_SERVICE_H_

@@ -1,0 +1,98 @@
+#include "serve/snapshot.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/timer.h"
+
+namespace fsim {
+
+FSimSnapshot::FSimSnapshot(SharedFSimScores scores, size_t cache_k,
+                           SnapshotMeta meta)
+    : scores_(std::move(scores)), cache_k_(cache_k), meta_(meta) {
+  // meta.build_seconds arrives holding the producer's cost of obtaining
+  // the frozen scores (e.g. the engine's score-table copy); the cache
+  // build below adds its own share so the published figure is the whole
+  // snapshot cost.
+  Timer cache_timer;
+  const auto& keys = scores_->keys();
+  BuildCache(keys);
+  meta_.build_seconds += cache_timer.Seconds();
+}
+
+void FSimSnapshot::BuildCache(const std::vector<uint64_t>& keys) {
+  if (keys.empty() || cache_k_ == 0) return;
+  // Keys are u-major sorted, so rows are contiguous; one linear walk finds
+  // every row boundary and top-k-selects it in place.
+  const NodeId max_u = PairFirst(keys.back());
+  cache_offsets_.assign(static_cast<size_t>(max_u) + 2, 0);
+  cache_entries_.reserve(
+      std::min(keys.size(), (static_cast<size_t>(max_u) + 1) * cache_k_));
+  size_t i = 0;
+  NodeId next_row = 0;
+  while (i < keys.size()) {
+    const NodeId u = PairFirst(keys[i]);
+    // Rows absent from the pair table get empty [off, off) spans.
+    for (; next_row <= u; ++next_row) {
+      cache_offsets_[next_row] = static_cast<uint32_t>(cache_entries_.size());
+    }
+    scores_->TopKInto(u, cache_k_, &cache_entries_);
+    while (i < keys.size() && PairFirst(keys[i]) == u) ++i;
+  }
+  cache_offsets_[static_cast<size_t>(max_u) + 1] =
+      static_cast<uint32_t>(cache_entries_.size());
+}
+
+std::vector<std::pair<NodeId, double>> FSimSnapshot::TopK(NodeId u,
+                                                          size_t k) const {
+  auto cached = CachedTopK(u);
+  if (k <= cache_k_ || cached.size() < cache_k_) {
+    // The cache prefix answers exactly: either k fits in it, or the row is
+    // shorter than the cache depth (so the cache holds the whole row).
+    auto end = cached.begin() + std::min(k, cached.size());
+    return {cached.begin(), end};
+  }
+  return scores_->TopK(u, k);
+}
+
+std::vector<std::pair<NodeId, double>> FSimSnapshot::ThresholdNeighbors(
+    NodeId u, double tau) const {
+  // If the cache holds the whole row, or its weakest cached entry already
+  // falls below tau, the matches are a prefix of the cache — no row scan.
+  auto cached = CachedTopK(u);
+  if (cached.size() < cache_k_ ||
+      (!cached.empty() && cached.back().second < tau)) {
+    auto end = std::partition_point(
+        cached.begin(), cached.end(),
+        [tau](const std::pair<NodeId, double>& e) { return e.second >= tau; });
+    return {cached.begin(), end};
+  }
+  std::vector<std::pair<NodeId, double>> out = scores_->Row(u);
+  out.erase(std::remove_if(out.begin(), out.end(),
+                           [tau](const std::pair<NodeId, double>& e) {
+                             return e.second < tau;
+                           }),
+            out.end());
+  std::sort(out.begin(), out.end(),
+            [](const std::pair<NodeId, double>& a,
+               const std::pair<NodeId, double>& b) {
+              if (a.second != b.second) return a.second > b.second;
+              return a.first < b.first;
+            });
+  return out;
+}
+
+bool SnapshotStore::Publish(SnapshotPtr snapshot) {
+  FSIM_CHECK(snapshot != nullptr) << "Publish of a null snapshot";
+  std::lock_guard<std::mutex> lock(publish_mu_);
+  const uint64_t version = snapshot->meta().version;
+  FSIM_CHECK(version <= next_version_.load())
+      << "snapshot version was not obtained from NextVersion";
+  if (version <= published_version_.load()) return false;  // stale publish
+  current_.store(std::move(snapshot));
+  published_version_.store(version);
+  publish_count_.fetch_add(1);
+  return true;
+}
+
+}  // namespace fsim

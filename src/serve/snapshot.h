@@ -1,0 +1,137 @@
+// Versioned, immutable score snapshots — the unit of publication of the
+// serving layer (serve/service.h). A snapshot freezes one FSimScores table
+// (shared, never copied after freeze), precomputes a per-node top-k cache so
+// the hot TopK query never rescans a row, and carries version/provenance
+// metadata. SnapshotStore is the publish/acquire rendezvous: publishing
+// atomically swaps the current snapshot, acquiring is a lock-free refcount
+// bump, so readers never block and a snapshot stays alive until its last
+// reader drops it.
+#ifndef FSIM_SERVE_SNAPSHOT_H_
+#define FSIM_SERVE_SNAPSHOT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "core/fsim_scores.h"
+#include "graph/graph.h"
+
+namespace fsim {
+
+/// Provenance and freshness metadata of one published snapshot.
+struct SnapshotMeta {
+  /// Strictly increasing across publishes into one SnapshotStore
+  /// (SnapshotStore::NextVersion hands out the numbers).
+  uint64_t version = 0;
+  /// Total edits reflected in these scores since the serving engine started.
+  uint64_t edits_applied = 0;
+  /// Whether the producing engine reports full convergence (see
+  /// IncrementalFSim::converged()).
+  bool converged = true;
+  /// True when the scores were warm-started from disk (scores_io) rather
+  /// than computed in-process.
+  bool warm_start = false;
+  /// Wall-clock cost of building this snapshot: the producer's score
+  /// copy/load cost (pre-filled by the caller) plus the top-k cache build
+  /// (added by the FSimSnapshot constructor).
+  double build_seconds = 0.0;
+};
+
+/// An immutable, query-ready view of one score version: frozen shared
+/// scores plus a per-node top-k cache (the first `cache_k` ranked entries
+/// of every row, selected once at build time with bounded-heap selection).
+class FSimSnapshot {
+ public:
+  /// Builds the top-k cache over `scores` (one linear walk of the pair
+  /// table, O(row log k) selection per row).
+  FSimSnapshot(SharedFSimScores scores, size_t cache_k, SnapshotMeta meta);
+
+  /// FSimχ(u, v); 0 for pairs outside the maintained candidate set.
+  double PairScore(NodeId u, NodeId v) const { return scores_->Score(u, v); }
+
+  bool Contains(NodeId u, NodeId v) const { return scores_->Contains(u, v); }
+
+  /// The cached ranking prefix of row u: min(cache_k, |row u|) entries,
+  /// descending score (ties by node id). Empty for nodes without
+  /// maintained pairs.
+  std::span<const std::pair<NodeId, double>> CachedTopK(NodeId u) const {
+    if (static_cast<size_t>(u) + 1 >= cache_offsets_.size()) return {};
+    return {cache_entries_.data() + cache_offsets_[u],
+            cache_entries_.data() + cache_offsets_[u + 1]};
+  }
+
+  /// The k best (v, score) for u. Served from the cache when k <= cache_k
+  /// (no row scan); falls back to FSimScores::TopK selection otherwise.
+  std::vector<std::pair<NodeId, double>> TopK(NodeId u, size_t k) const;
+
+  /// All (v, score) of row u with score >= tau, descending (ties by id).
+  std::vector<std::pair<NodeId, double>> ThresholdNeighbors(NodeId u,
+                                                            double tau) const;
+
+  const FSimScores& scores() const { return *scores_; }
+  SharedFSimScores shared_scores() const { return scores_; }
+  const SnapshotMeta& meta() const { return meta_; }
+  size_t cache_k() const { return cache_k_; }
+
+  /// Heap footprint of the top-k cache.
+  size_t CacheBytes() const {
+    return cache_entries_.capacity() * sizeof(cache_entries_[0]) +
+           cache_offsets_.capacity() * sizeof(uint32_t);
+  }
+
+ private:
+  void BuildCache(const std::vector<uint64_t>& keys);
+
+  SharedFSimScores scores_;
+  size_t cache_k_;
+  // CSR over u: row u's cached entries live in
+  // cache_entries_[cache_offsets_[u] .. cache_offsets_[u + 1]).
+  std::vector<uint32_t> cache_offsets_;
+  std::vector<std::pair<NodeId, double>> cache_entries_;
+  SnapshotMeta meta_;
+};
+
+using SnapshotPtr = std::shared_ptr<const FSimSnapshot>;
+
+/// The publish/acquire point between one publisher (the refresh driver) and
+/// any number of concurrent readers. Acquire is a single atomic
+/// shared_ptr load — wait-free for readers, and the returned reference
+/// keeps that snapshot version alive for the reader's whole request even
+/// while newer versions are published over it.
+class SnapshotStore {
+ public:
+  /// Hands out the next version number; builders stamp their SnapshotMeta
+  /// with it before constructing the snapshot.
+  uint64_t NextVersion() { return next_version_.fetch_add(1) + 1; }
+
+  /// Atomically replaces the current snapshot. Serialized across
+  /// publishers; snapshot versions must be fresh NextVersion() values, and
+  /// a stale publish (version below the current one, possible only if two
+  /// publishers race) is dropped. Returns whether the snapshot became
+  /// current.
+  bool Publish(SnapshotPtr snapshot);
+
+  /// The current snapshot, or nullptr before the first publish. Never
+  /// blocks.
+  SnapshotPtr Acquire() const { return current_.load(); }
+
+  /// Version of the current snapshot (0 before the first publish).
+  uint64_t version() const { return published_version_.load(); }
+
+  size_t publish_count() const { return publish_count_.load(); }
+
+ private:
+  std::mutex publish_mu_;
+  std::atomic<SnapshotPtr> current_;
+  std::atomic<uint64_t> next_version_{0};
+  std::atomic<uint64_t> published_version_{0};
+  std::atomic<size_t> publish_count_{0};
+};
+
+}  // namespace fsim
+
+#endif  // FSIM_SERVE_SNAPSHOT_H_

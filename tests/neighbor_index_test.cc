@@ -246,6 +246,41 @@ TEST(NeighborIndexTest, BudgetFallbackTriggers) {
   EXPECT_TRUE(indexed->stats().used_neighbor_index);
   EXPECT_LE(indexed->stats().neighbor_index_bytes, 1ULL << 30);
 }
+TEST(NeighborIndexTest, BoundedStagingBuildEquivalence) {
+  // A budget that admits the index but not the one-pass build's transient
+  // staging (which peaks near twice the final footprint) must select the
+  // bounded count-then-fill build — same refs, bit-identical scores, and
+  // no staging reported. θ = 0 with no pruning keeps every candidate
+  // entry, so the final index footprint equals the pre-filter budget bound
+  // and the cutover point is exact.
+  const Graph g = MakeDenseRandomGraph(31, /*n=*/12);
+  FSimConfig config;
+  config.variant = SimVariant::kBijective;
+  config.theta = 0.0;
+  config.epsilon = 1e-4;
+
+  config.neighbor_index_budget_bytes = 1ULL << 30;
+  auto staged = ComputeFSimSelf(g, config);
+  ASSERT_TRUE(staged.ok());
+  ASSERT_TRUE(staged->stats().used_neighbor_index);
+  EXPECT_FALSE(staged->stats().neighbor_index_bounded_build);
+  EXPECT_GT(staged->stats().neighbor_index_peak_staging_bytes, 0u);
+
+  config.neighbor_index_budget_bytes = staged->stats().neighbor_index_bytes;
+  auto bounded = ComputeFSimSelf(g, config);
+  ASSERT_TRUE(bounded.ok());
+  ASSERT_TRUE(bounded->stats().used_neighbor_index);
+  EXPECT_TRUE(bounded->stats().neighbor_index_bounded_build);
+  EXPECT_EQ(bounded->stats().neighbor_index_peak_staging_bytes, 0u);
+  EXPECT_EQ(bounded->stats().neighbor_index_bytes,
+            staged->stats().neighbor_index_bytes);
+
+  ASSERT_EQ(bounded->keys().size(), staged->keys().size());
+  for (size_t i = 0; i < bounded->keys().size(); ++i) {
+    ASSERT_EQ(bounded->keys()[i], staged->keys()[i]);
+    ASSERT_EQ(bounded->values()[i], staged->values()[i]) << "pair " << i;
+  }
+}
 
 }  // namespace
 }  // namespace fsim

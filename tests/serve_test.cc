@@ -1,0 +1,499 @@
+// Tests for the serving layer (src/serve/): snapshot top-k cache
+// correctness, publish/acquire semantics, refresh-driver coalescing and
+// policy, a readers-vs-publisher stress test (readers must always observe
+// a complete, internally consistent snapshot — no torn top-k lists), a
+// ServeLoop golden transcript over every request type plus malformed
+// input, and end-to-end serve-while-editing convergence against a full
+// recompute.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/random.h"
+#include "core/fsim_engine.h"
+#include "core/scores_io.h"
+#include "graph/graph_builder.h"
+#include "serve/query.h"
+#include "serve/refresh.h"
+#include "serve/service.h"
+#include "serve/snapshot.h"
+#include "test_graphs.h"
+
+namespace fsim {
+namespace {
+
+/// The 5-node two-label graph of the CLI smoke transcripts: small enough
+/// for exact expectations, cyclic so every node has in/out neighbors.
+Graph MakeServeGraph() {
+  GraphBuilder builder;
+  builder.AddNode("A");  // 0
+  builder.AddNode("A");  // 1
+  builder.AddNode("B");  // 2
+  builder.AddNode("B");  // 3
+  builder.AddNode("A");  // 4
+  builder.AddEdge(0, 2);
+  builder.AddEdge(1, 2);
+  builder.AddEdge(2, 3);
+  builder.AddEdge(3, 4);
+  builder.AddEdge(4, 0);
+  builder.AddEdge(1, 3);
+  return std::move(builder).BuildOrDie();
+}
+
+FSimConfig ServeConfig() {
+  FSimConfig config;
+  config.variant = SimVariant::kSimple;
+  config.epsilon = 1e-6;
+  return config;
+}
+
+/// Reference ranking: full row, sorted by (score desc, id asc).
+std::vector<std::pair<NodeId, double>> ReferenceTopK(const FSimScores& scores,
+                                                     NodeId u, size_t k) {
+  auto row = scores.Row(u);
+  std::sort(row.begin(), row.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  if (row.size() > k) row.resize(k);
+  return row;
+}
+
+TEST(FSimScoresTopKTest, HeapSelectionMatchesFullSort) {
+  const Graph g = testing::MakeRandomPair(0xA11CE, 40, 40).g1;
+  FSimConfig config = ServeConfig();
+  auto scores = ComputeFSimSelf(g, config);
+  ASSERT_TRUE(scores.ok());
+  for (NodeId u = 0; u < g.NumNodes(); ++u) {
+    for (size_t k : {size_t{0}, size_t{1}, size_t{3}, size_t{7},
+                     size_t{1000}}) {
+      const auto got = scores->TopK(u, k);
+      const auto want = ReferenceTopK(*scores, u, k);
+      ASSERT_EQ(got.size(), want.size()) << "u=" << u << " k=" << k;
+      for (size_t i = 0; i < got.size(); ++i) {
+        EXPECT_EQ(got[i].first, want[i].first) << "u=" << u << " k=" << k;
+        EXPECT_EQ(got[i].second, want[i].second) << "u=" << u << " k=" << k;
+      }
+    }
+  }
+}
+
+TEST(SnapshotTest, CacheMatchesScoresAndServesQueries) {
+  const Graph g = testing::MakeRandomPair(0xBEE, 32, 32).g1;
+  auto scores = ComputeFSimSelf(g, ServeConfig());
+  ASSERT_TRUE(scores.ok());
+  const FSimScores reference = *scores;
+
+  SnapshotMeta meta;
+  meta.version = 7;
+  const FSimSnapshot snapshot(FreezeScores(std::move(*scores)),
+                              /*cache_k=*/4, meta);
+  EXPECT_EQ(snapshot.meta().version, 7u);
+  EXPECT_GT(snapshot.CacheBytes(), 0u);
+
+  for (NodeId u = 0; u < g.NumNodes(); ++u) {
+    // The cache holds exactly the first min(4, |row|) ranked entries.
+    const auto want4 = ReferenceTopK(reference, u, 4);
+    const auto cached = snapshot.CachedTopK(u);
+    ASSERT_EQ(cached.size(), want4.size()) << "u=" << u;
+    for (size_t i = 0; i < cached.size(); ++i) {
+      EXPECT_EQ(cached[i], want4[i]) << "u=" << u;
+    }
+    // k <= cache_k serves from the cache; k > cache_k falls back to
+    // selection — both must match the reference ranking.
+    for (size_t k : {size_t{2}, size_t{4}, size_t{9}}) {
+      const auto got = snapshot.TopK(u, k);
+      const auto want = ReferenceTopK(reference, u, k);
+      ASSERT_EQ(got.size(), want.size()) << "u=" << u << " k=" << k;
+      for (size_t i = 0; i < got.size(); ++i) {
+        EXPECT_EQ(got[i], want[i]) << "u=" << u << " k=" << k;
+      }
+    }
+    // ThresholdNeighbors == the >= tau prefix of the full ranking.
+    for (double tau : {0.0, 0.3, 0.7, 1.1}) {
+      const auto got = snapshot.ThresholdNeighbors(u, tau);
+      auto want = ReferenceTopK(reference, u, g.NumNodes());
+      want.erase(std::remove_if(
+                     want.begin(), want.end(),
+                     [tau](const auto& e) { return e.second < tau; }),
+                 want.end());
+      ASSERT_EQ(got.size(), want.size()) << "u=" << u << " tau=" << tau;
+      for (size_t i = 0; i < got.size(); ++i) {
+        EXPECT_EQ(got[i], want[i]) << "u=" << u << " tau=" << tau;
+      }
+    }
+    // Pair queries delegate to the frozen scores.
+    for (NodeId v = 0; v < g.NumNodes(); ++v) {
+      EXPECT_EQ(snapshot.PairScore(u, v), reference.Score(u, v));
+    }
+  }
+}
+
+TEST(SnapshotStoreTest, PublishAcquireVersions) {
+  SnapshotStore store;
+  EXPECT_EQ(store.Acquire(), nullptr);
+  EXPECT_EQ(store.version(), 0u);
+
+  auto make = [](uint64_t version) {
+    SnapshotMeta meta;
+    meta.version = version;
+    return std::make_shared<const FSimSnapshot>(
+        FreezeScores(FSimScores()), /*cache_k=*/2, meta);
+  };
+  const uint64_t v1 = store.NextVersion();
+  const uint64_t v2 = store.NextVersion();
+  EXPECT_LT(v1, v2);
+  EXPECT_TRUE(store.Publish(make(v2)));
+  EXPECT_EQ(store.version(), v2);
+  // A stale publish (older version) is dropped, not swapped in.
+  EXPECT_FALSE(store.Publish(make(v1)));
+  EXPECT_EQ(store.version(), v2);
+  EXPECT_EQ(store.Acquire()->meta().version, v2);
+  EXPECT_EQ(store.publish_count(), 1u);
+}
+
+// Readers must never observe a torn snapshot. Every published snapshot is
+// internally consistent by construction (all scores equal one
+// version-derived constant); a reader seeing mixed values, or a top-k
+// cache disagreeing with the score table, caught a torn publish.
+TEST(SnapshotStoreTest, ReadersNeverObserveTornSnapshots) {
+  constexpr uint32_t kSide = 12;
+  constexpr uint64_t kMinReads = 2000;    // validated reader passes required
+  constexpr uint64_t kMaxPublishes = 5'000'000;  // anti-hang safety valve
+  auto value_of = [](uint64_t version) {
+    return static_cast<double>(version % 97) / 96.0;
+  };
+  auto make_snapshot = [&](uint64_t version) {
+    const double value = value_of(version);
+    std::vector<uint64_t> keys;
+    std::vector<double> values;
+    FlatPairMap index(kSide * kSide);
+    for (uint32_t u = 0; u < kSide; ++u) {
+      for (uint32_t v = 0; v < kSide; ++v) {
+        index.Insert(PairKey(u, v), static_cast<uint32_t>(keys.size()));
+        keys.push_back(PairKey(u, v));
+        values.push_back(value);
+      }
+    }
+    SnapshotMeta meta;
+    meta.version = version;
+    return std::make_shared<const FSimSnapshot>(
+        FreezeScores(FSimScores(std::move(keys), std::move(values),
+                                std::move(index), FSimStats{})),
+        /*cache_k=*/4, meta);
+  };
+
+  SnapshotStore store;
+  std::atomic<bool> done{false};
+  std::atomic<uint64_t> torn{0};
+  std::atomic<uint64_t> reads{0};
+
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 4; ++r) {
+    readers.emplace_back([&] {
+      while (!done.load()) {
+        const SnapshotPtr snap = store.Acquire();
+        if (snap == nullptr) continue;
+        const double want = value_of(snap->meta().version);
+        bool ok = true;
+        for (double value : snap->scores().values()) {
+          ok = ok && value == want;
+        }
+        for (uint32_t u = 0; u < kSide; ++u) {
+          const auto cached = snap->CachedTopK(u);
+          ok = ok && cached.size() == 4;
+          for (const auto& [v, score] : cached) {
+            ok = ok && score == want && score == snap->PairScore(u, v);
+          }
+        }
+        if (!ok) torn.fetch_add(1);
+        reads.fetch_add(1);
+      }
+    });
+  }
+
+  // Publish continuously until the readers have validated enough acquired
+  // snapshots concurrently with the swaps (the interesting interleaving).
+  uint64_t publishes = 0;
+  while (reads.load() < kMinReads && publishes < kMaxPublishes) {
+    ASSERT_TRUE(store.Publish(make_snapshot(store.NextVersion())));
+    ++publishes;
+  }
+  done.store(true);
+  for (auto& t : readers) t.join();
+  EXPECT_EQ(torn.load(), 0u);
+  EXPECT_GE(reads.load(), kMinReads);
+  EXPECT_EQ(store.version(), publishes);
+}
+
+TEST(RefreshDriverTest, CoalescesBurstsAndHonorsPublishPolicy) {
+  const Graph g = MakeServeGraph();
+  SnapshotStore store;
+  RefreshPolicy policy;
+  policy.max_edits_behind = 3;
+  policy.topk_cache_k = 4;
+  RefreshDriver driver(g, g, ServeConfig(), IncrementalOptions{}, policy,
+                       &store);
+  EXPECT_FALSE(driver.ready());
+  ASSERT_TRUE(driver.Init().ok());
+  ASSERT_TRUE(driver.ready());
+  const uint64_t solve_version = store.version();
+  EXPECT_GT(solve_version, 0u);
+
+  // An insert/remove burst on one edge coalesces to a net no-op: nothing
+  // applied, nothing published.
+  driver.Submit({1, 0, 3, /*insert=*/true});
+  driver.Submit({1, 0, 3, /*insert=*/false});
+  auto applied = driver.DrainApply(/*force_publish=*/false);
+  ASSERT_TRUE(applied.ok());
+  EXPECT_EQ(*applied, 0u);
+  EXPECT_EQ(driver.stats().edits_coalesced, 2u);
+  EXPECT_EQ(store.version(), solve_version);
+
+  // Below the drift bound: applied but not yet published.
+  driver.Submit({1, 0, 3, /*insert=*/true});
+  applied = driver.DrainApply(/*force_publish=*/false);
+  ASSERT_TRUE(applied.ok());
+  EXPECT_EQ(*applied, 1u);
+  EXPECT_EQ(store.version(), solve_version);
+
+  // Force-publish flushes the pending drift.
+  ASSERT_TRUE(driver.Flush().ok());
+  EXPECT_GT(store.version(), solve_version);
+  const uint64_t flushed_version = store.version();
+
+  // Reaching max_edits_behind publishes without force.
+  driver.Submit({1, 0, 3, /*insert=*/false});
+  driver.Submit({2, 1, 0, /*insert=*/true});
+  driver.Submit({2, 3, 0, /*insert=*/true});
+  applied = driver.DrainApply(/*force_publish=*/false);
+  ASSERT_TRUE(applied.ok());
+  EXPECT_EQ(*applied, 3u);
+  EXPECT_GT(store.version(), flushed_version);
+
+  // Rejected edits (endpoint out of range) are counted, not applied.
+  driver.Submit({1, 99, 0, /*insert=*/true});
+  ASSERT_TRUE(driver.Flush().ok());
+  EXPECT_EQ(driver.stats().edits_failed, 1u);
+
+  // The published snapshot matches a from-scratch solve of the current
+  // graphs.
+  auto full = ComputeFSim(driver.MaterializeG1(), driver.MaterializeG2(),
+                          ServeConfig());
+  ASSERT_TRUE(full.ok());
+  const SnapshotPtr snap = store.Acquire();
+  ASSERT_NE(snap, nullptr);
+  for (size_t i = 0; i < full->keys().size(); ++i) {
+    const NodeId u = PairFirst(full->keys()[i]);
+    const NodeId v = PairSecond(full->keys()[i]);
+    EXPECT_NEAR(snap->PairScore(u, v), full->values()[i], 1e-4)
+        << "(" << u << "," << v << ")";
+  }
+}
+
+TEST(QueryEngineTest, BatchAnswersFromOneSnapshot) {
+  SnapshotStore store;
+  QueryEngine engine(&store);
+  Query pair_query;
+  pair_query.kind = Query::Kind::kPair;
+  EXPECT_TRUE(engine.Run(pair_query).status().IsNotFound());
+
+  SnapshotMeta meta;
+  meta.version = store.NextVersion();
+  ASSERT_TRUE(store.Publish(std::make_shared<const FSimSnapshot>(
+      FreezeScores(FSimScores()), 2, meta)));
+  std::vector<Query> queries(3);
+  queries[1].kind = Query::Kind::kTopK;
+  queries[1].k = 2;
+  queries[2].kind = Query::Kind::kThreshold;
+  auto results = engine.RunBatch(queries);
+  ASSERT_TRUE(results.ok());
+  ASSERT_EQ(results->size(), 3u);
+  for (const QueryResult& result : *results) {
+    EXPECT_EQ(result.version, meta.version);
+  }
+}
+
+// The full protocol surface against a deterministic synchronous service:
+// pair/top-k/threshold/batch queries, edits + flush, stats, malformed
+// requests, comments, and QUIT. The transcript pins the exact wire format.
+TEST(ServeLoopTest, GoldenTranscript) {
+  const Graph g = MakeServeGraph();
+  ServeOptions options;
+  options.background_refresh = false;
+  options.policy.topk_cache_k = 4;
+  auto service = FSimService::Create(g, g, ServeConfig(), options);
+  ASSERT_TRUE(service.ok()) << service.status().ToString();
+
+  const char* kRequests =
+      "# comment lines and blank lines are ignored\n"
+      "\n"
+      "PAIR 0 1\n"
+      "PAIR 0 99\n"
+      "TOPK 0 3\n"
+      "THRESH 0 0.45\n"
+      "BATCH 3\n"
+      "PAIR 1 1\n"
+      "TOPK 4 2\n"
+      "NOPE 1 2\n"
+      "EDIT INSERT 1 0 3\n"
+      "FLUSH\n"
+      "PAIR 0 1\n"
+      "EDIT REMOVE 3 0 1\n"
+      "EDIT INSERT 1\n"
+      "PAIR x 1\n"
+      "TOPK 0\n"
+      "THRESH 0 abc\n"
+      "BATCH 999999\n"
+      "BOGUS\n"
+      "STATS\n"
+      "QUIT\n"
+      "PAIR 0 1\n";  // after QUIT: never answered
+  std::istringstream in(kRequests);
+  std::ostringstream out;
+  ASSERT_TRUE((*service)->ServeLoop(in, out).ok());
+
+  // Spot-checked against Eq. 3 by hand: FSim_s(0, 1) = w+ * 1 (node 2 maps
+  // to itself) + w- * 0 (node 1 has no in-neighbors) + 0.2 * L = 0.6.
+  const std::string kExpected =
+      "SCORE 0.600000 v1\n"
+      "SCORE 0.000000 v1\n"
+      "TOPK 3 v1\n"
+      "0 1.000000\n"
+      "4 0.656703\n"
+      "1 0.600000\n"
+      "THRESH 4 v1\n"
+      "0 1.000000\n"
+      "4 0.656703\n"
+      "1 0.600000\n"
+      "2 0.533907\n"
+      "BATCH 3 v1\n"
+      "SCORE 1.000000 v1\n"
+      "TOPK 2 v1\n"
+      "4 1.000000\n"
+      "0 0.614166\n"
+      "ERR unknown request 'NOPE'\n"
+      "OK queued\n"
+      "OK version 2\n"
+      "SCORE 0.565554 v2\n"
+      "ERR usage: EDIT INSERT|REMOVE <graph 1|2> <from> <to>\n"
+      "ERR usage: EDIT INSERT|REMOVE <graph 1|2> <from> <to>\n"
+      "ERR usage: PAIR <u> <v>\n"
+      "ERR usage: TOPK <u> <k>\n"
+      "ERR usage: THRESH <u> <tau>\n"
+      "ERR usage: BATCH <n> (n <= 100000)\n"
+      "ERR unknown request 'BOGUS'\n"
+      "STATS version=2 pairs=25 pending=0 applied=1 coalesced=0 failed=0 "
+      "publishes=2 ready=yes converged=yes warm=no\n"
+      "BYE\n";
+  EXPECT_EQ(out.str(), kExpected);
+}
+
+TEST(ServeLoopTest, WarmStartServesBeforeRefreshReady) {
+  const Graph g = MakeServeGraph();
+  auto scores = ComputeFSimSelf(g, ServeConfig());
+  ASSERT_TRUE(scores.ok());
+  const std::string path = ::testing::TempDir() + "/warm.scores";
+  ASSERT_TRUE(SaveScoresToFile(*scores, path).ok());
+
+  ServeOptions options;
+  options.background_refresh = true;
+  options.warm_scores_path = path;
+  auto service = FSimService::Create(g, g, ServeConfig(), options);
+  ASSERT_TRUE(service.ok()) << service.status().ToString();
+
+  // The warm snapshot is published synchronously by Create, so queries
+  // answer immediately — whether or not the background solve has finished.
+  std::istringstream in("PAIR 0 0\nQUIT\n");
+  std::ostringstream out;
+  ASSERT_TRUE((*service)->ServeLoop(in, out).ok());
+  EXPECT_EQ(out.str().substr(0, 15), "SCORE 1.000000 ");
+
+  // Flush waits for the background engine, then publishes its (computed)
+  // state; the answers keep matching the converged scores.
+  ASSERT_TRUE((*service)->driver().Flush().ok());
+  std::istringstream in2("PAIR 0 1\nQUIT\n");
+  std::ostringstream out2;
+  ASSERT_TRUE((*service)->ServeLoop(in2, out2).ok());
+  EXPECT_EQ(out2.str().substr(0, 15), "SCORE 0.600000 ");
+}
+
+// End to end: a background edit stream is applied while reader threads
+// hammer the service; every answer must be internally consistent, and the
+// final flushed state must match a from-scratch recompute.
+TEST(ServeLoopTest, ServesConsistentlyUnderBackgroundEdits) {
+  const Graph g = testing::MakeRandomPair(0xD0C, 24, 24).g1;
+  ServeOptions options;
+  options.background_refresh = true;
+  options.policy.max_edits_behind = 4;
+  options.policy.poll_seconds = 0.001;
+  FSimConfig config = ServeConfig();
+  auto service = FSimService::Create(g, g, config, options);
+  ASSERT_TRUE(service.ok()) << service.status().ToString();
+  ASSERT_TRUE((*service)->driver().Flush().ok());  // wait for the solve
+
+  std::atomic<bool> done{false};
+  std::atomic<uint64_t> inconsistent{0};
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 3; ++r) {
+    readers.emplace_back([&service, &done, &inconsistent, &g] {
+      const QueryEngine& engine = (*service)->query_engine();
+      Rng rng(0xF00 + reinterpret_cast<uintptr_t>(&engine));
+      while (!done.load()) {
+        Query query;
+        query.kind = Query::Kind::kTopK;
+        query.u = static_cast<NodeId>(rng.NextBounded(g.NumNodes()));
+        query.k = 5;
+        auto result = engine.Run(query);
+        if (!result.ok()) continue;
+        // Ranking must be sorted and scores in [0, 1] — a torn snapshot
+        // would violate one of the two.
+        for (size_t i = 0; i < result->entries.size(); ++i) {
+          const double score = result->entries[i].second;
+          if (score < 0.0 || score > 1.0) inconsistent.fetch_add(1);
+          if (i > 0 && result->entries[i - 1].second < score) {
+            inconsistent.fetch_add(1);
+          }
+        }
+      }
+    });
+  }
+
+  Rng rng(0xED17);
+  for (int e = 0; e < 40; ++e) {
+    EditOp op;
+    op.graph_index = (e % 2) + 1;
+    op.from = static_cast<NodeId>(rng.NextBounded(g.NumNodes()));
+    op.to = static_cast<NodeId>(rng.NextBounded(g.NumNodes()));
+    if (op.from == op.to) continue;
+    op.insert = (rng.Next() & 1) != 0;
+    (*service)->driver().Submit(op);
+    if (e % 10 == 9) std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  ASSERT_TRUE((*service)->driver().Flush().ok());
+  done.store(true);
+  for (auto& t : readers) t.join();
+  EXPECT_EQ(inconsistent.load(), 0u);
+
+  auto full = ComputeFSim((*service)->driver().MaterializeG1(),
+                          (*service)->driver().MaterializeG2(), config);
+  ASSERT_TRUE(full.ok());
+  const SnapshotPtr snap = (*service)->store().Acquire();
+  ASSERT_NE(snap, nullptr);
+  double max_diff = 0.0;
+  for (size_t i = 0; i < full->keys().size(); ++i) {
+    const NodeId u = PairFirst(full->keys()[i]);
+    const NodeId v = PairSecond(full->keys()[i]);
+    max_diff = std::max(max_diff,
+                        std::abs(snap->PairScore(u, v) - full->values()[i]));
+  }
+  EXPECT_LT(max_diff, 1e-4);
+}
+
+}  // namespace
+}  // namespace fsim
