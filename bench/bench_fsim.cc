@@ -79,50 +79,90 @@ BENCHMARK(BM_FSimMatchingAlgo)
     ->ArgName("hungarian")
     ->Unit(benchmark::kMillisecond);
 
-/// Phase-timing comparison: per χ variant, one run on the CSR neighbor
-/// index and one on the hash-lookup fallback, with the scores
-/// cross-checked. Written to BENCH_fsim.json.
+/// Phase-timing comparison per χ variant, written to BENCH_fsim.json:
+///  * "indexed"   — the default engine (CSR index + exact active set),
+///  * "fullsweep" — active set off (the PR 1 indexed path, the baseline the
+///                  active-set speedup is measured against),
+///  * "tol"       — tolerance-mode active set (frontier_tolerance = ε/10,
+///                  error bound tol·(1+w)/(1-w) = 0.9·ε — the frontier
+///                  slack stays below the termination tolerance itself),
+///  * "fallback"  — hash-lookup path (no index, hence full sweeps).
+/// indexed/fullsweep/fallback are cross-checked bit-identical; tol is
+/// cross-checked against its documented error bound plus the termination
+/// residual slack 2·ε·w/(1-w) (the two runs may stop at different sweeps).
 void RunPhaseTimings() {
   const Graph& g = Yeast();
   bench::PhaseTimingsJson json;
-  std::printf("\nvariant  path      build      iterate    speedup\n");
+  std::printf(
+      "\nvariant  path       build      iterate    vs fullsweep  frozen\n");
   for (SimVariant variant :
        {SimVariant::kSimple, SimVariant::kDegreePreserving, SimVariant::kBi,
         SimVariant::kBijective}) {
     FSimConfig config = BaseConfig(variant);
     config.theta = 1.0;
+    const double w = config.w_out + config.w_in;
 
     config.neighbor_index_budget_bytes = 1ULL << 30;
     auto indexed = ComputeFSim(g, g, config);
+    config.active_set = ActiveSetMode::kOff;
+    auto fullsweep = ComputeFSim(g, g, config);
+    config.active_set = ActiveSetMode::kTolerance;
+    config.frontier_tolerance = config.epsilon / 10.0;
+    auto tol = ComputeFSim(g, g, config);
+    config.active_set = ActiveSetMode::kExact;
     config.neighbor_index_budget_bytes = 0;
     auto fallback = ComputeFSim(g, g, config);
-    if (!indexed.ok() || !fallback.ok()) {
+    if (!indexed.ok() || !fullsweep.ok() || !tol.ok() || !fallback.ok()) {
       std::fprintf(stderr, "fatal: phase-timing run failed\n");
       std::abort();
     }
-    double max_diff = 0.0;
-    for (size_t i = 0; i < indexed->values().size(); ++i) {
-      max_diff = std::max(max_diff, std::abs(indexed->values()[i] -
-                                             fallback->values()[i]));
-    }
-    if (!indexed->stats().used_neighbor_index || max_diff > 1e-12) {
+    auto max_diff_vs_fallback = [&](const FSimScores& scores) {
+      double max_diff = 0.0;
+      for (size_t i = 0; i < scores.values().size(); ++i) {
+        max_diff = std::max(max_diff, std::abs(scores.values()[i] -
+                                               fallback->values()[i]));
+      }
+      return max_diff;
+    };
+    const double exact_diff = std::max(max_diff_vs_fallback(*indexed),
+                                       max_diff_vs_fallback(*fullsweep));
+    if (!indexed->stats().used_neighbor_index || exact_diff > 1e-12) {
       std::fprintf(stderr,
                    "fatal: indexed/fallback mismatch (indexed=%d diff=%g)\n",
-                   indexed->stats().used_neighbor_index, max_diff);
+                   indexed->stats().used_neighbor_index, exact_diff);
+      std::abort();
+    }
+    const double tol_bound =
+        config.frontier_tolerance * (1.0 + w) / (1.0 - w) +
+        2.0 * config.epsilon * w / (1.0 - w);
+    const double tol_diff = max_diff_vs_fallback(*tol);
+    if (tol_diff > tol_bound) {
+      std::fprintf(stderr, "fatal: tolerance run outside bound (%g > %g)\n",
+                   tol_diff, tol_bound);
       std::abort();
     }
 
     const char* name = SimVariantName(variant);
     json.Add(std::string(name) + "/indexed", indexed->stats());
+    json.Add(std::string(name) + "/fullsweep", fullsweep->stats());
+    json.Add(std::string(name) + "/tol", tol->stats());
     json.Add(std::string(name) + "/fallback", fallback->stats());
-    std::printf("%-8s indexed   %-10s %-10s %.2fx\n", name,
-                bench::FormatSeconds(indexed->stats().build_seconds).c_str(),
-                bench::FormatSeconds(indexed->stats().iterate_seconds).c_str(),
-                fallback->stats().iterate_seconds /
-                    indexed->stats().iterate_seconds);
-    std::printf("%-8s fallback  %-10s %-10s\n", name,
-                bench::FormatSeconds(fallback->stats().build_seconds).c_str(),
-                bench::FormatSeconds(fallback->stats().iterate_seconds).c_str());
+    auto row = [&](const char* path, const FSimStats& s) {
+      std::printf("%-8s %-10s %-10s %-10s %.2fx         %.2f\n", name, path,
+                  bench::FormatSeconds(s.build_seconds).c_str(),
+                  bench::FormatSeconds(s.iterate_seconds).c_str(),
+                  fullsweep->stats().iterate_seconds / s.iterate_seconds,
+                  s.frozen_fraction);
+    };
+    row("indexed", indexed->stats());
+    row("fullsweep", fullsweep->stats());
+    row("tol", tol->stats());
+    row("fallback", fallback->stats());
+    std::printf("%-8s tol frontier:", name);
+    for (size_t a : tol->stats().active_pairs_history) {
+      std::printf(" %zu", a);
+    }
+    std::printf("\n");
   }
   // Dense engine: label-class index (core/dense_index.h) vs the per-visit
   // lookup fallback on the yeast-scale labeled config, cross-checked over

@@ -80,6 +80,11 @@ class PhaseTimingsJson {
     uint32_t iterations = 0;
     size_t maintained_pairs = 0;
     bool used_neighbor_index = false;
+    // Active-set telemetry (docs/performance.md "Active-set iteration").
+    bool active_set = false;
+    double frozen_fraction = 0.0;
+    double frontier_build_seconds = 0.0;
+    std::vector<size_t> active_pairs_history;
   };
 
   void Add(const std::string& name, const FSimStats& stats) {
@@ -112,9 +117,16 @@ class PhaseTimingsJson {
 
  private:
   static Record MakeRecord(const std::string& name, const FSimStats& stats) {
-    return Record{name, stats.build_seconds, stats.iterate_seconds,
-                  stats.iterations, stats.maintained_pairs,
-                  stats.used_neighbor_index};
+    return Record{name,
+                  stats.build_seconds,
+                  stats.iterate_seconds,
+                  stats.iterations,
+                  stats.maintained_pairs,
+                  stats.used_neighbor_index,
+                  stats.active_set,
+                  stats.frozen_fraction,
+                  stats.frontier_build_seconds,
+                  stats.active_pairs_history};
   }
 
   static void WriteSection(std::FILE* f, const char* key,
@@ -127,11 +139,25 @@ class PhaseTimingsJson {
                    "    \"%s\": {\"build_seconds\": %.6f, "
                    "\"iterate_seconds\": %.6f, \"iterations\": %u, "
                    "\"maintained_pairs\": %zu, "
-                   "\"used_neighbor_index\": %s}%s\n",
+                   "\"used_neighbor_index\": %s",
                    r.name.c_str(), r.build_seconds, r.iterate_seconds,
                    r.iterations, r.maintained_pairs,
-                   r.used_neighbor_index ? "true" : "false",
-                   i + 1 < records.size() ? "," : "");
+                   r.used_neighbor_index ? "true" : "false");
+      if (r.active_set) {
+        // Only active-set runs carry the frontier telemetry, so older
+        // consumers of the fixed-field records keep parsing unchanged.
+        std::fprintf(f,
+                     ", \"active_set\": true, \"frozen_fraction\": %.4f, "
+                     "\"frontier_build_seconds\": %.6f, "
+                     "\"active_pairs_history\": [",
+                     r.frozen_fraction, r.frontier_build_seconds);
+        for (size_t k = 0; k < r.active_pairs_history.size(); ++k) {
+          std::fprintf(f, "%s%zu", k == 0 ? "" : ", ",
+                       r.active_pairs_history[k]);
+        }
+        std::fprintf(f, "]");
+      }
+      std::fprintf(f, "}%s\n", i + 1 < records.size() ? "," : "");
     }
     std::fprintf(f, "  }%s\n", trailing_comma ? "," : "");
   }

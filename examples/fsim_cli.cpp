@@ -48,6 +48,7 @@ int Usage(const char* argv0) {
       "usage: %s --g1 <file> [--g2 <file>] [--variant s|dp|b|bj]\n"
       "          [--theta T] [--w-out W] [--w-in W] [--label-sim i|e|j]\n"
       "          [--upper-bound] [--threads N]\n"
+      "          [--active-set off|exact|tol] [--frontier-tolerance T]\n"
       "          [--topk K --source NODE] [--topk-pairs K]\n"
       "          [--exact] [--partition]\n"
       "          [--out <scores-file>] [--save-binary <graph-file>]\n"
@@ -133,6 +134,22 @@ int main(int argc, char** argv) {
       config.num_threads = std::atoi(need_value("--threads"));
     } else if (std::strcmp(argv[i], "--upper-bound") == 0) {
       config.upper_bound = true;
+    } else if (std::strcmp(argv[i], "--active-set") == 0) {
+      // Iterate-loop scheduling (docs/performance.md "Active-set
+      // iteration"); flows through every engine the CLI reaches, including
+      // the serving layer's warm-start initial solve.
+      const char* mode = need_value("--active-set");
+      if (std::strcmp(mode, "off") == 0) {
+        config.active_set = ActiveSetMode::kOff;
+      } else if (std::strcmp(mode, "exact") == 0) {
+        config.active_set = ActiveSetMode::kExact;
+      } else if (std::strcmp(mode, "tol") == 0) {
+        config.active_set = ActiveSetMode::kTolerance;
+      } else {
+        return Usage(argv[0]);
+      }
+    } else if (std::strcmp(argv[i], "--frontier-tolerance") == 0) {
+      config.frontier_tolerance = std::atof(need_value("--frontier-tolerance"));
     } else if (std::strcmp(argv[i], "--topk") == 0) {
       topk = static_cast<size_t>(std::atoll(need_value("--topk")));
     } else if (std::strcmp(argv[i], "--topk-pairs") == 0) {

@@ -10,11 +10,18 @@ append step so a PR that slows a tracked path down is flagged on the spot.
 Tracked metrics are every numeric leaf of the summary record, addressed by
 dotted path (e.g. "fsim.s/indexed.iterate_s"). Direction is inferred from
 the name: *_qps counters are higher-is-better, iteration counts ("iters")
-are informational only (skipped), everything else (seconds, ms, us) is
-lower-is-better. Metrics need at least --min-history prior samples before
-they gate, so freshly added benchmarks ride along without failing; metrics
-that disappear from the current line are ignored (benchmarks can be
-retired).
+and ratio-style leaves ("*_fraction") are informational only (skipped),
+everything else (seconds, ms, us) is lower-is-better. Metrics need at
+least --min-history prior samples before they gate, so freshly added
+benchmarks ride along without failing; metrics that disappear from the
+current line are ignored (benchmarks can be retired).
+
+PR 5 note: "fsim.<variant>/indexed.iterate_s" now measures the active-set
+engine (exact mode, the library default — bit-identical to full sweeps and
+within noise of the PR 1 indexed path), while the new
+"fsim.<variant>/fullsweep.iterate_s" pins the PR 1 scheduling and
+"fsim.<variant>/tol.iterate_s" the tolerance-mode frontier engine. The new
+paths enter the gate through the usual --min-history grace period.
 
 Usage:
   check_bench_history.py [--history BENCH_history.jsonl] [--threshold 0.2]
@@ -39,7 +46,7 @@ def numeric_leaves(record, prefix=""):
 
 def is_informational(path):
     leaf = path.rsplit(".", 1)[-1]
-    return leaf == "iters"
+    return leaf == "iters" or leaf.endswith("_fraction")
 
 
 def higher_is_better(path):

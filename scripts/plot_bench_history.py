@@ -1,0 +1,141 @@
+#!/usr/bin/env python3
+"""Trend plots over the committed BENCH_history.jsonl.
+
+Each history line is one bench run (scripts/append_bench_history.py); this
+script turns the per-metric series into trends so a perf trajectory is
+readable without spelunking raw JSONL. Two renderers:
+
+  * matplotlib (optional): `--out trends.png` writes one subplot per
+    selected metric. If matplotlib is not importable the script falls back
+    to ASCII with a warning — it never fails for lack of a plotting stack.
+  * ASCII (default): one sparkline row per metric with first/min/max/last,
+    suitable for CI logs and terminals.
+
+Metrics are the numeric leaves of each record, addressed by dotted path
+(e.g. "fsim.dp/indexed.iterate_s") exactly as in check_bench_history.py.
+`--metric` filters by case-insensitive substring; series shorter than 2
+points are skipped (nothing to trend).
+
+Usage:
+  plot_bench_history.py [--history BENCH_history.jsonl] [--metric SUBSTR]
+      [--out trends.png] [--last N] [--width 48]
+"""
+
+import argparse
+import json
+import sys
+
+SPARK_LEVELS = "▁▂▃▄▅▆▇█"
+
+
+def numeric_leaves(record, prefix=""):
+    """Yields (dotted_path, value) for every numeric leaf of a JSON dict."""
+    for key, value in record.items():
+        path = f"{prefix}.{key}" if prefix else key
+        if isinstance(value, dict):
+            yield from numeric_leaves(value, path)
+        elif isinstance(value, (int, float)) and not isinstance(value, bool):
+            yield path, float(value)
+
+
+def load_series(path, metric_filter, last):
+    """Returns (labels, {metric: [(run_index, value), ...]})."""
+    with open(path) as f:
+        lines = [json.loads(line) for line in f if line.strip()]
+    if last > 0:
+        lines = lines[-last:]
+    labels = [line.get("label", "?") for line in lines]
+    series = {}
+    for idx, line in enumerate(lines):
+        record = {k: v for k, v in line.items() if k != "label"}
+        for metric, value in numeric_leaves(record):
+            if metric_filter and metric_filter.lower() not in metric.lower():
+                continue
+            series.setdefault(metric, []).append((idx, value))
+    # A single point has no trend.
+    return labels, {m: pts for m, pts in series.items() if len(pts) >= 2}
+
+
+def sparkline(values, width):
+    if len(values) > width:
+        # Keep the newest `width` points: the recent trend is the question.
+        values = values[-width:]
+    lo, hi = min(values), max(values)
+    if hi == lo:
+        return SPARK_LEVELS[0] * len(values)
+    scale = (len(SPARK_LEVELS) - 1) / (hi - lo)
+    return "".join(SPARK_LEVELS[int((v - lo) * scale)] for v in values)
+
+
+def render_ascii(labels, series, width):
+    if not series:
+        print("plot: no metric series with >= 2 points; nothing to trend")
+        return
+    print(f"plot: {len(series)} metric(s) over {len(labels)} run(s) "
+          f"({labels[0]} .. {labels[-1]})")
+    name_width = min(48, max(len(m) for m in series))
+    for metric in sorted(series):
+        values = [v for _, v in series[metric]]
+        first, last = values[0], values[-1]
+        direction = "=" if first == last else ("+" if last < first else "-")
+        print(f"  {metric:<{name_width}} {sparkline(values, width)} "
+              f"first={first:g} min={min(values):g} max={max(values):g} "
+              f"last={last:g} [{direction}]")
+
+
+def render_matplotlib(labels, series, out):
+    import matplotlib
+    matplotlib.use("Agg")
+    import matplotlib.pyplot as plt
+
+    metrics = sorted(series)
+    fig, axes = plt.subplots(len(metrics), 1,
+                             figsize=(10, 2.2 * len(metrics)),
+                             squeeze=False)
+    for ax, metric in zip((a for row in axes for a in row), metrics):
+        xs = [i for i, _ in series[metric]]
+        ys = [v for _, v in series[metric]]
+        ax.plot(xs, ys, marker="o", markersize=3, linewidth=1)
+        ax.set_title(metric, fontsize=8, loc="left")
+        ax.tick_params(labelsize=7)
+        ax.set_xticks(range(len(labels)))
+        ax.set_xticklabels(labels, rotation=45, fontsize=6)
+    fig.tight_layout()
+    fig.savefig(out, dpi=120)
+    print(f"plot: wrote {out} ({len(metrics)} metrics)")
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--history", default="BENCH_history.jsonl")
+    parser.add_argument("--metric", default="",
+                        help="case-insensitive substring filter on the "
+                             "dotted metric path")
+    parser.add_argument("--out", default="",
+                        help="write a PNG via matplotlib instead of ASCII "
+                             "(falls back to ASCII if unavailable)")
+    parser.add_argument("--last", type=int, default=0,
+                        help="only the newest N history lines (0 = all)")
+    parser.add_argument("--width", type=int, default=48,
+                        help="ASCII sparkline width in characters")
+    args = parser.parse_args()
+
+    try:
+        labels, series = load_series(args.history, args.metric, args.last)
+    except OSError as e:
+        print(f"plot: no history to plot ({e})")
+        return 0
+
+    if args.out:
+        try:
+            render_matplotlib(labels, series, args.out)
+            return 0
+        except ImportError:
+            print("plot: matplotlib not available; falling back to ASCII",
+                  file=sys.stderr)
+    render_ascii(labels, series, args.width)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -61,6 +61,15 @@ void ThreadPool::ParallelForChunked(size_t n, size_t grain,
   done_cv_.wait(lock, [this] { return pending_workers_ == 0; });
 }
 
+void ThreadPool::ParallelForSpan(std::span<const uint32_t> indices,
+                                 size_t grain, const SpanBody& body) {
+  ChunkedBody chunked = [&body, indices](int worker, size_t begin,
+                                         size_t end) {
+    body(worker, indices.subspan(begin, end - begin));
+  };
+  ParallelForChunked(indices.size(), grain, chunked);
+}
+
 void ThreadPool::RunChunks(int worker_id, size_t n, size_t grain,
                            const ChunkedBody& body) {
   for (;;) {

@@ -6,8 +6,10 @@
 
 #include <atomic>
 #include <condition_variable>
+#include <cstdint>
 #include <functional>
 #include <mutex>
+#include <span>
 #include <thread>
 #include <vector>
 
@@ -48,6 +50,17 @@ class ThreadPool {
   /// exactly once each; returns when all chunks have completed. grain is the
   /// chunk length (clamped to >= 1). The caller participates as worker 0.
   void ParallelForChunked(size_t n, size_t grain, const ChunkedBody& body);
+
+  /// body(worker, ids): evaluate the store indices `ids` as worker `worker`.
+  using SpanBody = std::function<void(int, std::span<const uint32_t>)>;
+
+  /// Frontier chunking: runs body over contiguous grain-sized slices of an
+  /// index array (the active-set drivers' sweep primitive — the frontier is
+  /// a sorted list of store indices, so slices keep workers walking the
+  /// score and neighbor-ref arrays in ascending order). Scheduling and
+  /// worker-id semantics are those of ParallelForChunked.
+  void ParallelForSpan(std::span<const uint32_t> indices, size_t grain,
+                       const SpanBody& body);
 
  private:
   struct Task {

@@ -234,6 +234,9 @@ Result<DenseFSimScores> ComputeFSimDense(const Graph& g1, const Graph& g2,
     }
   };
 
+  // Pre-reserve so the per-iteration push never reallocates mid-loop.
+  if (config.record_delta_history) stats.delta_history.reserve(max_iters);
+
   for (uint32_t iter = 1; iter <= max_iters; ++iter) {
     for (auto& d : worker_delta) d.value = 0.0;
     // Chunks of u-rows: rows are independent under double buffering, and

@@ -54,6 +54,28 @@ struct OperatorConfig {
   OmegaKind omega = OmegaKind::kGeoMean;
 };
 
+/// How the iterate loop schedules pair evaluations across sweeps
+/// (docs/performance.md "Active-set iteration"). The fixpoint is monotone
+/// from the all-ones-shaped seed, so after the first few sweeps most pairs'
+/// N±xN± inputs have stopped moving; the active-set driver evaluates only
+/// the pairs with at least one changed input — found by walking the changed
+/// pair's own CSR spans in reverse (the refs of the in-span are exactly the
+/// pairs reading it through their out-direction, and vice versa) — and
+/// carries every other score forward for free.
+enum class ActiveSetMode {
+  /// Full sweep every iteration (the pre-active-set behavior).
+  kOff,
+  /// Skip a pair only when none of its inputs changed at all. Provably
+  /// bit-identical to the full sweep (identical inputs, deterministic
+  /// operators), including the iteration count and convergence decision.
+  kExact,
+  /// Additionally skip a pair while its accumulated input influence — the
+  /// sharpened Σ w± · c/Ωχ · |Δ input| bound shared with the incremental
+  /// engine — stays below frontier_tolerance. Final scores stay within
+  /// frontier_tolerance · (1 + w) / (1 - w) of the exact-mode result.
+  kTolerance,
+};
+
 /// The Table 3 operators for a χ variant.
 OperatorConfig OperatorsForVariant(SimVariant variant);
 
@@ -136,6 +158,36 @@ struct FSimConfig {
   /// to hash lookups (identical scores, slower iterations). 0 disables the
   /// index.
   uint64_t neighbor_index_budget_bytes = 1ULL << 30;
+
+  /// Iterate-loop scheduling (see ActiveSetMode). Requires the CSR neighbor
+  /// index (its spans double as the reverse-dependency lists); when the
+  /// index is not materialized the engine runs full sweeps regardless.
+  /// kExact is the default: it is bit-identical to full sweeps and on
+  /// converging workloads freezes most pairs after the first few
+  /// iterations (FSimStats::active_pairs_history / frozen_fraction).
+  ActiveSetMode active_set = ActiveSetMode::kExact;
+
+  /// kTolerance only: a pair is re-evaluated once the accumulated influence
+  /// of its skipped input changes exceeds this. Must be positive in
+  /// tolerance mode; the induced error is bounded by
+  /// frontier_tolerance * (1 + w) / (1 - w), w = w+ + w-.
+  double frontier_tolerance = 1e-6;
+
+  /// Frontiers holding at least this fraction of the maintained pairs are
+  /// evaluated as plain full sweeps (dense frontiers are cheaper without
+  /// the indirection); 0 forces full sweeps, 1 always uses the frontier
+  /// path when the active set is engaged.
+  double frontier_density_threshold = 0.5;
+
+  /// Dependent marking — the reverse span walk per changed pair — costs
+  /// about as much as re-evaluating the cheap (non-matching) operators, so
+  /// the driver defers it until skipping can actually pay: marking turns
+  /// on once at least this fraction of a sweep's evaluated pairs look
+  /// freezable (delta == 0 in exact mode, delta <= frontier_tolerance in
+  /// tolerance mode), and stays on. Until then iterations are plain full
+  /// sweeps whose only extra cost is the per-pair freeze counter. 0 marks
+  /// from the first iteration (tests use this to pin the frontier path).
+  double active_set_activation_fraction = 0.125;
 
   /// Allow the packed 8-byte neighbor-index entry layout (16-bit row/col)
   /// when every relevant neighbor-list position (0..deg-1) fits in 16

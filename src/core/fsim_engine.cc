@@ -39,6 +39,22 @@ Status ValidateFSimConfig(const Graph& g1, const Graph& g2,
   if (config.num_threads < 1) {
     return Status::InvalidArgument("num_threads must be >= 1");
   }
+  if (config.active_set == ActiveSetMode::kTolerance &&
+      config.frontier_tolerance <= 0.0) {
+    return Status::InvalidArgument(
+        "tolerance-mode active-set iteration needs a positive "
+        "frontier_tolerance");
+  }
+  if (config.frontier_density_threshold < 0.0 ||
+      config.frontier_density_threshold > 1.0) {
+    return Status::InvalidArgument(
+        "frontier_density_threshold must be in [0, 1]");
+  }
+  if (config.active_set_activation_fraction < 0.0 ||
+      config.active_set_activation_fraction > 1.0) {
+    return Status::InvalidArgument(
+        "active_set_activation_fraction must be in [0, 1]");
+  }
   if (config.pin_diagonal && &g1 != &g2 && g1.NumNodes() != g2.NumNodes()) {
     return Status::InvalidArgument(
         "pin_diagonal requires a self-similarity run");
@@ -72,26 +88,38 @@ Result<FSimScores> ComputeFSim(const Graph& g1, const Graph& g2,
   stats.build_seconds = build_timer.Seconds();
 
   const uint32_t max_iters = FSimIterationBound(config);
-  const uint32_t num_threads = static_cast<uint32_t>(config.num_threads);
   const PairEvaluator evaluator(g1, g2, config, lsim, store);
 
   Timer iterate_timer;
-  std::vector<MatchingScratch> scratch(num_threads);
-  std::vector<WorkerMaxDelta> worker_delta(num_threads);
+  ActiveSetDriver driver(pool, store, evaluator, g1, g2, config);
+  stats.active_set = driver.active();
+  // Pre-reserve the iteration-indexed telemetry: the hard bound is known up
+  // front, so the hot loop never reallocates mid-iteration.
+  if (config.record_delta_history) stats.delta_history.reserve(max_iters);
+  if (driver.active()) stats.active_pairs_history.reserve(max_iters);
 
   for (uint32_t iter = 1; iter <= max_iters; ++iter) {
-    const double max_delta =
-        RunIterateSweep(pool, store, evaluator, scratch, worker_delta);
-    store.SwapBuffers();
+    const double max_delta = driver.Step();
     stats.iterations = iter;
     stats.final_delta = max_delta;
     if (config.record_delta_history) stats.delta_history.push_back(max_delta);
+    if (driver.active()) {
+      stats.active_pairs_history.push_back(driver.last_evaluated());
+    }
     if (max_delta < config.epsilon) {
       stats.converged = true;
       break;
     }
   }
   stats.iterate_seconds = iterate_timer.Seconds();
+  stats.frontier_build_seconds = driver.frontier_build_seconds();
+  stats.full_sweep_iterations = driver.full_sweeps();
+  if (driver.active() && stats.iterations > 0 && store.size() > 0) {
+    stats.frozen_fraction =
+        1.0 - static_cast<double>(driver.total_evaluated()) /
+                  (static_cast<double>(stats.iterations) *
+                   static_cast<double>(store.size()));
+  }
 
   return FSimScores(store.TakeKeys(), store.TakeScores(), store.TakeIndex(),
                     std::move(stats));

@@ -41,6 +41,23 @@ struct FSimStats {
   /// FSimConfig::record_delta_history is set (Theorem 1: strictly
   /// decreasing).
   std::vector<double> delta_history;
+  /// True when the iterate loop ran under active-set scheduling
+  /// (FSimConfig::active_set != kOff and the CSR neighbor index present).
+  bool active_set = false;
+  /// Pairs evaluated per iteration under active-set scheduling (the first
+  /// entry is the full maintained-pair count; later entries shrink as
+  /// pairs freeze). Empty when active_set is false.
+  std::vector<size_t> active_pairs_history;
+  /// Fraction of the iterate loop's pair evaluations the active set
+  /// skipped: 1 - evaluated / (iterations * maintained_pairs). 0 when
+  /// active-set scheduling was off.
+  double frozen_fraction = 0.0;
+  /// Accumulated time spent building frontiers from the epoch-tagged dirty
+  /// stamps (part of iterate_seconds).
+  double frontier_build_seconds = 0.0;
+  /// Iterations that ran as full sweeps: the first one, plus every
+  /// frontier at or above FSimConfig::frontier_density_threshold.
+  uint32_t full_sweep_iterations = 0;
 };
 
 /// Immutable score container. Pairs are sorted (u-major), so all scores for

@@ -13,14 +13,11 @@ namespace fsim {
 
 namespace {
 
-/// The sharpened per-entry influence bound c / Ωχ(S1, S2) of one direction
-/// of a dependent pair (see PushDependents in the header). Clamped at 1 so
-/// it is never looser than the coarse "Ωχ >= 1" bound; 0 when the direction
-/// has an empty side (its span has no entries, so the factor is never read).
+/// The sharpened per-entry influence bound of one direction of a dependent
+/// pair (see PushDependents in the header) — the shared operators.h
+/// definition, kept under its historical local name.
 double InfluenceFactor(const OperatorConfig& op, size_t n1, size_t n2) {
-  if (n1 == 0 || n2 == 0) return 0.0;
-  const double c = op.mapping == MappingKind::kMaxBothSides ? 2.0 : 1.0;
-  return std::min(1.0, c / OmegaValue(op.omega, n1, n2));
+  return PairInfluenceFactor(op, n1, n2);
 }
 
 }  // namespace
@@ -168,25 +165,179 @@ double IncrementalFSim::EvaluateDirty(size_t i, uint8_t dirty) {
 }
 
 void IncrementalFSim::SolveFull() {
-  // Synchronous Jacobi sweeps as in ComputeFSim. The single score table is
-  // double-buffered locally; after the loop one extra recording sweep
-  // re-establishes the cache invariant (values_ = combine(caches) with the
-  // caches computed against the pre-swap table) and its residual decides
-  // convergence — it only shrinks under the contraction, so the extra sweep
-  // never loosens the epsilon guarantee.
-  std::vector<double> next(values_.size());
+  // Synchronous Jacobi sweeps as in ComputeFSim, with the same delta-driven
+  // active-set scheduling when config_.active_set asks for it and the
+  // maintained index is live (the serving layer's RefreshDriver passes its
+  // FSimConfig straight through, so a warm-started service's background
+  // initial solve freezes converged pairs exactly like the batch engine).
+  // The maintained index always materializes both direction spans, so the
+  // reverse-dependency walk works for single-direction configs too. After
+  // the loop one extra *full* recording sweep re-establishes the cache
+  // invariant (values_ = combine(caches) with the caches computed against
+  // the pre-swap table) and its residual decides convergence — it only
+  // shrinks under the contraction, so the extra sweep never loosens the
+  // epsilon guarantee, and it also washes out any tolerance-mode
+  // frontier slack beyond the documented τ-style bound.
+  const size_t n = keys_.size();
+  std::vector<double> next(n);
   const uint32_t max_iters = FSimIterationBound(config_);
-  for (uint32_t iter = 1; iter <= max_iters; ++iter) {
-    double max_delta = 0.0;
-    for (size_t i = 0; i < keys_.size(); ++i) {
-      next[i] = EvaluateDirty(i, kDirtyOut | kDirtyIn);
-      max_delta = std::max(max_delta, std::abs(next[i] - values_[i]));
+  // Reverse-dependency soundness (see ActiveSetDriver::ReverseDepScheme):
+  // in-lists must be the transpose of the out-lists, or — the AsUndirected
+  // adaptation — empty with symmetric out-lists, in which case the
+  // out-span is its own dependent list.
+  auto total_in = [](const DynamicGraph& g) {
+    size_t total = 0;
+    for (NodeId u = 0; u < g.NumNodes(); ++u) total += g.InDegree(u);
+    return total;
+  };
+  const size_t in1 = total_in(g1_);
+  const size_t in2 = total_in(g2_);
+  const bool transpose =
+      in1 == g1_.NumEdges() && in2 == g2_.NumEdges();
+  const bool symmetric_out = in1 == 0 && in2 == 0;
+  const bool active = config_.active_set != ActiveSetMode::kOff &&
+                      nbr_index_.enabled() &&
+                      config_.w_out + config_.w_in > 0.0 &&
+                      (transpose || symmetric_out);
+  const bool tolerance_mode =
+      active && config_.active_set == ActiveSetMode::kTolerance;
+  const double tol = config_.frontier_tolerance;
+  // The maintained index skips pinned diagonal spans, so the init -> 1 snap
+  // of the first sweep cannot notify its dependents through them; a second
+  // unconditional full sweep absorbs it (diagonals never change again).
+  const uint32_t initial_full_sweeps = config_.pin_diagonal ? 2 : 1;
+  // Marking deferral, as in ActiveSetDriver: pay for the reverse span walk
+  // only once enough pairs look freezable, and keep marking from then on.
+  bool marking = active && config_.active_set_activation_fraction == 0.0;
+  bool can_build_frontier = false;
+
+  std::vector<uint32_t> stamp;   // exact mode: epoch-tagged dirty marks
+  std::vector<double> carry;     // tolerance mode: accumulated influence
+  std::vector<uint32_t> frontier;
+  std::vector<double> fresh;
+  if (active) {
+    stamp.assign(n, 0);
+    if (tolerance_mode) carry.assign(n, 0.0);
+  }
+
+  auto mark_dependents = [&](size_t i, double delta, uint32_t epoch) {
+    // No IsPrunedRef guard needed here: Create rejects upper_bound
+    // configs, so the maintained index never contains tagged refs.
+    auto mark = [&](std::span<const NeighborRef> refs, double base,
+                    const std::vector<double>& factor) {
+      for (const NeighborRef& e : refs) {
+        if (tolerance_mode) {
+          carry[e.ref] += base * factor[e.ref];
+        } else {
+          stamp[e.ref] = epoch;
+        }
+      }
+    };
+    if (symmetric_out) {
+      // Undirected adaptation: the out-span is its own dependent list; the
+      // in-direction reads empty sets everywhere and never changes.
+      if (config_.w_out > 0.0) {
+        mark(nbr_index_.Refs(i, IncrementalNeighborIndex::kOut),
+             config_.w_out * delta, influence_factor_out_);
+      }
+      return;
     }
-    values_.swap(next);
+    if (config_.w_out > 0.0) {
+      mark(nbr_index_.Refs(i, IncrementalNeighborIndex::kIn),
+           config_.w_out * delta, influence_factor_out_);
+    }
+    if (config_.w_in > 0.0) {
+      mark(nbr_index_.Refs(i, IncrementalNeighborIndex::kOut),
+           config_.w_in * delta, influence_factor_in_);
+    }
+  };
+  auto build_frontier = [&](uint32_t epoch) {
+    frontier.clear();
+    if (tolerance_mode) {
+      for (size_t j = 0; j < n; ++j) {
+        if (carry[j] > tol) {
+          frontier.push_back(static_cast<uint32_t>(j));
+          carry[j] = 0.0;
+        }
+      }
+    } else {
+      for (size_t j = 0; j < n; ++j) {
+        if (stamp[j] == epoch) frontier.push_back(static_cast<uint32_t>(j));
+      }
+    }
+  };
+
+  uint32_t epoch = 0;
+  for (uint32_t iter = 1; iter <= max_iters; ++iter) {
+    const bool full =
+        !active || !can_build_frontier || iter <= initial_full_sweeps ||
+        static_cast<double>(frontier.size()) >=
+            config_.frontier_density_threshold * static_cast<double>(n);
+    ++epoch;
+    double max_delta = 0.0;
+    size_t evaluated = 0;
+    size_t freeze_signal = 0;   // tolerance: sub-tol deltas
+    uint64_t dep_bound = 0;     // exact: changed pairs' dependent cover
+    auto absorb = [&](size_t i, double value) {
+      const double delta = std::abs(value - values_[i]);
+      max_delta = std::max(max_delta, delta);
+      if (tolerance_mode && delta <= tol) ++freeze_signal;
+      if (delta != 0.0) {
+        if (marking) {
+          mark_dependents(i, delta, epoch);
+        } else if (!tolerance_mode) {
+          dep_bound += nbr_index_.Refs(i, IncrementalNeighborIndex::kOut).size() +
+                       nbr_index_.Refs(i, IncrementalNeighborIndex::kIn).size();
+        }
+      }
+    };
+    if (full) {
+      for (size_t i = 0; i < n; ++i) {
+        next[i] = EvaluateDirty(i, kDirtyOut | kDirtyIn);
+      }
+      // The full evaluation absorbs all pending influence; only this
+      // sweep's fresh marks may carry forward.
+      if (tolerance_mode && marking) std::fill(carry.begin(), carry.end(), 0.0);
+      for (size_t i = 0; i < n; ++i) absorb(i, next[i]);
+      values_.swap(next);
+      evaluated = n;
+    } else {
+      // Two phases keep the Jacobi semantics (every evaluation reads the
+      // pre-sweep table); frozen pairs carry their value in place.
+      fresh.resize(frontier.size());
+      for (size_t k = 0; k < frontier.size(); ++k) {
+        fresh[k] = EvaluateDirty(frontier[k], kDirtyOut | kDirtyIn);
+      }
+      for (size_t k = 0; k < frontier.size(); ++k) {
+        absorb(frontier[k], fresh[k]);
+        values_[frontier[k]] = fresh[k];
+      }
+      evaluated = frontier.size();
+    }
+    if (marking) build_frontier(epoch);
+    can_build_frontier = marking;
+    if (active && !marking) {
+      // Same activation signals as ActiveSetDriver: exact mode watches the
+      // changed pairs' dependent cover, tolerance the sub-tol fraction
+      // (gated on enough skippable pairs to beat the density threshold).
+      if (tolerance_mode) {
+        const double needed =
+            std::max(config_.active_set_activation_fraction *
+                         static_cast<double>(evaluated),
+                     (1.0 - config_.frontier_density_threshold) *
+                         static_cast<double>(n));
+        marking = static_cast<double>(freeze_signal) >= needed;
+      } else {
+        marking = static_cast<double>(dep_bound) <=
+                  (1.0 - config_.active_set_activation_fraction) *
+                      static_cast<double>(n);
+      }
+    }
     if (max_delta < config_.epsilon) break;
   }
+
   double max_delta = 0.0;
-  for (size_t i = 0; i < keys_.size(); ++i) {
+  for (size_t i = 0; i < n; ++i) {
     next[i] = EvaluateDirty(i, kDirtyOut | kDirtyIn);
     max_delta = std::max(max_delta, std::abs(next[i] - values_[i]));
   }

@@ -179,7 +179,11 @@ class IncrementalFSim {
   /// `dirty` and reusing the cached scores for the rest.
   double EvaluateDirty(size_t i, uint8_t dirty);
 
-  /// Runs synchronous sweeps to convergence (the initial solve).
+  /// Runs synchronous sweeps to convergence (the initial solve). Honors
+  /// FSimConfig::active_set: with the maintained index live, sweeps after
+  /// the first evaluate only the pairs with changed inputs (the batch
+  /// engines' delta-driven frontier, serially), so the serving layer's
+  /// warm-start background solve inherits the frozen-pair skipping.
   void SolveFull();
 
   /// Chaotic iteration from the seeded worklist until quiescent.

@@ -44,6 +44,13 @@ struct NeighborRef {
 /// upper-bound table instead of the maintained score array.
 inline constexpr uint32_t kNeighborRefPrunedTag = 0x80000000u;
 
+/// True when `ref` points into the pruned upper-bound side table. Pruned
+/// pairs are never re-evaluated and their bounds never change, so the
+/// active-set frontier marking skips tagged refs outright.
+inline constexpr bool IsPrunedRef(uint32_t ref) {
+  return (ref & kNeighborRefPrunedTag) != 0;
+}
+
 /// 8-byte packed variant of NeighborRef for degree-bounded graphs: when
 /// every relevant neighbor-list position fits in 16 bits, row/col shrink to
 /// uint16_t, halving the index memory and doubling the entries per cache
@@ -117,6 +124,22 @@ inline double OmegaValue(OmegaKind kind, size_t n1, size_t n2) {
       return static_cast<double>(n1) * static_cast<double>(n2);
   }
   return 0.0;
+}
+
+/// The sharpened per-entry influence bound c / Ωχ(S1, S2) of one direction:
+/// a change of magnitude delta in one input entry moves the direction's
+/// normalized sum by at most c · delta / Ωχ (the mapping operators are
+/// 1-Lipschitz per entry; c = 2 for the both-sides mapping, whose entries
+/// feed a row and a column maximum). Clamped at 1 so it is never looser
+/// than the coarse "Ωχ >= 1" bound; 0 when the direction has an empty side
+/// (its span has no entries, so the factor is never read). Shared by the
+/// incremental engine's worklist pushes and the batch engines'
+/// tolerance-mode frontier marking.
+inline double PairInfluenceFactor(const OperatorConfig& op, size_t n1,
+                                  size_t n2) {
+  if (n1 == 0 || n2 == 0) return 0.0;
+  const double c = op.mapping == MappingKind::kMaxBothSides ? 2.0 : 1.0;
+  return std::min(1.0, c / OmegaValue(op.omega, n1, n2));
 }
 
 namespace internal {

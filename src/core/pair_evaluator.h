@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "common/thread_pool.h"
+#include "common/timer.h"
 #include "core/fsim_config.h"
 #include "core/init_value.h"
 #include "core/operators.h"
@@ -122,35 +123,333 @@ struct alignas(64) WorkerMaxDelta {
   double value = 0.0;
 };
 
-/// One synchronous Jacobi sweep of Algorithm 1: evaluates every maintained
-/// pair against the previous-iteration buffer, writes the current buffer,
-/// and returns max |FSim^k - FSim^{k-1}|. The caller owns the per-worker
-/// scratch/delta vectors (sized to the pool's thread count) and the
-/// SwapBuffers that follows. Chunks of 64 pairs balance skewed neighborhood
-/// sizes against chunk-handoff cost.
-inline double RunIterateSweep(ThreadPool& pool, PairStore& store,
-                              const PairEvaluator& evaluator,
-                              std::vector<MatchingScratch>& scratch,
-                              std::vector<WorkerMaxDelta>& worker_delta) {
-  constexpr size_t kIterateGrain = 64;
-  for (auto& d : worker_delta) d.value = 0.0;
-  pool.ParallelForChunked(
-      store.size(), kIterateGrain, [&](int worker, size_t begin, size_t end) {
-        MatchingScratch* worker_scratch = &scratch[worker];
-        double local_delta = 0.0;
-        for (size_t i = begin; i < end; ++i) {
-          const double value = evaluator.Evaluate(i, worker_scratch);
-          store.set_curr(i, value);
-          local_delta = std::max(local_delta, std::abs(value - store.prev(i)));
+/// Delta-driven active-set scheduling of the Algorithm 1 iterate loop,
+/// shared by ComputeFSim and ComputeTopKPairs (docs/performance.md
+/// "Active-set iteration"). Each Step() runs one synchronous Jacobi
+/// iteration and leaves the store's previous-score buffer holding the
+/// complete new state:
+///
+///  * The first iteration (and every iteration with the active set off or
+///    the CSR index absent) is a plain full sweep over all maintained
+///    pairs, followed by an O(1) SwapBuffers.
+///  * While sweeping, workers stamp the dependents of every changed pair
+///    into their FrontierTracker arrays by walking the pair's own CSR
+///    spans in reverse: the refs of the in-span are exactly the pairs
+///    reading (u, v) through their out-direction, and vice versa (the same
+///    double duty the incremental engine's spans serve).
+///  * Later iterations evaluate only the built frontier and commit the
+///    evaluated entries into the previous buffer (selective forward copy);
+///    every frozen pair keeps its score for free. Frontiers at or above
+///    FSimConfig::frontier_density_threshold of the store fall back to a
+///    full sweep — dense frontiers are cheaper as sweeps.
+///
+/// In kExact mode a pair is skipped only when *none* of its inputs changed
+/// at all, which (with the deterministic operators) is provably
+/// bit-identical to running full sweeps: identical inputs produce the
+/// identical value, the observed max delta equals the true max delta
+/// (frozen pairs have exactly zero change), so scores, iteration count and
+/// convergence decision all coincide. kTolerance additionally skips pairs
+/// whose accumulated input influence — Σ w± · c/Ωχ · |Δ| with the
+/// sharpened per-pair factors of core/incremental.h — stays below
+/// frontier_tolerance, trading bounded error for fewer evaluations.
+class ActiveSetDriver {
+ public:
+  /// How a changed pair's dependents are found from its own spans.
+  enum class ReverseDepScheme {
+    /// In-lists are the transpose of out-lists (every GraphBuilder/IO
+    /// graph): dependents reading i through their out-direction are the
+    /// refs of i's in-span, and vice versa.
+    kTranspose,
+    /// The AsUndirected adaptation (§4.3: symmetric out-adjacency, empty
+    /// in-lists): u ∈ N+(x) ⟺ x ∈ N+(u), so the out-span is its own
+    /// dependent list; the in-direction reads empty sets everywhere and
+    /// never changes.
+    kSymmetricOut,
+  };
+
+  ActiveSetDriver(ThreadPool& pool, PairStore& store,
+                  const PairEvaluator& evaluator, const Graph& g1,
+                  const Graph& g2, const FSimConfig& config)
+      : pool_(pool),
+        store_(store),
+        evaluator_(evaluator),
+        config_(config),
+        scratch_(static_cast<size_t>(pool.num_threads())),
+        worker_stats_(static_cast<size_t>(pool.num_threads())) {
+    mode_ = ActiveSetMode::kOff;
+    if (store.has_neighbor_index() && store.reverse_spans() &&
+        config.w_out + config.w_in > 0.0) {
+      const bool transpose = g1.NumInEdges() == g1.NumEdges() &&
+                             g2.NumInEdges() == g2.NumEdges();
+      const bool symmetric_out =
+          g1.NumInEdges() == 0 && g2.NumInEdges() == 0;
+      if (transpose || symmetric_out) {
+        mode_ = config.active_set;
+        scheme_ = transpose ? ReverseDepScheme::kTranspose
+                            : ReverseDepScheme::kSymmetricOut;
+      }
+      // Neither shape (partially populated in-lists that are not the
+      // transpose) has no sound reverse walk; stay on full sweeps.
+    }
+    if (mode_ == ActiveSetMode::kTolerance) {
+      const OperatorConfig op = config.operators();
+      influence_out_.resize(store.size());
+      influence_in_.resize(store.size());
+      for (size_t i = 0; i < store.size(); ++i) {
+        const NodeId u = store.U(i);
+        const NodeId v = store.V(i);
+        influence_out_[i] = static_cast<float>(
+            PairInfluenceFactor(op, g1.OutDegree(u), g2.OutDegree(v)));
+        influence_in_[i] = static_cast<float>(
+            PairInfluenceFactor(op, g1.InDegree(u), g2.InDegree(v)));
+      }
+    }
+    if (mode_ != ActiveSetMode::kOff) {
+      tracker_.Init(store.size(), pool.num_threads(),
+                    mode_ == ActiveSetMode::kTolerance);
+      marking_ = config.active_set_activation_fraction == 0.0;
+    }
+  }
+
+  /// Runs one iteration (frontier or full sweep per the policy above) and
+  /// returns max |FSim^k - FSim^{k-1}| over the evaluated pairs — in exact
+  /// mode, exactly the full sweep's max delta.
+  double Step() {
+    ++iter_;
+    // A frontier is only sound when the *previous* sweep marked dependents
+    // (see marking_ below); density decides whether it is worth indirect
+    // evaluation.
+    bool full = true;
+    if (can_build_frontier_) {
+      Timer build_timer;
+      tracker_.BuildNext(pool_, config_.frontier_tolerance,
+                         last_was_full_sweep_, &frontier_);
+      frontier_build_seconds_ += build_timer.Seconds();
+      full = static_cast<double>(frontier_.size()) >=
+             config_.frontier_density_threshold *
+                 static_cast<double>(store_.size());
+    }
+    if (marking_) tracker_.BeginIteration();
+    for (auto& w : worker_stats_) w = WorkerSweepStats{};
+    constexpr size_t kIterateGrain = 64;
+    if (full) {
+      pool_.ParallelForChunked(
+          store_.size(), kIterateGrain,
+          [&](int worker, size_t begin, size_t end) {
+            MatchingScratch* scratch = &scratch_[worker];
+            WorkerSweepStats local;
+            for (size_t i = begin; i < end; ++i) {
+              EvaluatePair(worker, i, scratch, &local);
+            }
+            Fold(worker, local);
+          });
+      store_.SwapBuffers();
+      ++full_sweeps_;
+      last_evaluated_ = store_.size();
+    } else {
+      pool_.ParallelForSpan(
+          frontier_, kIterateGrain,
+          [&](int worker, std::span<const uint32_t> ids) {
+            MatchingScratch* scratch = &scratch_[worker];
+            WorkerSweepStats local;
+            for (uint32_t i : ids) EvaluatePair(worker, i, scratch, &local);
+            Fold(worker, local);
+          });
+      // Selective forward copy, after the sweep's last read of prev_
+      // (Jacobi semantics: every evaluation above saw the old state).
+      constexpr size_t kCommitGrain = 4096;
+      pool_.ParallelForChunked(
+          frontier_.size(), kCommitGrain,
+          [&](int /*worker*/, size_t begin, size_t end) {
+            for (size_t k = begin; k < end; ++k) {
+              store_.CommitPair(frontier_[k]);
+            }
+          });
+      last_evaluated_ = frontier_.size();
+    }
+    total_evaluated_ += last_evaluated_;
+    last_was_full_sweep_ = full;
+    double max_delta = 0.0;
+    size_t freeze_signal = 0;
+    uint64_t dep_bound = 0;
+    for (const auto& w : worker_stats_) {
+      max_delta = std::max(max_delta, w.max_delta);
+      freeze_signal += w.freeze_signal;
+      dep_bound += w.dep_bound;
+    }
+    // Marks from this sweep feed the next frontier; once the signal says a
+    // frontier would skip at least active_set_activation_fraction of the
+    // pairs, start paying for marking — and never stop, since a sparse
+    // sweep's skipped pairs depend on the marks staying complete. Exact
+    // mode predicts the frontier by the changed pairs' dependent cover;
+    // tolerance mode by the fraction of sub-tolerance deltas.
+    can_build_frontier_ = marking_;
+    if (mode_ != ActiveSetMode::kOff && !marking_) {
+      const double n = static_cast<double>(store_.size());
+      if (mode_ == ActiveSetMode::kExact) {
+        marking_ = static_cast<double>(dep_bound) <=
+                   (1.0 - config_.active_set_activation_fraction) * n;
+      } else {
+        // A frontier only beats a full sweep below the density threshold,
+        // which needs at least (1 - threshold) · n skippable pairs — so
+        // wait for that many sub-tolerance deltas before paying for marks.
+        const double needed =
+            std::max(config_.active_set_activation_fraction *
+                         static_cast<double>(last_evaluated_),
+                     (1.0 - config_.frontier_density_threshold) * n);
+        marking_ = static_cast<double>(freeze_signal) >= needed;
+      }
+    }
+    return max_delta;
+  }
+
+  /// True when active-set scheduling is engaged (mode != kOff and the CSR
+  /// neighbor index was materialized).
+  bool active() const { return mode_ != ActiveSetMode::kOff; }
+  /// Pairs evaluated by the most recent Step.
+  size_t last_evaluated() const { return last_evaluated_; }
+  /// Pairs evaluated across all Steps so far.
+  size_t total_evaluated() const { return total_evaluated_; }
+  /// Iterations that ran as full sweeps (the first, plus density
+  /// fallbacks).
+  uint32_t full_sweeps() const { return full_sweeps_; }
+  /// Accumulated frontier-construction time.
+  double frontier_build_seconds() const { return frontier_build_seconds_; }
+
+ private:
+  /// Cache-line-padded per-worker sweep accumulators.
+  struct alignas(64) WorkerSweepStats {
+    double max_delta = 0.0;
+    /// Tolerance mode, while marking is deferred: pairs with
+    /// delta <= frontier_tolerance (their outgoing influence is near the
+    /// skip threshold, so frontiers are about to shrink).
+    size_t freeze_signal = 0;
+    /// Exact mode, while marking is deferred: Σ RefSpanTotal over changed
+    /// pairs — an upper bound on the next frontier's size. Zero-delta
+    /// counts are useless here: a pair whose value sits still can still
+    /// have changed inputs, so only a small *dependent cover* predicts a
+    /// shrinking frontier.
+    uint64_t dep_bound = 0;
+  };
+
+  void Fold(int worker, const WorkerSweepStats& local) {
+    if (local.max_delta > worker_stats_[worker].max_delta) {
+      worker_stats_[worker].max_delta = local.max_delta;
+    }
+    worker_stats_[worker].freeze_signal += local.freeze_signal;
+    worker_stats_[worker].dep_bound += local.dep_bound;
+  }
+
+  /// Evaluates pair i, records it, and (once marking is active) marks its
+  /// dependents when changed.
+  void EvaluatePair(int worker, size_t i, MatchingScratch* scratch,
+                    WorkerSweepStats* local) {
+    const double value = evaluator_.Evaluate(i, scratch);
+    store_.set_curr(i, value);
+    const double delta = std::abs(value - store_.prev(i));
+    if (delta > local->max_delta) local->max_delta = delta;
+    if (mode_ == ActiveSetMode::kExact) {
+      if (delta != 0.0) {
+        if (marking_) {
+          MarkDependents<false>(worker, i, delta);
+        } else {
+          local->dep_bound += store_.RefSpanTotal(i);
         }
-        if (local_delta > worker_delta[worker].value) {
-          worker_delta[worker].value = local_delta;
+      }
+    } else if (mode_ == ActiveSetMode::kTolerance) {
+      if (delta <= config_.frontier_tolerance) ++local->freeze_signal;
+      if (delta != 0.0 && marking_) MarkDependents<true>(worker, i, delta);
+    }
+  }
+
+  /// Stamps the pairs whose next evaluation reads pair i: the refs of i's
+  /// in-span (their out-direction consumes i) and of i's out-span (their
+  /// in-direction does). Pruned-table refs never re-evaluate and are
+  /// skipped; a zero-weight direction contributes nothing to any dependent
+  /// and is skipped with it.
+  template <bool kTolerance>
+  void MarkDependents(int worker, size_t i, double delta) {
+    const uint32_t epoch = tracker_.epoch();
+    // Exact mode stamps the shared atomic array (all writers store the
+    // same epoch, so relaxed order suffices); tolerance mode accumulates
+    // per-worker influence next to a private stamp.
+    uint32_t* stamp = kTolerance ? tracker_.stamps(worker) : nullptr;
+    float* inf = kTolerance ? tracker_.influence(worker) : nullptr;
+    std::atomic<uint32_t>* shared =
+        kTolerance ? nullptr : tracker_.shared_stamps();
+    auto mark_span = [&](auto refs, double base, const float* factor) {
+      for (const auto& e : refs) {
+        const uint32_t r = e.ref;
+        if (IsPrunedRef(r)) continue;
+        if constexpr (kTolerance) {
+          const float x = static_cast<float>(base * factor[r]);
+          if (stamp[r] != epoch) {
+            stamp[r] = epoch;
+            inf[r] = x;
+          } else {
+            inf[r] += x;
+          }
+        } else {
+          shared[r].store(epoch, std::memory_order_relaxed);
         }
-      });
-  double max_delta = 0.0;
-  for (const auto& d : worker_delta) max_delta = std::max(max_delta, d.value);
-  return max_delta;
-}
+      }
+    };
+    const double base_out = config_.w_out * delta;
+    const double base_in = config_.w_in * delta;
+    if (scheme_ == ReverseDepScheme::kSymmetricOut) {
+      // Symmetric out-adjacency: the out-span is its own dependent list,
+      // and the in-direction (empty sets everywhere) never changes.
+      if (config_.w_out > 0.0) {
+        if (store_.packed_refs()) {
+          mark_span(store_.OutRefsPacked(i), base_out, influence_out_.data());
+        } else {
+          mark_span(store_.OutRefs(i), base_out, influence_out_.data());
+        }
+      }
+      return;
+    }
+    if (store_.packed_refs()) {
+      if (config_.w_out > 0.0) {
+        mark_span(store_.InRefsPacked(i), base_out, influence_out_.data());
+      }
+      if (config_.w_in > 0.0) {
+        mark_span(store_.OutRefsPacked(i), base_in, influence_in_.data());
+      }
+    } else {
+      if (config_.w_out > 0.0) {
+        mark_span(store_.InRefs(i), base_out, influence_out_.data());
+      }
+      if (config_.w_in > 0.0) {
+        mark_span(store_.OutRefs(i), base_in, influence_in_.data());
+      }
+    }
+  }
+
+  ThreadPool& pool_;
+  PairStore& store_;
+  const PairEvaluator& evaluator_;
+  const FSimConfig& config_;
+  ActiveSetMode mode_;
+  ReverseDepScheme scheme_ = ReverseDepScheme::kTranspose;
+  /// Dependent marking engaged (see active_set_activation_fraction).
+  bool marking_ = false;
+  /// The previous sweep marked, so its stamps form a complete frontier.
+  bool can_build_frontier_ = false;
+  /// The previous sweep evaluated every pair (tolerance-mode carries from
+  /// before it are absorbed).
+  bool last_was_full_sweep_ = false;
+  FrontierTracker tracker_;
+  std::vector<uint32_t> frontier_;
+  std::vector<float> influence_out_;  // kTolerance: per-pair c/Ωχ factors
+  std::vector<float> influence_in_;
+  std::vector<MatchingScratch> scratch_;
+  std::vector<WorkerSweepStats> worker_stats_;
+  uint32_t iter_ = 0;
+  uint32_t full_sweeps_ = 0;
+  size_t last_evaluated_ = 0;
+  size_t total_evaluated_ = 0;
+  double frontier_build_seconds_ = 0.0;
+};
 
 }  // namespace fsim
 

@@ -149,55 +149,92 @@ void PairStore::BuildNeighborIndex(const Graph& g1, const Graph& g2,
     return;
   }
 
-  const bool use_out = config.w_out > 0.0;
-  const bool use_in = config.w_in > 0.0;
-
+  // With the active set engaged, a direction's span is also materialized
+  // when only the *opposite* weight is nonzero (it is then never evaluated
+  // but serves as the reverse-dependency list for frontier marking), and
+  // pinned diagonal spans are kept so their first-sweep init -> 1 snap can
+  // notify dependents. See the OutRefs comment in the header.
+  struct SpanPlan {
+    bool use_out;
+    bool use_in;
+    bool skip_diagonal;
+  };
+  auto plan_for = [&](bool active_spans) {
+    return SpanPlan{
+        config.w_out > 0.0 || (active_spans && config.w_in > 0.0),
+        config.w_in > 0.0 || (active_spans && config.w_out > 0.0),
+        config.pin_diagonal && !active_spans};
+  };
   // Entry layout: the packed 8-byte NeighborRef when every row/col fits in
   // 16 bits; positions inside a neighbor list run 0..deg-1, so a direction
   // packs while its max degree is <= 65536. The 12-byte layout otherwise.
   constexpr size_t kPackedDegreeLimit = 0x10000;
-  const bool packed = config.use_packed_neighbor_refs &&
-                      (!use_out || (g1.MaxOutDegree() <= kPackedDegreeLimit &&
-                                    g2.MaxOutDegree() <= kPackedDegreeLimit)) &&
-                      (!use_in || (g1.MaxInDegree() <= kPackedDegreeLimit &&
-                                   g2.MaxInDegree() <= kPackedDegreeLimit));
-
-  // Budget check against the pre-filter upper bound Σ |N±(u)|·|N±(v)|
-  // (compatibility filtering only shrinks it, so fitting the bound
-  // guarantees fitting the index). The one-pass build transiently stages
-  // the classified entries once more, so its peak usage can reach twice the
-  // final footprint; when that doubled bound would blow the budget but the
-  // index itself fits, the bounded count-then-fill build is used instead,
-  // capping peak build memory at the final footprint.
-  uint64_t max_entries = 0;
-  for (uint64_t key : keys_) {
-    const NodeId u = PairFirst(key);
-    const NodeId v = PairSecond(key);
-    if (config.pin_diagonal && u == v) continue;
-    if (use_out) {
-      max_entries += static_cast<uint64_t>(g1.OutDegree(u)) * g2.OutDegree(v);
+  auto packed_for = [&](const SpanPlan& p) {
+    return config.use_packed_neighbor_refs &&
+           (!p.use_out || (g1.MaxOutDegree() <= kPackedDegreeLimit &&
+                           g2.MaxOutDegree() <= kPackedDegreeLimit)) &&
+           (!p.use_in || (g1.MaxInDegree() <= kPackedDegreeLimit &&
+                          g2.MaxInDegree() <= kPackedDegreeLimit));
+  };
+  // The pre-filter upper bound Σ |N±(u)|·|N±(v)| (compatibility filtering
+  // only shrinks it, so fitting the bound guarantees fitting the index).
+  auto max_entries_for = [&](const SpanPlan& p) {
+    uint64_t max_entries = 0;
+    for (uint64_t key : keys_) {
+      const NodeId u = PairFirst(key);
+      const NodeId v = PairSecond(key);
+      if (p.skip_diagonal && u == v) continue;
+      if (p.use_out) {
+        max_entries +=
+            static_cast<uint64_t>(g1.OutDegree(u)) * g2.OutDegree(v);
+      }
+      if (p.use_in) {
+        max_entries += static_cast<uint64_t>(g1.InDegree(u)) * g2.InDegree(v);
+      }
     }
-    if (use_in) {
-      max_entries += static_cast<uint64_t>(g1.InDegree(u)) * g2.InDegree(v);
-    }
-  }
-  const uint64_t entry_bytes =
-      packed ? sizeof(PackedNeighborRef) : sizeof(NeighborRef);
+    return max_entries;
+  };
   const uint64_t offsets_bytes = (2 * n + 1) * sizeof(uint64_t);
-  if (max_entries * entry_bytes + offsets_bytes >
-      config.neighbor_index_budget_bytes) {
-    return;
+  auto entry_bytes_for = [&](const SpanPlan& p) {
+    return packed_for(p) ? sizeof(PackedNeighborRef) : sizeof(NeighborRef);
+  };
+  auto fits = [&](const SpanPlan& p, uint64_t max_entries) {
+    return max_entries * entry_bytes_for(p) + offsets_bytes <=
+           config.neighbor_index_budget_bytes;
+  };
+
+  // Prefer the widened layout the active set needs; if only the widening
+  // blows the budget (single-direction configs double their entry count),
+  // fall back to the evaluation-only index — the driver then runs full
+  // sweeps (reverse_spans() false), which still beats losing the index.
+  bool active_spans = config.active_set != ActiveSetMode::kOff;
+  SpanPlan plan = plan_for(active_spans);
+  uint64_t max_entries = max_entries_for(plan);
+  if (active_spans && !fits(plan, max_entries)) {
+    active_spans = false;
+    plan = plan_for(false);
+    max_entries = max_entries_for(plan);
   }
+  if (!fits(plan, max_entries)) return;
+  // The one-pass build transiently stages the classified entries once
+  // more, so its peak usage can reach twice the final footprint; when the
+  // doubled bound would blow the budget but the index itself fits, the
+  // bounded count-then-fill build caps peak memory at the final footprint.
+  const bool packed = packed_for(plan);
+  const uint64_t entry_bytes = entry_bytes_for(plan);
   const bool bounded = 2 * max_entries * entry_bytes + offsets_bytes >
                        config.neighbor_index_budget_bytes;
 
   if (packed) {
-    FillNeighborRefs(g1, g2, config, lsim, pool, bounded, &nbr_refs_packed_);
+    FillNeighborRefs(g1, g2, config, lsim, pool, bounded, active_spans,
+                     &nbr_refs_packed_);
   } else {
-    FillNeighborRefs(g1, g2, config, lsim, pool, bounded, &nbr_refs_);
+    FillNeighborRefs(g1, g2, config, lsim, pool, bounded, active_spans,
+                     &nbr_refs_);
   }
   info_.bounded_staging_build = bounded;
   packed_refs_ = packed;
+  reverse_spans_ = active_spans;
   has_neighbor_index_ = true;
 }
 
@@ -206,10 +243,13 @@ void PairStore::FillNeighborRefs(const Graph& g1, const Graph& g2,
                                  const FSimConfig& config,
                                  const LabelSimilarityCache& lsim,
                                  ThreadPool* pool, bool bounded_staging,
-                                 std::vector<Ref>* refs) {
+                                 bool active_spans, std::vector<Ref>* refs) {
   const size_t n = keys_.size();
-  const bool use_out = config.w_out > 0.0;
-  const bool use_in = config.w_in > 0.0;
+  const bool use_out =
+      config.w_out > 0.0 || (active_spans && config.w_in > 0.0);
+  const bool use_in =
+      config.w_in > 0.0 || (active_spans && config.w_out > 0.0);
+  const bool skip_diagonal = config.pin_diagonal && !active_spans;
   const double theta = config.theta;
   const bool need_compat = theta > 0.0;
   const double alpha = config.upper_bound ? config.alpha : 0.0;
@@ -266,7 +306,7 @@ void PairStore::FillNeighborRefs(const Graph& g1, const Graph& g2,
       for (size_t i = begin; i < end; ++i) {
         const NodeId u = PairFirst(keys_[i]);
         const NodeId v = PairSecond(keys_[i]);
-        if (config.pin_diagonal && u == v) continue;
+        if (skip_diagonal && u == v) continue;
         if (use_out) {
           nbr_offsets_[2 * i + 1] =
               count_direction(g1.OutNeighbors(u), g2.OutNeighbors(v));
@@ -299,7 +339,7 @@ void PairStore::FillNeighborRefs(const Graph& g1, const Graph& g2,
       for (size_t i = begin; i < end; ++i) {
         const NodeId u = PairFirst(keys_[i]);
         const NodeId v = PairSecond(keys_[i]);
-        if (config.pin_diagonal && u == v) continue;
+        if (skip_diagonal && u == v) continue;
         if (use_out) {
           const uint64_t filled = fill_direction(
               g1.OutNeighbors(u), g2.OutNeighbors(v), nbr_offsets_[2 * i]);
@@ -348,7 +388,7 @@ void PairStore::FillNeighborRefs(const Graph& g1, const Graph& g2,
     for (size_t i = begin; i < end; ++i) {
       const NodeId u = PairFirst(keys_[i]);
       const NodeId v = PairSecond(keys_[i]);
-      if (config.pin_diagonal && u == v) continue;
+      if (skip_diagonal && u == v) continue;
       if (use_out) {
         nbr_offsets_[2 * i + 1] =
             stage_direction(g1.OutNeighbors(u), g2.OutNeighbors(v), &buf);
@@ -387,6 +427,87 @@ void PairStore::FillNeighborRefs(const Graph& g1, const Graph& g2,
                   dst + staged[chunk].size() ==
                       nbr_offsets_[2 * std::min((chunk + 1) * kBuildGrain, n)]);
       staged[chunk] = std::vector<Ref>();  // release while others copy
+    }
+  });
+}
+
+void FrontierTracker::Init(size_t num_pairs, int num_workers,
+                           bool tolerance) {
+  num_pairs_ = num_pairs;
+  tolerance_ = tolerance;
+  epoch_ = 0;
+  if (tolerance) {
+    stamps_.assign(static_cast<size_t>(num_workers),
+                   std::vector<uint32_t>(num_pairs, 0));
+    influence_.assign(static_cast<size_t>(num_workers),
+                      std::vector<float>(num_pairs, 0.0f));
+    carry_.assign(num_pairs, 0.0);
+  } else {
+    // Value-initialized to epoch 0 (< the first BeginIteration's epoch).
+    shared_stamps_ =
+        std::make_unique<std::atomic<uint32_t>[]>(num_pairs);
+  }
+}
+
+void FrontierTracker::BuildNext(ThreadPool& pool, double tolerance,
+                                bool previous_sweep_was_full,
+                                std::vector<uint32_t>* frontier) {
+  const size_t n = num_pairs_;
+  // 4096-pair scan chunks: coarse enough that the two-pass offsets stay
+  // tiny, fine enough to balance across workers.
+  constexpr size_t kScanGrain = 4096;
+  const size_t num_chunks = (n + kScanGrain - 1) / kScanGrain;
+  chunk_offsets_.assign(num_chunks + 1, 0);
+  const uint32_t epoch = epoch_;
+  const size_t workers = stamps_.size();
+
+  // Pass 1: per-chunk counts. Exact mode reads the one shared stamp
+  // array; tolerance mode collapses the per-worker influence sums into
+  // the cross-iteration carry_ accumulator so the fill pass reads one
+  // array. Chunks partition the pair range, so carry_ writes are
+  // race-free.
+  pool.ParallelForChunked(n, kScanGrain, [&](int, size_t begin, size_t end) {
+    uint32_t count = 0;
+    if (!tolerance_) {
+      const std::atomic<uint32_t>* stamps = shared_stamps_.get();
+      for (size_t j = begin; j < end; ++j) {
+        if (stamps[j].load(std::memory_order_relaxed) == epoch) ++count;
+      }
+    } else {
+      for (size_t j = begin; j < end; ++j) {
+        double sum = previous_sweep_was_full ? 0.0 : carry_[j];
+        for (size_t w = 0; w < workers; ++w) {
+          if (stamps_[w][j] == epoch) sum += influence_[w][j];
+        }
+        carry_[j] = sum;
+        if (sum > tolerance) ++count;
+      }
+    }
+    chunk_offsets_[begin / kScanGrain + 1] = count;
+  });
+  for (size_t c = 1; c <= num_chunks; ++c) {
+    chunk_offsets_[c] += chunk_offsets_[c - 1];
+  }
+
+  // Pass 2: fill each chunk's slice; evaluated pairs reset their carried
+  // influence (their next evaluation starts from a clean slate).
+  frontier->resize(num_chunks == 0 ? 0 : chunk_offsets_[num_chunks]);
+  pool.ParallelForChunked(n, kScanGrain, [&](int, size_t begin, size_t end) {
+    uint32_t pos = chunk_offsets_[begin / kScanGrain];
+    if (!tolerance_) {
+      const std::atomic<uint32_t>* stamps = shared_stamps_.get();
+      for (size_t j = begin; j < end; ++j) {
+        if (stamps[j].load(std::memory_order_relaxed) == epoch) {
+          (*frontier)[pos++] = static_cast<uint32_t>(j);
+        }
+      }
+    } else {
+      for (size_t j = begin; j < end; ++j) {
+        if (carry_[j] > tolerance) {
+          (*frontier)[pos++] = static_cast<uint32_t>(j);
+          carry_[j] = 0.0;
+        }
+      }
     }
   });
 }

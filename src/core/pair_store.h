@@ -6,6 +6,8 @@
 #ifndef FSIM_CORE_PAIR_STORE_H_
 #define FSIM_CORE_PAIR_STORE_H_
 
+#include <atomic>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -72,6 +74,15 @@ class PairStore {
   void set_curr(size_t i, double value) { curr_[i] = value; }
   void SwapBuffers() { prev_.swap(curr_); }
 
+  /// Copies pair i's just-evaluated current value into the previous-score
+  /// buffer — the active-set driver's selective forward copy. A frontier
+  /// sweep writes curr_ only at the evaluated positions, so a wholesale
+  /// SwapBuffers would expose stale entries; instead the driver commits
+  /// exactly the evaluated pairs (O(|frontier|), after the sweep's last
+  /// read of prev_) and every frozen pair keeps its score in place for
+  /// free. Full sweeps keep using SwapBuffers.
+  void CommitPair(size_t i) { prev_[i] = curr_[i]; }
+
   /// Index of (u,v) in the store, or FlatPairMap::kNotFound.
   uint32_t Find(NodeId u, NodeId v) const {
     return index_.Find(PairKey(u, v));
@@ -94,10 +105,25 @@ class PairStore {
   /// otherwise.
   bool packed_refs() const { return packed_refs_; }
 
+  /// True when the index was built with the widened active-set span
+  /// layout (opposite-direction spans + pinned diagonal spans kept), so
+  /// the spans are usable as reverse-dependency lists. False when only
+  /// the widening would have blown neighbor_index_budget_bytes and the
+  /// build fell back to the evaluation-only layout — the active-set
+  /// driver then runs full sweeps instead of disabling the index.
+  bool reverse_spans() const { return reverse_spans_; }
+
   /// Out-direction CSR entries of pair i: the label-compatible candidate
   /// pairs of N+(u) x N+(v), sorted by (row, col). Empty when the index was
-  /// not materialized; diagonal pairs of a pin_diagonal run and zero-weight
-  /// directions also have empty spans (never evaluated).
+  /// not materialized. With the active set off, diagonal pairs of a
+  /// pin_diagonal run and zero-weight directions also have empty spans
+  /// (never evaluated); with it on, a direction is additionally
+  /// materialized when the *opposite* weight is nonzero — the refs of the
+  /// in-span are exactly the pairs reading (u, v) through their
+  /// out-direction (x ∈ N-(u), y ∈ N-(v)), and vice versa, so each span
+  /// doubles as the pair's reverse-dependency list for frontier marking —
+  /// and pinned diagonal spans are kept so the init -> 1 snap of the first
+  /// sweep can notify its dependents.
   std::span<const NeighborRef> OutRefs(size_t i) const {
     if (!has_neighbor_index_) return {};
     FSIM_DCHECK(!packed_refs_);
@@ -125,6 +151,17 @@ class PairStore {
     FSIM_DCHECK(packed_refs_);
     return {nbr_refs_packed_.data() + nbr_offsets_[2 * i + 1],
             nbr_refs_packed_.data() + nbr_offsets_[2 * i + 2]};
+  }
+
+  /// Total CSR entries of pair i across both directions — an O(1) upper
+  /// bound on how many (pair, direction) dependents a change at i can wake.
+  /// The active-set driver sums this over changed pairs while marking is
+  /// still deferred, to predict whether a frontier would skip anything.
+  size_t RefSpanTotal(size_t i) const {
+    return has_neighbor_index_
+               ? static_cast<size_t>(nbr_offsets_[2 * i + 2] -
+                                     nbr_offsets_[2 * i])
+               : 0;
   }
 
   /// Previous-iteration scores, indexed by untagged NeighborRef::ref values.
@@ -167,11 +204,14 @@ class PairStore {
   /// are prefix-summed, then a second classification writes entries straight
   /// into their final slots — twice the classify work, no staging. Ref is
   /// NeighborRef or PackedNeighborRef.
+  /// `active_spans` selects the widened active-set span layout (see
+  /// reverse_spans()).
   template <typename Ref>
   void FillNeighborRefs(const Graph& g1, const Graph& g2,
                         const FSimConfig& config,
                         const LabelSimilarityCache& lsim, ThreadPool* pool,
-                        bool bounded_staging, std::vector<Ref>* refs);
+                        bool bounded_staging, bool active_spans,
+                        std::vector<Ref>* refs);
 
   std::vector<uint64_t> keys_;  // sorted ascending: u-major, then v
   FlatPairMap index_;
@@ -187,9 +227,69 @@ class PairStore {
   // of the two entry arrays is populated, per packed_refs_.
   bool has_neighbor_index_ = false;
   bool packed_refs_ = false;
+  bool reverse_spans_ = false;
   std::vector<uint64_t> nbr_offsets_;
   std::vector<NeighborRef> nbr_refs_;
   std::vector<PackedNeighborRef> nbr_refs_packed_;
+};
+
+/// Race-free, allocation-free (after Init) construction of the next
+/// active-set frontier. While sweeping, workers stamp the dependents of
+/// every changed pair into epoch-tagged dirty arrays (a stamp equal to
+/// the current epoch means "marked this iteration" — no clearing between
+/// iterations, ever); BuildNext then scans the stamps once and emits the
+/// ascending list of pairs to evaluate next.
+///
+/// Exact mode stamps into ONE shared array of relaxed atomics: every
+/// concurrent writer stores the same epoch value, so ordering is
+/// irrelevant, and memory stays O(num_pairs) regardless of worker count.
+/// Tolerance mode needs per-worker influence sums, so it keeps one stamp
+/// + float array per worker; there, a pair enters the frontier only once
+/// its *carried* influence — accumulated across iterations while it was
+/// being skipped — exceeds the tolerance. That is the incremental
+/// engine's pending-bound scheme (core/incremental.h), so the same
+/// τ·(1+w)/(1-w) error bound applies against the exact-mode scores.
+class FrontierTracker {
+ public:
+  /// Sizes the stamp arrays: one shared atomic array (exact) or one stamp
+  /// + influence array per worker (tolerance).
+  void Init(size_t num_pairs, int num_workers, bool tolerance);
+
+  /// Opens the next iteration's epoch; marks stamped from now on belong to
+  /// the frontier *after* the upcoming sweep.
+  void BeginIteration() { ++epoch_; }
+  uint32_t epoch() const { return epoch_; }
+
+  /// Exact mode: the shared stamp array (store the current epoch with
+  /// std::memory_order_relaxed).
+  std::atomic<uint32_t>* shared_stamps() { return shared_stamps_.get(); }
+
+  /// Tolerance mode: the calling worker's stamp / influence arrays
+  /// (hot-path raw pointers; one cache-resident array per worker, no
+  /// false sharing of the accumulators).
+  uint32_t* stamps(int worker) { return stamps_[worker].data(); }
+  float* influence(int worker) { return influence_[worker].data(); }
+
+  /// Collects the pairs stamped in the current epoch (exact mode) or whose
+  /// carried influence exceeds `tolerance` (tolerance mode) into
+  /// `*frontier`, ascending. Two chunked parallel passes (count, then
+  /// fill), reusing the frontier's and the scratch's capacity.
+  /// `previous_sweep_was_full` (tolerance mode): every pair was just
+  /// evaluated, so influence carried from before that sweep is absorbed
+  /// and only the fresh epoch's marks count.
+  void BuildNext(ThreadPool& pool, double tolerance,
+                 bool previous_sweep_was_full,
+                 std::vector<uint32_t>* frontier);
+
+ private:
+  size_t num_pairs_ = 0;
+  bool tolerance_ = false;
+  uint32_t epoch_ = 0;
+  std::unique_ptr<std::atomic<uint32_t>[]> shared_stamps_;  // exact mode
+  std::vector<std::vector<uint32_t>> stamps_;     // per worker, tolerance
+  std::vector<std::vector<float>> influence_;     // per worker, tolerance
+  std::vector<double> carry_;       // cross-iteration pending influence
+  std::vector<uint32_t> chunk_offsets_;  // BuildNext count/fill scratch
 };
 
 }  // namespace fsim

@@ -62,25 +62,40 @@ Result<TopKPairsResult> ComputeTopKPairs(const Graph& g1, const Graph& g2,
 
   const double w = config.w_out + config.w_in;
   const uint32_t max_iters = FSimIterationBound(config);
-  const uint32_t num_threads = static_cast<uint32_t>(config.num_threads);
   const PairEvaluator evaluator(g1, g2, config, lsim, store);
 
-  std::vector<MatchingScratch> scratch(num_threads);
-  std::vector<WorkerMaxDelta> worker_delta(num_threads);
+  // The active-set driver leaves store.prev() holding the complete state
+  // after every Step (full sweeps swap, frontier sweeps commit only the
+  // evaluated entries), so the boundary-separation scan below reads the
+  // same snapshot it always did — the top-k engine inherits the
+  // frozen-pair skipping for free.
+  ActiveSetDriver driver(pool, store, evaluator, g1, g2, config);
   std::vector<std::pair<double, size_t>> best;
 
   TopKPairsResult result;
   result.iteration_bound = max_iters;
 
+  // Tolerance-mode frontier skipping lets maintained scores drift up to
+  // frontier_tolerance * (1 + w) / (1 - w) from the exact sweep values
+  // (docs/performance.md "Active-set iteration"), so the boundary
+  // separation test must absorb that slack on both compared scores or it
+  // could certify a set whose boundary pairs are swapped in the exact
+  // solution. Exact mode contributes zero slack (bit-identical sweeps).
+  const double score_slack =
+      driver.active() && config.active_set == ActiveSetMode::kTolerance &&
+              w < 1.0
+          ? config.frontier_tolerance * (1.0 + w) / (1.0 - w)
+          : 0.0;
+
   for (uint32_t iter = 1; iter <= max_iters; ++iter) {
-    const double max_delta =
-        RunIterateSweep(pool, store, evaluator, scratch, worker_delta);
-    store.SwapBuffers();
+    const double max_delta = driver.Step();
     result.iterations = iter;
 
-    // Residual radius from the contraction tail bound.
+    // Residual radius from the contraction tail bound, plus the
+    // tolerance-mode drift slack.
     const double radius =
-        w < 1.0 && w > 0.0 ? max_delta * w / (1.0 - w) : max_delta;
+        (w < 1.0 && w > 0.0 ? max_delta * w / (1.0 - w) : max_delta) +
+        score_slack;
     result.radius = radius;
 
     const bool converged = max_delta < config.epsilon;

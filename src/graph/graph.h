@@ -61,6 +61,13 @@ class Graph {
   size_t NumNodes() const { return out_offsets_.empty() ? 0 : out_offsets_.size() - 1; }
   size_t NumEdges() const { return out_adj_.size(); }
 
+  /// Total stored in-adjacency entries. Equals NumEdges() for every graph
+  /// whose in-lists are the transpose of its out-lists (all GraphBuilder /
+  /// IO construction); 0 for the AsUndirected adaptation, which stores the
+  /// symmetric neighborhood in the out-lists only. The active-set engines
+  /// use the comparison to pick the reverse-dependency walk.
+  size_t NumInEdges() const { return in_adj_.size(); }
+
   /// N+(u): nodes w with an edge u -> w.
   std::span<const NodeId> OutNeighbors(NodeId u) const {
     FSIM_DCHECK(u < NumNodes());

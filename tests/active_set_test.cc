@@ -1,0 +1,410 @@
+// Lockstep tests for the delta-driven active-set iterate driver
+// (core/pair_evaluator.h ActiveSetDriver, docs/performance.md "Active-set
+// iteration"): exact mode must be bit-identical to full sweeps — same
+// scores, same iteration count, same convergence decision — across the
+// MappingKind x OmegaKind x matching x θ sweep, including the
+// dense-frontier fallback, single-direction configs (whose reverse
+// dependency lists come from the opposite-direction spans), the
+// AsUndirected adaptation (out-span doubles as its own dependent list),
+// pruned-ref skipping, and the top-k and incremental engines that share
+// the machinery. Tolerance mode must stay within its documented
+// frontier_tolerance * (1 + w) / (1 - w) error bound while actually
+// skipping work.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <tuple>
+
+#include "common/random.h"
+#include "core/fsim_config.h"
+#include "core/fsim_engine.h"
+#include "core/incremental.h"
+#include "core/topk_allpairs.h"
+#include "graph/generators.h"
+#include "graph/graph_builder.h"
+
+namespace fsim {
+namespace {
+
+/// A random labeled digraph where every node has out- and in-degree >= 1
+/// (a ring plus random chords), as in tests/neighbor_index_test.cc.
+Graph MakeDenseRandomGraph(uint64_t seed, uint32_t n = 24) {
+  static const char* kLabels[] = {"aa", "ab", "bb", "bc"};
+  Rng rng(seed);
+  GraphBuilder builder;
+  for (uint32_t i = 0; i < n; ++i) {
+    builder.AddNode(kLabels[rng.Next() % 4]);
+  }
+  for (uint32_t i = 0; i < n; ++i) {
+    builder.AddEdge(i, (i + 1) % n);
+  }
+  for (uint32_t e = 0; e < 2 * n; ++e) {
+    NodeId from = static_cast<NodeId>(rng.Next() % n);
+    NodeId to = static_cast<NodeId>(rng.Next() % n);
+    if (from != to) builder.AddEdge(from, to);
+  }
+  return std::move(builder).BuildOrDie();
+}
+
+/// A directed chain: dependencies have bounded depth, so pairs freeze
+/// *exactly* (bit-level) wave by wave from the chain's tail — the
+/// deterministic workload where exact-mode frontiers provably shrink.
+Graph MakeChainGraph(uint32_t n = 30) {
+  static const char* kLabels[] = {"x", "y"};
+  GraphBuilder builder;
+  for (uint32_t i = 0; i < n; ++i) builder.AddNode(kLabels[i % 2]);
+  for (uint32_t i = 0; i + 1 < n; ++i) builder.AddEdge(i, i + 1);
+  return std::move(builder).BuildOrDie();
+}
+
+/// Runs `config` with the exact active set (marking from iteration 1) and
+/// with the active set off, and asserts the runs are indistinguishable:
+/// same pair set, same scores bit for bit, same iteration count and
+/// convergence flag.
+void ExpectExactLockstep(const Graph& g, FSimConfig config,
+                         const std::string& context) {
+  config.neighbor_index_budget_bytes = 1ULL << 30;
+  config.active_set = ActiveSetMode::kExact;
+  config.active_set_activation_fraction = 0.0;  // pin the frontier path
+  auto active = ComputeFSimSelf(g, config);
+  ASSERT_TRUE(active.ok()) << context << ": " << active.status().ToString();
+  EXPECT_TRUE(active->stats().active_set) << context;
+
+  config.active_set = ActiveSetMode::kOff;
+  auto off = ComputeFSimSelf(g, config);
+  ASSERT_TRUE(off.ok()) << context << ": " << off.status().ToString();
+  EXPECT_FALSE(off->stats().active_set) << context;
+
+  ASSERT_EQ(active->keys().size(), off->keys().size()) << context;
+  EXPECT_EQ(active->stats().iterations, off->stats().iterations) << context;
+  EXPECT_EQ(active->stats().converged, off->stats().converged) << context;
+  for (size_t i = 0; i < active->keys().size(); ++i) {
+    ASSERT_EQ(active->keys()[i], off->keys()[i]) << context;
+    // Bit-identical, not just close: frozen pairs carry their exact value.
+    ASSERT_EQ(active->values()[i], off->values()[i])
+        << context << " pair " << i << " (u="
+        << PairFirst(active->keys()[i]) << ", v="
+        << PairSecond(active->keys()[i]) << ")";
+  }
+  const auto& history = active->stats().active_pairs_history;
+  ASSERT_EQ(history.size(), active->stats().iterations) << context;
+  if (!history.empty()) {
+    EXPECT_EQ(history.front(), active->stats().maintained_pairs) << context;
+  }
+}
+
+const MappingKind kAllMappings[] = {
+    MappingKind::kMaxPerRow, MappingKind::kInjectiveRow,
+    MappingKind::kMaxBothSides, MappingKind::kInjectiveSym,
+    MappingKind::kProduct};
+const OmegaKind kAllOmegas[] = {OmegaKind::kSizeS1, OmegaKind::kSumSizes,
+                                OmegaKind::kGeoMean, OmegaKind::kMaxSize,
+                                OmegaKind::kProduct};
+
+using SweepParam = std::tuple<MappingKind, OmegaKind, MatchingAlgo>;
+
+class ActiveSetLockstep : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(ActiveSetLockstep, ExactModeMatchesFullSweeps) {
+  const auto [mapping, omega, matching] = GetParam();
+  const Graph g = MakeDenseRandomGraph(/*seed=*/11 + static_cast<int>(omega));
+  for (double theta : {0.0, 0.4}) {
+    FSimConfig config;
+    config.operator_override = OperatorConfig{mapping, omega};
+    config.matching = matching;
+    config.label_sim = LabelSimKind::kEditDistance;
+    config.theta = theta;
+    config.w_out = 0.35;
+    config.w_in = 0.35;
+    config.epsilon = 1e-6;  // enough iterations for frontiers to matter
+    ExpectExactLockstep(g, config,
+                        "theta=" + std::to_string(theta));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Operators, ActiveSetLockstep,
+    ::testing::Combine(::testing::ValuesIn(kAllMappings),
+                       ::testing::ValuesIn(kAllOmegas),
+                       ::testing::Values(MatchingAlgo::kGreedy,
+                                         MatchingAlgo::kHungarian)));
+
+// On the chain, dependencies have bounded depth, so the exact frontier
+// must actually shrink (pairs freeze bit-exactly wave by wave) and the
+// sparse-commit path is exercised for real.
+TEST(ActiveSetExact, ChainFrontierShrinks) {
+  const Graph g = MakeChainGraph();
+  FSimConfig config;
+  config.w_out = 0.7;
+  config.w_in = 0.0;
+  config.epsilon = 1e-12;
+  config.active_set = ActiveSetMode::kExact;
+  config.active_set_activation_fraction = 0.0;
+  auto active = ComputeFSimSelf(g, config);
+  ASSERT_TRUE(active.ok()) << active.status().ToString();
+  const auto& stats = active->stats();
+  ASSERT_TRUE(stats.active_set);
+  ASSERT_GT(stats.active_pairs_history.size(), 2u);
+  EXPECT_LT(stats.active_pairs_history.back(),
+            stats.active_pairs_history.front());
+  EXPECT_GT(stats.frozen_fraction, 0.1);
+  EXPECT_LT(stats.full_sweep_iterations, stats.iterations);
+
+  config.active_set = ActiveSetMode::kOff;
+  auto off = ComputeFSimSelf(g, config);
+  ASSERT_TRUE(off.ok());
+  ASSERT_EQ(active->keys().size(), off->keys().size());
+  EXPECT_EQ(active->stats().iterations, off->stats().iterations);
+  for (size_t i = 0; i < active->values().size(); ++i) {
+    ASSERT_EQ(active->values()[i], off->values()[i]) << "pair " << i;
+  }
+}
+
+// The default activation policy (deferred marking) must not change results
+// either — only when marking starts.
+TEST(ActiveSetExact, DefaultActivationLockstep) {
+  const Graph g = MakeChainGraph();
+  FSimConfig config;
+  config.w_out = 0.4;
+  config.w_in = 0.3;
+  config.epsilon = 1e-10;
+  auto active = ComputeFSimSelf(g, config);  // defaults: kExact, 0.125
+  ASSERT_TRUE(active.ok());
+  config.active_set = ActiveSetMode::kOff;
+  auto off = ComputeFSimSelf(g, config);
+  ASSERT_TRUE(off.ok());
+  EXPECT_EQ(active->stats().iterations, off->stats().iterations);
+  for (size_t i = 0; i < active->values().size(); ++i) {
+    ASSERT_EQ(active->values()[i], off->values()[i]) << "pair " << i;
+  }
+}
+
+// frontier_density_threshold = 0 forces every iteration through the
+// full-sweep fallback; the run must still be bit-identical and report
+// full_sweep_iterations == iterations.
+TEST(ActiveSetExact, DenseFrontierFallback) {
+  const Graph g = MakeChainGraph();
+  FSimConfig config;
+  config.w_out = 0.7;
+  config.w_in = 0.0;
+  config.epsilon = 1e-12;
+  config.active_set = ActiveSetMode::kExact;
+  config.active_set_activation_fraction = 0.0;
+  config.frontier_density_threshold = 0.0;
+  auto dense = ComputeFSimSelf(g, config);
+  ASSERT_TRUE(dense.ok());
+  EXPECT_EQ(dense->stats().full_sweep_iterations, dense->stats().iterations);
+  config.frontier_density_threshold = 1.0;
+  auto sparse = ComputeFSimSelf(g, config);
+  ASSERT_TRUE(sparse.ok());
+  EXPECT_LT(sparse->stats().full_sweep_iterations,
+            sparse->stats().iterations);
+  ASSERT_EQ(dense->values().size(), sparse->values().size());
+  for (size_t i = 0; i < dense->values().size(); ++i) {
+    ASSERT_EQ(dense->values()[i], sparse->values()[i]) << "pair " << i;
+  }
+}
+
+// Single-direction configs: the reverse-dependency lists come from the
+// opposite-direction spans, which exist only for the active set's sake.
+TEST(ActiveSetExact, SimRankConfigLockstep) {
+  LabelingOptions lo;
+  lo.num_labels = 1;
+  const Graph g = ErdosRenyi(14, 40, lo, 31);
+  FSimConfig config = SimRankFSimConfig(0.8);  // w_out = 0, pin_diagonal
+  config.epsilon = 1e-8;
+  ExpectExactLockstep(g, config, "simrank");
+}
+
+TEST(ActiveSetExact, RoleSimUndirectedLockstep) {
+  LabelingOptions lo;
+  lo.num_labels = 1;
+  const Graph g = ErdosRenyi(12, 30, lo, 47).AsUndirected();
+  FSimConfig config = RoleSimFSimConfig(0.15);  // w_in = 0, empty in-lists
+  config.epsilon = 1e-8;
+  ExpectExactLockstep(g, config, "rolesim");
+}
+
+// A single-direction config doubles its span bound when the active set
+// widens the index (at θ = 0, Σ outdeg(u)·outdeg(v) = Σ indeg(u)·indeg(v)
+// = |E|²). When only the widened layout blows the budget, the build must
+// fall back to the evaluation-only index — index still used, active set
+// reporting off, scores unchanged — instead of dropping the index.
+TEST(ActiveSetExact, BudgetFallsBackToEvaluationOnlyIndex) {
+  const Graph g = MakeDenseRandomGraph(3, 12);
+  FSimConfig config;
+  config.w_out = 0.7;
+  config.w_in = 0.0;
+  config.theta = 0.0;
+  config.epsilon = 1e-6;
+  config.use_packed_neighbor_refs = false;
+  const uint64_t pairs =
+      static_cast<uint64_t>(g.NumNodes()) * g.NumNodes();
+  const uint64_t edges = g.NumEdges();
+  const uint64_t bound_base =
+      edges * edges * sizeof(NeighborRef) + (2 * pairs + 1) * sizeof(uint64_t);
+  config.neighbor_index_budget_bytes = bound_base;  // widened = 2x entries
+  auto limited = ComputeFSimSelf(g, config);
+  ASSERT_TRUE(limited.ok()) << limited.status().ToString();
+  EXPECT_TRUE(limited->stats().used_neighbor_index);
+  EXPECT_FALSE(limited->stats().active_set);
+
+  config.neighbor_index_budget_bytes = 1ULL << 30;
+  auto active = ComputeFSimSelf(g, config);
+  ASSERT_TRUE(active.ok());
+  EXPECT_TRUE(active->stats().active_set);
+
+  config.active_set = ActiveSetMode::kOff;
+  auto off = ComputeFSimSelf(g, config);
+  ASSERT_TRUE(off.ok());
+  ASSERT_EQ(limited->values().size(), off->values().size());
+  for (size_t i = 0; i < off->values().size(); ++i) {
+    ASSERT_EQ(limited->values()[i], off->values()[i]) << "pair " << i;
+    ASSERT_EQ(active->values()[i], off->values()[i]) << "pair " << i;
+  }
+}
+
+// Upper-bound pruning with α > 0 plants tagged pruned-table refs in the
+// spans; frontier marking must skip them (their bounds never change).
+TEST(ActiveSetExact, PrunedRefsAreSkipped) {
+  const Graph g = MakeDenseRandomGraph(5);
+  FSimConfig config;
+  config.label_sim = LabelSimKind::kEditDistance;
+  config.theta = 0.4;
+  config.w_out = 0.35;
+  config.w_in = 0.35;
+  config.upper_bound = true;
+  config.alpha = 0.3;
+  config.beta = 0.35;
+  config.epsilon = 1e-8;
+  ExpectExactLockstep(g, config, "pruned-alpha");
+}
+
+// Tolerance mode: scores stay within frontier_tolerance * (1 + w) / (1 - w)
+// of the full-sweep scores (both runs converged far below the tolerance,
+// so the termination residual is negligible), and work is actually skipped.
+TEST(ActiveSetTolerance, ErrorBoundHolds) {
+  const Graph g = MakeDenseRandomGraph(21);
+  FSimConfig config;
+  config.label_sim = LabelSimKind::kEditDistance;
+  config.theta = 0.0;
+  config.w_out = 0.35;
+  config.w_in = 0.35;
+  config.epsilon = 1e-9;
+  config.active_set = ActiveSetMode::kTolerance;
+  config.frontier_tolerance = 1e-3;
+  config.active_set_activation_fraction = 0.0;
+  auto tol = ComputeFSimSelf(g, config);
+  ASSERT_TRUE(tol.ok()) << tol.status().ToString();
+  config.active_set = ActiveSetMode::kOff;
+  auto off = ComputeFSimSelf(g, config);
+  ASSERT_TRUE(off.ok());
+
+  const double w = config.w_out + config.w_in;
+  const double bound =
+      config.frontier_tolerance * (1.0 + w) / (1.0 - w) + 1e-6;
+  double max_diff = 0.0;
+  for (size_t i = 0; i < tol->values().size(); ++i) {
+    max_diff = std::max(max_diff,
+                        std::abs(tol->values()[i] - off->values()[i]));
+  }
+  EXPECT_LE(max_diff, bound);
+  // The skipping must be real: fewer evaluations than iterations * pairs.
+  EXPECT_GT(tol->stats().frozen_fraction, 0.0);
+  EXPECT_LE(tol->stats().iterations, off->stats().iterations);
+}
+
+// The top-k all-pairs engine shares the driver; its certified result must
+// not depend on the scheduling mode.
+TEST(ActiveSetTopK, TopKPairsLockstep) {
+  const Graph g = MakeDenseRandomGraph(9);
+  FSimConfig config;
+  config.label_sim = LabelSimKind::kEditDistance;
+  config.theta = 0.4;
+  config.w_out = 0.35;
+  config.w_in = 0.35;
+  config.epsilon = 1e-6;
+  config.active_set = ActiveSetMode::kExact;
+  config.active_set_activation_fraction = 0.0;
+  TopKPairsOptions options;
+  options.k = 8;
+  options.exclude_diagonal = true;
+  auto active = ComputeTopKPairs(g, g, config, options);
+  ASSERT_TRUE(active.ok()) << active.status().ToString();
+  config.active_set = ActiveSetMode::kOff;
+  auto off = ComputeTopKPairs(g, g, config, options);
+  ASSERT_TRUE(off.ok());
+  ASSERT_EQ(active->pairs.size(), off->pairs.size());
+  EXPECT_EQ(active->iterations, off->iterations);
+  EXPECT_EQ(active->certified, off->certified);
+  for (size_t i = 0; i < active->pairs.size(); ++i) {
+    EXPECT_EQ(active->pairs[i].u, off->pairs[i].u) << i;
+    EXPECT_EQ(active->pairs[i].v, off->pairs[i].v) << i;
+    EXPECT_EQ(active->pairs[i].score, off->pairs[i].score) << i;
+  }
+}
+
+// IncrementalFSim's initial solve honors the active-set config (the
+// serving layer's warm-start path); exact mode must match the off-mode
+// solve bit for bit, on transpose-consistent and undirected graphs alike.
+TEST(ActiveSetIncremental, InitialSolveLockstep) {
+  LabelingOptions lo;
+  lo.num_labels = 3;
+  const Graph directed = ErdosRenyi(16, 48, lo, 77);
+  LabelingOptions lo1;
+  lo1.num_labels = 1;
+  const Graph undirected = ErdosRenyi(12, 30, lo1, 13).AsUndirected();
+  struct Case {
+    const Graph* g;
+    FSimConfig config;
+    const char* name;
+  };
+  FSimConfig plain;
+  plain.w_out = 0.4;
+  plain.w_in = 0.4;
+  plain.epsilon = 1e-8;
+  FSimConfig rolesim = RoleSimFSimConfig(0.15);
+  rolesim.epsilon = 1e-8;
+  const Case cases[] = {{&directed, plain, "directed"},
+                        {&undirected, rolesim, "undirected"}};
+  for (const Case& c : cases) {
+    FSimConfig config = c.config;
+    config.active_set = ActiveSetMode::kExact;
+    config.active_set_activation_fraction = 0.0;
+    auto active = IncrementalFSim::Create(*c.g, *c.g, config);
+    ASSERT_TRUE(active.ok()) << c.name << ": "
+                             << active.status().ToString();
+    config.active_set = ActiveSetMode::kOff;
+    auto off = IncrementalFSim::Create(*c.g, *c.g, config);
+    ASSERT_TRUE(off.ok()) << c.name;
+    FSimScores a = active->Snapshot();
+    FSimScores b = off->Snapshot();
+    ASSERT_EQ(a.values().size(), b.values().size()) << c.name;
+    EXPECT_EQ(a.stats().converged, b.stats().converged) << c.name;
+    for (size_t i = 0; i < a.values().size(); ++i) {
+      ASSERT_EQ(a.values()[i], b.values()[i]) << c.name << " pair " << i;
+    }
+  }
+}
+
+// Invalid active-set knobs are rejected up front.
+TEST(ActiveSetConfig, Validation) {
+  const Graph g = MakeChainGraph(6);
+  FSimConfig config;
+  config.active_set = ActiveSetMode::kTolerance;
+  config.frontier_tolerance = 0.0;
+  EXPECT_FALSE(ComputeFSimSelf(g, config).ok());
+  config.frontier_tolerance = 1e-3;
+  config.frontier_density_threshold = 1.5;
+  EXPECT_FALSE(ComputeFSimSelf(g, config).ok());
+  config.frontier_density_threshold = 0.5;
+  config.active_set_activation_fraction = -0.1;
+  EXPECT_FALSE(ComputeFSimSelf(g, config).ok());
+  config.active_set_activation_fraction = 0.125;
+  EXPECT_TRUE(ComputeFSimSelf(g, config).ok());
+}
+
+}  // namespace
+}  // namespace fsim
