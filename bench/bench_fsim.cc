@@ -10,6 +10,8 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <string>
+#include <vector>
 
 #include "bench/bench_util.h"
 #include "core/dense_engine.h"
@@ -78,6 +80,107 @@ BENCHMARK(BM_FSimMatchingAlgo)
     ->Arg(0)->Arg(1)
     ->ArgName("hungarian")
     ->Unit(benchmark::kMillisecond);
+
+/// Re-validates the PR 1–5 tuning constants under multicore contention at
+/// `num_threads` workers (the sweep's max) and renders the measurements as
+/// the "tuning" JSON section of BENCH_fsim.json. Each knob is swept on the
+/// yeast θ=1 FSim_dp run around its shipped default; "chosen" records the
+/// default so a future PR that retunes leaves an audit trail. The dense
+/// 8×256 v-tile is timed at 1 vs N threads (tile shape is compile-time, so
+/// the check is that the tiled kernel still scales rather than a re-sweep).
+std::string RunTuningSweep(int num_threads) {
+  const Graph& g = Yeast();
+  std::string out = "{\n";
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "    \"num_threads\": %d,\n", num_threads);
+  out += buf;
+
+  FSimConfig base = BaseConfig(SimVariant::kDegreePreserving);
+  base.theta = 1.0;
+  base.neighbor_index_budget_bytes = 1ULL << 30;
+  base.num_threads = num_threads;
+  auto timed_iterate = [&](const FSimConfig& config) {
+    auto scores = ComputeFSim(g, g, config);
+    if (!scores.ok()) {
+      std::fprintf(stderr, "fatal: tuning-sweep run failed\n");
+      std::abort();
+    }
+    return scores->stats().iterate_seconds;
+  };
+
+  std::printf("\ntuning sweep (dp, theta=1, t=%d)\n", num_threads);
+  out += "    \"iterate_grain\": {";
+  for (size_t grain : {size_t{16}, size_t{64}, size_t{256}}) {
+    FSimConfig config = base;
+    config.iterate_grain = grain;
+    const double s = timed_iterate(config);
+    std::snprintf(buf, sizeof(buf), "%s\"%zu\": %.6f",
+                  grain == 16 ? "" : ", ", grain, s);
+    out += buf;
+    std::printf("  iterate_grain=%-4zu iterate=%s\n", grain,
+                bench::FormatSeconds(s).c_str());
+  }
+  std::snprintf(buf, sizeof(buf), ", \"chosen\": %zu},\n",
+                FSimConfig().iterate_grain);
+  out += buf;
+
+  out += "    \"frontier_density_threshold\": {";
+  for (double density : {0.25, 0.5, 0.75}) {
+    FSimConfig config = base;
+    config.active_set = ActiveSetMode::kTolerance;
+    config.frontier_tolerance = config.epsilon / 10.0;
+    config.frontier_density_threshold = density;
+    const double s = timed_iterate(config);
+    std::snprintf(buf, sizeof(buf), "%s\"%.2f\": %.6f",
+                  density == 0.25 ? "" : ", ", density, s);
+    out += buf;
+    std::printf("  frontier_density_threshold=%.2f iterate=%s\n", density,
+                bench::FormatSeconds(s).c_str());
+  }
+  std::snprintf(buf, sizeof(buf), ", \"chosen\": %.2f},\n",
+                FSimConfig().frontier_density_threshold);
+  out += buf;
+
+  out += "    \"active_set_activation_fraction\": {";
+  for (double fraction : {0.0, 0.125, 0.5}) {
+    FSimConfig config = base;
+    config.active_set_activation_fraction = fraction;
+    const double s = timed_iterate(config);
+    std::snprintf(buf, sizeof(buf), "%s\"%.3f\": %.6f",
+                  fraction == 0.0 ? "" : ", ", fraction, s);
+    out += buf;
+    std::printf("  active_set_activation_fraction=%.3f iterate=%s\n",
+                fraction, bench::FormatSeconds(s).c_str());
+  }
+  std::snprintf(buf, sizeof(buf), ", \"chosen\": %.3f},\n",
+                FSimConfig().active_set_activation_fraction);
+  out += buf;
+
+  // Dense 8×256 v-tile at 1 vs N threads (ComputeFSimDense inherits the
+  // pool through config.num_threads).
+  double dense_s[2] = {0.0, 0.0};
+  for (int pass = 0; pass < 2; ++pass) {
+    FSimConfig config = BaseConfig(SimVariant::kDegreePreserving);
+    config.theta = 1.0;
+    config.neighbor_index_budget_bytes = 1ULL << 30;
+    config.num_threads = pass == 0 ? 1 : num_threads;
+    auto dense = ComputeFSimDense(g, g, config);
+    if (!dense.ok()) {
+      std::fprintf(stderr, "fatal: tuning-sweep dense run failed\n");
+      std::abort();
+    }
+    dense_s[pass] = dense->stats().iterate_seconds;
+  }
+  std::snprintf(buf, sizeof(buf),
+                "    \"dense_vtile_8x256\": {\"t1\": %.6f, \"t%d\": %.6f}\n",
+                dense_s[0], num_threads, dense_s[1]);
+  out += buf;
+  std::printf("  dense v-tile: t1=%s t%d=%s\n",
+              bench::FormatSeconds(dense_s[0]).c_str(), num_threads,
+              bench::FormatSeconds(dense_s[1]).c_str());
+  out += "  }";
+  return out;
+}
 
 /// Phase-timing comparison per χ variant, written to BENCH_fsim.json:
 ///  * "indexed"   — the default engine (CSR index + exact active set),
@@ -206,6 +309,83 @@ void RunPhaseTimings() {
     std::printf("%-8s fallback  %-10s %-10s\n", name,
                 bench::FormatSeconds(fallback->stats().build_seconds).c_str(),
                 bench::FormatSeconds(fallback->stats().iterate_seconds).c_str());
+  }
+
+  // Thread-count sweep: the indexed (exact active set) and tolerance paths
+  // at every BenchThreadCounts() count > 1. The t=1 records above keep
+  // their unsuffixed names so the perf-gate history stays continuous;
+  // multi-thread runs get distinct "/tN" names and record num_threads so
+  // the gate never compares across thread counts. Exact-mode results are
+  // cross-checked bit-identical to the single-thread run (the scheduler's
+  // determinism contract); tolerance mode re-checks its error bound.
+  const std::vector<int> thread_counts = bench::BenchThreadCounts();
+  if (thread_counts.size() > 1) {
+    std::printf("\nvariant  path     threads  iterate    vs t=1\n");
+    for (SimVariant variant :
+         {SimVariant::kSimple, SimVariant::kDegreePreserving, SimVariant::kBi,
+          SimVariant::kBijective}) {
+      FSimConfig config = BaseConfig(variant);
+      config.theta = 1.0;
+      config.neighbor_index_budget_bytes = 1ULL << 30;
+      const double w = config.w_out + config.w_in;
+      auto base_indexed = ComputeFSim(g, g, config);
+      config.active_set = ActiveSetMode::kTolerance;
+      config.frontier_tolerance = config.epsilon / 10.0;
+      auto base_tol = ComputeFSim(g, g, config);
+      if (!base_indexed.ok() || !base_tol.ok()) {
+        std::fprintf(stderr, "fatal: thread-sweep baseline failed\n");
+        std::abort();
+      }
+      const char* name = SimVariantName(variant);
+      for (int t : thread_counts) {
+        if (t <= 1) continue;
+        config.num_threads = t;
+        config.active_set = ActiveSetMode::kExact;
+        auto indexed = ComputeFSim(g, g, config);
+        config.active_set = ActiveSetMode::kTolerance;
+        auto tol = ComputeFSim(g, g, config);
+        if (!indexed.ok() || !tol.ok()) {
+          std::fprintf(stderr, "fatal: thread-sweep run failed (t=%d)\n", t);
+          std::abort();
+        }
+        for (size_t i = 0; i < indexed->values().size(); ++i) {
+          if (indexed->values()[i] != base_indexed->values()[i]) {
+            std::fprintf(stderr,
+                         "fatal: t=%d exact run not bit-identical to t=1\n",
+                         t);
+            std::abort();
+          }
+        }
+        const double tol_bound =
+            config.frontier_tolerance * (1.0 + w) / (1.0 - w) +
+            2.0 * config.epsilon * w / (1.0 - w);
+        double tol_diff = 0.0;
+        for (size_t i = 0; i < tol->values().size(); ++i) {
+          tol_diff = std::max(tol_diff, std::abs(tol->values()[i] -
+                                                 base_indexed->values()[i]));
+        }
+        if (tol_diff > tol_bound) {
+          std::fprintf(stderr,
+                       "fatal: t=%d tolerance run outside bound (%g > %g)\n",
+                       t, tol_diff, tol_bound);
+          std::abort();
+        }
+        char suffix[16];
+        std::snprintf(suffix, sizeof(suffix), "/t%d", t);
+        json.Add(std::string(name) + "/indexed" + suffix, indexed->stats(), t);
+        json.Add(std::string(name) + "/tol" + suffix, tol->stats(), t);
+        std::printf("%-8s indexed  %-8d %-10s %.2fx\n", name, t,
+                    bench::FormatSeconds(indexed->stats().iterate_seconds)
+                        .c_str(),
+                    base_indexed->stats().iterate_seconds /
+                        indexed->stats().iterate_seconds);
+        std::printf("%-8s tol      %-8d %-10s %.2fx\n", name, t,
+                    bench::FormatSeconds(tol->stats().iterate_seconds).c_str(),
+                    base_tol->stats().iterate_seconds /
+                        tol->stats().iterate_seconds);
+      }
+    }
+    json.SetTuningJson(RunTuningSweep(thread_counts.back()));
   }
 
   if (!json.WriteFile("BENCH_fsim.json")) {

@@ -15,8 +15,11 @@
 #include <thread>
 #include <vector>
 
+#include <memory>
+
 #include "bench/bench_util.h"
 #include "common/random.h"
+#include "common/thread_pool.h"
 #include "common/table_printer.h"
 #include "common/timer.h"
 #include "serve/query.h"
@@ -47,7 +50,106 @@ struct ServeReport {
   double median_flush_ms = 0.0;   // drain + apply + publish
   double median_publish_ms = 0.0; // snapshot build + swap only
   size_t publishes = 0;
+  // Batch-query throughput (queries/second) via QueryEngine::RunBatch, by
+  // pool-worker count (1 = the serial fallback path).
+  std::vector<std::pair<int, double>> batch_qps;
+  // Refresh flush latency by engine thread count (the wave-parallel
+  // propagate path): (threads, median flush ms, median publish ms).
+  struct RefreshAtThreads {
+    int threads = 1;
+    double median_flush_ms = 0.0;
+    double median_publish_ms = 0.0;
+  };
+  std::vector<RefreshAtThreads> refresh_threads;
 };
+
+/// Replays the synthetic edit-burst stream against a fresh refresh driver
+/// whose engine runs `num_threads` workers; returns the median flush and
+/// publish latency. Mirrors the main refresh section so the sweep isolates
+/// the engine thread count (same seed, same burst shape).
+ServeReport::RefreshAtThreads MeasureRefreshAtThreads(const Graph& g,
+                                                      FSimConfig config,
+                                                      int num_threads) {
+  config.num_threads = num_threads;
+  SnapshotStore store;
+  RefreshPolicy policy;
+  policy.max_edits_behind = kEditsPerBurst;
+  policy.topk_cache_k = 16;
+  IncrementalOptions inc_options;
+  inc_options.propagation_tolerance = 1e-6;
+  RefreshDriver driver(g, g, config, inc_options, policy, &store);
+  Status init = driver.Init();
+  if (!init.ok()) {
+    std::fprintf(stderr, "fatal: %s\n", init.ToString().c_str());
+    std::abort();
+  }
+  const NodeId num_nodes = static_cast<NodeId>(g.NumNodes());
+  Rng rng(0xED17);
+  std::vector<double> flush_ms;
+  std::vector<double> publish_ms;
+  for (int burst = 0; burst < kEditBursts; ++burst) {
+    for (int e = 0; e < kEditsPerBurst; ++e) {
+      EditOp op;
+      op.graph_index = (e % 2) + 1;
+      op.from = static_cast<NodeId>(rng.NextBounded(num_nodes));
+      op.to = static_cast<NodeId>(rng.NextBounded(num_nodes));
+      if (op.from == op.to) continue;
+      op.insert = (rng.Next() & 1) != 0;
+      driver.Submit(op);
+    }
+    Timer flush_timer;
+    Status st = driver.Flush();
+    if (!st.ok()) {
+      std::fprintf(stderr, "fatal: %s\n", st.ToString().c_str());
+      std::abort();
+    }
+    flush_ms.push_back(flush_timer.Seconds() * 1e3);
+    publish_ms.push_back(driver.stats().last_publish_seconds * 1e3);
+  }
+  std::sort(flush_ms.begin(), flush_ms.end());
+  std::sort(publish_ms.begin(), publish_ms.end());
+  ServeReport::RefreshAtThreads result;
+  result.threads = num_threads;
+  result.median_flush_ms = flush_ms[flush_ms.size() / 2];
+  result.median_publish_ms = publish_ms[publish_ms.size() / 2];
+  return result;
+}
+
+/// RunBatch throughput over a fixed mixed batch (pair-heavy with a top-k
+/// tail, matching the protocol's BATCH shape). `pool` == nullptr measures
+/// the serial fallback.
+double MeasureBatchQps(const SnapshotStore& store, ThreadPool* pool,
+                       NodeId num_nodes) {
+  constexpr size_t kBatchSize = 4096;
+  constexpr int kBatchRounds = 40;
+  QueryEngine engine(&store, pool);
+  Rng rng(0xBA7C);
+  std::vector<Query> queries(kBatchSize);
+  for (size_t i = 0; i < kBatchSize; ++i) {
+    queries[i].u = static_cast<NodeId>(rng.NextBounded(num_nodes));
+    if (i % 16 == 15) {
+      queries[i].kind = Query::Kind::kTopK;
+      queries[i].k = 10;
+    } else {
+      queries[i].kind = Query::Kind::kPair;
+      queries[i].v = static_cast<NodeId>(rng.NextBounded(num_nodes));
+    }
+  }
+  double sink = 0.0;
+  Timer timer;
+  for (int round = 0; round < kBatchRounds; ++round) {
+    auto results = engine.RunBatch(queries);
+    if (!results.ok()) {
+      std::fprintf(stderr, "fatal: %s\n",
+                   results.status().ToString().c_str());
+      std::abort();
+    }
+    sink += results->front().score;
+  }
+  const double seconds = timer.Seconds();
+  if (sink < -1.0) std::printf("impossible %f\n", sink);  // defeat DCE
+  return static_cast<double>(kBatchSize) * kBatchRounds / seconds;
+}
 
 /// The serving-path pair-query loop: acquire-per-query through QueryEngine,
 /// uniformly random (u, v).
@@ -141,10 +243,27 @@ bool WriteBenchJson(const std::string& path, const ServeReport& r) {
                "\"cached_us\": %.3f},\n",
                r.topk_row_full_sort_us, r.topk_row_partial_sort_us,
                r.topk_heap_select_us, r.topk_cached_us);
+  std::fprintf(f, "    \"batch_qps\": {");
+  for (size_t i = 0; i < r.batch_qps.size(); ++i) {
+    std::fprintf(f, "%s\"threads_%d\": %.0f", i == 0 ? "" : ", ",
+                 r.batch_qps[i].first, r.batch_qps[i].second);
+  }
+  std::fprintf(f, "},\n");
   std::fprintf(f,
                "    \"refresh\": {\"median_flush_ms\": %.3f, "
-               "\"median_publish_ms\": %.3f, \"publishes\": %zu}\n",
-               r.median_flush_ms, r.median_publish_ms, r.publishes);
+               "\"median_publish_ms\": %.3f, \"publishes\": %zu}%s\n",
+               r.median_flush_ms, r.median_publish_ms, r.publishes,
+               r.refresh_threads.empty() ? "" : ",");
+  // The engine-thread refresh sweep; separate "refresh_tN" keys so the
+  // t=1 "refresh" history entries above stay comparable across PRs.
+  for (size_t i = 0; i < r.refresh_threads.size(); ++i) {
+    const auto& rt = r.refresh_threads[i];
+    std::fprintf(f,
+                 "    \"refresh_t%d\": {\"median_flush_ms\": %.3f, "
+                 "\"median_publish_ms\": %.3f, \"num_threads\": %d}%s\n",
+                 rt.threads, rt.median_flush_ms, rt.median_publish_ms,
+                 rt.threads, i + 1 < r.refresh_threads.size() ? "," : "");
+  }
   std::fprintf(f, "  }\n}\n");
   std::fclose(f);
   return true;
@@ -252,6 +371,38 @@ int main() {
       kEditBursts, kEditsPerBurst, report.median_flush_ms,
       report.median_publish_ms, report.publishes,
       static_cast<unsigned long long>(driver.stats().edits_applied));
+
+  // --- Batch-query fan-out: RunBatch serial vs pooled. ---
+  const std::vector<int> thread_counts = bench::BenchThreadCounts();
+  TablePrinter batch_table({"pool workers", "batch queries/s"});
+  for (int t : thread_counts) {
+    std::unique_ptr<ThreadPool> pool;
+    if (t > 1) pool = std::make_unique<ThreadPool>(t);
+    const double qps = MeasureBatchQps(store, pool.get(), num_nodes);
+    report.batch_qps.emplace_back(t, qps);
+    char qps_s[32];
+    std::snprintf(qps_s, sizeof(qps_s), "%.2fM", qps / 1e6);
+    batch_table.AddRow({std::to_string(t), qps_s});
+  }
+  batch_table.Print();
+
+  // --- Refresh flush latency vs engine thread count (wave-parallel
+  // propagate; t=1 is the serial chaotic engine, already reported above
+  // as the history-tracked "refresh" section). ---
+  if (thread_counts.size() > 1) {
+    TablePrinter refresh_table({"engine threads", "med flush", "med publish"});
+    for (int t : thread_counts) {
+      if (t <= 1) continue;
+      const auto rt = MeasureRefreshAtThreads(g, config, t);
+      report.refresh_threads.push_back(rt);
+      char flush_s[32], publish_s[32];
+      std::snprintf(flush_s, sizeof(flush_s), "%.2fms", rt.median_flush_ms);
+      std::snprintf(publish_s, sizeof(publish_s), "%.2fms",
+                    rt.median_publish_ms);
+      refresh_table.AddRow({std::to_string(t), flush_s, publish_s});
+    }
+    refresh_table.Print();
+  }
 
   if (!WriteBenchJson("BENCH_serve.json", report)) {
     std::fprintf(stderr, "warning: could not write BENCH_serve.json\n");

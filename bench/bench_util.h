@@ -4,9 +4,12 @@
 #ifndef FSIM_BENCH_BENCH_UTIL_H_
 #define FSIM_BENCH_BENCH_UTIL_H_
 
+#include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <optional>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -56,6 +59,41 @@ inline FSimConfig PaperDefaults(SimVariant variant) {
   return config;
 }
 
+/// Thread counts for the multicore sweeps. FSIM_BENCH_THREADS (e.g.
+/// "1,2,4") overrides; the default is {1, 2, 4, hardware_concurrency}
+/// clamped to the host's core count, deduped and ascending, so a 1-core CI
+/// runner degrades to {1} instead of timing oversubscription noise. The
+/// result always contains 1 (the baseline every history entry keys off).
+inline std::vector<int> BenchThreadCounts() {
+  std::vector<int> counts;
+  if (const char* env = std::getenv("FSIM_BENCH_THREADS")) {
+    int value = 0;
+    bool in_number = false;
+    for (const char* p = env;; ++p) {
+      if (*p >= '0' && *p <= '9') {
+        value = value * 10 + (*p - '0');
+        in_number = true;
+      } else {
+        if (in_number && value >= 1) counts.push_back(value);
+        value = 0;
+        in_number = false;
+        if (*p == '\0') break;
+      }
+    }
+  } else {
+    const int hw = std::max(1, static_cast<int>(
+                                   std::thread::hardware_concurrency()));
+    for (int c : {1, 2, 4, hw}) {
+      if (c <= hw) counts.push_back(c);
+    }
+  }
+  if (counts.empty()) counts.push_back(1);
+  std::sort(counts.begin(), counts.end());
+  counts.erase(std::unique(counts.begin(), counts.end()), counts.end());
+  if (counts.front() != 1) counts.insert(counts.begin(), 1);
+  return counts;
+}
+
 inline std::string FormatSeconds(double s) {
   char buf[32];
   std::snprintf(buf, sizeof(buf), "%.2fs", s);
@@ -74,12 +112,16 @@ inline void PrintHeader(const char* title) {
 class PhaseTimingsJson {
  public:
   struct Record {
-    std::string name;  // e.g. "bj/indexed"
+    std::string name;  // e.g. "bj/indexed" (multi-thread: "bj/indexed/t4")
     double build_seconds = 0.0;
     double iterate_seconds = 0.0;
     uint32_t iterations = 0;
     size_t maintained_pairs = 0;
     bool used_neighbor_index = false;
+    // Threads the run used; recorded per entry so the history gate never
+    // compares runs at different thread counts (thread-suffixed names keep
+    // the metric paths distinct too).
+    int num_threads = 1;
     // Active-set telemetry (docs/performance.md "Active-set iteration").
     bool active_set = false;
     double frozen_fraction = 0.0;
@@ -87,15 +129,22 @@ class PhaseTimingsJson {
     std::vector<size_t> active_pairs_history;
   };
 
-  void Add(const std::string& name, const FSimStats& stats) {
-    records_.push_back(MakeRecord(name, stats));
+  void Add(const std::string& name, const FSimStats& stats,
+           int num_threads = 1) {
+    records_.push_back(MakeRecord(name, stats, num_threads));
   }
 
   /// Adds a record to the separate "dense" section (the ComputeFSimDense
   /// label-class-index timings).
-  void AddDense(const std::string& name, const FSimStats& stats) {
-    dense_records_.push_back(MakeRecord(name, stats));
+  void AddDense(const std::string& name, const FSimStats& stats,
+                int num_threads = 1) {
+    dense_records_.push_back(MakeRecord(name, stats, num_threads));
   }
+
+  /// Attaches a pre-rendered JSON object emitted as a top-level "tuning"
+  /// section — the thread-sweep validation of compile/config constants
+  /// (one-off measurements the history gate ignores).
+  void SetTuningJson(std::string raw_json) { tuning_json_ = std::move(raw_json); }
 
   const std::vector<Record>& records() const { return records_; }
 
@@ -106,9 +155,15 @@ class PhaseTimingsJson {
     std::FILE* f = std::fopen(path.c_str(), "w");
     if (f == nullptr) return false;
     std::fprintf(f, "{\n");
-    WriteSection(f, "runs", records_, /*trailing_comma=*/!dense_records_.empty());
+    const bool more_after_runs =
+        !dense_records_.empty() || !tuning_json_.empty();
+    WriteSection(f, "runs", records_, /*trailing_comma=*/more_after_runs);
     if (!dense_records_.empty()) {
-      WriteSection(f, "dense", dense_records_, /*trailing_comma=*/false);
+      WriteSection(f, "dense", dense_records_,
+                   /*trailing_comma=*/!tuning_json_.empty());
+    }
+    if (!tuning_json_.empty()) {
+      std::fprintf(f, "  \"tuning\": %s\n", tuning_json_.c_str());
     }
     std::fprintf(f, "}\n");
     std::fclose(f);
@@ -116,13 +171,15 @@ class PhaseTimingsJson {
   }
 
  private:
-  static Record MakeRecord(const std::string& name, const FSimStats& stats) {
+  static Record MakeRecord(const std::string& name, const FSimStats& stats,
+                           int num_threads) {
     return Record{name,
                   stats.build_seconds,
                   stats.iterate_seconds,
                   stats.iterations,
                   stats.maintained_pairs,
                   stats.used_neighbor_index,
+                  num_threads,
                   stats.active_set,
                   stats.frozen_fraction,
                   stats.frontier_build_seconds,
@@ -139,10 +196,10 @@ class PhaseTimingsJson {
                    "    \"%s\": {\"build_seconds\": %.6f, "
                    "\"iterate_seconds\": %.6f, \"iterations\": %u, "
                    "\"maintained_pairs\": %zu, "
-                   "\"used_neighbor_index\": %s",
+                   "\"used_neighbor_index\": %s, \"num_threads\": %d",
                    r.name.c_str(), r.build_seconds, r.iterate_seconds,
                    r.iterations, r.maintained_pairs,
-                   r.used_neighbor_index ? "true" : "false");
+                   r.used_neighbor_index ? "true" : "false", r.num_threads);
       if (r.active_set) {
         // Only active-set runs carry the frontier telemetry, so older
         // consumers of the fixed-field records keep parsing unchanged.
@@ -164,6 +221,7 @@ class PhaseTimingsJson {
 
   std::vector<Record> records_;
   std::vector<Record> dense_records_;
+  std::string tuning_json_;
 };
 
 }  // namespace bench

@@ -40,19 +40,22 @@ struct StreamReport {
   double final_max_diff = 0.0;
   size_t full_evals = 0;  // pair evaluations of one from-scratch solve
   size_t edits = 0;
+  int num_threads = 1;
   bool used_neighbor_index = false;
 };
 
 StreamReport RunStream(const Graph& g, double theta, int num_edits,
-                       uint64_t seed) {
+                       uint64_t seed, int num_threads) {
   FSimConfig config = bench::PaperDefaults(SimVariant::kBijective);
   config.theta = theta;
   config.epsilon = 1e-4;
   config.pair_limit = bench::kBenchPairLimit;
+  config.num_threads = num_threads;
   IncrementalOptions options;
   options.propagation_tolerance = 1e-6;
 
   StreamReport report;
+  report.num_threads = num_threads;
   Timer solve_timer;
   auto inc = IncrementalFSim::Create(g, g, config, options);
   report.full_solve_s = solve_timer.Seconds();
@@ -141,13 +144,13 @@ bool WriteBenchJson(const std::string& path,
         "\"median_edit_ms\": %.4f, \"avg_edit_ms\": %.4f, "
         "\"max_edit_ms\": %.4f, \"avg_graph_patch_ms\": %.5f, "
         "\"avg_index_patch_ms\": %.5f, \"avg_propagate_ms\": %.4f, "
-        "\"avg_recomputed\": %.1f, \"edits\": %zu, "
+        "\"avg_recomputed\": %.1f, \"edits\": %zu, \"num_threads\": %d, "
         "\"used_neighbor_index\": %s, \"end_drift\": %.3e}%s\n",
         reports[i].first.c_str(), r.full_solve_s, r.median_edit_ms,
         r.avg_edit_ms, r.max_edit_ms, r.avg_graph_patch_ms,
         r.avg_index_patch_ms, r.avg_propagate_ms, r.avg_recomputed, r.edits,
-        r.used_neighbor_index ? "true" : "false", r.final_max_diff,
-        i + 1 < reports.size() ? "," : "");
+        r.num_threads, r.used_neighbor_index ? "true" : "false",
+        r.final_max_diff, i + 1 < reports.size() ? "," : "");
   }
   std::fprintf(f, "  }\n}\n");
   std::fclose(f);
@@ -160,34 +163,50 @@ int main() {
   bench::PrintHeader(
       "Incremental FSim maintenance vs full recomputation "
       "(FSim_bj, 50 mixed insert/delete edits per stream)");
-  TablePrinter table({"dataset", "theta", "full solve", "med edit",
+  TablePrinter table({"dataset", "theta", "thr", "full solve", "med edit",
                       "graph+index", "propagate", "avg evals", "evals saved",
                       "time speedup", "end drift"});
   std::vector<std::pair<std::string, StreamReport>> reports;
+  // The smallest dataset (yeast) sweeps every thread count so CI tracks the
+  // parallel propagate's scaling; the larger streams run at t=1 only to
+  // keep the binary's runtime bounded (their propagate path is identical).
+  const std::vector<int> thread_counts = bench::BenchThreadCounts();
   for (const char* name : {"yeast", "nell", "gp"}) {
     Graph g = MakeDatasetByName(name);
     for (double theta : {1.0}) {
-      StreamReport r = RunStream(g, theta, 50, 0xED17);
-      char stream_key[64];
-      std::snprintf(stream_key, sizeof(stream_key), "%s/theta%g", name,
-                    theta);
-      reports.emplace_back(stream_key, r);
-      char med_ms[24], patch[32], prop[24], recomputed[24], evals[24],
-          speedup[24], drift[24];
-      std::snprintf(med_ms, sizeof(med_ms), "%.2fms", r.median_edit_ms);
-      std::snprintf(patch, sizeof(patch), "%.3fms",
-                    r.avg_graph_patch_ms + r.avg_index_patch_ms);
-      std::snprintf(prop, sizeof(prop), "%.2fms", r.avg_propagate_ms);
-      std::snprintf(recomputed, sizeof(recomputed), "%.0f", r.avg_recomputed);
-      std::snprintf(evals, sizeof(evals), "%.0fx",
-                    static_cast<double>(r.full_evals) /
-                        std::max(r.avg_recomputed, 1.0));
-      std::snprintf(speedup, sizeof(speedup), "%.0fx",
-                    r.full_solve_s * 1e3 / std::max(r.avg_edit_ms, 1e-9));
-      std::snprintf(drift, sizeof(drift), "%.1e", r.final_max_diff);
-      table.AddRow({name, theta == 0.0 ? "0" : "1",
-                    bench::FormatSeconds(r.full_solve_s), med_ms, patch, prop,
-                    recomputed, evals, speedup, drift});
+      for (int t : thread_counts) {
+        if (t > 1 && std::string(name) != "yeast") continue;
+        StreamReport r = RunStream(g, theta, 50, 0xED17, t);
+        char stream_key[64];
+        if (t == 1) {
+          // Unsuffixed at t=1 so the perf-gate history stays continuous
+          // with pre-sweep entries.
+          std::snprintf(stream_key, sizeof(stream_key), "%s/theta%g", name,
+                        theta);
+        } else {
+          std::snprintf(stream_key, sizeof(stream_key), "%s/theta%g/t%d",
+                        name, theta, t);
+        }
+        reports.emplace_back(stream_key, r);
+        char threads[8], med_ms[24], patch[32], prop[24], recomputed[24],
+            evals[24], speedup[24], drift[24];
+        std::snprintf(threads, sizeof(threads), "%d", t);
+        std::snprintf(med_ms, sizeof(med_ms), "%.2fms", r.median_edit_ms);
+        std::snprintf(patch, sizeof(patch), "%.3fms",
+                      r.avg_graph_patch_ms + r.avg_index_patch_ms);
+        std::snprintf(prop, sizeof(prop), "%.2fms", r.avg_propagate_ms);
+        std::snprintf(recomputed, sizeof(recomputed), "%.0f",
+                      r.avg_recomputed);
+        std::snprintf(evals, sizeof(evals), "%.0fx",
+                      static_cast<double>(r.full_evals) /
+                          std::max(r.avg_recomputed, 1.0));
+        std::snprintf(speedup, sizeof(speedup), "%.0fx",
+                      r.full_solve_s * 1e3 / std::max(r.avg_edit_ms, 1e-9));
+        std::snprintf(drift, sizeof(drift), "%.1e", r.final_max_diff);
+        table.AddRow({name, theta == 0.0 ? "0" : "1", threads,
+                      bench::FormatSeconds(r.full_solve_s), med_ms, patch,
+                      prop, recomputed, evals, speedup, drift});
+      }
     }
   }
   table.Print();

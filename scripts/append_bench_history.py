@@ -19,12 +19,19 @@ import sys
 
 
 def fsim_summary(runs):
-    """{name: {build, iterate, iters}} keeping floats short."""
+    """{name: {build, iterate, iters, num_threads}} keeping floats short.
+
+    num_threads rides along on every entry (informational to the gate) so a
+    history line can never be compared against a run at a different thread
+    count: multi-thread runs carry distinct "/tN"-suffixed names AND record
+    the count explicitly for human readers of the history file.
+    """
     return {
         name: {
             "build_s": round(r["build_seconds"], 4),
             "iterate_s": round(r["iterate_seconds"], 4),
             "iters": r["iterations"],
+            "num_threads": r.get("num_threads", 1),
         }
         for name, r in runs.items()
     }
@@ -56,6 +63,7 @@ def main():
             name: {
                 "median_edit_ms": round(s["median_edit_ms"], 3),
                 "avg_propagate_ms": round(s["avg_propagate_ms"], 3),
+                "num_threads": s.get("num_threads", 1),
             }
             for name, s in streams.items()
         }
@@ -75,6 +83,21 @@ def main():
             "median_publish_ms": round(refresh.get("median_publish_ms", 0.0), 3),
             "median_flush_ms": round(refresh.get("median_flush_ms", 0.0), 3),
         }
+        # Pooled batch throughput and the engine-thread refresh sweep: keyed
+        # per thread count ("..._Nt" / "refresh_tN") so the gate's rolling
+        # medians never mix runs at different counts.
+        for threads_key, value in serve.get("batch_qps", {}).items():
+            n = threads_key.rsplit("_", 1)[-1]
+            record["serve"][f"batch_qps_{n}t"] = round(value)
+        for key, section in serve.items():
+            if key.startswith("refresh_t") and isinstance(section, dict):
+                record["serve"][key] = {
+                    "median_flush_ms": round(
+                        section.get("median_flush_ms", 0.0), 3),
+                    "median_publish_ms": round(
+                        section.get("median_publish_ms", 0.0), 3),
+                    "num_threads": section.get("num_threads", 1),
+                }
     except OSError as e:
         print(f"warning: skipping serve summary: {e}", file=sys.stderr)
 

@@ -9,12 +9,20 @@ append step so a PR that slows a tracked path down is flagged on the spot.
 
 Tracked metrics are every numeric leaf of the summary record, addressed by
 dotted path (e.g. "fsim.s/indexed.iterate_s"). Direction is inferred from
-the name: *_qps counters are higher-is-better, iteration counts ("iters")
-and ratio-style leaves ("*_fraction") are informational only (skipped),
-everything else (seconds, ms, us) is lower-is-better. Metrics need at
-least --min-history prior samples before they gate, so freshly added
-benchmarks ride along without failing; metrics that disappear from the
-current line are ignored (benchmarks can be retired).
+the name: *_qps counters are higher-is-better, iteration counts ("iters"),
+thread counts ("num_threads") and ratio-style leaves ("*_fraction") are
+informational only (skipped), everything else (seconds, ms, us) is
+lower-is-better. Metrics need at least --min-history prior samples before
+they gate, so freshly added benchmarks ride along without failing; metrics
+that disappear from the current line are ignored (benchmarks can be
+retired).
+
+Thread counts never mix: multi-thread runs carry "/tN"-suffixed metric
+names (fsim / incremental) or "_Nt" / "refresh_tN" keys (serve), so each
+(metric, thread count) pair forms its own rolling-median series, and the
+per-entry "num_threads" leaf is skipped rather than gated. A CI runner
+whose core count changes therefore starts fresh series instead of
+comparing a 4-thread run against 1-thread medians.
 
 PR 5 note: "fsim.<variant>/indexed.iterate_s" now measures the active-set
 engine (exact mode, the library default — bit-identical to full sweeps and
@@ -46,7 +54,8 @@ def numeric_leaves(record, prefix=""):
 
 def is_informational(path):
     leaf = path.rsplit(".", 1)[-1]
-    return leaf == "iters" or leaf.endswith("_fraction")
+    return (leaf == "iters" or leaf == "num_threads"
+            or leaf.endswith("_fraction"))
 
 
 def higher_is_better(path):

@@ -189,6 +189,13 @@ struct FSimConfig {
   /// from the first iteration (tests use this to pin the frontier path).
   double active_set_activation_fraction = 0.125;
 
+  /// Scheduler chunk length (pairs per chunk) for the iterate loop's full
+  /// and frontier sweeps. Small enough that the work-stealing scheduler can
+  /// rebalance around expensive pairs (large dp/bj matchings), large enough
+  /// to amortize the per-chunk claim; 64 held up across the thread-count
+  /// sweep in BENCH_fsim.json's tuning section.
+  size_t iterate_grain = 64;
+
   /// Allow the packed 8-byte neighbor-index entry layout (16-bit row/col)
   /// when every relevant neighbor-list position (0..deg-1) fits in 16
   /// bits — halves the index memory on degree-bounded graphs. Graphs

@@ -55,6 +55,9 @@ Status ValidateFSimConfig(const Graph& g1, const Graph& g2,
     return Status::InvalidArgument(
         "active_set_activation_fraction must be in [0, 1]");
   }
+  if (config.iterate_grain == 0) {
+    return Status::InvalidArgument("iterate_grain must be >= 1");
+  }
   if (config.pin_diagonal && &g1 != &g2 && g1.NumNodes() != g2.NumNodes()) {
     return Status::InvalidArgument(
         "pin_diagonal requires a self-similarity run");

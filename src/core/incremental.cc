@@ -29,7 +29,12 @@ IncrementalFSim::IncrementalFSim(const Graph& g1, const Graph& g2,
       config_(std::move(config)),
       options_(options),
       op_(config_.operators()),
-      lsim_(*g1.dict(), config_.label_sim) {}
+      lsim_(*g1.dict(), config_.label_sim) {
+  if (config_.num_threads > 1) {
+    pool_ = std::make_unique<ThreadPool>(config_.num_threads);
+  }
+  scratch_.resize(static_cast<size_t>(std::max(config_.num_threads, 1)));
+}
 
 Result<IncrementalFSim> IncrementalFSim::Create(Graph g1, Graph g2,
                                                 FSimConfig config,
@@ -118,7 +123,8 @@ Result<IncrementalFSim> IncrementalFSim::Create(Graph g1, Graph g2,
   return inc;
 }
 
-double IncrementalFSim::ComputeDirection(size_t i, int dir) {
+double IncrementalFSim::ComputeDirection(size_t i, int dir,
+                                         MatchingScratch* scratch) {
   const NodeId u = PairFirst(keys_[i]);
   const NodeId v = PairSecond(keys_[i]);
   if (nbr_index_.enabled()) {
@@ -128,12 +134,12 @@ double IncrementalFSim::ComputeDirection(size_t i, int dir) {
       return DirectionScoreIndexed(
           op_, config_.matching, g1_.OutDegree(u), g2_.OutDegree(v),
           nbr_index_.Refs(i, IncrementalNeighborIndex::kOut), score_of,
-          &scratch_);
+          scratch);
     }
     return DirectionScoreIndexed(
         op_, config_.matching, g1_.InDegree(u), g2_.InDegree(v),
         nbr_index_.Refs(i, IncrementalNeighborIndex::kIn), score_of,
-        &scratch_);
+        scratch);
   }
   auto lookup = [&](NodeId x, NodeId y) -> double {
     if (!lsim_.Compatible(g1_.Label(x), g2_.Label(y), config_.theta)) {
@@ -144,21 +150,22 @@ double IncrementalFSim::ComputeDirection(size_t i, int dir) {
   };
   if (dir == IncrementalNeighborIndex::kOut) {
     return DirectionScore(op_, config_.matching, g1_.OutNeighbors(u),
-                          g2_.OutNeighbors(v), lookup, &scratch_);
+                          g2_.OutNeighbors(v), lookup, scratch);
   }
   return DirectionScore(op_, config_.matching, g1_.InNeighbors(u),
-                        g2_.InNeighbors(v), lookup, &scratch_);
+                        g2_.InNeighbors(v), lookup, scratch);
 }
 
-double IncrementalFSim::EvaluateDirty(size_t i, uint8_t dirty) {
+double IncrementalFSim::EvaluateDirty(size_t i, uint8_t dirty,
+                                      MatchingScratch* scratch) {
   const NodeId u = PairFirst(keys_[i]);
   const NodeId v = PairSecond(keys_[i]);
   if (config_.pin_diagonal && u == v) return 1.0;
   if ((dirty & kDirtyOut) && config_.w_out > 0.0) {
-    out_cache_[i] = ComputeDirection(i, IncrementalNeighborIndex::kOut);
+    out_cache_[i] = ComputeDirection(i, IncrementalNeighborIndex::kOut, scratch);
   }
   if ((dirty & kDirtyIn) && config_.w_in > 0.0) {
-    in_cache_[i] = ComputeDirection(i, IncrementalNeighborIndex::kIn);
+    in_cache_[i] = ComputeDirection(i, IncrementalNeighborIndex::kIn, scratch);
   }
   return config_.w_out * out_cache_[i] + config_.w_in * in_cache_[i] +
          const_term_[i];
@@ -292,8 +299,21 @@ void IncrementalFSim::SolveFull() {
       }
     };
     if (full) {
-      for (size_t i = 0; i < n; ++i) {
-        next[i] = EvaluateDirty(i, kDirtyOut | kDirtyIn);
+      // Jacobi evaluations: each reads the pre-sweep values_ and writes one
+      // next[i], so the parallel sweep is bit-identical to the serial loop
+      // (the absorb/marking phase below stays serial either way).
+      if (pool_) {
+        pool_->ParallelForChunked(
+            n, config_.iterate_grain, [&](int worker, size_t b, size_t e) {
+              MatchingScratch* scratch = &scratch_[worker];
+              for (size_t i = b; i < e; ++i) {
+                next[i] = EvaluateDirty(i, kDirtyOut | kDirtyIn, scratch);
+              }
+            });
+      } else {
+        for (size_t i = 0; i < n; ++i) {
+          next[i] = EvaluateDirty(i, kDirtyOut | kDirtyIn, &scratch_[0]);
+        }
       }
       // The full evaluation absorbs all pending influence; only this
       // sweep's fresh marks may carry forward.
@@ -305,8 +325,32 @@ void IncrementalFSim::SolveFull() {
       // Two phases keep the Jacobi semantics (every evaluation reads the
       // pre-sweep table); frozen pairs carry their value in place.
       fresh.resize(frontier.size());
-      for (size_t k = 0; k < frontier.size(); ++k) {
-        fresh[k] = EvaluateDirty(frontier[k], kDirtyOut | kDirtyIn);
+      if (pool_) {
+        // Priority draining by evaluation cost; fresh values land in an
+        // id-keyed scratch since workers see reordered slices.
+        if (wave_fresh_.size() < n) wave_fresh_.resize(n);
+        pool_->ParallelForFrontier(
+            frontier,
+            [this](uint32_t i) {
+              return static_cast<float>(
+                  nbr_index_.Refs(i, IncrementalNeighborIndex::kOut).size() +
+                  nbr_index_.Refs(i, IncrementalNeighborIndex::kIn).size());
+            },
+            config_.iterate_grain,
+            [&](int worker, std::span<const uint32_t> ids) {
+              MatchingScratch* scratch = &scratch_[worker];
+              for (uint32_t i : ids) {
+                wave_fresh_[i] = EvaluateDirty(i, kDirtyOut | kDirtyIn, scratch);
+              }
+            });
+        for (size_t k = 0; k < frontier.size(); ++k) {
+          fresh[k] = wave_fresh_[frontier[k]];
+        }
+      } else {
+        for (size_t k = 0; k < frontier.size(); ++k) {
+          fresh[k] = EvaluateDirty(frontier[k], kDirtyOut | kDirtyIn,
+                                   &scratch_[0]);
+        }
       }
       for (size_t k = 0; k < frontier.size(); ++k) {
         absorb(frontier[k], fresh[k]);
@@ -337,9 +381,22 @@ void IncrementalFSim::SolveFull() {
   }
 
   double max_delta = 0.0;
-  for (size_t i = 0; i < n; ++i) {
-    next[i] = EvaluateDirty(i, kDirtyOut | kDirtyIn);
-    max_delta = std::max(max_delta, std::abs(next[i] - values_[i]));
+  if (pool_) {
+    pool_->ParallelForChunked(
+        n, config_.iterate_grain, [&](int worker, size_t b, size_t e) {
+          MatchingScratch* scratch = &scratch_[worker];
+          for (size_t i = b; i < e; ++i) {
+            next[i] = EvaluateDirty(i, kDirtyOut | kDirtyIn, scratch);
+          }
+        });
+    for (size_t i = 0; i < n; ++i) {
+      max_delta = std::max(max_delta, std::abs(next[i] - values_[i]));
+    }
+  } else {
+    for (size_t i = 0; i < n; ++i) {
+      next[i] = EvaluateDirty(i, kDirtyOut | kDirtyIn, &scratch_[0]);
+      max_delta = std::max(max_delta, std::abs(next[i] - values_[i]));
+    }
   }
   values_.swap(next);
   converged_ = max_delta < config_.epsilon;
@@ -415,23 +472,57 @@ void IncrementalFSim::PushDependents(size_t i, double delta) {
   }
 }
 
-Status IncrementalFSim::Propagate() {
-  Timer timer;
-  const double tau = options_.propagation_tolerance;
-  const double w = config_.w_out + config_.w_in;
-
+uint32_t IncrementalFSim::MaxWaves() const {
   // Wave cap (the Corollary 1 argument applied to the repair): changes
   // shrink by at least the contraction factor w per propagation wave, so
   // after ceil(log_w(tau)) waves every remaining change is below tau and
   // would be absorbed anyway. The cap also guarantees termination when the
   // greedy matching's occasional non-Lipschitz tie flips would otherwise
   // sustain a sub-tau-adjacent oscillation.
-  uint32_t max_waves = 1;
+  const double tau = options_.propagation_tolerance;
+  const double w = config_.w_out + config_.w_in;
   if (w > 0.0 && w < 1.0 && tau < 1.0) {
-    max_waves = static_cast<uint32_t>(
-                    std::ceil(std::log(tau) / std::log(w))) +
-                2;
+    return static_cast<uint32_t>(std::ceil(std::log(tau) / std::log(w))) + 2;
   }
+  return 1;
+}
+
+Status IncrementalFSim::FinishPropagate(uint64_t recomputed, uint64_t changed,
+                                        uint32_t wave, bool wave_capped,
+                                        bool update_capped,
+                                        double elapsed_seconds) {
+  // Reset any worklist remainder so the engine stays usable. Wave-capped
+  // leftovers carry sub-tolerance influence by the geometric-decay argument;
+  // update-cap leftovers may not — either way the snapshot reports the
+  // truncation via converged=false.
+  for (size_t q = queue_head_; q < queue_.size(); ++q) {
+    in_queue_[queue_[q]] = 0;
+    dirty_dir_[queue_[q]] = 0;
+    pending_out_[queue_[q]] = 0.0;
+    pending_in_[queue_[q]] = 0.0;
+  }
+  queue_.clear();
+  queue_head_ = 0;
+  last_edit_.recomputed = recomputed;
+  last_edit_.changed = changed;
+  last_edit_.waves = wave;
+  last_edit_.truncated = wave_capped || update_capped;
+  if (last_edit_.truncated) converged_ = false;
+  last_edit_.propagate_seconds = elapsed_seconds;
+  if (update_capped) {
+    return Status::Internal(StrFormat(
+        "edit exceeded max_updates_per_edit (%llu); scores may not have "
+        "re-converged",
+        static_cast<unsigned long long>(options_.max_updates_per_edit)));
+  }
+  return Status::OK();
+}
+
+Status IncrementalFSim::Propagate() {
+  if (pool_) return PropagateWaves();
+  Timer timer;
+  const double tau = options_.propagation_tolerance;
+  const uint32_t max_waves = MaxWaves();
 
   uint64_t recomputed = 0;
   uint64_t changed = 0;
@@ -489,7 +580,7 @@ Status IncrementalFSim::Propagate() {
     dirty_dir_[i] = 0;
     pending_out_[i] = 0.0;
     pending_in_[i] = 0.0;
-    const double fresh = EvaluateDirty(i, dirty);
+    const double fresh = EvaluateDirty(i, dirty, &scratch_[0]);
     ++recomputed;
     const double delta = std::abs(fresh - values_[i]);
     // Commit before any truncation check: the evaluation is already paid
@@ -505,31 +596,129 @@ Status IncrementalFSim::Propagate() {
       break;
     }
   }
-  // Reset any worklist remainder so the engine stays usable. Wave-capped
-  // leftovers carry sub-tolerance influence by the geometric-decay argument;
-  // update-cap leftovers may not — either way the snapshot reports the
-  // truncation via converged=false.
-  for (size_t q = queue_head_; q < queue_.size(); ++q) {
-    in_queue_[queue_[q]] = 0;
-    dirty_dir_[queue_[q]] = 0;
-    pending_out_[queue_[q]] = 0.0;
-    pending_in_[queue_[q]] = 0.0;
+  return FinishPropagate(recomputed, changed, wave, wave_capped, update_capped,
+                         timer.Seconds());
+}
+
+Status IncrementalFSim::PropagateWaves() {
+  Timer timer;
+  const double tau = options_.propagation_tolerance;
+  const uint32_t max_waves = MaxWaves();
+  // Waves below this size keep the serial chaotic ordering: the propagation
+  // tail is many tiny waves whose same-wave absorption the Jacobi split
+  // would forfeit, and a parallel region would not amortize its dispatch.
+  // The test depends only on wave content, so any thread count walks the
+  // same trajectory (parallel runs are bit-identical to each other).
+  constexpr size_t kParallelWaveMin = 32;
+  // Wave regions deal in small chunks: one item is a whole matching
+  // evaluation, so rebalancing granularity beats chunk-claim amortization.
+  constexpr size_t kWaveGrain = 8;
+
+  const size_t n = keys_.size();
+  if (wave_fresh_.size() < n) wave_fresh_.resize(n);
+  if (wave_weight_.size() < n) wave_weight_.resize(n);
+  if (wave_dirty_.size() < n) wave_dirty_.resize(n);
+
+  uint64_t recomputed = 0;
+  uint64_t changed = 0;
+  uint32_t wave = 0;
+  bool wave_capped = false;
+  bool update_capped = false;
+
+  size_t wave_begin = queue_head_;
+  size_t wave_end = queue_.size();
+  while (wave_begin < wave_end && !update_capped) {
+    if (wave_end - wave_begin < kParallelWaveMin) {
+      // Serial chaotic tail: identical to Propagate's inner loop, so small
+      // repairs (the common case) match the serial engine bit for bit.
+      for (size_t q = wave_begin; q < wave_end; ++q) {
+        const uint32_t i = queue_[q];
+        queue_head_ = q + 1;
+        in_queue_[i] = 0;
+        uint8_t dirty = dirty_dir_[i];
+        if (pending_out_[i] > 0.0) dirty |= kDirtyOut;
+        if (pending_in_[i] > 0.0) dirty |= kDirtyIn;
+        dirty_dir_[i] = 0;
+        pending_out_[i] = 0.0;
+        pending_in_[i] = 0.0;
+        const double fresh = EvaluateDirty(i, dirty, &scratch_[0]);
+        ++recomputed;
+        const double delta = std::abs(fresh - values_[i]);
+        values_[i] = fresh;
+        if (delta > tau) {
+          ++changed;
+          PushDependents(i, delta);
+        }
+        if (recomputed >= options_.max_updates_per_edit &&
+            queue_head_ < queue_.size()) {
+          update_capped = true;
+          break;
+        }
+      }
+    } else {
+      // Phase 0 (serial): snapshot each item's dirty bits and priority
+      // weight, then release its worklist slot — pushes during phase 2
+      // accumulate fresh pending influence for the *next* wave instead of
+      // being wiped with this one's.
+      for (size_t q = wave_begin; q < wave_end; ++q) {
+        const uint32_t i = queue_[q];
+        uint8_t dirty = dirty_dir_[i];
+        if (pending_out_[i] > 0.0) dirty |= kDirtyOut;
+        if (pending_in_[i] > 0.0) dirty |= kDirtyIn;
+        wave_dirty_[i] = dirty;
+        wave_weight_[i] =
+            static_cast<float>(pending_out_[i] + pending_in_[i]);
+        dirty_dir_[i] = 0;
+        pending_out_[i] = 0.0;
+        pending_in_[i] = 0.0;
+        in_queue_[i] = 0;
+      }
+      // Phase 1 (parallel): evaluate the wave against the pre-wave score
+      // table (Jacobi within the wave), biggest accumulated influence
+      // first. Each item writes only its own caches and wave_fresh_ slot.
+      std::span<const uint32_t> items(queue_.data() + wave_begin,
+                                      wave_end - wave_begin);
+      pool_->ParallelForFrontier(
+          items, [this](uint32_t i) { return wave_weight_[i]; }, kWaveGrain,
+          [&](int worker, std::span<const uint32_t> ids) {
+            MatchingScratch* scratch = &scratch_[worker];
+            for (uint32_t i : ids) {
+              wave_fresh_[i] = EvaluateDirty(i, wave_dirty_[i], scratch);
+            }
+          });
+      // Phase 2 (serial, wave order): commit and propagate. Deterministic
+      // at any thread count — the pending sums and the next wave's order
+      // depend only on this fixed commit order.
+      for (size_t q = wave_begin; q < wave_end; ++q) {
+        const uint32_t i = queue_[q];
+        queue_head_ = q + 1;
+        const double fresh = wave_fresh_[i];
+        ++recomputed;
+        const double delta = std::abs(fresh - values_[i]);
+        values_[i] = fresh;
+        if (delta > tau) {
+          ++changed;
+          PushDependents(i, delta);
+        }
+        if (recomputed >= options_.max_updates_per_edit &&
+            queue_head_ < queue_.size()) {
+          update_capped = true;
+          break;
+        }
+      }
+    }
+    if (update_capped) break;
+    wave_begin = wave_end;
+    wave_end = queue_.size();
+    if (wave_begin >= wave_end) break;
+    ++wave;
+    if (wave >= max_waves) {
+      wave_capped = true;
+      break;
+    }
   }
-  queue_.clear();
-  queue_head_ = 0;
-  last_edit_.recomputed = recomputed;
-  last_edit_.changed = changed;
-  last_edit_.waves = wave;
-  last_edit_.truncated = wave_capped || update_capped;
-  if (last_edit_.truncated) converged_ = false;
-  last_edit_.propagate_seconds = timer.Seconds();
-  if (update_capped) {
-    return Status::Internal(StrFormat(
-        "edit exceeded max_updates_per_edit (%llu); scores may not have "
-        "re-converged",
-        static_cast<unsigned long long>(options_.max_updates_per_edit)));
-  }
-  return Status::OK();
+  return FinishPropagate(recomputed, changed, wave, wave_capped, update_capped,
+                         timer.Seconds());
 }
 
 void IncrementalFSim::SeedEndpointPairs(int graph_index, NodeId a, NodeId b) {

@@ -46,9 +46,11 @@
 #define FSIM_CORE_INCREMENTAL_H_
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "common/result.h"
+#include "common/thread_pool.h"
 #include "core/fsim_config.h"
 #include "core/fsim_scores.h"
 #include "core/incremental_index.h"
@@ -172,22 +174,45 @@ class IncrementalFSim {
 
   /// One direction's Equation 3 contribution of pair i against the current
   /// score table (through the maintained index when enabled; bit-identical
-  /// either way). dir is IncrementalNeighborIndex::kOut or kIn.
-  double ComputeDirection(size_t i, int dir);
+  /// either way). dir is IncrementalNeighborIndex::kOut or kIn. `scratch`
+  /// is the caller's matching workspace (per worker under the pool).
+  double ComputeDirection(size_t i, int dir, MatchingScratch* scratch);
 
   /// The Equation 3 value of pair i, recomputing only the directions in
   /// `dirty` and reusing the cached scores for the rest.
-  double EvaluateDirty(size_t i, uint8_t dirty);
+  double EvaluateDirty(size_t i, uint8_t dirty, MatchingScratch* scratch);
 
   /// Runs synchronous sweeps to convergence (the initial solve). Honors
   /// FSimConfig::active_set: with the maintained index live, sweeps after
   /// the first evaluate only the pairs with changed inputs (the batch
-  /// engines' delta-driven frontier, serially), so the serving layer's
-  /// warm-start background solve inherits the frozen-pair skipping.
+  /// engines' delta-driven frontier), so the serving layer's warm-start
+  /// background solve inherits the frozen-pair skipping. Sweeps run on
+  /// pool_ when config_.num_threads > 1; the Jacobi evaluations and the
+  /// serial absorb phase make the result bit-identical at any thread count.
   void SolveFull();
 
-  /// Chaotic iteration from the seeded worklist until quiescent.
+  /// Chaotic iteration from the seeded worklist until quiescent. With
+  /// num_threads > 1 delegates to PropagateWaves.
   Status Propagate();
+
+  /// Wave-parallel repair: each wave is evaluated as one Jacobi parallel
+  /// region against the pre-wave score table (big-influence-first via
+  /// ThreadPool::ParallelForFrontier, per-worker matching scratch), then
+  /// committed and propagated serially in wave order, so the result is
+  /// deterministic at any thread count. Waves below a small cutoff keep the
+  /// serial chaotic ordering (same-wave absorption matters most in the
+  /// propagation tail, and a parallel region would not pay for itself);
+  /// the cutoff test depends only on wave content, so determinism holds.
+  Status PropagateWaves();
+
+  /// Shared tail of Propagate/PropagateWaves: resets worklist leftovers,
+  /// records EditStats, and maps truncation to the returned Status.
+  Status FinishPropagate(uint64_t recomputed, uint64_t changed, uint32_t wave,
+                         bool wave_capped, bool update_capped,
+                         double elapsed_seconds);
+
+  /// The Corollary 1 wave cap ceil(log_w tau) + 2 (see Propagate).
+  uint32_t MaxWaves() const;
 
   /// Seeds every maintained pair (x, *) for x in {a, b} of graph 1, or
   /// (*, x) for graph 2.
@@ -267,7 +292,15 @@ class IncrementalFSim {
   std::vector<uint32_t> wave_scratch_;  // Propagate's wave partition buffer
   size_t queue_head_ = 0;
 
-  MatchingScratch scratch_;
+  // Wave-parallel scratch (PropagateWaves; all keyed by store index).
+  std::vector<double> wave_fresh_;    // Jacobi results awaiting commit
+  std::vector<float> wave_weight_;    // pending influence at wave start
+  std::vector<uint8_t> wave_dirty_;   // dirty bits snapshotted at wave start
+
+  // Present when config_.num_threads > 1 (heap-held so the engine stays
+  // movable); scratch_ has one matching workspace per pool worker.
+  std::unique_ptr<ThreadPool> pool_;
+  std::vector<MatchingScratch> scratch_;
   EditStats last_edit_;
   bool converged_ = false;
 };

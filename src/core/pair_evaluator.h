@@ -231,10 +231,10 @@ class ActiveSetDriver {
     }
     if (marking_) tracker_.BeginIteration();
     for (auto& w : worker_stats_) w = WorkerSweepStats{};
-    constexpr size_t kIterateGrain = 64;
+    const size_t iterate_grain = config_.iterate_grain;
     if (full) {
       pool_.ParallelForChunked(
-          store_.size(), kIterateGrain,
+          store_.size(), iterate_grain,
           [&](int worker, size_t begin, size_t end) {
             MatchingScratch* scratch = &scratch_[worker];
             WorkerSweepStats local;
@@ -247,8 +247,17 @@ class ActiveSetDriver {
       ++full_sweeps_;
       last_evaluated_ = store_.size();
     } else {
-      pool_.ParallelForSpan(
-          frontier_, kIterateGrain,
+      // Priority draining: a pair's evaluation cost is dominated by the
+      // neighbor refs it walks, so RefSpanTotal is the weight. Exact-mode
+      // bit-identity across thread counts is unaffected — evaluations are
+      // Jacobi (all reads hit prev_) and the reductions below are
+      // order-independent.
+      pool_.ParallelForFrontier(
+          frontier_,
+          [this](uint32_t i) {
+            return static_cast<float>(store_.RefSpanTotal(i));
+          },
+          iterate_grain,
           [&](int worker, std::span<const uint32_t> ids) {
             MatchingScratch* scratch = &scratch_[worker];
             WorkerSweepStats local;

@@ -35,10 +35,22 @@ Result<std::vector<QueryResult>> QueryEngine::RunBatch(
   if (snapshot == nullptr) {
     return Status::NotFound("no snapshot published yet");
   }
-  std::vector<QueryResult> results;
-  results.reserve(queries.size());
-  for (const Query& query : queries) {
-    results.push_back(Answer(*snapshot, query));
+  std::vector<QueryResult> results(queries.size());
+  if (pool_ != nullptr && queries.size() >= kParallelBatchMin) {
+    // Top-k/threshold answers allocate entry vectors, so chunks are sized
+    // for rebalancing (a mixed batch's expensive queries cluster).
+    constexpr size_t kBatchGrain = 16;
+    pool_->ParallelForChunked(
+        queries.size(), kBatchGrain,
+        [&](int /*worker*/, size_t begin, size_t end) {
+          for (size_t i = begin; i < end; ++i) {
+            results[i] = Answer(*snapshot, queries[i]);
+          }
+        });
+  } else {
+    for (size_t i = 0; i < queries.size(); ++i) {
+      results[i] = Answer(*snapshot, queries[i]);
+    }
   }
   return results;
 }

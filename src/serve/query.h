@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "common/thread_pool.h"
 #include "graph/graph.h"
 #include "serve/snapshot.h"
 
@@ -40,10 +41,15 @@ struct QueryResult {
 
 /// Stateless facade over a SnapshotStore. Safe to share across any number
 /// of reader threads; never blocks (snapshot acquisition is an atomic
-/// load).
+/// load). An optional ThreadPool fans large RunBatch calls out across
+/// workers — sound because every query of a batch reads the same acquired
+/// snapshot and writes only its own result slot. The pool must not be
+/// shared with concurrent ParallelFor callers (ThreadPool regions are
+/// exclusive); single queries never touch it.
 class QueryEngine {
  public:
-  explicit QueryEngine(const SnapshotStore* store) : store_(store) {}
+  explicit QueryEngine(const SnapshotStore* store, ThreadPool* pool = nullptr)
+      : store_(store), pool_(pool) {}
 
   /// Answers one query against the current snapshot. NotFound when no
   /// snapshot has been published yet.
@@ -51,8 +57,13 @@ class QueryEngine {
 
   /// Answers all queries against ONE acquired snapshot (cross-query
   /// consistency within the batch). NotFound when no snapshot exists.
+  /// Batches of at least kParallelBatchMin queries run on the pool when one
+  /// was supplied; results are in query order either way.
   Result<std::vector<QueryResult>> RunBatch(
       std::span<const Query> queries) const;
+
+  /// Below this batch size the pool dispatch costs more than the queries.
+  static constexpr size_t kParallelBatchMin = 64;
 
   /// The per-query evaluation, usable directly by callers that manage
   /// snapshot lifetime themselves.
@@ -60,6 +71,7 @@ class QueryEngine {
 
  private:
   const SnapshotStore* store_;
+  ThreadPool* pool_;
 };
 
 }  // namespace fsim

@@ -111,6 +111,11 @@ Result<std::unique_ptr<FSimService>> FSimService::Create(Graph g1, Graph g2,
                                                          FSimConfig config,
                                                          ServeOptions options) {
   std::unique_ptr<FSimService> service(new FSimService());
+  if (config.num_threads > 1) {
+    service->batch_pool_ = std::make_unique<ThreadPool>(config.num_threads);
+    service->queries_ =
+        QueryEngine(&service->store_, service->batch_pool_.get());
+  }
   if (!options.warm_scores_path.empty()) {
     FSIM_ASSIGN_OR_RETURN(FSimScores scores,
                           LoadScoresFromFile(options.warm_scores_path));

@@ -65,6 +65,9 @@ class FSimService {
   void HandleBatch(size_t n, std::istream& in, std::ostream& out);
 
   SnapshotStore store_;
+  // Batch-query fan-out workers (config.num_threads > 1 only); must outlive
+  // queries_, which holds a pointer into it.
+  std::unique_ptr<ThreadPool> batch_pool_;
   QueryEngine queries_;
   std::unique_ptr<RefreshDriver> driver_;  // holds a pointer to store_
 };

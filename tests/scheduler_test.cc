@@ -1,0 +1,370 @@
+// Tests for the work-stealing scheduler (common/thread_pool.h) and the
+// multi-thread determinism contracts built on it: every parallel-for
+// primitive must cover its range exactly once under adversarially skewed
+// per-index costs (one index ~1000x heavier than the rest, the shape that
+// starves a static partition); exact-mode active-set results must stay
+// bit-identical to the single-thread full sweep at any thread count; and
+// the wave-parallel incremental Propagate must agree with the serial
+// chaotic engine to 1e-12 while being bit-identical across thread counts.
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <numeric>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "common/random.h"
+#include "common/thread_pool.h"
+#include "core/fsim_config.h"
+#include "core/fsim_engine.h"
+#include "core/incremental.h"
+#include "graph/generators.h"
+#include "graph/graph_builder.h"
+#include "gtest/gtest.h"
+#include "test_graphs.h"
+
+namespace fsim {
+namespace {
+
+using ::fsim::testing::MakeRandomPair;
+
+// Burns enough work to make one index dominate a chunk (the adversarial
+// shape: a static partition finishes every other worker early while the
+// heavy chunk's owner grinds alone).
+void BurnWork(int iters) {
+  volatile int64_t sink = 0;
+  for (int i = 0; i < iters; ++i) sink = sink + i;
+}
+
+/// Runs all three primitives over [0, n) with index `heavy` costing ~1000x,
+/// asserting exactly-once coverage and in-range worker ids.
+void StressPrimitives(int num_threads, size_t n, size_t grain, size_t heavy) {
+  ThreadPool pool(num_threads);
+
+  // The span/frontier primitives take an index array; shuffle it so chunk
+  // boundaries do not align with the identity order.
+  std::vector<uint32_t> indices(n);
+  std::iota(indices.begin(), indices.end(), 0u);
+  Rng rng(0xC0FFEE);
+  for (size_t i = n; i > 1; --i) {
+    std::swap(indices[i - 1], indices[rng.Next() % i]);
+  }
+
+  const auto body_cost = [&](uint32_t i) {
+    BurnWork(i == heavy ? 50000 : 50);
+  };
+
+  for (int round = 0; round < 3; ++round) {
+    std::vector<std::atomic<uint32_t>> hits(n);
+    for (auto& h : hits) h.store(0);
+    std::atomic<bool> worker_ok{true};
+    const auto check_worker = [&](int worker) {
+      if (worker < 0 || worker >= num_threads) worker_ok.store(false);
+    };
+
+    if (round == 0) {
+      pool.ParallelForChunked(n, grain,
+                              [&](int worker, size_t begin, size_t end) {
+                                check_worker(worker);
+                                for (size_t i = begin; i < end; ++i) {
+                                  body_cost(static_cast<uint32_t>(i));
+                                  hits[i].fetch_add(1);
+                                }
+                              });
+    } else if (round == 1) {
+      pool.ParallelForSpan(indices, grain,
+                           [&](int worker, std::span<const uint32_t> ids) {
+                             check_worker(worker);
+                             for (uint32_t i : ids) {
+                               body_cost(i);
+                               hits[i].fetch_add(1);
+                             }
+                           });
+    } else {
+      pool.ParallelForFrontier(
+          indices,
+          [&](uint32_t i) { return i == heavy ? 1000.0f : 1.0f; }, grain,
+          [&](int worker, std::span<const uint32_t> ids) {
+            check_worker(worker);
+            for (uint32_t i : ids) {
+              body_cost(i);
+              hits[i].fetch_add(1);
+            }
+          });
+    }
+
+    EXPECT_TRUE(worker_ok.load()) << "threads=" << num_threads
+                                  << " round=" << round;
+    for (size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(hits[i].load(), 1u)
+          << "threads=" << num_threads << " round=" << round << " index=" << i;
+    }
+  }
+}
+
+TEST(WorkStealingScheduler, SkewedCostsCoverEveryIndexOnceAt1Thread) {
+  StressPrimitives(1, 4096, 7, 1234);
+}
+
+TEST(WorkStealingScheduler, SkewedCostsCoverEveryIndexOnceAt2Threads) {
+  StressPrimitives(2, 4096, 7, 1234);
+}
+
+TEST(WorkStealingScheduler, SkewedCostsCoverEveryIndexOnceAt8Threads) {
+  StressPrimitives(8, 4096, 7, 1234);
+}
+
+// The heavy index landing in the last chunk is the worst case for the old
+// shared counter (it is claimed last and runs alone); stealing must still
+// cover everything exactly once.
+TEST(WorkStealingScheduler, HeavyTailIndexIsCoveredExactlyOnce) {
+  StressPrimitives(8, 2048, 16, 2047);
+}
+
+// Alternating small (shared-counter fallback) and large (deque) regions on
+// one pool: mode switching must not leak chunks between regions.
+TEST(WorkStealingScheduler, AlternatingCounterAndStealRegionsStayIsolated) {
+  ThreadPool pool(4);
+  for (int round = 0; round < 20; ++round) {
+    const size_t n = (round % 2 == 0) ? 17 : 4096;  // small: counter fallback
+    std::vector<std::atomic<uint32_t>> hits(n);
+    for (auto& h : hits) h.store(0);
+    pool.ParallelForChunked(n, 4, [&](int /*worker*/, size_t b, size_t e) {
+      for (size_t i = b; i < e; ++i) hits[i].fetch_add(1);
+    });
+    for (size_t i = 0; i < n; ++i) ASSERT_EQ(hits[i].load(), 1u);
+  }
+  const auto stats = pool.stats();
+  EXPECT_GT(stats.steal_regions, 0u);
+  EXPECT_GT(stats.counter_regions, 0u);
+  EXPECT_GT(stats.chunks_executed, 0u);
+}
+
+// Zero and uniform frontier weights are edge cases of the two-class split
+// (max_weight == 0 puts everything in the "big" class).
+TEST(WorkStealingScheduler, FrontierHandlesDegenerateWeights) {
+  ThreadPool pool(4);
+  const size_t n = 1000;
+  std::vector<uint32_t> indices(n);
+  std::iota(indices.begin(), indices.end(), 0u);
+  for (float weight : {0.0f, 1.0f}) {
+    std::vector<std::atomic<uint32_t>> hits(n);
+    for (auto& h : hits) h.store(0);
+    pool.ParallelForFrontier(
+        indices, [weight](uint32_t) { return weight; }, 8,
+        [&](int /*worker*/, std::span<const uint32_t> ids) {
+          for (uint32_t i : ids) hits[i].fetch_add(1);
+        });
+    for (size_t i = 0; i < n; ++i) ASSERT_EQ(hits[i].load(), 1u);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Exact-mode equivalence across thread counts
+// ---------------------------------------------------------------------------
+
+/// A random labeled digraph where every node has out- and in-degree >= 1
+/// (a ring plus random chords), as in tests/active_set_test.cc.
+Graph MakeDenseRandomGraph(uint64_t seed, uint32_t n = 24) {
+  static const char* kLabels[] = {"aa", "ab", "bb", "bc"};
+  Rng rng(seed);
+  GraphBuilder builder;
+  for (uint32_t i = 0; i < n; ++i) {
+    builder.AddNode(kLabels[rng.Next() % 4]);
+  }
+  for (uint32_t i = 0; i < n; ++i) {
+    builder.AddEdge(i, (i + 1) % n);
+  }
+  for (uint32_t e = 0; e < 2 * n; ++e) {
+    NodeId from = static_cast<NodeId>(rng.Next() % n);
+    NodeId to = static_cast<NodeId>(rng.Next() % n);
+    if (from != to) builder.AddEdge(from, to);
+  }
+  return std::move(builder).BuildOrDie();
+}
+
+const MappingKind kAllMappings[] = {
+    MappingKind::kMaxPerRow, MappingKind::kInjectiveRow,
+    MappingKind::kMaxBothSides, MappingKind::kInjectiveSym,
+    MappingKind::kProduct};
+const OmegaKind kAllOmegas[] = {OmegaKind::kSizeS1, OmegaKind::kSumSizes,
+                                OmegaKind::kGeoMean, OmegaKind::kMaxSize,
+                                OmegaKind::kProduct};
+
+using SweepParam = std::tuple<MappingKind, OmegaKind, MatchingAlgo>;
+
+class MultiThreadExactLockstep : public ::testing::TestWithParam<SweepParam> {
+};
+
+// Multi-thread exact-mode active set vs the single-thread full sweep, bit
+// for bit: the sweeps are Jacobi (all reads hit the previous buffer), the
+// reductions are order-independent, and exact-mode freezing carries the
+// identical value — so thread count must not appear in the result at all.
+TEST_P(MultiThreadExactLockstep, EightThreadsMatchOneThreadFullSweeps) {
+  const auto [mapping, omega, matching] = GetParam();
+  const Graph g = MakeDenseRandomGraph(/*seed=*/17 + static_cast<int>(omega));
+  FSimConfig config;
+  config.operator_override = OperatorConfig{mapping, omega};
+  config.matching = matching;
+  config.label_sim = LabelSimKind::kEditDistance;
+  config.theta = 0.4;
+  config.w_out = 0.35;
+  config.w_in = 0.35;
+  config.epsilon = 1e-6;
+  config.neighbor_index_budget_bytes = 1ULL << 30;
+
+  FSimConfig parallel = config;
+  parallel.num_threads = 8;
+  parallel.active_set = ActiveSetMode::kExact;
+  parallel.active_set_activation_fraction = 0.0;  // pin the frontier path
+  auto active = ComputeFSimSelf(g, parallel);
+  ASSERT_TRUE(active.ok()) << active.status().ToString();
+  EXPECT_TRUE(active->stats().active_set);
+
+  config.num_threads = 1;
+  config.active_set = ActiveSetMode::kOff;
+  auto off = ComputeFSimSelf(g, config);
+  ASSERT_TRUE(off.ok()) << off.status().ToString();
+
+  ASSERT_EQ(active->keys().size(), off->keys().size());
+  EXPECT_EQ(active->stats().iterations, off->stats().iterations);
+  EXPECT_EQ(active->stats().converged, off->stats().converged);
+  for (size_t i = 0; i < active->keys().size(); ++i) {
+    ASSERT_EQ(active->keys()[i], off->keys()[i]);
+    // Bit-identical, not just close.
+    ASSERT_EQ(active->values()[i], off->values()[i])
+        << "pair " << i << " (u=" << PairFirst(active->keys()[i])
+        << ", v=" << PairSecond(active->keys()[i]) << ")";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Operators, MultiThreadExactLockstep,
+    ::testing::Combine(::testing::ValuesIn(kAllMappings),
+                       ::testing::ValuesIn(kAllOmegas),
+                       ::testing::Values(MatchingAlgo::kGreedy,
+                                         MatchingAlgo::kHungarian)));
+
+// ---------------------------------------------------------------------------
+// Parallel-vs-serial incremental Propagate
+// ---------------------------------------------------------------------------
+
+std::vector<std::tuple<int, NodeId, NodeId, bool>> EditScript(
+    const testing::GraphPair& pair) {
+  // A deterministic mix of inserts and removes within both graphs' node
+  // ranges; ops that fail identically on both engines are fine.
+  std::vector<std::tuple<int, NodeId, NodeId, bool>> script;
+  Rng rng(0xED17);
+  const NodeId n1 = pair.g1.NumNodes();
+  const NodeId n2 = pair.g2.NumNodes();
+  for (int e = 0; e < 12; ++e) {
+    const int graph_index = (rng.Next() % 2) ? 1 : 2;
+    const NodeId n = graph_index == 1 ? n1 : n2;
+    NodeId from = static_cast<NodeId>(rng.Next() % n);
+    NodeId to = static_cast<NodeId>(rng.Next() % n);
+    if (from == to) to = (to + 1) % n;
+    script.emplace_back(graph_index, from, to, (rng.Next() % 3) != 0);
+  }
+  return script;
+}
+
+Status ApplyOp(IncrementalFSim* inc,
+               const std::tuple<int, NodeId, NodeId, bool>& op) {
+  const auto [graph_index, from, to, insert] = op;
+  return insert ? inc->InsertEdge(graph_index, from, to)
+                : inc->RemoveEdge(graph_index, from, to);
+}
+
+// The wave-parallel Propagate commits its Jacobi waves in serial wave
+// order, so both engines converge to the same fixpoint within their
+// documented tau * (1 + w) / (1 - w) budgets. With tau = 1e-14 and
+// w = 0.7 the two budgets sum to ~1.1e-13, comfortably inside 1e-12.
+TEST(ParallelPropagate, TracksSerialChaoticEngineTo1e12) {
+  auto pair = MakeRandomPair(/*seed=*/3);
+  FSimConfig config;
+  config.variant = SimVariant::kBi;
+  config.matching = MatchingAlgo::kHungarian;
+  config.theta = 0.0;
+  config.w_out = 0.35;
+  config.w_in = 0.35;
+  config.epsilon = 1e-12;
+  IncrementalOptions options;
+  options.propagation_tolerance = 1e-14;
+
+  FSimConfig serial_config = config;
+  serial_config.num_threads = 1;
+  auto serial = IncrementalFSim::Create(pair.g1, pair.g2, serial_config,
+                                        options);
+  ASSERT_TRUE(serial.ok()) << serial.status().ToString();
+
+  FSimConfig parallel_config = config;
+  parallel_config.num_threads = 4;
+  auto parallel = IncrementalFSim::Create(pair.g1, pair.g2, parallel_config,
+                                          options);
+  ASSERT_TRUE(parallel.ok()) << parallel.status().ToString();
+
+  // SolveFull's parallel sweeps are Jacobi with a serial absorb phase, so
+  // the initial fixpoint must already be bit-identical.
+  {
+    const FSimScores s = serial->Snapshot();
+    const FSimScores p = parallel->Snapshot();
+    ASSERT_EQ(s.keys().size(), p.keys().size());
+    for (size_t i = 0; i < s.keys().size(); ++i) {
+      ASSERT_EQ(s.values()[i], p.values()[i]) << "initial solve, pair " << i;
+    }
+  }
+
+  for (const auto& op : EditScript(pair)) {
+    const Status ss = ApplyOp(&*serial, op);
+    const Status ps = ApplyOp(&*parallel, op);
+    ASSERT_EQ(ss.ok(), ps.ok());
+    if (!ss.ok()) continue;  // identical no-op (absent/present edge)
+    const FSimScores s = serial->Snapshot();
+    const FSimScores p = parallel->Snapshot();
+    ASSERT_EQ(s.keys().size(), p.keys().size());
+    for (size_t i = 0; i < s.keys().size(); ++i) {
+      ASSERT_NEAR(s.values()[i], p.values()[i], 1e-12)
+          << "pair " << i << " after edit";
+    }
+  }
+}
+
+// PropagateWaves is deterministic in the thread count: the trajectory
+// (wave membership, Jacobi inputs, serial commit order) depends only on
+// the edit, so 2- and 8-thread engines must agree bit for bit.
+TEST(ParallelPropagate, BitIdenticalAcrossThreadCounts) {
+  auto pair = MakeRandomPair(/*seed=*/9);
+  FSimConfig config;
+  config.variant = SimVariant::kBi;
+  config.theta = 0.0;
+  config.w_out = 0.4;
+  config.w_in = 0.3;
+  config.epsilon = 1e-10;
+  IncrementalOptions options;
+  options.propagation_tolerance = 1e-11;
+
+  FSimConfig c2 = config;
+  c2.num_threads = 2;
+  FSimConfig c8 = config;
+  c8.num_threads = 8;
+  auto inc2 = IncrementalFSim::Create(pair.g1, pair.g2, c2, options);
+  auto inc8 = IncrementalFSim::Create(pair.g1, pair.g2, c8, options);
+  ASSERT_TRUE(inc2.ok()) << inc2.status().ToString();
+  ASSERT_TRUE(inc8.ok()) << inc8.status().ToString();
+
+  for (const auto& op : EditScript(pair)) {
+    const Status s2 = ApplyOp(&*inc2, op);
+    const Status s8 = ApplyOp(&*inc8, op);
+    ASSERT_EQ(s2.ok(), s8.ok());
+    const FSimScores a = inc2->Snapshot();
+    const FSimScores b = inc8->Snapshot();
+    ASSERT_EQ(a.keys().size(), b.keys().size());
+    for (size_t i = 0; i < a.keys().size(); ++i) {
+      ASSERT_EQ(a.values()[i], b.values()[i]) << "pair " << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fsim
