@@ -20,20 +20,29 @@
 // With no --g2 the graph is compared against itself. With no action flag
 // the tool prints run statistics and the 10 best non-trivial pairs.
 #include <algorithm>
+#include <climits>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "common/check.h"
+#include "common/flat_pair_map.h"
+#include "common/string_util.h"
+#include "common/thread_pool.h"
 #include "core/fsim_engine.h"
+#include "core/incremental_index.h"
+#include "core/pair_store.h"
 #include "core/scores_io.h"
 #include "core/topk_allpairs.h"
 #include "core/topk_search.h"
 #include "exact/exact_simulation.h"
 #include "exact/partition_refinement.h"
 #include "graph/binary_io.h"
+#include "graph/dynamic_graph.h"
 #include "graph/graph_io.h"
 #include "graph/graph_stats.h"
 #include "serve/service.h"
@@ -53,7 +62,8 @@ int Usage(const char* argv0) {
       "          [--exact] [--partition]\n"
       "          [--out <scores-file>] [--save-binary <graph-file>]\n"
       "          [--serve] [--warm <scores-file>] [--refresh-edits N]\n"
-      "          [--refresh-seconds S] [--cache-k K] [--sync-refresh]\n",
+      "          [--refresh-seconds S] [--cache-k K] [--sync-refresh]\n"
+      "          [--validate]\n",
       argv0);
   return 2;
 }
@@ -88,6 +98,103 @@ bool ParseLabelSim(const char* s, LabelSimKind* out) {
   return true;
 }
 
+/// --validate: exercises every structural validator (docs/correctness.md)
+/// against instances built from the loaded graphs, then prints the
+/// ValidatorCounters table. Exit 0 iff all validators pass.
+int RunValidate(const Graph& graph1, const Graph& target, FSimConfig config) {
+  int failures = 0;
+  const auto report = [&failures](const char* name, const Status& st) {
+    if (st.ok()) {
+      std::printf("  OK    %s\n", name);
+    } else {
+      std::printf("  FAIL  %s: %s\n", name, st.ToString().c_str());
+      ++failures;
+    }
+  };
+  std::printf("running structural validators:\n");
+
+  // Adjacency invariants, after an edit round trip exercises the
+  // insert/remove maintenance paths.
+  DynamicGraph dg1(graph1);
+  if (dg1.NumNodes() >= 2) {
+    const NodeId a = 0;
+    const NodeId b = static_cast<NodeId>(dg1.NumNodes() - 1);
+    const bool inserted = dg1.InsertEdge(a, b).ok();
+    if (inserted) report("DynamicGraph::RemoveEdge", dg1.RemoveEdge(a, b));
+  }
+  report("DynamicGraph::ValidateAdjacency", dg1.ValidateAdjacency());
+
+  // Batch CSR neighbor index. Force a budget so the index actually builds
+  // even when the run config leaves it off.
+  LabelSimilarityCache lsim(*graph1.dict(), config.label_sim);
+  FSimConfig store_config = config;
+  if (store_config.neighbor_index_budget_bytes == 0) {
+    store_config.neighbor_index_budget_bytes = 1ULL << 30;
+  }
+  auto store = PairStore::Build(graph1, target, store_config, lsim);
+  if (!store.ok()) {
+    report("PairStore::Build", store.status());
+  } else {
+    report("PairStore::ValidateNeighborIndex", store->ValidateNeighborIndex());
+
+    // Incremental span arena over the same candidate set.
+    std::vector<uint64_t> keys;
+    keys.reserve(store->size());
+    for (size_t i = 0; i < store->size(); ++i) {
+      keys.push_back(PairKey(store->U(i), store->V(i)));
+    }
+    FlatPairMap pair_index(keys.size());
+    for (size_t i = 0; i < keys.size(); ++i) {
+      pair_index.Insert(keys[i], static_cast<uint32_t>(i));
+    }
+    DynamicGraph edit_g1(graph1);
+    DynamicGraph edit_g2(target);
+    const NeighborIndexEnv env{edit_g1, edit_g2, pair_index, lsim};
+    IncrementalNeighborIndex inc;
+    inc.Build(env, keys, store_config);
+    report("IncrementalNeighborIndex::Validate", inc.Validate(keys.size()));
+  }
+
+  // Work-stealing scheduler accounting, after a real parallel region.
+  {
+    ThreadPool pool(config.num_threads > 0 ? config.num_threads : 2);
+    std::vector<uint64_t> sums(1024, 0);
+    pool.ParallelForChunked(sums.size(), 16,
+                            [&sums](int, size_t begin, size_t end) {
+                              for (size_t i = begin; i < end; ++i) sums[i] = i;
+                            });
+    report("ThreadPool::ValidateScheduler", pool.ValidateScheduler());
+  }
+
+  // Snapshot publish chain, fed by an actual solve.
+  auto scores = ComputeFSim(graph1, target, config);
+  if (!scores.ok()) {
+    report("ComputeFSim", scores.status());
+  } else {
+    SnapshotStore snapshots;
+    SharedFSimScores shared = FreezeScores(std::move(*scores));
+    for (int round = 0; round < 2; ++round) {
+      SnapshotMeta meta;
+      meta.version = snapshots.NextVersion();
+      snapshots.Publish(
+          std::make_shared<const FSimSnapshot>(shared, /*cache_k=*/4, meta));
+    }
+    report("SnapshotStore::ValidateChain", snapshots.ValidateChain());
+  }
+
+  std::printf("validator invocation counts:\n");
+  for (const auto& [name, count] : ValidatorCounters::Snapshot()) {
+    std::printf("  %-40s %llu\n", name.c_str(),
+                static_cast<unsigned long long>(count));
+  }
+  if (failures == 0) {
+    std::printf("all validators passed\n");
+  } else {
+    std::printf("%d validator(s) FAILED\n", failures);
+  }
+  return failures == 0 ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -99,6 +206,7 @@ int main(int argc, char** argv) {
   bool run_exact = false;
   bool run_partition = false;
   bool run_serve = false;
+  bool run_validate = false;
   ServeOptions serve_options;
   NodeId source = kInvalidNode;
 
@@ -109,6 +217,40 @@ int main(int argc, char** argv) {
         std::exit(2);
       }
       return argv[++i];
+    };
+    // Checked flag-value parsers: unlike the atoi/atof family they reject
+    // garbage and out-of-range input loudly instead of silently reading 0.
+    auto flag_value_error = [](const char* flag, const Status& st) {
+      std::fprintf(stderr, "%s: %s\n", flag, st.ToString().c_str());
+      std::exit(2);
+    };
+    auto parse_double_flag = [&](const char* flag) -> double {
+      auto parsed = ParseDouble(need_value(flag));
+      if (!parsed.ok()) flag_value_error(flag, parsed.status());
+      return *parsed;
+    };
+    auto parse_size_flag = [&](const char* flag) -> size_t {
+      auto parsed = ParseUint64(need_value(flag));
+      if (!parsed.ok()) flag_value_error(flag, parsed.status());
+      return static_cast<size_t>(*parsed);
+    };
+    auto parse_int_flag = [&](const char* flag) -> int {
+      auto parsed = ParseInt64(need_value(flag));
+      if (parsed.ok() && (*parsed < 0 || *parsed > INT_MAX)) {
+        flag_value_error(flag,
+                         Status::OutOfRange("value outside the int range"));
+      }
+      if (!parsed.ok()) flag_value_error(flag, parsed.status());
+      return static_cast<int>(*parsed);
+    };
+    auto parse_node_flag = [&](const char* flag) -> NodeId {
+      auto parsed = ParseUint64(need_value(flag));
+      if (parsed.ok() && *parsed >= kInvalidNode) {
+        flag_value_error(flag,
+                         Status::OutOfRange("value outside the node-id range"));
+      }
+      if (!parsed.ok()) flag_value_error(flag, parsed.status());
+      return static_cast<NodeId>(*parsed);
     };
     if (std::strcmp(argv[i], "--g1") == 0) {
       g1_path = need_value("--g1");
@@ -125,13 +267,13 @@ int main(int argc, char** argv) {
         return Usage(argv[0]);
       }
     } else if (std::strcmp(argv[i], "--theta") == 0) {
-      config.theta = std::atof(need_value("--theta"));
+      config.theta = parse_double_flag("--theta");
     } else if (std::strcmp(argv[i], "--w-out") == 0) {
-      config.w_out = std::atof(need_value("--w-out"));
+      config.w_out = parse_double_flag("--w-out");
     } else if (std::strcmp(argv[i], "--w-in") == 0) {
-      config.w_in = std::atof(need_value("--w-in"));
+      config.w_in = parse_double_flag("--w-in");
     } else if (std::strcmp(argv[i], "--threads") == 0) {
-      config.num_threads = std::atoi(need_value("--threads"));
+      config.num_threads = parse_int_flag("--threads");
     } else if (std::strcmp(argv[i], "--upper-bound") == 0) {
       config.upper_bound = true;
     } else if (std::strcmp(argv[i], "--active-set") == 0) {
@@ -149,11 +291,11 @@ int main(int argc, char** argv) {
         return Usage(argv[0]);
       }
     } else if (std::strcmp(argv[i], "--frontier-tolerance") == 0) {
-      config.frontier_tolerance = std::atof(need_value("--frontier-tolerance"));
+      config.frontier_tolerance = parse_double_flag("--frontier-tolerance");
     } else if (std::strcmp(argv[i], "--topk") == 0) {
-      topk = static_cast<size_t>(std::atoll(need_value("--topk")));
+      topk = parse_size_flag("--topk");
     } else if (std::strcmp(argv[i], "--topk-pairs") == 0) {
-      topk_pairs = static_cast<size_t>(std::atoll(need_value("--topk-pairs")));
+      topk_pairs = parse_size_flag("--topk-pairs");
     } else if (std::strcmp(argv[i], "--exact") == 0) {
       run_exact = true;
     } else if (std::strcmp(argv[i], "--partition") == 0) {
@@ -165,18 +307,18 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--warm") == 0) {
       serve_options.warm_scores_path = need_value("--warm");
     } else if (std::strcmp(argv[i], "--refresh-edits") == 0) {
-      serve_options.policy.max_edits_behind =
-          static_cast<size_t>(std::atoll(need_value("--refresh-edits")));
+      serve_options.policy.max_edits_behind = parse_size_flag("--refresh-edits");
     } else if (std::strcmp(argv[i], "--refresh-seconds") == 0) {
       serve_options.policy.max_seconds_behind =
-          std::atof(need_value("--refresh-seconds"));
+          parse_double_flag("--refresh-seconds");
     } else if (std::strcmp(argv[i], "--cache-k") == 0) {
-      serve_options.policy.topk_cache_k =
-          static_cast<size_t>(std::atoll(need_value("--cache-k")));
+      serve_options.policy.topk_cache_k = parse_size_flag("--cache-k");
     } else if (std::strcmp(argv[i], "--sync-refresh") == 0) {
       serve_options.background_refresh = false;
+    } else if (std::strcmp(argv[i], "--validate") == 0) {
+      run_validate = true;
     } else if (std::strcmp(argv[i], "--source") == 0) {
-      source = static_cast<NodeId>(std::atoll(need_value("--source")));
+      source = parse_node_flag("--source");
     } else {
       std::fprintf(stderr, "unknown flag %s\n", argv[i]);
       return Usage(argv[0]);
@@ -203,6 +345,10 @@ int main(int argc, char** argv) {
   }
   const Graph& graph1 = *g1;
   const Graph& target = self ? graph1 : graph2;
+
+  if (run_validate) {
+    return RunValidate(graph1, target, config);
+  }
 
   if (run_serve) {
     // stdout is the protocol channel; banner and diagnostics go to stderr.

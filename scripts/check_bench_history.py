@@ -31,15 +31,23 @@ within noise of the PR 1 indexed path), while the new
 "fsim.<variant>/tol.iterate_s" the tolerance-mode frontier engine. The new
 paths enter the gate through the usual --min-history grace period.
 
+A malformed history line (truncated write, merge droppings) fails loudly
+with exit code 2 and the offending line number, instead of the former
+uncaught json.JSONDecodeError traceback; --self-test exercises the gate and
+the malformed-line handling against synthetic histories, so CI can verify
+the gate itself before trusting it.
+
 Usage:
   check_bench_history.py [--history BENCH_history.jsonl] [--threshold 0.2]
-      [--window 10] [--min-history 3]
+      [--window 10] [--min-history 3] [--self-test]
 """
 
 import argparse
 import json
+import os
 import statistics
 import sys
+import tempfile
 
 
 def numeric_leaves(record, prefix=""):
@@ -62,22 +70,32 @@ def higher_is_better(path):
     return "qps" in path.rsplit(".", 1)[-1]
 
 
-def main():
-    parser = argparse.ArgumentParser()
-    parser.add_argument("--history", default="BENCH_history.jsonl")
-    parser.add_argument("--threshold", type=float, default=0.2,
-                        help="relative regression that fails the gate")
-    parser.add_argument("--window", type=int, default=10,
-                        help="prior lines forming the rolling baseline")
-    parser.add_argument("--min-history", type=int, default=3,
-                        help="prior samples a metric needs before it gates")
-    args = parser.parse_args()
-
+def load_history(path):
+    """Parses the JSONL history. Returns (records, error): on a malformed
+    line, error names the line number and the parse failure."""
+    records = []
     try:
-        with open(args.history) as f:
-            lines = [json.loads(line) for line in f if line.strip()]
+        with open(path) as f:
+            for line_no, line in enumerate(f, start=1):
+                if not line.strip():
+                    continue
+                try:
+                    records.append(json.loads(line))
+                except json.JSONDecodeError as e:
+                    return None, (f"{path}:{line_no}: malformed history line "
+                                  f"({e}); fix or remove it before gating")
     except OSError as e:
-        print(f"bench gate: no history to check ({e}); passing")
+        return [], f"unreadable: {e}"
+    return records, None
+
+
+def run_gate(args):
+    lines, error = load_history(args.history)
+    if lines is None:
+        print(f"bench gate: ERROR: {error}", file=sys.stderr)
+        return 2
+    if error is not None:
+        print(f"bench gate: no history to check ({error}); passing")
         return 0
     if len(lines) < 2:
         print("bench gate: fewer than 2 history lines; passing")
@@ -126,6 +144,65 @@ def main():
     print(f"bench gate: OK for '{label}' ({checked} metrics within "
           f"{args.threshold:.0%} of their rolling medians)")
     return 0
+
+
+def self_test():
+    """End-to-end checks of the gate against synthetic histories. Exit 0 iff
+    all behaviors (pass, regression, malformed line) hold."""
+    def gate_on(lines_text, **overrides):
+        with tempfile.NamedTemporaryFile("w", suffix=".jsonl",
+                                         delete=False) as f:
+            f.write(lines_text)
+            path = f.name
+        try:
+            args = argparse.Namespace(history=path, threshold=0.2, window=10,
+                                      min_history=3, **overrides)
+            return run_gate(args)
+        finally:
+            os.unlink(path)
+
+    steady = "\n".join(
+        json.dumps({"label": f"r{i}", "fsim": {"iterate_s": 1.0}})
+        for i in range(5)) + "\n"
+    regressed = "\n".join(
+        json.dumps({"label": f"r{i}", "fsim": {"iterate_s": 1.0}})
+        for i in range(4))
+    regressed += "\n" + json.dumps(
+        {"label": "slow", "fsim": {"iterate_s": 2.0}}) + "\n"
+    malformed = steady + "{not json\n"
+
+    checks = [
+        ("steady history passes", gate_on(steady), 0),
+        ("25% regression fails", gate_on(regressed), 1),
+        ("malformed line exits 2", gate_on(malformed), 2),
+        ("missing file passes", run_gate(argparse.Namespace(
+            history="/nonexistent/bench.jsonl", threshold=0.2, window=10,
+            min_history=3)), 0),
+    ]
+    failures = 0
+    for name, got, want in checks:
+        ok = got == want
+        failures += 0 if ok else 1
+        print(f"self-test: {'PASS' if ok else 'FAIL'} {name} "
+              f"(exit {got}, want {want})")
+    return 1 if failures else 0
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--history", default="BENCH_history.jsonl")
+    parser.add_argument("--threshold", type=float, default=0.2,
+                        help="relative regression that fails the gate")
+    parser.add_argument("--window", type=int, default=10,
+                        help="prior lines forming the rolling baseline")
+    parser.add_argument("--min-history", type=int, default=3,
+                        help="prior samples a metric needs before it gates")
+    parser.add_argument("--self-test", action="store_true",
+                        help="verify the gate against synthetic histories")
+    args = parser.parse_args()
+    if args.self_test:
+        return self_test()
+    return run_gate(args)
 
 
 if __name__ == "__main__":

@@ -1,0 +1,92 @@
+#include "common/check.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+
+#if defined(__GLIBC__) || __has_include(<execinfo.h>)
+#include <execinfo.h>
+#define FSIM_HAVE_BACKTRACE 1
+#endif
+
+namespace fsim {
+namespace internal {
+
+std::string CurrentStackTrace() {
+#ifdef FSIM_HAVE_BACKTRACE
+  void* frames[64];
+  const int depth = backtrace(frames, 64);
+  char** symbols = backtrace_symbols(frames, depth);
+  if (symbols == nullptr) return "";
+  std::string out;
+  // Frame 0 is CurrentStackTrace itself, 1 the CheckMessage destructor;
+  // start at the first frame the failing code owns.
+  for (int i = 2; i < depth; ++i) {
+    out += "    #";
+    out += std::to_string(i - 2);
+    out += " ";
+    out += symbols[i];
+    out += "\n";
+  }
+  std::free(symbols);
+  return out;
+#else
+  return "";
+#endif
+}
+
+CheckMessage::CheckMessage(const char* file, int line, const char* condition) {
+  stream_ << "FSIM_CHECK failed: " << condition << " at " << file << ":"
+          << line << " ";
+}
+
+CheckMessage::~CheckMessage() {
+  std::string message = stream_.str();
+  message += "\n";
+  const std::string stack = CurrentStackTrace();
+  if (!stack.empty()) {
+    message += "  stack:\n";
+    message += stack;
+  }
+  std::fwrite(message.data(), 1, message.size(), stderr);
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace internal
+
+namespace {
+
+// guards: the validator-counter map below (Bump/Count/Snapshot callers).
+std::mutex& CounterMutex() {
+  static std::mutex mu;
+  return mu;
+}
+
+std::map<std::string, uint64_t>& CounterMap() {
+  static std::map<std::string, uint64_t> counts;
+  return counts;
+}
+
+}  // namespace
+
+void ValidatorCounters::Bump(const char* name) {
+  std::lock_guard<std::mutex> lock(CounterMutex());
+  ++CounterMap()[name];
+}
+
+uint64_t ValidatorCounters::Count(const char* name) {
+  std::lock_guard<std::mutex> lock(CounterMutex());
+  const auto& counts = CounterMap();
+  auto it = counts.find(name);
+  return it == counts.end() ? 0 : it->second;
+}
+
+std::vector<std::pair<std::string, uint64_t>> ValidatorCounters::Snapshot() {
+  std::lock_guard<std::mutex> lock(CounterMutex());
+  const auto& counts = CounterMap();
+  return {counts.begin(), counts.end()};
+}
+
+}  // namespace fsim

@@ -1,11 +1,14 @@
-// Minimal logging and invariant-checking macros (glog-flavoured, as used by
-// Arrow/RocksDB internals). CHECK aborts on violated invariants; DCHECK
-// compiles away in release builds. LOG(level) writes a line to stderr.
+// Minimal logging macros (glog-flavoured, as used by Arrow/RocksDB
+// internals). LOG(level) writes a line to stderr. The FSIM_CHECK /
+// FSIM_DCHECK invariant macros live in common/check.h (included here so
+// historical logging.h users keep both families).
 #ifndef FSIM_COMMON_LOGGING_H_
 #define FSIM_COMMON_LOGGING_H_
 
 #include <sstream>
 #include <string>
+
+#include "common/check.h"
 
 namespace fsim {
 namespace internal {
@@ -45,28 +48,5 @@ LogLevel GetLogThreshold();
   ::fsim::internal::LogMessage(::fsim::internal::LogLevel::kWarning, __FILE__, __LINE__)
 #define FSIM_LOG_ERROR \
   ::fsim::internal::LogMessage(::fsim::internal::LogLevel::kError, __FILE__, __LINE__)
-
-/// Aborts the process with a diagnostic if `condition` is false.
-#define FSIM_CHECK(condition)                                                  \
-  if (!(condition))                                                            \
-  ::fsim::internal::LogMessage(::fsim::internal::LogLevel::kFatal, __FILE__,   \
-                               __LINE__)                                       \
-      << "Check failed: " #condition " "
-
-#define FSIM_CHECK_EQ(a, b) FSIM_CHECK((a) == (b))
-#define FSIM_CHECK_NE(a, b) FSIM_CHECK((a) != (b))
-#define FSIM_CHECK_LT(a, b) FSIM_CHECK((a) < (b))
-#define FSIM_CHECK_LE(a, b) FSIM_CHECK((a) <= (b))
-#define FSIM_CHECK_GT(a, b) FSIM_CHECK((a) > (b))
-#define FSIM_CHECK_GE(a, b) FSIM_CHECK((a) >= (b))
-
-#ifdef NDEBUG
-#define FSIM_DCHECK(condition) \
-  while (false) FSIM_CHECK(condition)
-#else
-#define FSIM_DCHECK(condition) FSIM_CHECK(condition)
-#endif
-#define FSIM_DCHECK_LT(a, b) FSIM_DCHECK((a) < (b))
-#define FSIM_DCHECK_LE(a, b) FSIM_DCHECK((a) <= (b))
 
 #endif  // FSIM_COMMON_LOGGING_H_

@@ -37,11 +37,12 @@ class Status {
   Status() noexcept : state_(nullptr) {}
   ~Status() { delete state_; }
 
-  Status(const Status& other)
+  Status(const Status& other)  // fsim-lint: allow(naked-new)
       : state_(other.state_ ? new State(*other.state_) : nullptr) {}
   Status& operator=(const Status& other) {
     if (this != &other) {
       delete state_;
+      // fsim-lint: allow(naked-new)
       state_ = other.state_ ? new State(*other.state_) : nullptr;
     }
     return *this;
@@ -98,7 +99,7 @@ class Status {
     std::string message;
   };
 
-  Status(StatusCode code, std::string msg)
+  Status(StatusCode code, std::string msg)  // fsim-lint: allow(naked-new)
       : state_(new State{code, std::move(msg)}) {}
 
   State* state_;  // nullptr means OK.

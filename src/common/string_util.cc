@@ -1,8 +1,10 @@
 #include "common/string_util.h"
 
 #include <cctype>
+#include <cerrno>
 #include <cstdarg>
 #include <cstdio>
+#include <cstdlib>
 
 namespace fsim {
 
@@ -65,6 +67,67 @@ std::string StrFormat(const char* fmt, ...) {
   }
   va_end(args_copy);
   return out;
+}
+
+namespace {
+
+/// Shared strto* harness: NUL-terminates the trimmed input (strto* needs a C
+/// string), runs `parse`, and rejects empty input, trailing garbage, and
+/// ERANGE uniformly.
+template <typename T, typename Parse>
+Result<T> ParseWith(std::string_view s, const char* kind, Parse parse) {
+  const std::string text(Trim(s));
+  if (text.empty()) {
+    return Status::InvalidArgument(StrFormat("empty %s", kind));
+  }
+  errno = 0;
+  char* end = nullptr;
+  const T value = parse(text.c_str(), &end);
+  if (end == text.c_str()) {
+    return Status::InvalidArgument(
+        StrFormat("'%s' is not a valid %s", text.c_str(), kind));
+  }
+  if (end != text.c_str() + text.size()) {
+    return Status::InvalidArgument(
+        StrFormat("'%s' is not a valid %s (garbage after '%s')", text.c_str(),
+                  kind,
+                  std::string(text.c_str(),
+                              static_cast<const char*>(end))
+                      .c_str()));
+  }
+  if (errno == ERANGE) {
+    return Status::OutOfRange(
+        StrFormat("'%s' overflows the %s range", text.c_str(), kind));
+  }
+  return value;
+}
+
+}  // namespace
+
+Result<int64_t> ParseInt64(std::string_view s) {
+  return ParseWith<int64_t>(s, "integer", [](const char* p, char** end) {
+    return static_cast<int64_t>(std::strtoll(p, end, 10));
+  });
+}
+
+Result<uint64_t> ParseUint64(std::string_view s) {
+  // strtoull silently wraps "-1" to ULLONG_MAX - reject signs up front.
+  const std::string_view trimmed = Trim(s);
+  if (!trimmed.empty() && (trimmed.front() == '-' || trimmed.front() == '+')) {
+    return Status::InvalidArgument(
+        StrFormat("'%.*s' is not a valid unsigned integer",
+                  static_cast<int>(trimmed.size()), trimmed.data()));
+  }
+  return ParseWith<uint64_t>(
+      s, "unsigned integer", [](const char* p, char** end) {
+        return static_cast<uint64_t>(std::strtoull(p, end, 10));
+      });
+}
+
+Result<double> ParseDouble(std::string_view s) {
+  return ParseWith<double>(s, "number", [](const char* p, char** end) {
+    return std::strtod(p, end);
+  });
 }
 
 }  // namespace fsim

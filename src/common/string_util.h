@@ -3,9 +3,12 @@
 #ifndef FSIM_COMMON_STRING_UTIL_H_
 #define FSIM_COMMON_STRING_UTIL_H_
 
+#include <cstdint>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "common/result.h"
 
 namespace fsim {
 
@@ -27,6 +30,14 @@ bool StartsWith(std::string_view s, std::string_view prefix);
 
 /// printf-style formatting into a std::string.
 std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// Checked numeric parsers for CLI/file input. Unlike atoi/atof they reject
+/// empty input, trailing garbage ("12abc"), and out-of-range values with a
+/// Status::InvalidArgument naming the offending text, instead of silently
+/// returning 0 or saturating.
+Result<int64_t> ParseInt64(std::string_view s);
+Result<uint64_t> ParseUint64(std::string_view s);
+Result<double> ParseDouble(std::string_view s);
 
 }  // namespace fsim
 

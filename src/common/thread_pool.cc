@@ -88,14 +88,15 @@ void ThreadPool::ParallelForChunked(size_t n, size_t grain,
     const size_t per = num_chunks / static_cast<size_t>(num_threads_);
     const size_t rem = num_chunks % static_cast<size_t>(num_threads_);
     size_t begin = 0;
-    for (int t = 0; t < num_threads_; ++t) {
-      const size_t len = per + (static_cast<size_t>(t) < rem ? 1 : 0);
+    for (size_t t = 0; t < static_cast<size_t>(num_threads_); ++t) {
+      const size_t len = per + (t < rem ? 1 : 0);
       deques_[t].chunk_offset = static_cast<uint32_t>(begin);
       deques_[t].chunk_stride = 1;
       deques_[t].range.store(PackRange(0, static_cast<uint32_t>(len)),
                              std::memory_order_relaxed);
       begin += len;
     }
+    stat_chunks_dealt_.fetch_add(num_chunks, std::memory_order_relaxed);
   }
   Dispatch(mode, n, grain, body);
 }
@@ -154,17 +155,16 @@ void ThreadPool::ParallelForFrontier(std::span<const uint32_t> indices,
     // c % num_threads, so every worker's deque leads with heavy chunks and
     // a thief steals a victim's lightest remaining ones.
     mode = Mode::kSteal;
-    for (int t = 0; t < num_threads_; ++t) {
-      const size_t len = num_chunks / static_cast<size_t>(num_threads_) +
-                         (static_cast<size_t>(t) <
-                                  num_chunks % static_cast<size_t>(num_threads_)
-                              ? 1
-                              : 0);
+    for (size_t t = 0; t < static_cast<size_t>(num_threads_); ++t) {
+      const size_t len =
+          num_chunks / static_cast<size_t>(num_threads_) +
+          (t < num_chunks % static_cast<size_t>(num_threads_) ? 1 : 0);
       deques_[t].chunk_offset = static_cast<uint32_t>(t);
       deques_[t].chunk_stride = static_cast<uint32_t>(num_threads_);
       deques_[t].range.store(PackRange(0, static_cast<uint32_t>(len)),
                              std::memory_order_relaxed);
     }
+    stat_chunks_dealt_.fetch_add(num_chunks, std::memory_order_relaxed);
   }
   Dispatch(mode, n, grain, chunked);
 }
@@ -313,11 +313,44 @@ ThreadPool::SchedulerStats ThreadPool::stats() const {
   s.steal_regions = stat_steal_regions_.load(std::memory_order_relaxed);
   s.counter_regions = stat_counter_regions_.load(std::memory_order_relaxed);
   s.inline_regions = stat_inline_regions_.load(std::memory_order_relaxed);
+  s.chunks_dealt = stat_chunks_dealt_.load(std::memory_order_relaxed);
   s.chunks_executed = stat_chunks_executed_.load(std::memory_order_relaxed);
   s.chunks_stolen = stat_chunks_stolen_.load(std::memory_order_relaxed);
   s.steal_batches = stat_steal_batches_.load(std::memory_order_relaxed);
   s.steal_retries = stat_steal_retries_.load(std::memory_order_relaxed);
+  // Exactly-once: between regions, every chunk dealt into a deque must have
+  // been executed by exactly one worker (owner pop or steal batch).
+  FSIM_DCHECK(s.chunks_dealt == s.chunks_executed);
   return s;
+}
+
+Status ThreadPool::ValidateScheduler() const {
+  ValidatorCounters::Bump("ThreadPool::ValidateScheduler");
+  for (size_t t = 0; t < deques_.size(); ++t) {
+    const uint64_t r = deques_[t].range.load(std::memory_order_acquire);
+    const uint32_t lo = static_cast<uint32_t>(r);
+    const uint32_t hi = static_cast<uint32_t>(r >> 32);
+    if (lo > hi) {
+      return Status::Internal("scheduler deque " + std::to_string(t) +
+                              " has torn range lo=" + std::to_string(lo) +
+                              " > hi=" + std::to_string(hi));
+    }
+    if (lo != hi) {
+      return Status::Internal("scheduler deque " + std::to_string(t) +
+                              " not drained between regions: [" +
+                              std::to_string(lo) + ", " + std::to_string(hi) +
+                              ")");
+    }
+  }
+  const uint64_t dealt = stat_chunks_dealt_.load(std::memory_order_relaxed);
+  const uint64_t executed =
+      stat_chunks_executed_.load(std::memory_order_relaxed);
+  if (dealt != executed) {
+    return Status::Internal(
+        "scheduler exactly-once violation: " + std::to_string(dealt) +
+        " chunks dealt vs " + std::to_string(executed) + " executed");
+  }
+  return Status::OK();
 }
 
 void ThreadPool::WorkerLoop(int worker_id) {

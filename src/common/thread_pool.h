@@ -13,6 +13,8 @@
 #include <thread>
 #include <vector>
 
+#include "common/status.h"
+
 namespace fsim {
 
 /// A pool of worker threads executing dynamically scheduled index chunks.
@@ -89,17 +91,29 @@ class ThreadPool {
                            const SpanBody& body);
 
   /// Cumulative scheduler telemetry since construction (relaxed counters;
-  /// read between regions for exact values).
+  /// read between regions for exact values). Between regions the dealt ==
+  /// executed exactly-once invariant must hold; stats() FSIM_DCHECKs it and
+  /// ValidateScheduler() reports it as a Status.
   struct SchedulerStats {
     uint64_t steal_regions = 0;    // regions run on the deque scheduler
     uint64_t counter_regions = 0;  // regions on the shared-counter fallback
     uint64_t inline_regions = 0;   // regions run inline on the caller
+    uint64_t chunks_dealt = 0;     // chunks dealt into deques at region start
     uint64_t chunks_executed = 0;  // chunks run by deque-scheduler workers
     uint64_t chunks_stolen = 0;    // of those, chunks taken from a victim
     uint64_t steal_batches = 0;    // successful steal CASes
     uint64_t steal_retries = 0;    // failed steal CASes + empty scans
   };
   SchedulerStats stats() const;
+
+  /// Structural invariants of the work-stealing runtime, checkable whenever
+  /// no region is in flight: every deque's packed [lo, hi) range is
+  /// well-formed and drained (lo == hi), and every chunk dealt into a deque
+  /// was executed exactly once (chunks_dealt == chunks_executed — a torn
+  /// steal CAS or a double-executed batch breaks the equality). Returns
+  /// Internal with the offending values otherwise. Bumps
+  /// ValidatorCounters "ThreadPool::ValidateScheduler".
+  Status ValidateScheduler() const;
 
  private:
   enum class Mode { kCounter, kSteal };
@@ -120,6 +134,8 @@ class ThreadPool {
   /// remaining positions per steal. Positions only ever leave the deque, so
   /// region termination is "every deque observed empty once".
   struct alignas(64) ChunkDeque {
+    // ordering: acq_rel CAS protocol — owner advances lo, thieves lower hi;
+    // a successful CAS transfers ownership of the claimed positions.
     std::atomic<uint64_t> range{0};
     uint32_t chunk_offset = 0;
     uint32_t chunk_stride = 1;
@@ -144,22 +160,26 @@ class ThreadPool {
   std::vector<uint32_t> frontier_order_;
   std::vector<float> frontier_weights_;
 
-  std::mutex mu_;
-  std::condition_variable work_cv_;
-  std::condition_variable done_cv_;
+  std::mutex mu_;  // guards: task_, pending_workers_, epoch_, shutdown_
+  std::condition_variable work_cv_;  // ordering: signals a new task_.epoch
+  std::condition_variable done_cv_;  // ordering: signals pending_workers_==0
   Task task_;
+  // ordering: relaxed — the shared-counter fallback's chunk dispenser; only
+  // atomicity of fetch_add matters, chunk order is irrelevant.
   std::atomic<size_t> next_{0};
   int pending_workers_ = 0;
   uint64_t epoch_ = 0;
   bool shutdown_ = false;
 
+  // ordering: relaxed telemetry counters — read between regions (stats()).
   std::atomic<uint64_t> stat_steal_regions_{0};
-  std::atomic<uint64_t> stat_counter_regions_{0};
-  std::atomic<uint64_t> stat_inline_regions_{0};
-  std::atomic<uint64_t> stat_chunks_executed_{0};
-  std::atomic<uint64_t> stat_chunks_stolen_{0};
-  std::atomic<uint64_t> stat_steal_batches_{0};
-  std::atomic<uint64_t> stat_steal_retries_{0};
+  std::atomic<uint64_t> stat_counter_regions_{0};   // ordering: relaxed
+  std::atomic<uint64_t> stat_inline_regions_{0};    // ordering: relaxed
+  std::atomic<uint64_t> stat_chunks_dealt_{0};      // ordering: relaxed
+  std::atomic<uint64_t> stat_chunks_executed_{0};   // ordering: relaxed
+  std::atomic<uint64_t> stat_chunks_stolen_{0};     // ordering: relaxed
+  std::atomic<uint64_t> stat_steal_batches_{0};     // ordering: relaxed
+  std::atomic<uint64_t> stat_steal_retries_{0};     // ordering: relaxed
 };
 
 }  // namespace fsim

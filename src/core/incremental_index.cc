@@ -133,6 +133,66 @@ void IncrementalNeighborIndex::Disable() {
   freed_ = 0;
 }
 
+Status IncrementalNeighborIndex::Validate(size_t num_pairs) const {
+  ValidatorCounters::Bump("IncrementalNeighborIndex::Validate");
+  if (!enabled_) return Status::OK();
+  if (spans_.size() != 2 * num_pairs) {
+    return Status::Internal("incremental index holds " +
+                            std::to_string(spans_.size()) + " spans for " +
+                            std::to_string(num_pairs) + " pairs");
+  }
+  uint64_t capacity_total = 0;
+  std::vector<std::pair<uint64_t, uint64_t>> extents;  // [offset, offset+cap)
+  extents.reserve(spans_.size());
+  for (size_t s = 0; s < spans_.size(); ++s) {
+    const SpanMeta& m = spans_[s];
+    if (m.size > m.capacity) {
+      return Status::Internal("span " + std::to_string(s) + " has size " +
+                              std::to_string(m.size) + " > capacity " +
+                              std::to_string(m.capacity));
+    }
+    if (m.offset + m.capacity > arena_.size()) {
+      return Status::Internal("span " + std::to_string(s) +
+                              " extends past the arena");
+    }
+    capacity_total += m.capacity;
+    if (m.capacity > 0) extents.emplace_back(m.offset, m.offset + m.capacity);
+    uint64_t prev_key = 0;
+    bool first = true;
+    for (uint32_t k = 0; k < m.size; ++k) {
+      const NeighborRef& entry = arena_[m.offset + k];
+      if (entry.ref >= num_pairs) {
+        return Status::Internal("span " + std::to_string(s) + " ref " +
+                                std::to_string(entry.ref) +
+                                " outside the maintained pairs");
+      }
+      const uint64_t key =
+          (static_cast<uint64_t>(entry.row) << 32) | entry.col;
+      if (!first && key <= prev_key) {
+        return Status::Internal("span " + std::to_string(s) +
+                                " not strictly (row, col)-sorted");
+      }
+      prev_key = key;
+      first = false;
+    }
+  }
+  // Slack accounting: every arena slot is owned by exactly one span or
+  // counted in freed_; Restage relocations must keep this exact.
+  if (capacity_total + freed_ != arena_.size()) {
+    return Status::Internal(
+        "arena slack accounting off: Σcapacity=" +
+        std::to_string(capacity_total) + " + freed=" + std::to_string(freed_) +
+        " != arena=" + std::to_string(arena_.size()));
+  }
+  std::sort(extents.begin(), extents.end());
+  for (size_t k = 1; k < extents.size(); ++k) {
+    if (extents[k].first < extents[k - 1].second) {
+      return Status::Internal("arena spans overlap");
+    }
+  }
+  return Status::OK();
+}
+
 void IncrementalNeighborIndex::Compact() {
   std::vector<NeighborRef> packed;
   packed.reserve(arena_.size() - freed_);

@@ -32,7 +32,9 @@
 #include <span>
 #include <vector>
 
+#include "common/check.h"
 #include "common/flat_pair_map.h"
+#include "common/status.h"
 #include "core/fsim_config.h"
 #include "core/operators.h"
 #include "graph/dynamic_graph.h"
@@ -91,7 +93,20 @@ class IncrementalNeighborIndex {
   /// Spans re-staged since Build (work accounting for EditStats).
   uint64_t restaged_spans() const { return restaged_spans_; }
 
+  /// Structural invariants of the editable span arena: every span lies
+  /// inside the arena with size <= capacity, spans do not overlap, the
+  /// slack accounting balances (Σ capacity + freed_ == arena size — a
+  /// Restage that leaks or double-frees a slot breaks the equality), every
+  /// ref targets a maintained pair, and each span is strictly
+  /// (row, col)-sorted. Trivially OK while disabled. Bumps
+  /// ValidatorCounters "IncrementalNeighborIndex::Validate".
+  Status Validate(size_t num_pairs) const;
+
  private:
+  // check_test.cc corrupts the span arena through this to prove the
+  // validator catches broken slack accounting and overlapping spans.
+  friend struct IncrementalNeighborIndexTestAccess;
+
   struct SpanMeta {
     uint64_t offset = 0;
     uint32_t size = 0;

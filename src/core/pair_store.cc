@@ -1,6 +1,7 @@
 #include "core/pair_store.h"
 
 #include <algorithm>
+#include <limits>
 
 #include "common/string_util.h"
 #include "common/thread_pool.h"
@@ -135,8 +136,87 @@ Result<PairStore> PairStore::Build(const Graph& g1, const Graph& g2,
   // --- Stage 4: pair-graph CSR neighbor index (budget-gated). ---
   if (build_neighbor_index && config.neighbor_index_budget_bytes > 0) {
     store.BuildNeighborIndex(g1, g2, config, lsim, pool);
+#ifdef FSIM_DEBUG_CHECKS
+    const Status valid = store.ValidateNeighborIndex();
+    FSIM_CHECK(valid.ok()) << valid.ToString();
+#endif
   }
   return store;
+}
+
+Status PairStore::ValidateNeighborIndex() const {
+  ValidatorCounters::Bump("PairStore::ValidateNeighborIndex");
+  if (!has_neighbor_index_) return Status::OK();
+  const size_t n = keys_.size();
+  if (nbr_offsets_.size() != 2 * n + 1) {
+    return Status::Internal(StrFormat(
+        "neighbor index has %zu offsets for %zu pairs (want %zu)",
+        nbr_offsets_.size(), n, 2 * n + 1));
+  }
+  if (nbr_offsets_.front() != 0) {
+    return Status::Internal("neighbor index offsets do not start at 0");
+  }
+  // Exactly one entry layout may be populated; the offsets must account
+  // for exactly its arena (the batch build is tight — any slack means a
+  // torn or double-written span).
+  const size_t arena_size =
+      packed_refs_ ? nbr_refs_packed_.size() : nbr_refs_.size();
+  const size_t other_size =
+      packed_refs_ ? nbr_refs_.size() : nbr_refs_packed_.size();
+  if (other_size != 0) {
+    return Status::Internal("both neighbor-ref layouts are populated");
+  }
+  if (nbr_offsets_.back() != arena_size) {
+    return Status::Internal(StrFormat(
+        "neighbor index slack: offsets end at %llu but the arena holds %zu "
+        "entries",
+        static_cast<unsigned long long>(nbr_offsets_.back()), arena_size));
+  }
+  for (size_t k = 1; k < nbr_offsets_.size(); ++k) {
+    if (nbr_offsets_[k] < nbr_offsets_[k - 1]) {
+      return Status::Internal(
+          StrFormat("neighbor index offsets regress at span %zu", k));
+    }
+  }
+  // Per-entry checks, shared between the two layouts.
+  auto check_span = [&](auto refs, size_t span) -> Status {
+    uint64_t prev_key = 0;
+    bool first = true;
+    for (const auto& entry : refs) {
+      if (IsPrunedRef(entry.ref)) {
+        const uint32_t p = entry.ref & ~kNeighborRefPrunedTag;
+        if (p >= pruned_ub_.size()) {
+          return Status::Internal(StrFormat(
+              "span %zu: tagged ref %u outside the pruned table (%zu bounds)",
+              span, p, pruned_ub_.size()));
+        }
+      } else if (entry.ref >= n) {
+        return Status::Internal(StrFormat(
+            "span %zu: ref %u outside the maintained pairs (%zu)", span,
+            entry.ref, n));
+      }
+      const uint64_t key = (static_cast<uint64_t>(entry.row) << 32) |
+                           static_cast<uint64_t>(entry.col);
+      if (!first && key <= prev_key) {
+        return Status::Internal(StrFormat(
+            "span %zu: entries not strictly (row, col)-sorted", span));
+      }
+      prev_key = key;
+      first = false;
+    }
+    return Status::OK();
+  };
+  for (size_t i = 0; i < n; ++i) {
+    for (int dir = 0; dir < 2; ++dir) {
+      const size_t span = 2 * i + static_cast<size_t>(dir);
+      Status st = packed_refs_
+                      ? check_span(dir == 0 ? OutRefsPacked(i) : InRefsPacked(i),
+                                   span)
+                      : check_span(dir == 0 ? OutRefs(i) : InRefs(i), span);
+      if (!st.ok()) return st;
+    }
+  }
+  return Status::OK();
 }
 
 void PairStore::BuildNeighborIndex(const Graph& g1, const Graph& g2,
@@ -327,6 +407,10 @@ void PairStore::FillNeighborRefs(const Graph& g1, const Graph& g2,
         for (uint32_t c = 0; c < s2.size(); ++c) {
           uint32_t ref;
           if (classify(s1[r], s2[c], &ref)) {
+            // The packed layout was selected on a degree bound; a position
+            // overflowing PosT would wrap silently and corrupt the span.
+            FSIM_DCHECK(r <= std::numeric_limits<PosT>::max());
+            FSIM_DCHECK(c <= std::numeric_limits<PosT>::max());
             (*refs)[cursor++] =
                 Ref{static_cast<PosT>(r), static_cast<PosT>(c), ref};
           }
@@ -372,6 +456,8 @@ void PairStore::FillNeighborRefs(const Graph& g1, const Graph& g2,
       for (uint32_t c = 0; c < s2.size(); ++c) {
         uint32_t ref;
         if (classify(s1[r], s2[c], &ref)) {
+          FSIM_DCHECK(r <= std::numeric_limits<PosT>::max());
+          FSIM_DCHECK(c <= std::numeric_limits<PosT>::max());
           buf->push_back(
               Ref{static_cast<PosT>(r), static_cast<PosT>(c), ref});
         }

@@ -11,6 +11,7 @@
 #include <span>
 #include <vector>
 
+#include "common/check.h"
 #include "common/flat_pair_map.h"
 #include "common/result.h"
 #include "common/thread_pool.h"
@@ -180,6 +181,17 @@ class PairStore {
 
   const BuildInfo& info() const { return info_; }
 
+  /// Structural invariants of the CSR neighbor index: the offsets array is
+  /// monotone and accounts for exactly the ref arena (no slack — the batch
+  /// index is built tight, unlike the incremental arena's tracked slack),
+  /// exactly one entry layout is populated (per packed_refs()), every
+  /// untagged ref targets a maintained pair, every tagged ref targets a
+  /// tracked pruned bound, and each span is strictly (row, col)-sorted.
+  /// Trivially OK when the index was not materialized. O(entries); runs
+  /// automatically after Build under FSIM_DEBUG_CHECKS. Bumps
+  /// ValidatorCounters "PairStore::ValidateNeighborIndex".
+  Status ValidateNeighborIndex() const;
+
   /// Moves the final scores out (call after the last SwapBuffers, so prev_
   /// holds the converged values).
   std::vector<uint64_t> TakeKeys() { return std::move(keys_); }
@@ -188,6 +200,10 @@ class PairStore {
 
  private:
   PairStore() = default;
+
+  // check_test.cc corrupts the index through this to prove the validator
+  // catches torn spans; nothing else may touch the internals.
+  friend struct PairStoreTestAccess;
 
   /// Materializes the CSR neighbor index if it fits the budget, choosing
   /// the packed or wide entry layout.

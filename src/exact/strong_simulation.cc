@@ -51,7 +51,8 @@ std::vector<StrongSimMatch> StrongSimulation(const Graph& query,
     const double stride = static_cast<double>(centers.size()) /
                           static_cast<double>(opts.max_centers);
     for (size_t i = 0; i < opts.max_centers; ++i) {
-      sampled.push_back(centers[static_cast<size_t>(i * stride)]);
+      sampled.push_back(
+          centers[static_cast<size_t>(static_cast<double>(i) * stride)]);
     }
     centers = std::move(sampled);
   }

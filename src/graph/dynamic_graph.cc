@@ -59,6 +59,8 @@ Status DynamicGraph::InsertEdge(NodeId from, NodeId to) {
   }
   SortedInsert(in_[to], from);
   ++num_edges_;
+  FSIM_DCHECK(std::is_sorted(out_[from].begin(), out_[from].end()));
+  FSIM_DCHECK(std::binary_search(in_[to].begin(), in_[to].end(), from));
   return Status::OK();
 }
 
@@ -69,6 +71,57 @@ Status DynamicGraph::RemoveEdge(NodeId from, NodeId to) {
   }
   SortedErase(in_[to], from);
   --num_edges_;
+  FSIM_DCHECK(!std::binary_search(out_[from].begin(), out_[from].end(), to));
+  FSIM_DCHECK(!std::binary_search(in_[to].begin(), in_[to].end(), from));
+  return Status::OK();
+}
+
+Status DynamicGraph::ValidateAdjacency() const {
+  ValidatorCounters::Bump("DynamicGraph::ValidateAdjacency");
+  const size_t n = NumNodes();
+  if (out_.size() != n || in_.size() != n) {
+    return Status::Internal(StrFormat(
+        "adjacency arrays sized %zu/%zu for %zu labeled nodes", out_.size(),
+        in_.size(), n));
+  }
+  size_t out_total = 0;
+  size_t in_total = 0;
+  for (NodeId u = 0; u < n; ++u) {
+    const auto check_list = [&](const std::vector<NodeId>& list,
+                                const char* kind) -> Status {
+      for (size_t k = 0; k < list.size(); ++k) {
+        if (list[k] >= n) {
+          return Status::Internal(StrFormat(
+              "%s list of node %u targets out-of-range node %u", kind, u,
+              list[k]));
+        }
+        if (k > 0 && list[k] <= list[k - 1]) {
+          return Status::Internal(StrFormat(
+              "%s list of node %u not strictly ascending at position %zu",
+              kind, u, k));
+        }
+      }
+      return Status::OK();
+    };
+    FSIM_RETURN_NOT_OK(check_list(out_[u], "out"));
+    FSIM_RETURN_NOT_OK(check_list(in_[u], "in"));
+    out_total += out_[u].size();
+    in_total += in_[u].size();
+    // Mirror consistency: every out-edge must be readable back through the
+    // in-direction (and the totals below force the converse).
+    for (NodeId v : out_[u]) {
+      if (!std::binary_search(in_[v].begin(), in_[v].end(), u)) {
+        return Status::Internal(StrFormat(
+            "edge (%u, %u) present in out[%u] but missing from in[%u]", u, v,
+            u, v));
+      }
+    }
+  }
+  if (out_total != num_edges_ || in_total != num_edges_) {
+    return Status::Internal(StrFormat(
+        "edge accounting: num_edges=%zu but Σ|out|=%zu, Σ|in|=%zu",
+        num_edges_, out_total, in_total));
+  }
   return Status::OK();
 }
 

@@ -84,7 +84,20 @@ class DynamicGraph {
   /// batch engines or snapshotting.
   Graph ToGraph() const;
 
+  /// Structural invariants of the adjacency representation: every out/in
+  /// list strictly ascending (sorted, no parallel edges), every edge
+  /// mirrored (v ∈ out[u] iff u ∈ in[v]), endpoints in range, and
+  /// num_edges_ equal to both Σ|out| and Σ|in|. O(|V| + |E| log deg);
+  /// InsertEdge/RemoveEdge re-check the two touched lists under
+  /// FSIM_DEBUG_CHECKS. Bumps ValidatorCounters
+  /// "DynamicGraph::ValidateAdjacency".
+  Status ValidateAdjacency() const;
+
  private:
+  // check_test.cc corrupts the adjacency through this to prove the
+  // validator catches unsorted lists and missing mirror entries.
+  friend struct DynamicGraphTestAccess;
+
   std::vector<std::vector<NodeId>> out_;
   std::vector<std::vector<NodeId>> in_;
   std::vector<LabelId> labels_;

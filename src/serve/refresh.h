@@ -58,8 +58,8 @@ class EditQueue {
   void Wake() const { cv_.notify_all(); }
 
  private:
-  mutable std::mutex mu_;
-  mutable std::condition_variable cv_;
+  mutable std::mutex mu_;               // guards: ops_ (and cv_ waits)
+  mutable std::condition_variable cv_;  // ordering: signaled under mu_
   std::vector<EditOp> ops_;
 };
 
@@ -172,7 +172,8 @@ class RefreshDriver {
 
   EditQueue queue_;
 
-  // Serializes Init / apply / publish (the single-writer side).
+  // guards: inc_, stats_, edits_since_publish_, last_publish_time_ —
+  // serializes Init / apply / publish (the single-writer side).
   mutable std::mutex apply_mu_;
   std::unique_ptr<IncrementalFSim> inc_;
   Stats stats_;
@@ -181,14 +182,14 @@ class RefreshDriver {
 
   // Init rendezvous: Flush (and ready checks) may run while Start()'s
   // thread is still solving.
-  mutable std::mutex init_mu_;
-  mutable std::condition_variable init_cv_;
+  mutable std::mutex init_mu_;               // guards: init_done_, init_status_
+  mutable std::condition_variable init_cv_;  // ordering: signaled under init_mu_
   bool init_done_ = false;
   Status init_status_;
 
   std::thread thread_;
-  std::atomic<bool> stop_{false};
-  std::atomic<uint64_t> submitted_{0};
+  std::atomic<bool> stop_{false};          // ordering: relaxed shutdown flag
+  std::atomic<uint64_t> submitted_{0};     // ordering: relaxed telemetry
 
   std::vector<EditOp> drain_scratch_;
   std::vector<EditOp> batch_scratch_;

@@ -110,6 +110,9 @@ FSimService::~FSimService() = default;
 Result<std::unique_ptr<FSimService>> FSimService::Create(Graph g1, Graph g2,
                                                          FSimConfig config,
                                                          ServeOptions options) {
+  // The constructor is private, so make_unique cannot reach it; this IS the
+  // factory.
+  // fsim-lint: allow(naked-new)
   std::unique_ptr<FSimService> service(new FSimService());
   if (config.num_threads > 1) {
     service->batch_pool_ = std::make_unique<ThreadPool>(config.num_threads);

@@ -92,7 +92,64 @@ bool SnapshotStore::Publish(SnapshotPtr snapshot) {
   current_.store(std::move(snapshot));
   published_version_.store(version);
   publish_count_.fetch_add(1);
+  if (version_chain_.size() >= kVersionChainCapacity) {
+    version_chain_.erase(version_chain_.begin());
+  }
+  version_chain_.push_back(version);
+#ifdef FSIM_DEBUG_CHECKS
+  {
+    const Status valid = ValidateChainLocked();
+    FSIM_CHECK(valid.ok()) << valid.ToString();
+  }
+#endif
   return true;
+}
+
+Status SnapshotStore::ValidateChain() const {
+  std::lock_guard<std::mutex> lock(publish_mu_);
+  return ValidateChainLocked();
+}
+
+Status SnapshotStore::ValidateChainLocked() const {
+  ValidatorCounters::Bump("SnapshotStore::ValidateChain");
+  for (size_t k = 1; k < version_chain_.size(); ++k) {
+    if (version_chain_[k] <= version_chain_[k - 1]) {
+      return Status::Internal(
+          "snapshot chain regresses: version " +
+          std::to_string(version_chain_[k]) + " published after " +
+          std::to_string(version_chain_[k - 1]));
+    }
+  }
+  const uint64_t published = published_version_.load();
+  const uint64_t next = next_version_.load();
+  if (published > next) {
+    return Status::Internal("published version " + std::to_string(published) +
+                            " exceeds the ticket counter " +
+                            std::to_string(next));
+  }
+  if (!version_chain_.empty() && version_chain_.back() != published) {
+    return Status::Internal(
+        "published version " + std::to_string(published) +
+        " is not the newest chain entry " +
+        std::to_string(version_chain_.back()));
+  }
+  const SnapshotPtr head = current_.load();
+  if (publish_count_.load() > 0) {
+    // use_count counts the store's reference plus our local copy; below 2
+    // the head is either gone or about to be freed under a reader.
+    if (head == nullptr || head.use_count() < 2) {
+      return Status::Internal("published head is not alive (refcount < 1)");
+    }
+    if (head->meta().version != published) {
+      return Status::Internal(
+          "published head carries version " +
+          std::to_string(head->meta().version) + ", store says " +
+          std::to_string(published));
+    }
+  } else if (head != nullptr) {
+    return Status::Internal("snapshot present before any publish");
+  }
+  return Status::OK();
 }
 
 }  // namespace fsim

@@ -17,6 +17,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/status.h"
 #include "core/fsim_scores.h"
 #include "graph/graph.h"
 
@@ -124,12 +125,40 @@ class SnapshotStore {
 
   size_t publish_count() const { return publish_count_.load(); }
 
+  /// Structural invariants of the publish chain: the recorded version
+  /// history is strictly increasing (a regressed or duplicated version
+  /// means a publish raced past the staleness gate), the newest recorded
+  /// version is the published one, no published version exceeds what
+  /// NextVersion handed out, and the published head is alive with refcount
+  /// >= 1 (the store's own reference — a zero would mean readers can
+  /// acquire a freed snapshot). Runs automatically after every Publish
+  /// under FSIM_DEBUG_CHECKS. Bumps ValidatorCounters
+  /// "SnapshotStore::ValidateChain".
+  Status ValidateChain() const;
+
  private:
-  std::mutex publish_mu_;
+  // check_test.cc corrupts the version chain through this to prove the
+  // validator catches a regressed publish history.
+  friend struct SnapshotStoreTestAccess;
+
+  /// ValidateChain body; the caller must hold publish_mu_.
+  Status ValidateChainLocked() const;
+
+  // Publish order within the guarded section is the chain order.
+  static constexpr size_t kVersionChainCapacity = 64;
+
+  // guards: version_chain_, and serializes publishers (current_ and the
+  // version counters stay atomics so readers never take it).
+  mutable std::mutex publish_mu_;
+  // ordering: seq_cst store/load — publishing must not reorder past the
+  // version bump; Acquire is the readers' wait-free load.
   std::atomic<SnapshotPtr> current_;
-  std::atomic<uint64_t> next_version_{0};
-  std::atomic<uint64_t> published_version_{0};
-  std::atomic<size_t> publish_count_{0};
+  std::atomic<uint64_t> next_version_{0};       // ordering: fetch_add ticket
+  std::atomic<uint64_t> published_version_{0};  // ordering: behind publish_mu_
+  std::atomic<size_t> publish_count_{0};        // ordering: relaxed telemetry
+  // The last kVersionChainCapacity published versions, oldest first — the
+  // "chain" ValidateChain() audits.
+  std::vector<uint64_t> version_chain_;
 };
 
 }  // namespace fsim

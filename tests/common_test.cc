@@ -5,6 +5,7 @@
 
 #include <atomic>
 #include <cmath>
+#include <cstdint>
 #include <set>
 #include <thread>
 
@@ -312,7 +313,9 @@ TEST(ThreadPoolTest, UnbalancedBodiesStillCoverAllIndices) {
     if (i % 4 == 0) {
       // Unbalanced work on one residue class.
       volatile double x = 0;
-      for (int k = 0; k < 1000; ++k) x += std::sqrt(static_cast<double>(k));
+      for (int k = 0; k < 1000; ++k) {
+        x = x + std::sqrt(static_cast<double>(k));
+      }
     }
     hits[i]++;
   });
@@ -420,6 +423,50 @@ TEST(StringUtilTest, StrFormatFormats) {
   EXPECT_EQ(StrFormat("%.2f", 0.5), "0.50");
 }
 
+TEST(StringUtilTest, ParseInt64AcceptsValidValues) {
+  EXPECT_EQ(ParseInt64("42").ValueOrDie(), 42);
+  EXPECT_EQ(ParseInt64("-7").ValueOrDie(), -7);
+  EXPECT_EQ(ParseInt64("  19 ").ValueOrDie(), 19);  // surrounding whitespace ok
+  EXPECT_EQ(ParseInt64("9223372036854775807").ValueOrDie(), INT64_MAX);
+  EXPECT_EQ(ParseInt64("-9223372036854775808").ValueOrDie(), INT64_MIN);
+}
+
+TEST(StringUtilTest, ParseInt64RejectsBadInput) {
+  EXPECT_FALSE(ParseInt64("").ok());
+  EXPECT_FALSE(ParseInt64("abc").ok());
+  EXPECT_FALSE(ParseInt64("12abc").ok());  // trailing garbage (atoi accepts)
+  EXPECT_FALSE(ParseInt64("1.5").ok());
+  EXPECT_FALSE(ParseInt64("9223372036854775808").ok());   // overflow
+  EXPECT_FALSE(ParseInt64("-9223372036854775809").ok());  // underflow
+}
+
+TEST(StringUtilTest, ParseUint64AcceptsValidValues) {
+  EXPECT_EQ(ParseUint64("0").ValueOrDie(), 0u);
+  EXPECT_EQ(ParseUint64("18446744073709551615").ValueOrDie(), UINT64_MAX);
+}
+
+TEST(StringUtilTest, ParseUint64RejectsBadInput) {
+  EXPECT_FALSE(ParseUint64("").ok());
+  // strtoull silently wraps negatives; the parser must reject the sign.
+  EXPECT_FALSE(ParseUint64("-1").ok());
+  EXPECT_FALSE(ParseUint64("+1").ok());
+  EXPECT_FALSE(ParseUint64("18446744073709551616").ok());  // overflow
+  EXPECT_FALSE(ParseUint64("10 x").ok());
+}
+
+TEST(StringUtilTest, ParseDoubleAcceptsValidValues) {
+  EXPECT_DOUBLE_EQ(ParseDouble("0.75").ValueOrDie(), 0.75);
+  EXPECT_DOUBLE_EQ(ParseDouble("-2").ValueOrDie(), -2.0);
+  EXPECT_DOUBLE_EQ(ParseDouble("1e3").ValueOrDie(), 1000.0);
+}
+
+TEST(StringUtilTest, ParseDoubleRejectsBadInput) {
+  EXPECT_FALSE(ParseDouble("").ok());
+  EXPECT_FALSE(ParseDouble("zero").ok());
+  EXPECT_FALSE(ParseDouble("0.5theta").ok());  // trailing garbage (atof accepts)
+  EXPECT_FALSE(ParseDouble("1e99999").ok());   // overflow
+}
+
 // ---------------------------------------------------------- TablePrinter --
 
 TEST(TablePrinterTest, AlignsColumns) {
@@ -444,7 +491,7 @@ TEST(TablePrinterTest, HandlesShortRows) {
 TEST(TimerTest, MeasuresElapsedTime) {
   Timer timer;
   volatile double x = 0;
-  for (int i = 0; i < 100000; ++i) x += i;
+  for (int i = 0; i < 100000; ++i) x = x + static_cast<double>(i);
   const double first = timer.Seconds();
   EXPECT_GE(first, 0.0);
   EXPECT_GE(timer.Seconds(), first);  // monotone

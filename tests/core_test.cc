@@ -406,10 +406,10 @@ std::vector<PropertyCase> MakePropertyCases() {
 
 INSTANTIATE_TEST_SUITE_P(VariantsAndSeeds, FSimProperties,
                          ::testing::ValuesIn(MakePropertyCases()),
-                         [](const auto& info) {
+                         [](const auto& param_info) {
                            return std::string(
-                                      SimVariantName(info.param.variant)) +
-                                  "_seed" + std::to_string(info.param.seed);
+                                      SimVariantName(param_info.param.variant)) +
+                                  "_seed" + std::to_string(param_info.param.seed);
                          });
 
 class SymmetryProperty : public ::testing::TestWithParam<uint64_t> {};
@@ -594,7 +594,9 @@ TEST(ThetaTest, ThetaOneScoresStayInRangeAndKeepDefiniteness) {
       EXPECT_LE(s, 1.0);
       // θ = 1 only restricts the mapping to same-label nodes, which is all
       // an exact simulation ever uses — the ✓ pairs still score 1.
-      if (exact.Contains(u, v)) EXPECT_DOUBLE_EQ(s, 1.0);
+      if (exact.Contains(u, v)) {
+        EXPECT_DOUBLE_EQ(s, 1.0);
+      }
     }
   }
 }

@@ -244,9 +244,9 @@ INSTANTIATE_TEST_SUITE_P(
                                          SimVariant::kBi,
                                          SimVariant::kBijective),
                        ::testing::Values(0.0, 1.0)),
-    [](const ::testing::TestParamInfo<std::tuple<SimVariant, double>>& info) {
-      return std::string(SimVariantName(std::get<0>(info.param))) +
-             (std::get<1>(info.param) == 0.0 ? "_theta0" : "_theta1");
+    [](const ::testing::TestParamInfo<std::tuple<SimVariant, double>>& param_info) {
+      return std::string(SimVariantName(std::get<0>(param_info.param))) +
+             (std::get<1>(param_info.param) == 0.0 ? "_theta0" : "_theta1");
     });
 
 TEST(DenseEngine, RejectsUpperBoundConfig) {
@@ -419,8 +419,8 @@ INSTANTIATE_TEST_SUITE_P(AllVariants, IncrementalEquivalence,
                                            SimVariant::kDegreePreserving,
                                            SimVariant::kBi,
                                            SimVariant::kBijective),
-                         [](const ::testing::TestParamInfo<SimVariant>& info) {
-                           return SimVariantName(info.param);
+                         [](const ::testing::TestParamInfo<SimVariant>& param_info) {
+                           return SimVariantName(param_info.param);
                          });
 
 TEST(Incremental, GreedyMatchingStaysCloseToFullRecompute) {
@@ -629,9 +629,9 @@ INSTANTIATE_TEST_SUITE_P(
                                          SimVariant::kBi,
                                          SimVariant::kBijective),
                        ::testing::Values(0.0, 1.0)),
-    [](const ::testing::TestParamInfo<std::tuple<SimVariant, double>>& info) {
-      return std::string(SimVariantName(std::get<0>(info.param))) +
-             (std::get<1>(info.param) == 0.0 ? "_theta0" : "_theta1");
+    [](const ::testing::TestParamInfo<std::tuple<SimVariant, double>>& param_info) {
+      return std::string(SimVariantName(std::get<0>(param_info.param))) +
+             (std::get<1>(param_info.param) == 0.0 ? "_theta0" : "_theta1");
     });
 
 TEST(Incremental, TruncatedEditReportsNonConvergence) {

@@ -48,8 +48,8 @@ INSTANTIATE_TEST_SUITE_P(
                         true},
         Figure1Expected{SimVariant::kBi, false, true, false, true},
         Figure1Expected{SimVariant::kBijective, false, false, false, true}),
-    [](const auto& info) {
-      return std::string(SimVariantName(info.param.variant));
+    [](const auto& param_info) {
+      return std::string(SimVariantName(param_info.param.variant));
     });
 
 TEST(ExactSimulationTest, VariantNamesAndProperties) {
@@ -108,8 +108,12 @@ TEST_P(StrictnessLattice, HoldsOnRandomGraphs) {
         EXPECT_TRUE(dp.Contains(u, v)) << u << "," << v;
         EXPECT_TRUE(b.Contains(u, v)) << u << "," << v;
       }
-      if (dp.Contains(u, v)) EXPECT_TRUE(s.Contains(u, v)) << u << "," << v;
-      if (b.Contains(u, v)) EXPECT_TRUE(s.Contains(u, v)) << u << "," << v;
+      if (dp.Contains(u, v)) {
+        EXPECT_TRUE(s.Contains(u, v)) << u << "," << v;
+      }
+      if (b.Contains(u, v)) {
+        EXPECT_TRUE(s.Contains(u, v)) << u << "," << v;
+      }
     }
   }
 }
@@ -167,7 +171,9 @@ TEST(KBisimulationTest, RefinementOnlySplits) {
     // If two nodes are k-bisimilar they must be (k-1)-bisimilar.
     for (NodeId u = 0; u < pair.g1.NumNodes(); ++u) {
       for (NodeId v = 0; v < pair.g1.NumNodes(); ++v) {
-        if (next[u] == next[v]) EXPECT_EQ(prev[u], prev[v]);
+        if (next[u] == next[v]) {
+          EXPECT_EQ(prev[u], prev[v]);
+        }
       }
     }
     prev = next;

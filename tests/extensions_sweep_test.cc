@@ -220,8 +220,8 @@ INSTANTIATE_TEST_SUITE_P(AllFamilies, FamilySweep,
                                            Family::kStar, Family::kBipartite,
                                            Family::kBinaryTree,
                                            Family::kTwoCycles),
-                         [](const ::testing::TestParamInfo<Family>& info) {
-                           return FamilyName(info.param);
+                         [](const ::testing::TestParamInfo<Family>& param_info) {
+                           return FamilyName(param_info.param);
                          });
 
 }  // namespace

@@ -43,7 +43,7 @@ double KendallTauBrute(const std::vector<double>& x,
       }
     }
   }
-  const double n0 = static_cast<double>(n) * (n - 1) / 2.0;
+  const double n0 = static_cast<double>(n) * static_cast<double>(n - 1) / 2.0;
   const double denom_x = n0 - static_cast<double>(ties_x);
   const double denom_y = n0 - static_cast<double>(ties_y);
   if (denom_x <= 0.0 || denom_y <= 0.0) return 0.0;

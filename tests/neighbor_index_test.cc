@@ -129,10 +129,10 @@ INSTANTIATE_TEST_SUITE_P(
                        ::testing::ValuesIn(kAllOmegas),
                        ::testing::Values(MatchingAlgo::kGreedy,
                                          MatchingAlgo::kHungarian)),
-    [](const ::testing::TestParamInfo<PathParam>& info) {
-      return std::string(MappingName(std::get<0>(info.param))) + "_" +
-             OmegaName(std::get<1>(info.param)) + "_" +
-             (std::get<2>(info.param) == MatchingAlgo::kHungarian
+    [](const ::testing::TestParamInfo<PathParam>& param_info) {
+      return std::string(MappingName(std::get<0>(param_info.param))) + "_" +
+             OmegaName(std::get<1>(param_info.param)) + "_" +
+             (std::get<2>(param_info.param) == MatchingAlgo::kHungarian
                   ? "Hungarian"
                   : "Greedy");
     });

@@ -256,8 +256,8 @@ std::vector<std::tuple<int, NodeId, NodeId, bool>> EditScript(
   // ranges; ops that fail identically on both engines are fine.
   std::vector<std::tuple<int, NodeId, NodeId, bool>> script;
   Rng rng(0xED17);
-  const NodeId n1 = pair.g1.NumNodes();
-  const NodeId n2 = pair.g2.NumNodes();
+  const NodeId n1 = static_cast<NodeId>(pair.g1.NumNodes());
+  const NodeId n2 = static_cast<NodeId>(pair.g2.NumNodes());
   for (int e = 0; e < 12; ++e) {
     const int graph_index = (rng.Next() % 2) ? 1 : 2;
     const NodeId n = graph_index == 1 ? n1 : n2;

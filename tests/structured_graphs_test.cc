@@ -141,9 +141,9 @@ std::vector<VariantAlgo> AllCombos() {
 
 INSTANTIATE_TEST_SUITE_P(
     AllVariantsAndAlgos, StructuredSweep, ::testing::ValuesIn(AllCombos()),
-    [](const auto& info) {
-      return std::string(SimVariantName(info.param.variant)) +
-             (info.param.algo == MatchingAlgo::kGreedy ? "_greedy"
+    [](const auto& param_info) {
+      return std::string(SimVariantName(param_info.param.variant)) +
+             (param_info.param.algo == MatchingAlgo::kGreedy ? "_greedy"
                                                        : "_hungarian");
     });
 

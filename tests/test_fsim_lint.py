@@ -1,0 +1,194 @@
+#!/usr/bin/env python3
+"""Tests for scripts/fsim_lint.py: every rule fires on a seeded violation
+(exit 1), the allow-escape and the baseline suppress, and clean input passes.
+
+Runs under pytest, or standalone (`python3 tests/test_fsim_lint.py`) on
+machines without pytest — the __main__ block discovers test_* functions.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+LINT = REPO_ROOT / "scripts" / "fsim_lint.py"
+
+
+def run_lint(*args: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(LINT), "--no-baseline", *args],
+        capture_output=True, text=True)
+
+
+def write(tree: Path, rel: str, content: str) -> Path:
+    path = tree / rel
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(content)
+    return path
+
+
+GUARD = "#ifndef FSIM_TMP_H_\n#define FSIM_TMP_H_\n"
+GUARD_END = "#endif  // FSIM_TMP_H_\n"
+
+
+def test_sync_comment_violation_fails():
+    with tempfile.TemporaryDirectory(dir=REPO_ROOT / "src") as d:
+        path = write(Path(d), "bad_sync.h", GUARD + (
+            "#include <atomic>\n"
+            "class C {\n"
+            "  std::atomic<int> counter_{0};\n"
+            "};\n") + GUARD_END)
+        proc = run_lint(str(path))
+        assert proc.returncode == 1, proc.stdout + proc.stderr
+        assert "sync-comment" in proc.stdout
+
+
+def test_sync_comment_with_comment_passes():
+    with tempfile.TemporaryDirectory(dir=REPO_ROOT / "src") as d:
+        path = write(Path(d), "good_sync.h", GUARD + (
+            "#include <atomic>\n"
+            "class C {\n"
+            "  std::atomic<int> counter_{0};  // ordering: relaxed telemetry\n"
+            "  // guards: the queue below\n"
+            "  std::mutex mu_;\n"
+            "};\n") + GUARD_END)
+        proc = run_lint(str(path))
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+
+
+def test_allow_escape_suppresses():
+    with tempfile.TemporaryDirectory(dir=REPO_ROOT / "src") as d:
+        path = write(Path(d), "allowed.h", GUARD + (
+            "#include <atomic>\n"
+            "class C {\n"
+            "  // fsim-lint: allow(sync-comment)\n"
+            "  std::atomic<int> counter_{0};\n"
+            "};\n") + GUARD_END)
+        proc = run_lint(str(path))
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+
+
+def test_parallel_hot_lock_in_lambda_fails():
+    with tempfile.TemporaryDirectory(dir=REPO_ROOT / "src" / "core") as d:
+        path = write(Path(d), "hot.cc", (
+            '#include "core/hot.h"\n'
+            "void F(ThreadPool& pool) {\n"
+            "  pool.ParallelFor(100, [&](size_t i) {\n"
+            "    std::lock_guard<std::mutex> lock(mu_);\n"
+            "    Work(i);\n"
+            "  });\n"
+            "}\n"))
+        proc = run_lint(str(path))
+        assert proc.returncode == 1, proc.stdout + proc.stderr
+        assert "parallel-hot" in proc.stdout
+
+
+def test_parallel_hot_outside_hot_dirs_ignored():
+    with tempfile.TemporaryDirectory(dir=REPO_ROOT / "tests") as d:
+        path = write(Path(d), "hot_test.cc", (
+            "void F(ThreadPool& pool) {\n"
+            "  pool.ParallelFor(100, [&](size_t i) {\n"
+            "    std::lock_guard<std::mutex> lock(mu_);\n"
+            "  });\n"
+            "}\n"))
+        proc = run_lint(str(path))
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+
+
+def test_banned_rand_fails():
+    with tempfile.TemporaryDirectory(dir=REPO_ROOT / "src") as d:
+        path = write(Path(d), "r.cc", (
+            '#include "common/r.h"\n'
+            "int Noise() { return rand() % 7; }\n"))
+        proc = run_lint(str(path))
+        assert proc.returncode == 1
+        assert "banned" in proc.stdout
+
+
+def test_banned_in_string_literal_ignored():
+    with tempfile.TemporaryDirectory(dir=REPO_ROOT / "src") as d:
+        path = write(Path(d), "s.cc", (
+            '#include "common/s.h"\n'
+            'const char* kMsg = "call rand( for chaos";\n'))
+        proc = run_lint(str(path))
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+
+
+def test_header_guard_missing_fails():
+    with tempfile.TemporaryDirectory(dir=REPO_ROOT / "src") as d:
+        path = write(Path(d), "unguarded.h", "struct S {};\n")
+        proc = run_lint(str(path))
+        assert proc.returncode == 1
+        assert "header-guard" in proc.stdout
+
+
+def test_pragma_once_passes():
+    with tempfile.TemporaryDirectory(dir=REPO_ROOT / "src") as d:
+        path = write(Path(d), "pragma.h", "#pragma once\nstruct S {};\n")
+        proc = run_lint(str(path))
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+
+
+def test_naked_new_fails():
+    with tempfile.TemporaryDirectory(dir=REPO_ROOT / "src") as d:
+        path = write(Path(d), "n.cc", (
+            '#include "common/n.h"\n'
+            "int* Leak() { return new int(7); }\n"))
+        proc = run_lint(str(path))
+        assert proc.returncode == 1
+        assert "naked-new" in proc.stdout
+
+
+def test_baseline_suppresses_then_stays_pinned():
+    with tempfile.TemporaryDirectory(dir=REPO_ROOT / "src") as d:
+        path = write(Path(d), "b.cc", (
+            '#include "common/b.h"\n'
+            "int Noise() { return rand() % 7; }\n"))
+        # Without the baseline the violation fails...
+        assert run_lint(str(path)).returncode == 1
+        # ...with a freshly seeded baseline (run WITHOUT --no-baseline) the
+        # same finding is grandfathered.
+        baseline = REPO_ROOT / "scripts" / "fsim_lint_baseline.json"
+        saved = baseline.read_text() if baseline.exists() else None
+        try:
+            subprocess.run(
+                [sys.executable, str(LINT), "--update-baseline", str(path)],
+                capture_output=True, text=True, check=True)
+            proc = subprocess.run(
+                [sys.executable, str(LINT), str(path)],
+                capture_output=True, text=True)
+            assert proc.returncode == 0, proc.stdout + proc.stderr
+            assert "baselined" in proc.stdout
+        finally:
+            if saved is None:
+                baseline.unlink(missing_ok=True)
+            else:
+                baseline.write_text(saved)
+
+
+def test_repo_tree_is_clean_under_baseline():
+    proc = subprocess.run([sys.executable, str(LINT)],
+                          capture_output=True, text=True)
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+
+
+def main() -> int:
+    failures = 0
+    for name, fn in sorted(globals().items()):
+        if name.startswith("test_") and callable(fn):
+            try:
+                fn()
+                print(f"PASS {name}")
+            except AssertionError as e:
+                failures += 1
+                print(f"FAIL {name}: {e}")
+    print(f"{failures} failure(s)")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
