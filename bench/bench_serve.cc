@@ -11,6 +11,7 @@
 #include <atomic>
 #include <cmath>
 #include <cstdio>
+#include <filesystem>
 #include <string>
 #include <thread>
 #include <vector>
@@ -23,6 +24,7 @@
 #include "common/table_printer.h"
 #include "common/timer.h"
 #include "serve/query.h"
+#include "serve/recovery.h"
 #include "serve/refresh.h"
 #include "serve/snapshot.h"
 
@@ -61,6 +63,12 @@ struct ServeReport {
     double median_publish_ms = 0.0;
   };
   std::vector<RefreshAtThreads> refresh_threads;
+  // Durability overhead: the same edit stream with a WAL attached — every
+  // Submit is a durable (fsync'd) append. Acceptance bound for the WAL
+  // work: publish latency must stay within 25% of the WAL-off median.
+  double wal_median_flush_ms = 0.0;
+  double wal_median_publish_ms = 0.0;
+  double wal_median_submit_us = 0.0;  // per-edit durable append cost
 };
 
 /// Replays the synthetic edit-burst stream against a fresh refresh driver
@@ -95,7 +103,7 @@ ServeReport::RefreshAtThreads MeasureRefreshAtThreads(const Graph& g,
       op.to = static_cast<NodeId>(rng.NextBounded(num_nodes));
       if (op.from == op.to) continue;
       op.insert = (rng.Next() & 1) != 0;
-      driver.Submit(op);
+      if (!driver.Submit(op).ok()) std::abort();
     }
     Timer flush_timer;
     Status st = driver.Flush();
@@ -113,6 +121,63 @@ ServeReport::RefreshAtThreads MeasureRefreshAtThreads(const Graph& g,
   result.median_flush_ms = flush_ms[flush_ms.size() / 2];
   result.median_publish_ms = publish_ms[publish_ms.size() / 2];
   return result;
+}
+
+/// The same edit-burst stream with WAL durability attached: every Submit
+/// is a checksummed append + fsync before the ack. Fills the wal_* report
+/// fields (median flush/publish ms plus the per-edit durable submit cost).
+void MeasureRefreshWithWal(const Graph& g, const FSimConfig& config,
+                           ServeReport* report) {
+  namespace fs = std::filesystem;
+  const fs::path dir = fs::temp_directory_path() / "fsim_bench_wal";
+  std::error_code ec;
+  fs::remove_all(dir, ec);
+
+  SnapshotStore store;
+  RefreshPolicy policy;
+  policy.max_edits_behind = kEditsPerBurst;
+  policy.topk_cache_k = 16;
+  IncrementalOptions inc_options;
+  inc_options.propagation_tolerance = 1e-6;
+  RefreshDriver driver(g, g, config, inc_options, policy, &store);
+  DurabilityOptions durability;
+  durability.dir = dir.string();
+  durability.snapshot_every_edits = 0;  // isolate the WAL cost per edit
+  auto recovered = RecoverServeState(durability.dir, g, g);
+  if (!recovered.ok() ||
+      !driver.EnableDurability(durability, std::move(*recovered)).ok() ||
+      !driver.Init().ok()) {
+    std::fprintf(stderr, "fatal: WAL bench setup failed\n");
+    std::abort();
+  }
+
+  const NodeId num_nodes = static_cast<NodeId>(g.NumNodes());
+  Rng rng(0xED17);  // same stream as the WAL-off section
+  std::vector<double> flush_ms, publish_ms, submit_us;
+  for (int burst = 0; burst < kEditBursts; ++burst) {
+    for (int e = 0; e < kEditsPerBurst; ++e) {
+      EditOp op;
+      op.graph_index = (e % 2) + 1;
+      op.from = static_cast<NodeId>(rng.NextBounded(num_nodes));
+      op.to = static_cast<NodeId>(rng.NextBounded(num_nodes));
+      if (op.from == op.to) continue;
+      op.insert = (rng.Next() & 1) != 0;
+      Timer submit_timer;
+      if (!driver.Submit(op).ok()) std::abort();
+      submit_us.push_back(submit_timer.Seconds() * 1e6);
+    }
+    Timer flush_timer;
+    if (!driver.Flush().ok()) std::abort();
+    flush_ms.push_back(flush_timer.Seconds() * 1e3);
+    publish_ms.push_back(driver.stats().last_publish_seconds * 1e3);
+  }
+  std::sort(flush_ms.begin(), flush_ms.end());
+  std::sort(publish_ms.begin(), publish_ms.end());
+  std::sort(submit_us.begin(), submit_us.end());
+  report->wal_median_flush_ms = flush_ms[flush_ms.size() / 2];
+  report->wal_median_publish_ms = publish_ms[publish_ms.size() / 2];
+  report->wal_median_submit_us = submit_us[submit_us.size() / 2];
+  fs::remove_all(dir, ec);
 }
 
 /// RunBatch throughput over a fixed mixed batch (pair-heavy with a top-k
@@ -251,9 +316,13 @@ bool WriteBenchJson(const std::string& path, const ServeReport& r) {
   std::fprintf(f, "},\n");
   std::fprintf(f,
                "    \"refresh\": {\"median_flush_ms\": %.3f, "
-               "\"median_publish_ms\": %.3f, \"publishes\": %zu}%s\n",
-               r.median_flush_ms, r.median_publish_ms, r.publishes,
-               r.refresh_threads.empty() ? "" : ",");
+               "\"median_publish_ms\": %.3f, \"publishes\": %zu},\n",
+               r.median_flush_ms, r.median_publish_ms, r.publishes);
+  std::fprintf(f,
+               "    \"refresh_wal\": {\"median_flush_ms\": %.3f, "
+               "\"median_publish_ms\": %.3f, \"median_submit_us\": %.3f}%s\n",
+               r.wal_median_flush_ms, r.wal_median_publish_ms,
+               r.wal_median_submit_us, r.refresh_threads.empty() ? "" : ",");
   // The engine-thread refresh sweep; separate "refresh_tN" keys so the
   // t=1 "refresh" history entries above stay comparable across PRs.
   for (size_t i = 0; i < r.refresh_threads.size(); ++i) {
@@ -349,7 +418,7 @@ int main() {
       op.to = static_cast<NodeId>(rng.NextBounded(num_nodes));
       if (op.from == op.to) continue;
       op.insert = (rng.Next() & 1) != 0;
-      driver.Submit(op);
+      if (!driver.Submit(op).ok()) std::abort();
     }
     Timer flush_timer;
     Status st = driver.Flush();
@@ -371,6 +440,19 @@ int main() {
       kEditBursts, kEditsPerBurst, report.median_flush_ms,
       report.median_publish_ms, report.publishes,
       static_cast<unsigned long long>(driver.stats().edits_applied));
+
+  // --- Durability overhead: the same stream, WAL-on. ---
+  MeasureRefreshWithWal(g, config, &report);
+  std::printf(
+      "refresh with WAL: median flush %.2fms (publish %.2fms), durable "
+      "submit %.1fus/edit — publish overhead %+.1f%% vs WAL-off (bound: "
+      "<25%%)\n",
+      report.wal_median_flush_ms, report.wal_median_publish_ms,
+      report.wal_median_submit_us,
+      report.median_publish_ms > 0.0
+          ? (report.wal_median_publish_ms / report.median_publish_ms - 1.0) *
+                100.0
+          : 0.0);
 
   // --- Batch-query fan-out: RunBatch serial vs pooled. ---
   const std::vector<int> thread_counts = bench::BenchThreadCounts();

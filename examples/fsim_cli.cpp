@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "common/check.h"
+#include "common/failpoint.h"
 #include "common/flat_pair_map.h"
 #include "common/string_util.h"
 #include "common/thread_pool.h"
@@ -63,7 +64,9 @@ int Usage(const char* argv0) {
       "          [--out <scores-file>] [--save-binary <graph-file>]\n"
       "          [--serve] [--warm <scores-file>] [--refresh-edits N]\n"
       "          [--refresh-seconds S] [--cache-k K] [--sync-refresh]\n"
-      "          [--validate]\n",
+      "          [--wal-dir <dir>] [--wal-snapshot-edits N]\n"
+      "          [--queue-capacity N] [--flush-timeout S]\n"
+      "          [--failpoints <site=spec;...>] [--validate]\n",
       argv0);
   return 2;
 }
@@ -186,6 +189,14 @@ int RunValidate(const Graph& graph1, const Graph& target, FSimConfig config) {
   for (const auto& [name, count] : ValidatorCounters::Snapshot()) {
     std::printf("  %-40s %llu\n", name.c_str(),
                 static_cast<unsigned long long>(count));
+  }
+  if (failpoint::kCompiledIn) {
+    std::printf("failpoint hit counts (%zu sites touched):\n",
+                failpoint::Snapshot().size());
+    for (const auto& [name, hits] : failpoint::Snapshot()) {
+      std::printf("  %-40s %llu\n", name.c_str(),
+                  static_cast<unsigned long long>(hits));
+    }
   }
   if (failures == 0) {
     std::printf("all validators passed\n");
@@ -315,6 +326,33 @@ int main(int argc, char** argv) {
       serve_options.policy.topk_cache_k = parse_size_flag("--cache-k");
     } else if (std::strcmp(argv[i], "--sync-refresh") == 0) {
       serve_options.background_refresh = false;
+    } else if (std::strcmp(argv[i], "--wal-dir") == 0) {
+      serve_options.durability.dir = need_value("--wal-dir");
+    } else if (std::strcmp(argv[i], "--wal-snapshot-edits") == 0) {
+      serve_options.durability.snapshot_every_edits =
+          parse_size_flag("--wal-snapshot-edits");
+    } else if (std::strcmp(argv[i], "--queue-capacity") == 0) {
+      serve_options.policy.queue_capacity = parse_size_flag("--queue-capacity");
+    } else if (std::strcmp(argv[i], "--flush-timeout") == 0) {
+      serve_options.policy.flush_timeout_seconds =
+          parse_double_flag("--flush-timeout");
+    } else if (std::strcmp(argv[i], "--failpoints") == 0) {
+      // Chaos testing (docs/correctness.md): arm injection sites before any
+      // serving machinery is constructed. Only meaningful in an
+      // FSIM_FAILPOINTS build; warn loudly otherwise so a chaos run against
+      // a release binary is not silently a no-op.
+      const char* spec = need_value("--failpoints");
+      if (!failpoint::kCompiledIn) {
+        std::fprintf(stderr,
+                     "--failpoints ignored: this build compiled failpoint "
+                     "sites out (rebuild with -DFSIM_FAILPOINTS=ON)\n");
+      }
+      Status armed = failpoint::ArmFromSpec(spec);
+      if (!armed.ok()) {
+        std::fprintf(stderr, "--failpoints: %s\n",
+                     armed.ToString().c_str());
+        return 2;
+      }
     } else if (std::strcmp(argv[i], "--validate") == 0) {
       run_validate = true;
     } else if (std::strcmp(argv[i], "--source") == 0) {
@@ -325,6 +363,13 @@ int main(int argc, char** argv) {
     }
   }
   if (g1_path.empty()) return Usage(argv[0]);
+
+  // FSIM_FAILPOINTS=<site=spec;...> in the environment arms sites the same
+  // way --failpoints does (no-op when unset or compiled out).
+  if (Status armed = failpoint::ArmFromEnv(); !armed.ok()) {
+    std::fprintf(stderr, "FSIM_FAILPOINTS: %s\n", armed.ToString().c_str());
+    return 2;
+  }
 
   auto g1 = LoadAnyGraph(g1_path, nullptr);
   if (!g1.ok()) {
@@ -363,10 +408,13 @@ int main(int argc, char** argv) {
       return 1;
     }
     std::fprintf(stderr,
-                 "serving (warm=%s, background refresh=%s); protocol: "
+                 "serving (warm=%s, background refresh=%s, wal=%s); protocol: "
                  "PAIR/TOPK/THRESH/BATCH/EDIT/FLUSH/STATS/QUIT\n",
                  serve_options.warm_scores_path.empty() ? "no" : "yes",
-                 serve_options.background_refresh ? "yes" : "no");
+                 serve_options.background_refresh ? "yes" : "no",
+                 serve_options.durability.dir.empty()
+                     ? "off"
+                     : serve_options.durability.dir.c_str());
     Status st = (*service)->ServeLoop(std::cin, std::cout);
     if (!st.ok()) {
       std::fprintf(stderr, "%s\n", st.ToString().c_str());

@@ -20,6 +20,11 @@ Rules (each can be silenced on a line with `// fsim-lint: allow(<rule>)`):
                   (subdirectory-qualified, e.g. "core/pair_store.h").
   naked-new       `new` outside factories/tests is banned — the codebase
                   owns memory via containers and smart pointers.
+  durability      Every fsync/fdatasync call site in src/ must carry a
+                  `// durability:` comment (on the line or within the ten
+                  lines above) stating what crash-consistency contract the
+                  sync upholds — the WAL/snapshot ordering invariants live
+                  in those comments.
 
 A checked-in baseline (scripts/fsim_lint_baseline.json) grandfathers
 pre-existing violations: a finding whose (file, rule, line-content) triple is
@@ -61,6 +66,9 @@ BANNED_CALL_RE = re.compile(r"(?<![\w:.>])(?:rand|srand|strtok)\s*\(")
 LOCAL_STATIC_RE = re.compile(r"^\s*static\s+(?!constexpr|const\b|assert)\w")
 NAKED_NEW_RE = re.compile(r"(?<![\w_])new\s+[A-Za-z_:][\w:<>, ]*[({]")
 INCLUDE_RE = re.compile(r'^\s*#include\s+"([^"]+)"')
+FSYNC_CALL_RE = re.compile(r"\b(?:fsync|fdatasync)\s*\(")
+DURABILITY_COMMENT_RE = re.compile(r"//.*durability:")
+DURABILITY_LOOKBACK = 10
 
 
 def relpath(path: Path) -> str:
@@ -289,6 +297,27 @@ def check_naked_new(path: Path, lines: list[str]) -> list[Finding]:
     return findings
 
 
+def check_durability(path: Path, lines: list[str]) -> list[Finding]:
+    rel = relpath(path)
+    if not rel.startswith("src/"):
+        return []  # tests may fsync scratch files without a contract
+    findings = []
+    for i, line in enumerate(lines):
+        code = strip_strings_and_comments(line)
+        if not FSYNC_CALL_RE.search(code):
+            continue
+        if allowed(lines, i, "durability"):
+            continue
+        window = lines[max(0, i - DURABILITY_LOOKBACK):i + 1]
+        if any(DURABILITY_COMMENT_RE.search(w) for w in window):
+            continue
+        findings.append(Finding(
+            path, i + 1, "durability",
+            "fsync/fdatasync call site needs a `// durability:` comment "
+            "stating the crash-consistency contract it upholds", line))
+    return findings
+
+
 CHECKS = (
     check_sync_comments,
     check_parallel_hot,
@@ -296,6 +325,7 @@ CHECKS = (
     check_header_guard,
     check_include_order,
     check_naked_new,
+    check_durability,
 )
 
 

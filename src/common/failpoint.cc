@@ -1,0 +1,191 @@
+#include "common/failpoint.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <thread>
+
+#include "common/string_util.h"
+
+namespace fsim {
+namespace failpoint {
+
+namespace {
+
+enum class Action { kOff, kError, kIOError, kDelay, kAbort };
+
+struct Site {
+  Action action = Action::kOff;
+  double delay_ms = 0.0;
+  // Hits to skip before the action starts firing ("<k>->" prefix).
+  uint64_t skip = 0;
+  // Triggering hits remaining before the site self-disarms ("<n>*" prefix;
+  // UINT64_MAX = unlimited).
+  uint64_t remaining = UINT64_MAX;
+  uint64_t hits = 0;
+};
+
+// guards: the site registry below (Arm/Disarm/Hit/Snapshot callers).
+std::mutex& SiteMutex() {
+  static std::mutex mu;
+  return mu;
+}
+
+std::map<std::string, Site, std::less<>>& SiteMap() {
+  static std::map<std::string, Site, std::less<>> sites;
+  return sites;
+}
+
+Status ParseSpec(std::string_view spec, Site* out) {
+  Site site;
+  std::string_view rest = Trim(spec);
+  if (const size_t arrow = rest.find("->"); arrow != std::string_view::npos) {
+    auto skip = ParseUint64(rest.substr(0, arrow));
+    if (!skip.ok()) return skip.status();
+    site.skip = *skip;
+    rest = rest.substr(arrow + 2);
+  }
+  if (const size_t star = rest.find('*'); star != std::string_view::npos) {
+    auto count = ParseUint64(rest.substr(0, star));
+    if (!count.ok()) return count.status();
+    site.remaining = *count;
+    rest = rest.substr(star + 1);
+  }
+  if (rest == "off") {
+    site.action = Action::kOff;
+  } else if (rest == "error") {
+    site.action = Action::kError;
+  } else if (rest == "io-error") {
+    site.action = Action::kIOError;
+  } else if (rest == "abort") {
+    site.action = Action::kAbort;
+  } else if (StartsWith(rest, "delay(") && rest.back() == ')') {
+    auto ms = ParseDouble(rest.substr(6, rest.size() - 7));
+    if (!ms.ok()) return ms.status();
+    if (*ms < 0.0) return Status::InvalidArgument("negative failpoint delay");
+    site.action = Action::kDelay;
+    site.delay_ms = *ms;
+  } else {
+    return Status::InvalidArgument(
+        StrFormat("unknown failpoint action '%.*s' (expected error, io-error, "
+                  "delay(<ms>), abort or off)",
+                  static_cast<int>(rest.size()), rest.data()));
+  }
+  *out = site;
+  return Status::OK();
+}
+
+}  // namespace
+
+Status Arm(std::string_view name, std::string_view spec) {
+  Site parsed;
+  FSIM_RETURN_NOT_OK(ParseSpec(spec, &parsed));
+  std::lock_guard<std::mutex> lock(SiteMutex());
+  Site& site = SiteMap()[std::string(name)];
+  parsed.hits = site.hits;  // arming never resets the counter
+  site = parsed;
+  return Status::OK();
+}
+
+Status ArmFromSpec(std::string_view list) {
+  for (std::string_view entry : Split(list, ';')) {
+    entry = Trim(entry);
+    if (entry.empty()) continue;
+    const size_t eq = entry.find('=');
+    if (eq == std::string_view::npos) {
+      return Status::InvalidArgument(
+          StrFormat("failpoint entry '%.*s' is not name=spec",
+                    static_cast<int>(entry.size()), entry.data()));
+    }
+    FSIM_RETURN_NOT_OK(Arm(Trim(entry.substr(0, eq)),
+                           Trim(entry.substr(eq + 1))));
+  }
+  return Status::OK();
+}
+
+Status ArmFromEnv() {
+  const char* spec = std::getenv("FSIM_FAILPOINTS");
+  if (spec == nullptr || spec[0] == '\0') return Status::OK();
+  return ArmFromSpec(spec);
+}
+
+void Disarm(std::string_view name) {
+  std::lock_guard<std::mutex> lock(SiteMutex());
+  auto it = SiteMap().find(name);
+  if (it != SiteMap().end()) {
+    const uint64_t hits = it->second.hits;
+    it->second = Site{};
+    it->second.hits = hits;
+  }
+}
+
+void DisarmAll() {
+  std::lock_guard<std::mutex> lock(SiteMutex());
+  for (auto& [name, site] : SiteMap()) {
+    const uint64_t hits = site.hits;
+    site = Site{};
+    site.hits = hits;
+  }
+}
+
+void ResetCounters() {
+  std::lock_guard<std::mutex> lock(SiteMutex());
+  SiteMap().clear();
+}
+
+uint64_t HitCount(std::string_view name) {
+  std::lock_guard<std::mutex> lock(SiteMutex());
+  auto it = SiteMap().find(name);
+  return it == SiteMap().end() ? 0 : it->second.hits;
+}
+
+std::vector<std::pair<std::string, uint64_t>> Snapshot() {
+  std::lock_guard<std::mutex> lock(SiteMutex());
+  std::vector<std::pair<std::string, uint64_t>> out;
+  out.reserve(SiteMap().size());
+  for (const auto& [name, site] : SiteMap()) {
+    out.emplace_back(name, site.hits);
+  }
+  return out;
+}
+
+Status Hit(const char* name) {
+  Action action = Action::kOff;
+  double delay_ms = 0.0;
+  {
+    std::lock_guard<std::mutex> lock(SiteMutex());
+    Site& site = SiteMap()[name];
+    ++site.hits;
+    if (site.action != Action::kOff) {
+      if (site.skip > 0) {
+        --site.skip;
+      } else if (site.remaining > 0) {
+        action = site.action;
+        delay_ms = site.delay_ms;
+        if (site.remaining != UINT64_MAX) --site.remaining;
+      }
+    }
+  }
+  switch (action) {
+    case Action::kOff:
+      return Status::OK();
+    case Action::kError:
+      return Status::Internal(StrFormat("injected failpoint '%s'", name));
+    case Action::kIOError:
+      return Status::IOError(StrFormat("injected failpoint '%s'", name));
+    case Action::kDelay:
+      std::this_thread::sleep_for(
+          std::chrono::duration<double, std::milli>(delay_ms));
+      return Status::OK();
+    case Action::kAbort:
+      std::fprintf(stderr, "failpoint '%s': aborting process\n", name);
+      std::fflush(stderr);
+      std::abort();
+  }
+  return Status::OK();
+}
+
+}  // namespace failpoint
+}  // namespace fsim

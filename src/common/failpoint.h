@@ -1,0 +1,105 @@
+// Failpoint injection — named failure sites compiled into the serving and
+// persistence seams (WAL append, snapshot persist, publish, queue admission,
+// solve) that tests, `fsim_cli --failpoints` or the FSIM_FAILPOINTS
+// environment variable can arm to return an error, delay the caller, or
+// abort the process. The crash-recovery matrix in tests/recovery_test.cc is
+// built on these: arm `abort` at every registered serve-path site, kill the
+// process mid-burst, and prove recovery loses nothing acknowledged.
+//
+//   Status DoAppend(...) {
+//     FSIM_FAILPOINT("serve.wal.append");   // may return an injected error
+//     ...
+//   }
+//
+// Sites are compiled out entirely unless the build defines FSIM_FAILPOINTS
+// (CMake option -DFSIM_FAILPOINTS=ON; release serving binaries carry zero
+// overhead, the CI chaos leg turns it on — see docs/correctness.md). In an
+// enabled build every pass through a site bumps a per-site hit counter,
+// exposed like ValidatorCounters, whether or not the site is armed.
+//
+// Arm specs (Arm / ArmFromSpec / the FSIM_FAILPOINTS env var):
+//   error            every hit returns Status::Internal
+//   io-error         every hit returns Status::IOError
+//   delay(<ms>)      every hit sleeps <ms> milliseconds, then continues
+//   abort            every hit aborts the process
+//   off              disarm
+// An optional `<n>*` prefix limits the action to the first n triggering
+// hits (e.g. "2*error"), and `<k>->` skips the first k hits before the
+// action starts firing (e.g. "3->abort" aborts on the 4th hit). The env /
+// CLI form is a semicolon-separated list: "serve.wal.append=1*io-error;
+// serve.publish=delay(50)".
+#ifndef FSIM_COMMON_FAILPOINT_H_
+#define FSIM_COMMON_FAILPOINT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace fsim {
+namespace failpoint {
+
+/// True when the build compiled failpoint sites in (FSIM_FAILPOINTS).
+#ifdef FSIM_FAILPOINTS
+inline constexpr bool kCompiledIn = true;
+#else
+inline constexpr bool kCompiledIn = false;
+#endif
+
+/// Arms site `name` with `spec` (grammar above). InvalidArgument on a
+/// malformed spec. Arming is independent of whether any code path actually
+/// passes through a site of that name.
+Status Arm(std::string_view name, std::string_view spec);
+
+/// Arms every `name=spec` entry of a semicolon-separated list. Stops at the
+/// first malformed entry.
+Status ArmFromSpec(std::string_view list);
+
+/// Arms from the FSIM_FAILPOINTS environment variable (no-op when unset).
+Status ArmFromEnv();
+
+/// Disarms one site / all sites. Hit counters are preserved.
+void Disarm(std::string_view name);
+void DisarmAll();
+
+/// Zeroes every hit counter and forgets unarmed registrations (tests).
+void ResetCounters();
+
+/// Hits recorded for `name` (0 if never passed).
+uint64_t HitCount(std::string_view name);
+
+/// All (site, hits) pairs sorted by name — every site that was armed or
+/// passed through at least once this process.
+std::vector<std::pair<std::string, uint64_t>> Snapshot();
+
+/// The site evaluation behind FSIM_FAILPOINT: bumps the hit counter and
+/// performs the armed action, returning the injected error if one fires.
+/// Call through the macro so disabled builds compile the site out.
+Status Hit(const char* name);
+
+}  // namespace failpoint
+}  // namespace fsim
+
+// FSIM_FAILPOINT(name): in an FSIM_FAILPOINTS build, evaluates the site —
+// delays delay the caller, aborts kill the process, and injected errors
+// return from the enclosing function (which must return Status or
+// Result<T>). Compiled out to nothing otherwise.
+#ifdef FSIM_FAILPOINTS
+#define FSIM_FAILPOINT(name)                                \
+  do {                                                      \
+    ::fsim::Status _fp_st = ::fsim::failpoint::Hit(name);   \
+    if (!_fp_st.ok()) return _fp_st;                        \
+  } while (0)
+// FSIM_FAILPOINT_VOID(name): for void contexts — delays and aborts act,
+// injected errors are swallowed (the site still counts the hit).
+#define FSIM_FAILPOINT_VOID(name) \
+  (void)::fsim::failpoint::Hit(name)
+#else
+#define FSIM_FAILPOINT(name) (void)0
+#define FSIM_FAILPOINT_VOID(name) (void)0
+#endif
+
+#endif  // FSIM_COMMON_FAILPOINT_H_

@@ -22,6 +22,8 @@ enum class StatusCode : int {
   kIOError = 5,
   kNotImplemented = 6,
   kInternal = 7,
+  kDeadlineExceeded = 8,
+  kResourceExhausted = 9,
 };
 
 /// Returns a stable, human-readable name for a StatusCode (e.g. "IOError").
@@ -77,6 +79,12 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
 
   bool ok() const { return state_ == nullptr; }
   StatusCode code() const {
@@ -92,6 +100,12 @@ class Status {
   }
   bool IsNotFound() const { return code() == StatusCode::kNotFound; }
   bool IsIOError() const { return code() == StatusCode::kIOError; }
+  bool IsDeadlineExceeded() const {
+    return code() == StatusCode::kDeadlineExceeded;
+  }
+  bool IsResourceExhausted() const {
+    return code() == StatusCode::kResourceExhausted;
+  }
 
  private:
   struct State {

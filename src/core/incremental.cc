@@ -38,7 +38,8 @@ IncrementalFSim::IncrementalFSim(const Graph& g1, const Graph& g2,
 
 Result<IncrementalFSim> IncrementalFSim::Create(Graph g1, Graph g2,
                                                 FSimConfig config,
-                                                IncrementalOptions options) {
+                                                IncrementalOptions options,
+                                                const FSimScores* warm_seed) {
   FSIM_RETURN_NOT_OK(ValidateFSimConfig(g1, g2, config));
   if (config.upper_bound) {
     return Status::InvalidArgument(
@@ -119,6 +120,13 @@ Result<IncrementalFSim> IncrementalFSim::Create(Graph g1, Graph g2,
     inc.const_term_[i] = label_weight * label_term;
   }
   inc.nbr_index_.Build(inc.IndexEnv(), inc.keys_, inc.config_);
+  // Warm start: overwrite the FSim^0 initialization with the seed's values
+  // when the keysets agree exactly. Any mismatch (different graphs, config,
+  // or a truncated snapshot) keeps the cold initialization — correctness
+  // never depends on the seed, only the solve's iteration count does.
+  if (warm_seed != nullptr && warm_seed->keys() == inc.keys_) {
+    inc.values_ = warm_seed->values();
+  }
   inc.SolveFull();
   return inc;
 }

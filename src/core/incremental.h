@@ -102,8 +102,19 @@ class IncrementalFSim {
   /// `config.epsilon` controls the initial solve; the maintained accuracy
   /// after edits is governed by `options.propagation_tolerance`, so choose
   /// epsilon of comparable magnitude for consistent answers.
+  ///
+  /// `warm_seed` (optional) primes the solve with previously converged
+  /// scores — the crash-recovery path (serve/recovery.h) passes the scores
+  /// loaded from the latest durable snapshot so the initial solve converges
+  /// in a sweep or two instead of a cold fixpoint run. The seed is used only
+  /// when its keyset matches the freshly enumerated candidate set exactly
+  /// (same graphs + config ⇒ same candidates); on any mismatch the solve
+  /// silently falls back to the cold FSim^0 initialization, so a stale or
+  /// foreign seed can never corrupt the fixpoint (the contraction drives
+  /// any starting point in [0,1] to the same result).
   static Result<IncrementalFSim> Create(Graph g1, Graph g2, FSimConfig config,
-                                        IncrementalOptions options = {});
+                                        IncrementalOptions options = {},
+                                        const FSimScores* warm_seed = nullptr);
 
   /// Adds the directed edge from -> to in graph `graph_index` (1 or 2) and
   /// re-converges the affected scores. O(affected degree), not O(|V|+|E|).

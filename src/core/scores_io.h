@@ -28,6 +28,13 @@ Result<FSimScores> ScoresFromString(std::string_view text);
 Status SaveScoresToFile(const FSimScores& scores, const std::string& path);
 Result<FSimScores> LoadScoresFromFile(const std::string& path);
 
+/// Crash-safe save: writes to `path`.tmp, fsyncs, renames over `path`, and
+/// fsyncs the parent directory, so readers see either the old file or the
+/// complete new one — never a torn write. Use for score files that feed
+/// warm starts or recovery (docs/serving.md "Durability & recovery").
+Status SaveScoresToFileDurable(const FSimScores& scores,
+                               const std::string& path);
+
 }  // namespace fsim
 
 #endif  // FSIM_CORE_SCORES_IO_H_

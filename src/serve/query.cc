@@ -1,21 +1,77 @@
 #include "serve/query.h"
 
+#include <algorithm>
+
 namespace fsim {
 
+namespace {
+
+QueryEngine::Clock::time_point DeadlineFor(double budget_ms) {
+  if (budget_ms <= 0.0) return QueryEngine::Clock::time_point::max();
+  return QueryEngine::Clock::now() +
+         std::chrono::duration_cast<QueryEngine::Clock::duration>(
+             std::chrono::duration<double, std::milli>(budget_ms));
+}
+
+/// Best-effort TOPK from the snapshot's precomputed cache prefix: the first
+/// min(k, cache_k, |row|) ranked entries, no row scan, no allocation beyond
+/// the copy. Exact when k fits the cache — degraded only beyond it.
+std::vector<std::pair<NodeId, double>> CachePrefixTopK(
+    const FSimSnapshot& snapshot, NodeId u, size_t k, bool* degraded) {
+  const auto cached = snapshot.CachedTopK(u);
+  const size_t n = std::min(k, cached.size());
+  // A short cache row can be short because the row itself is short (exact)
+  // or because cache_k < k truncated it (degraded); only the latter can
+  // lose entries.
+  *degraded = k > snapshot.cache_k() && cached.size() == snapshot.cache_k();
+  return {cached.begin(), cached.begin() + n};
+}
+
+}  // namespace
+
 QueryResult QueryEngine::Answer(const FSimSnapshot& snapshot,
-                                const Query& query) {
+                                const Query& query,
+                                Clock::time_point deadline) {
   QueryResult result;
   result.kind = query.kind;
   result.version = snapshot.meta().version;
+  const bool over_budget = deadline != Clock::time_point::max() &&
+                           Clock::now() >= deadline;
   switch (query.kind) {
     case Query::Kind::kPair:
+      // O(1) hash lookup — cheaper than any degradation bookkeeping.
       result.score = snapshot.PairScore(query.u, query.v);
       break;
     case Query::Kind::kTopK:
-      result.entries = snapshot.TopK(query.u, query.k);
+      if (over_budget) {
+        result.entries = CachePrefixTopK(snapshot, query.u, query.k,
+                                         &result.degraded);
+      } else {
+        result.entries = snapshot.TopK(query.u, query.k);
+      }
       break;
     case Query::Kind::kThreshold:
-      result.entries = snapshot.ThresholdNeighbors(query.u, query.tau);
+      if (over_budget) {
+        // Cache prefix filtered by tau: every returned entry is a true
+        // hit, but hits ranked past the cache depth are missing.
+        bool truncated = false;
+        auto prefix = CachePrefixTopK(snapshot, query.u,
+                                      snapshot.cache_k(), &truncated);
+        auto& entries = result.entries;
+        for (const auto& entry : prefix) {
+          if (entry.second >= query.tau) entries.push_back(entry);
+        }
+        // Degraded unless the cache provably holds the whole answer: the
+        // full (untruncated) row fit in the cache, or the prefix's tail
+        // already fell below tau.
+        const auto cached = snapshot.CachedTopK(query.u);
+        const bool complete =
+            (cached.size() < snapshot.cache_k()) ||
+            (!cached.empty() && cached.back().second < query.tau);
+        result.degraded = !complete;
+      } else {
+        result.entries = snapshot.ThresholdNeighbors(query.u, query.tau);
+      }
       break;
   }
   return result;
@@ -26,15 +82,16 @@ Result<QueryResult> QueryEngine::Run(const Query& query) const {
   if (snapshot == nullptr) {
     return Status::NotFound("no snapshot published yet");
   }
-  return Answer(*snapshot, query);
+  return Answer(*snapshot, query, DeadlineFor(query.budget_ms));
 }
 
 Result<std::vector<QueryResult>> QueryEngine::RunBatch(
-    std::span<const Query> queries) const {
+    std::span<const Query> queries, double budget_ms) const {
   SnapshotPtr snapshot = store_->Acquire();
   if (snapshot == nullptr) {
     return Status::NotFound("no snapshot published yet");
   }
+  const Clock::time_point deadline = DeadlineFor(budget_ms);
   std::vector<QueryResult> results(queries.size());
   if (pool_ != nullptr && queries.size() >= kParallelBatchMin) {
     // Top-k/threshold answers allocate entry vectors, so chunks are sized
@@ -44,12 +101,12 @@ Result<std::vector<QueryResult>> QueryEngine::RunBatch(
         queries.size(), kBatchGrain,
         [&](int /*worker*/, size_t begin, size_t end) {
           for (size_t i = begin; i < end; ++i) {
-            results[i] = Answer(*snapshot, queries[i]);
+            results[i] = Answer(*snapshot, queries[i], deadline);
           }
         });
   } else {
     for (size_t i = 0; i < queries.size(); ++i) {
-      results[i] = Answer(*snapshot, queries[i]);
+      results[i] = Answer(*snapshot, queries[i], deadline);
     }
   }
   return results;

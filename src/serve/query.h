@@ -2,9 +2,17 @@
 // the current snapshot once and answers entirely against it, so a single
 // query — and every query of one batch — observes one consistent score
 // version even while the refresh driver publishes new ones underneath.
+//
+// Deadline budgets (overload degradation, docs/serving.md): a query may
+// carry a time budget. Once the budget is exhausted — typically midway
+// through a large batch — expensive answers degrade instead of blowing the
+// deadline: TOPK and THRESH fall back to the snapshot's precomputed top-k
+// cache prefix (exact for k <= cache_k, a best-effort prefix beyond it) and
+// the result is marked `degraded`. PAIR lookups are O(1) and never degrade.
 #ifndef FSIM_SERVE_QUERY_H_
 #define FSIM_SERVE_QUERY_H_
 
+#include <chrono>
 #include <cstdint>
 #include <span>
 #include <utility>
@@ -29,6 +37,9 @@ struct Query {
   NodeId v = 0;     // kPair
   size_t k = 0;     // kTopK
   double tau = 0.0; // kThreshold
+  /// Deadline budget in milliseconds; 0 = unlimited. Run() starts the
+  /// clock on entry; RunBatch shares one clock across the whole batch.
+  double budget_ms = 0.0;
 };
 
 /// The answer, stamped with the snapshot version that produced it.
@@ -37,6 +48,9 @@ struct QueryResult {
   uint64_t version = 0;
   double score = 0.0;                              // kPair
   std::vector<std::pair<NodeId, double>> entries;  // kTopK / kThreshold
+  /// True when the deadline budget forced a cache-prefix answer instead of
+  /// the exact row selection (entries may be fewer than requested).
+  bool degraded = false;
 };
 
 /// Stateless facade over a SnapshotStore. Safe to share across any number
@@ -48,26 +62,33 @@ struct QueryResult {
 /// exclusive); single queries never touch it.
 class QueryEngine {
  public:
+  using Clock = std::chrono::steady_clock;
+
   explicit QueryEngine(const SnapshotStore* store, ThreadPool* pool = nullptr)
       : store_(store), pool_(pool) {}
 
   /// Answers one query against the current snapshot. NotFound when no
-  /// snapshot has been published yet.
+  /// snapshot has been published yet. Honors query.budget_ms.
   Result<QueryResult> Run(const Query& query) const;
 
   /// Answers all queries against ONE acquired snapshot (cross-query
   /// consistency within the batch). NotFound when no snapshot exists.
   /// Batches of at least kParallelBatchMin queries run on the pool when one
-  /// was supplied; results are in query order either way.
-  Result<std::vector<QueryResult>> RunBatch(
-      std::span<const Query> queries) const;
+  /// was supplied; results are in query order either way. `budget_ms` (0 =
+  /// unlimited) is one shared deadline for the whole batch: queries
+  /// evaluated after it expires degrade to cache answers.
+  Result<std::vector<QueryResult>> RunBatch(std::span<const Query> queries,
+                                            double budget_ms = 0.0) const;
 
   /// Below this batch size the pool dispatch costs more than the queries.
   static constexpr size_t kParallelBatchMin = 64;
 
   /// The per-query evaluation, usable directly by callers that manage
-  /// snapshot lifetime themselves.
-  static QueryResult Answer(const FSimSnapshot& snapshot, const Query& query);
+  /// snapshot lifetime themselves. Degrades expensive answers once
+  /// `deadline` has passed (the default never does).
+  static QueryResult Answer(const FSimSnapshot& snapshot, const Query& query,
+                            Clock::time_point deadline =
+                                Clock::time_point::max());
 
  private:
   const SnapshotStore* store_;

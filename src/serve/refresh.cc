@@ -1,19 +1,84 @@
 #include "serve/refresh.h"
 
 #include <algorithm>
-#include <unordered_map>
 #include <utility>
 
+#include "common/failpoint.h"
+#include "common/hash.h"
 #include "common/timer.h"
 
 namespace fsim {
 
-void EditQueue::Push(const EditOp& op) {
+Status EditQueue::Admit(const EditOp& op) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (capacity_ > 0 && ops_.size() + reserved_ >= capacity_) {
+    // Full — admissible only if it will coalesce onto a queued edit of the
+    // same edge (last-op-wins keeps the newest intent without growth).
+    const bool coalescible =
+        (op.graph_index == 1 || op.graph_index == 2) &&
+        index_[op.graph_index == 2].count(PairKey(op.from, op.to)) > 0;
+    if (!coalescible) {
+      return Status::ResourceExhausted(
+          "edit queue is full (overload shed; retry after a refresh)");
+    }
+  }
+  ++reserved_;
+  return Status::OK();
+}
+
+bool EditQueue::CommitLocked(const EditOp& op) {
+  if (reserved_ > 0) --reserved_;
+  if (op.graph_index != 1 && op.graph_index != 2) {
+    // Let invalid ops flow through to the driver's edits_failed counter.
+    ops_.push_back(op);
+    return false;
+  }
+  auto [it, inserted] = index_[op.graph_index == 2].try_emplace(
+      PairKey(op.from, op.to), ops_.size());
+  if (inserted) {
+    ops_.push_back(op);
+    return false;
+  }
+  EditOp& queued = ops_[it->second];
+  queued.insert = op.insert;
+  if (op.lsn > queued.lsn) queued.lsn = op.lsn;
+  return true;
+}
+
+bool EditQueue::CommitAdmitted(const EditOp& op) {
+  bool coalesced;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    ops_.push_back(op);
+    coalesced = CommitLocked(op);
   }
   cv_.notify_all();
+  return coalesced;
+}
+
+void EditQueue::CancelAdmitted() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (reserved_ > 0) --reserved_;
+}
+
+Status EditQueue::TryPush(const EditOp& op, bool* coalesced) {
+  bool merged;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (capacity_ > 0 && ops_.size() + reserved_ >= capacity_) {
+      const bool coalescible =
+          (op.graph_index == 1 || op.graph_index == 2) &&
+          index_[op.graph_index == 2].count(PairKey(op.from, op.to)) > 0;
+      if (!coalescible) {
+        return Status::ResourceExhausted(
+            "edit queue is full (overload shed; retry after a refresh)");
+      }
+    }
+    ++reserved_;  // consumed immediately by the commit below
+    merged = CommitLocked(op);
+  }
+  cv_.notify_all();
+  if (coalesced != nullptr) *coalesced = merged;
+  return Status::OK();
 }
 
 size_t EditQueue::Drain(std::vector<EditOp>* out) {
@@ -21,6 +86,8 @@ size_t EditQueue::Drain(std::vector<EditOp>* out) {
   const size_t n = ops_.size();
   out->insert(out->end(), ops_.begin(), ops_.end());
   ops_.clear();
+  index_[0].clear();
+  index_[1].clear();
   return n;
 }
 
@@ -43,31 +110,79 @@ RefreshDriver::RefreshDriver(Graph g1, Graph g2, FSimConfig config,
       config_(std::move(config)),
       inc_options_(inc_options),
       policy_(policy),
-      store_(store) {
+      store_(store),
+      queue_(policy.queue_capacity) {
   FSIM_CHECK(store_ != nullptr);
 }
 
-RefreshDriver::~RefreshDriver() { Stop(); }
+RefreshDriver::~RefreshDriver() { (void)Stop(); }
+
+Status RefreshDriver::EnableDurability(DurabilityOptions options,
+                                       RecoveredState recovered) {
+  if (options.dir.empty()) {
+    return Status::InvalidArgument("durability requires a directory");
+  }
+  std::lock_guard<std::timed_mutex> lock(apply_mu_);
+  if (inc_ != nullptr || wal_ != nullptr) {
+    return Status::Internal(
+        "durability must be attached before Init/Start (the WAL cannot "
+        "adopt edits applied without it)");
+  }
+  durability_ = std::move(options);
+  warm_seed_ = std::move(recovered.scores);
+  recovered_lsn_ = recovered.snapshot_lsn;
+  applied_lsn_ = recovered.snapshot_lsn;
+  persisted_lsn_ = recovered.have_snapshot ? recovered.snapshot_lsn : 0;
+  replay_tail_.clear();
+  replay_tail_.reserve(recovered.tail.size());
+  for (const EditRecord& rec : recovered.tail) {
+    replay_tail_.push_back(EditOp{rec.graph_index, rec.from, rec.to,
+                                  rec.insert, rec.lsn});
+  }
+  FSIM_ASSIGN_OR_RETURN(wal_,
+                        WalWriter::Open(durability_.dir, recovered.next_lsn));
+  return Status::OK();
+}
+
+Status RefreshDriver::InitLocked() {
+  FSIM_FAILPOINT("serve.refresh.init_solve");
+  auto inc = IncrementalFSim::Create(g1_, g2_, config_, inc_options_,
+                                     warm_seed_ ? &*warm_seed_ : nullptr);
+  if (!inc.ok()) return inc.status();
+  inc_ = std::make_unique<IncrementalFSim>(std::move(inc).ValueOrDie());
+  warm_seed_.reset();  // the engine owns the state now
+  const bool replayed = !replay_tail_.empty();
+  if (replayed) {
+    stats_.edits_replayed += replay_tail_.size();
+    (void)ApplyBatchLocked(replay_tail_);
+    replay_tail_.clear();
+    replay_tail_.shrink_to_fit();
+  }
+  PublishLocked();
+  if (wal_ != nullptr) {
+    // Compact recovery work up front: a durable snapshot at the replayed
+    // LSN means the next crash replays only edits newer than this boot.
+    const Status persisted = PersistSnapshotLocked();
+    if (!persisted.ok()) {
+      ++stats_.snapshot_persist_failures;  // WAL still covers everything
+    }
+  }
+  return Status::OK();
+}
 
 Status RefreshDriver::Init() {
   {
     std::lock_guard<std::mutex> lock(init_mu_);
-    if (init_done_) return init_status_;
+    if (init_done_) return Status::OK();
   }
   Status status;
   {
-    std::lock_guard<std::mutex> lock(apply_mu_);
-    auto inc = IncrementalFSim::Create(g1_, g2_, config_, inc_options_);
-    if (inc.ok()) {
-      inc_ = std::make_unique<IncrementalFSim>(std::move(inc).ValueOrDie());
-      PublishLocked();
-    } else {
-      status = inc.status();
-    }
+    std::lock_guard<std::timed_mutex> lock(apply_mu_);
+    if (inc_ == nullptr) status = InitLocked();
   }
   {
     std::lock_guard<std::mutex> lock(init_mu_);
-    init_done_ = true;
+    if (status.ok()) init_done_ = true;
     init_status_ = status;
   }
   init_cv_.notify_all();
@@ -76,7 +191,7 @@ Status RefreshDriver::Init() {
 
 bool RefreshDriver::ready() const {
   std::lock_guard<std::mutex> lock(init_mu_);
-  return init_done_ && init_status_.ok();
+  return init_done_;
 }
 
 Status RefreshDriver::init_status() const {
@@ -84,9 +199,40 @@ Status RefreshDriver::init_status() const {
   return init_status_;
 }
 
-void RefreshDriver::Submit(const EditOp& op) {
+Status RefreshDriver::Submit(const EditOp& op) {
+  FSIM_FAILPOINT("serve.queue.push");
+  if (op.graph_index != 1 && op.graph_index != 2) {
+    return Status::InvalidArgument("edit graph index must be 1 or 2");
+  }
+  // Admission BEFORE the durable append: a shed edit must leave no ghost
+  // record for recovery to replay against a client that was told "no".
+  Status admitted = queue_.Admit(op);
+  if (!admitted.ok()) {
+    shed_.fetch_add(1);
+    return admitted;
+  }
+  EditOp stamped = op;
+  if (wal_ != nullptr) {
+    EditRecord rec;
+    rec.graph_index = static_cast<uint8_t>(op.graph_index);
+    rec.insert = op.insert;
+    rec.from = op.from;
+    rec.to = op.to;
+    auto lsn = wal_->AppendDurable(rec);
+    if (!lsn.ok()) {
+      queue_.CancelAdmitted();
+      wal_failures_.fetch_add(1);
+      return lsn.status();
+    }
+    stamped.lsn = *lsn;
+  }
+  if (queue_.CommitAdmitted(stamped)) {
+    // Coalesced onto a queued same-edge op: its net effect still applies
+    // with the batch, but it never reaches the engine as its own edit.
+    queue_coalesced_.fetch_add(1);
+  }
   submitted_.fetch_add(1);
-  queue_.Push(op);
+  return Status::OK();
 }
 
 size_t RefreshDriver::ApplyBatchLocked(const std::vector<EditOp>& batch) {
@@ -96,7 +242,11 @@ size_t RefreshDriver::ApplyBatchLocked(const std::vector<EditOp>& batch) {
   batch_scratch_.clear();
   std::unordered_map<uint64_t, size_t> last_op[2];
   size_t invalid = 0;
+  uint64_t max_lsn = 0;
   for (const EditOp& op : batch) {
+    // Every acknowledged LSN in the batch counts as applied once the batch
+    // lands, coalesced or not — the engine reflects its net effect.
+    if (op.lsn > max_lsn) max_lsn = op.lsn;
     if (op.graph_index != 1 && op.graph_index != 2) {
       ++invalid;
       ++stats_.edits_failed;
@@ -135,10 +285,13 @@ size_t RefreshDriver::ApplyBatchLocked(const std::vector<EditOp>& batch) {
   stats_.total_apply_seconds += apply_timer.Seconds();
   stats_.edits_applied += applied;
   edits_since_publish_ += applied;
+  edits_since_snapshot_ += applied;
+  if (max_lsn > applied_lsn_) applied_lsn_ = max_lsn;
   return applied;
 }
 
 void RefreshDriver::PublishLocked() {
+  FSIM_FAILPOINT_VOID("serve.publish");
   Timer timer;
   SnapshotMeta meta;
   meta.version = store_->NextVersion();
@@ -155,11 +308,36 @@ void RefreshDriver::PublishLocked() {
   last_publish_time_ = std::chrono::steady_clock::now();
 }
 
-Result<size_t> RefreshDriver::DrainApply(bool force_publish) {
-  if (!ready()) {
-    return Status::Internal("refresh engine is not initialized");
+Status RefreshDriver::PersistSnapshotLocked() {
+  Timer timer;
+  const FSimScores scores = inc_->Snapshot();
+  const Graph g1 = inc_->MaterializeG1();
+  const Graph g2 = inc_->MaterializeG2();
+  FSIM_RETURN_NOT_OK(
+      PersistSnapshot(durability_.dir, applied_lsn_, g1, g2, scores));
+  ++stats_.snapshot_persists;
+  stats_.total_persist_seconds += timer.Seconds();
+  persisted_lsn_ = applied_lsn_;
+  edits_since_snapshot_ = 0;
+  // Retention: rotate so the closed segment becomes coverable, keep the
+  // newest snapshots, and drop WAL segments the oldest retained snapshot
+  // already covers.
+  FSIM_RETURN_NOT_OK(wal_->Rotate());
+  FSIM_ASSIGN_OR_RETURN(
+      size_t snapshots_removed,
+      RemoveObsoleteSnapshots(durability_.dir, durability_.keep_snapshots));
+  (void)snapshots_removed;
+  FSIM_ASSIGN_OR_RETURN(uint64_t oldest, OldestSnapshotLsn(durability_.dir));
+  if (oldest > 0) {
+    FSIM_ASSIGN_OR_RETURN(size_t segments_removed,
+                          RemoveObsoleteWalSegments(durability_.dir, oldest));
+    (void)segments_removed;
   }
-  std::lock_guard<std::mutex> lock(apply_mu_);
+  return Status::OK();
+}
+
+Result<size_t> RefreshDriver::DrainApplyLocked(bool force_publish) {
+  FSIM_FAILPOINT("serve.refresh.apply");
   drain_scratch_.clear();
   queue_.Drain(&drain_scratch_);
   size_t applied = 0;
@@ -183,14 +361,63 @@ Result<size_t> RefreshDriver::DrainApply(bool force_publish) {
     }
   }
   if (due) PublishLocked();
+  if (wal_ != nullptr && durability_.snapshot_every_edits > 0 &&
+      edits_since_snapshot_ >= durability_.snapshot_every_edits) {
+    const Status persisted = PersistSnapshotLocked();
+    if (!persisted.ok()) {
+      // The WAL already holds every acknowledged edit; a failed snapshot
+      // only lengthens the next replay. Count it and retry at the next
+      // cadence hit.
+      ++stats_.snapshot_persist_failures;
+    }
+  }
   return applied;
 }
 
+Result<size_t> RefreshDriver::DrainApply(bool force_publish) {
+  if (!ready()) {
+    return Status::Internal("refresh engine is not initialized");
+  }
+  std::lock_guard<std::timed_mutex> lock(apply_mu_);
+  return DrainApplyLocked(force_publish);
+}
+
 Status RefreshDriver::Flush() {
+  return FlushWithin(std::chrono::milliseconds(static_cast<int64_t>(
+      policy_.flush_timeout_seconds * 1e3)));
+}
+
+Status RefreshDriver::FlushWithin(std::chrono::milliseconds timeout) {
+  FSIM_FAILPOINT("serve.flush");
+  const bool bounded = timeout.count() > 0;
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
   {
     std::unique_lock<std::mutex> lock(init_mu_);
-    init_cv_.wait(lock, [this] { return init_done_; });
-    if (!init_status_.ok()) return init_status_;
+    const auto initialized = [this] {
+      return init_done_ || stop_.load(std::memory_order_relaxed);
+    };
+    if (bounded) {
+      if (!init_cv_.wait_until(lock, deadline, initialized)) {
+        return Status::DeadlineExceeded(
+            "refresh engine did not become ready within the flush budget");
+      }
+    } else {
+      init_cv_.wait(lock, initialized);
+    }
+    if (!init_done_) {
+      return init_status_.ok()
+                 ? Status::Internal("refresh driver stopped before Init")
+                 : init_status_;
+    }
+  }
+  if (bounded) {
+    std::unique_lock<std::timed_mutex> lock(apply_mu_, std::defer_lock);
+    if (!lock.try_lock_until(deadline)) {
+      return Status::DeadlineExceeded(
+          "refresh engine is busy past the flush budget (a solve or "
+          "persist holds the apply lock)");
+    }
+    return DrainApplyLocked(/*force_publish=*/true).status();
   }
   FSIM_ASSIGN_OR_RETURN(size_t applied, DrainApply(/*force_publish=*/true));
   (void)applied;
@@ -200,43 +427,111 @@ Status RefreshDriver::Flush() {
 void RefreshDriver::Start() {
   if (thread_.joinable()) return;
   stop_.store(false);
+  {
+    std::lock_guard<std::mutex> lock(loop_mu_);
+    loop_done_ = false;
+  }
   thread_ = std::thread([this] { RunLoop(); });
 }
 
 void RefreshDriver::RunLoop() {
-  if (!Init().ok()) return;
-  const auto poll = std::chrono::milliseconds(
-      std::max<int64_t>(1, static_cast<int64_t>(policy_.poll_seconds * 1e3)));
+  // Watchdog: a failed initial solve (resource pressure, injected fault)
+  // is retried with exponential backoff instead of silently ending
+  // background refresh. Queries keep answering from whatever snapshot is
+  // published (a warm start or recovery snapshot) the whole time.
+  // Stop()-interruptible backoff sleep (a queue wait would return
+  // immediately whenever edits are pending, turning backoff into a spin).
+  const auto backoff_sleep = [this](double seconds) {
+    std::unique_lock<std::mutex> lock(loop_mu_);
+    loop_cv_.wait_for(
+        lock,
+        std::chrono::milliseconds(
+            std::max<int64_t>(1, static_cast<int64_t>(seconds * 1e3))),
+        [this] { return stop_.load(); });
+  };
+  double backoff = std::max(policy_.retry_backoff_seconds, 1e-3);
   while (!stop_.load()) {
-    queue_.WaitNonEmpty(poll);
-    if (stop_.load()) break;
-    (void)DrainApply(/*force_publish=*/false);
+    if (Init().ok()) break;
+    init_retries_.fetch_add(1);
+    backoff_sleep(backoff);
+    backoff = std::min(backoff * 2, policy_.retry_backoff_max_seconds);
   }
-  // Final drain so Stop() leaves the published snapshot current.
-  (void)DrainApply(/*force_publish=*/true);
+  if (ready()) {
+    const auto poll = std::chrono::milliseconds(std::max<int64_t>(
+        1, static_cast<int64_t>(policy_.poll_seconds * 1e3)));
+    backoff = std::max(policy_.retry_backoff_seconds, 1e-3);
+    while (!stop_.load()) {
+      queue_.WaitNonEmpty(poll);
+      if (stop_.load()) break;
+      const auto applied = DrainApply(/*force_publish=*/false);
+      if (applied.ok()) {
+        backoff = std::max(policy_.retry_backoff_seconds, 1e-3);
+      } else {
+        // Failed round: edits stay queued (the failpoint/error fires
+        // before the drain), so back off and retry rather than spin.
+        refresh_failures_.fetch_add(1);
+        backoff_sleep(backoff);
+        backoff = std::min(backoff * 2, policy_.retry_backoff_max_seconds);
+      }
+    }
+    // Final drain so Stop() leaves the published snapshot current.
+    (void)DrainApply(/*force_publish=*/true);
+  }
+  {
+    std::lock_guard<std::mutex> lock(loop_mu_);
+    loop_done_ = true;
+  }
+  loop_cv_.notify_all();
 }
 
-void RefreshDriver::Stop() {
+Status RefreshDriver::Stop(std::chrono::milliseconds timeout) {
   stop_.store(true);
   queue_.Wake();
-  if (thread_.joinable()) thread_.join();
+  init_cv_.notify_all();  // release Flush waiters parked on a failing Init
+  loop_cv_.notify_all();  // cut any watchdog backoff sleep short
+  if (!thread_.joinable()) return Status::OK();
+  if (timeout.count() > 0) {
+    std::unique_lock<std::mutex> lock(loop_mu_);
+    if (!loop_cv_.wait_for(lock, timeout, [this] { return loop_done_; })) {
+      return Status::DeadlineExceeded(
+          "refresh loop is still draining past the stop budget (it keeps "
+          "running; call Stop again or let the destructor wait)");
+    }
+  }
+  thread_.join();
+  return Status::OK();
 }
 
 RefreshDriver::Stats RefreshDriver::stats() const {
-  std::lock_guard<std::mutex> lock(apply_mu_);
+  std::lock_guard<std::timed_mutex> lock(apply_mu_);
   Stats stats = stats_;
+  stats.edits_coalesced += queue_coalesced_.load();
   stats.edits_submitted = submitted_.load();
+  stats.edits_shed = shed_.load();
+  stats.wal_failures = wal_failures_.load();
+  stats.init_retries = init_retries_.load();
+  stats.refresh_failures = refresh_failures_.load();
+  stats.applied_lsn = applied_lsn_;
+  stats.persisted_lsn = persisted_lsn_;
+  stats.durable_lsn = wal_ != nullptr ? wal_->durable_lsn() : 0;
+  stats.edits_behind = edits_since_publish_;
+  stats.seconds_behind =
+      inc_ != nullptr
+          ? std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          last_publish_time_)
+                .count()
+          : 0.0;
   return stats;
 }
 
 Graph RefreshDriver::MaterializeG1() const {
-  std::lock_guard<std::mutex> lock(apply_mu_);
+  std::lock_guard<std::timed_mutex> lock(apply_mu_);
   FSIM_CHECK(inc_ != nullptr);
   return inc_->MaterializeG1();
 }
 
 Graph RefreshDriver::MaterializeG2() const {
-  std::lock_guard<std::mutex> lock(apply_mu_);
+  std::lock_guard<std::timed_mutex> lock(apply_mu_);
   FSIM_CHECK(inc_ != nullptr);
   return inc_->MaterializeG2();
 }

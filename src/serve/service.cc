@@ -59,22 +59,31 @@ bool ParseQuery(const std::vector<std::string_view>& tokens, Query* query,
   }
   if (verb == "TOPK") {
     uint32_t k = 0;
-    if (tokens.size() != 3 || !ParseU32(tokens[1], &query->u) ||
-        !ParseU32(tokens[2], &k)) {
-      *error = "usage: TOPK <u> <k>";
+    double budget_ms = 0.0;
+    if (tokens.size() < 3 || tokens.size() > 4 ||
+        !ParseU32(tokens[1], &query->u) || !ParseU32(tokens[2], &k) ||
+        (tokens.size() == 4 &&
+         (!ParseDouble(tokens[3], &budget_ms) || budget_ms < 0.0))) {
+      *error = "usage: TOPK <u> <k> [budget_ms]";
       return false;
     }
     query->kind = Query::Kind::kTopK;
     query->k = k;
+    query->budget_ms = budget_ms;
     return true;
   }
   if (verb == "THRESH") {
-    if (tokens.size() != 3 || !ParseU32(tokens[1], &query->u) ||
-        !ParseDouble(tokens[2], &query->tau)) {
-      *error = "usage: THRESH <u> <tau>";
+    double budget_ms = 0.0;
+    if (tokens.size() < 3 || tokens.size() > 4 ||
+        !ParseU32(tokens[1], &query->u) ||
+        !ParseDouble(tokens[2], &query->tau) ||
+        (tokens.size() == 4 &&
+         (!ParseDouble(tokens[3], &budget_ms) || budget_ms < 0.0))) {
+      *error = "usage: THRESH <u> <tau> [budget_ms]";
       return false;
     }
     query->kind = Query::Kind::kThreshold;
+    query->budget_ms = budget_ms;
     return true;
   }
   *error = StrFormat("unknown request '%.*s'", static_cast<int>(verb.size()),
@@ -90,14 +99,54 @@ void PrintResult(const QueryResult& result, std::ostream& out) {
       break;
     case Query::Kind::kTopK:
     case Query::Kind::kThreshold:
-      out << StrFormat("%s %zu v%llu\n",
+      out << StrFormat("%s %zu v%llu%s\n",
                        result.kind == Query::Kind::kTopK ? "TOPK" : "THRESH",
                        result.entries.size(),
-                       static_cast<unsigned long long>(result.version));
+                       static_cast<unsigned long long>(result.version),
+                       result.degraded ? " degraded" : "");
       for (const auto& [v, score] : result.entries) {
         out << StrFormat("%u %.6f\n", v, score);
       }
       break;
+  }
+}
+
+/// Bounded line reader: reads up to `max_bytes` of one line through a
+/// fixed stack buffer, so a hostile arbitrarily-long line never grows a
+/// string to match. On overflow the stored prefix is discarded but the
+/// whole line is still consumed, and *overflowed reports it. Returns false
+/// at end of stream.
+bool ReadLineCapped(std::istream& in, std::string* line, size_t max_bytes,
+                    bool* overflowed) {
+  line->clear();
+  *overflowed = false;
+  char buf[1024];
+  while (true) {
+    in.getline(buf, sizeof(buf));
+    const std::streamsize got = in.gcount();
+    if (in.bad()) return false;
+    const bool stopped_by_capacity =
+        in.fail() && !in.eof() &&
+        got == static_cast<std::streamsize>(sizeof(buf)) - 1;
+    if (in.fail() && !stopped_by_capacity) {
+      // End of stream (or a zero-length final read): deliver whatever a
+      // previous iteration accumulated.
+      return !line->empty() || *overflowed;
+    }
+    // gcount includes the consumed-but-discarded delimiter when one was hit.
+    size_t stored = static_cast<size_t>(got);
+    if (!in.fail() && !in.eof() && stored > 0) stored -= 1;
+    if (!*overflowed) {
+      if (line->size() + stored > max_bytes) {
+        *overflowed = true;
+        line->clear();  // do not hold hostile content
+      } else {
+        line->append(buf, stored);
+      }
+    }
+    if (!in.fail()) return true;  // delimiter reached
+    if (in.eof()) return true;    // final line without newline
+    in.clear();  // capacity stop: keep consuming the same line
   }
 }
 
@@ -119,18 +168,43 @@ Result<std::unique_ptr<FSimService>> FSimService::Create(Graph g1, Graph g2,
     service->queries_ =
         QueryEngine(&service->store_, service->batch_pool_.get());
   }
-  if (!options.warm_scores_path.empty()) {
-    FSIM_ASSIGN_OR_RETURN(FSimScores scores,
-                          LoadScoresFromFile(options.warm_scores_path));
-    SnapshotMeta meta;
-    meta.version = service->store_.NextVersion();
-    meta.warm_start = true;
-    service->store_.Publish(std::make_shared<const FSimSnapshot>(
-        FreezeScores(std::move(scores)), options.policy.topk_cache_k, meta));
+
+  if (!options.durability.dir.empty()) {
+    // Crash recovery first: the recovered snapshot (if any) becomes both
+    // the immediately-served warm snapshot and the solve's warm seed; the
+    // WAL tail replays inside the driver's Init.
+    FSIM_ASSIGN_OR_RETURN(RecoveredState recovered,
+                          RecoverServeState(options.durability.dir,
+                                            std::move(g1), std::move(g2)));
+    if (recovered.scores.has_value()) {
+      FSimScores warm = *recovered.scores;  // the driver keeps the original
+      SnapshotMeta meta;
+      meta.version = service->store_.NextVersion();
+      meta.warm_start = true;
+      service->store_.Publish(std::make_shared<const FSimSnapshot>(
+          FreezeScores(std::move(warm)), options.policy.topk_cache_k, meta));
+    }
+    service->driver_ = std::make_unique<RefreshDriver>(
+        std::move(recovered.g1), std::move(recovered.g2), std::move(config),
+        options.incremental, options.policy, &service->store_);
+    FSIM_RETURN_NOT_OK(service->driver_->EnableDurability(
+        options.durability, std::move(recovered)));
+  } else {
+    if (!options.warm_scores_path.empty()) {
+      FSIM_ASSIGN_OR_RETURN(FSimScores scores,
+                            LoadScoresFromFile(options.warm_scores_path));
+      SnapshotMeta meta;
+      meta.version = service->store_.NextVersion();
+      meta.warm_start = true;
+      service->store_.Publish(std::make_shared<const FSimSnapshot>(
+          FreezeScores(std::move(scores)), options.policy.topk_cache_k,
+          meta));
+    }
+    service->driver_ = std::make_unique<RefreshDriver>(
+        std::move(g1), std::move(g2), std::move(config), options.incremental,
+        options.policy, &service->store_);
   }
-  service->driver_ = std::make_unique<RefreshDriver>(
-      std::move(g1), std::move(g2), std::move(config), options.incremental,
-      options.policy, &service->store_);
+
   if (options.background_refresh) {
     service->driver_->Start();
   } else {
@@ -141,10 +215,18 @@ Result<std::unique_ptr<FSimService>> FSimService::Create(Graph g1, Graph g2,
 
 Status FSimService::ServeLoop(std::istream& in, std::ostream& out) {
   std::string line;
-  while (std::getline(in, line)) {
-    const std::string_view trimmed = Trim(line);
-    if (trimmed.empty() || trimmed[0] == '#') continue;
-    const bool keep_going = HandleLine(trimmed, in, out);
+  bool overflowed = false;
+  while (ReadLineCapped(in, &line, kMaxLineBytes, &overflowed)) {
+    bool keep_going = true;
+    if (overflowed) {
+      out << StrFormat("ERR line exceeds %zu bytes\n", kMaxLineBytes);
+    } else if (line.find('\0') != std::string::npos) {
+      out << "ERR embedded NUL byte in request\n";
+    } else {
+      const std::string_view trimmed = Trim(line);
+      if (trimmed.empty() || trimmed[0] == '#') continue;
+      keep_going = HandleLine(trimmed, in, out);
+    }
     out.flush();
     if (!out) {
       // The peer is gone (closed pipe/socket); stop reading requests.
@@ -181,11 +263,16 @@ bool FSimService::HandleLine(std::string_view line, std::istream& in,
   }
   if (verb == "BATCH") {
     uint32_t n = 0;
-    if (tokens.size() != 2 || !ParseU32(tokens[1], &n) || n > kMaxBatch) {
-      out << StrFormat("ERR usage: BATCH <n> (n <= %zu)\n", kMaxBatch);
+    double budget_ms = 0.0;
+    if (tokens.size() < 2 || tokens.size() > 3 || !ParseU32(tokens[1], &n) ||
+        n > kMaxBatch ||
+        (tokens.size() == 3 &&
+         (!ParseDouble(tokens[2], &budget_ms) || budget_ms < 0.0))) {
+      out << StrFormat("ERR usage: BATCH <n> [budget_ms] (n <= %zu)\n",
+                       kMaxBatch);
       return true;
     }
-    HandleBatch(n, in, out);
+    HandleBatch(n, budget_ms, in, out);
     return true;
   }
   if (verb == "EDIT") {
@@ -201,8 +288,16 @@ bool FSimService::HandleLine(std::string_view line, std::istream& in,
     }
     op.graph_index = static_cast<int>(graph_index);
     op.insert = insert;
-    driver_->Submit(op);
-    out << "OK queued\n";
+    const Status submitted = driver_->Submit(op);
+    if (submitted.IsResourceExhausted()) {
+      out << "ERR shed: " << submitted.message() << "\n";
+    } else if (!submitted.ok()) {
+      out << "ERR " << submitted.message() << "\n";
+    } else if (driver_->durable()) {
+      out << "OK logged\n";
+    } else {
+      out << "OK queued\n";
+    }
     return true;
   }
   if (verb == "FLUSH") {
@@ -219,16 +314,25 @@ bool FSimService::HandleLine(std::string_view line, std::istream& in,
     const SnapshotPtr snapshot = store_.Acquire();
     const RefreshDriver::Stats stats = driver_->stats();
     out << StrFormat(
-        "STATS version=%llu pairs=%zu pending=%zu applied=%llu "
-        "coalesced=%llu failed=%llu publishes=%llu ready=%s converged=%s "
-        "warm=%s\n",
+        "STATS version=%llu pairs=%zu pending=%zu capacity=%zu "
+        "applied=%llu coalesced=%llu failed=%llu shed=%llu replayed=%llu "
+        "publishes=%llu persists=%llu wal_durable=%llu wal_applied=%llu "
+        "stale_edits=%llu stale_s=%llu ready=%s converged=%s warm=%s\n",
         static_cast<unsigned long long>(store_.version()),
         snapshot ? snapshot->scores().NumPairs() : 0,
-        driver_->pending_edits(),
+        driver_->pending_edits(), driver_->policy().queue_capacity,
         static_cast<unsigned long long>(stats.edits_applied),
         static_cast<unsigned long long>(stats.edits_coalesced),
         static_cast<unsigned long long>(stats.edits_failed),
+        static_cast<unsigned long long>(stats.edits_shed),
+        static_cast<unsigned long long>(stats.edits_replayed),
         static_cast<unsigned long long>(stats.publishes),
+        static_cast<unsigned long long>(stats.snapshot_persists),
+        static_cast<unsigned long long>(stats.durable_lsn),
+        static_cast<unsigned long long>(stats.applied_lsn),
+        static_cast<unsigned long long>(stats.edits_behind),
+        static_cast<unsigned long long>(
+            stats.seconds_behind < 0.0 ? 0.0 : stats.seconds_behind),
         driver_->ready() ? "yes" : "no",
         snapshot && snapshot->meta().converged ? "yes" : "no",
         snapshot && snapshot->meta().warm_start ? "yes" : "no");
@@ -239,17 +343,28 @@ bool FSimService::HandleLine(std::string_view line, std::istream& in,
   return true;
 }
 
-void FSimService::HandleBatch(size_t n, std::istream& in, std::ostream& out) {
+void FSimService::HandleBatch(size_t n, double budget_ms, std::istream& in,
+                              std::ostream& out) {
   // Consume all n lines before answering, so a malformed entry cannot
-  // desynchronize the stream.
+  // desynchronize the stream. The same line cap and NUL rejection as the
+  // outer loop apply per entry, as in-band per-entry errors.
   std::vector<Query> queries(n);
   std::vector<std::string> errors(n);
   std::string line;
+  bool overflowed = false;
   for (size_t i = 0; i < n; ++i) {
-    if (!std::getline(in, line)) {
+    if (!ReadLineCapped(in, &line, kMaxLineBytes, &overflowed)) {
       errors[i] = "unexpected end of stream inside BATCH";
       for (size_t j = i + 1; j < n; ++j) errors[j] = errors[i];
       break;
+    }
+    if (overflowed) {
+      errors[i] = StrFormat("line exceeds %zu bytes", kMaxLineBytes);
+      continue;
+    }
+    if (line.find('\0') != std::string::npos) {
+      errors[i] = "embedded NUL byte in request";
+      continue;
     }
     const auto tokens = SplitWhitespace(Trim(line));
     ParseQuery(tokens, &queries[i], &errors[i]);
@@ -260,6 +375,12 @@ void FSimService::HandleBatch(size_t n, std::istream& in, std::ostream& out) {
     out << "ERR no snapshot published yet\n";
     return;
   }
+  const QueryEngine::Clock::time_point deadline =
+      budget_ms > 0.0
+          ? QueryEngine::Clock::now() +
+                std::chrono::duration_cast<QueryEngine::Clock::duration>(
+                    std::chrono::duration<double, std::milli>(budget_ms))
+          : QueryEngine::Clock::time_point::max();
   out << StrFormat("BATCH %zu v%llu\n", n,
                    static_cast<unsigned long long>(
                        snapshot->meta().version));
@@ -268,7 +389,7 @@ void FSimService::HandleBatch(size_t n, std::istream& in, std::ostream& out) {
       out << "ERR " << errors[i] << "\n";
       continue;
     }
-    PrintResult(QueryEngine::Answer(*snapshot, queries[i]), out);
+    PrintResult(QueryEngine::Answer(*snapshot, queries[i], deadline), out);
   }
 }
 

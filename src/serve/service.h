@@ -6,6 +6,11 @@
 // is transport-agnostic — stdin/stdout in `fsim_cli serve`, stringstreams
 // in tests, a socket wrapper in a deployment — and fully testable without
 // networking. docs/serving.md specifies the protocol.
+//
+// With ServeOptions::durability configured, Create first runs crash
+// recovery (serve/recovery.h) over the durability directory — loading the
+// latest valid snapshot, truncating any torn WAL tail, and scheduling the
+// replay — and every accepted EDIT is WAL-logged before it is acknowledged.
 #ifndef FSIM_SERVE_SERVICE_H_
 #define FSIM_SERVE_SERVICE_H_
 
@@ -18,6 +23,7 @@
 #include "core/fsim_config.h"
 #include "graph/graph.h"
 #include "serve/query.h"
+#include "serve/recovery.h"
 #include "serve/refresh.h"
 #include "serve/snapshot.h"
 
@@ -31,6 +37,10 @@ struct ServeOptions {
   /// fixpoint solve runs, so a warm-started service answers queries
   /// immediately while the solve proceeds in the background.
   std::string warm_scores_path;
+  /// WAL + snapshot durability (serve/recovery.h); off while `dir` is
+  /// empty. A recovered snapshot's scores are published immediately (like
+  /// warm_scores_path, which it then supersedes) and seed the solve.
+  DurabilityOptions durability;
   /// True: Init + refresh run on a background thread (production shape).
   /// False: Create solves synchronously and edits apply only on FLUSH —
   /// deterministic, for tests and transcripts.
@@ -42,6 +52,10 @@ struct ServeOptions {
 /// threads, each with its own streams) speaks the request protocol.
 class FSimService {
  public:
+  /// Largest request line ServeLoop accepts; longer lines are rejected
+  /// in-band (`ERR line exceeds ...`) without buffering their content.
+  static constexpr size_t kMaxLineBytes = 4096;
+
   static Result<std::unique_ptr<FSimService>> Create(Graph g1, Graph g2,
                                                      FSimConfig config,
                                                      ServeOptions options);
@@ -49,7 +63,8 @@ class FSimService {
 
   /// Reads requests from `in` line by line and writes responses to `out`
   /// until EOF or QUIT. Responses are flushed per request. Errors are
-  /// reported in-band (`ERR <message>` lines); the return is the stream
+  /// reported in-band (`ERR <message>` lines) — including hostile input
+  /// (over-length lines, embedded NUL bytes); the return is the stream
   /// outcome, OK on orderly EOF/QUIT.
   Status ServeLoop(std::istream& in, std::ostream& out);
 
@@ -62,7 +77,8 @@ class FSimService {
 
   /// Handles one request line; returns false on QUIT.
   bool HandleLine(std::string_view line, std::istream& in, std::ostream& out);
-  void HandleBatch(size_t n, std::istream& in, std::ostream& out);
+  void HandleBatch(size_t n, double budget_ms, std::istream& in,
+                   std::ostream& out);
 
   SnapshotStore store_;
   // Batch-query fan-out workers (config.num_threads > 1 only); must outlive

@@ -1,0 +1,140 @@
+// Write-ahead log for serving-layer edge edits (serve/refresh.h).
+//
+// RefreshDriver::Submit appends every accepted edit here *before* the edit
+// is acknowledged to the client, so a crash at any later point — queue,
+// solve, publish — loses nothing acknowledged: recovery (serve/recovery.h)
+// replays the log tail on top of the latest durable snapshot.
+//
+// On-disk layout: a directory of append-only segment files
+//
+//   wal-<first-lsn, 20 digits>.log
+//
+// each holding a sequence of length-prefixed, checksummed records:
+//
+//   u32  payload length
+//   u64  FNV-1a checksum of the payload bytes
+//   ...  payload: u8 type(=1)  u64 lsn  u8 graph  u8 insert  u32 from  u32 to
+//
+// LSNs are assigned by the writer, contiguous and strictly increasing across
+// segments. A torn write (crash mid-append) leaves a partial record at the
+// tail of the *newest* segment only; ReadWal detects it by length/checksum,
+// reports the byte count, and can truncate it away. A bad record anywhere
+// else is real corruption and fails the read.
+//
+// Durability contract: AppendDurable returns only after the record's bytes
+// are fsync'd (group commit — concurrent appenders share one fsync), so
+// "returned OK" implies "survives kill -9 and power loss".
+#ifndef FSIM_SERVE_WAL_H_
+#define FSIM_SERVE_WAL_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "graph/graph.h"
+
+namespace fsim {
+
+/// One durable edge edit. `graph_index` is 1 or 2 (which side of the pair
+/// the edit targets), mirroring serve/refresh.h's EditOp.
+struct EditRecord {
+  uint64_t lsn = 0;
+  uint8_t graph_index = 1;
+  bool insert = true;
+  NodeId from = 0;
+  NodeId to = 0;
+
+  bool operator==(const EditRecord&) const = default;
+};
+
+/// Appends edit records to segment files with group-commit fsync.
+/// Thread-safe: any number of threads may call AppendDurable concurrently.
+class WalWriter {
+ public:
+  /// Opens a fresh segment in `dir` whose first record will carry
+  /// `next_lsn`. The directory must exist (recovery creates it).
+  static Result<std::unique_ptr<WalWriter>> Open(std::string dir,
+                                                 uint64_t next_lsn);
+  ~WalWriter();
+
+  WalWriter(const WalWriter&) = delete;
+  WalWriter& operator=(const WalWriter&) = delete;
+
+  /// Assigns the next LSN to `rec`, appends it, and returns once the record
+  /// is durable (fsync'd). Concurrent callers share fsyncs: whichever caller
+  /// reaches the sync first covers everything written before it. On error
+  /// the record must be treated as not acknowledged (it may or may not
+  /// survive a crash; recovery replays are idempotent either way).
+  Result<uint64_t> AppendDurable(EditRecord rec);
+
+  /// Closes the current segment (fsync'd) and starts a new one at the
+  /// current next-LSN. Called after a durable snapshot so fully-covered
+  /// segments become eligible for RemoveObsoleteWalSegments.
+  Status Rotate();
+
+  /// LSN the next AppendDurable will assign.
+  uint64_t next_lsn() const { return next_lsn_.load(std::memory_order_acquire); }
+  /// Highest LSN known fsync'd.
+  uint64_t durable_lsn() const {
+    return durable_lsn_.load(std::memory_order_acquire);
+  }
+  const std::string& dir() const { return dir_; }
+
+ private:
+  WalWriter(std::string dir, uint64_t next_lsn)
+      : dir_(std::move(dir)), next_lsn_(next_lsn) {}
+
+  Status OpenSegmentLocked();
+
+  std::string dir_;
+  std::string path_;  // current segment
+  int fd_ = -1;
+  // guards: lsn assignment + the write() into the current segment.
+  std::mutex write_mu_;
+  // guards: the fsync; taken without write_mu_ held so appends overlap
+  // syncs (the group-commit window).
+  std::mutex sync_mu_;
+  // ordering: next_lsn_ advances under write_mu_; written_lsn_ is released
+  // after the write lands and acquired before each fsync so the sync's
+  // coverage never overstates what was issued; durable_lsn_ is released
+  // only after a successful fsync (the "acknowledged" watermark).
+  std::atomic<uint64_t> next_lsn_;
+  // ordering: released after the write lands, acquired before each fsync
+  // so a sync's coverage never overstates what was issued.
+  std::atomic<uint64_t> written_lsn_{0};
+  // ordering: released only after a successful fsync (the "acknowledged"
+  // watermark readers may trust).
+  std::atomic<uint64_t> durable_lsn_{0};
+};
+
+/// Everything ReadWal recovered from a directory of segments.
+struct WalTail {
+  std::vector<EditRecord> records;  // ascending, contiguous LSNs
+  /// 1 + the highest LSN seen (1 when the log is empty) — what a fresh
+  /// WalWriter should be opened with.
+  uint64_t next_lsn = 1;
+  /// Bytes of torn tail detected (and truncated, when asked) at the end of
+  /// the newest segment.
+  uint64_t torn_bytes = 0;
+  size_t segments = 0;
+};
+
+/// Reads every segment in `dir` in LSN order. A torn record at the tail of
+/// the newest segment is dropped (and the file truncated to the valid
+/// prefix when `truncate_torn_tail`); a bad record anywhere else fails with
+/// IOError. A missing or empty directory yields an empty tail.
+Result<WalTail> ReadWal(const std::string& dir, bool truncate_torn_tail);
+
+/// Deletes segments whose records are all covered by a durable snapshot at
+/// `snapshot_lsn` (never the newest segment). Returns how many were removed.
+Result<size_t> RemoveObsoleteWalSegments(const std::string& dir,
+                                         uint64_t snapshot_lsn);
+
+}  // namespace fsim
+
+#endif  // FSIM_SERVE_WAL_H_

@@ -1,0 +1,130 @@
+// Failpoint framework tests (common/failpoint.h): spec grammar, skip/limit
+// prefixes, hit counters and the env/CLI list form. The registry and Hit()
+// are always compiled (only the FSIM_FAILPOINT macros vanish in release
+// builds), so most of this runs in every build; macro wiring itself is
+// covered by the serve/recovery suites under FSIM_FAILPOINTS.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "common/failpoint.h"
+#include "common/timer.h"
+
+namespace fsim {
+namespace {
+
+class FailpointTest : public ::testing::Test {
+ protected:
+  void SetUp() override { failpoint::ResetCounters(); }
+  void TearDown() override {
+    failpoint::DisarmAll();
+    failpoint::ResetCounters();
+  }
+};
+
+TEST_F(FailpointTest, SpecGrammarRejectsMalformedSpecs) {
+  EXPECT_TRUE(failpoint::Arm("t.site", "bogus").IsInvalidArgument());
+  EXPECT_FALSE(failpoint::Arm("t.site", "delay(abc)").ok());
+  EXPECT_TRUE(failpoint::Arm("t.site", "delay(-5)").IsInvalidArgument());
+  EXPECT_FALSE(failpoint::Arm("t.site", "x*error").ok());
+  EXPECT_FALSE(failpoint::Arm("t.site", "y->abort").ok());
+  // Valid forms parse.
+  EXPECT_TRUE(failpoint::Arm("t.site", "error").ok());
+  EXPECT_TRUE(failpoint::Arm("t.site", "io-error").ok());
+  EXPECT_TRUE(failpoint::Arm("t.site", "delay(0.5)").ok());
+  EXPECT_TRUE(failpoint::Arm("t.site", "2*error").ok());
+  EXPECT_TRUE(failpoint::Arm("t.site", "3->1*io-error").ok());
+  EXPECT_TRUE(failpoint::Arm("t.site", "off").ok());
+}
+
+TEST_F(FailpointTest, ArmedErrorFiresAndCounts) {
+  ASSERT_TRUE(failpoint::Arm("t.err", "error").ok());
+  EXPECT_EQ(failpoint::Hit("t.err").code(), StatusCode::kInternal);
+  EXPECT_EQ(failpoint::Hit("t.err").code(), StatusCode::kInternal);
+  EXPECT_EQ(failpoint::HitCount("t.err"), 2u);
+
+  ASSERT_TRUE(failpoint::Arm("t.io", "io-error").ok());
+  EXPECT_TRUE(failpoint::Hit("t.io").IsIOError());
+
+  // Unarmed sites pass but still count.
+  EXPECT_TRUE(failpoint::Hit("t.unarmed").ok());
+  EXPECT_EQ(failpoint::HitCount("t.unarmed"), 1u);
+}
+
+TEST_F(FailpointTest, CountLimitSelfDisarms) {
+  ASSERT_TRUE(failpoint::Arm("t.lim", "2*error").ok());
+  EXPECT_FALSE(failpoint::Hit("t.lim").ok());
+  EXPECT_FALSE(failpoint::Hit("t.lim").ok());
+  EXPECT_TRUE(failpoint::Hit("t.lim").ok());  // budget exhausted
+  EXPECT_EQ(failpoint::HitCount("t.lim"), 3u);
+}
+
+TEST_F(FailpointTest, SkipPrefixDelaysTheAction) {
+  ASSERT_TRUE(failpoint::Arm("t.skip", "2->1*io-error").ok());
+  EXPECT_TRUE(failpoint::Hit("t.skip").ok());   // skipped
+  EXPECT_TRUE(failpoint::Hit("t.skip").ok());   // skipped
+  EXPECT_TRUE(failpoint::Hit("t.skip").IsIOError());
+  EXPECT_TRUE(failpoint::Hit("t.skip").ok());   // 1* budget used up
+}
+
+TEST_F(FailpointTest, DisarmKeepsCounters) {
+  ASSERT_TRUE(failpoint::Arm("t.dis", "error").ok());
+  EXPECT_FALSE(failpoint::Hit("t.dis").ok());
+  failpoint::Disarm("t.dis");
+  EXPECT_TRUE(failpoint::Hit("t.dis").ok());
+  EXPECT_EQ(failpoint::HitCount("t.dis"), 2u);
+
+  failpoint::DisarmAll();
+  EXPECT_TRUE(failpoint::Hit("t.dis").ok());
+  EXPECT_EQ(failpoint::HitCount("t.dis"), 3u);
+  failpoint::ResetCounters();
+  EXPECT_EQ(failpoint::HitCount("t.dis"), 0u);
+}
+
+TEST_F(FailpointTest, DelayActuallySleeps) {
+  ASSERT_TRUE(failpoint::Arm("t.delay", "delay(30)").ok());
+  Timer timer;
+  EXPECT_TRUE(failpoint::Hit("t.delay").ok());
+  EXPECT_GE(timer.Seconds(), 0.025);
+}
+
+TEST_F(FailpointTest, SnapshotListsTouchedSites) {
+  ASSERT_TRUE(failpoint::Arm("t.a", "off").ok());
+  (void)failpoint::Hit("t.b");
+  const auto snapshot = failpoint::Snapshot();
+  ASSERT_EQ(snapshot.size(), 2u);  // sorted by name
+  EXPECT_EQ(snapshot[0].first, "t.a");
+  EXPECT_EQ(snapshot[0].second, 0u);
+  EXPECT_EQ(snapshot[1].first, "t.b");
+  EXPECT_EQ(snapshot[1].second, 1u);
+}
+
+TEST_F(FailpointTest, ArmFromSpecParsesLists) {
+  ASSERT_TRUE(
+      failpoint::ArmFromSpec("t.one=1*error; t.two = delay(1) ;").ok());
+  EXPECT_FALSE(failpoint::Hit("t.one").ok());
+  EXPECT_TRUE(failpoint::Hit("t.one").ok());
+  EXPECT_TRUE(failpoint::Hit("t.two").ok());
+  EXPECT_TRUE(failpoint::ArmFromSpec("garbage-without-equals")
+                  .IsInvalidArgument());
+  EXPECT_FALSE(failpoint::ArmFromSpec("t.three=nonsense").ok());
+}
+
+TEST_F(FailpointTest, ArmFromEnvReadsTheVariable) {
+  ASSERT_EQ(setenv("FSIM_FAILPOINTS", "t.env=1*io-error", 1), 0);
+  EXPECT_TRUE(failpoint::ArmFromEnv().ok());
+  EXPECT_TRUE(failpoint::Hit("t.env").IsIOError());
+  ASSERT_EQ(unsetenv("FSIM_FAILPOINTS"), 0);
+  EXPECT_TRUE(failpoint::ArmFromEnv().ok());  // unset: no-op
+}
+
+TEST_F(FailpointTest, MacroCompiledStateMatchesBuildFlag) {
+#ifdef FSIM_FAILPOINTS
+  EXPECT_TRUE(failpoint::kCompiledIn);
+#else
+  EXPECT_FALSE(failpoint::kCompiledIn);
+#endif
+}
+
+}  // namespace
+}  // namespace fsim

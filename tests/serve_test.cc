@@ -14,6 +14,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/failpoint.h"
 #include "common/random.h"
 #include "core/fsim_engine.h"
 #include "core/scores_io.h"
@@ -247,8 +248,8 @@ TEST(RefreshDriverTest, CoalescesBurstsAndHonorsPublishPolicy) {
 
   // An insert/remove burst on one edge coalesces to a net no-op: nothing
   // applied, nothing published.
-  driver.Submit({1, 0, 3, /*insert=*/true});
-  driver.Submit({1, 0, 3, /*insert=*/false});
+  ASSERT_TRUE(driver.Submit({1, 0, 3, /*insert=*/true}).ok());
+  ASSERT_TRUE(driver.Submit({1, 0, 3, /*insert=*/false}).ok());
   auto applied = driver.DrainApply(/*force_publish=*/false);
   ASSERT_TRUE(applied.ok());
   EXPECT_EQ(*applied, 0u);
@@ -256,7 +257,7 @@ TEST(RefreshDriverTest, CoalescesBurstsAndHonorsPublishPolicy) {
   EXPECT_EQ(store.version(), solve_version);
 
   // Below the drift bound: applied but not yet published.
-  driver.Submit({1, 0, 3, /*insert=*/true});
+  ASSERT_TRUE(driver.Submit({1, 0, 3, /*insert=*/true}).ok());
   applied = driver.DrainApply(/*force_publish=*/false);
   ASSERT_TRUE(applied.ok());
   EXPECT_EQ(*applied, 1u);
@@ -268,16 +269,18 @@ TEST(RefreshDriverTest, CoalescesBurstsAndHonorsPublishPolicy) {
   const uint64_t flushed_version = store.version();
 
   // Reaching max_edits_behind publishes without force.
-  driver.Submit({1, 0, 3, /*insert=*/false});
-  driver.Submit({2, 1, 0, /*insert=*/true});
-  driver.Submit({2, 3, 0, /*insert=*/true});
+  ASSERT_TRUE(driver.Submit({1, 0, 3, /*insert=*/false}).ok());
+  ASSERT_TRUE(driver.Submit({2, 1, 0, /*insert=*/true}).ok());
+  ASSERT_TRUE(driver.Submit({2, 3, 0, /*insert=*/true}).ok());
   applied = driver.DrainApply(/*force_publish=*/false);
   ASSERT_TRUE(applied.ok());
   EXPECT_EQ(*applied, 3u);
   EXPECT_GT(store.version(), flushed_version);
 
-  // Rejected edits (endpoint out of range) are counted, not applied.
-  driver.Submit({1, 99, 0, /*insert=*/true});
+  // Rejected edits (endpoint out of range) are counted, not applied; an
+  // invalid graph index is rejected up front at Submit.
+  ASSERT_TRUE(driver.Submit({1, 99, 0, /*insert=*/true}).ok());
+  EXPECT_TRUE(driver.Submit({3, 0, 1, /*insert=*/true}).IsInvalidArgument());
   ASSERT_TRUE(driver.Flush().ok());
   EXPECT_EQ(driver.stats().edits_failed, 1u);
 
@@ -330,13 +333,18 @@ TEST(ServeLoopTest, GoldenTranscript) {
   auto service = FSimService::Create(g, g, ServeConfig(), options);
   ASSERT_TRUE(service.ok()) << service.status().ToString();
 
-  const char* kRequests =
+  // The degraded TOPK/THRESH variants pass a budget that truncates to a
+  // zero-length deadline (steady_clock::now() >= deadline holds on entry),
+  // so the degradation path is hit deterministically.
+  std::string requests =
       "# comment lines and blank lines are ignored\n"
       "\n"
       "PAIR 0 1\n"
       "PAIR 0 99\n"
       "TOPK 0 3\n"
       "THRESH 0 0.45\n"
+      "TOPK 0 5 0.0000001\n"
+      "THRESH 0 0.45 0.0000001\n"
       "BATCH 3\n"
       "PAIR 1 1\n"
       "TOPK 4 2\n"
@@ -349,12 +357,18 @@ TEST(ServeLoopTest, GoldenTranscript) {
       "PAIR x 1\n"
       "TOPK 0\n"
       "THRESH 0 abc\n"
+      "TOPK 0 3 -1\n"
       "BATCH 999999\n"
-      "BOGUS\n"
+      "BOGUS\n";
+  // Hostile input: an over-length line (rejected without buffering it) and
+  // an embedded NUL byte — both answered in-band, the loop keeps serving.
+  requests += std::string(FSimService::kMaxLineBytes + 1000, 'A') + "\n";
+  requests += std::string("PAIR ") + '\0' + "0 1\n";
+  requests +=
       "STATS\n"
       "QUIT\n"
       "PAIR 0 1\n";  // after QUIT: never answered
-  std::istringstream in(kRequests);
+  std::istringstream in(requests);
   std::ostringstream out;
   ASSERT_TRUE((*service)->ServeLoop(in, out).ok());
 
@@ -372,6 +386,16 @@ TEST(ServeLoopTest, GoldenTranscript) {
       "4 0.656703\n"
       "1 0.600000\n"
       "2 0.533907\n"
+      "TOPK 4 v1 degraded\n"
+      "0 1.000000\n"
+      "4 0.656703\n"
+      "1 0.600000\n"
+      "2 0.533907\n"
+      "THRESH 4 v1 degraded\n"
+      "0 1.000000\n"
+      "4 0.656703\n"
+      "1 0.600000\n"
+      "2 0.533907\n"
       "BATCH 3 v1\n"
       "SCORE 1.000000 v1\n"
       "TOPK 2 v1\n"
@@ -384,12 +408,17 @@ TEST(ServeLoopTest, GoldenTranscript) {
       "ERR usage: EDIT INSERT|REMOVE <graph 1|2> <from> <to>\n"
       "ERR usage: EDIT INSERT|REMOVE <graph 1|2> <from> <to>\n"
       "ERR usage: PAIR <u> <v>\n"
-      "ERR usage: TOPK <u> <k>\n"
-      "ERR usage: THRESH <u> <tau>\n"
-      "ERR usage: BATCH <n> (n <= 100000)\n"
+      "ERR usage: TOPK <u> <k> [budget_ms]\n"
+      "ERR usage: THRESH <u> <tau> [budget_ms]\n"
+      "ERR usage: TOPK <u> <k> [budget_ms]\n"
+      "ERR usage: BATCH <n> [budget_ms] (n <= 100000)\n"
       "ERR unknown request 'BOGUS'\n"
-      "STATS version=2 pairs=25 pending=0 applied=1 coalesced=0 failed=0 "
-      "publishes=2 ready=yes converged=yes warm=no\n"
+      "ERR line exceeds 4096 bytes\n"
+      "ERR embedded NUL byte in request\n"
+      "STATS version=2 pairs=25 pending=0 capacity=0 applied=1 coalesced=0 "
+      "failed=0 shed=0 replayed=0 publishes=2 persists=0 wal_durable=0 "
+      "wal_applied=0 stale_edits=0 stale_s=0 ready=yes converged=yes "
+      "warm=no\n"
       "BYE\n";
   EXPECT_EQ(out.str(), kExpected);
 }
@@ -472,7 +501,7 @@ TEST(ServeLoopTest, ServesConsistentlyUnderBackgroundEdits) {
     op.to = static_cast<NodeId>(rng.NextBounded(g.NumNodes()));
     if (op.from == op.to) continue;
     op.insert = (rng.Next() & 1) != 0;
-    (*service)->driver().Submit(op);
+    ASSERT_TRUE((*service)->driver().Submit(op).ok());
     if (e % 10 == 9) std::this_thread::sleep_for(std::chrono::milliseconds(2));
   }
   ASSERT_TRUE((*service)->driver().Flush().ok());
@@ -493,6 +522,123 @@ TEST(ServeLoopTest, ServesConsistentlyUnderBackgroundEdits) {
                         std::abs(snap->PairScore(u, v) - full->values()[i]));
   }
   EXPECT_LT(max_diff, 1e-4);
+}
+
+// Overload shedding: a bounded queue accepts up to capacity distinct
+// edges, coalesces same-edge bursts even when full, and sheds the rest
+// with ResourceExhausted (counted, never silently dropped).
+TEST(RefreshDriverTest, BoundedQueueShedsAndCoalesces) {
+  const Graph g = MakeServeGraph();
+  SnapshotStore store;
+  RefreshPolicy policy;
+  policy.queue_capacity = 2;
+  RefreshDriver driver(g, g, ServeConfig(), IncrementalOptions{}, policy,
+                       &store);
+
+  ASSERT_TRUE(driver.Submit({1, 0, 3, /*insert=*/true}).ok());
+  ASSERT_TRUE(driver.Submit({2, 1, 0, /*insert=*/true}).ok());
+  EXPECT_EQ(driver.pending_edits(), 2u);
+  // Full: a distinct edge is shed...
+  EXPECT_TRUE(driver.Submit({1, 2, 4, /*insert=*/true}).IsResourceExhausted());
+  // ...but a same-edge submission still coalesces last-op-wins.
+  ASSERT_TRUE(driver.Submit({1, 0, 3, /*insert=*/false}).ok());
+  EXPECT_EQ(driver.pending_edits(), 2u);
+  EXPECT_EQ(driver.stats().edits_shed, 1u);
+
+  // The queued (coalesced) edits drain normally once the engine is up.
+  ASSERT_TRUE(driver.Init().ok());
+  ASSERT_TRUE(driver.Flush().ok());
+  EXPECT_EQ(driver.pending_edits(), 0u);
+  // After the drain, capacity is free again.
+  ASSERT_TRUE(driver.Submit({1, 2, 4, /*insert=*/true}).ok());
+}
+
+// Deadline budgets answer from the cache instead of blowing the deadline:
+// an already-expired deadline degrades TOPK to the cache prefix and leaves
+// PAIR (O(1)) exact.
+TEST(QueryEngineTest, ExpiredDeadlineDegradesToCachePrefix) {
+  const Graph g = MakeServeGraph();
+  auto scores = ComputeFSimSelf(g, ServeConfig());
+  ASSERT_TRUE(scores.ok());
+  const FSimScores reference = *scores;
+  SnapshotMeta meta;
+  meta.version = 1;
+  const FSimSnapshot snapshot(FreezeScores(std::move(*scores)),
+                              /*cache_k=*/2, meta);
+
+  const auto expired = QueryEngine::Clock::now();
+  Query topk;
+  topk.kind = Query::Kind::kTopK;
+  topk.u = 0;
+  topk.k = 4;
+  const QueryResult degraded = QueryEngine::Answer(snapshot, topk, expired);
+  EXPECT_TRUE(degraded.degraded);
+  EXPECT_EQ(degraded.entries.size(), 2u);  // the cache prefix, not k
+  const auto want = ReferenceTopK(reference, 0, 2);
+  for (size_t i = 0; i < degraded.entries.size(); ++i) {
+    EXPECT_EQ(degraded.entries[i], want[i]);
+  }
+  // Within cache depth the prefix IS the exact answer: not degraded.
+  topk.k = 2;
+  EXPECT_FALSE(QueryEngine::Answer(snapshot, topk, expired).degraded);
+  // PAIR never degrades.
+  Query pair;
+  pair.kind = Query::Kind::kPair;
+  pair.u = 0;
+  pair.v = 1;
+  const QueryResult exact = QueryEngine::Answer(snapshot, pair, expired);
+  EXPECT_FALSE(exact.degraded);
+  EXPECT_EQ(exact.score, reference.Score(0, 1));
+}
+
+// Flush must return DeadlineExceeded instead of blocking forever behind a
+// stalled solve. A delay failpoint in the init path stands in for the
+// stall; needs an FSIM_FAILPOINTS build.
+TEST(RefreshDriverTest, FlushDeadlineExceededWhileInitStalled) {
+  if (!failpoint::kCompiledIn) {
+    GTEST_SKIP() << "failpoints compiled out (build with FSIM_FAILPOINTS=ON)";
+  }
+  const Graph g = MakeServeGraph();
+  SnapshotStore store;
+  RefreshPolicy policy;
+  policy.poll_seconds = 0.001;
+  RefreshDriver driver(g, g, ServeConfig(), IncrementalOptions{}, policy,
+                       &store);
+  ASSERT_TRUE(failpoint::Arm("serve.refresh.init_solve", "1*delay(300)").ok());
+  driver.Start();
+  // The solve is sleeping inside the failpoint: a bounded flush gives up...
+  EXPECT_TRUE(driver
+                  .FlushWithin(std::chrono::milliseconds(20))
+                  .IsDeadlineExceeded());
+  // ...and an unbounded one waits it out.
+  ASSERT_TRUE(driver.Submit({1, 0, 3, /*insert=*/true}).ok());
+  EXPECT_TRUE(driver.FlushWithin(std::chrono::milliseconds(0)).ok());
+  EXPECT_TRUE(driver.ready());
+  failpoint::Disarm("serve.refresh.init_solve");
+  EXPECT_GE(failpoint::HitCount("serve.refresh.init_solve"), 1u);
+  ASSERT_TRUE(driver.Stop(std::chrono::milliseconds(0)).ok());
+}
+
+// The background watchdog retries a failing Init with backoff instead of
+// giving up: arm an error for the first two solve attempts, then watch the
+// third succeed while queries were never blocked.
+TEST(RefreshDriverTest, WatchdogRetriesFailedInit) {
+  if (!failpoint::kCompiledIn) {
+    GTEST_SKIP() << "failpoints compiled out (build with FSIM_FAILPOINTS=ON)";
+  }
+  const Graph g = MakeServeGraph();
+  SnapshotStore store;
+  RefreshPolicy policy;
+  policy.retry_backoff_seconds = 0.005;
+  policy.retry_backoff_max_seconds = 0.01;
+  RefreshDriver driver(g, g, ServeConfig(), IncrementalOptions{}, policy,
+                       &store);
+  ASSERT_TRUE(failpoint::Arm("serve.refresh.init_solve", "2*error").ok());
+  driver.Start();
+  ASSERT_TRUE(driver.Flush().ok());  // waits through the failing attempts
+  EXPECT_TRUE(driver.ready());
+  EXPECT_GE(driver.stats().init_retries, 2u);
+  failpoint::Disarm("serve.refresh.init_solve");
 }
 
 }  // namespace

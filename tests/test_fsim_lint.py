@@ -143,6 +143,47 @@ def test_naked_new_fails():
         assert "naked-new" in proc.stdout
 
 
+def test_durability_uncommented_fsync_fails():
+    with tempfile.TemporaryDirectory(dir=REPO_ROOT / "src") as d:
+        path = write(Path(d), "d.cc", (
+            '#include "common/d.h"\n'
+            "#include <unistd.h>\n"
+            "int Sync(int fd) { return fsync(fd); }\n"))
+        proc = run_lint(str(path))
+        assert proc.returncode == 1, proc.stdout + proc.stderr
+        assert "durability" in proc.stdout
+
+
+def test_durability_comment_within_lookback_passes():
+    with tempfile.TemporaryDirectory(dir=REPO_ROOT / "src") as d:
+        path = write(Path(d), "d.cc", (
+            '#include "common/d.h"\n'
+            "#include <unistd.h>\n"
+            "int SyncNear(int fd) {\n"
+            "  // durability: ack barrier — callers rely on it.\n"
+            "  return fsync(fd);\n"
+            "}\n"
+            "int SyncFar(int fd) {\n"
+            "  // durability: the comment may sit a few lines up,\n"
+            "  // above the error-handling preamble.\n"
+            "  if (fd < 0) {\n"
+            "    return -1;\n"
+            "  }\n"
+            "  return fdatasync(fd);\n"
+            "}\n"))
+        proc = run_lint(str(path))
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+
+
+def test_durability_ignored_outside_src():
+    with tempfile.TemporaryDirectory(dir=REPO_ROOT / "tests") as d:
+        path = write(Path(d), "d.cc", (
+            "#include <unistd.h>\n"
+            "int Sync(int fd) { return fsync(fd); }\n"))
+        proc = run_lint(str(path))
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+
+
 def test_baseline_suppresses_then_stays_pinned():
     with tempfile.TemporaryDirectory(dir=REPO_ROOT / "src") as d:
         path = write(Path(d), "b.cc", (
