@@ -17,6 +17,8 @@
 #include "core/dense_engine.h"
 #include "core/fsim_engine.h"
 #include "datasets/dataset_registry.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace fsim {
 namespace {
@@ -180,6 +182,68 @@ std::string RunTuningSweep(int num_threads) {
               bench::FormatSeconds(dense_s[1]).c_str());
   out += "  }";
   return out;
+}
+
+/// Guard: the trace layer is compiled into every engine phase, so its
+/// disarmed cost must stay invisible. Measures (1) the unit cost of a
+/// disarmed FSIM_TRACE_SPAN (one relaxed atomic load + a dead store),
+/// (2) how many spans a yeast θ=1 FSim_dp solve actually creates (armed
+/// run, counting ring events + drops), and (3) the disarmed iterate time
+/// itself, then bounds overhead as span_cost x span_count / iterate_ns.
+/// Aborts above 2%; the measurement lands in BENCH_fsim.json under
+/// "trace_overhead" so the history keeps the trajectory.
+std::string RunTraceOverheadGuard() {
+  const Graph& g = Yeast();
+  FSimConfig config = BaseConfig(SimVariant::kDegreePreserving);
+  config.theta = 1.0;
+  config.neighbor_index_budget_bytes = 1ULL << 30;
+
+  constexpr size_t kSpans = 4'000'000;
+  const uint64_t unit_start = obs::MonotonicNanos();
+  for (size_t i = 0; i < kSpans; ++i) {
+    FSIM_TRACE_SPAN("bench.disarmed");
+  }
+  const uint64_t unit_stop = obs::MonotonicNanos();
+  const double span_ns =
+      static_cast<double>(unit_stop - unit_start) / static_cast<double>(kSpans);
+
+  obs::ArmTracing();
+  auto armed = ComputeFSim(g, g, config);
+  obs::DisarmTracing();
+  if (!armed.ok()) {
+    std::fprintf(stderr, "fatal: armed trace-overhead run failed\n");
+    std::abort();
+  }
+  const uint64_t span_count = obs::TraceEventCount() + obs::TraceDroppedCount();
+
+  auto disarmed = ComputeFSim(g, g, config);
+  if (!disarmed.ok()) {
+    std::fprintf(stderr, "fatal: disarmed trace-overhead run failed\n");
+    std::abort();
+  }
+  const double iterate_ns = disarmed->stats().iterate_seconds * 1e9;
+  const double overhead =
+      span_ns * static_cast<double>(span_count) / iterate_ns;
+
+  std::printf(
+      "\ntrace overhead (dp, theta=1, disarmed): %.2fns/span x %llu spans "
+      "= %.4f%% of iterate (bound: <2%%)\n",
+      span_ns, static_cast<unsigned long long>(span_count), overhead * 100.0);
+  if (overhead >= 0.02) {
+    std::fprintf(stderr,
+                 "fatal: disarmed tracing overhead %.4f%% exceeds the 2%% "
+                 "budget\n",
+                 overhead * 100.0);
+    std::abort();
+  }
+
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "{\"span_ns\": %.4f, \"span_count\": %llu, "
+                "\"iterate_s\": %.6f, \"overhead_fraction\": %.6f}",
+                span_ns, static_cast<unsigned long long>(span_count),
+                disarmed->stats().iterate_seconds, overhead);
+  return buf;
 }
 
 /// Phase-timing comparison per χ variant, written to BENCH_fsim.json:
@@ -387,6 +451,7 @@ void RunPhaseTimings() {
     }
     json.SetTuningJson(RunTuningSweep(thread_counts.back()));
   }
+  json.AddRawSection("trace_overhead", RunTraceOverheadGuard());
 
   if (!json.WriteFile("BENCH_fsim.json")) {
     std::fprintf(stderr, "fatal: cannot write BENCH_fsim.json\n");

@@ -23,6 +23,7 @@
 #include "common/thread_pool.h"
 #include "common/table_printer.h"
 #include "common/timer.h"
+#include "obs/metrics.h"
 #include "serve/query.h"
 #include "serve/recovery.h"
 #include "serve/refresh.h"
@@ -69,7 +70,60 @@ struct ServeReport {
   double wal_median_flush_ms = 0.0;
   double wal_median_publish_ms = 0.0;
   double wal_median_submit_us = 0.0;  // per-edit durable append cost
+  // Closed-loop per-verb query latency quantiles, from the registry's
+  // fsim_serve_query_seconds histograms (obs/metrics.h): interval snapshot
+  // deltas around a single-reader loop, microseconds. History-gated
+  // (lower is better) alongside qps.
+  struct VerbLatency {
+    std::string verb;  // lowercase JSON key prefix: pair / topk / thresh
+    uint64_t count = 0;
+    double p50_us = 0.0;
+    double p99_us = 0.0;
+    double max_us = 0.0;
+  };
+  std::vector<VerbLatency> latency;
 };
+
+/// Runs `calls` closed-loop queries of one kind through engine.Run and
+/// returns the latency quantiles of exactly that interval, by differencing
+/// registry histogram snapshots around the loop. The max is the histogram's
+/// lifetime max (shard maxima are cumulative), which only ever overstates
+/// the interval max.
+ServeReport::VerbLatency MeasureVerbLatency(const QueryEngine& engine,
+                                            NodeId num_nodes,
+                                            Query::Kind kind, size_t calls) {
+  ServeReport::VerbLatency out;
+  const char* label = kind == Query::Kind::kPair
+                          ? "PAIR"
+                          : (kind == Query::Kind::kTopK ? "TOPK" : "THRESH");
+  out.verb = kind == Query::Kind::kPair
+                 ? "pair"
+                 : (kind == Query::Kind::kTopK ? "topk" : "thresh");
+  obs::Histogram* histogram = obs::Registry::Default().FindHistogram(
+      QueryEngine::kLatencyFamily, label);
+  if (histogram == nullptr) return out;  // engine not constructed yet
+  const obs::HistogramSnapshot before = histogram->Snapshot();
+  Rng rng(0x1A7E);
+  double sink = 0.0;
+  Query query;
+  query.kind = kind;
+  query.k = 10;
+  query.tau = 0.5;
+  for (size_t i = 0; i < calls; ++i) {
+    query.u = static_cast<NodeId>(rng.NextBounded(num_nodes));
+    query.v = static_cast<NodeId>(rng.NextBounded(num_nodes));
+    auto result = engine.Run(query);
+    sink += result.ok() ? result->score : 0.0;
+  }
+  if (sink < -1.0) std::printf("impossible %f\n", sink);  // defeat DCE
+  const obs::HistogramSnapshot delta =
+      obs::HistogramSnapshot::Delta(histogram->Snapshot(), before);
+  out.count = delta.count;
+  out.p50_us = delta.Quantile(0.5) * 1e-3;
+  out.p99_us = delta.Quantile(0.99) * 1e-3;
+  out.max_us = static_cast<double>(delta.max) * 1e-3;
+  return out;
+}
 
 /// Replays the synthetic edit-burst stream against a fresh refresh driver
 /// whose engine runs `num_threads` workers; returns the median flush and
@@ -314,6 +368,16 @@ bool WriteBenchJson(const std::string& path, const ServeReport& r) {
                  r.batch_qps[i].first, r.batch_qps[i].second);
   }
   std::fprintf(f, "},\n");
+  std::fprintf(f, "    \"latency\": {");
+  for (size_t i = 0; i < r.latency.size(); ++i) {
+    const auto& v = r.latency[i];
+    std::fprintf(f,
+                 "%s\"%s_p50_us\": %.3f, \"%s_p99_us\": %.3f, "
+                 "\"%s_max_us\": %.3f",
+                 i == 0 ? "" : ", ", v.verb.c_str(), v.p50_us,
+                 v.verb.c_str(), v.p99_us, v.verb.c_str(), v.max_us);
+  }
+  std::fprintf(f, "},\n");
   std::fprintf(f,
                "    \"refresh\": {\"median_flush_ms\": %.3f, "
                "\"median_publish_ms\": %.3f, \"publishes\": %zu},\n",
@@ -388,6 +452,23 @@ int main() {
     qps_table.AddRow({std::to_string(threads), qps_s, us_s});
   }
   qps_table.Print();
+
+  // --- Per-verb closed-loop latency quantiles (single reader). ---
+  TablePrinter latency_table({"verb", "calls", "p50", "p99", "max"});
+  for (const auto& [kind, calls] :
+       {std::pair{Query::Kind::kPair, size_t{200'000}},
+        std::pair{Query::Kind::kTopK, size_t{20'000}},
+        std::pair{Query::Kind::kThreshold, size_t{20'000}}}) {
+    auto verb = MeasureVerbLatency(engine, num_nodes, kind, calls);
+    char p50_s[32], p99_s[32], max_s[32];
+    std::snprintf(p50_s, sizeof(p50_s), "%.2fus", verb.p50_us);
+    std::snprintf(p99_s, sizeof(p99_s), "%.2fus", verb.p99_us);
+    std::snprintf(max_s, sizeof(max_s), "%.2fus", verb.max_us);
+    latency_table.AddRow({verb.verb, std::to_string(verb.count), p50_s,
+                          p99_s, max_s});
+    report.latency.push_back(std::move(verb));
+  }
+  latency_table.Print();
 
   // --- Top-k selection micro-benchmark (k = 10). ---
   constexpr size_t kK = 10;

@@ -146,6 +146,12 @@ class PhaseTimingsJson {
   /// (one-off measurements the history gate ignores).
   void SetTuningJson(std::string raw_json) { tuning_json_ = std::move(raw_json); }
 
+  /// Attaches another pre-rendered JSON object emitted as its own top-level
+  /// section under `key` (e.g. the "trace_overhead" guard record).
+  void AddRawSection(std::string key, std::string raw_json) {
+    raw_sections_.emplace_back(std::move(key), std::move(raw_json));
+  }
+
   const std::vector<Record>& records() const { return records_; }
 
   /// Writes {"runs": {name: {...}, ...}, "dense": {...}} to `path`;
@@ -155,15 +161,23 @@ class PhaseTimingsJson {
     std::FILE* f = std::fopen(path.c_str(), "w");
     if (f == nullptr) return false;
     std::fprintf(f, "{\n");
-    const bool more_after_runs =
-        !dense_records_.empty() || !tuning_json_.empty();
+    const bool more_after_runs = !dense_records_.empty() ||
+                                 !tuning_json_.empty() ||
+                                 !raw_sections_.empty();
     WriteSection(f, "runs", records_, /*trailing_comma=*/more_after_runs);
     if (!dense_records_.empty()) {
       WriteSection(f, "dense", dense_records_,
-                   /*trailing_comma=*/!tuning_json_.empty());
+                   /*trailing_comma=*/!tuning_json_.empty() ||
+                       !raw_sections_.empty());
     }
     if (!tuning_json_.empty()) {
-      std::fprintf(f, "  \"tuning\": %s\n", tuning_json_.c_str());
+      std::fprintf(f, "  \"tuning\": %s%s\n", tuning_json_.c_str(),
+                   raw_sections_.empty() ? "" : ",");
+    }
+    for (size_t i = 0; i < raw_sections_.size(); ++i) {
+      std::fprintf(f, "  \"%s\": %s%s\n", raw_sections_[i].first.c_str(),
+                   raw_sections_[i].second.c_str(),
+                   i + 1 < raw_sections_.size() ? "," : "");
     }
     std::fprintf(f, "}\n");
     std::fclose(f);
@@ -222,6 +236,7 @@ class PhaseTimingsJson {
   std::vector<Record> records_;
   std::vector<Record> dense_records_;
   std::string tuning_json_;
+  std::vector<std::pair<std::string, std::string>> raw_sections_;
 };
 
 }  // namespace bench

@@ -16,6 +16,7 @@
 //            [--out <scores-file>] [--save-binary <graph-file>]
 //            [--serve] [--warm <scores-file>] [--refresh-edits N]
 //            [--refresh-seconds S] [--cache-k K] [--sync-refresh]
+//            [--metrics] [--trace-out <file>]
 //
 // With no --g2 the graph is compared against itself. With no action flag
 // the tool prints run statistics and the 10 best non-trivial pairs.
@@ -46,6 +47,8 @@
 #include "graph/dynamic_graph.h"
 #include "graph/graph_io.h"
 #include "graph/graph_stats.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "serve/service.h"
 
 using namespace fsim;
@@ -66,7 +69,8 @@ int Usage(const char* argv0) {
       "          [--refresh-seconds S] [--cache-k K] [--sync-refresh]\n"
       "          [--wal-dir <dir>] [--wal-snapshot-edits N]\n"
       "          [--queue-capacity N] [--flush-timeout S]\n"
-      "          [--failpoints <site=spec;...>] [--validate]\n",
+      "          [--failpoints <site=spec;...>] [--validate]\n"
+      "          [--metrics] [--trace-out <file>]\n",
       argv0);
   return 2;
 }
@@ -218,6 +222,8 @@ int main(int argc, char** argv) {
   bool run_partition = false;
   bool run_serve = false;
   bool run_validate = false;
+  bool dump_metrics = false;
+  std::string trace_out_path;
   ServeOptions serve_options;
   NodeId source = kInvalidNode;
 
@@ -355,6 +361,10 @@ int main(int argc, char** argv) {
       }
     } else if (std::strcmp(argv[i], "--validate") == 0) {
       run_validate = true;
+    } else if (std::strcmp(argv[i], "--metrics") == 0) {
+      dump_metrics = true;
+    } else if (std::strcmp(argv[i], "--trace-out") == 0) {
+      trace_out_path = need_value("--trace-out");
     } else if (std::strcmp(argv[i], "--source") == 0) {
       source = parse_node_flag("--source");
     } else {
@@ -363,6 +373,35 @@ int main(int argc, char** argv) {
     }
   }
   if (g1_path.empty()) return Usage(argv[0]);
+
+  // Exit-time observability dumps as RAII so every return path below —
+  // including error exits — still reports. The Prometheus exposition goes
+  // to stdout (entirely scrapeable text); trace status goes to stderr.
+  struct ObsDump {
+    bool metrics = false;
+    std::string trace_path;
+    ~ObsDump() {
+      if (!trace_path.empty()) {
+        obs::DisarmTracing();
+        const Status written = obs::WriteChromeTrace(trace_path);
+        if (written.ok()) {
+          std::fprintf(
+              stderr, "trace written to %s (%llu events, %llu dropped)\n",
+              trace_path.c_str(),
+              static_cast<unsigned long long>(obs::TraceEventCount()),
+              static_cast<unsigned long long>(obs::TraceDroppedCount()));
+        } else {
+          std::fprintf(stderr, "--trace-out: %s\n",
+                       written.ToString().c_str());
+        }
+      }
+      if (metrics) {
+        const std::string exposition = obs::Registry::Default().RenderPrometheus();
+        std::fwrite(exposition.data(), 1, exposition.size(), stdout);
+      }
+    }
+  } obs_dump{dump_metrics, trace_out_path};
+  if (!trace_out_path.empty()) obs::ArmTracing();
 
   // FSIM_FAILPOINTS=<site=spec;...> in the environment arms sites the same
   // way --failpoints does (no-op when unset or compiled out).

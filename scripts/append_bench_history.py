@@ -89,6 +89,10 @@ def main():
         for threads_key, value in serve.get("batch_qps", {}).items():
             n = threads_key.rsplit("_", 1)[-1]
             record["serve"][f"batch_qps_{n}t"] = round(value)
+        # Closed-loop per-verb latency quantiles (pair_p50_us, pair_p99_us,
+        # ...). p50/p99 gate lower-is-better; *_max_us is informational.
+        for key, value in serve.get("latency", {}).items():
+            record["serve"][key] = round(value, 3)
         for key, section in serve.items():
             if key.startswith("refresh_t") and isinstance(section, dict):
                 record["serve"][key] = {

@@ -10,9 +10,10 @@ append step so a PR that slows a tracked path down is flagged on the spot.
 Tracked metrics are every numeric leaf of the summary record, addressed by
 dotted path (e.g. "fsim.s/indexed.iterate_s"). Direction is inferred from
 the name: *_qps counters are higher-is-better, iteration counts ("iters"),
-thread counts ("num_threads") and ratio-style leaves ("*_fraction") are
-informational only (skipped), everything else (seconds, ms, us) is
-lower-is-better. Metrics need at least --min-history prior samples before
+thread counts ("num_threads"), ratio-style leaves ("*_fraction") and
+single-worst-sample latencies ("*_max_us") are informational only
+(skipped), everything else (seconds, ms, us) is lower-is-better — which
+automatically covers the serve per-verb p50/p99 latency leaves. Metrics need at least --min-history prior samples before
 they gate, so freshly added benchmarks ride along without failing; metrics
 that disappear from the current line are ignored (benchmarks can be
 retired).
@@ -62,8 +63,11 @@ def numeric_leaves(record, prefix=""):
 
 def is_informational(path):
     leaf = path.rsplit(".", 1)[-1]
+    # *_max_us latency leaves are a single worst sample (one scheduler stall
+    # inflates them 1000x), so they are recorded but never gated; the p50/p99
+    # quantile leaves gate through the default lower-is-better rule.
     return (leaf == "iters" or leaf == "num_threads"
-            or leaf.endswith("_fraction"))
+            or leaf.endswith("_fraction") or leaf.endswith("_max_us"))
 
 
 def higher_is_better(path):

@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""Validates a Chrome trace_event JSON file (stdlib only).
+
+Checks the contract `fsim_cli --trace-out` promises (docs/observability.md):
+
+  * the file parses as JSON with a top-level {"traceEvents": [...]} object,
+  * every event is a complete ("ph": "X") event carrying name, pid, tid,
+    a numeric ts and a non-negative numeric dur (complete events need no
+    B/E matching — emitting only X is how the writer guarantees balance),
+  * within each tid, events are sorted by ts (the per-thread rings record
+    monotonically; an unsorted stream means the writer merged wrong),
+  * nothing else sneaks in (an event with ph B/E fails: the writer never
+    emits them, so their presence signals a regression to unbalanced
+    spans).
+
+Exit 0 and a one-line summary when valid; exit 1 with the offending
+events otherwise. Perfetto loads anything this passes.
+
+Usage:
+  check_trace_json.py trace.json [--min-events N]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def check(doc):
+    errors = []
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        return ["top level is not an object with a traceEvents array"]
+    events = doc["traceEvents"]
+    if not isinstance(events, list):
+        return ["traceEvents is not an array"]
+
+    by_tid = {}
+    for i, event in enumerate(events):
+        if not isinstance(event, dict):
+            errors.append(f"event {i}: not an object")
+            continue
+        ph = event.get("ph")
+        if ph != "X":
+            errors.append(f"event {i}: ph={ph!r}, expected complete 'X' "
+                          "events only")
+            continue
+        missing = [k for k in ("name", "pid", "tid", "ts", "dur")
+                   if k not in event]
+        if missing:
+            errors.append(f"event {i}: missing {missing}")
+            continue
+        if not isinstance(event["ts"], (int, float)) or \
+                not isinstance(event["dur"], (int, float)):
+            errors.append(f"event {i}: non-numeric ts/dur")
+            continue
+        if event["dur"] < 0:
+            errors.append(f"event {i}: negative dur {event['dur']}")
+        if not isinstance(event["name"], str) or not event["name"]:
+            errors.append(f"event {i}: empty or non-string name")
+        by_tid.setdefault(event["tid"], []).append((i, event["ts"]))
+
+    for tid, entries in by_tid.items():
+        last_ts = None
+        for i, ts in entries:
+            if last_ts is not None and ts < last_ts:
+                errors.append(f"event {i}: tid {tid} ts {ts} < previous "
+                              f"{last_ts} (per-tid stream must be sorted)")
+            last_ts = ts
+    return errors
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("trace", help="Chrome trace_event JSON file")
+    parser.add_argument("--min-events", type=int, default=1,
+                        help="fail if fewer events (an armed run that "
+                             "recorded nothing is a regression)")
+    args = parser.parse_args()
+
+    try:
+        with open(args.trace) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"trace json: cannot parse {args.trace}: {e}",
+              file=sys.stderr)
+        return 1
+
+    errors = check(doc)
+    events = doc.get("traceEvents", []) if isinstance(doc, dict) else []
+    if not errors and len(events) < args.min_events:
+        errors.append(f"only {len(events)} events, expected at least "
+                      f"{args.min_events}")
+    if errors:
+        print(f"trace json: {len(errors)} error(s) in {args.trace}:",
+              file=sys.stderr)
+        for e in errors[:20]:
+            print(f"  {e}", file=sys.stderr)
+        if len(errors) > 20:
+            print(f"  ... and {len(errors) - 20} more", file=sys.stderr)
+        return 1
+    tids = {e.get("tid") for e in events}
+    print(f"trace json: OK ({len(events)} events across {len(tids)} "
+          f"threads)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

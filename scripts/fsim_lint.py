@@ -12,6 +12,12 @@ Rules (each can be silenced on a line with `// fsim-lint: allow(<rule>)`):
                   (lock_guard/unique_lock/scoped_lock/.lock()) or call
                   allocation-heavy formatting (std::endl, ostringstream,
                   StrFormat) — those serialize or bloat the hot loop.
+  metrics-hot     Lambda bodies passed to ThreadPool::ParallelFor* anywhere
+                  in src/ must not resolve metrics by name (Registry::Default,
+                  GetCounter/GetGauge/GetHistogram, RegisterCallbackGauge) —
+                  each lookup takes the registry mutex and hashes the family
+                  string. Pre-resolve the Counter*/Histogram* handle outside
+                  the parallel region; recording on a handle is lock-free.
   banned          rand(/srand(/strtok( are banned everywhere (non-reentrant
                   or non-deterministic; use common/random.h). Headers must
                   not define non-const local statics in inline functions.
@@ -62,6 +68,9 @@ LOCK_RE = re.compile(
     r"\b(?:lock_guard|unique_lock|scoped_lock|shared_lock)\s*<|\.lock\s*\(\)"
 )
 ALLOC_HEAVY_RE = re.compile(r"std::endl\b|ostringstream\b|\bStrFormat\s*\(")
+METRICS_LOOKUP_RE = re.compile(
+    r"\bRegistry::Default\b|\bGet(?:Counter|Gauge|Histogram)\s*\(|"
+    r"\b(?:Un)?RegisterCallbackGauge\s*\(")
 BANNED_CALL_RE = re.compile(r"(?<![\w:.>])(?:rand|srand|strtok)\s*\(")
 LOCAL_STATIC_RE = re.compile(r"^\s*static\s+(?!constexpr|const\b|assert)\w")
 NAKED_NEW_RE = re.compile(r"(?<![\w_])new\s+[A-Za-z_:][\w:<>, ]*[({]")
@@ -211,6 +220,26 @@ def check_parallel_hot(path: Path, lines: list[str]) -> list[Finding]:
     return findings
 
 
+def check_metrics_hot(path: Path, lines: list[str]) -> list[Finding]:
+    rel = relpath(path)
+    if not rel.startswith("src/"):
+        return []
+    findings = []
+    for start, end in parallel_lambda_ranges(lines):
+        for i in range(start, end + 1):
+            code = strip_strings_and_comments(lines[i])
+            if allowed(lines, i, "metrics-hot"):
+                continue
+            if METRICS_LOOKUP_RE.search(code):
+                findings.append(Finding(
+                    path, i + 1, "metrics-hot",
+                    "metrics registry lookup-by-name inside a ParallelFor* "
+                    "body (registry mutex + family-name hash per call); "
+                    "pre-resolve the handle outside the parallel region "
+                    "and record on it lock-free", lines[i]))
+    return findings
+
+
 def check_banned(path: Path, lines: list[str]) -> list[Finding]:
     findings = []
     for i, line in enumerate(lines):
@@ -321,6 +350,7 @@ def check_durability(path: Path, lines: list[str]) -> list[Finding]:
 CHECKS = (
     check_sync_comments,
     check_parallel_hot,
+    check_metrics_hot,
     check_banned,
     check_header_guard,
     check_include_order,

@@ -2,8 +2,8 @@
 
 #include <cstdio>
 #include <cstdlib>
-#include <map>
-#include <mutex>
+
+#include "obs/metrics.h"
 
 #if defined(__GLIBC__) || __has_include(<execinfo.h>)
 #include <execinfo.h>
@@ -58,35 +58,34 @@ CheckMessage::~CheckMessage() {
 
 namespace {
 
-// guards: the validator-counter map below (Bump/Count/Snapshot callers).
-std::mutex& CounterMutex() {
-  static std::mutex mu;
-  return mu;
-}
-
-std::map<std::string, uint64_t>& CounterMap() {
-  static std::map<std::string, uint64_t> counts;
-  return counts;
-}
+// ValidatorCounters is a shim over the metrics registry (obs/metrics.h):
+// each validator is one counter in this family, labeled by name, so the
+// table shows up in METRICS exposition alongside everything else.
+constexpr char kValidatorFamily[] = "fsim_validator_runs_total";
+constexpr char kValidatorHelp[] =
+    "Structural validator invocations, by validator name";
 
 }  // namespace
 
 void ValidatorCounters::Bump(const char* name) {
-  std::lock_guard<std::mutex> lock(CounterMutex());
-  ++CounterMap()[name];
+  // Registration is keyed, so the repeated lookup returns the same
+  // handle; validators run at most once per build/edit/publish, never in
+  // per-pair hot loops, so the registry mutex here is fine.
+  obs::Registry::Default()
+      .GetCounter(kValidatorFamily, kValidatorHelp, "validator", name)
+      ->Inc();
 }
 
 uint64_t ValidatorCounters::Count(const char* name) {
-  std::lock_guard<std::mutex> lock(CounterMutex());
-  const auto& counts = CounterMap();
-  auto it = counts.find(name);
-  return it == counts.end() ? 0 : it->second;
+  for (const auto& [validator, count] :
+       obs::Registry::Default().CounterFamilySnapshot(kValidatorFamily)) {
+    if (validator == name) return count;
+  }
+  return 0;
 }
 
 std::vector<std::pair<std::string, uint64_t>> ValidatorCounters::Snapshot() {
-  std::lock_guard<std::mutex> lock(CounterMutex());
-  const auto& counts = CounterMap();
-  return {counts.begin(), counts.end()};
+  return obs::Registry::Default().CounterFamilySnapshot(kValidatorFamily);
 }
 
 }  // namespace fsim

@@ -8,6 +8,7 @@
 #include <thread>
 
 #include "common/string_util.h"
+#include "obs/metrics.h"
 
 namespace fsim {
 namespace failpoint {
@@ -26,6 +27,13 @@ struct Site {
   uint64_t remaining = UINT64_MAX;
   uint64_t hits = 0;
 };
+
+// Hits are mirrored into this metrics-registry family so METRICS
+// exposition shows failpoint traffic. The mirror is monotonic for the
+// process lifetime (Prometheus counter semantics) — ResetCounters, which
+// tests use to re-zero the Snapshot() table, deliberately leaves it alone.
+constexpr char kHitFamily[] = "fsim_failpoint_hits_total";
+constexpr char kHitHelp[] = "Failpoint site passes, armed or not, by site";
 
 // guards: the site registry below (Arm/Disarm/Hit/Snapshot callers).
 std::mutex& SiteMutex() {
@@ -154,6 +162,9 @@ std::vector<std::pair<std::string, uint64_t>> Snapshot() {
 Status Hit(const char* name) {
   Action action = Action::kOff;
   double delay_ms = 0.0;
+  obs::Registry::Default()
+      .GetCounter(kHitFamily, kHitHelp, "site", name)
+      ->Inc();
   {
     std::lock_guard<std::mutex> lock(SiteMutex());
     Site& site = SiteMap()[name];

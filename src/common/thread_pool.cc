@@ -3,9 +3,61 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace fsim {
 namespace {
+
+// Registry mirrors of the SchedulerStats counters (metrics are process-
+// wide sums over every pool; SchedulerStats stays per-pool for tests and
+// the exactly-once validator). Handles resolve once — never inside region
+// bodies (fsim-lint metrics-hot).
+struct SchedulerMetrics {
+  obs::Counter* steal_regions;
+  obs::Counter* counter_regions;
+  obs::Counter* inline_regions;
+  obs::Counter* chunks_dealt;
+  obs::Counter* chunks_executed;
+  obs::Counter* chunks_stolen;
+  obs::Counter* steal_batches;
+  obs::Counter* steal_retries;
+
+  static const SchedulerMetrics& Get() {
+    static const SchedulerMetrics metrics = [] {
+      obs::Registry& registry = obs::Registry::Default();
+      constexpr char kRegions[] = "fsim_scheduler_regions_total";
+      constexpr char kRegionsHelp[] =
+          "Parallel regions by scheduling mode (steal deques, shared "
+          "counter, or inline on the caller)";
+      constexpr char kChunks[] = "fsim_scheduler_chunks_total";
+      constexpr char kChunksHelp[] =
+          "Steal-scheduler chunks by disposition (dealt into deques, "
+          "executed, taken from a victim)";
+      SchedulerMetrics m;
+      m.steal_regions =
+          registry.GetCounter(kRegions, kRegionsHelp, "kind", "steal");
+      m.counter_regions =
+          registry.GetCounter(kRegions, kRegionsHelp, "kind", "counter");
+      m.inline_regions =
+          registry.GetCounter(kRegions, kRegionsHelp, "kind", "inline");
+      m.chunks_dealt =
+          registry.GetCounter(kChunks, kChunksHelp, "kind", "dealt");
+      m.chunks_executed =
+          registry.GetCounter(kChunks, kChunksHelp, "kind", "executed");
+      m.chunks_stolen =
+          registry.GetCounter(kChunks, kChunksHelp, "kind", "stolen");
+      m.steal_batches = registry.GetCounter(
+          "fsim_scheduler_steal_batches_total",
+          "Successful steal CASes (one batch of chunks each)");
+      m.steal_retries = registry.GetCounter(
+          "fsim_scheduler_steal_retries_total",
+          "Failed steal CASes plus empty victim scans");
+      return m;
+    }();
+    return metrics;
+  }
+};
 
 // Steal batch cap: thieves take min(ceil(remaining / 2), kStealBatchMax)
 // positions per CAS. Half-stealing spreads a big block across workers in
@@ -74,6 +126,7 @@ void ThreadPool::ParallelForChunked(size_t n, size_t grain,
   if (num_threads_ == 1 || n <= grain) {
     body(0, 0, n);
     stat_inline_regions_.fetch_add(1, std::memory_order_relaxed);
+    SchedulerMetrics::Get().inline_regions->Inc();
     return;
   }
   const size_t num_chunks = (n + grain - 1) / grain;
@@ -97,6 +150,7 @@ void ThreadPool::ParallelForChunked(size_t n, size_t grain,
       begin += len;
     }
     stat_chunks_dealt_.fetch_add(num_chunks, std::memory_order_relaxed);
+    SchedulerMetrics::Get().chunks_dealt->Inc(num_chunks);
   }
   Dispatch(mode, n, grain, body);
 }
@@ -119,6 +173,7 @@ void ThreadPool::ParallelForFrontier(std::span<const uint32_t> indices,
   if (num_threads_ == 1 || n <= grain) {
     body(0, indices);
     stat_inline_regions_.fetch_add(1, std::memory_order_relaxed);
+    SchedulerMetrics::Get().inline_regions->Inc();
     return;
   }
   // Two-class big-first split at 1/16 of the maximum weight (the same
@@ -165,12 +220,15 @@ void ThreadPool::ParallelForFrontier(std::span<const uint32_t> indices,
                              std::memory_order_relaxed);
     }
     stat_chunks_dealt_.fetch_add(num_chunks, std::memory_order_relaxed);
+    SchedulerMetrics::Get().chunks_dealt->Inc(num_chunks);
   }
   Dispatch(mode, n, grain, chunked);
 }
 
 void ThreadPool::Dispatch(Mode mode, size_t n, size_t grain,
                           const ChunkedBody& body) {
+  FSIM_TRACE_SPAN_ARG(
+      mode == Mode::kSteal ? "pool.region.steal" : "pool.region.counter", n);
   {
     std::lock_guard<std::mutex> lock(mu_);
     task_.mode = mode;
@@ -194,6 +252,9 @@ void ThreadPool::Dispatch(Mode mode, size_t n, size_t grain,
   }
   (mode == Mode::kSteal ? stat_steal_regions_ : stat_counter_regions_)
       .fetch_add(1, std::memory_order_relaxed);
+  const SchedulerMetrics& metrics = SchedulerMetrics::Get();
+  (mode == Mode::kSteal ? metrics.steal_regions : metrics.counter_regions)
+      ->Inc();
 }
 
 void ThreadPool::RunRegion(int worker_id, const Task& task) {
@@ -227,7 +288,9 @@ void ThreadPool::RunSteal(int worker_id, const Task& task) {
                          static_cast<size_t>(k) *
                              static_cast<size_t>(dq.chunk_stride);
     const size_t begin = chunk * grain;
-    (*task.body)(worker_id, begin, std::min(begin + grain, n));
+    const size_t end = std::min(begin + grain, n);
+    FSIM_TRACE_SPAN_ARG("pool.chunk", end - begin);
+    (*task.body)(worker_id, begin, end);
     ++executed;
   };
 
@@ -306,6 +369,11 @@ void ThreadPool::RunSteal(int worker_id, const Task& task) {
   stat_chunks_stolen_.fetch_add(stolen, std::memory_order_relaxed);
   stat_steal_batches_.fetch_add(batches, std::memory_order_relaxed);
   stat_steal_retries_.fetch_add(retries, std::memory_order_relaxed);
+  const SchedulerMetrics& metrics = SchedulerMetrics::Get();
+  metrics.chunks_executed->Inc(executed);
+  metrics.chunks_stolen->Inc(stolen);
+  metrics.steal_batches->Inc(batches);
+  metrics.steal_retries->Inc(retries);
 }
 
 ThreadPool::SchedulerStats ThreadPool::stats() const {

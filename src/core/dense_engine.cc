@@ -11,6 +11,7 @@
 #include "core/fsim_engine.h"
 #include "core/init_value.h"
 #include "core/operators.h"
+#include "obs/trace.h"
 
 namespace fsim {
 
@@ -238,6 +239,7 @@ Result<DenseFSimScores> ComputeFSimDense(const Graph& g1, const Graph& g2,
   if (config.record_delta_history) stats.delta_history.reserve(max_iters);
 
   for (uint32_t iter = 1; iter <= max_iters; ++iter) {
+    FSIM_TRACE_SPAN_ARG("dense.iter", iter);
     for (auto& d : worker_delta) d.value = 0.0;
     // Chunks of u-rows: rows are independent under double buffering, and
     // row granularity amortizes the scheduling cost that per-pair items

@@ -8,6 +8,7 @@
 #include "common/timer.h"
 #include "core/pair_evaluator.h"
 #include "core/pair_store.h"
+#include "obs/trace.h"
 
 namespace fsim {
 
@@ -71,6 +72,7 @@ Result<FSimScores> ComputeFSim(const Graph& g1, const Graph& g2,
 
   ThreadPool pool(config.num_threads);
   Timer build_timer;
+  obs::TraceSpan init_span("engine.init");
   LabelSimilarityCache lsim(*g1.dict(), config.label_sim);
   FSIM_ASSIGN_OR_RETURN(PairStore store,
                         PairStore::Build(g1, g2, config, lsim,
@@ -89,6 +91,7 @@ Result<FSimScores> ComputeFSim(const Graph& g1, const Graph& g2,
   stats.neighbor_index_peak_staging_bytes = store.info().peak_staging_bytes;
   stats.neighbor_index_bounded_build = store.info().bounded_staging_build;
   stats.build_seconds = build_timer.Seconds();
+  init_span.End();
 
   const uint32_t max_iters = FSimIterationBound(config);
   const PairEvaluator evaluator(g1, g2, config, lsim, store);
@@ -102,6 +105,7 @@ Result<FSimScores> ComputeFSim(const Graph& g1, const Graph& g2,
   if (driver.active()) stats.active_pairs_history.reserve(max_iters);
 
   for (uint32_t iter = 1; iter <= max_iters; ++iter) {
+    FSIM_TRACE_SPAN_ARG("engine.iter", iter);
     const double max_delta = driver.Step();
     stats.iterations = iter;
     stats.final_delta = max_delta;

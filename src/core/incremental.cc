@@ -8,6 +8,7 @@
 #include "core/fsim_engine.h"
 #include "core/operators.h"
 #include "core/pair_store.h"
+#include "obs/trace.h"
 
 namespace fsim {
 
@@ -528,6 +529,7 @@ Status IncrementalFSim::FinishPropagate(uint64_t recomputed, uint64_t changed,
 
 Status IncrementalFSim::Propagate() {
   if (pool_) return PropagateWaves();
+  FSIM_TRACE_SPAN("incremental.propagate.serial");
   Timer timer;
   const double tau = options_.propagation_tolerance;
   const uint32_t max_waves = MaxWaves();
@@ -610,6 +612,7 @@ Status IncrementalFSim::Propagate() {
 
 Status IncrementalFSim::PropagateWaves() {
   Timer timer;
+  FSIM_TRACE_SPAN("incremental.propagate");
   const double tau = options_.propagation_tolerance;
   const uint32_t max_waves = MaxWaves();
   // Waves below this size keep the serial chaotic ordering: the propagation
@@ -636,6 +639,7 @@ Status IncrementalFSim::PropagateWaves() {
   size_t wave_begin = queue_head_;
   size_t wave_end = queue_.size();
   while (wave_begin < wave_end && !update_capped) {
+    FSIM_TRACE_SPAN_ARG("incremental.wave", wave_end - wave_begin);
     if (wave_end - wave_begin < kParallelWaveMin) {
       // Serial chaotic tail: identical to Propagate's inner loop, so small
       // repairs (the common case) match the serial engine bit for bit.

@@ -20,6 +20,7 @@
 #include "core/pair_store.h"
 #include "graph/graph.h"
 #include "label/label_similarity.h"
+#include "obs/trace.h"
 
 namespace fsim {
 
@@ -222,6 +223,7 @@ class ActiveSetDriver {
     bool full = true;
     if (can_build_frontier_) {
       Timer build_timer;
+      FSIM_TRACE_SPAN("engine.frontier_build");
       tracker_.BuildNext(pool_, config_.frontier_tolerance,
                          last_was_full_sweep_, &frontier_);
       frontier_build_seconds_ += build_timer.Seconds();
@@ -233,6 +235,7 @@ class ActiveSetDriver {
     for (auto& w : worker_stats_) w = WorkerSweepStats{};
     const size_t iterate_grain = config_.iterate_grain;
     if (full) {
+      FSIM_TRACE_SPAN_ARG("engine.sweep.full", store_.size());
       pool_.ParallelForChunked(
           store_.size(), iterate_grain,
           [&](int worker, size_t begin, size_t end) {
@@ -247,6 +250,7 @@ class ActiveSetDriver {
       ++full_sweeps_;
       last_evaluated_ = store_.size();
     } else {
+      FSIM_TRACE_SPAN_ARG("engine.sweep.frontier", frontier_.size());
       // Priority draining: a pair's evaluation cost is dominated by the
       // neighbor refs it walks, so RefSpanTotal is the weight. Exact-mode
       // bit-identity across thread counts is unaffected — evaluations are
@@ -267,6 +271,7 @@ class ActiveSetDriver {
       // Selective forward copy, after the sweep's last read of prev_
       // (Jacobi semantics: every evaluation above saw the old state).
       constexpr size_t kCommitGrain = 4096;
+      FSIM_TRACE_SPAN("engine.commit");
       pool_.ParallelForChunked(
           frontier_.size(), kCommitGrain,
           [&](int /*worker*/, size_t begin, size_t end) {

@@ -1,0 +1,322 @@
+// Process-wide metrics registry — the one snapshot mechanism behind the
+// METRICS serve verb, the expanded STATS quantiles and `fsim_cli
+// --metrics`. Three instrument kinds:
+//
+//   Counter    monotonic uint64, sharded per thread (kShards cache-line-
+//              padded slots, relaxed fetch_add) and summed on snapshot.
+//   Gauge      one double, last-write-wins; or a registered callback
+//              evaluated at snapshot time (queue depth, publish age,
+//              wal_pending — values that only exist "now").
+//   Histogram  log2-bucketed uint64 distribution (bucket i holds values of
+//              bit_width i, so the quantile estimate is exact to one
+//              bucket, i.e. a factor of 2), sharded like counters, with
+//              per-shard sum and max. Time histograms record nanoseconds
+//              and are exposed in seconds.
+//
+// Registration (GetCounter/GetGauge/GetHistogram) takes a registry mutex
+// and may allocate — do it once, at construction or via a function-local
+// static. Recording through the returned handle is lock-free and
+// allocation-free (relaxed atomics on the caller's shard), so handles are
+// safe inside ParallelFor* bodies and the serve hot path. The fsim-lint
+// `metrics-hot` rule enforces the split: no registry lookups inside
+// parallel lambdas. docs/observability.md has the full API contract and
+// cardinality rules.
+#ifndef FSIM_OBS_METRICS_H_
+#define FSIM_OBS_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace fsim {
+namespace obs {
+
+/// Per-thread shard count. More shards cost memory (each histogram shard
+/// is ~half a KiB); fewer cost contention when many workers record into
+/// one instrument. 16 covers the pool sizes the scheduler targets.
+inline constexpr size_t kShards = 16;
+
+/// Log2 bucket count: bucket i counts values with std::bit_width(v) == i,
+/// so i ranges over [0, 64] (bucket 0 is exactly the value 0).
+inline constexpr size_t kHistogramBuckets = 65;
+
+/// This thread's shard slot, assigned round-robin on first use.
+size_t ShardIndex();
+
+/// Steady-clock nanoseconds — the raw unit every time histogram records.
+inline uint64_t MonotonicNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+struct alignas(64) CounterShard {
+  std::atomic<uint64_t> value{0};  // ordering: relaxed adds, merged on read
+};
+
+/// Monotonic counter. Inc is wait-free and allocation-free. Usually
+/// obtained from a Registry; standalone construction is for tests.
+class Counter {
+ public:
+  Counter() = default;
+
+  void Inc(uint64_t delta = 1) {
+    shards_[ShardIndex()].value.fetch_add(delta, std::memory_order_relaxed);
+  }
+
+  /// Sum over shards. Concurrent increments may or may not be included.
+  uint64_t Value() const {
+    uint64_t total = 0;
+    for (const CounterShard& shard : shards_) {
+      total += shard.value.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+  /// Tests only — racy against concurrent Inc by design.
+  void Reset() {
+    for (CounterShard& shard : shards_) {
+      shard.value.store(0, std::memory_order_relaxed);
+    }
+  }
+
+ private:
+  std::array<CounterShard, kShards> shards_;
+};
+
+/// Last-write-wins double gauge.
+class Gauge {
+ public:
+  Gauge() = default;
+
+  void Set(double value) {
+    bits_.store(std::bit_cast<uint64_t>(value), std::memory_order_relaxed);
+  }
+
+  void Add(double delta) {
+    uint64_t observed = bits_.load(std::memory_order_relaxed);
+    while (!bits_.compare_exchange_weak(
+        observed, std::bit_cast<uint64_t>(std::bit_cast<double>(observed) +
+                                          delta),
+        std::memory_order_relaxed)) {
+    }
+  }
+
+  double Value() const {
+    return std::bit_cast<double>(bits_.load(std::memory_order_relaxed));
+  }
+
+ private:
+  // ordering: relaxed — a gauge is a single self-consistent double; readers
+  // tolerate any published value.
+  std::atomic<uint64_t> bits_{0};
+};
+
+/// Merged view of one histogram at one instant.
+struct HistogramSnapshot {
+  std::array<uint64_t, kHistogramBuckets> counts{};
+  uint64_t count = 0;  // total observations
+  uint64_t sum = 0;    // sum of raw values
+  uint64_t max = 0;    // largest raw value observed
+
+  /// Upper bound of bucket `i` in raw units: the largest value v with
+  /// bit_width(v) == i.
+  static uint64_t BucketUpperBound(size_t i) {
+    if (i == 0) return 0;
+    if (i >= 64) return UINT64_MAX;
+    return (uint64_t{1} << i) - 1;
+  }
+
+  /// Quantile estimate in raw units, linearly interpolated inside the
+  /// containing bucket — always within that bucket's bounds, so the error
+  /// is at most one bucket width (a factor of 2). q in [0, 1]; returns 0
+  /// for an empty histogram and never exceeds the observed max.
+  double Quantile(double q) const;
+
+  /// Bucket-wise difference `after - before` of two snapshots of the same
+  /// histogram (for interval measurements, e.g. one bench phase).
+  static HistogramSnapshot Delta(const HistogramSnapshot& after,
+                                 const HistogramSnapshot& before);
+};
+
+/// Log2-bucketed histogram of uint64 samples. Record is wait-free and
+/// allocation-free apart from one CAS loop maintaining the shard max.
+class Histogram {
+ public:
+  /// How raw values translate to exposition units: nanosecond histograms
+  /// are rendered in seconds, count histograms verbatim.
+  enum class Unit { kNanoseconds, kCount };
+
+  explicit Histogram(Unit unit) : unit_(unit) {}
+
+  void Record(uint64_t value) {
+    HistogramShard& shard = shards_[ShardIndex()];
+    const size_t bucket = static_cast<size_t>(std::bit_width(value));
+    shard.counts[bucket].fetch_add(1, std::memory_order_relaxed);
+    shard.sum.fetch_add(value, std::memory_order_relaxed);
+    uint64_t observed = shard.max.load(std::memory_order_relaxed);
+    while (observed < value &&
+           !shard.max.compare_exchange_weak(observed, value,
+                                            std::memory_order_relaxed)) {
+    }
+  }
+
+  HistogramSnapshot Snapshot() const;
+
+  Unit unit() const { return unit_; }
+
+ private:
+  struct alignas(64) HistogramShard {
+    // ordering: all relaxed — Record touches one shard; Snapshot merges all
+    // shards and tolerates torn cross-field reads (count/sum may disagree by
+    // in-flight records, asserted only to stay self-consistent per field).
+    std::array<std::atomic<uint64_t>, kHistogramBuckets> counts{};
+    std::atomic<uint64_t> sum{0};  // ordering: relaxed, see counts above
+    std::atomic<uint64_t> max{0};  // ordering: relaxed CAS-max loop
+  };
+
+  std::array<HistogramShard, kShards> shards_;
+  Unit unit_;
+};
+
+/// RAII nanosecond timer recording into a histogram on destruction. The
+/// handle may be null (recording skipped) so call sites need no branches.
+class ScopedLatencyTimer {
+ public:
+  explicit ScopedLatencyTimer(Histogram* histogram)
+      : histogram_(histogram),
+        start_ns_(histogram == nullptr ? 0 : MonotonicNanos()) {}
+  ~ScopedLatencyTimer() {
+    if (histogram_ != nullptr) {
+      histogram_->Record(MonotonicNanos() - start_ns_);
+    }
+  }
+  ScopedLatencyTimer(const ScopedLatencyTimer&) = delete;
+  ScopedLatencyTimer& operator=(const ScopedLatencyTimer&) = delete;
+
+ private:
+  Histogram* histogram_;
+  uint64_t start_ns_;
+};
+
+/// Name + one optional label pair identifying an instrument. Label keys
+/// and values must be a closed, code-controlled set (verb names, site
+/// names) — never request-derived strings; see docs/observability.md.
+struct MetricKey {
+  std::string family;
+  std::string label_key;    // empty = unlabeled
+  std::string label_value;  // empty = unlabeled
+
+  bool operator<(const MetricKey& other) const {
+    if (family != other.family) return family < other.family;
+    if (label_key != other.label_key) return label_key < other.label_key;
+    return label_value < other.label_value;
+  }
+};
+
+/// One rendered/enumerated histogram (STATS FULL, bench reports).
+struct HistogramEntry {
+  MetricKey key;
+  Histogram::Unit unit = Histogram::Unit::kCount;
+  HistogramSnapshot snapshot;
+};
+
+/// The instrument registry. `Default()` is the process-wide instance all
+/// production instrumentation uses; tests may construct private registries
+/// for isolation. Instruments live as long as the registry — handles never
+/// dangle. Repeated Get* with the same key returns the same handle, so
+/// concurrent registration is safe and idempotent.
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  static Registry& Default();
+
+  /// Registration: mutex + possible allocation. NOT for hot paths —
+  /// resolve once and keep the handle.
+  Counter* GetCounter(std::string_view family, std::string_view help,
+                      std::string_view label_key = {},
+                      std::string_view label_value = {});
+  Gauge* GetGauge(std::string_view family, std::string_view help,
+                  std::string_view label_key = {},
+                  std::string_view label_value = {});
+  Histogram* GetHistogram(std::string_view family, std::string_view help,
+                          Histogram::Unit unit,
+                          std::string_view label_key = {},
+                          std::string_view label_value = {});
+
+  /// Gauge whose value is produced by `fn` at snapshot time (publish age,
+  /// queue depth). `owner` scopes the registration: re-registering the
+  /// same key replaces the callback, and Unregister removes it only when
+  /// the owner matches — so a dying service instance cannot tear down a
+  /// successor's gauge. Callbacks must not call back into the registry.
+  void RegisterCallbackGauge(std::string_view family, std::string_view help,
+                             const void* owner, std::function<double()> fn,
+                             std::string_view label_key = {},
+                             std::string_view label_value = {});
+  void UnregisterCallbackGauge(std::string_view family, const void* owner,
+                               std::string_view label_key = {},
+                               std::string_view label_value = {});
+
+  /// (label_value, value) of every counter in `family`, sorted. The shim
+  /// behind ValidatorCounters::Snapshot and the failpoint hit table.
+  std::vector<std::pair<std::string, uint64_t>> CounterFamilySnapshot(
+      std::string_view family) const;
+
+  /// The registered histogram for (family, label_value), or nullptr —
+  /// bench_serve uses this to difference interval snapshots.
+  Histogram* FindHistogram(std::string_view family,
+                           std::string_view label_value = {}) const;
+
+  /// Every histogram with at least one observation, sorted by key.
+  std::vector<HistogramEntry> HistogramEntries() const;
+
+  /// Prometheus text exposition (version 0.0.4) of every instrument:
+  /// HELP/TYPE per family, cumulative `_bucket{le=...}` + `_sum` +
+  /// `_count` per histogram (nanosecond histograms in seconds), callback
+  /// gauges evaluated inline. Zero-count log2 buckets are elided (the
+  /// cumulative encoding keeps sparse bucket lists valid).
+  std::string RenderPrometheus() const;
+
+ private:
+  struct CallbackGauge {
+    std::string help;
+    const void* owner = nullptr;
+    std::function<double()> fn;
+  };
+  template <typename T>
+  using MetricMap = std::vector<std::pair<MetricKey, std::unique_ptr<T>>>;
+
+  template <typename T>
+  static T* Find(MetricMap<T>& metrics, const MetricKey& key);
+
+  /// Records `help` as the family's HELP text (first registration wins).
+  /// Caller holds mu_.
+  void RecordHelp(const std::string& family, std::string_view help);
+
+  // guards: the metric maps below. The instruments they point to are
+  // internally synchronized; only the map structure needs the lock.
+  mutable std::mutex mu_;
+  MetricMap<Counter> counters_;
+  MetricMap<Gauge> gauges_;
+  MetricMap<Histogram> histograms_;
+  std::vector<std::pair<MetricKey, CallbackGauge>> callbacks_;
+  std::vector<std::pair<std::string, std::string>> help_;  // family -> help
+};
+
+}  // namespace obs
+}  // namespace fsim
+
+#endif  // FSIM_OBS_METRICS_H_

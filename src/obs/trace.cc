@@ -1,0 +1,182 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+
+namespace fsim {
+namespace obs {
+
+namespace {
+
+/// One thread's ring. Single writer (the owning thread), many readers
+/// (SnapshotTrace): the writer publishes each event with a release store
+/// of `next`; readers acquire-load `next` and only read below it. Rings
+/// are created on a thread's first armed span and live for the process —
+/// a thread that exits leaves its events dumpable.
+struct TraceRing {
+  explicit TraceRing(int tid_in)
+      : tid(tid_in), events(kTraceRingCapacity) {}
+
+  int tid;
+  std::atomic<uint64_t> next{0};  // total events ever written
+  std::vector<TraceEvent> events;
+};
+
+struct TraceState {
+  std::mutex mu;
+  // guarded by mu: the ring list (rings themselves are lock-free).
+  std::vector<std::unique_ptr<TraceRing>> rings;
+  int next_tid = 0;
+  std::atomic<uint64_t> epoch_ns{0};
+};
+
+TraceState& State() {
+  static TraceState* state = new TraceState();  // fsim-lint: allow(naked-new)
+  return *state;
+}
+
+TraceRing& ThisThreadRing() {
+  thread_local TraceRing* ring = nullptr;
+  if (ring == nullptr) {
+    TraceState& state = State();
+    std::lock_guard<std::mutex> lock(state.mu);
+    state.rings.push_back(std::make_unique<TraceRing>(state.next_tid++));
+    ring = state.rings.back().get();
+  }
+  return *ring;
+}
+
+}  // namespace
+
+namespace internal {
+
+void RecordSpan(const char* name, uint64_t start_ns, uint64_t dur_ns,
+                uint64_t arg, bool has_arg) {
+  TraceRing& ring = ThisThreadRing();
+  const uint64_t n = ring.next.load(std::memory_order_relaxed);
+  TraceEvent& slot = ring.events[n % kTraceRingCapacity];
+  slot.name = name;
+  slot.start_ns = start_ns;
+  slot.dur_ns = dur_ns;
+  slot.arg = arg;
+  slot.has_arg = has_arg;
+  ring.next.store(n + 1, std::memory_order_release);
+}
+
+}  // namespace internal
+
+void ArmTracing() {
+  TraceState& state = State();
+  std::lock_guard<std::mutex> lock(state.mu);
+  for (auto& ring : state.rings) {
+    ring->next.store(0, std::memory_order_relaxed);
+  }
+  state.epoch_ns.store(MonotonicNanos(), std::memory_order_relaxed);
+  internal::g_trace_armed.store(true, std::memory_order_release);
+}
+
+void DisarmTracing() {
+  internal::g_trace_armed.store(false, std::memory_order_release);
+}
+
+uint64_t TraceEventCount() {
+  TraceState& state = State();
+  std::lock_guard<std::mutex> lock(state.mu);
+  uint64_t total = 0;
+  for (const auto& ring : state.rings) {
+    total += std::min<uint64_t>(ring->next.load(std::memory_order_acquire),
+                                kTraceRingCapacity);
+  }
+  return total;
+}
+
+uint64_t TraceDroppedCount() {
+  TraceState& state = State();
+  std::lock_guard<std::mutex> lock(state.mu);
+  uint64_t dropped = 0;
+  for (const auto& ring : state.rings) {
+    const uint64_t n = ring->next.load(std::memory_order_acquire);
+    if (n > kTraceRingCapacity) dropped += n - kTraceRingCapacity;
+  }
+  return dropped;
+}
+
+std::vector<ThreadTrace> SnapshotTrace() {
+  TraceState& state = State();
+  std::lock_guard<std::mutex> lock(state.mu);
+  const uint64_t epoch = state.epoch_ns.load(std::memory_order_relaxed);
+  std::vector<ThreadTrace> out;
+  for (const auto& ring : state.rings) {
+    const uint64_t n = ring->next.load(std::memory_order_acquire);
+    const uint64_t held = std::min<uint64_t>(n, kTraceRingCapacity);
+    if (held == 0) continue;
+    ThreadTrace thread_trace;
+    thread_trace.tid = ring->tid;
+    thread_trace.events.reserve(held);
+    for (uint64_t i = n - held; i < n; ++i) {
+      TraceEvent event = ring->events[i % kTraceRingCapacity];
+      // Spans from before the current arm epoch (stale ring tails are
+      // cleared on arm, but a span can straddle a re-arm) clamp to 0.
+      event.start_ns = event.start_ns > epoch ? event.start_ns - epoch : 0;
+      thread_trace.events.push_back(event);
+    }
+    std::sort(thread_trace.events.begin(), thread_trace.events.end(),
+              [](const TraceEvent& a, const TraceEvent& b) {
+                return a.start_ns < b.start_ns;
+              });
+    out.push_back(std::move(thread_trace));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const ThreadTrace& a, const ThreadTrace& b) {
+              return a.tid < b.tid;
+            });
+  return out;
+}
+
+std::string RenderChromeTrace() {
+  const std::vector<ThreadTrace> threads = SnapshotTrace();
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  char buf[256];
+  for (const ThreadTrace& thread_trace : threads) {
+    for (const TraceEvent& event : thread_trace.events) {
+      if (!first) out += ',';
+      first = false;
+      // Chrome's ts/dur are microseconds; keep ns precision as decimals.
+      std::snprintf(buf, sizeof(buf),
+                    "\n{\"name\":\"%s\",\"ph\":\"X\",\"ts\":%.3f,"
+                    "\"dur\":%.3f,\"pid\":1,\"tid\":%d",
+                    event.name, static_cast<double>(event.start_ns) / 1e3,
+                    static_cast<double>(event.dur_ns) / 1e3,
+                    thread_trace.tid);
+      out += buf;
+      if (event.has_arg) {
+        std::snprintf(buf, sizeof(buf), ",\"args\":{\"v\":%llu}",
+                      static_cast<unsigned long long>(event.arg));
+        out += buf;
+      }
+      out += '}';
+    }
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+Status WriteChromeTrace(const std::string& path) {
+  const std::string json = RenderChromeTrace();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::IOError("cannot open trace output '" + path + "'");
+  }
+  const size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  const bool close_ok = std::fclose(f) == 0;
+  if (written != json.size() || !close_ok) {
+    return Status::IOError("short write to trace output '" + path + "'");
+  }
+  return Status::OK();
+}
+
+}  // namespace obs
+}  // namespace fsim

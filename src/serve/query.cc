@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/trace.h"
+
 namespace fsim {
 
 namespace {
@@ -27,7 +29,24 @@ std::vector<std::pair<NodeId, double>> CachePrefixTopK(
   return {cached.begin(), cached.begin() + n};
 }
 
+constexpr char kLatencyHelp[] =
+    "End-to-end query latency by verb (snapshot acquire + answer)";
+
 }  // namespace
+
+QueryEngine::QueryEngine(const SnapshotStore* store, ThreadPool* pool)
+    : store_(store), pool_(pool) {
+  obs::Registry& registry = obs::Registry::Default();
+  const auto histogram = [&](const char* verb) {
+    return registry.GetHistogram(kLatencyFamily, kLatencyHelp,
+                                 obs::Histogram::Unit::kNanoseconds, "verb",
+                                 verb);
+  };
+  latency_pair_ = histogram("PAIR");
+  latency_topk_ = histogram("TOPK");
+  latency_thresh_ = histogram("THRESH");
+  latency_batch_ = histogram("BATCH");
+}
 
 QueryResult QueryEngine::Answer(const FSimSnapshot& snapshot,
                                 const Query& query,
@@ -78,6 +97,12 @@ QueryResult QueryEngine::Answer(const FSimSnapshot& snapshot,
 }
 
 Result<QueryResult> QueryEngine::Run(const Query& query) const {
+  obs::Histogram* latency =
+      query.kind == Query::Kind::kPair
+          ? latency_pair_
+          : (query.kind == Query::Kind::kTopK ? latency_topk_
+                                              : latency_thresh_);
+  obs::ScopedLatencyTimer timer(latency);
   SnapshotPtr snapshot = store_->Acquire();
   if (snapshot == nullptr) {
     return Status::NotFound("no snapshot published yet");
@@ -87,6 +112,10 @@ Result<QueryResult> QueryEngine::Run(const Query& query) const {
 
 Result<std::vector<QueryResult>> QueryEngine::RunBatch(
     std::span<const Query> queries, double budget_ms) const {
+  // One observation for the whole batch — per-query timing inside the
+  // fan-out lambda would put two clock reads around O(1) answers.
+  obs::ScopedLatencyTimer timer(latency_batch_);
+  FSIM_TRACE_SPAN_ARG("serve.batch", queries.size());
   SnapshotPtr snapshot = store_->Acquire();
   if (snapshot == nullptr) {
     return Status::NotFound("no snapshot published yet");

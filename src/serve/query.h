@@ -21,6 +21,7 @@
 #include "common/result.h"
 #include "common/thread_pool.h"
 #include "graph/graph.h"
+#include "obs/metrics.h"
 #include "serve/snapshot.h"
 
 namespace fsim {
@@ -64,8 +65,11 @@ class QueryEngine {
  public:
   using Clock = std::chrono::steady_clock;
 
-  explicit QueryEngine(const SnapshotStore* store, ThreadPool* pool = nullptr)
-      : store_(store), pool_(pool) {}
+  /// The per-verb serve latency histogram family (obs/metrics.h); label
+  /// values are the protocol verb names plus "BATCH" for whole batches.
+  static constexpr char kLatencyFamily[] = "fsim_serve_query_seconds";
+
+  explicit QueryEngine(const SnapshotStore* store, ThreadPool* pool = nullptr);
 
   /// Answers one query against the current snapshot. NotFound when no
   /// snapshot has been published yet. Honors query.budget_ms.
@@ -83,6 +87,11 @@ class QueryEngine {
   /// Below this batch size the pool dispatch costs more than the queries.
   static constexpr size_t kParallelBatchMin = 64;
 
+  /// The BATCH latency handle, shared with FSimService::HandleBatch so the
+  /// protocol's streaming batch path lands in the same histogram as
+  /// RunBatch.
+  obs::Histogram* batch_latency() const { return latency_batch_; }
+
   /// The per-query evaluation, usable directly by callers that manage
   /// snapshot lifetime themselves. Degrades expensive answers once
   /// `deadline` has passed (the default never does).
@@ -93,6 +102,12 @@ class QueryEngine {
  private:
   const SnapshotStore* store_;
   ThreadPool* pool_;
+  // Latency histogram handles, resolved once at construction (registry
+  // lookups are mutex-guarded; recording through the handles is not).
+  obs::Histogram* latency_pair_;
+  obs::Histogram* latency_topk_;
+  obs::Histogram* latency_thresh_;
+  obs::Histogram* latency_batch_;
 };
 
 }  // namespace fsim

@@ -6,8 +6,64 @@
 #include "common/failpoint.h"
 #include "common/hash.h"
 #include "common/timer.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace fsim {
+
+namespace {
+
+/// Registry handles resolved once (recording is lock-free; the lookup is
+/// not, and ApplyBatchLocked sits behind every refresh round).
+struct RefreshMetrics {
+  obs::Histogram* queue_wait;
+  obs::Histogram* apply_latency;
+  obs::Histogram* publish_latency;
+  obs::Histogram* persist_latency;
+  obs::Counter* edits_applied;
+  obs::Counter* edits_coalesced;
+  obs::Counter* edits_failed;
+  obs::Counter* edits_shed;
+
+  static const RefreshMetrics& Get() {
+    static const RefreshMetrics metrics = [] {
+      obs::Registry& registry = obs::Registry::Default();
+      constexpr char kEditsFamily[] = "fsim_refresh_edits_total";
+      constexpr char kEditsHelp[] =
+          "Edit dispositions across all refresh drivers";
+      RefreshMetrics m;
+      m.queue_wait = registry.GetHistogram(
+          "fsim_refresh_queue_wait_seconds",
+          "Submit-to-drain wait of queued edits (coalesced edits report "
+          "the oldest submission's wait)",
+          obs::Histogram::Unit::kNanoseconds);
+      m.apply_latency = registry.GetHistogram(
+          "fsim_refresh_apply_seconds",
+          "Incremental repair time per drained batch",
+          obs::Histogram::Unit::kNanoseconds);
+      m.publish_latency = registry.GetHistogram(
+          "fsim_refresh_publish_seconds",
+          "Snapshot copy + top-k cache build per publish",
+          obs::Histogram::Unit::kNanoseconds);
+      m.persist_latency = registry.GetHistogram(
+          "fsim_refresh_persist_seconds",
+          "Durable snapshot write per persist (excludes WAL rotation)",
+          obs::Histogram::Unit::kNanoseconds);
+      m.edits_applied =
+          registry.GetCounter(kEditsFamily, kEditsHelp, "result", "applied");
+      m.edits_coalesced =
+          registry.GetCounter(kEditsFamily, kEditsHelp, "result", "coalesced");
+      m.edits_failed =
+          registry.GetCounter(kEditsFamily, kEditsHelp, "result", "failed");
+      m.edits_shed =
+          registry.GetCounter(kEditsFamily, kEditsHelp, "result", "shed");
+      return m;
+    }();
+    return metrics;
+  }
+};
+
+}  // namespace
 
 Status EditQueue::Admit(const EditOp& op) {
   std::lock_guard<std::mutex> lock(mu_);
@@ -113,9 +169,30 @@ RefreshDriver::RefreshDriver(Graph g1, Graph g2, FSimConfig config,
       store_(store),
       queue_(policy.queue_capacity) {
   FSIM_CHECK(store_ != nullptr);
+  // Callback gauges owned by this driver instance: the newest-constructed
+  // driver wins the process-wide gauge (re-register replaces), and the
+  // owner token keeps a dying instance from tearing down its successor's.
+  obs::Registry& registry = obs::Registry::Default();
+  registry.RegisterCallbackGauge(
+      "fsim_refresh_queue_depth", "Edits queued awaiting the next drain",
+      this, [this] { return static_cast<double>(queue_.size()); });
+  registry.RegisterCallbackGauge(
+      "fsim_publish_age_seconds",
+      "Age of the published snapshot (0 before the first publish)", this,
+      [this] {
+        const uint64_t t = last_publish_ns_.load(std::memory_order_relaxed);
+        if (t == 0) return 0.0;
+        return static_cast<double>(obs::MonotonicNanos() - t) * 1e-9;
+      });
 }
 
-RefreshDriver::~RefreshDriver() { (void)Stop(); }
+RefreshDriver::~RefreshDriver() {
+  (void)Stop();
+  obs::Registry& registry = obs::Registry::Default();
+  registry.UnregisterCallbackGauge("fsim_refresh_queue_depth", this);
+  registry.UnregisterCallbackGauge("fsim_publish_age_seconds", this);
+  registry.UnregisterCallbackGauge("fsim_wal_pending", this);
+}
 
 Status RefreshDriver::EnableDurability(DurabilityOptions options,
                                        RecoveredState recovered) {
@@ -141,6 +218,13 @@ Status RefreshDriver::EnableDurability(DurabilityOptions options,
   }
   FSIM_ASSIGN_OR_RETURN(wal_,
                         WalWriter::Open(durability_.dir, recovered.next_lsn));
+  // Registered only once wal_ exists; wal_ is never reassigned afterwards,
+  // so the callback's unlocked read is safe (the registry mutex orders the
+  // registration against any concurrent render).
+  obs::Registry::Default().RegisterCallbackGauge(
+      "fsim_wal_pending",
+      "WAL records written but not yet fsync'd (group-commit window)", this,
+      [this] { return static_cast<double>(wal_->pending()); });
   return Status::OK();
 }
 
@@ -209,9 +293,11 @@ Status RefreshDriver::Submit(const EditOp& op) {
   Status admitted = queue_.Admit(op);
   if (!admitted.ok()) {
     shed_.fetch_add(1);
+    RefreshMetrics::Get().edits_shed->Inc();
     return admitted;
   }
   EditOp stamped = op;
+  stamped.submit_ns = obs::MonotonicNanos();
   if (wal_ != nullptr) {
     EditRecord rec;
     rec.graph_index = static_cast<uint8_t>(op.graph_index);
@@ -230,12 +316,16 @@ Status RefreshDriver::Submit(const EditOp& op) {
     // Coalesced onto a queued same-edge op: its net effect still applies
     // with the batch, but it never reaches the engine as its own edit.
     queue_coalesced_.fetch_add(1);
+    RefreshMetrics::Get().edits_coalesced->Inc();
   }
   submitted_.fetch_add(1);
   return Status::OK();
 }
 
 size_t RefreshDriver::ApplyBatchLocked(const std::vector<EditOp>& batch) {
+  const RefreshMetrics& metrics = RefreshMetrics::Get();
+  FSIM_TRACE_SPAN_ARG("refresh.apply", batch.size());
+  const uint64_t drain_ns = obs::MonotonicNanos();
   // Coalesce the burst to one net op per (graph, from, to): later
   // submissions win, order of first appearance is kept (distinct-edge edits
   // commute at the graph level, so this preserves the batch's net effect).
@@ -247,9 +337,15 @@ size_t RefreshDriver::ApplyBatchLocked(const std::vector<EditOp>& batch) {
     // Every acknowledged LSN in the batch counts as applied once the batch
     // lands, coalesced or not — the engine reflects its net effect.
     if (op.lsn > max_lsn) max_lsn = op.lsn;
+    // Replayed/synthetic ops carry no submit stamp and skip the wait
+    // histogram.
+    if (op.submit_ns != 0 && drain_ns > op.submit_ns) {
+      metrics.queue_wait->Record(drain_ns - op.submit_ns);
+    }
     if (op.graph_index != 1 && op.graph_index != 2) {
       ++invalid;
       ++stats_.edits_failed;
+      metrics.edits_failed->Inc();
       continue;
     }
     auto [it, inserted] = last_op[op.graph_index == 2].try_emplace(
@@ -260,10 +356,13 @@ size_t RefreshDriver::ApplyBatchLocked(const std::vector<EditOp>& batch) {
       batch_scratch_[it->second].insert = op.insert;
     }
   }
-  stats_.edits_coalesced += batch.size() - invalid - batch_scratch_.size();
+  const size_t batch_coalesced = batch.size() - invalid - batch_scratch_.size();
+  stats_.edits_coalesced += batch_coalesced;
+  metrics.edits_coalesced->Inc(batch_coalesced);
 
   size_t applied = 0;
   Timer apply_timer;
+  const uint64_t apply_start_ns = obs::MonotonicNanos();
   for (const EditOp& op : batch_scratch_) {
     const DynamicGraph& target = op.graph_index == 2 ? inc_->g2() : inc_->g1();
     const bool present = op.from < target.NumNodes() &&
@@ -271,6 +370,7 @@ size_t RefreshDriver::ApplyBatchLocked(const std::vector<EditOp>& batch) {
                          target.HasEdge(op.from, op.to);
     if (op.insert == present) {  // net no-op against the current graph
       ++stats_.edits_coalesced;
+      metrics.edits_coalesced->Inc();
       continue;
     }
     const Status status =
@@ -280,8 +380,11 @@ size_t RefreshDriver::ApplyBatchLocked(const std::vector<EditOp>& batch) {
       ++applied;
     } else {
       ++stats_.edits_failed;
+      metrics.edits_failed->Inc();
     }
   }
+  metrics.apply_latency->Record(obs::MonotonicNanos() - apply_start_ns);
+  metrics.edits_applied->Inc(applied);
   stats_.total_apply_seconds += apply_timer.Seconds();
   stats_.edits_applied += applied;
   edits_since_publish_ += applied;
@@ -292,6 +395,8 @@ size_t RefreshDriver::ApplyBatchLocked(const std::vector<EditOp>& batch) {
 
 void RefreshDriver::PublishLocked() {
   FSIM_FAILPOINT_VOID("serve.publish");
+  FSIM_TRACE_SPAN("refresh.publish");
+  const uint64_t publish_start_ns = obs::MonotonicNanos();
   Timer timer;
   SnapshotMeta meta;
   meta.version = store_->NextVersion();
@@ -306,9 +411,14 @@ void RefreshDriver::PublishLocked() {
   ++stats_.publishes;
   edits_since_publish_ = 0;
   last_publish_time_ = std::chrono::steady_clock::now();
+  const uint64_t now_ns = obs::MonotonicNanos();
+  RefreshMetrics::Get().publish_latency->Record(now_ns - publish_start_ns);
+  last_publish_ns_.store(now_ns, std::memory_order_relaxed);
 }
 
 Status RefreshDriver::PersistSnapshotLocked() {
+  FSIM_TRACE_SPAN("refresh.persist");
+  const uint64_t persist_start_ns = obs::MonotonicNanos();
   Timer timer;
   const FSimScores scores = inc_->Snapshot();
   const Graph g1 = inc_->MaterializeG1();
@@ -317,6 +427,8 @@ Status RefreshDriver::PersistSnapshotLocked() {
       PersistSnapshot(durability_.dir, applied_lsn_, g1, g2, scores));
   ++stats_.snapshot_persists;
   stats_.total_persist_seconds += timer.Seconds();
+  RefreshMetrics::Get().persist_latency->Record(obs::MonotonicNanos() -
+                                                persist_start_ns);
   persisted_lsn_ = applied_lsn_;
   edits_since_snapshot_ = 0;
   // Retention: rotate so the closed segment becomes coverable, keep the
@@ -514,6 +626,12 @@ RefreshDriver::Stats RefreshDriver::stats() const {
   stats.applied_lsn = applied_lsn_;
   stats.persisted_lsn = persisted_lsn_;
   stats.durable_lsn = wal_ != nullptr ? wal_->durable_lsn() : 0;
+  stats.wal_pending = wal_ != nullptr ? wal_->pending() : 0;
+  const uint64_t publish_ns = last_publish_ns_.load(std::memory_order_relaxed);
+  stats.publish_age_seconds =
+      publish_ns != 0
+          ? static_cast<double>(obs::MonotonicNanos() - publish_ns) * 1e-9
+          : 0.0;
   stats.edits_behind = edits_since_publish_;
   stats.seconds_behind =
       inc_ != nullptr

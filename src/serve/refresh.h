@@ -59,6 +59,9 @@ struct EditOp {
   bool insert = true;  // false: remove
   /// WAL sequence number once durably logged (0 when durability is off).
   uint64_t lsn = 0;
+  /// obs::MonotonicNanos() at Submit entry (0 for replayed/synthetic ops)
+  /// — feeds the queue-wait histogram when the edit is drained for apply.
+  uint64_t submit_ns = 0;
 };
 
 /// MPSC edit queue with optional bounding: producers admit/commit, the
@@ -190,6 +193,13 @@ class RefreshDriver {
     /// since the last publish, and its age in seconds.
     uint64_t edits_behind = 0;
     double seconds_behind = 0.0;
+    /// WAL records written but not yet fsync'd (the group-commit window;
+    /// 0 with durability off or a quiescent log).
+    uint64_t wal_pending = 0;
+    /// Age of the published snapshot in seconds (0 before the first
+    /// publish). Unlike seconds_behind this is lock-free to read and is
+    /// also exported as the fsim_publish_age_seconds gauge.
+    double publish_age_seconds = 0.0;
     double last_publish_seconds = 0.0;  // snapshot build cost
     double total_apply_seconds = 0.0;   // incremental repair time
     double total_persist_seconds = 0.0; // durable snapshot write time
@@ -334,6 +344,10 @@ class RefreshDriver {
 
   std::thread thread_;
   std::atomic<bool> stop_{false};            // ordering: relaxed shutdown flag
+  // obs::MonotonicNanos() of the last publish (0 before the first). Kept
+  // outside apply_mu_ so the publish-age callback gauge and stats() can
+  // read it without contending with a running solve.
+  std::atomic<uint64_t> last_publish_ns_{0};  // ordering: relaxed telemetry
   std::atomic<uint64_t> submitted_{0};       // ordering: relaxed telemetry
   std::atomic<uint64_t> shed_{0};            // ordering: relaxed telemetry
   std::atomic<uint64_t> queue_coalesced_{0}; // ordering: relaxed telemetry

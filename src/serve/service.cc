@@ -1,5 +1,6 @@
 #include "serve/service.h"
 
+#include <algorithm>
 #include <cerrno>
 #include <cstdlib>
 #include <istream>
@@ -8,6 +9,7 @@
 
 #include "common/string_util.h"
 #include "core/scores_io.h"
+#include "obs/metrics.h"
 
 namespace fsim {
 
@@ -311,13 +313,22 @@ bool FSimService::HandleLine(std::string_view line, std::istream& in,
     return true;
   }
   if (verb == "STATS") {
+    // `STATS` stays one deterministic line (golden-transcript pinned);
+    // `STATS FULL` appends timing-dependent histogram quantile lines,
+    // terminated by END.
+    const bool full = tokens.size() == 2 && tokens[1] == "FULL";
+    if (tokens.size() > 1 && !full) {
+      out << "ERR usage: STATS [FULL]\n";
+      return true;
+    }
     const SnapshotPtr snapshot = store_.Acquire();
     const RefreshDriver::Stats stats = driver_->stats();
     out << StrFormat(
         "STATS version=%llu pairs=%zu pending=%zu capacity=%zu "
         "applied=%llu coalesced=%llu failed=%llu shed=%llu replayed=%llu "
         "publishes=%llu persists=%llu wal_durable=%llu wal_applied=%llu "
-        "stale_edits=%llu stale_s=%llu ready=%s converged=%s warm=%s\n",
+        "wal_pending=%llu stale_edits=%llu stale_s=%llu publish_age_s=%llu "
+        "ready=%s converged=%s warm=%s\n",
         static_cast<unsigned long long>(store_.version()),
         snapshot ? snapshot->scores().NumPairs() : 0,
         driver_->pending_edits(), driver_->policy().queue_capacity,
@@ -330,12 +341,51 @@ bool FSimService::HandleLine(std::string_view line, std::istream& in,
         static_cast<unsigned long long>(stats.snapshot_persists),
         static_cast<unsigned long long>(stats.durable_lsn),
         static_cast<unsigned long long>(stats.applied_lsn),
+        static_cast<unsigned long long>(stats.wal_pending),
         static_cast<unsigned long long>(stats.edits_behind),
         static_cast<unsigned long long>(
             stats.seconds_behind < 0.0 ? 0.0 : stats.seconds_behind),
+        static_cast<unsigned long long>(stats.publish_age_seconds < 0.0
+                                            ? 0.0
+                                            : stats.publish_age_seconds),
         driver_->ready() ? "yes" : "no",
         snapshot && snapshot->meta().converged ? "yes" : "no",
         snapshot && snapshot->meta().warm_start ? "yes" : "no");
+    if (full) {
+      for (const obs::HistogramEntry& entry :
+           obs::Registry::Default().HistogramEntries()) {
+        const obs::HistogramSnapshot& s = entry.snapshot;
+        if (s.count == 0) continue;
+        // Nanosecond histograms quote microseconds (readable at serve
+        // latencies); count histograms quote raw values.
+        const bool ns = entry.unit == obs::Histogram::Unit::kNanoseconds;
+        const double scale = ns ? 1e-3 : 1.0;
+        const char* suffix = ns ? "_us" : "";
+        const std::string label =
+            entry.key.label_key.empty()
+                ? std::string()
+                : StrFormat("{%s=\"%s\"}", entry.key.label_key.c_str(),
+                            entry.key.label_value.c_str());
+        out << StrFormat(
+            "HIST %s%s count=%llu p50%s=%.3f p90%s=%.3f p99%s=%.3f "
+            "max%s=%.3f\n",
+            entry.key.family.c_str(), label.c_str(),
+            static_cast<unsigned long long>(s.count), suffix,
+            s.Quantile(0.5) * scale, suffix, s.Quantile(0.9) * scale, suffix,
+            s.Quantile(0.99) * scale, suffix,
+            static_cast<double>(s.max) * scale);
+      }
+      out << "END\n";
+    }
+    return true;
+  }
+  if (verb == "METRICS") {
+    // Count-prefixed framing so line-oriented clients know where the
+    // exposition payload ends without sentinel parsing.
+    const std::string payload = obs::Registry::Default().RenderPrometheus();
+    const size_t nlines = static_cast<size_t>(
+        std::count(payload.begin(), payload.end(), '\n'));
+    out << StrFormat("METRICS %zu\n", nlines) << payload;
     return true;
   }
   out << StrFormat("ERR unknown request '%.*s'\n",
@@ -345,6 +395,9 @@ bool FSimService::HandleLine(std::string_view line, std::istream& in,
 
 void FSimService::HandleBatch(size_t n, double budget_ms, std::istream& in,
                               std::ostream& out) {
+  // Same histogram as QueryEngine::RunBatch; covers parse + answer + write
+  // (the full protocol-visible latency).
+  obs::ScopedLatencyTimer timer(queries_.batch_latency());
   // Consume all n lines before answering, so a malformed entry cannot
   // desynchronize the stream. The same line cap and NUL rejection as the
   // outer loop apply per entry, as in-band per-entry errors.

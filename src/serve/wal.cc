@@ -15,6 +15,7 @@
 #include "common/failpoint.h"
 #include "common/hash.h"
 #include "common/string_util.h"
+#include "obs/metrics.h"
 
 namespace fsim {
 
@@ -191,8 +192,50 @@ WalWriter::~WalWriter() {
   }
 }
 
+namespace {
+
+// WAL instrumentation handles, resolved once (obs/metrics.h). "leader"
+// group commits performed the fsync; "rider" commits were covered by a
+// concurrent leader's sync and skipped their own.
+struct WalMetrics {
+  obs::Histogram* append_latency;
+  obs::Histogram* fsync_latency;
+  obs::Counter* commits_leader;
+  obs::Counter* commits_rider;
+
+  static const WalMetrics& Get() {
+    static const WalMetrics metrics = [] {
+      obs::Registry& registry = obs::Registry::Default();
+      WalMetrics m;
+      m.append_latency = registry.GetHistogram(
+          "fsim_wal_append_seconds",
+          "AppendDurable latency: write + group-commit wait, per record",
+          obs::Histogram::Unit::kNanoseconds);
+      m.fsync_latency = registry.GetHistogram(
+          "fsim_wal_fsync_seconds", "WAL segment fsync latency",
+          obs::Histogram::Unit::kNanoseconds);
+      m.commits_leader = registry.GetCounter(
+          "fsim_wal_group_commits_total",
+          "Group-commit outcomes: leader performed the fsync, rider was "
+          "covered by a concurrent leader",
+          "role", "leader");
+      m.commits_rider = registry.GetCounter(
+          "fsim_wal_group_commits_total",
+          "Group-commit outcomes: leader performed the fsync, rider was "
+          "covered by a concurrent leader",
+          "role", "rider");
+      return m;
+    }();
+    return metrics;
+  }
+};
+
+}  // namespace
+
 Result<uint64_t> WalWriter::AppendDurable(EditRecord rec) {
   FSIM_FAILPOINT("serve.wal.append");
+  const WalMetrics& metrics = WalMetrics::Get();
+  obs::ScopedLatencyTimer append_timer(metrics.append_latency);
   uint64_t lsn;
   {
     std::lock_guard<std::mutex> lock(write_mu_);
@@ -210,6 +253,7 @@ Result<uint64_t> WalWriter::AppendDurable(EditRecord rec) {
       // Read before the fsync: only writes already issued are covered.
       const uint64_t cover = written_lsn_.load(std::memory_order_acquire);
       FSIM_FAILPOINT("serve.wal.sync");
+      const uint64_t sync_start_ns = obs::MonotonicNanos();
       // durability: this fsync is the acknowledgement barrier — Submit must
       // not report an edit accepted until its record is on stable storage.
       if (::fsync(fd_) != 0) {
@@ -217,8 +261,14 @@ Result<uint64_t> WalWriter::AppendDurable(EditRecord rec) {
                                          path_.c_str(),
                                          std::strerror(errno)));
       }
+      metrics.fsync_latency->Record(obs::MonotonicNanos() - sync_start_ns);
+      metrics.commits_leader->Inc();
       durable_lsn_.store(cover, std::memory_order_release);
+    } else {
+      metrics.commits_rider->Inc();
     }
+  } else {
+    metrics.commits_rider->Inc();
   }
   return lsn;
 }

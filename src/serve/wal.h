@@ -83,6 +83,13 @@ class WalWriter {
   uint64_t durable_lsn() const {
     return durable_lsn_.load(std::memory_order_acquire);
   }
+  /// Records written to the segment but not yet covered by an fsync (the
+  /// group-commit window). 0 whenever the log is quiescent.
+  uint64_t pending() const {
+    const uint64_t written = written_lsn_.load(std::memory_order_acquire);
+    const uint64_t durable = durable_lsn_.load(std::memory_order_acquire);
+    return written > durable ? written - durable : 0;
+  }
   const std::string& dir() const { return dir_; }
 
  private:

@@ -417,10 +417,78 @@ TEST(ServeLoopTest, GoldenTranscript) {
       "ERR embedded NUL byte in request\n"
       "STATS version=2 pairs=25 pending=0 capacity=0 applied=1 coalesced=0 "
       "failed=0 shed=0 replayed=0 publishes=2 persists=0 wal_durable=0 "
-      "wal_applied=0 stale_edits=0 stale_s=0 ready=yes converged=yes "
-      "warm=no\n"
+      "wal_applied=0 wal_pending=0 stale_edits=0 stale_s=0 publish_age_s=0 "
+      "ready=yes converged=yes warm=no\n"
       "BYE\n";
   EXPECT_EQ(out.str(), kExpected);
+}
+
+// METRICS and STATS FULL carry timing-dependent histogram values, so this
+// validates structure instead of pinning a transcript: the count-prefixed
+// METRICS framing, required Prometheus families, and the HIST...END block.
+TEST(ServeLoopTest, MetricsAndStatsFull) {
+  const Graph g = MakeServeGraph();
+  ServeOptions options;
+  options.background_refresh = false;
+  auto service = FSimService::Create(g, g, ServeConfig(), options);
+  ASSERT_TRUE(service.ok()) << service.status().ToString();
+
+  std::istringstream in(
+      "PAIR 0 1\n"
+      "TOPK 0 3\n"
+      "THRESH 0 0.45\n"
+      "STATS FULL\n"
+      "METRICS\n"
+      "STATS EXTRA\n"
+      "QUIT\n");
+  std::ostringstream out;
+  ASSERT_TRUE((*service)->ServeLoop(in, out).ok());
+  const std::string reply = out.str();
+
+  // STATS FULL: the deterministic STATS line (with the new wal_pending and
+  // publish_age_s keys), HIST quantile lines — the three queries above
+  // guarantee non-empty per-verb histograms — then END. Counts are not
+  // pinned: the registry is process-wide across tests in this binary.
+  EXPECT_NE(reply.find("STATS version="), std::string::npos);
+  EXPECT_NE(reply.find(" wal_pending=0 "), std::string::npos);
+  EXPECT_NE(reply.find(" publish_age_s="), std::string::npos);
+  EXPECT_NE(
+      reply.find("HIST fsim_serve_query_seconds{verb=\"PAIR\"} count="),
+      std::string::npos);
+  EXPECT_NE(reply.find("p99_us="), std::string::npos);
+  EXPECT_NE(reply.find("\nEND\n"), std::string::npos);
+  // Malformed STATS argument is rejected in-band.
+  EXPECT_NE(reply.find("ERR usage: STATS [FULL]\n"), std::string::npos);
+
+  // METRICS framing: the advertised line count delimits the payload
+  // exactly — the line after it is the STATS EXTRA error.
+  const size_t header = reply.find("\nMETRICS ");
+  ASSERT_NE(header, std::string::npos);
+  std::istringstream lines(reply.substr(header + 1));
+  std::string line;
+  ASSERT_TRUE(std::getline(lines, line));
+  const size_t advertised = std::stoul(line.substr(sizeof("METRICS ") - 1));
+  ASSERT_GT(advertised, 0u);
+  std::vector<std::string> payload;
+  for (size_t i = 0; i < advertised; ++i) {
+    ASSERT_TRUE(std::getline(lines, line)) << "payload shorter than header";
+    payload.push_back(line);
+  }
+  ASSERT_TRUE(std::getline(lines, line));
+  EXPECT_EQ(line, "ERR usage: STATS [FULL]");
+
+  const auto contains = [&payload](std::string_view needle) {
+    for (const std::string& l : payload) {
+      if (l.find(needle) != std::string::npos) return true;
+    }
+    return false;
+  };
+  EXPECT_TRUE(contains("# TYPE fsim_serve_query_seconds histogram"));
+  EXPECT_TRUE(
+      contains("fsim_serve_query_seconds_bucket{verb=\"PAIR\",le=\"+Inf\"}"));
+  EXPECT_TRUE(contains("fsim_serve_query_seconds_count{verb=\"TOPK\"}"));
+  EXPECT_TRUE(contains("# TYPE fsim_refresh_queue_depth gauge"));
+  EXPECT_TRUE(contains("# TYPE fsim_publish_age_seconds gauge"));
 }
 
 TEST(ServeLoopTest, WarmStartServesBeforeRefreshReady) {

@@ -99,6 +99,64 @@ def test_parallel_hot_outside_hot_dirs_ignored():
         assert proc.returncode == 0, proc.stdout + proc.stderr
 
 
+def test_metrics_hot_lookup_in_lambda_fails():
+    with tempfile.TemporaryDirectory(dir=REPO_ROOT / "src" / "serve") as d:
+        path = write(Path(d), "metrics_hot.cc", (
+            '#include "serve/metrics_hot.h"\n'
+            "void F(ThreadPool& pool) {\n"
+            "  pool.ParallelFor(100, [&](size_t i) {\n"
+            "    obs::Registry::Default()\n"
+            '        .GetCounter("fsim_work_total")->Inc();\n'
+            "    Work(i);\n"
+            "  });\n"
+            "}\n"))
+        proc = run_lint(str(path))
+        assert proc.returncode == 1, proc.stdout + proc.stderr
+        assert "metrics-hot" in proc.stdout
+
+
+def test_metrics_hot_preresolved_handle_passes():
+    with tempfile.TemporaryDirectory(dir=REPO_ROOT / "src" / "serve") as d:
+        path = write(Path(d), "metrics_ok.cc", (
+            '#include "serve/metrics_ok.h"\n'
+            "void F(ThreadPool& pool) {\n"
+            "  obs::Counter* work =\n"
+            '      obs::Registry::Default().GetCounter("fsim_work_total");\n'
+            "  pool.ParallelFor(100, [&](size_t i) {\n"
+            "    work->Inc();\n"
+            "    Work(i);\n"
+            "  });\n"
+            "}\n"))
+        proc = run_lint(str(path))
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+
+
+def test_metrics_hot_allow_escape_suppresses():
+    with tempfile.TemporaryDirectory(dir=REPO_ROOT / "src" / "serve") as d:
+        path = write(Path(d), "metrics_allowed.cc", (
+            '#include "serve/metrics_allowed.h"\n'
+            "void F(ThreadPool& pool) {\n"
+            "  pool.ParallelFor(100, [&](size_t i) {\n"
+            "    // fsim-lint: allow(metrics-hot)\n"
+            '    obs::Registry::Default().GetGauge("fsim_depth")->Set(1.0);\n'
+            "  });\n"
+            "}\n"))
+        proc = run_lint(str(path))
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+
+
+def test_metrics_hot_ignored_outside_src():
+    with tempfile.TemporaryDirectory(dir=REPO_ROOT / "bench") as d:
+        path = write(Path(d), "metrics_bench.cc", (
+            "void F(ThreadPool& pool) {\n"
+            "  pool.ParallelFor(100, [&](size_t i) {\n"
+            '    obs::Registry::Default().GetCounter("fsim_x")->Inc();\n'
+            "  });\n"
+            "}\n"))
+        proc = run_lint(str(path))
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+
+
 def test_banned_rand_fails():
     with tempfile.TemporaryDirectory(dir=REPO_ROOT / "src") as d:
         path = write(Path(d), "r.cc", (
