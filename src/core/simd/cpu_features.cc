@@ -1,0 +1,30 @@
+#include "core/simd/cpu_features.h"
+
+namespace fsim {
+namespace simd {
+
+namespace {
+
+FsimCpuFeatures Probe() {
+  FsimCpuFeatures f;
+#if (defined(__x86_64__) || defined(__i386__)) && defined(__GNUC__)
+  __builtin_cpu_init();
+  f.avx2 = __builtin_cpu_supports("avx2");
+  f.fma = __builtin_cpu_supports("fma");
+  f.avx512f = __builtin_cpu_supports("avx512f");
+  f.avx512bw = __builtin_cpu_supports("avx512bw");
+  f.avx512dq = __builtin_cpu_supports("avx512dq");
+  f.avx512vl = __builtin_cpu_supports("avx512vl");
+#endif
+  return f;
+}
+
+}  // namespace
+
+const FsimCpuFeatures& HostCpuFeatures() {
+  static const FsimCpuFeatures features = Probe();
+  return features;
+}
+
+}  // namespace simd
+}  // namespace fsim

@@ -1,0 +1,39 @@
+// Runtime CPU-feature detection for the vectorized kernel dispatch
+// (core/simd/dispatch.h). Queried once per process; the kernel table is
+// selected from these bits so a binary carrying AVX2/AVX-512 code paths
+// (compiled per-file with -mavx2/-mavx512f, see CMakeLists.txt) never
+// executes them on a host without the instructions.
+#ifndef FSIM_CORE_SIMD_CPU_FEATURES_H_
+#define FSIM_CORE_SIMD_CPU_FEATURES_H_
+
+namespace fsim {
+namespace simd {
+
+/// The x86 vector-extension bits the kernel layer cares about. All false on
+/// non-x86 builds (the scalar kernels are the only selectable level there).
+struct FsimCpuFeatures {
+  bool avx2 = false;
+  bool fma = false;
+  bool avx512f = false;
+  bool avx512bw = false;
+  bool avx512dq = false;
+  bool avx512vl = false;
+
+  /// The AVX2 kernels use VPGATHERDD-family gathers plus FMA-capable
+  /// hardware (every AVX2 CPU ships FMA; gated anyway for correctness).
+  bool Avx2Usable() const { return avx2 && fma; }
+  /// The AVX-512 kernels use F (512-bit doubles, masked gathers), BW/DQ
+  /// (byte mask moves, double comparisons into mask registers) and VL
+  /// (256-bit index loads under EVEX).
+  bool Avx512Usable() const {
+    return avx512f && avx512bw && avx512dq && avx512vl;
+  }
+};
+
+/// Host capabilities, probed once (thread-safe static init).
+const FsimCpuFeatures& HostCpuFeatures();
+
+}  // namespace simd
+}  // namespace fsim
+
+#endif  // FSIM_CORE_SIMD_CPU_FEATURES_H_

@@ -1,0 +1,113 @@
+#include "core/simd/dispatch.h"
+
+#include <cstdlib>
+
+#include "core/simd/cpu_features.h"
+#include "obs/metrics.h"
+
+namespace fsim {
+namespace simd {
+
+namespace {
+
+#ifndef FSIM_SIMD_FORCE_SCALAR
+
+/// Best level that is compiled into this binary AND usable on this host,
+/// capped at `ceiling`. The scalar kernels are always available.
+SimdLevel BestAvailable(SimdLevel ceiling) {
+  const FsimCpuFeatures& host = HostCpuFeatures();
+  if (ceiling >= SimdLevel::kAvx512 && Avx512Kernels() != nullptr &&
+      host.Avx512Usable()) {
+    return SimdLevel::kAvx512;
+  }
+  if (ceiling >= SimdLevel::kAvx2 && Avx2Kernels() != nullptr &&
+      host.Avx2Usable()) {
+    return SimdLevel::kAvx2;
+  }
+  return SimdLevel::kScalar;
+}
+
+SimdLevel CeilingFor(SimdMode mode) {
+  switch (mode) {
+    case SimdMode::kOff:
+      return SimdLevel::kScalar;
+    case SimdMode::kAvx2:
+      return SimdLevel::kAvx2;
+    case SimdMode::kAvx512:
+    case SimdMode::kAuto:
+      return SimdLevel::kAvx512;
+  }
+  return SimdLevel::kScalar;
+}
+
+#endif  // FSIM_SIMD_FORCE_SCALAR
+
+void PublishLevel(SimdLevel level) {
+  static obs::Gauge* gauge = obs::Registry::Default().GetGauge(
+      "fsim_simd_level",
+      "Resolved vectorized kernel level (0=scalar, 1=avx2, 2=avx512)");
+  gauge->Set(static_cast<double>(static_cast<uint8_t>(level)));
+}
+
+}  // namespace
+
+const char* SimdLevelName(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::kScalar:
+      return "off";
+    case SimdLevel::kAvx2:
+      return "avx2";
+    case SimdLevel::kAvx512:
+      return "avx512";
+  }
+  return "off";
+}
+
+bool ParseSimdMode(std::string_view text, SimdMode* out) {
+  if (text == "off" || text == "scalar") {
+    *out = SimdMode::kOff;
+  } else if (text == "avx2") {
+    *out = SimdMode::kAvx2;
+  } else if (text == "avx512") {
+    *out = SimdMode::kAvx512;
+  } else if (text == "auto") {
+    *out = SimdMode::kAuto;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+SimdLevel ResolveSimdLevel(SimdMode config_mode) {
+#ifdef FSIM_SIMD_FORCE_SCALAR
+  (void)config_mode;
+  PublishLevel(SimdLevel::kScalar);
+  return SimdLevel::kScalar;
+#else
+  SimdMode mode = config_mode;
+  if (const char* env = std::getenv("FSIM_SIMD")) {
+    SimdMode env_mode;
+    if (ParseSimdMode(env, &env_mode)) mode = env_mode;
+  }
+  const SimdLevel level = BestAvailable(CeilingFor(mode));
+  PublishLevel(level);
+  return level;
+#endif
+}
+
+const SimdKernels& KernelsFor(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::kAvx512:
+      if (const SimdKernels* k = Avx512Kernels()) return *k;
+      break;
+    case SimdLevel::kAvx2:
+      if (const SimdKernels* k = Avx2Kernels()) return *k;
+      break;
+    case SimdLevel::kScalar:
+      break;
+  }
+  return ScalarKernels();
+}
+
+}  // namespace simd
+}  // namespace fsim

@@ -1,0 +1,142 @@
+// Scalar realization of the kernel table (core/simd/kernels.h): the
+// portable reference every vector level is differentially tested against,
+// and the only level on non-x86 builds. Plain loops, written to the exact
+// operation sequence the contract pins (multiply-then-add combine, maxima
+// as compare-and-replace) so the vector paths have a bit-exact oracle.
+#include <cmath>
+
+#include "core/simd/kernels.h"
+
+namespace fsim {
+namespace simd {
+
+namespace {
+
+constexpr uint32_t kNoEntry = ~0u;
+
+template <bool kColmax>
+void TileRowPassImpl(const PanelWorkItem* items, size_t n_items,
+                     const int32_t* ids, const double* prev_row, double* acc,
+                     double* colmax) {
+  uint32_t cur = kNoEntry;
+  double best = 0.0;
+  for (size_t k = 0; k < n_items; ++k) {
+    const PanelWorkItem it = items[k];
+    if (it.entry != cur) {
+      if (cur != kNoEntry && best > 0.0) acc[cur] += best;
+      cur = it.entry;
+      best = 0.0;
+    }
+    for (uint32_t i = 0; i < 4; ++i) {
+      if ((it.mask >> i) & 1u) {
+        const double v = prev_row[ids[it.slot + i]];
+        if (v > best) best = v;
+        if constexpr (kColmax) {
+          if (v > colmax[it.slot + i]) colmax[it.slot + i] = v;
+        }
+      }
+    }
+  }
+  if (cur != kNoEntry && best > 0.0) acc[cur] += best;
+}
+
+void TileRowPass(const PanelWorkItem* items, size_t n_items,
+                 const int32_t* ids, const double* prev_row, double* acc) {
+  TileRowPassImpl<false>(items, n_items, ids, prev_row, acc, nullptr);
+}
+
+void TileRowPassColmax(const PanelWorkItem* items, size_t n_items,
+                       const int32_t* ids, const double* prev_row,
+                       double* acc, double* colmax) {
+  TileRowPassImpl<true>(items, n_items, ids, prev_row, acc, colmax);
+}
+
+void NormalizeTile(const double* sums, const uint32_t* sizes, size_t n,
+                   uint32_t omega_kind, double m1, double* out) {
+  switch (omega_kind) {
+    case 0:  // OmegaKind::kSizeS1
+      for (size_t t = 0; t < n; ++t) out[t] = sums[t] / m1;
+      break;
+    case 1:  // OmegaKind::kSumSizes
+      for (size_t t = 0; t < n; ++t) {
+        out[t] = sums[t] / (m1 + static_cast<double>(sizes[t]));
+      }
+      break;
+    case 2:  // OmegaKind::kGeoMean
+      for (size_t t = 0; t < n; ++t) {
+        out[t] = sums[t] / std::sqrt(m1 * static_cast<double>(sizes[t]));
+      }
+      break;
+    case 3:  // OmegaKind::kMaxSize
+      for (size_t t = 0; t < n; ++t) {
+        const double n2 = static_cast<double>(sizes[t]);
+        out[t] = sums[t] / (n2 > m1 ? n2 : m1);
+      }
+      break;
+    default:  // OmegaKind::kProduct
+      for (size_t t = 0; t < n; ++t) {
+        out[t] = sums[t] / (m1 * static_cast<double>(sizes[t]));
+      }
+      break;
+  }
+}
+
+void CombineRow(const double* out_scores, const double* in_scores, double wo,
+                double wi, const double* term_base, const int32_t* labels2,
+                const double* prev_row, double* curr_row, size_t n,
+                double* max_delta) {
+  double delta = *max_delta;
+  for (size_t i = 0; i < n; ++i) {
+    const double o = out_scores ? wo * out_scores[i] : 0.0;
+    const double in = in_scores ? wi * in_scores[i] : 0.0;
+    const double term = term_base ? term_base[labels2[i]] : 0.0;
+    const double value = (o + in) + term;
+    curr_row[i] = value;
+    const double d = std::abs(value - prev_row[i]);
+    if (d > delta) delta = d;
+  }
+  *max_delta = delta;
+}
+
+void Fill(double* dst, size_t n, double value) {
+  for (size_t i = 0; i < n; ++i) dst[i] = value;
+}
+
+void GatherRow(const double* base, const int32_t* idx, size_t n,
+               double* dst) {
+  for (size_t i = 0; i < n; ++i) dst[i] = base[idx[i]];
+}
+
+void DegreeRatioRow(double d1, const double* d2, size_t n, double* dst) {
+  for (size_t i = 0; i < n; ++i) {
+    const double b = d2[i];
+    if (d1 == 0.0 && b == 0.0) {
+      dst[i] = 1.0;
+    } else {
+      const double mn = d1 < b ? d1 : b;
+      const double mx = d1 < b ? b : d1;
+      dst[i] = mn / mx;
+    }
+  }
+}
+
+size_t FindFirstGe(const double* vals, size_t n, double threshold) {
+  for (size_t i = 0; i < n; ++i) {
+    if (vals[i] >= threshold) return i;
+  }
+  return n;
+}
+
+}  // namespace
+
+const SimdKernels& ScalarKernels() {
+  static const SimdKernels kernels = {
+      SimdLevel::kScalar, &TileRowPass,    &TileRowPassColmax,
+      &NormalizeTile,     &CombineRow,     &Fill,
+      &GatherRow,         &DegreeRatioRow, &FindFirstGe,
+  };
+  return kernels;
+}
+
+}  // namespace simd
+}  // namespace fsim

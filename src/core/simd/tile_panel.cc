@@ -1,0 +1,124 @@
+#include "core/simd/tile_panel.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace fsim {
+namespace simd {
+
+namespace {
+
+/// A class-contiguous candidate run in slot space, recorded at panel-fill
+/// time so the per-class work lists can be derived without re-walking the
+/// neighborhoods. Runs are recorded in ascending slot order.
+struct SlotRun {
+  LabelId label;
+  uint32_t slot_begin;
+  uint32_t slot_end;
+  uint16_t entry;
+};
+
+template <typename Vec>
+size_t CapacityBytes(const Vec& v) {
+  return v.capacity() * sizeof(typename Vec::value_type);
+}
+
+}  // namespace
+
+size_t TilePanel::MemoryBytes() const {
+  return CapacityBytes(ids) + CapacityBytes(inv) + CapacityBytes(entry_off) +
+         CapacityBytes(sizes) + CapacityBytes(items) +
+         CapacityBytes(class_off);
+}
+
+size_t TilePanelSet::MemoryBytes() const {
+  size_t total = tiles.capacity() * sizeof(TilePanel);
+  for (const TilePanel& t : tiles) total += t.MemoryBytes();
+  return total;
+}
+
+TilePanelSet BuildTilePanelSet(
+    size_t n2, size_t tile_width, size_t num_classes,
+    const ClassCompatView& compat, bool with_inv,
+    const std::function<GroupedNeighborhood(NodeId)>& neighborhood) {
+  FSIM_CHECK(tile_width > 0);
+  TilePanelSet set;
+  set.tiles.reserve((n2 + tile_width - 1) / tile_width);
+  std::vector<SlotRun> runs;
+  for (size_t vb = 0; vb < n2; vb += tile_width) {
+    const size_t v_hi = std::min(n2, vb + tile_width);
+    TilePanel panel;
+    panel.vb = static_cast<uint32_t>(vb);
+    panel.entries = static_cast<uint32_t>(v_hi - vb);
+    panel.entry_off.resize(panel.entries + 1);
+    panel.sizes.resize(panel.entries);
+    runs.clear();
+    uint32_t slot = 0;
+    for (size_t v = vb; v < v_hi; ++v) {
+      const uint16_t entry = static_cast<uint16_t>(v - vb);
+      panel.entry_off[entry] = slot;
+      const GroupedNeighborhood s2 = neighborhood(static_cast<NodeId>(v));
+      panel.sizes[entry] = static_cast<uint32_t>(s2.size);
+      for (const ClassGroup& g : s2.groups) {
+        runs.push_back({g.label, slot + g.begin, slot + g.end, entry});
+      }
+      for (size_t k = 0; k < s2.size; ++k) {
+        panel.ids.push_back(static_cast<int32_t>(s2.nodes[k]));
+      }
+      slot += static_cast<uint32_t>(s2.size);
+      // Pad the entry to a nibble boundary so no work item straddles two
+      // entries; pad ids are 0 (safe to gather, never in a mask).
+      while ((slot & 3u) != 0u) {
+        panel.ids.push_back(0);
+        ++slot;
+      }
+      if (with_inv) {
+        // Inverse of the grouped permutation: the candidate at original
+        // position j lives at slot inv[entry_off + j]. Pads map to
+        // themselves (never read; kept in-range for the debug asserts).
+        panel.inv.resize(slot);
+        const uint32_t sb = panel.entry_off[entry];
+        for (size_t k = 0; k < s2.size; ++k) {
+          panel.inv[sb + s2.pos[k]] = sb + static_cast<uint32_t>(k);
+        }
+        for (uint32_t j = sb + static_cast<uint32_t>(s2.size); j < slot; ++j) {
+          panel.inv[j] = j;
+        }
+      }
+    }
+    panel.entry_off[panel.entries] = slot;
+    set.max_slots = std::max(set.max_slots, slot);
+
+    // Per-class work lists: every nibble of every θ-compatible run, with
+    // the nibble's candidate bits merged across runs (runs of one entry can
+    // share a boundary nibble; entries cannot, thanks to the padding).
+    panel.class_off.resize(num_classes + 1);
+    for (size_t a = 0; a < num_classes; ++a) {
+      panel.class_off[a] = panel.items.size();
+      for (const SlotRun& run : runs) {
+        if (run.slot_begin == run.slot_end) continue;
+        if (!compat.Compatible(static_cast<LabelId>(a), run.label)) continue;
+        for (uint32_t nib = run.slot_begin & ~3u; nib < run.slot_end;
+             nib += 4) {
+          const uint32_t lo = std::max(nib, run.slot_begin) - nib;
+          const uint32_t hi = std::min(nib + 4, run.slot_end) - nib;
+          const uint8_t bits =
+              static_cast<uint8_t>(((1u << hi) - 1u) & ~((1u << lo) - 1u));
+          if (!panel.items.empty() && panel.items.back().slot == nib &&
+              panel.items.size() > panel.class_off[a]) {
+            panel.items.back().mask |= bits;
+          } else {
+            panel.items.push_back({nib, run.entry, bits, 0});
+          }
+        }
+      }
+    }
+    panel.class_off[num_classes] = panel.items.size();
+    set.tiles.push_back(std::move(panel));
+  }
+  return set;
+}
+
+}  // namespace simd
+}  // namespace fsim

@@ -9,6 +9,7 @@
 
 #include "common/string_util.h"
 #include "core/scores_io.h"
+#include "core/simd/dispatch.h"
 #include "obs/metrics.h"
 
 namespace fsim {
@@ -328,7 +329,7 @@ bool FSimService::HandleLine(std::string_view line, std::istream& in,
         "applied=%llu coalesced=%llu failed=%llu shed=%llu replayed=%llu "
         "publishes=%llu persists=%llu wal_durable=%llu wal_applied=%llu "
         "wal_pending=%llu stale_edits=%llu stale_s=%llu publish_age_s=%llu "
-        "ready=%s converged=%s warm=%s\n",
+        "ready=%s converged=%s warm=%s simd=%s\n",
         static_cast<unsigned long long>(store_.version()),
         snapshot ? snapshot->scores().NumPairs() : 0,
         driver_->pending_edits(), driver_->policy().queue_capacity,
@@ -350,7 +351,10 @@ bool FSimService::HandleLine(std::string_view line, std::istream& in,
                                             : stats.publish_age_seconds),
         driver_->ready() ? "yes" : "no",
         snapshot && snapshot->meta().converged ? "yes" : "no",
-        snapshot && snapshot->meta().warm_start ? "yes" : "no");
+        snapshot && snapshot->meta().warm_start ? "yes" : "no",
+        // Resolving here also refreshes the fsim_simd_level gauge for
+        // METRICS readers that never ran a dense solve.
+        simd::SimdLevelName(simd::ResolveSimdLevel(SimdMode::kAuto)));
     if (full) {
       for (const obs::HistogramEntry& entry :
            obs::Registry::Default().HistogramEntries()) {

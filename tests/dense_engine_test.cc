@@ -12,6 +12,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdlib>
 #include <string>
 #include <tuple>
 
@@ -140,6 +141,29 @@ TEST_P(DenseEngineOperatorSweep, IndexedMatchesLookupFallback) {
   for (size_t i = 0; i < indexed->values().size(); ++i) {
     ASSERT_FALSE(std::isnan(indexed->values()[i])) << "entry " << i;
     ASSERT_NEAR(indexed->values()[i], fallback->values()[i], kTolerance)
+        << "entry " << i;
+  }
+
+  // Forced-scalar lockstep: FSIM_SIMD=off must reproduce the indexed run
+  // (whatever level auto resolved to) on every entry. The vectorized
+  // kernels are bit-identical by contract, so kTolerance is slack here;
+  // tests/simd_kernel_test.cc pins the max-family paths to exact equality.
+  config.neighbor_index_budget_bytes = 1ULL << 30;
+  const char* prev_env = std::getenv("FSIM_SIMD");
+  const std::string saved_env = prev_env ? prev_env : "";
+  setenv("FSIM_SIMD", "off", 1);
+  auto scalar = ComputeFSimDense(g, g, config);
+  if (prev_env) {
+    setenv("FSIM_SIMD", saved_env.c_str(), 1);
+  } else {
+    unsetenv("FSIM_SIMD");
+  }
+  ASSERT_TRUE(scalar.ok()) << scalar.status().ToString();
+  EXPECT_EQ(scalar->stats().simd_level, 0u);
+  EXPECT_EQ(scalar->stats().iterations, indexed->stats().iterations);
+  ASSERT_EQ(scalar->values().size(), indexed->values().size());
+  for (size_t i = 0; i < indexed->values().size(); ++i) {
+    ASSERT_NEAR(scalar->values()[i], indexed->values()[i], kTolerance)
         << "entry " << i;
   }
 }

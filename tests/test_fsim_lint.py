@@ -242,6 +242,46 @@ def test_durability_ignored_outside_src():
         assert proc.returncode == 0, proc.stdout + proc.stderr
 
 
+def test_simd_isolation_intrinsic_outside_simd_dir_fails():
+    with tempfile.TemporaryDirectory(dir=REPO_ROOT / "src") as d:
+        path = write(Path(d), "vec.cc", (
+            '#include "core/vec.h"\n'
+            "#include <immintrin.h>\n"
+            "double Sum(const double* p) {\n"
+            "  __m256d v = _mm256_loadu_pd(p);\n"
+            "  return _mm256_cvtsd_f64(v);\n"
+            "}\n"))
+        proc = run_lint(str(path))
+        assert proc.returncode == 1, proc.stdout + proc.stderr
+        assert "simd-isolation" in proc.stdout
+        # Both the include and the intrinsic lines fire.
+        assert proc.stdout.count("simd-isolation") >= 3
+
+
+def test_simd_isolation_inside_simd_dir_passes():
+    with tempfile.TemporaryDirectory(dir=REPO_ROOT / "src" / "core" / "simd") as d:
+        path = write(Path(d), "k.cc", (
+            '#include "core/simd/kernels.h"\n'
+            "#include <immintrin.h>\n"
+            "double Sum(const double* p) {\n"
+            "  return _mm256_cvtsd_f64(_mm256_loadu_pd(p));\n"
+            "}\n"))
+        proc = run_lint(str(path))
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+
+
+def test_simd_isolation_allow_escape_suppresses():
+    with tempfile.TemporaryDirectory(dir=REPO_ROOT / "bench") as d:
+        path = write(Path(d), "t.cc", (
+            '#include "bench/t.h"\n'
+            "#include <x86intrin.h>  // fsim-lint: allow(simd-isolation)\n"
+            "unsigned long long Now() {\n"
+            "  return __rdtsc();\n"
+            "}\n"))
+        proc = run_lint(str(path))
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+
+
 def test_baseline_suppresses_then_stays_pinned():
     with tempfile.TemporaryDirectory(dir=REPO_ROOT / "src") as d:
         path = write(Path(d), "b.cc", (
